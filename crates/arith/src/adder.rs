@@ -1,0 +1,168 @@
+//! Bit-level adders: the `add` primitive and its word-level architectures.
+//!
+//! The full adder and the high-bit-width accumulator form step ❸ of the
+//! traditional MAC and are the paper's QI bottleneck: their carry chain makes
+//! delay grow with operand width. The word-level models here expose that
+//! structural fact — each adder reports its gate-level depth so the cost
+//! model can translate architecture choice into delay.
+
+/// Result of a single-bit full add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitAdd {
+    /// Sum output bit.
+    pub sum: u8,
+    /// Carry output bit.
+    pub carry: u8,
+}
+
+/// One-bit half adder: two inputs, no carry-in.
+#[inline]
+pub fn half_add(a: u8, b: u8) -> BitAdd {
+    BitAdd {
+        sum: a ^ b,
+        carry: a & b,
+    }
+}
+
+/// One-bit full adder: three inputs.
+#[inline]
+pub fn full_add(a: u8, b: u8, cin: u8) -> BitAdd {
+    BitAdd {
+        sum: a ^ b ^ cin,
+        carry: (a & b) | (a & cin) | (b & cin),
+    }
+}
+
+/// Word adder architectures the paper's background section surveys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdderKind {
+    /// Ripple-carry: minimal area, delay linear in width.
+    RippleCarry,
+    /// Carry-lookahead: delay logarithmic in width, larger area.
+    CarryLookahead,
+    /// Carry-select: delay ~√width blocks, duplicated logic.
+    CarrySelect,
+}
+
+/// Outcome of a word-level addition, with structural statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordAdd {
+    /// The `width`-bit wrapped sum (two's complement semantics).
+    pub sum: u64,
+    /// Carry out of the top bit.
+    pub carry_out: u8,
+    /// Gate levels on the critical path (full-adder-equivalent units for
+    /// ripple; lookahead/select levels otherwise).
+    pub depth: u32,
+}
+
+/// Adds two `width`-bit patterns under the chosen adder architecture.
+///
+/// All architectures produce identical numerical results (they differ only
+/// in reported depth); this is asserted by tests, mirroring how RTL
+/// equivalence checking would treat them.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 64.
+pub fn word_add(kind: AdderKind, a: u64, b: u64, cin: u8, width: u32) -> WordAdd {
+    assert!((1..=64).contains(&width), "width {width} out of range");
+    let m = crate::bits::mask(width);
+    let a = a & m;
+    let b = b & m;
+    let (sum, carry_out) = bit_ripple(a, b, cin, width);
+    let depth = match kind {
+        AdderKind::RippleCarry => width,
+        // One lookahead level per 4-bit group, log-composed.
+        AdderKind::CarryLookahead => 2 + (32 - (width.div_ceil(4)).leading_zeros()),
+        // √n blocks of ripple + mux chain.
+        AdderKind::CarrySelect => {
+            let block = (width as f64).sqrt().ceil() as u32;
+            block + width.div_ceil(block)
+        }
+    };
+    WordAdd {
+        sum,
+        carry_out,
+        depth,
+    }
+}
+
+/// Reference bit-serial ripple addition (ground truth for every adder kind).
+fn bit_ripple(a: u64, b: u64, cin: u8, width: u32) -> (u64, u8) {
+    let mut carry = cin & 1;
+    let mut sum = 0u64;
+    for i in 0..width {
+        let r = full_add(((a >> i) & 1) as u8, ((b >> i) & 1) as u8, carry);
+        sum |= u64::from(r.sum) << i;
+        carry = r.carry;
+    }
+    (sum, carry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{from_wrapped, to_wrapped};
+
+    #[test]
+    fn full_add_truth_table() {
+        let cases = [
+            (0, 0, 0, 0, 0),
+            (1, 0, 0, 1, 0),
+            (0, 1, 0, 1, 0),
+            (0, 0, 1, 1, 0),
+            (1, 1, 0, 0, 1),
+            (1, 0, 1, 0, 1),
+            (0, 1, 1, 0, 1),
+            (1, 1, 1, 1, 1),
+        ];
+        for (a, b, c, s, co) in cases {
+            let r = full_add(a, b, c);
+            assert_eq!((r.sum, r.carry), (s, co));
+        }
+    }
+
+    #[test]
+    fn half_add_truth_table() {
+        assert_eq!(half_add(1, 1), BitAdd { sum: 0, carry: 1 });
+        assert_eq!(half_add(1, 0), BitAdd { sum: 1, carry: 0 });
+    }
+
+    #[test]
+    fn word_add_matches_native_all_kinds() {
+        let kinds = [
+            AdderKind::RippleCarry,
+            AdderKind::CarryLookahead,
+            AdderKind::CarrySelect,
+        ];
+        for kind in kinds {
+            for a in -40i64..40 {
+                for b in -40i64..40 {
+                    let r = word_add(kind, to_wrapped(a, 8), to_wrapped(b, 8), 0, 8);
+                    assert_eq!(
+                        from_wrapped(r.sum, 8),
+                        from_wrapped(to_wrapped(a + b, 16), 8),
+                        "{kind:?} {a}+{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depths_ordered_as_expected_at_32_bits() {
+        let r = |k| word_add(k, 0, 0, 0, 32).depth;
+        let ripple = r(AdderKind::RippleCarry);
+        let cla = r(AdderKind::CarryLookahead);
+        let csel = r(AdderKind::CarrySelect);
+        assert!(cla < csel && csel < ripple, "{cla} < {csel} < {ripple}");
+    }
+
+    #[test]
+    fn carry_out_detects_overflow() {
+        let r = word_add(AdderKind::RippleCarry, 0xFF, 0x01, 0, 8);
+        assert_eq!(r.sum, 0);
+        assert_eq!(r.carry_out, 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Two's-complement and sign-magnitude bit manipulation helpers.
+//!
+//! All word-level arithmetic in this workspace happens on `i64` values that
+//! are interpreted at an explicit bit width `w ≤ 64`. The helpers here
+//! convert between the signed value domain and the wrapped `u64` bit-pattern
+//! domain, extract bit slices (with sign extension beyond the width), and
+//! count set bits under both number representations.
+
+/// Maximum bit width supported by the word-level helpers.
+pub const MAX_WIDTH: u32 = 64;
+
+/// Returns bit `i` of `value` under two's complement, sign-extending for
+/// `i >= 64`.
+///
+/// ```
+/// use tpe_arith::bits::bit;
+/// assert_eq!(bit(-1, 63), 1);
+/// assert_eq!(bit(6, 1), 1);
+/// assert_eq!(bit(6, 0), 0);
+/// ```
+#[inline]
+pub fn bit(value: i64, i: u32) -> u8 {
+    if i >= 64 {
+        // Sign extension: the value's sign bit repeats forever.
+        (value < 0) as u8
+    } else {
+        ((value >> i) & 1) as u8
+    }
+}
+
+/// Converts `value` into its `width`-bit two's-complement pattern.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds [`MAX_WIDTH`], or if `value` does not
+/// fit in `width` signed bits.
+///
+/// ```
+/// use tpe_arith::bits::to_wrapped;
+/// assert_eq!(to_wrapped(-1, 8), 0xFF);
+/// assert_eq!(to_wrapped(-128, 8), 0x80);
+/// ```
+#[inline]
+pub fn to_wrapped(value: i64, width: u32) -> u64 {
+    assert!((1..=MAX_WIDTH).contains(&width), "width {width} out of range");
+    assert!(
+        fits_signed(value, width),
+        "value {value} does not fit in {width} signed bits"
+    );
+    (value as u64) & mask(width)
+}
+
+/// Interprets a `width`-bit pattern as a signed two's-complement value.
+///
+/// Bits above `width` are ignored.
+///
+/// ```
+/// use tpe_arith::bits::from_wrapped;
+/// assert_eq!(from_wrapped(0xFF, 8), -1);
+/// assert_eq!(from_wrapped(0x80, 8), -128);
+/// assert_eq!(from_wrapped(0x7F, 8), 127);
+/// ```
+#[inline]
+pub fn from_wrapped(pattern: u64, width: u32) -> i64 {
+    assert!((1..=MAX_WIDTH).contains(&width), "width {width} out of range");
+    let shift = 64 - width;
+    ((pattern << shift) as i64) >> shift
+}
+
+/// The all-ones mask of `width` low bits.
+#[inline]
+pub fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Whether `value` is representable in `width` signed two's-complement bits.
+///
+/// ```
+/// use tpe_arith::bits::fits_signed;
+/// assert!(fits_signed(127, 8));
+/// assert!(fits_signed(-128, 8));
+/// assert!(!fits_signed(128, 8));
+/// ```
+#[inline]
+pub fn fits_signed(value: i64, width: u32) -> bool {
+    if width >= 64 {
+        return true;
+    }
+    let min = -(1i64 << (width - 1));
+    let max = (1i64 << (width - 1)) - 1;
+    (min..=max).contains(&value)
+}
+
+/// Two's-complement bits of `value`, LSB first.
+///
+/// ```
+/// use tpe_arith::bits::to_bits;
+/// assert_eq!(to_bits(6, 4), vec![0, 1, 1, 0]);
+/// assert_eq!(to_bits(-1, 3), vec![1, 1, 1]);
+/// ```
+pub fn to_bits(value: i64, width: u32) -> Vec<u8> {
+    assert!(fits_signed(value, width), "{value} does not fit in {width} bits");
+    (0..width).map(|i| bit(value, i)).collect()
+}
+
+/// Reassembles a signed value from LSB-first two's-complement bits.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty or longer than [`MAX_WIDTH`].
+pub fn from_bits(bits: &[u8]) -> i64 {
+    assert!(!bits.is_empty() && bits.len() as u32 <= MAX_WIDTH);
+    let mut pattern = 0u64;
+    for (i, &b) in bits.iter().enumerate() {
+        pattern |= u64::from(b & 1) << i;
+    }
+    from_wrapped(pattern, bits.len() as u32)
+}
+
+/// Number of set bits in the `width`-bit two's-complement pattern of `value`.
+///
+/// For a negative value this counts the ones of its complement
+/// representation, which is the quantity bit-serial accelerators that
+/// operate on complement slices must iterate over.
+///
+/// ```
+/// use tpe_arith::bits::popcount_twos;
+/// assert_eq!(popcount_twos(-1, 8), 8);
+/// assert_eq!(popcount_twos(5, 8), 2);
+/// ```
+pub fn popcount_twos(value: i64, width: u32) -> u32 {
+    to_wrapped(value, width).count_ones()
+}
+
+/// Sign-magnitude decomposition: `(sign, magnitude)` with `sign ∈ {-1, 1}`.
+///
+/// Zero decomposes as `(1, 0)`.
+///
+/// ```
+/// use tpe_arith::bits::sign_magnitude;
+/// assert_eq!(sign_magnitude(-77), (-1, 77));
+/// assert_eq!(sign_magnitude(0), (1, 0));
+/// ```
+pub fn sign_magnitude(value: i64) -> (i64, u64) {
+    if value < 0 {
+        (-1, value.unsigned_abs())
+    } else {
+        (1, value as u64)
+    }
+}
+
+/// Sign-extends the low `from` bits of `pattern` up to `to` bits.
+///
+/// This models the sign-extension units that widen partial products before
+/// reduction (OPT2's `Shift & Sign Extend` block).
+///
+/// ```
+/// use tpe_arith::bits::sign_extend;
+/// assert_eq!(sign_extend(0xFF, 8, 16), 0xFFFF);
+/// assert_eq!(sign_extend(0x7F, 8, 16), 0x007F);
+/// ```
+pub fn sign_extend(pattern: u64, from: u32, to: u32) -> u64 {
+    assert!(from >= 1 && from <= to && to <= MAX_WIDTH);
+    let v = from_wrapped(pattern, from);
+    (v as u64) & mask(to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_i8() {
+        for v in i8::MIN..=i8::MAX {
+            let v = i64::from(v);
+            assert_eq!(from_wrapped(to_wrapped(v, 8), 8), v);
+            assert_eq!(from_bits(&to_bits(v, 8)), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_wide() {
+        for &v in &[0i64, 1, -1, i64::MAX, i64::MIN, 123_456_789, -987_654_321] {
+            assert_eq!(from_wrapped(to_wrapped(v, 64), 64), v);
+        }
+    }
+
+    #[test]
+    fn bit_sign_extension() {
+        assert_eq!(bit(-1, 200), 1);
+        assert_eq!(bit(1, 200), 0);
+        assert_eq!(bit(i64::MIN, 63), 1);
+    }
+
+    #[test]
+    fn fits_signed_boundaries() {
+        assert!(fits_signed(-1, 1));
+        assert!(fits_signed(0, 1));
+        assert!(!fits_signed(1, 1));
+        assert!(fits_signed(i64::MIN, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn to_wrapped_rejects_overflow() {
+        to_wrapped(128, 8);
+    }
+
+    #[test]
+    fn popcount_matches_manual() {
+        assert_eq!(popcount_twos(0, 8), 0);
+        assert_eq!(popcount_twos(-128, 8), 1);
+        assert_eq!(popcount_twos(127, 8), 7);
+    }
+
+    #[test]
+    fn sign_extend_examples() {
+        assert_eq!(sign_extend(0b1000, 4, 8), 0b1111_1000);
+        assert_eq!(sign_extend(0b0111, 4, 8), 0b0000_0111);
+    }
+}

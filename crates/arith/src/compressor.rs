@@ -1,0 +1,254 @@
+//! Carry-save compressors and reduction trees: the `half_reduce` primitive.
+//!
+//! A *compressor* sums many operands into a redundant (sum, carry) pair
+//! using only parallel half/full adders — no carry chain. Its delay is
+//! therefore **independent of operand bit width** (paper Table V: a 4-2
+//! compressor tree holds ≈0.32 ns from 14 to 32 bits), which is the
+//! structural fact behind OPT1: replacing the MAC's full adder + accumulator
+//! with compressor accumulation halves the critical path.
+//!
+//! All word-level operations are performed modulo `2^width`; two's
+//! complement wrapping guarantees `(sum + carry) mod 2^width` equals the
+//! true input sum modulo `2^width`, so a final full add at the same width
+//! recovers the exact signed result.
+
+use crate::bits::{from_wrapped, mask};
+
+/// A redundant carry-save pair. The represented value is
+/// `sum + carry (mod 2^width)`, interpreted as `width`-bit two's complement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CarrySave {
+    /// Sum word.
+    pub sum: u64,
+    /// Carry word (already shifted into position).
+    pub carry: u64,
+    /// Word width in bits (1..=64).
+    pub width: u32,
+}
+
+impl CarrySave {
+    /// The zero pair at `width` bits.
+    pub fn zero(width: u32) -> Self {
+        assert!((1..=64).contains(&width));
+        Self {
+            sum: 0,
+            carry: 0,
+            width,
+        }
+    }
+
+    /// Resolves the redundant pair with a full (carry-propagating) add.
+    ///
+    /// This is the single `add` the paper defers to the SIMD vector core.
+    pub fn resolve(&self) -> i64 {
+        from_wrapped(
+            self.sum.wrapping_add(self.carry) & mask(self.width),
+            self.width,
+        )
+    }
+}
+
+/// One layer of 3:2 compression (a vector of full adders).
+///
+/// Returns `(sum, carry)` with `sum + carry ≡ a + b + c (mod 2^width)`.
+#[inline]
+pub fn compress_3_2(a: u64, b: u64, c: u64, width: u32) -> (u64, u64) {
+    let m = mask(width);
+    let sum = (a ^ b ^ c) & m;
+    let carry = (((a & b) | (a & c) | (b & c)) << 1) & m;
+    (sum, carry)
+}
+
+/// A 4:2 compressor stage (two chained 3:2 layers), reducing four operands
+/// to a carry-save pair.
+#[inline]
+pub fn compress_4_2(a: u64, b: u64, c: u64, d: u64, width: u32) -> (u64, u64) {
+    let (s1, c1) = compress_3_2(a, b, c, width);
+    compress_3_2(s1, c1, d, width)
+}
+
+/// A 6:2 compressor (the shared tree of an OPT4E PE group), reducing six
+/// operands to a carry-save pair.
+#[inline]
+pub fn compress_6_2(ops: [u64; 6], width: u32) -> (u64, u64) {
+    let (s1, c1) = compress_3_2(ops[0], ops[1], ops[2], width);
+    let (s2, c2) = compress_3_2(ops[3], ops[4], ops[5], width);
+    let (s3, c3) = compress_3_2(s1, c1, s2, width);
+    compress_3_2(s3, c3, c2, width)
+}
+
+/// Result of a generic carry-save reduction, with structural statistics the
+/// cost model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reduction {
+    /// The carry-save output pair.
+    pub pair: CarrySave,
+    /// Number of 3:2 compressor levels on the critical path.
+    pub depth: u32,
+    /// Total number of full-adder-vector (3:2) instances used.
+    pub compressor_count: u32,
+}
+
+/// Wallace-style carry-save reduction of arbitrarily many operands down to a
+/// (sum, carry) pair, counting tree depth and compressor usage.
+///
+/// An empty input reduces to zero; a single operand passes through with
+/// depth 0.
+pub fn wallace_reduce(operands: &[u64], width: u32) -> Reduction {
+    assert!((1..=64).contains(&width));
+    let m = mask(width);
+    let mut layer: Vec<u64> = operands.iter().map(|&x| x & m).collect();
+    let mut depth = 0;
+    let mut count = 0;
+    while layer.len() > 2 {
+        let mut next = Vec::with_capacity(layer.len() * 2 / 3 + 2);
+        let mut chunks = layer.chunks_exact(3);
+        for ch in &mut chunks {
+            let (s, c) = compress_3_2(ch[0], ch[1], ch[2], width);
+            next.push(s);
+            next.push(c);
+            count += 1;
+        }
+        next.extend_from_slice(chunks.remainder());
+        layer = next;
+        depth += 1;
+    }
+    let (sum, carry) = match layer.len() {
+        0 => (0, 0),
+        1 => (layer[0], 0),
+        _ => (layer[0], layer[1]),
+    };
+    Reduction {
+        pair: CarrySave { sum, carry, width },
+        depth,
+        compressor_count: count,
+    }
+}
+
+/// Number of 3:2 levels a Wallace tree needs for `n` operands — the
+/// compressor-tree depth the timing model uses.
+pub fn wallace_depth(n: u32) -> u32 {
+    // Sequence of maximum operand counts per depth: 2, 3, 4, 6, 9, 13, 19...
+    let mut cap = 2u32;
+    let mut depth = 0;
+    while cap < n {
+        cap = cap * 3 / 2;
+        depth += 1;
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::to_wrapped;
+
+    fn check_pair(expected: i64, sum: u64, carry: u64, width: u32) {
+        let cs = CarrySave { sum, carry, width };
+        assert_eq!(cs.resolve(), from_wrapped(to_wrapped(expected, 64), width));
+    }
+
+    #[test]
+    fn compress_3_2_exact() {
+        for a in -10i64..10 {
+            for b in -10i64..10 {
+                for c in -10i64..10 {
+                    let (s, cy) = compress_3_2(
+                        to_wrapped(a, 16),
+                        to_wrapped(b, 16),
+                        to_wrapped(c, 16),
+                        16,
+                    );
+                    check_pair(a + b + c, s, cy, 16);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_4_2_exact() {
+        let vals = [-100i64, -7, -1, 0, 1, 5, 99, 127];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    for &d in &vals {
+                        let (s, cy) = compress_4_2(
+                            to_wrapped(a, 16),
+                            to_wrapped(b, 16),
+                            to_wrapped(c, 16),
+                            to_wrapped(d, 16),
+                            16,
+                        );
+                        check_pair(a + b + c + d, s, cy, 16);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_6_2_exact() {
+        let vals = [-128i64, -3, 0, 1, 64, 127];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    let ops = [
+                        to_wrapped(a, 20),
+                        to_wrapped(b, 20),
+                        to_wrapped(c, 20),
+                        to_wrapped(a ^ 1, 20),
+                        to_wrapped(-b, 20),
+                        to_wrapped(c.wrapping_mul(3), 20),
+                    ];
+                    let expected = a + b + c + (a ^ 1) + (-b) + c.wrapping_mul(3);
+                    let (s, cy) = compress_6_2(ops, 20);
+                    check_pair(expected, s, cy, 20);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_reduce_many_operands() {
+        let xs: Vec<i64> = (-20..=20).collect();
+        let ops: Vec<u64> = xs.iter().map(|&x| to_wrapped(x, 32)).collect();
+        let r = wallace_reduce(&ops, 32);
+        assert_eq!(r.pair.resolve(), xs.iter().sum::<i64>());
+        assert!(r.depth >= wallace_depth(ops.len() as u32));
+    }
+
+    #[test]
+    fn wallace_reduce_edge_cases() {
+        let r = wallace_reduce(&[], 8);
+        assert_eq!(r.pair.resolve(), 0);
+        assert_eq!(r.depth, 0);
+        let r = wallace_reduce(&[to_wrapped(-5, 8)], 8);
+        assert_eq!(r.pair.resolve(), -5);
+        let r = wallace_reduce(&[to_wrapped(-5, 8), to_wrapped(7, 8)], 8);
+        assert_eq!(r.pair.resolve(), 2);
+        assert_eq!(r.compressor_count, 0);
+    }
+
+    #[test]
+    fn wallace_depth_sequence() {
+        assert_eq!(wallace_depth(2), 0);
+        assert_eq!(wallace_depth(3), 1);
+        assert_eq!(wallace_depth(4), 2);
+        assert_eq!(wallace_depth(6), 3);
+        assert_eq!(wallace_depth(9), 4);
+    }
+
+    /// Wrapping semantics: compression is exact modulo 2^width even when the
+    /// true sum overflows the width.
+    #[test]
+    fn wrapping_is_exact_mod_2w() {
+        let (s, cy) = compress_3_2(0xFF, 0xFF, 0xFF, 8);
+        let cs = CarrySave {
+            sum: s,
+            carry: cy,
+            width: 8,
+        };
+        // 3 × 255 = 765 ≡ 253 (mod 256) → signed −3; and −1·3 = −3. Exact.
+        assert_eq!(cs.resolve(), -3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Carry-save accumulator: OPT1's replacement for the `add` + `accumulate`
+//! pair.
+//!
+//! The traditional MAC resolves its compressor tree with a full adder and
+//! accumulates the resolved value every cycle (Figure 5(A), lines 14–15).
+//! OPT1 observes that the resolved value is not needed until the K-loop
+//! finishes, so it keeps the running value *redundant*: each cycle a 4-2
+//! compressor folds the new (sum, carry) contribution into the accumulated
+//! (acc_s, acc_c) pair stored in DFFs. The single carry-propagating add
+//! happens once per K reduction, in the external SIMD vector core.
+
+use crate::bits::{fits_signed, mask, to_wrapped};
+use crate::compressor::{compress_3_2, compress_4_2, CarrySave};
+
+/// A carry-save accumulator of fixed width.
+///
+/// ```
+/// use tpe_arith::csa::CsAccumulator;
+///
+/// let mut acc = CsAccumulator::new(32);
+/// for v in [100, -3, 77, -1000] {
+///     acc.accumulate_value(v);
+/// }
+/// assert_eq!(acc.resolve(), 100 - 3 + 77 - 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsAccumulator {
+    state: CarrySave,
+    ops: u64,
+}
+
+impl CsAccumulator {
+    /// Creates an empty accumulator of `width` bits (1..=64).
+    pub fn new(width: u32) -> Self {
+        Self {
+            state: CarrySave::zero(width),
+            ops: 0,
+        }
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.state.width
+    }
+
+    /// Number of accumulate operations performed since construction/reset.
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+
+    /// The redundant state currently held in the accumulator DFFs.
+    pub fn state(&self) -> CarrySave {
+        self.state
+    }
+
+    /// Folds an incoming carry-save pair into the accumulator through one
+    /// 4-2 compressor stage — the per-cycle OPT1 operation.
+    pub fn accumulate_pair(&mut self, sum: u64, carry: u64) {
+        let w = self.state.width;
+        let (s, c) = compress_4_2(self.state.sum, self.state.carry, sum & mask(w), carry & mask(w), w);
+        self.state.sum = s;
+        self.state.carry = c;
+        self.ops += 1;
+    }
+
+    /// Folds a single (non-redundant) word in through a 3-2 compressor.
+    pub fn accumulate_word(&mut self, word: u64) {
+        let w = self.state.width;
+        let (s, c) = compress_3_2(self.state.sum, self.state.carry, word & mask(w), w);
+        self.state.sum = s;
+        self.state.carry = c;
+        self.ops += 1;
+    }
+
+    /// Convenience: accumulate a signed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the accumulator width.
+    pub fn accumulate_value(&mut self, value: i64) {
+        assert!(
+            fits_signed(value, self.state.width),
+            "value {value} exceeds accumulator width {}",
+            self.state.width
+        );
+        self.accumulate_word(to_wrapped(value, self.state.width));
+    }
+
+    /// Resolves the redundant state to a signed value (the deferred full
+    /// add). The accumulator keeps its state; callers reset explicitly.
+    pub fn resolve(&self) -> i64 {
+        self.state.resolve()
+    }
+
+    /// Clears the accumulator for the next output element.
+    pub fn reset(&mut self) {
+        self.state = CarrySave::zero(self.state.width);
+        self.ops = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_long_dot_product_exactly() {
+        let mut acc = CsAccumulator::new(32);
+        let mut expected: i64 = 0;
+        // K = 4096 INT8×INT8 products: worst-case magnitude fits 32 bits.
+        let mut x: i64 = 17;
+        for k in 0..4096i64 {
+            x = (x.wrapping_mul(1103515245).wrapping_add(12345)) % 128;
+            let a = x - 64;
+            let b = ((k * 37) % 255) - 127;
+            expected += a * b;
+            acc.accumulate_value(a * b);
+        }
+        assert_eq!(acc.resolve(), expected);
+    }
+
+    #[test]
+    fn pair_accumulation_matches_value_accumulation() {
+        let mut by_pair = CsAccumulator::new(24);
+        let mut by_value = CsAccumulator::new(24);
+        for v in [-300i64, 17, 123, -9999, 42] {
+            let w = to_wrapped(v, 24);
+            // Split v into an arbitrary redundant pair: (v − 5) + 5.
+            by_pair.accumulate_pair(to_wrapped(v - 5, 24), to_wrapped(5, 24));
+            by_value.accumulate_word(w);
+        }
+        assert_eq!(by_pair.resolve(), by_value.resolve());
+    }
+
+    #[test]
+    fn reset_clears_state_and_count() {
+        let mut acc = CsAccumulator::new(20);
+        acc.accumulate_value(1234);
+        acc.reset();
+        assert_eq!(acc.resolve(), 0);
+        assert_eq!(acc.op_count(), 0);
+    }
+
+    #[test]
+    fn negative_accumulation_wraps_correctly() {
+        let mut acc = CsAccumulator::new(20);
+        for _ in 0..1000 {
+            acc.accumulate_value(-500);
+        }
+        assert_eq!(acc.resolve(), -500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds accumulator width")]
+    fn rejects_oversized_value() {
+        CsAccumulator::new(8).accumulate_value(200);
+    }
+}

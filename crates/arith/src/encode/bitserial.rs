@@ -1,0 +1,145 @@
+//! Radix-2 bit-serial digit decompositions (Eq. 3 of the paper).
+//!
+//! Bit-serial accelerators (Stripes, Pragmatic, Bitlet, ...) do not encode:
+//! they iterate over the raw bit slices of the multiplicand. Two operand
+//! representations are compared by the paper:
+//!
+//! * **Complement** — Eq. 3: `SubA_bw = a_bw · 2^bw`, except the MSB which
+//!   carries weight `−2^(w−1)`. NumPPs equals the popcount of the
+//!   two's-complement pattern, which is *high for small negative values*
+//!   (e.g. −1 is all ones). This is the "cannot skip consecutive 1s"
+//!   weakness the paper's QII highlights.
+//! * **Sign-magnitude** — one digit per set bit of |A|, each carrying the
+//!   operand's sign. Hardware must additionally process the sign slice;
+//!   cycle accounting for that belongs to the analytics layer, not the
+//!   digit decomposition.
+
+use super::{Encoder, SignedDigit};
+use crate::bits::{bit, fits_signed, sign_magnitude};
+
+/// Radix-2 decomposition of the two's-complement representation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitSerialComplement;
+
+impl Encoder for BitSerialComplement {
+    fn name(&self) -> &'static str {
+        "bit-serial(C)"
+    }
+
+    fn radix(&self) -> u8 {
+        2
+    }
+
+    fn encode(&self, value: i64, width: u32) -> Vec<SignedDigit> {
+        assert!((1..=32).contains(&width), "width {width} out of range");
+        assert!(
+            fits_signed(value, width),
+            "value {value} does not fit in {width} bits"
+        );
+        (0..width)
+            .map(|i| {
+                let b = bit(value, i) as i8;
+                let coeff = if i == width - 1 { -b } else { b };
+                SignedDigit::new(coeff, i as u8)
+            })
+            .collect()
+    }
+}
+
+/// Radix-2 decomposition of the sign-magnitude representation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitSerialSignMagnitude;
+
+impl Encoder for BitSerialSignMagnitude {
+    fn name(&self) -> &'static str {
+        "bit-serial(M)"
+    }
+
+    fn radix(&self) -> u8 {
+        2
+    }
+
+    fn encode(&self, value: i64, width: u32) -> Vec<SignedDigit> {
+        assert!((1..=32).contains(&width), "width {width} out of range");
+        assert!(
+            fits_signed(value, width),
+            "value {value} does not fit in {width} bits"
+        );
+        let (sign, magnitude) = sign_magnitude(value);
+        // |−2^(w−1)| needs bit position w−1, hence width digit positions
+        // cover every representable value.
+        (0..width)
+            .map(|i| {
+                let b = ((magnitude >> i) & 1) as i8;
+                SignedDigit::new(b * sign as i8, i as u8)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::popcount_twos;
+    use crate::encode::{decode, Encoder};
+
+    /// Figure 2(B)'s bit-serial examples: 114, 15, 124 need 4, 4 and 5
+    /// non-zero slices under the complement representation.
+    #[test]
+    fn fig2_bit_serial_examples() {
+        assert_eq!(BitSerialComplement.num_pps(114, 8), 4);
+        assert_eq!(BitSerialComplement.num_pps(15, 8), 4);
+        assert_eq!(BitSerialComplement.num_pps(124, 8), 5);
+    }
+
+    /// NumPPs under the complement representation equals popcount of the
+    /// two's-complement pattern.
+    #[test]
+    fn complement_numpps_is_popcount() {
+        for v in i8::MIN..=i8::MAX {
+            let v = i64::from(v);
+            assert_eq!(
+                BitSerialComplement.num_pps(v, 8),
+                popcount_twos(v, 8) as usize
+            );
+        }
+    }
+
+    /// Small negative numbers are the pathological case: −1 takes 8 cycles.
+    #[test]
+    fn negative_one_is_worst_case() {
+        assert_eq!(BitSerialComplement.num_pps(-1, 8), 8);
+        assert_eq!(BitSerialSignMagnitude.num_pps(-1, 8), 1);
+    }
+
+    /// Table II (bit-serial row) groups NumPPs into buckets:
+    /// {8,7}: 9, {6,5}: 84, {4}: 70, {3,2}: 84, {1,0}: 9.
+    #[test]
+    fn table2_bit_serial_buckets() {
+        let mut hist = [0usize; 9];
+        for v in i8::MIN..=i8::MAX {
+            hist[BitSerialComplement.num_pps(i64::from(v), 8)] += 1;
+        }
+        assert_eq!(hist[8] + hist[7], 9);
+        assert_eq!(hist[6] + hist[5], 84);
+        assert_eq!(hist[4], 70);
+        assert_eq!(hist[3] + hist[2], 84);
+        assert_eq!(hist[1] + hist[0], 9);
+    }
+
+    #[test]
+    fn sign_magnitude_roundtrip_includes_min() {
+        for v in i8::MIN..=i8::MAX {
+            let v = i64::from(v);
+            assert_eq!(decode(&BitSerialSignMagnitude.encode(v, 8)), v);
+        }
+    }
+
+    #[test]
+    fn complement_msb_weight_is_negative() {
+        let d = BitSerialComplement.encode(-128, 8);
+        assert_eq!(d[7].coeff, -1);
+        assert_eq!(d[7].weight, 7);
+        assert_eq!(decode(&d), -128);
+    }
+}

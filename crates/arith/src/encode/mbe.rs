@@ -1,0 +1,121 @@
+//! Radix-4 modified Booth encoding (MBE).
+//!
+//! Implements Eq. 2 of the paper: for an `w`-bit two's-complement
+//! multiplicand `A`, digit `bw` is
+//!
+//! ```text
+//! d_bw = −2·a_{2bw+1} + a_{2bw} + a_{2bw−1}        (a_{−1} = 0)
+//! ```
+//!
+//! producing ⌈w/2⌉ digits in {−2,−1,0,1,2} on even bit weights, so that
+//! `A = Σ d_bw · 4^bw`. A radix-4 parallel multiplier reduces exactly these
+//! ⌈w/2⌉ partial products; a serial PE spends one cycle per **non-zero**
+//! digit.
+
+use super::{Encoder, SignedDigit};
+use crate::bits::{bit, fits_signed};
+
+/// The classic radix-4 modified Booth encoder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MbeEncoder;
+
+impl MbeEncoder {
+    /// Number of radix-4 digits produced for a `width`-bit operand.
+    pub fn digit_count(width: u32) -> u32 {
+        width.div_ceil(2)
+    }
+}
+
+impl Encoder for MbeEncoder {
+    fn name(&self) -> &'static str {
+        "MBE"
+    }
+
+    fn radix(&self) -> u8 {
+        4
+    }
+
+    fn encode(&self, value: i64, width: u32) -> Vec<SignedDigit> {
+        assert!((1..=32).contains(&width), "width {width} out of range");
+        assert!(
+            fits_signed(value, width),
+            "value {value} does not fit in {width} bits"
+        );
+        let n = Self::digit_count(width);
+        (0..n)
+            .map(|i| {
+                let hi = i64::from(bit(value, 2 * i + 1));
+                let mid = i64::from(bit(value, 2 * i));
+                let lo = if i == 0 {
+                    0
+                } else {
+                    i64::from(bit(value, 2 * i - 1))
+                };
+                let coeff = (-2 * hi + mid + lo) as i8;
+                SignedDigit::new(coeff, (2 * i) as u8)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{decode, num_pps};
+
+    /// The paper's Figure 3 companion example: Booth digits of 91 are
+    /// {1, 2, −1, −1} on weights 2^6, 2^4, 2^2, 2^0.
+    #[test]
+    fn mbe_91() {
+        let d = MbeEncoder.encode(91, 8);
+        let coeffs: Vec<i8> = d.iter().map(|d| d.coeff).collect();
+        assert_eq!(coeffs, vec![-1, -1, 2, 1]);
+        assert_eq!(decode(&d), 91);
+    }
+
+    /// 124 encodes as {2, 0, −1, 0}: `124·B = (2B<<6) + (−B<<2)`.
+    #[test]
+    fn mbe_124() {
+        let d = MbeEncoder.encode(124, 8);
+        let coeffs: Vec<i8> = d.iter().map(|d| d.coeff).collect();
+        assert_eq!(coeffs, vec![0, -1, 0, 2]);
+        assert_eq!(num_pps(&d), 2);
+    }
+
+    /// Positive powers of two of the form 2·4^k need two Booth digits
+    /// (the (+1, −2) pattern EN-T later collapses).
+    #[test]
+    fn mbe_32_takes_two_digits() {
+        assert_eq!(MbeEncoder.num_pps(32, 8), 2);
+        assert_eq!(MbeEncoder.num_pps(-32, 8), 1);
+    }
+
+    /// Digit coefficients stay in the radix-4 Booth digit set.
+    #[test]
+    fn digit_set_is_booth() {
+        for v in i8::MIN..=i8::MAX {
+            for d in MbeEncoder.encode_i8(v) {
+                assert!((-2..=2).contains(&d.coeff));
+                assert_eq!(d.weight % 2, 0, "MBE digits sit on even weights");
+            }
+        }
+    }
+
+    /// Table II (MBE row): NumPPs histogram over the full INT8 range is
+    /// {4: 81, 3: 108, 2: 54, 1: 12, 0: 1}.
+    #[test]
+    fn table2_mbe_histogram() {
+        let mut hist = [0usize; 5];
+        for v in i8::MIN..=i8::MAX {
+            hist[MbeEncoder.num_pps(i64::from(v), 8)] += 1;
+        }
+        assert_eq!(hist, [1, 12, 54, 108, 81]);
+    }
+
+    #[test]
+    fn odd_width_roundtrip() {
+        for v in -64..64 {
+            assert_eq!(decode(&MbeEncoder.encode(v, 7)), v);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Signed-digit encoders: the `encode` primitive of the paper's notation.
+//!
+//! Every multiplier decomposes its multiplicand `A` into *signed digits*
+//! `SubA_bw` such that `A = Σ coeff_bw · 2^weight_bw` (Eq. 1). The digit set
+//! and weight spacing depend on the encoding:
+//!
+//! | Encoder | Radix | Digit set | Digits for width *w* |
+//! |---|---|---|---|
+//! | [`MbeEncoder`] | 4 | {−2,−1,0,1,2} | ⌈w/2⌉ |
+//! | [`EntEncoder`] | 4 | {−2,−1,0,1,2} | ⌈w/2⌉ |
+//! | [`CsdEncoder`] | 4 (grouped NAF) | {−2,−1,0,1,2} | ⌈w/2⌉ + 1 |
+//! | [`BitSerialComplement`] | 2 | {−1,0,1} | w |
+//! | [`BitSerialSignMagnitude`] | 2 | {−1,0,1} | w (magnitude bits) |
+//!
+//! The number of **non-zero** digits (`NumPPs`) is the paper's central
+//! cost metric: it is the number of partial products a parallel multiplier
+//! must reduce, and the number of cycles a bit-serial PE spends per operand.
+
+mod bitserial;
+mod csd;
+mod ent;
+mod mbe;
+
+pub use bitserial::{BitSerialComplement, BitSerialSignMagnitude};
+pub use csd::{naf_digits, CsdEncoder};
+pub use ent::EntEncoder;
+pub use mbe::MbeEncoder;
+
+use std::fmt;
+
+/// One signed digit of an encoded multiplicand: the value `coeff << weight`.
+///
+/// `coeff` is the output of the encoder (selecting one of the candidate
+/// partial products in the CPPG) and `weight` is the bit weight the selected
+/// partial product must be shifted by (the `shift` primitive's argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignedDigit {
+    /// Digit coefficient, in {−2, −1, 0, 1, 2} for radix-4 encoders and
+    /// {−1, 0, 1} for radix-2.
+    pub coeff: i8,
+    /// Bit weight: the digit contributes `coeff * 2^weight`.
+    pub weight: u8,
+}
+
+impl SignedDigit {
+    /// Creates a digit contributing `coeff * 2^weight`.
+    pub fn new(coeff: i8, weight: u8) -> Self {
+        Self { coeff, weight }
+    }
+
+    /// The signed value this digit contributes.
+    pub fn value(self) -> i64 {
+        i64::from(self.coeff) << self.weight
+    }
+
+    /// Whether this digit generates a partial product at all.
+    pub fn is_nonzero(self) -> bool {
+        self.coeff != 0
+    }
+}
+
+impl fmt::Display for SignedDigit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}·2^{}", self.coeff, self.weight)
+    }
+}
+
+/// Decodes a digit vector back to the value it represents.
+///
+/// ```
+/// use tpe_arith::encode::{decode, SignedDigit};
+/// let digits = [SignedDigit::new(2, 6), SignedDigit::new(-1, 2)];
+/// assert_eq!(decode(&digits), 124);
+/// ```
+pub fn decode(digits: &[SignedDigit]) -> i64 {
+    digits.iter().map(|d| d.value()).sum()
+}
+
+/// Number of non-zero digits — the paper's `NumPPs` metric.
+pub fn num_pps(digits: &[SignedDigit]) -> usize {
+    digits.iter().filter(|d| d.is_nonzero()).count()
+}
+
+/// A signed-digit encoder for two's-complement multiplicands.
+///
+/// Implementations must satisfy, for every `value` fitting in `width` signed
+/// bits: `decode(&encode(value, width)) == value`. This invariant is
+/// enforced by property tests in this crate and is what makes every derived
+/// architecture bit-exact.
+pub trait Encoder {
+    /// Short name used in reports ("MBE", "EN-T", ...).
+    fn name(&self) -> &'static str;
+
+    /// The encoding radix (2 for bit-serial, 4 for Booth-family encoders).
+    fn radix(&self) -> u8;
+
+    /// Encodes `value` (interpreted at `width` two's-complement bits) into
+    /// signed digits, **including** zero digits so that positional structure
+    /// is preserved. Digits are ordered by increasing weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` signed bits, or if `width`
+    /// is 0 or greater than 32 (digit weights must stay in range).
+    fn encode(&self, value: i64, width: u32) -> Vec<SignedDigit>;
+
+    /// Convenience: encode an INT8 operand (the paper's primary data type).
+    fn encode_i8(&self, value: i8) -> Vec<SignedDigit> {
+        self.encode(i64::from(value), 8)
+    }
+
+    /// Non-zero digits only — the partial products that actually get
+    /// generated (what the `sparse` primitive extracts).
+    fn encode_nonzero(&self, value: i64, width: u32) -> Vec<SignedDigit> {
+        self.encode(value, width)
+            .into_iter()
+            .filter(|d| d.is_nonzero())
+            .collect()
+    }
+
+    /// `NumPPs` for one operand: how many partial products it generates.
+    fn num_pps(&self, value: i64, width: u32) -> usize {
+        num_pps(&self.encode(value, width))
+    }
+}
+
+/// Enumerates the encoders the paper compares, for table-driven experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingKind {
+    /// Radix-4 modified Booth encoding.
+    Mbe,
+    /// EN-T: MBE with redundant ±1/∓2 digit-pair elimination.
+    EnT,
+    /// Canonical-signed-digit (NAF) digits grouped into radix-4.
+    Csd,
+    /// Radix-2 bit-serial over the two's-complement representation.
+    BitSerialComplement,
+    /// Radix-2 bit-serial over the sign-magnitude representation.
+    BitSerialSignMagnitude,
+}
+
+impl EncodingKind {
+    /// All encoder kinds in the order the paper's tables list them.
+    pub const ALL: [EncodingKind; 5] = [
+        EncodingKind::EnT,
+        EncodingKind::Mbe,
+        EncodingKind::Csd,
+        EncodingKind::BitSerialComplement,
+        EncodingKind::BitSerialSignMagnitude,
+    ];
+
+    /// Returns the encoder implementation for this kind.
+    pub fn encoder(self) -> Box<dyn Encoder> {
+        match self {
+            EncodingKind::Mbe => Box::new(MbeEncoder),
+            EncodingKind::EnT => Box::new(EntEncoder),
+            EncodingKind::Csd => Box::new(CsdEncoder),
+            EncodingKind::BitSerialComplement => Box::new(BitSerialComplement),
+            EncodingKind::BitSerialSignMagnitude => Box::new(BitSerialSignMagnitude),
+        }
+    }
+}
+
+impl fmt::Display for EncodingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            EncodingKind::Mbe => "MBE",
+            EncodingKind::EnT => "EN-T",
+            EncodingKind::Csd => "CSD",
+            EncodingKind::BitSerialComplement => "bit-serial(C)",
+            EncodingKind::BitSerialSignMagnitude => "bit-serial(M)",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every encoder must round-trip every INT8 value.
+    #[test]
+    fn all_encoders_roundtrip_i8() {
+        for kind in EncodingKind::ALL {
+            let enc = kind.encoder();
+            for v in i8::MIN..=i8::MAX {
+                let digits = enc.encode(i64::from(v), 8);
+                assert_eq!(
+                    decode(&digits),
+                    i64::from(v),
+                    "{} failed to round-trip {v}: {digits:?}",
+                    enc.name()
+                );
+            }
+        }
+    }
+
+    /// Every encoder must round-trip a sample of INT16 values.
+    #[test]
+    fn all_encoders_roundtrip_i16_sample() {
+        for kind in EncodingKind::ALL {
+            let enc = kind.encoder();
+            for v in (-32768i64..=32767).step_by(97) {
+                let digits = enc.encode(v, 16);
+                assert_eq!(decode(&digits), v, "{} failed on {v}", enc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn nonzero_filters_zeros() {
+        let enc = MbeEncoder;
+        let nz = enc.encode_nonzero(124, 8);
+        assert!(nz.iter().all(|d| d.is_nonzero()));
+        assert_eq!(decode(&nz), 124);
+    }
+
+    #[test]
+    fn digit_display() {
+        assert_eq!(SignedDigit::new(-2, 4).to_string(), "-2·2^4");
+    }
+}

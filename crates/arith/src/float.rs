@@ -1,0 +1,374 @@
+//! Floating-point PE substrate: the Bucket accumulation scheme of
+//! Figure 2(G).
+//!
+//! The paper positions its integer work against Bucket Getter (MICRO'23),
+//! which attacks the *floating-point* flavor of the same bottleneck: FP
+//! accumulation needs an align–add–normalize loop every cycle, so the
+//! FP-accumulator dominates PE delay and power. The bucket scheme converts
+//! the reduction into **fixed-point accumulation** inside a wide bucket,
+//! normalizing once at the end — structurally the same move as OPT1's
+//! "defer the carry-propagating add".
+//!
+//! This module provides a bit-accurate bfloat16-style format ([`Bf16`]),
+//! exact product formation, and the two accumulation datapaths:
+//!
+//! * [`FpSequentialAccumulator`] — classic FP adds, one normalization per
+//!   element (the Figure 2(G) "high activity" path);
+//! * [`BucketAccumulator`] — one wide fixed-point bucket, one final
+//!   normalization (the "low activity" path). Accumulation is *exact*
+//!   (error-free) within the bucket range, so it is simultaneously faster
+//!   hardware and numerically better — which the tests verify.
+
+use crate::csa::CsAccumulator;
+
+/// Mantissa bits of the bfloat16-style format (excluding the hidden one).
+pub const MANT_BITS: u32 = 7;
+/// Exponent bias.
+pub const BIAS: i32 = 127;
+
+/// A bfloat16-style float: 1 sign, 8 exponent, 7 mantissa bits.
+///
+/// Subnormals flush to zero and infinities/NaNs are rejected at
+/// construction — DNN inference datapaths (and the paper's PEs) handle
+/// normal numbers and zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bf16 {
+    /// Sign: −1 or +1.
+    sign: i8,
+    /// Biased exponent, 0 = zero value, else 1..=254.
+    exp: u8,
+    /// Mantissa without the hidden bit (7 bits).
+    mant: u8,
+}
+
+impl Bf16 {
+    /// Zero.
+    pub const ZERO: Bf16 = Bf16 { sign: 1, exp: 0, mant: 0 };
+
+    /// Quantizes an `f32` to the nearest representable value
+    /// (round-to-nearest-even on the mantissa).
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or infinity.
+    pub fn from_f32(x: f32) -> Self {
+        assert!(x.is_finite(), "Bf16 models finite arithmetic only");
+        if x == 0.0 {
+            return Self::ZERO;
+        }
+        let bits = x.to_bits();
+        let sign = if bits >> 31 == 1 { -1 } else { 1 };
+        // Round f32's 23-bit mantissa to 7 bits (round-half-to-even).
+        let mut exp = ((bits >> 23) & 0xFF) as i32;
+        let mant23 = bits & 0x7F_FFFF;
+        let shift = 23 - MANT_BITS;
+        let lower = mant23 & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut mant = mant23 >> shift;
+        if lower > half || (lower == half && mant & 1 == 1) {
+            mant += 1;
+            if mant == 1 << MANT_BITS {
+                mant = 0;
+                exp += 1;
+            }
+        }
+        if exp <= 0 {
+            return Self::ZERO; // flush subnormals
+        }
+        assert!(exp < 255, "overflow to infinity");
+        Self {
+            sign,
+            exp: exp as u8,
+            mant: mant as u8,
+        }
+    }
+
+    /// The exact `f64` value.
+    pub fn to_f64(self) -> f64 {
+        if self.exp == 0 {
+            return 0.0;
+        }
+        let significand = f64::from(self.mant) / f64::from(1u32 << MANT_BITS) + 1.0;
+        f64::from(self.sign) * significand * 2f64.powi(i32::from(self.exp) - BIAS)
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(self) -> bool {
+        self.exp == 0
+    }
+
+    /// The significand including the hidden bit (8 bits), signed.
+    fn signed_significand(self) -> i64 {
+        if self.exp == 0 {
+            0
+        } else {
+            i64::from(self.sign) * (i64::from(self.mant) | (1 << MANT_BITS))
+        }
+    }
+}
+
+/// An exact product of two [`Bf16`] values: a 16-bit significand at a
+/// power-of-two scale (the fixed-point multiplication block of
+/// Figure 2(G)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpProduct {
+    /// Signed significand product (fits 16 bits + sign).
+    pub significand: i64,
+    /// Scale: the value is `significand · 2^scale`.
+    pub scale: i32,
+}
+
+/// Multiplies exactly (no rounding: 8 × 8 significand bits fit easily).
+pub fn multiply(a: Bf16, b: Bf16) -> FpProduct {
+    if a.is_zero() || b.is_zero() {
+        return FpProduct { significand: 0, scale: 0 };
+    }
+    FpProduct {
+        significand: a.signed_significand() * b.signed_significand(),
+        scale: i32::from(a.exp) + i32::from(b.exp) - 2 * BIAS - 2 * MANT_BITS as i32,
+    }
+}
+
+/// Statistics of an accumulation run — what the energy model prices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FpStats {
+    /// Align–add–normalize FP operations.
+    pub fp_normalizations: u64,
+    /// Fixed-point (compressor) accumulations.
+    pub fixed_adds: u64,
+}
+
+/// Classic sequential FP accumulation at bf16-accumulator precision: every
+/// element aligns, adds and re-normalizes through the FP accumulator.
+#[derive(Debug, Clone, Copy)]
+pub struct FpSequentialAccumulator {
+    acc: f64,
+    stats: FpStats,
+}
+
+impl Default for FpSequentialAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FpSequentialAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            acc: 0.0,
+            stats: FpStats::default(),
+        }
+    }
+
+    /// Adds one product, rounding the running sum to bf16-style precision
+    /// after every add (the per-cycle normalize).
+    pub fn add(&mut self, p: FpProduct) {
+        let addend = p.significand as f64 * 2f64.powi(p.scale);
+        let exact = self.acc + addend;
+        // Round the running sum to the accumulator's 8-bit significand.
+        self.acc = if exact == 0.0 {
+            0.0
+        } else {
+            Bf16::from_f32(exact as f32).to_f64()
+        };
+        self.stats.fp_normalizations += 1;
+    }
+
+    /// The accumulated value.
+    pub fn value(&self) -> f64 {
+        self.acc
+    }
+
+    /// Datapath statistics.
+    pub fn stats(&self) -> FpStats {
+        self.stats
+    }
+}
+
+/// Bucket accumulation: products align into one wide fixed-point bucket
+/// (here 2·MANT+1 fractional bits below `2^MIN_SCALE`, 64 bits total,
+/// carry-save), with a single normalization at the end.
+#[derive(Debug, Clone, Copy)]
+pub struct BucketAccumulator {
+    acc: CsAccumulator,
+    /// The fixed exponent of the bucket's LSB.
+    lsb_scale: i32,
+    stats: FpStats,
+}
+
+impl BucketAccumulator {
+    /// Creates a bucket whose least significant bit sits at `2^lsb_scale`.
+    /// Products whose scale is below the LSB lose the sub-LSB bits
+    /// (standard bucket behaviour); choose `lsb_scale` from the workload's
+    /// minimum product exponent for exactness.
+    pub fn new(lsb_scale: i32) -> Self {
+        Self {
+            acc: CsAccumulator::new(64),
+            lsb_scale,
+            stats: FpStats::default(),
+        }
+    }
+
+    /// A bucket sized for products of values in `[2^min_exp, 2^max_exp)` —
+    /// exact for bf16 products of that range.
+    pub fn for_exponent_range(min_exp: i32) -> Self {
+        // Product scale floor: 2·(min_exp − MANT_BITS).
+        Self::new(2 * (min_exp - MANT_BITS as i32))
+    }
+
+    /// Accumulates one product through the compressor (no carry chain, no
+    /// normalization).
+    pub fn add(&mut self, p: FpProduct) {
+        if p.significand == 0 {
+            return;
+        }
+        let shift = p.scale - self.lsb_scale;
+        let fixed = if shift >= 0 {
+            p.significand << shift.min(62)
+        } else {
+            // Sub-LSB truncation (round toward zero).
+            p.significand >> (-shift).min(62)
+        };
+        self.acc.accumulate_value(fixed);
+        self.stats.fixed_adds += 1;
+    }
+
+    /// Resolves the bucket and normalizes once.
+    pub fn value(&mut self) -> f64 {
+        self.stats.fp_normalizations += 1;
+        self.acc.resolve() as f64 * 2f64.powi(self.lsb_scale)
+    }
+
+    /// Datapath statistics.
+    pub fn stats(&self) -> FpStats {
+        self.stats
+    }
+}
+
+/// Exact reference: f64 sum of exact products.
+pub fn reference_dot(a: &[Bf16], b: &[Bf16]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let p = multiply(x, y);
+            p.significand as f64 * 2f64.powi(p.scale)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bf(x: f32) -> Bf16 {
+        Bf16::from_f32(x)
+    }
+
+    #[test]
+    fn roundtrip_simple_values() {
+        for x in [1.0f32, -2.5, 0.0, 96.0, 0.0078125, -1.0] {
+            let v = bf(x);
+            assert_eq!(v.to_f64(), f64::from(x), "{x}");
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-8 rounds down to 1.0 (tie to even); 1 + 3·2^-9 rounds up.
+        assert_eq!(bf(1.0 + 1.0 / 256.0).to_f64(), 1.0);
+        assert!(bf(1.0 + 3.0 / 512.0).to_f64() > 1.0);
+    }
+
+    #[test]
+    fn products_are_exact() {
+        for (x, y) in [(1.5f32, -2.25f32), (96.0, 0.031_25), (-0.625, -0.625)] {
+            let p = multiply(bf(x), bf(y));
+            let val = p.significand as f64 * 2f64.powi(p.scale);
+            assert_eq!(val, f64::from(x) * f64::from(y), "{x}×{y}");
+        }
+    }
+
+    #[test]
+    fn zero_handling() {
+        assert!(bf(0.0).is_zero());
+        assert_eq!(multiply(bf(0.0), bf(5.0)).significand, 0);
+        // Subnormal flush.
+        assert!(bf(1e-40).is_zero());
+    }
+
+    /// The bucket accumulates *exactly* (within its window) while the
+    /// sequential FP accumulator loses low-order bits — the numerical side
+    /// of the Figure 2(G) trade.
+    #[test]
+    fn bucket_beats_sequential_accuracy() {
+        // Values spanning a few binades around 1.0.
+        let a: Vec<Bf16> = (0..512)
+            .map(|i| bf(((i % 17) as f32 - 8.0) * 0.125 + 0.0625))
+            .collect();
+        let b: Vec<Bf16> = (0..512)
+            .map(|i| bf(((i % 23) as f32 - 11.0) * 0.25))
+            .collect();
+        let exact = reference_dot(&a, &b);
+
+        let mut seq = FpSequentialAccumulator::new();
+        let mut bucket = BucketAccumulator::for_exponent_range(-8);
+        for (&x, &y) in a.iter().zip(&b) {
+            let p = multiply(x, y);
+            seq.add(p);
+            bucket.add(p);
+        }
+        let bucket_err = (bucket.value() - exact).abs();
+        let seq_err = (seq.value() - exact).abs();
+        assert_eq!(bucket_err, 0.0, "bucket is exact within its window");
+        assert!(seq_err > 0.0, "bf16 sequential accumulation must round");
+    }
+
+    /// The structural claim: one normalization total versus one per
+    /// element.
+    #[test]
+    fn bucket_normalizes_once() {
+        let a: Vec<Bf16> = (1..=100).map(|i| bf(i as f32 / 16.0)).collect();
+        let mut seq = FpSequentialAccumulator::new();
+        let mut bucket = BucketAccumulator::for_exponent_range(-4);
+        for &x in &a {
+            let p = multiply(x, bf(1.0));
+            seq.add(p);
+            bucket.add(p);
+        }
+        let _ = bucket.value();
+        assert_eq!(seq.stats().fp_normalizations, 100);
+        assert_eq!(bucket.stats().fp_normalizations, 1);
+        assert_eq!(bucket.stats().fixed_adds, 100);
+    }
+
+    /// Bucket value equals the exact sum for integer-valued inputs
+    /// regardless of ordering (fixed-point associativity), while
+    /// sequential FP accumulation is order-dependent.
+    #[test]
+    fn bucket_is_order_independent() {
+        let mut vals: Vec<Bf16> = (1..=64).map(|i| bf(i as f32)).collect();
+        let dot = |xs: &[Bf16], bucket: bool| -> f64 {
+            let mut b = BucketAccumulator::for_exponent_range(0);
+            let mut s = FpSequentialAccumulator::new();
+            for &x in xs {
+                let p = multiply(x, bf(1.0));
+                if bucket {
+                    b.add(p);
+                } else {
+                    s.add(p);
+                }
+            }
+            if bucket {
+                b.value()
+            } else {
+                s.value()
+            }
+        };
+        let fwd = dot(&vals, true);
+        vals.reverse();
+        let rev = dot(&vals, true);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, (1..=64).sum::<i32>() as f64);
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # tpe-arith
+//!
+//! Bit-accurate arithmetic substrate for the bit-weight TPE workspace.
+//!
+//! A multiplier can be viewed as a multiplicand expanded into sub-operands
+//! (signed digits), each multiplied by the other operand to form a partial
+//! product at some *bit weight*, with all partial products reduced to the
+//! final result (Eq. 1 of the paper):
+//!
+//! ```text
+//! C = A × B = Σ_bw SubA_bw × B
+//! ```
+//!
+//! This crate implements every arithmetic component that appears in that
+//! decomposition, at the bit level, and verifies each against native integer
+//! arithmetic:
+//!
+//! * [`bits`] — two's-complement / sign-magnitude bit manipulation.
+//! * [`encode`] — signed-digit encoders: radix-4 modified Booth ([`encode::MbeEncoder`]),
+//!   the EN-T redundant-pair-eliminating encoder ([`encode::EntEncoder`]),
+//!   canonical-signed-digit/NAF recoding ([`encode::CsdEncoder`]) and the
+//!   radix-2 bit-serial decompositions ([`encode::BitSerialComplement`],
+//!   [`encode::BitSerialSignMagnitude`]).
+//! * [`pp`] — candidate partial-product generation (CPPG), the `map`
+//!   selection primitive and shifters.
+//! * [`adder`] — half/full adders and word-level adder architectures
+//!   (ripple-carry, carry-lookahead, carry-select) with structural stats.
+//! * [`compressor`] — 3:2 / 4:2 / 6:2 compressors and generic carry-save
+//!   (Wallace) reduction trees.
+//! * [`csa`] — the carry-save accumulator that replaces the full
+//!   adder + accumulator pair in the paper's OPT1 datapath.
+//! * [`mac`] — complete multiply–accumulate datapaths: the traditional
+//!   three-stage MAC and the compressor-accumulation MAC.
+//! * [`multiplier`] — array, Booth and Wallace multiplier models.
+//!
+//! ## Example
+//!
+//! ```
+//! use tpe_arith::encode::{Encoder, EntEncoder};
+//! use tpe_arith::pp::reduce_partial_products;
+//!
+//! let digits = EntEncoder.encode_i8(-77);
+//! assert_eq!(reduce_partial_products(&digits, 55), -77 * 55);
+//! ```
+
+pub mod adder;
+pub mod bits;
+pub mod compressor;
+pub mod csa;
+pub mod encode;
+pub mod float;
+pub mod mac;
+pub mod multiplier;
+pub mod pp;
+
+pub use compressor::CarrySave;
+pub use csa::CsAccumulator;
+pub use encode::{Encoder, SignedDigit};

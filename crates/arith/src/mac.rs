@@ -1,0 +1,294 @@
+//! Complete multiply–accumulate datapaths.
+//!
+//! Two MAC organizations are modeled, mirroring Figure 5(C)/(D):
+//!
+//! * [`TraditionalMac`] — the TPU-like three-stage MAC: encode → partial
+//!   products → compressor tree → **full adder → high-width accumulator**.
+//!   The resolved accumulation happens every cycle, putting the
+//!   width-dependent carry chain on the critical path (QI).
+//! * [`CompressAccMac`] — the OPT1 datapath: encode → partial products →
+//!   compressor tree → **4-2 compressor accumulation** in carry-save form;
+//!   the full add happens once, at the end of the reduction.
+//!
+//! Both are bit-exact; the difference is purely structural (what sits on the
+//! per-cycle critical path), which the cost model prices.
+
+use crate::compressor::{wallace_reduce, CarrySave};
+use crate::csa::CsAccumulator;
+use crate::encode::{Encoder, SignedDigit};
+use crate::bits::{fits_signed, to_wrapped};
+
+/// Per-operation structural statistics shared by both MAC flavors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MacStats {
+    /// Multiply–accumulate operations executed.
+    pub macs: u64,
+    /// Partial products generated (including zero digits for parallel MACs).
+    pub partial_products: u64,
+    /// Non-zero partial products (what sparse datapaths would process).
+    pub nonzero_partial_products: u64,
+    /// Carry-propagating full adds performed.
+    pub full_adds: u64,
+}
+
+/// The traditional parallel MAC (Figure 2(A)): resolves its compressor tree
+/// with a full adder and accumulates the resolved value every cycle.
+#[derive(Debug)]
+pub struct TraditionalMac<E: Encoder> {
+    encoder: E,
+    acc_width: u32,
+    acc: i64,
+    stats: MacStats,
+}
+
+impl<E: Encoder> TraditionalMac<E> {
+    /// Creates a MAC with the given multiplicand encoder and accumulator
+    /// width (e.g. 32 for the paper's INT8-mul/INT32-acc configuration).
+    pub fn new(encoder: E, acc_width: u32) -> Self {
+        assert!((2..=64).contains(&acc_width));
+        Self {
+            encoder,
+            acc_width,
+            acc: 0,
+            stats: MacStats::default(),
+        }
+    }
+
+    /// One MAC cycle: `acc += a × b` with `a` encoded at `a_width` bits.
+    pub fn mac(&mut self, a: i64, b: i64, a_width: u32) {
+        let digits = self.encoder.encode(a, a_width);
+        let pps: Vec<u64> = digits
+            .iter()
+            .map(|d| {
+                to_wrapped(
+                    (i64::from(d.coeff) * b) << d.weight.min(62),
+                    self.acc_width,
+                )
+            })
+            .collect();
+        self.stats.partial_products += pps.len() as u64;
+        self.stats.nonzero_partial_products +=
+            digits.iter().filter(|d| d.is_nonzero()).count() as u64;
+        // ❷ compressor tree over the PPs, ❸ full add + accumulate.
+        let reduced = wallace_reduce(&pps, self.acc_width);
+        let product = reduced.pair.resolve();
+        self.stats.full_adds += 1;
+        self.acc = wrap_acc(self.acc + product, self.acc_width);
+        self.stats.macs += 1;
+    }
+
+    /// The accumulated value.
+    pub fn value(&self) -> i64 {
+        self.acc
+    }
+
+    /// Structural statistics so far.
+    pub fn stats(&self) -> MacStats {
+        self.stats
+    }
+
+    /// Clears the accumulator for the next output element.
+    pub fn reset(&mut self) {
+        self.acc = 0;
+    }
+}
+
+/// The OPT1 MAC (Figure 5(D)): the compressor tree's (sum, carry) output is
+/// folded straight into a carry-save accumulator; one full add resolves the
+/// result after the whole reduction.
+#[derive(Debug)]
+pub struct CompressAccMac<E: Encoder> {
+    encoder: E,
+    acc: CsAccumulator,
+    stats: MacStats,
+}
+
+impl<E: Encoder> CompressAccMac<E> {
+    /// Creates the OPT1-style MAC at the given accumulator width.
+    pub fn new(encoder: E, acc_width: u32) -> Self {
+        Self {
+            encoder,
+            acc: CsAccumulator::new(acc_width),
+            stats: MacStats::default(),
+        }
+    }
+
+    /// One MAC cycle — no carry propagation anywhere on this path.
+    pub fn mac(&mut self, a: i64, b: i64, a_width: u32) {
+        let w = self.acc.width();
+        let digits = self.encoder.encode(a, a_width);
+        let pps: Vec<u64> = digits
+            .iter()
+            .map(|d| to_wrapped((i64::from(d.coeff) * b) << d.weight.min(62), w))
+            .collect();
+        self.stats.partial_products += pps.len() as u64;
+        self.stats.nonzero_partial_products +=
+            digits.iter().filter(|d| d.is_nonzero()).count() as u64;
+        let reduced = wallace_reduce(&pps, w);
+        self.acc.accumulate_pair(reduced.pair.sum, reduced.pair.carry);
+        self.stats.macs += 1;
+    }
+
+    /// The redundant carry-save state (what the PE's DFFs hold).
+    pub fn state(&self) -> CarrySave {
+        self.acc.state()
+    }
+
+    /// Resolves the accumulation with the single deferred full add.
+    pub fn resolve(&mut self) -> i64 {
+        self.stats.full_adds += 1;
+        self.acc.resolve()
+    }
+
+    /// Structural statistics so far.
+    pub fn stats(&self) -> MacStats {
+        self.stats
+    }
+
+    /// Clears the accumulator for the next output element.
+    pub fn reset(&mut self) {
+        self.acc.reset();
+    }
+}
+
+/// Serially processed MAC over non-zero digits: the OPT3-style datapath.
+/// Each call processes **one** non-zero partial product; the caller supplies
+/// the digit (from the sparse encoder) and the multiplier.
+#[derive(Debug)]
+pub struct SerialDigitMac {
+    acc: CsAccumulator,
+    cycles: u64,
+}
+
+impl SerialDigitMac {
+    /// Creates the serial MAC at the given accumulator width.
+    pub fn new(acc_width: u32) -> Self {
+        Self {
+            acc: CsAccumulator::new(acc_width),
+            cycles: 0,
+        }
+    }
+
+    /// Processes one non-zero digit × multiplier in one cycle through the
+    /// 3-2 compressor (Figure 7(C) step ❸).
+    pub fn step(&mut self, digit: SignedDigit, b: i64) {
+        debug_assert!(digit.is_nonzero(), "sparse encoder must skip zeros");
+        let w = self.acc.width();
+        let pp = (i64::from(digit.coeff) * b) << digit.weight.min(62);
+        self.acc.accumulate_word(to_wrapped(pp, w));
+        self.cycles += 1;
+    }
+
+    /// Cycles (= non-zero PPs) spent so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Resolves the accumulated dot product.
+    pub fn resolve(&self) -> i64 {
+        self.acc.resolve()
+    }
+
+    /// Clears accumulator and cycle count.
+    pub fn reset(&mut self) {
+        self.acc.reset();
+        self.cycles = 0;
+    }
+}
+
+fn wrap_acc(v: i64, width: u32) -> i64 {
+    crate::bits::from_wrapped((v as u64) & crate::bits::mask(width), width)
+}
+
+/// Reference dot product used as ground truth in tests.
+///
+/// # Panics
+///
+/// Panics if the exact result does not fit `acc_width` signed bits (the
+/// hardware would wrap; tests pick shapes that don't).
+pub fn reference_dot(a: &[i64], b: &[i64], acc_width: u32) -> i64 {
+    let dot: i64 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    assert!(fits_signed(dot, acc_width));
+    dot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{EntEncoder, MbeEncoder};
+
+    fn vectors(k: usize) -> (Vec<i64>, Vec<i64>) {
+        let mut a = Vec::with_capacity(k);
+        let mut b = Vec::with_capacity(k);
+        let mut x = 7i64;
+        for i in 0..k {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            a.push((x % 128).rem_euclid(256) - 128);
+            b.push(((x >> 17) % 128).rem_euclid(256) - 128);
+            let _ = i;
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn traditional_mac_matches_reference() {
+        let (a, b) = vectors(512);
+        let mut mac = TraditionalMac::new(MbeEncoder, 32);
+        for (&x, &y) in a.iter().zip(&b) {
+            mac.mac(x, y, 8);
+        }
+        assert_eq!(mac.value(), reference_dot(&a, &b, 32));
+        assert_eq!(mac.stats().macs, 512);
+        assert_eq!(mac.stats().full_adds, 512, "one resolved add per cycle");
+    }
+
+    #[test]
+    fn opt1_mac_matches_reference_with_one_full_add() {
+        let (a, b) = vectors(512);
+        let mut mac = CompressAccMac::new(EntEncoder, 32);
+        for (&x, &y) in a.iter().zip(&b) {
+            mac.mac(x, y, 8);
+        }
+        assert_eq!(mac.resolve(), reference_dot(&a, &b, 32));
+        assert_eq!(mac.stats().full_adds, 1, "OPT1 defers the full add");
+    }
+
+    #[test]
+    fn serial_mac_cycles_equal_nonzero_pps() {
+        use crate::encode::Encoder;
+        let (a, b) = vectors(256);
+        let mut mac = SerialDigitMac::new(32);
+        let mut expected_cycles = 0u64;
+        for (&x, &y) in a.iter().zip(&b) {
+            for d in EntEncoder.encode_nonzero(x, 8) {
+                mac.step(d, y);
+                expected_cycles += 1;
+            }
+        }
+        assert_eq!(mac.resolve(), reference_dot(&a, &b, 32));
+        assert_eq!(mac.cycles(), expected_cycles);
+    }
+
+    #[test]
+    fn both_macs_agree_on_int8_corners() {
+        for a in [-128i64, -1, 0, 1, 127] {
+            for b in [-128i64, -1, 0, 1, 127] {
+                let mut t = TraditionalMac::new(MbeEncoder, 32);
+                let mut o = CompressAccMac::new(MbeEncoder, 32);
+                t.mac(a, b, 8);
+                o.mac(a, b, 8);
+                assert_eq!(t.value(), a * b);
+                assert_eq!(o.resolve(), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_starts_fresh() {
+        let mut mac = CompressAccMac::new(MbeEncoder, 32);
+        mac.mac(5, 5, 8);
+        mac.reset();
+        mac.mac(-3, 4, 8);
+        assert_eq!(mac.resolve(), -12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Word-level multiplier models: array, Booth (radix-4) and Wallace.
+//!
+//! These are the "micro-arithmetic logic level" designs the paper's
+//! introduction surveys. Each produces the exact product plus structural
+//! statistics (partial-product count, reduction depth) that the cost model
+//! converts to area/delay. They also serve as independent oracles for the
+//! encoder + compressor stack.
+
+use crate::bits::{fits_signed, to_wrapped};
+use crate::compressor::wallace_reduce;
+use crate::encode::{Encoder, MbeEncoder};
+
+/// A multiplication result with structural statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MulResult {
+    /// The exact signed product.
+    pub product: i64,
+    /// Number of partial-product rows generated.
+    pub rows: u32,
+    /// Carry-save reduction depth (3:2 levels).
+    pub depth: u32,
+}
+
+/// Shift-and-add array multiplier: one row per multiplicand bit
+/// (two's-complement, Baugh–Wooley-style sign handling via signed rows).
+///
+/// # Panics
+///
+/// Panics if operands don't fit their widths or `2·width > 62`.
+pub fn array_multiply(a: i64, b: i64, width: u32) -> MulResult {
+    assert!((2..=31).contains(&width));
+    assert!(fits_signed(a, width) && fits_signed(b, width));
+    let out_w = 2 * width;
+    let rows: Vec<u64> = (0..width)
+        .map(|i| {
+            let bit = (a >> i) & 1;
+            // MSB row carries negative weight under two's complement.
+            let signed_row = if i == width - 1 {
+                -(bit * b) << i
+            } else {
+                (bit * b) << i
+            };
+            to_wrapped(signed_row, out_w)
+        })
+        .collect();
+    let red = wallace_reduce(&rows, out_w);
+    MulResult {
+        product: red.pair.resolve(),
+        rows: width,
+        depth: red.depth,
+    }
+}
+
+/// Radix-4 Booth multiplier: ⌈width/2⌉ rows through the MBE encoder.
+pub fn booth_multiply(a: i64, b: i64, width: u32) -> MulResult {
+    encoded_multiply(&MbeEncoder, a, b, width)
+}
+
+/// Multiplier built from any signed-digit encoder + Wallace reduction.
+pub fn encoded_multiply(enc: &dyn Encoder, a: i64, b: i64, width: u32) -> MulResult {
+    assert!((2..=31).contains(&width));
+    assert!(fits_signed(a, width) && fits_signed(b, width));
+    let out_w = (2 * width + 2).min(64);
+    let digits = enc.encode(a, width);
+    let rows: Vec<u64> = digits
+        .iter()
+        .map(|d| to_wrapped((i64::from(d.coeff) * b) << d.weight, out_w))
+        .collect();
+    let red = wallace_reduce(&rows, out_w);
+    MulResult {
+        product: red.pair.resolve(),
+        rows: rows.len() as u32,
+        depth: red.depth,
+    }
+}
+
+/// Unsigned-core Wallace multiplier with sign correction: all `width²` AND
+/// terms reduced as one tree (the classic Wallace construction).
+pub fn wallace_multiply(a: i64, b: i64, width: u32) -> MulResult {
+    assert!((2..=15).contains(&width));
+    assert!(fits_signed(a, width) && fits_signed(b, width));
+    let out_w = 2 * width + 2;
+    let mut rows = Vec::with_capacity((width * width) as usize);
+    for i in 0..width {
+        for j in 0..width {
+            let ai = (a >> i) & 1;
+            let bj = (b >> j) & 1;
+            // Two's complement: MSB positions carry negative weight.
+            let neg = (i == width - 1) ^ (j == width - 1);
+            let term = (ai & bj) << (i + j);
+            rows.push(to_wrapped(if neg { -term } else { term }, out_w));
+        }
+    }
+    let red = wallace_reduce(&rows, out_w);
+    MulResult {
+        product: red.pair.resolve(),
+        rows: rows.len() as u32,
+        depth: red.depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{CsdEncoder, EntEncoder};
+
+    #[test]
+    fn all_multipliers_exact_on_int8() {
+        for a in (i8::MIN..=i8::MAX).step_by(7) {
+            for b in (i8::MIN..=i8::MAX).step_by(11) {
+                let (a, b) = (i64::from(a), i64::from(b));
+                let expect = a * b;
+                assert_eq!(array_multiply(a, b, 8).product, expect, "array {a}×{b}");
+                assert_eq!(booth_multiply(a, b, 8).product, expect, "booth {a}×{b}");
+                assert_eq!(wallace_multiply(a, b, 8).product, expect, "wallace {a}×{b}");
+                assert_eq!(
+                    encoded_multiply(&EntEncoder, a, b, 8).product,
+                    expect,
+                    "ent {a}×{b}"
+                );
+                assert_eq!(
+                    encoded_multiply(&CsdEncoder, a, b, 8).product,
+                    expect,
+                    "csd {a}×{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_corner_cases() {
+        for (a, b) in [(-128, -128), (-128, 127), (127, 127), (0, -128), (-1, -1)] {
+            assert_eq!(array_multiply(a, b, 8).product, a * b);
+            assert_eq!(booth_multiply(a, b, 8).product, a * b);
+            assert_eq!(wallace_multiply(a, b, 8).product, a * b);
+        }
+    }
+
+    #[test]
+    fn booth_halves_row_count() {
+        let arr = array_multiply(93, -45, 8);
+        let booth = booth_multiply(93, -45, 8);
+        assert_eq!(arr.rows, 8);
+        assert_eq!(booth.rows, 4);
+        assert!(booth.depth <= arr.depth);
+    }
+
+    #[test]
+    fn wallace_row_count_is_quadratic() {
+        assert_eq!(wallace_multiply(3, 3, 8).rows, 64);
+    }
+
+    #[test]
+    fn wider_operands() {
+        for (a, b) in [(30000i64, -30000i64), (-32768, 32767), (12345, 321)] {
+            assert_eq!(booth_multiply(a, b, 16).product, a * b);
+            assert_eq!(array_multiply(a, b, 16).product, a * b);
+        }
+    }
+}

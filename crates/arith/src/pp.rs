@@ -1,0 +1,164 @@
+//! Partial-product generation: the CPPG, `map` and `shift` primitives.
+//!
+//! In the paper's MAC decomposition (Figure 1(A), step ❶) the *candidate
+//! partial product generator* (CPPG) precomputes the small multiples
+//! {−2B, −B, 0, B, 2B} of the multiplier once; the encoder's digit then
+//! *selects* one candidate through a multiplexer (`map`), and a shifter
+//! places it at the digit's bit weight (`shift`). The selection is the
+//! non-commutative ♢ operation of Eq. 6.
+
+use crate::encode::SignedDigit;
+
+/// The candidate partial products a radix-4 CPPG precomputes for one
+/// multiplier operand `B`: indexed by coefficient −2..=2.
+///
+/// Radix-2 architectures use the {−B, 0, B} subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cppg {
+    b: i64,
+}
+
+impl Cppg {
+    /// Builds the candidate set for multiplier `b`.
+    pub fn new(b: i64) -> Self {
+        Self { b }
+    }
+
+    /// The multiplier operand this CPPG serves.
+    pub fn multiplier(&self) -> i64 {
+        self.b
+    }
+
+    /// The `map` primitive: select the candidate for `coeff`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeff` is outside the radix-4 digit set {−2..2}.
+    pub fn select(&self, coeff: i8) -> i64 {
+        assert!(
+            (-2..=2).contains(&coeff),
+            "coefficient {coeff} outside the CPPG candidate set"
+        );
+        i64::from(coeff) * self.b
+    }
+
+    /// All five candidates in coefficient order −2, −1, 0, 1, 2 — what the
+    /// hardware mux sees on its inputs.
+    pub fn candidates(&self) -> [i64; 5] {
+        [-2 * self.b, -self.b, 0, self.b, 2 * self.b]
+    }
+}
+
+/// A generated partial product: a selected candidate placed at a bit weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialProduct {
+    /// The selected candidate value (before shifting).
+    pub mapped: i64,
+    /// The bit weight it must be shifted to.
+    pub weight: u8,
+}
+
+impl PartialProduct {
+    /// The `shift` primitive: the partial product's contribution to the
+    /// final sum.
+    pub fn shifted(&self) -> i64 {
+        self.mapped << self.weight
+    }
+}
+
+/// Generates the partial products of `digits × b`, including zero digits
+/// (what a fully parallel multiplier reduces).
+pub fn generate_partial_products(digits: &[SignedDigit], b: i64) -> Vec<PartialProduct> {
+    let cppg = Cppg::new(b);
+    digits
+        .iter()
+        .map(|d| PartialProduct {
+            mapped: cppg.select(d.coeff),
+            weight: d.weight,
+        })
+        .collect()
+}
+
+/// Generates only the non-zero partial products (what the `sparse` primitive
+/// leaves for a serial PE to iterate over).
+pub fn generate_nonzero_partial_products(digits: &[SignedDigit], b: i64) -> Vec<PartialProduct> {
+    digits
+        .iter()
+        .filter(|d| d.is_nonzero())
+        .map(|d| PartialProduct {
+            mapped: Cppg::new(b).select(d.coeff),
+            weight: d.weight,
+        })
+        .collect()
+}
+
+/// Reduces the partial products of `digits × b` to the product value.
+///
+/// This is the specification the hardware reduction (compressor tree + final
+/// add) must match; [`crate::compressor`] implements the same reduction in
+/// carry-save form.
+///
+/// ```
+/// use tpe_arith::encode::{Encoder, MbeEncoder};
+/// use tpe_arith::pp::reduce_partial_products;
+///
+/// let digits = MbeEncoder.encode_i8(-103);
+/// assert_eq!(reduce_partial_products(&digits, 99), -103 * 99);
+/// ```
+pub fn reduce_partial_products(digits: &[SignedDigit], b: i64) -> i64 {
+    generate_partial_products(digits, b)
+        .iter()
+        .map(PartialProduct::shifted)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{BitSerialComplement, CsdEncoder, Encoder, EntEncoder, MbeEncoder};
+
+    /// Exhaustive INT8 × INT8 check: every encoder's partial products reduce
+    /// to the exact product.
+    #[test]
+    fn exhaustive_int8_products() {
+        let encoders: [&dyn Encoder; 4] = [&MbeEncoder, &EntEncoder, &CsdEncoder, &BitSerialComplement];
+        for enc in encoders {
+            for a in (i8::MIN..=i8::MAX).step_by(3) {
+                let digits = enc.encode(i64::from(a), 8);
+                for b in (i8::MIN..=i8::MAX).step_by(5) {
+                    assert_eq!(
+                        reduce_partial_products(&digits, i64::from(b)),
+                        i64::from(a) * i64::from(b),
+                        "{} broke {a}×{b}",
+                        enc.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Figure 2(E): 114×B as three PPs: (B<<7) + (−B<<4) + (B<<1) is the
+    /// bit-serial view; EN-T gets there with {2,0,−1,1}-style digits.
+    #[test]
+    fn nonzero_pp_count_matches_numpps() {
+        let digits = EntEncoder.encode_i8(114);
+        let pps = generate_nonzero_partial_products(&digits, 7);
+        assert_eq!(pps.len(), 3);
+        let total: i64 = pps.iter().map(PartialProduct::shifted).sum();
+        assert_eq!(total, 114 * 7);
+    }
+
+    #[test]
+    fn cppg_candidates_order() {
+        let cppg = Cppg::new(13);
+        assert_eq!(cppg.candidates(), [-26, -13, 0, 13, 26]);
+        assert_eq!(cppg.select(-2), -26);
+        assert_eq!(cppg.select(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the CPPG candidate set")]
+    fn cppg_rejects_wild_coefficients() {
+        Cppg::new(1).select(3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the arithmetic substrate.
+//!
+//! These pin the crate's central invariant: every encoder, compressor and
+//! datapath is bit-exact against native integer arithmetic, for arbitrary
+//! operands — not just the paper's worked examples.
+
+use proptest::prelude::*;
+use tpe_arith::adder::{word_add, AdderKind};
+use tpe_arith::bits::{from_wrapped, to_wrapped};
+use tpe_arith::compressor::{compress_4_2, compress_6_2, wallace_reduce};
+use tpe_arith::csa::CsAccumulator;
+use tpe_arith::encode::{
+    decode, BitSerialComplement, BitSerialSignMagnitude, CsdEncoder, Encoder, EntEncoder,
+    MbeEncoder,
+};
+use tpe_arith::mac::{reference_dot, CompressAccMac, SerialDigitMac, TraditionalMac};
+use tpe_arith::multiplier::{array_multiply, booth_multiply, encoded_multiply};
+use tpe_arith::pp::reduce_partial_products;
+
+fn encoders() -> Vec<Box<dyn Encoder>> {
+    vec![
+        Box::new(MbeEncoder),
+        Box::new(EntEncoder),
+        Box::new(CsdEncoder),
+        Box::new(BitSerialComplement),
+        Box::new(BitSerialSignMagnitude),
+    ]
+}
+
+proptest! {
+    /// decode ∘ encode = id for every encoder at widths 8, 12, 16, 24.
+    #[test]
+    fn encoders_roundtrip(v in -8_388_608i64..8_388_608) {
+        for enc in encoders() {
+            for width in [24u32, 25, 32] {
+                prop_assert_eq!(decode(&enc.encode(v, width)), v, "{} w={}", enc.name(), width);
+            }
+        }
+    }
+
+    /// Partial products of any encoding reduce to the exact product.
+    #[test]
+    fn products_exact(a in i16::MIN..=i16::MAX, b in i16::MIN..=i16::MAX) {
+        let (a, b) = (i64::from(a), i64::from(b));
+        for enc in encoders() {
+            let digits = enc.encode(a, 16);
+            prop_assert_eq!(reduce_partial_products(&digits, b), a * b, "{}", enc.name());
+        }
+    }
+
+    /// Carry-save pairs always resolve to the true sum (mod 2^width).
+    #[test]
+    fn wallace_reduction_exact(ops in prop::collection::vec(-100_000i64..100_000, 0..40)) {
+        let width = 40;
+        let words: Vec<u64> = ops.iter().map(|&x| to_wrapped(x, width)).collect();
+        let r = wallace_reduce(&words, width);
+        prop_assert_eq!(r.pair.resolve(), ops.iter().sum::<i64>());
+    }
+
+    /// The fixed 4:2 and 6:2 compressors agree with the generic tree.
+    #[test]
+    fn fixed_compressors_exact(a in -1000i64..1000, b in -1000i64..1000,
+                               c in -1000i64..1000, d in -1000i64..1000,
+                               e in -1000i64..1000, f in -1000i64..1000) {
+        let w = 24;
+        let t = |x: i64| to_wrapped(x, w);
+        let (s, cy) = compress_4_2(t(a), t(b), t(c), t(d), w);
+        prop_assert_eq!(from_wrapped(s.wrapping_add(cy) & tpe_arith::bits::mask(w), w), a + b + c + d);
+        let (s, cy) = compress_6_2([t(a), t(b), t(c), t(d), t(e), t(f)], w);
+        prop_assert_eq!(from_wrapped(s.wrapping_add(cy) & tpe_arith::bits::mask(w), w), a + b + c + d + e + f);
+    }
+
+    /// The carry-save accumulator tracks a native i64 accumulator exactly.
+    #[test]
+    fn cs_accumulator_exact(values in prop::collection::vec(-30_000i64..30_000, 1..200)) {
+        let mut acc = CsAccumulator::new(32);
+        for &v in &values {
+            acc.accumulate_value(v);
+        }
+        prop_assert_eq!(acc.resolve(), values.iter().sum::<i64>());
+    }
+
+    /// All word-adder architectures compute identical sums.
+    #[test]
+    fn adders_equivalent(a in i32::MIN..=i32::MAX, b in i32::MIN..=i32::MAX, cin in 0u8..2) {
+        let (a, b) = (i64::from(a), i64::from(b));
+        let kinds = [AdderKind::RippleCarry, AdderKind::CarryLookahead, AdderKind::CarrySelect];
+        let results: Vec<u64> = kinds
+            .iter()
+            .map(|&k| word_add(k, to_wrapped(a, 32), to_wrapped(b, 32), cin, 32).sum)
+            .collect();
+        prop_assert_eq!(results[0], results[1]);
+        prop_assert_eq!(results[1], results[2]);
+        let expected = a.wrapping_add(b).wrapping_add(i64::from(cin));
+        prop_assert_eq!(from_wrapped(results[0], 32), from_wrapped(to_wrapped(expected, 64), 32));
+    }
+
+    /// Traditional and OPT1 MACs agree with the reference dot product and
+    /// with each other on random INT8 vectors.
+    #[test]
+    fn macs_agree(pairs in prop::collection::vec((-128i64..=127, -128i64..=127), 1..300)) {
+        let a: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let expected = reference_dot(&a, &b, 32);
+
+        let mut t = TraditionalMac::new(MbeEncoder, 32);
+        let mut o = CompressAccMac::new(EntEncoder, 32);
+        let mut s = SerialDigitMac::new(32);
+        for (&x, &y) in a.iter().zip(&b) {
+            t.mac(x, y, 8);
+            o.mac(x, y, 8);
+            for d in EntEncoder.encode_nonzero(x, 8) {
+                s.step(d, y);
+            }
+        }
+        prop_assert_eq!(t.value(), expected);
+        prop_assert_eq!(o.resolve(), expected);
+        prop_assert_eq!(s.resolve(), expected);
+    }
+
+    /// Multiplier architectures are mutually equivalent.
+    #[test]
+    fn multipliers_equivalent(a in -2048i64..2048, b in -2048i64..2048) {
+        let w = 12;
+        let expected = a * b;
+        prop_assert_eq!(array_multiply(a, b, w).product, expected);
+        prop_assert_eq!(booth_multiply(a, b, w).product, expected);
+        prop_assert_eq!(encoded_multiply(&EntEncoder, a, b, w).product, expected);
+        prop_assert_eq!(encoded_multiply(&CsdEncoder, a, b, w).product, expected);
+    }
+
+    /// NumPPs ordering: CSD ≤ EN-T ≤ MBE digit count per operand... EN-T and
+    /// MBE are incomparable pointwise, but CSD lower-bounds both.
+    #[test]
+    fn csd_is_pointwise_minimal(v in -32768i64..32768) {
+        let csd = CsdEncoder.num_pps(v, 16);
+        prop_assert!(csd <= MbeEncoder.num_pps(v, 16));
+        prop_assert!(csd <= EntEncoder.num_pps(v, 16));
+        prop_assert!(csd <= BitSerialComplement.num_pps(v, 16));
+        prop_assert!(csd <= BitSerialSignMagnitude.num_pps(v, 16));
+    }
+}

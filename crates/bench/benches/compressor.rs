@@ -1,0 +1,52 @@
+//! Criterion benchmark: carry-save reduction primitives (the OPT1 inner
+//! loop) versus carry-propagating accumulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpe_arith::adder::{word_add, AdderKind};
+use tpe_arith::bits::to_wrapped;
+use tpe_arith::compressor::{compress_4_2, wallace_reduce};
+use tpe_arith::csa::CsAccumulator;
+
+fn bench_reduction(c: &mut Criterion) {
+    let values: Vec<i64> = (0..1024).map(|i| (i * 2654435761i64) % 65536 - 32768).collect();
+    let words: Vec<u64> = values.iter().map(|&v| to_wrapped(v, 32)).collect();
+
+    let mut group = c.benchmark_group("reduce_1024_words");
+    group.bench_function("carry_save_accumulate", |b| {
+        b.iter(|| {
+            let mut acc = CsAccumulator::new(32);
+            for &w in &words {
+                acc.accumulate_word(black_box(w));
+            }
+            black_box(acc.resolve())
+        })
+    });
+    group.bench_function("ripple_carry_accumulate", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &w in &words {
+                acc = word_add(AdderKind::RippleCarry, acc, black_box(w), 0, 32).sum;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("wallace_tree_full", |b| {
+        b.iter(|| black_box(wallace_reduce(&words, 32).pair.resolve()))
+    });
+    group.bench_function("compress_4_2_chain", |b| {
+        b.iter(|| {
+            let (mut s, mut cy) = (0u64, 0u64);
+            for ch in words.chunks_exact(2) {
+                let (ns, nc) = compress_4_2(s, cy, ch[0], ch[1], 32);
+                s = ns;
+                cy = nc;
+            }
+            black_box((s, cy))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark: encoder throughput (the front-end cost the OPT4
+//! sharing amortizes).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use tpe_arith::encode::{
+    BitSerialComplement, CsdEncoder, Encoder, EntEncoder, MbeEncoder,
+};
+use tpe_workloads::distributions::normal_int8_matrix;
+
+fn bench_encoders(c: &mut Criterion) {
+    let data = normal_int8_matrix(64, 64, 1.0, 42);
+    let values: Vec<i8> = data.iter().copied().collect();
+    let mut group = c.benchmark_group("encode_4096_operands");
+    let encoders: Vec<(&str, Box<dyn Encoder>)> = vec![
+        ("mbe", Box::new(MbeEncoder)),
+        ("ent", Box::new(EntEncoder)),
+        ("csd", Box::new(CsdEncoder)),
+        ("bit_serial", Box::new(BitSerialComplement)),
+    ];
+    for (name, enc) in &encoders {
+        group.bench_function(*name, |b| {
+            b.iter_batched(
+                || values.clone(),
+                |vals| {
+                    let mut total = 0usize;
+                    for v in vals {
+                        total += enc.num_pps(i64::from(v), 8);
+                    }
+                    black_box(total)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoders);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmark: the array simulators on a 64×64×64 GEMM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpe_arith::encode::EncodingKind;
+use tpe_sim::array::{AdderTreeArray, CubeArray, DenseArray, Matrix2dArray, SystolicArray};
+use tpe_sim::{BitsliceArray, BitsliceConfig};
+use tpe_workloads::distributions::normal_int8_matrix;
+
+fn bench_arrays(c: &mut Criterion) {
+    let a = normal_int8_matrix(64, 64, 1.0, 1);
+    let b = normal_int8_matrix(64, 64, 1.0, 2);
+
+    let mut group = c.benchmark_group("gemm_64x64x64");
+    group.sample_size(20);
+
+    let engines: Vec<Box<dyn DenseArray>> = vec![
+        Box::new(SystolicArray::new(32, 32)),
+        Box::new(CubeArray::new(10, 10, 10)),
+        Box::new(AdderTreeArray::new(32, 32)),
+        Box::new(Matrix2dArray::new(32, 32)),
+    ];
+    for engine in &engines {
+        group.bench_function(engine.name(), |bencher| {
+            bencher.iter(|| black_box(engine.simulate(black_box(&a), black_box(&b))))
+        });
+    }
+
+    let serial = BitsliceArray::new(BitsliceConfig {
+        mp: 32,
+        np: 32,
+        lanes_per_pe: 1,
+        kt: 16,
+        encoding: EncodingKind::EnT,
+    });
+    group.bench_function("bitslice-cycles-only", |bencher| {
+        bencher.iter(|| black_box(serial.cycle_stats(black_box(&a), 64)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_arrays);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmark: MAC datapath flavors and the notation interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpe_arith::encode::{Encoder, EncodingKind, EntEncoder, MbeEncoder};
+use tpe_arith::mac::{CompressAccMac, SerialDigitMac, TraditionalMac};
+use tpe_core::notation::{interp, nests};
+use tpe_workloads::distributions::normal_int8_matrix;
+
+fn bench_macs(c: &mut Criterion) {
+    let a = normal_int8_matrix(1, 1024, 1.0, 5);
+    let b = normal_int8_matrix(1, 1024, 1.0, 6);
+    let av: Vec<i64> = a.iter().map(|&x| i64::from(x)).collect();
+    let bv: Vec<i64> = b.iter().map(|&x| i64::from(x)).collect();
+
+    let mut group = c.benchmark_group("dot_product_k1024");
+    group.bench_function("traditional_mac", |bench| {
+        bench.iter(|| {
+            let mut mac = TraditionalMac::new(MbeEncoder, 32);
+            for (&x, &y) in av.iter().zip(&bv) {
+                mac.mac(black_box(x), black_box(y), 8);
+            }
+            black_box(mac.value())
+        })
+    });
+    group.bench_function("opt1_compress_acc", |bench| {
+        bench.iter(|| {
+            let mut mac = CompressAccMac::new(EntEncoder, 32);
+            for (&x, &y) in av.iter().zip(&bv) {
+                mac.mac(black_box(x), black_box(y), 8);
+            }
+            black_box(mac.resolve())
+        })
+    });
+    group.bench_function("opt3_serial_digits", |bench| {
+        bench.iter(|| {
+            let mut mac = SerialDigitMac::new(32);
+            for (&x, &y) in av.iter().zip(&bv) {
+                for d in EntEncoder.encode_nonzero(x, 8) {
+                    mac.step(d, y);
+                }
+            }
+            black_box(mac.resolve())
+        })
+    });
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let a = normal_int8_matrix(4, 8, 1.0, 9);
+    let b = normal_int8_matrix(8, 4, 1.0, 10);
+    let mut group = c.benchmark_group("notation_interpreter_4x4x8");
+    for (name, nest) in [
+        ("traditional", nests::traditional_mac(4, 4, 8, EncodingKind::EnT)),
+        ("opt1", nests::opt1(4, 4, 8, EncodingKind::EnT)),
+        ("opt4", nests::opt4(4, 4, 8, EncodingKind::EnT)),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| black_box(interp::execute(&nest, &a, &b).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_macs, bench_interpreter);
+criterion_main!(benches);

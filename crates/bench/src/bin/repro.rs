@@ -1,0 +1,53 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p tpe-bench --release --bin repro -- <experiment>
+//!
+//! experiments:
+//!   table1 table2 table3 table5 table7
+//!   fig3 fig9 fig11 [gpt2|mobilenetv3] fig12 fig13 fig14
+//!   sync-model notation
+//!   ablate-encoders ablate-sync ablate-group
+//!   all
+//! ```
+
+use tpe_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let out = match cmd {
+        "table1" => exp::table1(),
+        "table2" => exp::table2(),
+        "table3" => exp::table3(),
+        "table5" => exp::table5(),
+        "table7" => exp::table7(),
+        "fig3" => exp::fig3(),
+        "fig2-schemes" => exp::fig2_schemes(),
+        "sweep-width" => exp::sweep_width(),
+        "sweep-precision" => exp::sweep_precision(),
+        "fig9" => exp::fig9(),
+        "fig11" => {
+            let net = args.get(1).map(String::as_str).unwrap_or("gpt2");
+            exp::fig11(net)
+        }
+        "fig12" => exp::fig12(),
+        "fig13" => exp::fig13(),
+        "fig14" => exp::fig14(),
+        "sync-model" => exp::sync_model(),
+        "notation" => exp::notation(),
+        "ablate-encoders" => exp::ablate_encoders(),
+        "ablate-sync" => exp::ablate_sync(),
+        "ablate-group" => exp::ablate_group(),
+        "ablate-operand-selection" => exp::ablate_operand_selection(),
+        "all" => exp::all(),
+        _ => {
+            eprintln!(
+                "usage: repro <table1|table2|table3|table5|table7|fig3|fig2-schemes|sweep-width|sweep-precision|fig9|fig11 [net]|fig12|\
+                 fig13|fig14|sync-model|notation|ablate-encoders|ablate-sync|ablate-group|ablate-operand-selection|all>"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

@@ -1,0 +1,187 @@
+//! Figures 3, 9 and 14, plus the Eq. 7/8 synchronization model.
+
+use tpe_arith::encode::{Encoder, EntEncoder, MbeEncoder};
+use tpe_core::analytic::sync_model;
+use tpe_core::arch::array::EFFECTIVE_NUMPPS_NORMAL;
+use tpe_core::arch::PeStyle;
+use tpe_cost::report::{num, Table};
+
+/// Figure 3: worked encoding examples.
+pub fn fig3() -> String {
+    let mut out = String::from("Figure 3 — encoding worked examples\n");
+    for v in [91i64, 124, 114, 15] {
+        let ent = EntEncoder.encode(v, 8);
+        let mbe = MbeEncoder.encode(v, 8);
+        let fmt = |d: &[tpe_arith::encode::SignedDigit]| {
+            d.iter()
+                .rev()
+                .map(|x| x.coeff.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&format!(
+            "  {v:>4} = {v:08b}:  EN-T digits (msb→lsb) {{{}}} → {} PPs;  MBE {{{}}} → {} PPs\n",
+            fmt(&ent),
+            ent.iter().filter(|d| d.is_nonzero()).count(),
+            fmt(&mbe),
+            mbe.iter().filter(|d| d.is_nonzero()).count(),
+        ));
+    }
+    out.push_str("  paper: 91→{1,2,-1,-1} (4 PPs), 124→{2,0,-1,0} (2 PPs); Fig 2(E): 114→3, 15→2, 124→2\n");
+    out
+}
+
+/// Figure 9: PE area / power / area-efficiency / energy-efficiency versus
+/// clock constraint for the six designs.
+pub fn fig9() -> String {
+    let mut t = Table::new([
+        "GHz", "design", "area(um2)", "power(uW)", "AE(TOPS/mm2)", "EE(TOPS/W)",
+    ]);
+    let freqs = [0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0];
+    for style in PeStyle::ALL {
+        let design = style.design();
+        for &f in &freqs {
+            let Some(r) = design.synthesize(f) else {
+                continue;
+            };
+            let ops = if style.is_serial() {
+                2.0 * f64::from(style.lanes()) / EFFECTIVE_NUMPPS_NORMAL
+            } else {
+                2.0 * f64::from(style.lanes())
+            };
+            t.row([
+                num(f, 2),
+                style.name().to_string(),
+                num(r.area_um2, 1),
+                num(r.power_uw(1.0, 1.0), 1),
+                num(r.area_efficiency(ops) / 1e3, 2),
+                num(r.energy_efficiency(ops, 1.0), 2),
+            ]);
+        }
+    }
+    let quote = |s: PeStyle, f: f64| {
+        s.design()
+            .synthesize(f)
+            .map(|r| format!("{:.0}", r.area_um2))
+            .unwrap_or_else(|| "violation".into())
+    };
+    format!(
+        "Figure 9 — PE sweeps under clock constraints (missing rows = timing violation)\n{}\n\
+         checkpoints: MAC@1GHz {} um2 (paper 367), MAC@1.5GHz {} um2 (paper 707), MAC@1.6GHz {}\n\
+         optimal frequencies (paper): MAC 1.0, OPT1 1.5, OPT3 2.0, OPT4C 2.5, OPT4E 2.0 GHz\n",
+        t.render(),
+        quote(PeStyle::TraditionalMac, 1.0),
+        quote(PeStyle::TraditionalMac, 1.5),
+        quote(PeStyle::TraditionalMac, 1.6),
+    )
+}
+
+/// Figure 14: single-PE throughput and energy per operation for best /
+/// worst / general operand cases.
+pub fn fig14() -> String {
+    let mac = PeStyle::TraditionalMac.design().synthesize(1.0).expect("MAC@1GHz");
+    let opt4c = PeStyle::Opt4C.design().synthesize(2.5).expect("OPT4C@2.5GHz");
+    let opt4e = PeStyle::Opt4E.design().synthesize(2.0).expect("OPT4E@2GHz");
+
+    // Cycles per MAC for the serial designs: the operand's NumPPs.
+    let cases = [
+        ("best (1 PP)", 1.0),
+        ("general (EN-T avg)", EFFECTIVE_NUMPPS_NORMAL),
+        ("worst (4 PPs)", 4.0),
+    ];
+    let mut t = Table::new(["case", "PE", "GOPS", "fJ/op", "vs 1 MAC"]);
+    for (label, pps) in cases {
+        // One parallel MAC at 1 GHz: 2 GOPS regardless of the data.
+        let mac_gops = 2.0 * 1.0;
+        let mac_fj = mac.power_uw(1.0, 1.0) / (2.0 * 1.0);
+        t.row([
+            label.to_string(),
+            "1× MAC".into(),
+            num(mac_gops, 2),
+            num(mac_fj, 1),
+            "×1.00".into(),
+        ]);
+        // Three OPT4C PEs (the paper's area-equivalence to one MAC).
+        let gops_4c = 3.0 * 2.0 * 2.5 / pps;
+        let fj_4c = 3.0 * opt4c.power_uw(1.0, 1.0) / (gops_4c * 1.0);
+        t.row([
+            label.to_string(),
+            "3× OPT4C".into(),
+            num(gops_4c, 2),
+            num(fj_4c, 1),
+            format!("×{:.2}", gops_4c / mac_gops),
+        ]);
+        // One OPT4E group (4 lanes).
+        let gops_4e = 4.0 * 2.0 * 2.0 / pps;
+        let fj_4e = opt4e.power_uw(1.0, 1.0) / gops_4e;
+        t.row([
+            label.to_string(),
+            "1× OPT4E grp".into(),
+            num(gops_4e, 2),
+            num(fj_4e, 1),
+            format!("×{:.2}", gops_4e / mac_gops),
+        ]);
+    }
+    format!(
+        "Figure 14 — per-PE throughput & energy (1 MAC ≈ 3 OPT4C ≈ 1 OPT4E group by area)\n{}\n\
+         paper: general case ≈2.7× (3×OPT4C) and ≈3.6× (OPT4E) the MAC throughput, lower energy/op;\n\
+         worst case halves a single OPT4C's throughput; best case doubles it.\n\
+         model PE areas: MAC {:.0} um2, OPT4C {:.0} um2, OPT4E group {:.0} um2 (paper: 246 / 81.27 / 311)\n",
+        t.render(),
+        mac.area_um2,
+        opt4c.area_um2,
+        opt4e.area_um2,
+    )
+}
+
+/// Eqs. 7–8: the synchronization-time model with Monte-Carlo validation.
+pub fn sync_model() -> String {
+    let mut t = Table::new(["K", "sparsity", "MP", "E[T_single]", "E[Tsync]", "MC", "saving%"]);
+    for (k, s, mp) in [
+        (576u64, 0.38, 32u32),
+        (576, 0.445, 32),
+        (64, 0.445, 32),
+        (768, 0.445, 32),
+        (3072, 0.445, 32),
+        (576, 0.38, 1),
+        (576, 0.38, 256),
+    ] {
+        let single = sync_model::expected_single(k, s);
+        let e = sync_model::expected_tsync(k, s, mp);
+        let mc = sync_model::simulate_tsync(k, s, mp, 60, 99);
+        t.row([
+            k.to_string(),
+            num(s, 3),
+            mp.to_string(),
+            num(single, 1),
+            num(e, 1),
+            num(mc, 1),
+            num(sync_model::saving_vs_dense(k, s, mp) * 100.0, 2),
+        ]);
+    }
+    format!(
+        "Eqs. 7–8 — E[Tsync] column-synchronization model (MC = Monte-Carlo check)\n{}\n\
+         paper worked example: K=576 (ResNet-18 img2col), s=0.38 (EN-T weights), E[Tsync]=381,\n\
+         saving ≈ 33.84% vs the dense 576-cycle reduction\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig9_contains_all_designs_and_violations() {
+        let s = super::fig9();
+        for d in ["MAC", "OPT1", "OPT2", "OPT3", "OPT4C", "OPT4E"] {
+            assert!(s.contains(d));
+        }
+        assert!(s.contains("violation"), "MAC@1.6GHz must violate timing");
+    }
+
+    #[test]
+    fn fig14_shows_throughput_inversion() {
+        let s = super::fig14();
+        assert!(s.contains("3× OPT4C"));
+        assert!(s.contains("1× OPT4E grp"));
+    }
+}

@@ -1,0 +1,82 @@
+//! The notation demo: prints the five loop nests (Figures 4–8) and the
+//! primitive activation counts proving each rewrite's structural claim.
+
+use tpe_arith::encode::EncodingKind;
+use tpe_core::notation::interp::execute;
+use tpe_core::notation::{costing, legality, nests, printer};
+use tpe_cost::report::Table;
+use tpe_workloads::distributions::uniform_int8_matrix;
+use tpe_workloads::matrix::matmul_i8;
+
+/// Renders all five nests with interpreter-verified GEMM equivalence and
+/// primitive counts.
+pub fn notation() -> String {
+    let (m, n, k) = (4, 4, 8);
+    let enc = EncodingKind::EnT;
+    let a = uniform_int8_matrix(m, k, 314);
+    let b = uniform_int8_matrix(k, n, 159);
+    let reference = matmul_i8(&a, &b);
+
+    let nests = [
+        nests::traditional_mac(m, n, k, enc),
+        nests::opt1(m, n, k, enc),
+        nests::opt2(m, n, k, enc),
+        nests::opt3(m, n, k, enc),
+        nests::opt4(m, n, k, enc),
+    ];
+    let mut out = String::new();
+    let mut t = Table::new([
+        "nest", "encodes", "maps", "shifts", "half_reduces", "adds", "accumulates", "syncs",
+        "GEMM ok", "legal", "enc-shared/N",
+    ]);
+    for nest in &nests {
+        out.push_str(&printer::render(nest));
+        out.push('\n');
+        let (c, stats) = execute(nest, &a, &b).expect("nest executes");
+        t.row([
+            nest.name.split(" from").next().unwrap_or(&nest.name).to_string(),
+            stats.encodes.to_string(),
+            stats.maps.to_string(),
+            stats.shifts.to_string(),
+            stats.half_reduces.to_string(),
+            stats.adds.to_string(),
+            stats.accumulates.to_string(),
+            stats.syncs.to_string(),
+            if c == reference { "OK" } else { "MISMATCH" }.to_string(),
+            if legality::check(nest).is_ok() { "legal" } else { "ILLEGAL" }.to_string(),
+            if legality::encoder_shared_over_n(nest) { "shared" } else { "per-PE" }.to_string(),
+        ]);
+    }
+    // The notation → costing bridge: derive a PE design from each nest.
+    let mut c = Table::new(["nest", "derived delay(ns)", "derived area(um2) @1GHz", "fmax(GHz)"]);
+    for nest in &nests {
+        let d = costing::pe_design_of(nest);
+        c.row([
+            nest.name.split(" from").next().unwrap_or(&nest.name).to_string(),
+            format!("{:.2}", d.nominal_delay_ns),
+            d.synthesize(1.0)
+                .map_or("violation".into(), |r| format!("{:.0}", r.area_um2)),
+            format!("{:.2}", d.max_frequency_ghz()),
+        ]);
+    }
+    format!(
+        "The compute-centric notation (Figures 4–8): every nest below computes the\n\
+         identical 4×4×8 GEMM through the interpreter.\n\n{out}\nPrimitive activations:\n{}\n\
+         Derived hardware (notation → cost bridge; §III's claim mechanized):\n{}",
+        t.render(),
+        c.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn demo_shows_all_five_nests_verified() {
+        let s = super::notation();
+        assert!(s.contains("GEMM ok"));
+        assert!(!s.contains("MISMATCH"), "a nest failed verification:\n{s}");
+        assert!(!s.contains("ILLEGAL"), "a nest failed legality:\n{s}");
+        assert_eq!(s.matches("shared").count(), 2, "only OPT4 shares (+ header)");
+        assert!(s.contains("OPT4"));
+    }
+}

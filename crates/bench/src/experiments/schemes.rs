@@ -1,0 +1,144 @@
+//! Figure 2 PE-scheme comparison and the accumulator-width sweep behind
+//! Table I's bottleneck claim.
+
+use tpe_cost::components::Component;
+use tpe_cost::report::{num, Table};
+use tpe_cost::synthesis::PeDesign;
+use tpe_cost::timing;
+use tpe_sim::pe_schemes::compare_schemes;
+use tpe_workloads::distributions::normal_int8_matrix;
+
+/// Figure 2: the six PE computation schemes on the same dot product.
+pub fn fig2_schemes() -> String {
+    let a: Vec<i8> = normal_int8_matrix(1, 2048, 1.0, 21).data().to_vec();
+    let b: Vec<i8> = normal_int8_matrix(1, 2048, 1.0, 22).data().to_vec();
+    let results = compare_schemes(&a, &b);
+    let reference = results[0].1.value;
+    let mut t = Table::new(["scheme", "cycles", "PPs", "cycles/MAC", "exact"]);
+    for (name, r) in &results {
+        t.row([
+            name.to_string(),
+            r.cycles.to_string(),
+            r.partial_products.to_string(),
+            num(r.cycles as f64 / 2048.0, 2),
+            (r.value == reference).to_string(),
+        ]);
+    }
+    let worked = compare_schemes(&[114, 15, 124], &[1, 1, 1]);
+    let serial = worked.iter().find(|(n, _)| n.contains("2B")).unwrap().1.cycles;
+    let encoded = worked.iter().find(|(n, _)| n.contains("2E")).unwrap().1.cycles;
+    format!(
+        "Figure 2 — PE schemes on a K=2048 N(0,1) dot product (8 lanes where applicable)\n{}\n\
+         worked example {{114, 15, 124}}: bit-serial {} cycles (paper 4+4+5=13), encoded {} (paper 3+2+2=7)\n",
+        t.render(),
+        serial,
+        encoded
+    )
+}
+
+/// Accumulator-width sweep: how the accumulation bottleneck (QI) grows
+/// with width for the MAC, and how OPT1's compressor path stays flat —
+/// the quantitative version of §II-A.
+pub fn sweep_width() -> String {
+    let mut t = Table::new([
+        "acc width", "MAC delay(ns)", "MAC fmax(GHz)", "OPT1 tree delay(ns)", "OPT1 fmax(GHz)",
+        "reduction area share %",
+    ]);
+    for width in [16u32, 20, 24, 28, 32, 40, 48] {
+        let mac = Component::MacUnit { acc_width: width }.cost();
+        let acc = Component::Accumulator { width }.cost();
+        let fa = Component::CarryPropagateAdder { width }.cost();
+        let tree = Component::CompressorTree { inputs: 4, width }.cost();
+        // OPT1's critical path: multiplier front + accumulate tree.
+        let front = Component::MultiplierFront { acc_width: 32 }.cost();
+        let opt1_delay = front.delay_ns + tree.delay_ns;
+        t.row([
+            width.to_string(),
+            num(mac.delay_ns, 2),
+            num(timing::max_frequency_ghz(mac.delay_ns), 2),
+            num(opt1_delay, 2),
+            num(timing::max_frequency_ghz(opt1_delay), 2),
+            num((acc.area_um2 + fa.area_um2) / mac.area_um2 * 100.0, 1),
+        ]);
+    }
+    // OPT1-style width invariance also holds for the synthesized design.
+    let opt1 = |w: u32| {
+        PeDesign::builder(format!("opt1-{w}"))
+            .comp(Component::MultiplierFront { acc_width: 32 }, 1)
+            .comp(Component::CompressorTree { inputs: 4, width: w }, 1)
+            .state(2 * w + 16)
+            .nominal_delay(
+                Component::MultiplierFront { acc_width: 32 }.cost().delay_ns
+                    + Component::CompressorTree { inputs: 4, width: w }.cost().delay_ns,
+            )
+            .build()
+    };
+    let a16 = opt1(16).synthesize(1.5).map(|r| r.area_um2).unwrap_or(0.0);
+    let a48 = opt1(48).synthesize(1.5).map(|r| r.area_um2).unwrap_or(0.0);
+    format!(
+        "Accumulator-width sweep — the QI bottleneck (§II-A): MAC delay grows with\n\
+         accumulator width; the compressor path does not.\n{}\n\
+         OPT1 area at 1.5 GHz scales only with register width: {:.0} µm² (16b) → {:.0} µm² (48b)\n",
+        t.render(),
+        a16,
+        a48
+    )
+}
+
+/// Precision sweep: digit statistics and serial cost from INT4 to INT16.
+pub fn sweep_precision() -> String {
+    use tpe_core::analytic::precision;
+    use tpe_arith::encode::EncodingKind;
+    let mut t = Table::new([
+        "width", "EN-T avg (exhaustive)", "MBE avg", "EN-T avg (normal data)",
+        "serial cost vs INT8",
+    ]);
+    for w in [4u32, 6, 8, 10, 12, 16] {
+        let (ent, mbe) = if w <= 12 {
+            (
+                num(precision::exhaustive_average(EncodingKind::EnT, w), 3),
+                num(precision::exhaustive_average(EncodingKind::Mbe, w), 3),
+            )
+        } else {
+            ("-".into(), "-".into())
+        };
+        t.row([
+            w.to_string(),
+            ent,
+            mbe,
+            num(precision::sampled_average(EncodingKind::EnT, w, 9), 2),
+            format!("×{:.2}", precision::relative_serial_cost(EncodingKind::EnT, w, 9)),
+        ]);
+    }
+    format!(
+        "Precision sweep — digit statistics beyond INT8\n{}\n\
+         serial cycles grow linearly in width (digit slots = ⌈w/2⌉ at ~constant digit\n\
+         sparsity) while a parallel multiplier grows quadratically — why bit-slice\n\
+         designs favor low precision.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig2_all_schemes_exact() {
+        let s = super::fig2_schemes();
+        assert!(!s.contains("false"), "a scheme diverged:\n{s}");
+        assert!(s.contains("bit-serial 13 cycles") || s.contains("13 cycles"));
+    }
+
+    #[test]
+    fn precision_sweep_renders() {
+        let s = super::sweep_precision();
+        assert!(s.contains("16"));
+        assert!(s.contains("×2.") || s.contains("×1.9"), "{s}");
+    }
+
+    #[test]
+    fn width_sweep_shows_flat_compressor() {
+        let s = super::sweep_width();
+        assert!(s.contains("48"));
+        assert!(s.contains("reduction area share"));
+    }
+}

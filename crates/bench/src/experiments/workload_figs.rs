@@ -1,0 +1,119 @@
+//! Figures 11, 12 and 13: DNN/LLM workload comparisons of OPT4E against an
+//! equal-area parallel-MAC TPE.
+
+use tpe_core::arch::workload::{dense_layer, equal_area_lane_scale, evaluate_network, serial_layer};
+use tpe_core::arch::ArchModel;
+use tpe_cost::report::{num, Table};
+use tpe_workloads::models;
+use tpe_workloads::NetworkModel;
+
+fn opt4e() -> ArchModel {
+    ArchModel::table7_ours()
+        .into_iter()
+        .find(|a| a.name == "OPT4E")
+        .expect("OPT4E configured")
+}
+
+/// Figure 11: per-sublayer delay and OPT4E column utilization for GPT-2
+/// (`net = "gpt2"`) or MobileNetV3 (`net = "mobilenetv3"`).
+pub fn fig11(net: &str) -> String {
+    let arch = opt4e();
+    let scale = equal_area_lane_scale(&arch);
+    let layers = match net {
+        "gpt2" => models::gpt2_decode_sublayers("L0", 1024),
+        "mobilenetv3" => {
+            let net = models::mobilenet_v3();
+            net.layers
+                .iter()
+                .filter(|l| l.name.starts_with("b3") || l.name.starts_with("b11") || l.name.starts_with("b13"))
+                .cloned()
+                .collect()
+        }
+        other => panic!("unknown net {other}; use gpt2 or mobilenetv3"),
+    };
+    let mut t = Table::new([
+        "sublayer", "K", "MAC delay(us)", "OPT4E delay(us)", "speedup", "util%", "busy-min%",
+        "busy-max%",
+    ]);
+    for (i, layer) in layers.iter().enumerate() {
+        let s = serial_layer(&arch, layer, 1000 + i as u64);
+        let d = dense_layer(layer, 1.0, scale);
+        t.row([
+            layer.name.clone(),
+            layer.k.to_string(),
+            num(d.delay_us, 3),
+            num(s.delay_us, 3),
+            num(d.delay_us / s.delay_us, 2),
+            num(s.utilization * 100.0, 1),
+            num(s.busy_min * 100.0, 1),
+            num(s.busy_max * 100.0, 1),
+        ]);
+    }
+    format!(
+        "Figure 11 ({net}) — sublayer delay & OPT4E column utilization (equal-area MAC baseline)\n{}\n\
+         paper utilization bands: GPT-2 96.0–98.2%; MobileNetV3 92.3–98.4% (DW dips, PW peaks)\n",
+        t.render()
+    )
+}
+
+/// Figure 12: normalized delay of OPT4E vs the parallel-MAC TPE across
+/// networks, with the OPT4E idle ratio.
+pub fn fig12() -> String {
+    let arch = opt4e();
+    let mut t = Table::new(["network", "norm. delay%", "util%", "idle%"]);
+    for net in NetworkModel::all() {
+        let r = evaluate_network(&arch, &net, 7);
+        t.row([
+            net.name.clone(),
+            num(100.0 / r.speedup, 1),
+            num(r.utilization * 100.0, 1),
+            num((1.0 - r.utilization) * 100.0, 1),
+        ]);
+    }
+    format!(
+        "Figure 12 — normalized delay (MAC TPE = 100%) and OPT4E idle ratio\n{}\n\
+         paper utilization band across backbones: 96.8–98.8%\n",
+        t.render()
+    )
+}
+
+/// Figure 13: normalized speedup and energy-consumption ratio across
+/// networks.
+pub fn fig13() -> String {
+    let arch = opt4e();
+    let mut t = Table::new(["network", "speedup", "energy ratio (OPT4E/MAC)"]);
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for net in NetworkModel::all() {
+        let r = evaluate_network(&arch, &net, 13);
+        rows.push((net.name.clone(), r.speedup, r.energy_ratio));
+        t.row([net.name.clone(), num(r.speedup, 2), num(r.energy_ratio, 3)]);
+    }
+    let pick = |n: &str| rows.iter().find(|(name, _, _)| name == n).map(|r| r.1).unwrap_or(0.0);
+    format!(
+        "Figure 13 — speedup & energy ratio of OPT4E vs equal-area parallel-MAC TPE\n{}\n\
+         paper: MobileViT ×1.89, ViT ×2.02, GPT-2 ×2.16 are the largest speedups;\n\
+         measured here: MobileViT ×{:.2}, ViT ×{:.2}, GPT-2 ×{:.2}\n\
+         higher-reduction-dimension networks save more energy (paper §V-D)\n",
+        t.render(),
+        pick("MobileViT"),
+        pick("ViT"),
+        pick("GPT-2"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig11_both_networks_render() {
+        let g = super::fig11("gpt2");
+        assert!(g.contains("qkv"));
+        let m = super::fig11("mobilenetv3");
+        assert!(m.contains("dw"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown net")]
+    fn fig11_rejects_unknown() {
+        super::fig11("alexnet");
+    }
+}

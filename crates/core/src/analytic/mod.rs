@@ -1,0 +1,6 @@
+//! Analytic models: the synchronization-time expectation of Eqs. 7–8 and
+//! the NumPPs enumerations behind Tables II and III.
+
+pub mod numpps;
+pub mod precision;
+pub mod sync_model;

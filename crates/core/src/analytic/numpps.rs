@@ -1,0 +1,112 @@
+//! NumPPs enumerations: the computations behind Tables II and III.
+
+use tpe_arith::encode::EncodingKind;
+use tpe_workloads::distributions::normal_int8_matrix;
+use tpe_workloads::sparsity::avg_num_pps;
+
+/// Table II: exhaustive NumPPs histogram over the INT8 range for one
+/// encoder. Index = NumPPs, value = how many of the 256 values produce it.
+pub fn int8_histogram(kind: EncodingKind) -> Vec<usize> {
+    let enc = kind.encoder();
+    let mut hist = vec![0usize; 9];
+    for v in i8::MIN..=i8::MAX {
+        hist[enc.num_pps(i64::from(v), 8)] += 1;
+    }
+    hist
+}
+
+/// Fraction of INT8 values generating at most `limit` partial products
+/// (§II-C quotes 71.9% for EN-T and 68.4% for MBE at `limit = 3`).
+pub fn fraction_at_most(kind: EncodingKind, limit: usize) -> f64 {
+    let hist = int8_histogram(kind);
+    let le: usize = hist.iter().take(limit + 1).sum();
+    le as f64 / 256.0
+}
+
+/// Average NumPPs over the full INT8 range.
+pub fn int8_average(kind: EncodingKind) -> f64 {
+    let hist = int8_histogram(kind);
+    let total: usize = hist.iter().enumerate().map(|(n, c)| n * c).sum();
+    total as f64 / 256.0
+}
+
+/// One Table III cell: average NumPPs of a `size × size` N(0, σ) matrix
+/// (with the paper's per-encoding cycle conventions).
+pub fn table3_cell(kind: EncodingKind, sigma: f64, size: usize, seed: u64) -> f64 {
+    let m = normal_int8_matrix(size, size, sigma, seed);
+    avg_num_pps(&m, kind)
+}
+
+/// The whole Table III: rows = encodings, columns = σ ∈ {0.5, 1.0, 2.5, 5.0}.
+pub fn table3(size: usize, seed: u64) -> Vec<(EncodingKind, [f64; 4])> {
+    let sigmas = [0.5, 1.0, 2.5, 5.0];
+    [
+        EncodingKind::EnT,
+        EncodingKind::Mbe,
+        EncodingKind::BitSerialSignMagnitude,
+        EncodingKind::BitSerialComplement,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let mut row = [0.0; 4];
+        for (i, &s) in sigmas.iter().enumerate() {
+            row[i] = table3_cell(kind, s, size, seed + i as u64);
+        }
+        (kind, row)
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table II, all three rows, exactly as printed in the paper.
+    #[test]
+    fn table2_exact() {
+        let mbe = int8_histogram(EncodingKind::Mbe);
+        assert_eq!(&mbe[..5], &[1, 12, 54, 108, 81]);
+        let ent = int8_histogram(EncodingKind::EnT);
+        assert_eq!(&ent[..5], &[1, 15, 60, 108, 72]);
+        let bs = int8_histogram(EncodingKind::BitSerialComplement);
+        assert_eq!(bs[8] + bs[7], 9);
+        assert_eq!(bs[6] + bs[5], 84);
+        assert_eq!(bs[4], 70);
+        assert_eq!(bs[3] + bs[2], 84);
+        assert_eq!(bs[1] + bs[0], 9);
+    }
+
+    /// §II-C's percentage quotes.
+    #[test]
+    fn low_pp_fractions_match_paper() {
+        assert!((fraction_at_most(EncodingKind::EnT, 3) - 0.719).abs() < 0.001);
+        assert!((fraction_at_most(EncodingKind::Mbe, 3) - 0.684).abs() < 0.001);
+        assert!((fraction_at_most(EncodingKind::BitSerialComplement, 3) - 0.363).abs() < 0.001);
+    }
+
+    /// Uniform INT8 averages: bit-serial = 4.0 exactly; MBE = 3.0; EN-T ≈
+    /// 2.918.
+    #[test]
+    fn int8_averages() {
+        assert!((int8_average(EncodingKind::BitSerialComplement) - 4.0).abs() < 1e-9);
+        assert!((int8_average(EncodingKind::Mbe) - 3.0).abs() < 1e-9);
+        assert!((int8_average(EncodingKind::EnT) - 747.0 / 256.0).abs() < 1e-9);
+    }
+
+    /// Table III shape: EN-T < MBE < bit-serial(M) < bit-serial(C), flat in
+    /// σ.
+    #[test]
+    fn table3_ordering() {
+        let t = table3(192, 7);
+        let row = |k: EncodingKind| t.iter().find(|(kk, _)| *kk == k).unwrap().1;
+        let ent = row(EncodingKind::EnT);
+        let mbe = row(EncodingKind::Mbe);
+        let bsm = row(EncodingKind::BitSerialSignMagnitude);
+        let bsc = row(EncodingKind::BitSerialComplement);
+        for i in 0..4 {
+            assert!(ent[i] < mbe[i], "σ column {i}");
+            assert!(mbe[i] < bsm[i], "σ column {i}");
+            assert!(bsm[i] < bsc[i], "σ column {i}");
+        }
+    }
+}

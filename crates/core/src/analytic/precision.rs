@@ -1,0 +1,132 @@
+//! Precision generalization: the paper's INT8 digit statistics, extended
+//! to INT4 and INT16.
+//!
+//! Every encoder in `tpe-arith` is width-generic, so the NumPPs machinery
+//! behind Tables II/III extends directly to other operand precisions. The
+//! scaling law the serial architectures inherit: a `w`-bit operand has
+//! ⌈w/2⌉ radix-4 digit slots, and EN-T's digit sparsity on
+//! quantized-normal data stays roughly constant (~0.44), so serial
+//! cycles/MAC grow linearly with width — while a parallel MAC's area grows
+//! quadratically in the multiplier and linearly in the accumulator. This
+//! is the quantitative backdrop for the paper's note that bit-slice
+//! designs favor low precision.
+
+use tpe_arith::encode::EncodingKind;
+use tpe_workloads::distributions::normal_int8_matrix;
+use tpe_workloads::sparsity::avg_num_pps;
+
+/// Exhaustive NumPPs histogram over the full `width`-bit two's-complement
+/// range (width ≤ 12 to keep enumeration cheap).
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 12.
+pub fn histogram(kind: EncodingKind, width: u32) -> Vec<usize> {
+    assert!((1..=12).contains(&width), "enumeration width {width}");
+    let enc = kind.encoder();
+    let lo = -(1i64 << (width - 1));
+    let hi = (1i64 << (width - 1)) - 1;
+    let mut hist = vec![0usize; width as usize + 2];
+    for v in lo..=hi {
+        hist[enc.num_pps(v, width)] += 1;
+    }
+    hist
+}
+
+/// Average NumPPs over the full `width`-bit range.
+pub fn exhaustive_average(kind: EncodingKind, width: u32) -> f64 {
+    let hist = histogram(kind, width);
+    let total: usize = hist.iter().enumerate().map(|(n, c)| n * c).sum();
+    total as f64 / f64::from(1u32 << width)
+}
+
+/// Average NumPPs of quantized-normal data at a given operand width:
+/// N(0, 1) samples symmetrically quantized to the full signed range
+/// (max-abs ≈ 4.2σ, matching the INT8 pipeline's effective scale).
+pub fn sampled_average(kind: EncodingKind, width: u32, seed: u64) -> f64 {
+    assert!((2..=16).contains(&width));
+    if width == 8 {
+        return avg_num_pps(&normal_int8_matrix(256, 256, 1.0, seed), kind);
+    }
+    let enc = kind.encoder();
+    let mut sampler = tpe_workloads::distributions::NormalSampler::new(1.0, seed);
+    let max = ((1i64 << (width - 1)) - 1) as f64;
+    let scale = max / 4.2;
+    let samples = 65_536usize;
+    let total: usize = (0..samples)
+        .map(|_| {
+            let v = (sampler.sample() * scale).round().clamp(-max, max) as i64;
+            enc.num_pps(v, width)
+        })
+        .sum();
+    total as f64 / samples as f64
+}
+
+/// Serial cycles/MAC relative to INT8 — the linear-width scaling law.
+pub fn relative_serial_cost(kind: EncodingKind, width: u32, seed: u64) -> f64 {
+    sampled_average(kind, width, seed) / sampled_average(kind, 8, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// INT4: the EN-T histogram is exhaustively checkable — 16 values,
+    /// 2 digit slots, minimal-weight counts.
+    #[test]
+    fn int4_histograms() {
+        let ent = histogram(EncodingKind::EnT, 4);
+        // 0 → 0 PPs; ±1, ±2, ±4, ±8, (±3? no: 3 = 4−1 two digits) → count
+        // singles: ±1, ±2, ±4, −8, +3? no. Enumerate: coeff·4^k forms.
+        assert_eq!(ent.iter().sum::<usize>(), 16);
+        assert_eq!(ent[0], 1, "only zero has no digits");
+        // Every INT4 value needs at most 2 digits.
+        assert_eq!(ent[3..].iter().sum::<usize>(), 0);
+        let mbe = histogram(EncodingKind::Mbe, 4);
+        assert!(
+            exhaustive_average(EncodingKind::EnT, 4)
+                <= exhaustive_average(EncodingKind::Mbe, 4) + 1e-12,
+            "EN-T ≤ MBE at INT4: {ent:?} vs {mbe:?}"
+        );
+    }
+
+    /// The INT8 column of this module agrees with Table II's machinery.
+    #[test]
+    fn int8_consistency() {
+        assert_eq!(
+            histogram(EncodingKind::EnT, 8)[..5],
+            crate::analytic::numpps::int8_histogram(EncodingKind::EnT)[..5]
+        );
+        assert!((exhaustive_average(EncodingKind::EnT, 8) - 747.0 / 256.0).abs() < 1e-12);
+    }
+
+    /// Serial cost scales roughly linearly with operand width for EN-T
+    /// (digit slots = ⌈w/2⌉ at near-constant digit sparsity).
+    #[test]
+    fn linear_width_scaling() {
+        let r16 = relative_serial_cost(EncodingKind::EnT, 16, 5);
+        assert!(
+            (1.6..2.4).contains(&r16),
+            "INT16 should cost ≈2× INT8 serially, got {r16}"
+        );
+        let r4 = relative_serial_cost(EncodingKind::EnT, 4, 5);
+        assert!((0.3..0.8).contains(&r4), "INT4 ≈ half of INT8, got {r4}");
+    }
+
+    /// Ordering EN-T ≤ MBE holds at every tested precision.
+    #[test]
+    fn encoder_ordering_holds_across_widths() {
+        for w in [4u32, 6, 8, 10, 12] {
+            assert!(
+                exhaustive_average(EncodingKind::EnT, w)
+                    <= exhaustive_average(EncodingKind::Mbe, w) + 1e-12,
+                "width {w}"
+            );
+            assert!(
+                exhaustive_average(EncodingKind::Csd, w)
+                    <= exhaustive_average(EncodingKind::EnT, w) + 1e-12,
+                "CSD minimality at width {w}"
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The column-synchronization model of §IV-C (Eqs. 7 and 8).
+//!
+//! Let the number of non-zero partial products a column processes between
+//! barriers be `X ~ B(K, 1 − s)` where `s` is the encoding sparsity. With
+//! `MP` i.i.d. columns, the barrier interval is
+//! `Tsync = max(T_1, …, T_MP)` with CDF
+//!
+//! ```text
+//! F(t) = Π_i P(T_i ≤ t) = [ Σ_{j≤t} C(K, j) s^(K−j) (1−s)^j ]^MP     (Eq. 7)
+//! ```
+//!
+//! and expectation
+//!
+//! ```text
+//! E[Tsync] = K − Σ_{t=1..K−1} F(t)                                   (Eq. 8)
+//! ```
+//!
+//! The paper's worked example: a middle layer of ResNet-18 lowered through
+//! img2col has reduction dimension K = 576; EN-T-encoded weights have
+//! sparsity s = 0.38; with column-granularity synchronization E\[Tsync\] is
+//! 381 — a ≈33.84% time saving over the dense 576-cycle reduction.
+//!
+//! [`expected_tsync`] evaluates the formula in a numerically stable way
+//! (log-space binomial terms, running CDF); [`simulate_tsync`] cross-checks
+//! it by Monte Carlo.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// ln(n!) via the `ln`-sum (exact enough for K ≤ 10⁵).
+fn ln_factorial(n: u64) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// Binomial pmf `P(X = j)` for `X ~ B(k, p)`, computed in log space.
+pub fn binomial_pmf(k: u64, p: f64, j: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p = {p} out of range");
+    if j > k {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if j == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if j == k { 1.0 } else { 0.0 };
+    }
+    let ln = ln_factorial(k) - ln_factorial(j) - ln_factorial(k - j)
+        + j as f64 * p.ln()
+        + (k - j) as f64 * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// The CDF `F(t)` of Eq. 7: probability that all `mp` columns finish
+/// within `t` cycles.
+pub fn tsync_cdf(k: u64, sparsity: f64, mp: u32, t: u64) -> f64 {
+    let p = 1.0 - sparsity;
+    let mut single = 0.0;
+    for j in 0..=t.min(k) {
+        single += binomial_pmf(k, p, j);
+    }
+    single.min(1.0).powi(mp as i32)
+}
+
+/// `E[Tsync]` of Eq. 8.
+pub fn expected_tsync(k: u64, sparsity: f64, mp: u32) -> f64 {
+    assert!(k > 0 && mp > 0);
+    let p = 1.0 - sparsity;
+    // Running single-column CDF; E[max] = K − Σ_{t<K} F(t).
+    let mut single = binomial_pmf(k, p, 0);
+    let mut sum_f = single.min(1.0).powi(mp as i32); // t = 0 term
+    for t in 1..k {
+        single += binomial_pmf(k, p, t);
+        sum_f += single.min(1.0).powi(mp as i32);
+    }
+    k as f64 - sum_f
+}
+
+/// Expected single-column time `E[T_i] = K(1 − s)` — the no-synchronization
+/// lower bound.
+pub fn expected_single(k: u64, sparsity: f64) -> f64 {
+    k as f64 * (1.0 - sparsity)
+}
+
+/// The fractional time saving of sparse execution with column sync,
+/// relative to the dense `K`-cycle reduction: `1 − E[Tsync]/K`.
+pub fn saving_vs_dense(k: u64, sparsity: f64, mp: u32) -> f64 {
+    1.0 - expected_tsync(k, sparsity, mp) / k as f64
+}
+
+/// Monte-Carlo estimate of `E[Tsync]` (cross-validation of the closed
+/// form).
+pub fn simulate_tsync(k: u64, sparsity: f64, mp: u32, trials: u32, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = 1.0 - sparsity;
+    let mut total = 0u64;
+    for _ in 0..trials {
+        let mut max = 0u64;
+        for _ in 0..mp {
+            let mut t = 0u64;
+            for _ in 0..k {
+                if rng.random::<f64>() < p {
+                    t += 1;
+                }
+            }
+            max = max.max(t);
+        }
+        total += max;
+    }
+    total as f64 / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §IV-C worked example: K = 576, s = 0.38, column-level
+    /// sync ⇒ E[Tsync] ≈ 381, a ≈33.84% saving.
+    #[test]
+    fn resnet18_worked_example() {
+        let e = expected_tsync(576, 0.38, 32);
+        assert!((e - 381.0).abs() < 3.0, "E[Tsync] = {e}, paper says 381");
+        let saving = saving_vs_dense(576, 0.38, 32);
+        assert!((saving - 0.3384).abs() < 0.006, "saving {saving}, paper 33.84%");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (k, p) in [(10u64, 0.3), (100, 0.62), (576, 0.5)] {
+            let total: f64 = (0..=k).map(|j| binomial_pmf(k, p, j)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "k={k} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let mut last = 0.0;
+        for t in 0..=576 {
+            let f = tsync_cdf(576, 0.38, 32, t);
+            assert!((0.0..=1.0 + 1e-12).contains(&f));
+            assert!(f + 1e-12 >= last, "CDF must not decrease at t={t}");
+            last = f;
+        }
+        assert!((tsync_cdf(576, 0.38, 32, 576) - 1.0).abs() < 1e-9);
+    }
+
+    /// E[max of MP columns] exceeds the single-column mean and grows with
+    /// MP — the cost of synchronization.
+    #[test]
+    fn expectation_grows_with_columns() {
+        let single = expected_single(576, 0.38);
+        let e1 = expected_tsync(576, 0.38, 1);
+        let e32 = expected_tsync(576, 0.38, 32);
+        let e256 = expected_tsync(576, 0.38, 256);
+        assert!((e1 - single).abs() < 0.5, "MP=1 max is just the mean");
+        assert!(e32 > e1 && e256 > e32);
+    }
+
+    /// Longer reductions shrink the *relative* sync overhead (§VI: "for
+    /// matrices with higher vector dimensions, the variance … gradually
+    /// decreases").
+    #[test]
+    fn relative_overhead_shrinks_with_k() {
+        let rel = |k: u64| {
+            expected_tsync(k, 0.4, 32) / expected_single(k, 0.4) - 1.0
+        };
+        assert!(rel(64) > rel(576));
+        assert!(rel(576) > rel(4096));
+        assert!(rel(4096) < 0.03, "big-K overhead should be tiny: {}", rel(4096));
+    }
+
+    /// Monte Carlo agrees with the closed form within sampling error.
+    #[test]
+    fn monte_carlo_validates_closed_form() {
+        let analytic = expected_tsync(128, 0.38, 8);
+        let mc = simulate_tsync(128, 0.38, 8, 400, 42);
+        assert!(
+            (analytic - mc).abs() < 1.5,
+            "analytic {analytic} vs Monte-Carlo {mc}"
+        );
+    }
+
+    #[test]
+    fn degenerate_sparsities() {
+        // Fully sparse: nothing to do.
+        assert!(expected_tsync(100, 1.0, 16) < 1e-9);
+        // Fully dense: every column takes exactly K.
+        assert!((expected_tsync(100, 0.0, 16) - 100.0).abs() < 1e-9);
+    }
+}

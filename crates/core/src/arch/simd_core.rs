@@ -1,0 +1,115 @@
+//! The external SIMD vector core that hosts the relocated `add`/`shift`
+//! operations (§IV-A).
+//!
+//! OPT1 defers each PE's carry-propagating add to the end of its K-cycle
+//! reduction, so the array emits `MP·NP` redundant pairs every `K` cycles.
+//! The paper's sizing claim: *"fewer hardware resources (⌈MP·NP/K⌉) are
+//! required to accomplish these tasks"* — one pipelined adder lane can
+//! absorb one result per cycle, so ⌈MP·NP/K⌉ lanes absorb the steady-state
+//! stream. This module proves the claim with a queue simulation and prices
+//! the core.
+
+use tpe_cost::components::Component;
+
+/// Sizing and occupancy analysis for the SIMD vector core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdCoreSizing {
+    /// PE rows (MP).
+    pub mp: usize,
+    /// PE columns (NP).
+    pub np: usize,
+    /// Reduction length between drains.
+    pub k: usize,
+}
+
+impl SimdCoreSizing {
+    /// Creates the sizing problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(mp: usize, np: usize, k: usize) -> Self {
+        assert!(mp > 0 && np > 0 && k > 0);
+        Self { mp, np, k }
+    }
+
+    /// The paper's lane count: ⌈MP·NP / K⌉.
+    pub fn required_lanes(&self) -> usize {
+        (self.mp * self.np).div_ceil(self.k)
+    }
+
+    /// Queue simulation: PEs drain round-robin, one result each per K-cycle
+    /// window (PE `i` drains at cycle `(i mod K) + window·K`). Returns the
+    /// maximum backlog a core with `lanes` pipelined lanes accumulates over
+    /// `windows` reduction windows.
+    pub fn max_backlog(&self, lanes: usize, windows: usize) -> usize {
+        let pes = self.mp * self.np;
+        let mut backlog = 0usize;
+        let mut worst = 0usize;
+        for _ in 0..windows {
+            for cycle in 0..self.k {
+                // Results arriving this cycle: PEs whose drain slot is
+                // `cycle` (spread evenly by the staggered schedule).
+                let arriving = pes / self.k + usize::from(cycle < pes % self.k);
+                backlog += arriving;
+                backlog = backlog.saturating_sub(lanes);
+                worst = worst.max(backlog);
+            }
+        }
+        worst
+    }
+
+    /// Area of the sized core (lanes × adder+shifter+regs).
+    pub fn area_um2(&self) -> f64 {
+        self.required_lanes() as f64 * Component::SimdLane { width: 32 }.cost().area_um2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §IV-A claim: ⌈MP·NP/K⌉ lanes keep the backlog bounded (no
+    /// growth across windows), while one lane fewer diverges.
+    #[test]
+    fn paper_lane_count_is_sufficient_and_tight() {
+        for (mp, np, k) in [(32, 32, 32), (32, 32, 64), (16, 16, 100), (8, 8, 3)] {
+            let s = SimdCoreSizing::new(mp, np, k);
+            let lanes = s.required_lanes();
+            let short = s.max_backlog(lanes, 4);
+            let long = s.max_backlog(lanes, 16);
+            assert_eq!(short, long, "backlog must not grow: {mp}x{np}/{k}");
+            if lanes > 1 {
+                let deficit_short = s.max_backlog(lanes - 1, 4);
+                let deficit_long = s.max_backlog(lanes - 1, 16);
+                assert!(
+                    deficit_long > deficit_short,
+                    "an undersized core must fall behind: {mp}x{np}/{k}"
+                );
+            }
+        }
+    }
+
+    /// Table VII's configuration: a 32×32 array at K = 32 needs 32 lanes.
+    #[test]
+    fn table7_sizing() {
+        let s = SimdCoreSizing::new(32, 32, 32);
+        assert_eq!(s.required_lanes(), 32);
+        // Deep reductions shrink the core: K = 512 → 2 lanes.
+        assert_eq!(SimdCoreSizing::new(32, 32, 512).required_lanes(), 2);
+    }
+
+    /// The SIMD core is a rounding error next to the PE array — the reason
+    /// relocating the adds wins.
+    #[test]
+    fn core_is_small_relative_to_array() {
+        let s = SimdCoreSizing::new(32, 32, 32);
+        let pe_array = 1024.0
+            * crate::arch::PeStyle::Opt1
+                .design()
+                .synthesize(1.5)
+                .unwrap()
+                .area_um2;
+        assert!(s.area_um2() < 0.05 * pe_array, "{} vs {}", s.area_um2(), pe_array);
+    }
+}

@@ -1,0 +1,350 @@
+//! Workload-level evaluation: per-layer delay / utilization / energy for
+//! the Figure 11–13 comparisons (OPT4E vs an equal-area parallel-MAC TPE).
+//!
+//! ## Layer mapping model
+//!
+//! The serial array maps the *multiplicand* operand — weights for linear /
+//! conv layers, the cached K/V matrices for attention — across its MP
+//! columns: each sync round assigns one multiplicand row (or a batch of
+//! small-K rows, so a round always covers ≥ [`KT_MIN_OPERANDS`] operands)
+//! to every column. A column's round time is the total number of non-zero
+//! EN-T digits in its rows; the `sync` barrier waits for the slowest
+//! column (Eq. 7), and §VI's broadcast argument makes all lanes within a
+//! column finish together. Utilization is therefore governed by the
+//! digit-count variance across rows — high for K = 9 depthwise layers,
+//! negligible for K ≥ 768 transformer layers — reproducing Figure 11's
+//! texture.
+//!
+//! This is a statistical layer model; the bit-exact engine for full GEMMs
+//! is [`tpe_sim::BitsliceArray`], validated separately.
+
+use super::designs::PeStyle;
+use super::{ArchKind, ArchModel};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tpe_arith::encode::Encoder;
+use tpe_sim::array::{DenseArray, SystolicArray};
+use tpe_workloads::LayerShape;
+
+/// Minimum operands per synchronization round: small-K rows (depthwise
+/// kernels) are batched until a round covers at least this many operands,
+/// matching the paper's `Tsync ≤ KT × KP` granularity.
+pub const KT_MIN_OPERANDS: usize = 32;
+
+/// Cap on sampled sync rounds per layer (rounds are i.i.d., so sampling is
+/// unbiased; totals are rescaled).
+const MAX_SAMPLED_ROUNDS: usize = 128;
+
+/// Budget of sampled operands per layer — bounds evaluation cost on very
+/// large layers (sampling rounds i.i.d. keeps estimates unbiased).
+const MAX_SAMPLED_OPERANDS: usize = 1_500_000;
+
+/// Per-operand digit-count distribution of EN-T-encoded, max-abs-quantized
+/// N(0, 1) INT8 data: `P(NumPPs = j)` as a cumulative table, computed by
+/// weighting the exhaustive INT8 histogram with the quantized-normal pmf.
+fn digit_count_cdf(encoder: &dyn Encoder) -> [f64; 6] {
+    let sigma_int = 30.0f64; // 127 / (max|z| ≈ 4.2σ) for 10⁶-sample tensors
+    let mut probs = [0f64; 6];
+    let mut total = 0f64;
+    for v in -127i64..=127 {
+        let w = (-0.5 * (v as f64 / sigma_int).powi(2)).exp();
+        let n = encoder.num_pps(v, 8).min(5);
+        probs[n] += w;
+        total += w;
+    }
+    let mut cdf = [0f64; 6];
+    let mut acc = 0.0;
+    for (i, p) in probs.iter().enumerate() {
+        acc += p / total;
+        cdf[i] = acc;
+    }
+    cdf[5] = 1.0;
+    cdf
+}
+
+/// Result of running one layer on one architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerResult {
+    /// Layer label.
+    pub name: String,
+    /// Wall-clock delay in microseconds.
+    pub delay_us: f64,
+    /// Average column-PE utilization (busy fraction).
+    pub utilization: f64,
+    /// Busy fraction of the fastest column.
+    pub busy_min: f64,
+    /// Busy fraction of the slowest column.
+    pub busy_max: f64,
+    /// Energy in microjoules.
+    pub energy_uj: f64,
+}
+
+/// Runs a layer on a serial (bit-slice) architecture with synthetic
+/// normally-distributed INT8 multiplicands.
+///
+/// # Panics
+///
+/// Panics if the architecture is not serial or cannot close timing.
+pub fn serial_layer(arch: &ArchModel, layer: &LayerShape, seed: u64) -> LayerResult {
+    assert!(matches!(arch.kind, ArchKind::Serial), "serial architectures only");
+    let cfg = arch.bitslice_config();
+    let pe = arch.pe_design().synthesize(arch.freq_ghz).expect("timing");
+    let encoder = cfg.encoding.encoder();
+
+    // Multiplicand matrix: the operand that gets encoded. Weights for
+    // conv/linear layers (rows = output features), cached K/V rows for
+    // attention. Heuristic: the larger non-reduction dim indexes it.
+    let rows_total = layer.m.max(layer.n) * layer.repeats;
+    let streamed = layer.m.min(layer.n);
+    let passes = streamed.div_ceil(cfg.n_per_pass()).max(1) as f64;
+
+    // Rows per column per sync round (batch tiny-K rows).
+    let rows_per_round = KT_MIN_OPERANDS.div_ceil(layer.k).max(1);
+    let rounds = rows_total.div_ceil(cfg.mp * rows_per_round).max(1);
+    let ops_per_round = rows_per_round * layer.k;
+    let budget_rounds = (MAX_SAMPLED_OPERANDS / (cfg.mp * ops_per_round)).max(1);
+    let sampled = rounds.min(MAX_SAMPLED_ROUNDS).min(budget_rounds);
+    let scale = rounds as f64 / sampled as f64;
+
+    // Sample per-column digit sums round by round from the categorical
+    // digit-count distribution of quantized-normal operands.
+    let cdf = digit_count_cdf(encoder.as_ref());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut busy = vec![0f64; cfg.mp];
+    let mut cycles = 0f64;
+    for _ in 0..sampled {
+        let mut round_max = 0f64;
+        for b in busy.iter_mut() {
+            let mut t = 0u64;
+            for _ in 0..ops_per_round {
+                let u: f64 = rng.random();
+                let mut n = 0u64;
+                while cdf[n as usize] < u {
+                    n += 1;
+                }
+                t += n;
+            }
+            *b += t as f64;
+            round_max = round_max.max(t as f64);
+        }
+        cycles += round_max;
+    }
+    cycles *= scale * passes;
+    for b in busy.iter_mut() {
+        *b *= scale * passes;
+    }
+
+    let delay_us = cycles / (arch.freq_ghz * 1e3);
+    let busy_total: f64 = busy.iter().sum();
+    let utilization = busy_total / (cycles * cfg.mp as f64);
+
+    // Energy: busy columns switch their NP PE instances; idle (waiting)
+    // columns are clock-gated (§VI: early finishers "enter an idle state,
+    // saving power").
+    let pes_per_column = cfg.np as f64;
+    let e_busy_fj = pe.power_uw(1.0, 1.0) / arch.freq_ghz; // per PE instance-cycle
+    let e_idle_fj = pe.power_uw(0.0, 0.1) / arch.freq_ghz;
+    let idle_total = cycles * cfg.mp as f64 - busy_total;
+    let energy_uj = (busy_total * e_busy_fj + idle_total * e_idle_fj) * pes_per_column * 1e-9;
+
+    let busy_max = busy.iter().cloned().fold(0.0, f64::max);
+    let busy_min = busy.iter().cloned().fold(f64::INFINITY, f64::min);
+    LayerResult {
+        name: layer.name.clone(),
+        delay_us,
+        utilization,
+        busy_min: busy_min / cycles,
+        busy_max: busy_max / cycles,
+        energy_uj,
+    }
+}
+
+/// Runs a layer on a dense parallel-MAC systolic array (the Figure 11
+/// baseline), with `lane_scale` extra lanes for area equalization
+/// (`lane_scale = 1.0` means the plain 32×32 array).
+pub fn dense_layer(layer: &LayerShape, freq_ghz: f64, lane_scale: f64) -> LayerResult {
+    let arr = SystolicArray::new(32, 32);
+    // Weight-load stalls are included (the paper's Fig. 11 MAC-baseline
+    // delay magnitudes imply a load-stalled systolic sweep; decode GEMVs
+    // re-stream every weight tile per token, so loads cannot amortize).
+    // `SystolicArray::estimate_cycles_pipelined` models the double-buffered
+    // alternative for sensitivity studies.
+    let cycles = arr.estimate_cycles(layer.m, layer.n, layer.k) as f64 * layer.repeats as f64
+        / lane_scale.max(1e-9);
+    let delay_us = cycles / (freq_ghz * 1e3);
+    let pe = PeStyle::TraditionalMac
+        .design()
+        .synthesize(freq_ghz)
+        .expect("MAC timing");
+    let e_cycle_fj = pe.power_uw(1.0, 1.0) / freq_ghz;
+    // Dense arrays clock every PE every cycle, useful or not.
+    let energy_uj = cycles * 1024.0 * lane_scale * e_cycle_fj * 1e-9;
+    let useful = layer.macs() as f64;
+    let utilization = (useful / (cycles * 1024.0 * lane_scale)).min(1.0);
+    LayerResult {
+        name: layer.name.clone(),
+        delay_us,
+        utilization,
+        busy_min: utilization,
+        busy_max: utilization,
+        energy_uj,
+    }
+}
+
+/// Area-equalization factor: how many MAC-array lanes fit in the target
+/// architecture's silicon (Figure 11/12 compare "a systolic array and the
+/// OPT4E architecture of the same area").
+pub fn equal_area_lane_scale(target: &ArchModel) -> f64 {
+    let target_row = super::ArrayModel::new(target.clone()).table7_row();
+    let mac = ArchModel::table7_baselines().remove(0);
+    let mac_row = super::ArrayModel::new(mac).table7_row();
+    target_row.area_um2 / mac_row.area_um2
+}
+
+/// Average serial cycles per MAC when the encoded operand stream contains
+/// a `zero_frac` fraction of exact zeros (ReLU activations) — the §VI
+/// operand-selection lever: "prioritizing operands with high sparsity
+/// enhances acceleration". Zero operands are skipped entirely by the
+/// prefetcher (0 cycles).
+pub fn cycles_per_mac_with_zeros(arch: &ArchModel, zero_frac: f64, seed: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&zero_frac));
+    let cfg = arch.bitslice_config();
+    let encoder = cfg.encoding.encoder();
+    let cdf = digit_count_cdf(encoder.as_ref());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = 200_000usize;
+    let mut total = 0u64;
+    for _ in 0..samples {
+        if rng.random::<f64>() < zero_frac {
+            continue; // prefetcher skips the all-zero operand
+        }
+        let u: f64 = rng.random();
+        let mut n = 0u64;
+        while cdf[n as usize] < u {
+            n += 1;
+        }
+        total += n;
+    }
+    total as f64 / samples as f64
+}
+
+/// Network-level summary for Figures 12–13.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkResult {
+    /// Network name.
+    pub name: String,
+    /// Speedup of the serial architecture over the equal-area MAC array.
+    pub speedup: f64,
+    /// Energy ratio (serial / MAC) — below 1.0 means savings.
+    pub energy_ratio: f64,
+    /// Average serial-array utilization across layers (weighted by delay).
+    pub utilization: f64,
+}
+
+/// Evaluates a whole network on `arch` vs the equal-area dense baseline.
+pub fn evaluate_network(
+    arch: &ArchModel,
+    net: &tpe_workloads::NetworkModel,
+    seed: u64,
+) -> NetworkResult {
+    let scale = equal_area_lane_scale(arch);
+    let mut serial_delay = 0.0;
+    let mut serial_energy = 0.0;
+    let mut dense_delay = 0.0;
+    let mut dense_energy = 0.0;
+    let mut util_weighted = 0.0;
+    for (i, layer) in net.layers.iter().enumerate() {
+        let s = serial_layer(arch, layer, seed + i as u64);
+        let d = dense_layer(layer, 1.0, scale);
+        util_weighted += s.utilization * s.delay_us;
+        serial_delay += s.delay_us;
+        serial_energy += s.energy_uj;
+        dense_delay += d.delay_us;
+        dense_energy += d.energy_uj;
+    }
+    NetworkResult {
+        name: net.name.clone(),
+        speedup: dense_delay / serial_delay,
+        energy_ratio: serial_energy / dense_energy,
+        utilization: util_weighted / serial_delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpe_workloads::models;
+
+    fn opt4e() -> ArchModel {
+        ArchModel::table7_ours()
+            .into_iter()
+            .find(|a| a.name == "OPT4E")
+            .unwrap()
+    }
+
+    /// GPT-2 linear sublayers (K ∈ {768, 3072}) keep OPT4E columns >95%
+    /// busy — Figure 11(A) reports 96.0–98.2%. Attention sublayers with
+    /// K = 64 sit lower.
+    #[test]
+    fn gpt2_sublayer_utilization_high() {
+        let arch = opt4e();
+        for layer in models::gpt2_decode_sublayers("L0", 1024) {
+            let r = serial_layer(&arch, &layer, 42);
+            let floor = if layer.k >= 512 { 0.95 } else { 0.85 };
+            assert!(
+                r.utilization > floor,
+                "{}: utilization {:.3} (K={})",
+                r.name,
+                r.utilization,
+                layer.k
+            );
+            assert!(r.busy_max * 1.0001 >= r.utilization && r.utilization >= r.busy_min * 0.9999);
+        }
+    }
+
+    /// MobileNetV3: DW layers (K = 9/25) utilize worse than wide PW layers
+    /// — the Figure 11(B) dip (92.3–94.7% vs 97.3–98.4%).
+    #[test]
+    fn mobilenet_dw_dips_below_pw() {
+        let arch = opt4e();
+        let net = models::mobilenet_v3();
+        let dw = net.layers.iter().find(|l| l.name == "b13-dw5x5").unwrap();
+        let pw = net.layers.iter().find(|l| l.name == "b13-pw-proj").unwrap();
+        let rd = serial_layer(&arch, dw, 7);
+        let rp = serial_layer(&arch, pw, 7);
+        assert!(
+            rd.utilization < rp.utilization,
+            "DW {:.3} should dip below PW {:.3}",
+            rd.utilization,
+            rp.utilization
+        );
+        assert!((0.85..0.97).contains(&rd.utilization), "DW util {:.3}", rd.utilization);
+        assert!(rp.utilization > 0.95, "PW util {:.3}", rp.utilization);
+    }
+
+    /// The equal-area OPT4E beats the MAC array on a GPT-2 layer — the
+    /// Figure 13 speedup family (paper: ×2.16 for GPT-2 overall).
+    #[test]
+    fn opt4e_beats_equal_area_mac_on_gpt2_layer() {
+        let arch = opt4e();
+        let scale = equal_area_lane_scale(&arch);
+        let layer = &models::gpt2_decode_sublayers("L0", 1024)[4]; // fc1
+        let s = serial_layer(&arch, layer, 3);
+        let d = dense_layer(layer, 1.0, scale);
+        assert!(
+            d.delay_us / s.delay_us > 1.2,
+            "speedup {:.2} too small",
+            d.delay_us / s.delay_us
+        );
+    }
+
+    /// Network evaluation produces sane aggregates.
+    #[test]
+    fn resnet18_network_eval() {
+        let arch = opt4e();
+        let r = evaluate_network(&arch, &models::resnet18(), 11);
+        assert!(r.speedup > 1.0, "speedup {}", r.speedup);
+        assert!(r.energy_ratio < 1.0, "energy ratio {}", r.energy_ratio);
+        assert!((0.5..=1.0).contains(&r.utilization));
+    }
+}

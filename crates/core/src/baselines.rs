@@ -1,0 +1,154 @@
+//! Published bit-slice baselines (Table VII's comparison set).
+//!
+//! The paper does not re-implement Laconic, Bitlet, Sibia or Bitwave; it
+//! extracts their PE-array area/power breakdowns from the original papers
+//! and normalizes non-28nm results to 28 nm via the TSMC scaling factors.
+//! We reproduce exactly that methodology: published numbers + process
+//! normalization + the behavioural throughput rule of each design.
+
+use tpe_cost::anchors::{ArrayAnchor, TABLE7_OTHERS};
+use tpe_cost::process::ProcessNode;
+
+/// How a baseline's PEs consume operand bits per cycle — determines its
+/// cycles-per-MAC on a given workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThroughputRule {
+    /// Parallel MAC: one MAC per lane per cycle regardless of data.
+    DensePerCycle,
+    /// Bit-serial over non-zero slices of one operand (effective cycles =
+    /// average NumPPs under the listed radix-2 representation).
+    SerialNonzeroSlices {
+        /// Average slices per operand on normal data.
+        avg_slices: f64,
+    },
+    /// Bit-serial over all slices with slice-group skipping (Sibia-like):
+    /// fixed slices per operand.
+    FixedSlices {
+        /// Slices per operand.
+        slices: f64,
+    },
+}
+
+/// One published baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Name as in Table VII.
+    pub name: &'static str,
+    /// The Table VII row (already 28nm-normalized by the paper).
+    pub anchor: ArrayAnchor,
+    /// The process the original paper reported in.
+    pub original_node: ProcessNode,
+    /// Behavioural throughput rule.
+    pub rule: ThroughputRule,
+}
+
+/// The four published bit-slice baselines plus the dense TPU reference.
+pub fn all() -> Vec<Baseline> {
+    let anchor = |name: &str| {
+        *TABLE7_OTHERS
+            .iter()
+            .find(|a| a.name == name)
+            .expect("anchor present")
+    };
+    vec![
+        Baseline {
+            name: "TPU",
+            anchor: anchor("TPU"),
+            original_node: ProcessNode::SMIC28,
+            rule: ThroughputRule::DensePerCycle,
+        },
+        Baseline {
+            name: "Laconic",
+            anchor: anchor("Laconic"),
+            original_node: ProcessNode::N65,
+            // Laconic serializes over non-zero *term pairs* of both
+            // operands' signed-digit forms.
+            rule: ThroughputRule::SerialNonzeroSlices { avg_slices: 2.0 },
+        },
+        Baseline {
+            name: "Bitlet",
+            anchor: anchor("Bitlet"),
+            original_node: ProcessNode::N28,
+            rule: ThroughputRule::SerialNonzeroSlices { avg_slices: 3.5 },
+        },
+        Baseline {
+            name: "Sibia",
+            anchor: anchor("Sibia"),
+            original_node: ProcessNode::N28,
+            rule: ThroughputRule::FixedSlices { slices: 2.0 },
+        },
+        Baseline {
+            name: "Bitwave",
+            anchor: anchor("Bitwave"),
+            original_node: ProcessNode::N16,
+            rule: ThroughputRule::SerialNonzeroSlices { avg_slices: 4.0 },
+        },
+    ]
+}
+
+/// Table VII's bit-slice comparison convention: efficiencies expressed
+/// relative to Laconic (the paper's chosen baseline, ×1.00).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelativeRow {
+    /// Design name.
+    pub name: String,
+    /// Energy efficiency in TOPS/W.
+    pub ee: f64,
+    /// EE relative to Laconic.
+    pub ee_vs_laconic: f64,
+    /// Area efficiency in TOPS/mm².
+    pub ae: f64,
+    /// AE relative to Laconic.
+    pub ae_vs_laconic: f64,
+}
+
+/// Computes the relative row for any (name, EE, AE) against Laconic.
+pub fn vs_laconic(name: impl Into<String>, ee: f64, ae: f64) -> RelativeRow {
+    let lac = all()
+        .into_iter()
+        .find(|b| b.name == "Laconic")
+        .expect("laconic");
+    let lac_ee = lac.anchor.peak_tops / lac.anchor.power_w;
+    let lac_ae = lac.anchor.peak_tops / (lac.anchor.area_um2 / 1e6);
+    RelativeRow {
+        name: name.into(),
+        ee,
+        ee_vs_laconic: ee / lac_ee,
+        ae,
+        ae_vs_laconic: ae / lac_ae,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's headline: OPT4E is ×12.10 energy efficiency and ×2.85
+    /// area efficiency versus Laconic. Check the arithmetic on the paper's
+    /// own Table VII numbers.
+    #[test]
+    fn opt4e_vs_laconic_paper_arithmetic() {
+        let r = vs_laconic("OPT4E", 8.11, 10.73);
+        assert!((r.ee_vs_laconic - 12.10).abs() < 0.15, "EE ratio {}", r.ee_vs_laconic);
+        assert!((r.ae_vs_laconic - 2.85).abs() < 0.05, "AE ratio {}", r.ae_vs_laconic);
+    }
+
+    /// Bitwave's published EE is ×22.04 Laconic's (Table VII). Note the
+    /// paper's own table rounds Bitwave's power to 0.01 W while its printed
+    /// EE of 14.77 TOPS/W implies 14.9 mW — we check against the printed
+    /// efficiency, as the paper's ratio column does.
+    #[test]
+    fn published_ordering_preserved() {
+        let r = vs_laconic("Bitwave", 14.77, 0.25);
+        assert!((r.ee_vs_laconic - 22.04).abs() < 0.1, "{}", r.ee_vs_laconic);
+    }
+
+    /// All baselines carry consistent anchors.
+    #[test]
+    fn anchors_present_and_positive() {
+        for b in all() {
+            assert!(b.anchor.area_um2 > 0.0 && b.anchor.power_w > 0.0);
+            assert!(b.anchor.peak_tops > 0.0, "{}", b.name);
+        }
+    }
+}

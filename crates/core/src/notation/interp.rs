@@ -1,0 +1,386 @@
+//! Interpreter: executes a [`LoopNest`] against real INT8 matrices.
+//!
+//! The interpreter gives the notation *operational semantics*: each
+//! primitive does exactly what its hardware does (digits through the
+//! encoder, candidate selection, shifting, carry-save accumulation through
+//! [`tpe_arith::csa::CsAccumulator`], one full add per `add`). Running a
+//! nest therefore proves, not just argues, that a transformation preserves
+//! the GEMM result — the validation harness behind every rewrite in
+//! [`super::transform`].
+//!
+//! Alongside the output matrix the interpreter counts how many times each
+//! primitive executed, which quantifies the component-usage claims (e.g.
+//! OPT2 performs K× fewer `shift`s; OPT1 performs one `add` per output
+//! instead of one per cycle).
+
+use super::{Dim, LoopNest, Op, Stmt};
+use std::collections::HashMap;
+use tpe_arith::csa::CsAccumulator;
+use tpe_arith::encode::{Encoder, SignedDigit};
+use tpe_workloads::Matrix;
+
+/// A value flowing between primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// An encoded digit (output of `encode` / the sparse iterator).
+    Digit(SignedDigit),
+    /// A plain word.
+    Word(i64),
+    /// A selected-but-unshifted partial product, carrying its bit weight.
+    Pp {
+        /// The selected candidate value (`coeff × B`).
+        value: i64,
+        /// The bit weight `shift` would apply.
+        weight: u8,
+    },
+}
+
+/// Execution statistics: how often each primitive ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// `encode` activations (including implicit encodes of the sparse
+    /// digit iterator — one per operand).
+    pub encodes: u64,
+    /// `map` selections.
+    pub maps: u64,
+    /// `shift` activations.
+    pub shifts: u64,
+    /// `half_reduce` compressor activations.
+    pub half_reduces: u64,
+    /// Carry-propagating `add` resolutions.
+    pub adds: u64,
+    /// Scalar `accumulate` activations.
+    pub accumulates: u64,
+    /// `sync` barriers.
+    pub syncs: u64,
+}
+
+/// An interpretation error (malformed nest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ExecError {
+    /// An op referenced a register never written in scope.
+    UndefinedRegister(String),
+    /// A composite index ("m", "n", "k", "bw") had no contributing dims.
+    MissingIndex(&'static str),
+    /// An op received a value of the wrong kind.
+    TypeMismatch { op: &'static str, got: &'static str },
+    /// Matrix access out of bounds: the nest's dims don't cover the data.
+    OutOfBounds { index: &'static str, value: usize, bound: usize },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UndefinedRegister(r) => write!(f, "undefined register `{r}`"),
+            ExecError::MissingIndex(i) => write!(f, "no dims compose index `{i}`"),
+            ExecError::TypeMismatch { op, got } => {
+                write!(f, "`{op}` received incompatible value kind {got}")
+            }
+            ExecError::OutOfBounds { index, value, bound } => {
+                write!(f, "index {index}={value} out of bounds {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+struct Interp<'a> {
+    a: &'a Matrix<i8>,
+    b: &'a Matrix<i8>,
+    c: Matrix<i32>,
+    encoder: Box<dyn Encoder>,
+    radix_weight: u8,
+    // Active loop indices, outer→inner: (dim, current index).
+    scope: Vec<(Dim, usize)>,
+    regs: HashMap<String, Value>,
+    pairs: HashMap<(String, Vec<usize>), CsAccumulator>,
+    scalars: HashMap<(String, Vec<usize>), i64>,
+    stats: ExecStats,
+}
+
+impl<'a> Interp<'a> {
+    /// Composes a GEMM index from all scope dims belonging to its family.
+    /// Families: m ← {"m","mt","mp"}, n ← {"n","nt","np"},
+    /// k ← {"k","kt","kp","k1","k2"}, bw ← {"bw","bwt","bwp"}.
+    fn composite(&self, family: &'static str) -> Result<usize, ExecError> {
+        let members: &[&str] = match family {
+            "m" => &["m", "mt", "mp"],
+            "n" => &["n", "nt", "np"],
+            "k" => &["k", "kt", "kp", "k1", "k2"],
+            "bw" => &["bw", "bwt", "bwp"],
+            _ => unreachable!(),
+        };
+        let mut found = false;
+        let mut v = 0usize;
+        for (dim, idx) in &self.scope {
+            if members.contains(&dim.name.as_str()) {
+                v = v * dim.size + idx;
+                found = true;
+            }
+        }
+        if found {
+            Ok(v)
+        } else {
+            Err(ExecError::MissingIndex(match family {
+                "m" => "m",
+                "n" => "n",
+                "k" => "k",
+                _ => "bw",
+            }))
+        }
+    }
+
+    fn key_values(&self, key: &[String]) -> Result<Vec<usize>, ExecError> {
+        key.iter()
+            .map(|name| match name.as_str() {
+                "m" | "n" | "k" | "bw" => self.composite(match name.as_str() {
+                    "m" => "m",
+                    "n" => "n",
+                    "k" => "k",
+                    _ => "bw",
+                }),
+                other => self
+                    .scope
+                    .iter()
+                    .rev()
+                    .find(|(d, _)| d.name == other)
+                    .map(|(_, i)| *i)
+                    .ok_or(ExecError::MissingIndex("key")),
+            })
+            .collect()
+    }
+
+    fn reg(&self, name: &str) -> Result<Value, ExecError> {
+        self.regs
+            .get(name)
+            .copied()
+            .ok_or_else(|| ExecError::UndefinedRegister(name.to_string()))
+    }
+
+    fn a_at(&self) -> Result<i8, ExecError> {
+        let m = self.composite("m")?;
+        let k = self.composite("k")?;
+        if m >= self.a.rows() {
+            return Err(ExecError::OutOfBounds { index: "m", value: m, bound: self.a.rows() });
+        }
+        if k >= self.a.cols() {
+            return Err(ExecError::OutOfBounds { index: "k", value: k, bound: self.a.cols() });
+        }
+        Ok(self.a[(m, k)])
+    }
+
+    fn b_at(&self) -> Result<i8, ExecError> {
+        let k = self.composite("k")?;
+        let n = self.composite("n")?;
+        if k >= self.b.rows() {
+            return Err(ExecError::OutOfBounds { index: "k", value: k, bound: self.b.rows() });
+        }
+        if n >= self.b.cols() {
+            return Err(ExecError::OutOfBounds { index: "n", value: n, bound: self.b.cols() });
+        }
+        Ok(self.b[(k, n)])
+    }
+
+    fn run(&mut self, stmts: &[Stmt]) -> Result<(), ExecError> {
+        for s in stmts {
+            match s {
+                Stmt::For { dim, body } => {
+                    for i in 0..dim.size {
+                        self.scope.push((dim.clone(), i));
+                        self.run(body)?;
+                        self.scope.pop();
+                    }
+                }
+                Stmt::ForSparseDigits { digit_reg, body } => {
+                    let a = self.a_at()?;
+                    self.stats.encodes += 1; // one encode per operand
+                    let digits = self.encoder.encode_nonzero(i64::from(a), 8);
+                    for d in digits {
+                        self.regs.insert(digit_reg.clone(), Value::Digit(d));
+                        self.run(body)?;
+                    }
+                }
+                Stmt::Op(op) => self.exec_op(op)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_op(&mut self, op: &Op) -> Result<(), ExecError> {
+        match op {
+            Op::Encode { dst } => {
+                let a = self.a_at()?;
+                let bw = self.composite("bw")?;
+                let digits = self.encoder.encode(i64::from(a), 8);
+                let d = digits.get(bw).copied().unwrap_or(SignedDigit::new(0, 0));
+                self.regs.insert(dst.clone(), Value::Digit(d));
+                self.stats.encodes += 1;
+            }
+            Op::Map { dst, enc } => {
+                let d = match self.reg(enc)? {
+                    Value::Digit(d) => d,
+                    Value::Word(_) => {
+                        return Err(ExecError::TypeMismatch { op: "map", got: "word" })
+                    }
+                    Value::Pp { .. } => {
+                        return Err(ExecError::TypeMismatch { op: "map", got: "pp" })
+                    }
+                };
+                let b = self.b_at()?;
+                self.regs.insert(
+                    dst.clone(),
+                    Value::Pp {
+                        value: i64::from(d.coeff) * i64::from(b),
+                        weight: d.weight,
+                    },
+                );
+                self.stats.maps += 1;
+            }
+            Op::Shift { dst, src } => {
+                let v = match self.reg(src)? {
+                    Value::Pp { value, weight } => value << weight,
+                    Value::Word(w) => {
+                        let bw = self.composite("bw")?;
+                        w << (u32::from(self.radix_weight) * bw as u32)
+                    }
+                    Value::Digit(_) => {
+                        return Err(ExecError::TypeMismatch { op: "shift", got: "digit" })
+                    }
+                };
+                self.regs.insert(dst.clone(), Value::Word(v));
+                self.stats.shifts += 1;
+            }
+            Op::HalfReduce { acc, src, key } => {
+                let v = match self.reg(src)? {
+                    Value::Word(w) => w,
+                    // Unshifted reduction under the same bit weight (OPT2).
+                    Value::Pp { value, .. } => value,
+                    Value::Digit(_) => {
+                        return Err(ExecError::TypeMismatch { op: "half_reduce", got: "digit" })
+                    }
+                };
+                let k = (acc.clone(), self.key_values(key)?);
+                self.pairs
+                    .entry(k)
+                    .or_insert_with(|| CsAccumulator::new(64))
+                    .accumulate_value(v);
+                self.stats.half_reduces += 1;
+            }
+            Op::AddResolve { dst, acc, key } => {
+                let k = (acc.clone(), self.key_values(key)?);
+                let v = self.pairs.remove(&k).map_or(0, |p| p.resolve());
+                self.regs.insert(dst.clone(), Value::Word(v));
+                self.stats.adds += 1;
+            }
+            Op::Accumulate { acc, src, key } => {
+                let v = match self.reg(src)? {
+                    Value::Word(w) => w,
+                    _ => return Err(ExecError::TypeMismatch { op: "accumulate", got: "non-word" }),
+                };
+                let k = (acc.clone(), self.key_values(key)?);
+                *self.scalars.entry(k).or_insert(0) += v;
+                self.stats.accumulates += 1;
+            }
+            Op::ReadAcc { dst, acc, key } => {
+                let k = (acc.clone(), self.key_values(key)?);
+                let v = self.scalars.remove(&k).unwrap_or(0);
+                self.regs.insert(dst.clone(), Value::Word(v));
+            }
+            Op::StoreC { src } => {
+                let v = match self.reg(src)? {
+                    Value::Word(w) => w,
+                    _ => return Err(ExecError::TypeMismatch { op: "store", got: "non-word" }),
+                };
+                let m = self.composite("m")?;
+                let n = self.composite("n")?;
+                if m < self.c.rows() && n < self.c.cols() {
+                    self.c[(m, n)] += v as i32;
+                }
+            }
+            Op::Sync => {
+                self.stats.syncs += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Executes a nest on `a × b`, returning the computed matrix and primitive
+/// activation counts.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] if the nest is structurally malformed (dangling
+/// registers, missing dims, out-of-bounds access).
+pub fn execute(
+    nest: &LoopNest,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+) -> Result<(Matrix<i32>, ExecStats), ExecError> {
+    let radix_weight = if nest.encoding.encoder().radix() == 4 { 2 } else { 1 };
+    let mut interp = Interp {
+        a,
+        b,
+        c: Matrix::zeros(a.rows(), b.cols()),
+        encoder: nest.encoding.encoder(),
+        radix_weight,
+        scope: Vec::new(),
+        regs: HashMap::new(),
+        pairs: HashMap::new(),
+        scalars: HashMap::new(),
+        stats: ExecStats::default(),
+    };
+    interp.run(&nest.body)?;
+    Ok((interp.c, interp.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::nests;
+    use tpe_arith::encode::EncodingKind;
+    use tpe_workloads::distributions::uniform_int8_matrix;
+    use tpe_workloads::matrix::matmul_i8;
+
+    #[test]
+    fn traditional_nest_computes_gemm() {
+        let nest = nests::traditional_mac(4, 4, 8, EncodingKind::Mbe);
+        let a = uniform_int8_matrix(4, 8, 1);
+        let b = uniform_int8_matrix(8, 4, 2);
+        let (c, stats) = execute(&nest, &a, &b).unwrap();
+        assert_eq!(c, matmul_i8(&a, &b));
+        // One add per k per output: 4×4×8.
+        assert_eq!(stats.adds, 128);
+        assert_eq!(stats.encodes, 4 * 4 * 8 * 4);
+    }
+
+    #[test]
+    fn undefined_register_reported() {
+        use crate::notation::{Dim, LoopNest, Op, Stmt};
+        let nest = LoopNest {
+            name: "broken".into(),
+            encoding: EncodingKind::Mbe,
+            body: vec![Stmt::For {
+                dim: Dim::temporal("m", 1),
+                body: vec![Stmt::Op(Op::StoreC { src: "nowhere".into() })],
+            }],
+        };
+        let a = uniform_int8_matrix(1, 1, 3);
+        let b = uniform_int8_matrix(1, 1, 4);
+        let err = execute(&nest, &a, &b).unwrap_err();
+        assert!(matches!(err, ExecError::UndefinedRegister(_)));
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let nest = nests::traditional_mac(8, 4, 8, EncodingKind::Mbe);
+        let a = uniform_int8_matrix(4, 8, 5); // nest expects M = 8
+        let b = uniform_int8_matrix(8, 4, 6);
+        assert!(matches!(
+            execute(&nest, &a, &b),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,356 @@
+//! Static legality checking for loop nests (§III-B).
+//!
+//! The checker walks a nest tracking loop scope and register definitions
+//! with their *value kinds* (digit / partial product / word), enforcing the
+//! paper's component-position rules:
+//!
+//! * `encode` needs `m`, `k` and `bw` in scope (it reads a digit of
+//!   `A[m][k]`) — and never `n`: encoding is N-invariant (Eq. 6).
+//! * `map` needs `k`, `n` and a digit-valued selector; it is the
+//!   non-commutative ♢ and must consume an encoder output.
+//! * `shift` of a word requires `bw` in scope (the shift amount is the bit
+//!   weight); shifting a partial product carries its own weight.
+//! * `half_reduce` / `accumulate` keys must be resolvable in scope.
+//! * `store` needs `m` and `n`.
+//!
+//! A nest that passes [`check`] and executes without [`super::interp`]
+//! errors is a well-formed microarchitecture description.
+
+use super::{LoopNest, Op, Stmt};
+use std::collections::HashMap;
+
+/// The statically tracked kind of a register value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// Encoder digit.
+    Digit,
+    /// Selected, unshifted partial product (knows its weight).
+    Pp,
+    /// Plain word.
+    Word,
+}
+
+/// A legality violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegalityError {
+    /// An op needed a dimension family that no enclosing loop provides.
+    MissingDim {
+        /// Offending primitive.
+        op: &'static str,
+        /// Required dimension family.
+        dim: &'static str,
+    },
+    /// A register was read before any write.
+    UndefinedRegister(String),
+    /// A register had the wrong kind for the consuming op.
+    KindMismatch {
+        /// Offending primitive.
+        op: &'static str,
+        /// What it needed.
+        want: ValueKind,
+        /// What it got.
+        got: ValueKind,
+    },
+    /// An accumulator key referenced an unresolvable name.
+    UnresolvableKey(String),
+}
+
+impl std::fmt::Display for LegalityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LegalityError::MissingDim { op, dim } => write!(f, "`{op}` requires dim `{dim}`"),
+            LegalityError::UndefinedRegister(r) => write!(f, "register `{r}` read before write"),
+            LegalityError::KindMismatch { op, want, got } => {
+                write!(f, "`{op}` wants {want:?}, got {got:?}")
+            }
+            LegalityError::UnresolvableKey(k) => write!(f, "key `{k}` not in scope"),
+        }
+    }
+}
+
+struct Checker {
+    scope: Vec<String>,
+    regs: HashMap<String, ValueKind>,
+    errors: Vec<LegalityError>,
+}
+
+impl Checker {
+    fn has_family(&self, family: &'static str) -> bool {
+        let members: &[&str] = match family {
+            "m" => &["m", "mt", "mp"],
+            "n" => &["n", "nt", "np"],
+            "k" => &["k", "kt", "kp", "k1", "k2"],
+            "bw" => &["bw", "bwt", "bwp"],
+            _ => unreachable!(),
+        };
+        self.scope.iter().any(|d| members.contains(&d.as_str()))
+    }
+
+    fn need(&mut self, op: &'static str, family: &'static str) {
+        if !self.has_family(family) {
+            self.errors.push(LegalityError::MissingDim { op, dim: family });
+        }
+    }
+
+    fn read(&mut self, op: &'static str, reg: &str, want: Option<ValueKind>) -> Option<ValueKind> {
+        match self.regs.get(reg) {
+            None => {
+                self.errors.push(LegalityError::UndefinedRegister(reg.to_string()));
+                None
+            }
+            Some(&kind) => {
+                if let Some(w) = want {
+                    if w != kind {
+                        self.errors.push(LegalityError::KindMismatch { op, want: w, got: kind });
+                    }
+                }
+                Some(kind)
+            }
+        }
+    }
+
+    fn check_key(&mut self, key: &[String]) {
+        for name in key {
+            let ok = match name.as_str() {
+                "m" | "n" | "k" | "bw" => self.has_family(match name.as_str() {
+                    "m" => "m",
+                    "n" => "n",
+                    "k" => "k",
+                    _ => "bw",
+                }),
+                other => self.scope.iter().any(|d| d == other),
+            };
+            if !ok {
+                self.errors.push(LegalityError::UnresolvableKey(name.clone()));
+            }
+        }
+    }
+
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::For { dim, body } => {
+                    self.scope.push(dim.name.clone());
+                    self.walk(body);
+                    self.scope.pop();
+                }
+                Stmt::ForSparseDigits { digit_reg, body } => {
+                    // The sparse iterator performs the encode: needs m, k.
+                    self.need("for_sparse_digits", "m");
+                    self.need("for_sparse_digits", "k");
+                    self.regs.insert(digit_reg.clone(), ValueKind::Digit);
+                    self.walk(body);
+                }
+                Stmt::Op(op) => self.check_op(op),
+            }
+        }
+    }
+
+    fn check_op(&mut self, op: &Op) {
+        match op {
+            Op::Encode { dst } => {
+                self.need("encode", "m");
+                self.need("encode", "k");
+                self.need("encode", "bw");
+                self.regs.insert(dst.clone(), ValueKind::Digit);
+            }
+            Op::Map { dst, enc } => {
+                self.need("map", "k");
+                self.need("map", "n");
+                self.read("map", enc, Some(ValueKind::Digit));
+                self.regs.insert(dst.clone(), ValueKind::Pp);
+            }
+            Op::Shift { dst, src } => {
+                if let Some(kind) = self.read("shift", src, None) {
+                    match kind {
+                        ValueKind::Pp => {}
+                        ValueKind::Word => self.need("shift", "bw"),
+                        ValueKind::Digit => self.errors.push(LegalityError::KindMismatch {
+                            op: "shift",
+                            want: ValueKind::Pp,
+                            got: ValueKind::Digit,
+                        }),
+                    }
+                }
+                self.regs.insert(dst.clone(), ValueKind::Word);
+            }
+            Op::HalfReduce { src, key, .. } => {
+                if let Some(kind) = self.read("half_reduce", src, None) {
+                    if kind == ValueKind::Digit {
+                        self.errors.push(LegalityError::KindMismatch {
+                            op: "half_reduce",
+                            want: ValueKind::Word,
+                            got: kind,
+                        });
+                    }
+                }
+                self.check_key(key);
+            }
+            Op::AddResolve { dst, key, .. } => {
+                self.check_key(key);
+                self.regs.insert(dst.clone(), ValueKind::Word);
+            }
+            Op::Accumulate { src, key, .. } => {
+                self.read("accumulate", src, Some(ValueKind::Word));
+                self.check_key(key);
+            }
+            Op::ReadAcc { dst, key, .. } => {
+                self.check_key(key);
+                self.regs.insert(dst.clone(), ValueKind::Word);
+            }
+            Op::StoreC { src } => {
+                self.read("store", src, Some(ValueKind::Word));
+                self.need("store", "m");
+                self.need("store", "n");
+            }
+            Op::Sync => {}
+        }
+    }
+}
+
+/// Checks a nest against the structural legality rules.
+///
+/// # Errors
+///
+/// Returns all violations found (empty-scope reads, kind mismatches,
+/// missing dimensions).
+pub fn check(nest: &LoopNest) -> Result<(), Vec<LegalityError>> {
+    let mut checker = Checker {
+        scope: Vec::new(),
+        regs: HashMap::new(),
+        errors: Vec::new(),
+    };
+    checker.walk(&nest.body);
+    if checker.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(checker.errors)
+    }
+}
+
+/// Whether the nest's encoder is shared across the **spatial** N dimension
+/// (the OPT4 property: no `encode` or sparse iterator under a parallel
+/// n-loop, so one encoder instance serves all NP PEs of a column).
+/// Temporal n-tiling does not duplicate hardware, so `nt` loops don't
+/// count.
+pub fn encoder_shared_over_n(nest: &LoopNest) -> bool {
+    fn walk(stmts: &[Stmt], under_np: bool) -> bool {
+        stmts.iter().all(|s| match s {
+            Stmt::For { dim, body } => walk(
+                body,
+                under_np
+                    || (dim.name.starts_with('n') && dim.kind == super::DimKind::Spatial),
+            ),
+            Stmt::ForSparseDigits { body, .. } => !under_np && walk(body, under_np),
+            Stmt::Op(Op::Encode { .. }) => !under_np,
+            Stmt::Op(_) => true,
+        })
+    }
+    walk(&nest.body, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::nests;
+    use tpe_arith::encode::EncodingKind;
+
+    /// Every nest in the derivation chain is statically legal.
+    #[test]
+    fn all_paper_nests_pass() {
+        for nest in [
+            nests::traditional_mac(4, 4, 8, EncodingKind::Mbe),
+            nests::opt1(4, 4, 8, EncodingKind::Mbe),
+            nests::opt2(4, 4, 8, EncodingKind::EnT),
+            nests::opt3(4, 4, 8, EncodingKind::EnT),
+            nests::opt4(4, 4, 8, EncodingKind::EnT),
+        ] {
+            check(&nest).unwrap_or_else(|e| panic!("{}: {e:?}", nest.name));
+        }
+    }
+
+    /// Only OPT4 achieves the shared-encoder property.
+    #[test]
+    fn encoder_sharing_distinguishes_opt4() {
+        assert!(!encoder_shared_over_n(&nests::traditional_mac(4, 4, 8, EncodingKind::EnT)));
+        assert!(!encoder_shared_over_n(&nests::opt3(4, 4, 8, EncodingKind::EnT)));
+        assert!(encoder_shared_over_n(&nests::opt4(4, 4, 8, EncodingKind::EnT)));
+    }
+
+    /// A map outside any n loop is flagged.
+    #[test]
+    fn map_without_n_is_illegal() {
+        use crate::notation::{Dim, LoopNest, Op, Stmt};
+        let nest = LoopNest {
+            name: "bad".into(),
+            encoding: EncodingKind::Mbe,
+            body: vec![Stmt::For {
+                dim: Dim::temporal("m", 1),
+                body: vec![Stmt::For {
+                    dim: Dim::temporal("k", 1),
+                    body: vec![Stmt::For {
+                        dim: Dim::spatial("bw", 4),
+                        body: vec![
+                            Stmt::Op(Op::Encode { dst: "e".into() }),
+                            Stmt::Op(Op::Map { dst: "p".into(), enc: "e".into() }),
+                        ],
+                    }],
+                }],
+            }],
+        };
+        let errs = check(&nest).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, LegalityError::MissingDim { op: "map", dim: "n" })));
+    }
+
+    /// Shifting a raw word without a bw dimension in scope is flagged.
+    #[test]
+    fn word_shift_needs_bw() {
+        use crate::notation::{Dim, LoopNest, Op, Stmt};
+        let nest = LoopNest {
+            name: "bad-shift".into(),
+            encoding: EncodingKind::Mbe,
+            body: vec![Stmt::For {
+                dim: Dim::temporal("m", 1),
+                body: vec![
+                    Stmt::Op(Op::AddResolve { dst: "w".into(), acc: "t".into(), key: vec![] }),
+                    Stmt::Op(Op::Shift { dst: "s".into(), src: "w".into() }),
+                ],
+            }],
+        };
+        let errs = check(&nest).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, LegalityError::MissingDim { op: "shift", dim: "bw" })));
+    }
+
+    /// Feeding a digit straight into the compressor is a kind mismatch.
+    #[test]
+    fn digit_into_half_reduce_is_flagged() {
+        use crate::notation::{Dim, LoopNest, Op, Stmt};
+        let nest = LoopNest {
+            name: "bad-kind".into(),
+            encoding: EncodingKind::Mbe,
+            body: vec![Stmt::For {
+                dim: Dim::temporal("m", 1),
+                body: vec![Stmt::For {
+                    dim: Dim::temporal("k", 1),
+                    body: vec![Stmt::For {
+                        dim: Dim::spatial("bw", 4),
+                        body: vec![
+                            Stmt::Op(Op::Encode { dst: "e".into() }),
+                            Stmt::Op(Op::HalfReduce {
+                                acc: "t".into(),
+                                src: "e".into(),
+                                key: vec!["m".into()],
+                            }),
+                        ],
+                    }],
+                }],
+            }],
+        };
+        let errs = check(&nest).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, LegalityError::KindMismatch { .. })));
+    }
+}

@@ -1,0 +1,216 @@
+//! The compute-centric loop-nest notation (§III of the paper).
+//!
+//! A [`LoopNest`] describes a TPE's microarchitecture as nested loops over
+//! *dimensions* — the GEMM triple (M, N, K), their spatial/temporal splits
+//! (MP/MT, NP/NT, KP/KT) and, uniquely, the **bit-weight dimension BW**
+//! uncovered by Eq. 1 — whose bodies are hardware *primitives* (Table IV):
+//!
+//! | primitive | hardware |
+//! |---|---|
+//! | `encode` | Booth/EN-T digit encoder |
+//! | `map` | CPPG + multiplexer (the ♢ selection of Eq. 6) |
+//! | `shift` | barrel shifter |
+//! | `half_reduce` | compressor tree (two outputs: sum & carry) |
+//! | `add` | carry-propagating full adder |
+//! | `accumulate` | register-feedback accumulator |
+//! | `sparse` | non-zero-index extractor (Table VI) |
+//! | `sync` | column barrier (Table VI) |
+//!
+//! Unlike Einsum-style design-space notations, the reduction logic is
+//! explicit — which is exactly what makes OPT1–OPT4's component-level
+//! rewrites expressible. The nest is *executable* ([`interp`]), so every
+//! rewrite in [`transform`] is validated against the reference GEMM.
+
+pub mod costing;
+pub mod interp;
+pub mod legality;
+pub mod nests;
+pub mod printer;
+pub mod transform;
+
+use std::fmt;
+use tpe_arith::encode::EncodingKind;
+
+/// Whether a dimension is unrolled in space (parallel hardware) or time
+/// (sequential iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimKind {
+    /// Mapped to parallel hardware instances (`parallel` in the paper's
+    /// pseudocode).
+    Spatial,
+    /// Iterated over clock cycles.
+    Temporal,
+}
+
+/// A loop dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Dim {
+    /// Dimension name: "m", "n", "k", "bw", "mp", "kt", ...
+    pub name: String,
+    /// Trip count.
+    pub size: usize,
+    /// Spatial or temporal unrolling.
+    pub kind: DimKind,
+}
+
+impl Dim {
+    /// Creates a spatial dimension.
+    pub fn spatial(name: impl Into<String>, size: usize) -> Self {
+        Self {
+            name: name.into(),
+            size,
+            kind: DimKind::Spatial,
+        }
+    }
+
+    /// Creates a temporal dimension.
+    pub fn temporal(name: impl Into<String>, size: usize) -> Self {
+        Self {
+            name: name.into(),
+            size,
+            kind: DimKind::Temporal,
+        }
+    }
+}
+
+/// An accumulator identifier (state that persists across loop iterations).
+pub type AccId = String;
+
+/// A register name (per-iteration value).
+pub type Reg = String;
+
+/// Primitive operations — the statement forms of the notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // operand fields are described in each variant's doc
+pub enum Op {
+    /// `dst = encode(A[m][k], bw)` — the digit of the multiplicand at the
+    /// current bit weight. Requires `m`, `k` and `bw` in scope.
+    Encode { dst: Reg },
+    /// `dst = map(B[k][n], enc)` — select the candidate partial product.
+    /// Requires `k`, `n` in scope. The selection ♢ is non-commutative.
+    Map { dst: Reg, enc: Reg },
+    /// `dst = shift(src, bw)` — place a value at its bit weight.
+    Shift { dst: Reg, src: Reg },
+    /// `half_reduce(acc[key...], src)` — compressor-tree accumulate into a
+    /// redundant (sum, carry) pair keyed by the listed dims.
+    HalfReduce { acc: AccId, src: Reg, key: Vec<String> },
+    /// `dst = add(acc[key...])` — the single carry-propagating add that
+    /// resolves a redundant pair.
+    AddResolve { dst: Reg, acc: AccId, key: Vec<String> },
+    /// `accumulate(acc[key...], src)` — scalar register-feedback
+    /// accumulation (the traditional MAC's step ❸).
+    Accumulate { acc: AccId, src: Reg, key: Vec<String> },
+    /// `dst = read(acc[key...])` — read a scalar accumulator.
+    ReadAcc { dst: Reg, acc: AccId, key: Vec<String> },
+    /// `C[m][n] += src` — commit a value to the output matrix.
+    StoreC { src: Reg },
+    /// `sync()` — barrier across the spatial columns (Table VI).
+    Sync,
+}
+
+/// A statement: a loop or a primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// A `for` loop over a dimension.
+    For {
+        /// The dimension being iterated.
+        dim: Dim,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A sparse loop over the **non-zero digits** of `encode(A[m][k])` —
+    /// OPT3's serialized BW iteration. Binds `digit_reg` to each non-zero
+    /// digit in turn; the digit carries its own weight, so `shift` inside
+    /// reads the weight from the digit.
+    ForSparseDigits {
+        /// Register bound to each non-zero digit.
+        digit_reg: Reg,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A primitive operation.
+    Op(Op),
+}
+
+/// A complete loop nest: the notation's description of one TPE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    /// Architecture name (used by the printer).
+    pub name: String,
+    /// Multiplicand encoding used by `encode`.
+    pub encoding: EncodingKind,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl LoopNest {
+    /// All dimensions bound by the nest, in nesting order (first occurrence).
+    pub fn dims(&self) -> Vec<Dim> {
+        fn walk(stmts: &[Stmt], out: &mut Vec<Dim>) {
+            for s in stmts {
+                match s {
+                    Stmt::For { dim, body } => {
+                        if !out.iter().any(|d| d.name == dim.name) {
+                            out.push(dim.clone());
+                        }
+                        walk(body, out);
+                    }
+                    Stmt::ForSparseDigits { body, .. } => walk(body, out),
+                    Stmt::Op(_) => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+
+    /// Count of primitive ops of each kind (for structural assertions).
+    pub fn op_count(&self, pred: impl Fn(&Op) -> bool) -> usize {
+        fn walk(stmts: &[Stmt], pred: &impl Fn(&Op) -> bool, n: &mut usize) {
+            for s in stmts {
+                match s {
+                    Stmt::For { body, .. } | Stmt::ForSparseDigits { body, .. } => {
+                        walk(body, pred, n)
+                    }
+                    Stmt::Op(op) => {
+                        if pred(op) {
+                            *n += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut n = 0;
+        walk(&self.body, &pred, &mut n);
+        n
+    }
+}
+
+impl fmt::Display for LoopNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&printer::render(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_collects_in_nesting_order() {
+        let nest = nests::traditional_mac(4, 4, 8, EncodingKind::Mbe);
+        let dims = nest.dims();
+        let names: Vec<&str> = dims.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names[0], "mt");
+        assert!(names.contains(&"bw"));
+        assert!(names.contains(&"k"));
+    }
+
+    #[test]
+    fn op_count_sees_nested_ops() {
+        let nest = nests::traditional_mac(4, 4, 8, EncodingKind::Mbe);
+        assert_eq!(nest.op_count(|o| matches!(o, Op::Encode { .. })), 1);
+        assert!(nest.op_count(|o| matches!(o, Op::Accumulate { .. })) >= 1);
+    }
+}

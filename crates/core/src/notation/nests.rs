@@ -1,0 +1,222 @@
+//! Constructors for the paper's loop nests (Figures 4–8).
+//!
+//! Only the **traditional MAC** nest is built by hand; every optimized nest
+//! is *derived* from it through the legality-checked rewrites in
+//! [`super::transform`], exactly mirroring the paper's derivation chain:
+//!
+//! ```text
+//! traditional ──OPT1──▶ compressor accumulation
+//!             ──OPT2──▶ BW temporal + hoisted shift
+//!             ──OPT3──▶ sparse digit serialization + sync
+//!             ──OPT4──▶ shared encoder outside the PE column
+//! ```
+//!
+//! Each constructor panics only if the library's own transforms are broken
+//! (they are validated by interpreter-equivalence tests).
+
+use super::transform;
+use super::{Dim, LoopNest, Op, Stmt};
+use tpe_arith::encode::EncodingKind;
+
+/// Picks the largest spatial factor of `total` among {4, 2, 1}.
+fn split(total: usize) -> (usize, usize) {
+    for p in [4usize, 2, 1] {
+        if total.is_multiple_of(p) {
+            return (total / p, p);
+        }
+    }
+    unreachable!()
+}
+
+/// Number of digit positions the encoder produces for INT8.
+pub fn bw_size(encoding: EncodingKind) -> usize {
+    encoding.encoder().encode(0, 8).len()
+}
+
+/// The traditional MAC-based TPE nest (Figure 4(E) / Figure 5(A)):
+/// BW is an implicit **spatial** dimension inside each PE; every `k`
+/// iteration ends with a carry-propagating `add` feeding a scalar
+/// `accumulate` — the QI bottleneck.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn traditional_mac(m: usize, n: usize, k: usize, encoding: EncodingKind) -> LoopNest {
+    assert!(m > 0 && n > 0 && k > 0);
+    let (mt, mp) = split(m);
+    let (nt, np) = split(n);
+    let bw = bw_size(encoding);
+
+    let bw_body = vec![
+        Stmt::Op(Op::Encode { dst: "enc".into() }),
+        Stmt::Op(Op::Map { dst: "pp".into(), enc: "enc".into() }),
+        Stmt::Op(Op::Shift { dst: "sp".into(), src: "pp".into() }),
+        Stmt::Op(Op::HalfReduce {
+            acc: "tree".into(),
+            src: "sp".into(),
+            key: vec!["m".into(), "n".into()],
+        }),
+    ];
+    let k_body = vec![
+        Stmt::For {
+            dim: Dim::spatial("bw", bw),
+            body: bw_body,
+        },
+        // The compiler "keeps the multiplier atomic": resolve and
+        // accumulate every cycle.
+        Stmt::Op(Op::AddResolve {
+            dst: "p".into(),
+            acc: "tree".into(),
+            key: vec!["m".into(), "n".into()],
+        }),
+        Stmt::Op(Op::Accumulate {
+            acc: "acc".into(),
+            src: "p".into(),
+            key: vec!["m".into(), "n".into()],
+        }),
+    ];
+    let pe_body = vec![
+        Stmt::For {
+            dim: Dim::temporal("k", k),
+            body: k_body,
+        },
+        Stmt::Op(Op::ReadAcc {
+            dst: "out".into(),
+            acc: "acc".into(),
+            key: vec!["m".into(), "n".into()],
+        }),
+        Stmt::Op(Op::StoreC { src: "out".into() }),
+    ];
+
+    LoopNest {
+        name: "Traditional MAC (TPU-like)".into(),
+        encoding,
+        body: vec![Stmt::For {
+            dim: Dim::temporal("mt", mt),
+            body: vec![Stmt::For {
+                dim: Dim::temporal("nt", nt),
+                body: vec![Stmt::For {
+                    dim: Dim::spatial("mp", mp),
+                    body: vec![Stmt::For {
+                        dim: Dim::spatial("np", np),
+                        body: pe_body,
+                    }],
+                }],
+            }],
+        }],
+    }
+}
+
+/// OPT1 (Figure 5(B)): compressor accumulation — derived from the
+/// traditional nest by [`transform::fuse_add_into_half_reduce`].
+pub fn opt1(m: usize, n: usize, k: usize, encoding: EncodingKind) -> LoopNest {
+    transform::fuse_add_into_half_reduce(&traditional_mac(m, n, k, encoding))
+        .expect("OPT1 rewrite must apply to the traditional nest")
+}
+
+/// OPT2 (Figure 6(A)): BW converted to a temporal outer loop of K with the
+/// `shift` hoisted to the SIMD core — derived from OPT1 by
+/// [`transform::temporalize_bw`].
+pub fn opt2(m: usize, n: usize, k: usize, encoding: EncodingKind) -> LoopNest {
+    transform::temporalize_bw(&opt1(m, n, k, encoding))
+        .expect("OPT2 rewrite must apply to the OPT1 nest")
+}
+
+/// OPT3 (Figure 7(A)): sparse serialization over non-zero encoded digits
+/// with column `sync` — derived from OPT2 by [`transform::sparsify_bw`].
+pub fn opt3(m: usize, n: usize, k: usize, encoding: EncodingKind) -> LoopNest {
+    transform::sparsify_bw(&opt2(m, n, k, encoding))
+        .expect("OPT3 rewrite must apply to the OPT2 nest")
+}
+
+/// OPT4 (Figure 8(A)): the encoder and sparse encoder hoisted outside the
+/// `np` dimension (shared per column, prefetching B) — derived from OPT3
+/// by [`transform::extract_shared_encoder`].
+pub fn opt4(m: usize, n: usize, k: usize, encoding: EncodingKind) -> LoopNest {
+    transform::extract_shared_encoder(&opt3(m, n, k, encoding))
+        .expect("OPT4 rewrite must apply to the OPT3 nest")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::interp::execute;
+    use tpe_workloads::distributions::uniform_int8_matrix;
+    use tpe_workloads::matrix::matmul_i8;
+
+    fn check(nest: &LoopNest, m: usize, n: usize, k: usize, seed: u64) {
+        let a = uniform_int8_matrix(m, k, seed);
+        let b = uniform_int8_matrix(k, n, seed + 1);
+        let (c, _) = execute(nest, &a, &b).unwrap_or_else(|e| panic!("{}: {e}", nest.name));
+        assert_eq!(c, matmul_i8(&a, &b), "{} wrong GEMM", nest.name);
+    }
+
+    /// The headline property: all five nests compute the identical GEMM.
+    #[test]
+    fn all_nests_compute_identical_gemm() {
+        for (m, n, k) in [(4, 4, 8), (8, 4, 6), (2, 2, 16), (3, 5, 7)] {
+            for enc in [EncodingKind::Mbe, EncodingKind::EnT] {
+                check(&traditional_mac(m, n, k, enc), m, n, k, 11);
+                check(&opt1(m, n, k, enc), m, n, k, 12);
+                check(&opt2(m, n, k, enc), m, n, k, 13);
+                check(&opt3(m, n, k, enc), m, n, k, 14);
+                check(&opt4(m, n, k, enc), m, n, k, 15);
+            }
+        }
+    }
+
+    /// OPT1's structural claim: one `add` per output element instead of one
+    /// per MAC cycle.
+    #[test]
+    fn opt1_defers_the_add() {
+        let (m, n, k) = (4, 4, 8);
+        let a = uniform_int8_matrix(m, k, 3);
+        let b = uniform_int8_matrix(k, n, 4);
+        let (_, trad) = execute(&traditional_mac(m, n, k, EncodingKind::Mbe), &a, &b).unwrap();
+        let (_, o1) = execute(&opt1(m, n, k, EncodingKind::Mbe), &a, &b).unwrap();
+        assert_eq!(trad.adds, (m * n * k) as u64);
+        assert_eq!(o1.adds, (m * n) as u64);
+        assert_eq!(trad.accumulates, (m * n * k) as u64);
+        assert_eq!(o1.accumulates, 0);
+    }
+
+    /// OPT2's structural claim: `shift` count drops from K·BW to BW per
+    /// output element (the shifter moves out of the K loop).
+    #[test]
+    fn opt2_hoists_the_shift() {
+        let (m, n, k) = (4, 4, 8);
+        let a = uniform_int8_matrix(m, k, 5);
+        let b = uniform_int8_matrix(k, n, 6);
+        let bw = bw_size(EncodingKind::Mbe) as u64;
+        let (_, o1) = execute(&opt1(m, n, k, EncodingKind::Mbe), &a, &b).unwrap();
+        let (_, o2) = execute(&opt2(m, n, k, EncodingKind::Mbe), &a, &b).unwrap();
+        assert_eq!(o1.shifts, (m * n * k) as u64 * bw);
+        assert_eq!(o2.shifts, (m * n) as u64 * bw);
+    }
+
+    /// OPT3's structural claim: `map` activations drop from K·BW to the
+    /// number of non-zero digits (sparsity acceleration), and `sync`
+    /// barriers appear.
+    #[test]
+    fn opt3_skips_zero_digits() {
+        let (m, n, k) = (4, 4, 8);
+        let a = uniform_int8_matrix(m, k, 7);
+        let b = uniform_int8_matrix(k, n, 8);
+        let (_, o2) = execute(&opt2(m, n, k, EncodingKind::EnT), &a, &b).unwrap();
+        let (_, o3) = execute(&opt3(m, n, k, EncodingKind::EnT), &a, &b).unwrap();
+        assert!(o3.maps < o2.maps, "sparse {} vs dense {}", o3.maps, o2.maps);
+        assert!(o3.syncs > 0);
+    }
+
+    /// OPT4's structural claim: encodes drop by the NP sharing factor.
+    #[test]
+    fn opt4_shares_the_encoder() {
+        let (m, n, k) = (4, 8, 8);
+        let a = uniform_int8_matrix(m, k, 9);
+        let b = uniform_int8_matrix(k, n, 10);
+        let (_, o3) = execute(&opt3(m, n, k, EncodingKind::EnT), &a, &b).unwrap();
+        let (_, o4) = execute(&opt4(m, n, k, EncodingKind::EnT), &a, &b).unwrap();
+        let np = 4; // split(8) = (2, 4)
+        assert_eq!(o3.encodes, o4.encodes * np);
+    }
+}

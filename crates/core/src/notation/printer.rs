@@ -1,0 +1,110 @@
+//! Pseudocode pretty-printer: renders a nest the way the paper's Figures
+//! 4–8 print their loop bodies.
+
+use super::{DimKind, LoopNest, Op, Stmt};
+use std::fmt::Write as _;
+
+/// Renders the nest as indented pseudocode.
+pub fn render(nest: &LoopNest) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}  [encoding: {}]", nest.name, nest.encoding);
+    walk(&nest.body, 0, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn key_str(key: &[String]) -> String {
+    key.iter()
+        .map(|k| format!("[{k}]"))
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+fn walk(stmts: &[Stmt], depth: usize, out: &mut String) {
+    for s in stmts {
+        match s {
+            Stmt::For { dim, body } => {
+                indent(depth, out);
+                let kw = match dim.kind {
+                    DimKind::Spatial => "parallel",
+                    DimKind::Temporal => "for",
+                };
+                let _ = writeln!(out, "{kw} {} in 0..{}:", dim.name, dim.size);
+                walk(body, depth + 1, out);
+            }
+            Stmt::ForSparseDigits { digit_reg, body } => {
+                indent(depth, out);
+                let _ = writeln!(
+                    out,
+                    "for {digit_reg} in sparse(encode(A[m][k])):   # non-zero digits only"
+                );
+                walk(body, depth + 1, out);
+            }
+            Stmt::Op(op) => {
+                indent(depth, out);
+                let line = match op {
+                    Op::Encode { dst } => format!("{dst} = encode(A[m][k], bw)"),
+                    Op::Map { dst, enc } => format!("{dst} = map(B[k][n], {enc})"),
+                    Op::Shift { dst, src } => format!("{dst} = shift({src}, bw)"),
+                    Op::HalfReduce { acc, src, key } => {
+                        format!("({acc}_s, {acc}_c){} = half_reduce({acc}_s, {acc}_c, {src})", key_str(key))
+                    }
+                    Op::AddResolve { dst, acc, key } => {
+                        format!("{dst} = add({acc}_s{0}, {acc}_c{0})", key_str(key))
+                    }
+                    Op::Accumulate { acc, src, key } => {
+                        format!("accumulate({acc}{}, {src})", key_str(key))
+                    }
+                    Op::ReadAcc { dst, acc, key } => format!("{dst} = {acc}{}", key_str(key)),
+                    Op::StoreC { src } => format!("C[m][n] += {src}"),
+                    Op::Sync => "sync()".to_string(),
+                };
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::notation::nests;
+    use tpe_arith::encode::EncodingKind;
+
+    #[test]
+    fn traditional_renders_figure4_style() {
+        let s = super::render(&nests::traditional_mac(4, 4, 8, EncodingKind::Mbe));
+        assert!(s.contains("parallel mp in 0..4:"));
+        assert!(s.contains("parallel bw in 0..4:"));
+        assert!(s.contains("enc = encode(A[m][k], bw)"));
+        assert!(s.contains("half_reduce"));
+        assert!(s.contains("accumulate"));
+    }
+
+    #[test]
+    fn opt2_shows_temporal_bw() {
+        let s = super::render(&nests::opt2(4, 4, 8, EncodingKind::EnT));
+        assert!(s.contains("for bw in 0..4:"), "bw must print as temporal:\n{s}");
+        assert!(!s.contains("parallel bw"));
+    }
+
+    #[test]
+    fn opt3_shows_sparse_iteration_and_sync() {
+        let s = super::render(&nests::opt3(4, 4, 8, EncodingKind::EnT));
+        assert!(s.contains("sparse(encode(A[m][k]))"));
+        assert!(s.contains("sync()"));
+    }
+
+    #[test]
+    fn every_line_is_indented_consistently() {
+        let s = super::render(&nests::opt4(4, 4, 8, EncodingKind::EnT));
+        for line in s.lines().skip(1) {
+            let spaces = line.len() - line.trim_start().len();
+            assert_eq!(spaces % 2, 0, "odd indent in: {line}");
+        }
+    }
+}

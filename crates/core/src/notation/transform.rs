@@ -1,0 +1,627 @@
+//! Legality-checked loop-nest transformations (§III-B, §IV).
+//!
+//! Each rewrite is a *real tree surgery* over [`Stmt`] — not a lookup of a
+//! pre-built nest — with explicit preconditions derived from the paper's
+//! legality arguments:
+//!
+//! * `shift` depends only on BW (Eq. 5), so it commutes with the K-sum and
+//!   may leave the K loop;
+//! * `encode` is independent of N (Eq. 6), so it may hoist above the NP
+//!   dimension;
+//! * `map` contains the non-commutative selection ♢ and must stay
+//!   innermost;
+//! * `half_reduce` must remain at the level of the dimension it reduces.
+//!
+//! Every rewrite is additionally validated *semantically*: interpreter
+//! equivalence against the reference GEMM (see [`verify_equivalent`] and
+//! the tests in [`super::nests`]).
+
+use super::interp::execute;
+use super::{Dim, DimKind, LoopNest, Op, Stmt};
+use tpe_workloads::distributions::uniform_int8_matrix;
+use tpe_workloads::matrix::matmul_i8;
+
+/// Why a transformation refused to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The expected structural pattern was not found.
+    PatternNotFound(&'static str),
+    /// A legality precondition failed.
+    Illegal(&'static str),
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::PatternNotFound(p) => write!(f, "pattern not found: {p}"),
+            TransformError::Illegal(why) => write!(f, "illegal transformation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// OPT1: reverse the order of `accumulate` and `add` — fold the per-cycle
+/// resolved accumulation into the compressor tree (carry-save
+/// accumulation), leaving a single `add` after the K reduction.
+///
+/// Pattern (inside the K loop):
+/// ```text
+/// for k { parallel bw { …; half_reduce(tree, …) }; p = add(tree); accumulate(acc, p) }
+/// out = read(acc); C += out
+/// ```
+/// becomes
+/// ```text
+/// for k { parallel bw { …; half_reduce(tree, …) } }
+/// out = add(tree); C += out
+/// ```
+///
+/// Legality: `add` depends only on the accumulated pair (Figure 5(A) line
+/// 17), so its result is not needed until the K loop completes.
+pub fn fuse_add_into_half_reduce(nest: &LoopNest) -> Result<LoopNest, TransformError> {
+    let mut out = nest.clone();
+    let applied = rewrite_blocks(&mut out.body, &mut |block| {
+        // Find a For-k loop whose body ends with [AddResolve, Accumulate],
+        // followed later in the same block by [ReadAcc, StoreC].
+        let kpos = block.iter().position(|s| {
+            matches!(s, Stmt::For { dim, body }
+                if dim.name.starts_with('k')
+                && body.len() >= 2
+                && matches!(body[body.len() - 2], Stmt::Op(Op::AddResolve { .. }))
+                && matches!(body[body.len() - 1], Stmt::Op(Op::Accumulate { .. })))
+        })?;
+        let (tree_acc, tree_key, p_reg, scalar_acc) = {
+            let Stmt::For { body, .. } = &block[kpos] else { unreachable!() };
+            let Stmt::Op(Op::AddResolve { dst, acc, key }) = &body[body.len() - 2] else {
+                unreachable!()
+            };
+            let Stmt::Op(Op::Accumulate { acc: sacc, src, .. }) = &body[body.len() - 1] else {
+                unreachable!()
+            };
+            if src != dst {
+                return None; // the accumulate must consume the add's result
+            }
+            (acc.clone(), key.clone(), dst.clone(), sacc.clone())
+        };
+        // The trailing drain must read that scalar accumulator.
+        let read_pos = block.iter().position(|s| {
+            matches!(s, Stmt::Op(Op::ReadAcc { acc, .. }) if *acc == scalar_acc)
+        })?;
+        let Stmt::Op(Op::ReadAcc { dst: out_reg, .. }) = block[read_pos].clone() else {
+            unreachable!()
+        };
+        if !matches!(&block[read_pos + 1], Stmt::Op(Op::StoreC { src }) if *src == out_reg) {
+            return None;
+        }
+
+        // Surgery: drop the per-cycle add+accumulate; resolve once at drain.
+        if let Stmt::For { body, .. } = &mut block[kpos] {
+            body.truncate(body.len() - 2);
+        }
+        block[read_pos] = Stmt::Op(Op::AddResolve {
+            dst: out_reg,
+            acc: tree_acc,
+            key: tree_key,
+        });
+        let _ = p_reg;
+        Some(())
+    });
+    if applied {
+        out.name = format!("OPT1 from [{}]", nest.name);
+        Ok(out)
+    } else {
+        Err(TransformError::PatternNotFound(
+            "for-k loop ending in add+accumulate with a read+store drain",
+        ))
+    }
+}
+
+/// OPT2: convert BW from a spatial dimension inside the K loop into a
+/// **temporal** loop outside it, hoisting `shift` (and the resolving `add`)
+/// to the SIMD core after each per-bit-weight reduction.
+///
+/// Pattern (an OPT1 nest):
+/// ```text
+/// for k { parallel bw { enc=encode; pp=map; sp=shift(pp); half_reduce(tree, sp) } }
+/// out = add(tree); C += out
+/// ```
+/// becomes
+/// ```text
+/// for bw (temporal) {
+///   for k { enc=encode; pp=map; half_reduce(tree, pp) }   # same bit-weight
+///   v = add(tree); sv = shift(v, bw); accumulate(acc, sv) # SIMD core
+/// }
+/// out = read(acc); C += out
+/// ```
+///
+/// Legality (Eq. 5): the shift amount depends only on `bw`, never on `k` or
+/// `n`, so shifting the *sum* equals summing the shifted terms. Moving BW
+/// without also moving `half_reduce` to its level would be the "error
+/// reduction logic" the paper warns about — the rewrite keeps them together.
+pub fn temporalize_bw(nest: &LoopNest) -> Result<LoopNest, TransformError> {
+    let mut out = nest.clone();
+    let applied = rewrite_blocks(&mut out.body, &mut |block| {
+        // Locate: For k { For bw(spatial) { Encode, Map, Shift, HalfReduce } }
+        let kpos = block.iter().position(|s| {
+            let Stmt::For { dim, body } = s else { return false };
+            dim.name.starts_with('k')
+                && body.len() == 1
+                && matches!(&body[0], Stmt::For { dim: bwd, body: inner }
+                    if bwd.name == "bw" && bwd.kind == DimKind::Spatial
+                    && is_encode_map_shift_reduce(inner))
+        })?;
+        // Followed by [AddResolve(tree), StoreC].
+        let Stmt::Op(Op::AddResolve { dst: out_reg, acc: tree, key }) = block[kpos + 1].clone()
+        else {
+            return None;
+        };
+        if !matches!(&block[kpos + 2], Stmt::Op(Op::StoreC { src }) if *src == out_reg) {
+            return None;
+        }
+
+        let (k_dim, bw_dim, inner) = {
+            let Stmt::For { dim, body } = &block[kpos] else { unreachable!() };
+            let Stmt::For { dim: bwd, body: inner } = &body[0] else { unreachable!() };
+            (dim.clone(), bwd.clone(), inner.clone())
+        };
+        // Legality: the shift consumes the map output (weight is a function
+        // of bw alone — Eq. 5). Checked by is_encode_map_shift_reduce.
+
+        // Build the same-bit-weight inner body: encode, map, half_reduce
+        // (the shift is deleted here and re-inserted after the reduction).
+        let mut new_inner = Vec::new();
+        let mut reduce_src = String::new();
+        for s in &inner {
+            match s {
+                Stmt::Op(Op::Shift { .. }) => {}
+                Stmt::Op(Op::HalfReduce { acc, key, .. }) => {
+                    new_inner.push(Stmt::Op(Op::HalfReduce {
+                        acc: acc.clone(),
+                        src: reduce_src.clone(),
+                        key: key.clone(),
+                    }));
+                }
+                Stmt::Op(Op::Map { dst, enc }) => {
+                    reduce_src = dst.clone();
+                    new_inner.push(Stmt::Op(Op::Map { dst: dst.clone(), enc: enc.clone() }));
+                }
+                other => new_inner.push(other.clone()),
+            }
+        }
+
+        let bw_temporal = Stmt::For {
+            dim: Dim::temporal("bw", bw_dim.size),
+            body: vec![
+                Stmt::For { dim: k_dim, body: new_inner },
+                Stmt::Op(Op::AddResolve { dst: "v".into(), acc: tree.clone(), key: key.clone() }),
+                Stmt::Op(Op::Shift { dst: "sv".into(), src: "v".into() }),
+                Stmt::Op(Op::Accumulate {
+                    acc: "acc_c".into(),
+                    src: "sv".into(),
+                    key: key.clone(),
+                }),
+            ],
+        };
+        block[kpos] = bw_temporal;
+        block[kpos + 1] = Stmt::Op(Op::ReadAcc {
+            dst: out_reg.clone(),
+            acc: "acc_c".into(),
+            key,
+        });
+        // block[kpos + 2] (StoreC) is unchanged.
+        Some(())
+    });
+    if applied {
+        out.name = format!("OPT2 from [{}]", nest.name);
+        Ok(out)
+    } else {
+        Err(TransformError::PatternNotFound(
+            "for-k { parallel bw { encode;map;shift;half_reduce } } with add+store drain",
+        ))
+    }
+}
+
+/// OPT3: serialize the temporal BW loop into a **sparse** iteration over
+/// non-zero encoded digits, adding the column `sync` barrier.
+///
+/// Pattern (an OPT2 nest):
+/// ```text
+/// for bw (temporal) { for k { encode; map; half_reduce }; add; shift; accumulate }
+/// out = read(acc); C += out
+/// ```
+/// becomes
+/// ```text
+/// for k { for_sparse_digits d { pp = map(d); sp = shift(pp); half_reduce(tree, sp) } }
+/// sync()
+/// out = add(tree); C += out
+/// ```
+///
+/// Legality: summing over (k, bw) pairs in any order is valid because the
+/// reduction is associative and commutative over the *shifted* partial
+/// products; skipping zero digits drops exact zeros from the sum.
+pub fn sparsify_bw(nest: &LoopNest) -> Result<LoopNest, TransformError> {
+    let mut out = nest.clone();
+    let applied = rewrite_blocks(&mut out.body, &mut |block| {
+        let bwpos = block.iter().position(|s| {
+            let Stmt::For { dim, body } = s else { return false };
+            dim.name == "bw"
+                && dim.kind == DimKind::Temporal
+                && body.len() == 4
+                && matches!(&body[0], Stmt::For { dim: kd, .. } if kd.name.starts_with('k'))
+        })?;
+        let (k_dim, tree, key) = {
+            let Stmt::For { body, .. } = &block[bwpos] else { unreachable!() };
+            let Stmt::For { dim: kd, body: inner } = &body[0] else { unreachable!() };
+            // inner = [Encode, Map, HalfReduce]
+            let Stmt::Op(Op::HalfReduce { acc, key, .. }) = inner.last()? else {
+                return None;
+            };
+            let _ = inner.iter().find(|s| matches!(s, Stmt::Op(Op::Encode { .. })))?;
+            (kd.clone(), acc.clone(), key.clone())
+        };
+        let Stmt::Op(Op::ReadAcc { dst: out_reg, .. }) = block[bwpos + 1].clone() else {
+            return None;
+        };
+
+        let sparse_body = vec![
+            Stmt::Op(Op::Map { dst: "pp".into(), enc: "d".into() }),
+            Stmt::Op(Op::Shift { dst: "sp".into(), src: "pp".into() }),
+            Stmt::Op(Op::HalfReduce { acc: tree.clone(), src: "sp".into(), key: key.clone() }),
+        ];
+        block[bwpos] = Stmt::For {
+            dim: k_dim,
+            body: vec![Stmt::ForSparseDigits { digit_reg: "d".into(), body: sparse_body }],
+        };
+        block[bwpos + 1] = Stmt::Op(Op::Sync);
+        // StoreC stays; insert the resolving add before it.
+        block.insert(
+            bwpos + 2,
+            Stmt::Op(Op::AddResolve { dst: out_reg, acc: tree, key }),
+        );
+        Some(())
+    });
+    if applied {
+        out.name = format!("OPT3 from [{}]", nest.name);
+        Ok(out)
+    } else {
+        Err(TransformError::PatternNotFound(
+            "temporal bw loop over {for-k {encode;map;half_reduce}; add; shift; accumulate}",
+        ))
+    }
+}
+
+/// OPT4: hoist the (sparse) encoder above the NP dimension — one encoder
+/// per column feeds all NP PEs, and B can be prefetched by non-zero index.
+///
+/// Pattern (an OPT3 nest):
+/// ```text
+/// parallel np { for k { for_sparse_digits d { … } } … }
+/// ```
+/// becomes
+/// ```text
+/// for k { for_sparse_digits d { parallel np { … } } }  (+ per-np drain)
+/// ```
+///
+/// Legality (Eq. 6): `encode` is independent of N, so the digit stream is
+/// identical for every PE in the column; only `map` (the non-commutative
+/// selection) must remain innermost — and it does.
+pub fn extract_shared_encoder(nest: &LoopNest) -> Result<LoopNest, TransformError> {
+    // Precondition: the sparse iterator currently sits under an n-loop.
+    if !encode_under_n(&nest.body, false) {
+        return Err(TransformError::Illegal(
+            "encoder is already hoisted above the N dimension",
+        ));
+    }
+    let mut out = nest.clone();
+    let applied = rewrite_blocks(&mut out.body, &mut |block| {
+        // Find: For np { For k { ForSparseDigits { body } }, drains... }
+        let np_pos = block.iter().position(|s| {
+            let Stmt::For { dim, body } = s else { return false };
+            dim.name.starts_with('n')
+                && dim.kind == DimKind::Spatial
+                && body.iter().any(|inner| {
+                    matches!(inner, Stmt::For { dim: kd, body: kb }
+                        if kd.name.starts_with('k')
+                        && kb.len() == 1
+                        && matches!(kb[0], Stmt::ForSparseDigits { .. }))
+                })
+        })?;
+        let Stmt::For { dim: np_dim, body: np_body } = block[np_pos].clone() else {
+            unreachable!()
+        };
+        let kpos = np_body
+            .iter()
+            .position(|s| matches!(s, Stmt::For { dim, .. } if dim.name.starts_with('k')))?;
+        let Stmt::For { dim: k_dim, body: k_body } = np_body[kpos].clone() else {
+            unreachable!()
+        };
+        let Stmt::ForSparseDigits { digit_reg, body: digit_body } = k_body[0].clone() else {
+            unreachable!()
+        };
+
+        // The hoisted form: k → sparse digits → parallel np → PE body.
+        let hoisted = Stmt::For {
+            dim: k_dim,
+            body: vec![Stmt::ForSparseDigits {
+                digit_reg,
+                body: vec![Stmt::For {
+                    dim: np_dim.clone(),
+                    body: digit_body,
+                }],
+            }],
+        };
+        // Remaining per-np statements (drain: add + store) stay under np.
+        let mut drain = np_body;
+        drain.remove(kpos);
+        let mut replacement = vec![hoisted];
+        if !drain.is_empty() {
+            replacement.push(Stmt::For { dim: np_dim, body: drain });
+        }
+        block.splice(np_pos..=np_pos, replacement);
+        Some(())
+    });
+    if applied {
+        out.name = format!("OPT4 from [{}]", nest.name);
+        Ok(out)
+    } else {
+        Err(TransformError::PatternNotFound(
+            "parallel np containing for-k { for_sparse_digits }",
+        ))
+    }
+}
+
+/// Loop tiling: splits a dimension `name` of size `s` into an outer
+/// temporal loop `outer_name` of size `s / inner` and an inner loop
+/// `inner_name` of size `inner` with the given kind — e.g. Figure 6(A)'s
+/// `K → KT × KP` split, where the spatial `KP` "fills the gap" left by the
+/// temporalized BW dimension.
+///
+/// Legality:
+/// * `inner` must divide the dimension size exactly (no ragged tiles in
+///   the hardware mapping);
+/// * both new names must belong to the same index family as the original
+///   (`k → {kt, kp}` etc.), so composite index resolution — and therefore
+///   semantics — is unchanged;
+/// * accumulator keys referring to the dimension by its *family* name keep
+///   working; keys naming the split dim exactly are rejected.
+pub fn split_dim(
+    nest: &LoopNest,
+    name: &str,
+    inner: usize,
+    outer_name: &str,
+    inner_name: &str,
+    inner_kind: DimKind,
+) -> Result<LoopNest, TransformError> {
+    let family = |n: &str| -> Option<char> {
+        let c = n.chars().next()?;
+        if ['m', 'n', 'k'].contains(&c) || n.starts_with("bw") {
+            Some(c)
+        } else {
+            None
+        }
+    };
+    if family(name) != family(outer_name) || family(name) != family(inner_name) {
+        return Err(TransformError::Illegal(
+            "split names must stay in the original dimension's index family",
+        ));
+    }
+    if keys_reference_exact(&nest.body, name) {
+        return Err(TransformError::Illegal(
+            "an accumulator key names the split dimension exactly",
+        ));
+    }
+    let mut out = nest.clone();
+    let mut found_indivisible = false;
+    let applied = rewrite_blocks(&mut out.body, &mut |block| {
+        let pos = block
+            .iter()
+            .position(|s| matches!(s, Stmt::For { dim, .. } if dim.name == name))?;
+        let Stmt::For { dim, body } = block[pos].clone() else {
+            unreachable!()
+        };
+        if dim.size % inner != 0 {
+            found_indivisible = true;
+            return None;
+        }
+        block[pos] = Stmt::For {
+            dim: Dim {
+                name: outer_name.to_string(),
+                size: dim.size / inner,
+                kind: DimKind::Temporal,
+            },
+            body: vec![Stmt::For {
+                dim: Dim {
+                    name: inner_name.to_string(),
+                    size: inner,
+                    kind: inner_kind,
+                },
+                body,
+            }],
+        };
+        Some(())
+    });
+    if found_indivisible {
+        return Err(TransformError::Illegal("tile size must divide the dimension"));
+    }
+    if applied {
+        out.name = format!("{} [split {name}→{outer_name}×{inner_name}]", nest.name);
+        Ok(out)
+    } else {
+        Err(TransformError::PatternNotFound("no loop over the named dimension"))
+    }
+}
+
+/// Whether any accumulator key names `dim` exactly.
+fn keys_reference_exact(stmts: &[Stmt], dim: &str) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::For { body, .. } | Stmt::ForSparseDigits { body, .. } => {
+            keys_reference_exact(body, dim)
+        }
+        Stmt::Op(
+            Op::HalfReduce { key, .. }
+            | Op::AddResolve { key, .. }
+            | Op::Accumulate { key, .. }
+            | Op::ReadAcc { key, .. },
+        ) => key.iter().any(|k| k == dim),
+        Stmt::Op(_) => false,
+    })
+}
+
+/// Whether any `encode`/sparse iterator executes under a **spatial**
+/// n-loop (i.e. would be replicated per PE along NP).
+fn encode_under_n(stmts: &[Stmt], under_np: bool) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::For { dim, body } => encode_under_n(
+            body,
+            under_np || (dim.name.starts_with('n') && dim.kind == DimKind::Spatial),
+        ),
+        Stmt::ForSparseDigits { body, .. } => under_np || encode_under_n(body, under_np),
+        Stmt::Op(Op::Encode { .. }) => under_np,
+        Stmt::Op(_) => false,
+    })
+}
+
+/// Applies `f` to every statement block (depth-first); returns whether any
+/// application succeeded.
+fn rewrite_blocks(stmts: &mut Vec<Stmt>, f: &mut impl FnMut(&mut Vec<Stmt>) -> Option<()>) -> bool {
+    let mut applied = f(stmts).is_some();
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::For { body, .. } | Stmt::ForSparseDigits { body, .. } => {
+                applied |= rewrite_blocks(body, f);
+            }
+            Stmt::Op(_) => {}
+        }
+    }
+    applied
+}
+
+fn is_encode_map_shift_reduce(stmts: &[Stmt]) -> bool {
+    stmts.len() == 4
+        && matches!(stmts[0], Stmt::Op(Op::Encode { .. }))
+        && matches!(stmts[1], Stmt::Op(Op::Map { .. }))
+        && matches!((&stmts[1], &stmts[2]),
+            (Stmt::Op(Op::Map { dst, .. }), Stmt::Op(Op::Shift { src, .. })) if dst == src)
+        && matches!(stmts[3], Stmt::Op(Op::HalfReduce { .. }))
+}
+
+/// Semantic validation: both nests must compute the identical GEMM on a
+/// seeded random instance of the given shape.
+pub fn verify_equivalent(
+    before: &LoopNest,
+    after: &LoopNest,
+    m: usize,
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> bool {
+    let a = uniform_int8_matrix(m, k, seed);
+    let b = uniform_int8_matrix(k, n, seed + 1);
+    let reference = matmul_i8(&a, &b);
+    match (execute(before, &a, &b), execute(after, &a, &b)) {
+        (Ok((c1, _)), Ok((c2, _))) => c1 == reference && c2 == reference,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::nests;
+    use tpe_arith::encode::EncodingKind;
+
+    #[test]
+    fn full_derivation_chain_is_equivalence_preserving() {
+        let (m, n, k) = (4, 4, 8);
+        let t = nests::traditional_mac(m, n, k, EncodingKind::EnT);
+        let o1 = fuse_add_into_half_reduce(&t).unwrap();
+        let o2 = temporalize_bw(&o1).unwrap();
+        let o3 = sparsify_bw(&o2).unwrap();
+        let o4 = extract_shared_encoder(&o3).unwrap();
+        for (b, a) in [(&t, &o1), (&o1, &o2), (&o2, &o3), (&o3, &o4)] {
+            assert!(verify_equivalent(b, a, m, n, k, 400), "{} → {}", b.name, a.name);
+        }
+    }
+
+    #[test]
+    fn opt1_requires_the_add_accumulate_pattern() {
+        let o1 = nests::opt1(4, 4, 8, EncodingKind::Mbe);
+        // Applying OPT1 twice has no pattern to find.
+        assert!(matches!(
+            fuse_add_into_half_reduce(&o1),
+            Err(TransformError::PatternNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn opt4_refuses_when_already_hoisted() {
+        let o4 = nests::opt4(4, 4, 8, EncodingKind::EnT);
+        assert!(matches!(
+            extract_shared_encoder(&o4),
+            Err(TransformError::Illegal(_))
+        ));
+    }
+
+    #[test]
+    fn temporalize_needs_spatial_bw() {
+        let t = nests::traditional_mac(4, 4, 8, EncodingKind::Mbe);
+        // The traditional nest still has add+accumulate inside K — the OPT2
+        // pattern (an OPT1-shaped k body) is absent.
+        assert!(temporalize_bw(&t).is_err());
+    }
+
+    #[test]
+    fn transformed_names_record_provenance() {
+        let o2 = nests::opt2(4, 4, 8, EncodingKind::EnT);
+        assert!(o2.name.contains("OPT2"));
+        assert!(o2.name.contains("OPT1"));
+    }
+
+    /// Figure 6's K → KT × KP tiling on the OPT2 nest is
+    /// semantics-preserving, and the KP loop can be spatial.
+    #[test]
+    fn split_k_into_kt_kp() {
+        let (m, n, k) = (4, 4, 8);
+        let o2 = nests::opt2(m, n, k, EncodingKind::EnT);
+        let tiled = split_dim(&o2, "k", 4, "kt", "kp", DimKind::Spatial).unwrap();
+        assert!(verify_equivalent(&o2, &tiled, m, n, k, 77));
+        assert!(crate::notation::legality::check(&tiled).is_ok());
+        let dims = tiled.dims();
+        let kp = dims.iter().find(|d| d.name == "kp").unwrap();
+        assert_eq!(kp.size, 4);
+        assert_eq!(kp.kind, DimKind::Spatial);
+    }
+
+    #[test]
+    fn split_rejects_indivisible_tiles() {
+        let o2 = nests::opt2(4, 4, 10, EncodingKind::EnT);
+        assert!(matches!(
+            split_dim(&o2, "k", 4, "kt", "kp", DimKind::Spatial),
+            Err(TransformError::Illegal(_))
+        ));
+    }
+
+    #[test]
+    fn split_rejects_cross_family_rename() {
+        let o2 = nests::opt2(4, 4, 8, EncodingKind::EnT);
+        assert!(matches!(
+            split_dim(&o2, "k", 4, "mt", "kp", DimKind::Spatial),
+            Err(TransformError::Illegal(_))
+        ));
+    }
+
+    /// Tiling composes with the derivation chain: derive OPT1, then tile
+    /// its K loop (the §IV-C K1/K2 bank-layout split) — still equivalent.
+    #[test]
+    fn tiling_composes_with_derivation() {
+        let (m, n, k) = (4, 4, 8);
+        let o1 = nests::opt1(m, n, k, EncodingKind::Mbe);
+        let tiled = split_dim(&o1, "k", 2, "k1", "k2", DimKind::Temporal).unwrap();
+        assert!(verify_equivalent(&o1, &tiled, m, n, k, 5));
+        assert!(crate::notation::legality::check(&tiled).is_ok());
+        // And tile M's temporal loop too.
+        let t2 = split_dim(&tiled, "k2", 2, "k2", "k3", DimKind::Temporal);
+        // k2 has size 2: splitting by 2 leaves a unit outer loop — legal.
+        assert!(t2.is_ok());
+    }
+}

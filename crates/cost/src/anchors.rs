@@ -1,0 +1,228 @@
+//! The paper's published synthesis numbers, verbatim.
+//!
+//! These are the calibration anchors of the whole cost model and the
+//! "paper" column of every regenerated table. Units: area µm², delay ns,
+//! power µW (Table I's `TOP` column, measured at a 2 ns clock constraint).
+
+/// One row of Table I / Table V: a component synthesized at a given width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnchorRow {
+    /// Accumulator / word width in bits.
+    pub width: u32,
+    /// Synthesized cell area in µm².
+    pub area_um2: f64,
+    /// Critical-path delay in ns.
+    pub delay_ns: f64,
+    /// Average power in µW at the 2 ns clock (Table I only; 0 when the
+    /// paper does not report it).
+    pub power_uw: f64,
+}
+
+/// Table I — complete INT8 MAC at accumulator widths 20–32
+/// (SMIC 28nm, 2 ns clock constraint).
+pub const TABLE1_MAC: [AnchorRow; 4] = [
+    AnchorRow { width: 20, area_um2: 179.30, delay_ns: 1.56, power_uw: 27.1 },
+    AnchorRow { width: 24, area_um2: 192.65, delay_ns: 1.67, power_uw: 29.2 },
+    AnchorRow { width: 28, area_um2: 206.01, delay_ns: 1.84, power_uw: 31.4 },
+    AnchorRow { width: 32, area_um2: 238.51, delay_ns: 1.97, power_uw: 36.3 },
+];
+
+/// Table I — the 14-bit 4-2 compressor tree inside the MAC.
+pub const TABLE1_COMPRESSOR_TREE_14: AnchorRow =
+    AnchorRow { width: 14, area_um2: 55.92, delay_ns: 0.31, power_uw: 8.5 };
+
+/// Table I — the 14-bit carry-propagating full adder inside the MAC.
+pub const TABLE1_FULL_ADDER_14: AnchorRow =
+    AnchorRow { width: 14, area_um2: 51.32, delay_ns: 0.34, power_uw: 7.7 };
+
+/// Table I — the high-width accumulator (register + resolved add).
+pub const TABLE1_ACCUMULATOR: [AnchorRow; 4] = [
+    AnchorRow { width: 20, area_um2: 57.32, delay_ns: 0.80, power_uw: 8.6 },
+    AnchorRow { width: 24, area_um2: 62.43, delay_ns: 0.90, power_uw: 9.4 },
+    AnchorRow { width: 28, area_um2: 82.78, delay_ns: 0.99, power_uw: 12.3 },
+    AnchorRow { width: 32, area_um2: 95.13, delay_ns: 1.13, power_uw: 14.3 },
+];
+
+/// Table V — 4-2 compressor tree area/delay versus width. The paper's
+/// structural point: delay is flat (≈0.32 ns) because compressors have no
+/// carry chain, while area grows linearly with width.
+pub const TABLE5_COMPRESSOR_TREE: [AnchorRow; 6] = [
+    AnchorRow { width: 14, area_um2: 52.92, delay_ns: 0.31, power_uw: 0.0 },
+    AnchorRow { width: 16, area_um2: 60.98, delay_ns: 0.32, power_uw: 0.0 },
+    AnchorRow { width: 20, area_um2: 77.11, delay_ns: 0.32, power_uw: 0.0 },
+    AnchorRow { width: 24, area_um2: 93.99, delay_ns: 0.32, power_uw: 0.0 },
+    AnchorRow { width: 28, area_um2: 110.12, delay_ns: 0.32, power_uw: 0.0 },
+    AnchorRow { width: 32, area_um2: 126.25, delay_ns: 0.32, power_uw: 0.0 },
+];
+
+/// §IV-A / Figure 5: traditional MAC tpd at INT8 mul + INT32 acc, 2 ns clock.
+pub const MAC_TPD_NS: f64 = 1.95;
+/// §IV-A / Figure 5: OPT1 tpd after replacing the add+accumulate with a 4-2
+/// compressor accumulation.
+pub const OPT1_TPD_NS: f64 = 0.92;
+/// Figure 8(C): OPT4C PE combinational delay.
+pub const OPT4C_TPD_NS: f64 = 0.29;
+/// Figure 8(E): OPT4E PE-group combinational delay.
+pub const OPT4E_TPD_NS: f64 = 0.40;
+
+/// §V-B: traditional MAC area at a 1 GHz clock constraint.
+pub const MAC_AREA_1GHZ_UM2: f64 = 367.0;
+/// §V-B: traditional MAC area at a 1.5 GHz clock constraint (×1.93).
+pub const MAC_AREA_1_5GHZ_UM2: f64 = 707.0;
+/// Figure 14 caption: relaxed-constraint parallel MAC PE area.
+pub const MAC_AREA_RELAXED_UM2: f64 = 246.0;
+/// §V-B: OPT1 area growth factor from 1.0 to 1.5 GHz.
+pub const OPT1_AREA_GROWTH_1_TO_1_5: f64 = 1.14;
+/// §V-B: OPT3 area growth factor from 1.5 to 2.0 GHz.
+pub const OPT3_AREA_GROWTH_1_5_TO_2: f64 = 1.09;
+/// Figure 14 caption: OPT4C PE area.
+pub const OPT4C_AREA_UM2: f64 = 81.27;
+/// Figure 14 caption: OPT4E PE-group (4 lanes) area.
+pub const OPT4E_GROUP_AREA_UM2: f64 = 311.0;
+
+/// §V-B: design frequency limits reported in Figure 9 (GHz).
+pub const MAC_MAX_FREQ_GHZ: f64 = 1.5;
+/// OPT1's frequency limit (optimal synthesis at 1.5 GHz).
+pub const OPT1_MAX_FREQ_GHZ: f64 = 2.0;
+/// OPT3's peak frequency (optimal at 2.0 GHz).
+pub const OPT3_MAX_FREQ_GHZ: f64 = 2.5;
+/// OPT4C is the only design reaching 3 GHz.
+pub const OPT4C_MAX_FREQ_GHZ: f64 = 3.0;
+/// OPT4E's limit ("easily up to 2 GHz").
+pub const OPT4E_MAX_FREQ_GHZ: f64 = 2.5;
+
+/// One row of Table VII (array level). Peak performance counts 1 MAC as
+/// 2 ops, so a 32×32 array at 1 GHz is 2.05 TOPS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayAnchor {
+    /// Design label as printed in Table VII.
+    pub name: &'static str,
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+    /// Total array area in µm².
+    pub area_um2: f64,
+    /// Total power in W.
+    pub power_w: f64,
+    /// Peak performance in TOPS.
+    pub peak_tops: f64,
+}
+
+/// Table VII, "Others" half — the classic architectures and published
+/// bit-slice baselines (already normalized to 28 nm by the paper).
+pub const TABLE7_OTHERS: [ArrayAnchor; 8] = [
+    ArrayAnchor { name: "TPU",       freq_mhz: 1000.0, area_um2: 370_631.0, power_w: 0.25, peak_tops: 2.05 },
+    ArrayAnchor { name: "Ascend",    freq_mhz: 1000.0, area_um2: 320_783.0, power_w: 0.24, peak_tops: 2.05 },
+    ArrayAnchor { name: "Trapezoid", freq_mhz: 1000.0, area_um2: 283_704.0, power_w: 0.22, peak_tops: 2.05 },
+    ArrayAnchor { name: "FlexFlow",  freq_mhz: 1000.0, area_um2: 332_848.0, power_w: 0.28, peak_tops: 2.05 },
+    ArrayAnchor { name: "Laconic",   freq_mhz: 1000.0, area_um2: 213_248.0, power_w: 1.21, peak_tops: 0.81 },
+    ArrayAnchor { name: "Bitlet",    freq_mhz: 1000.0, area_um2: 415_800.0, power_w: 0.23, peak_tops: 0.74 },
+    ArrayAnchor { name: "Sibia",     freq_mhz: 250.0,  area_um2: 1_069_000.0, power_w: 0.10, peak_tops: 0.77 },
+    ArrayAnchor { name: "Bitwave",   freq_mhz: 250.0,  area_um2: 861_681.0, power_w: 0.01, peak_tops: 0.22 },
+];
+
+/// Table VII, "Ours" half — the paper's measured OPT arrays.
+pub const TABLE7_OURS: [ArrayAnchor; 8] = [
+    ArrayAnchor { name: "OPT1(TPU)",       freq_mhz: 1500.0, area_um2: 436_646.0, power_w: 0.37, peak_tops: 3.07 },
+    ArrayAnchor { name: "OPT1(Ascend)",    freq_mhz: 1500.0, area_um2: 332_185.0, power_w: 0.24, peak_tops: 3.07 },
+    ArrayAnchor { name: "OPT1(Trapezoid)", freq_mhz: 1500.0, area_um2: 271_989.0, power_w: 0.22, peak_tops: 3.07 },
+    ArrayAnchor { name: "OPT1(FlexFlow)",  freq_mhz: 1500.0, area_um2: 373_898.0, power_w: 0.38, peak_tops: 3.07 },
+    ArrayAnchor { name: "OPT2(FlexFlow)",  freq_mhz: 1500.0, area_um2: 347_216.0, power_w: 0.35, peak_tops: 3.07 },
+    ArrayAnchor { name: "OPT3",            freq_mhz: 2000.0, area_um2: 460_349.0, power_w: 0.70, peak_tops: 1.80 },
+    ArrayAnchor { name: "OPT4C",           freq_mhz: 2500.0, area_um2: 259_298.0, power_w: 0.51, peak_tops: 2.25 },
+    ArrayAnchor { name: "OPT4E",           freq_mhz: 2000.0, area_um2: 672_419.0, power_w: 0.89, peak_tops: 7.22 },
+];
+
+/// Table III — the paper's measured average NumPPs on 1024×1024 normally
+/// distributed matrices (σ ∈ {0.5, 1.0, 2.5, 5.0}).
+pub const TABLE3_AVG_NUMPPS: [(&str, [f64; 4]); 4] = [
+    ("EN-T", [2.27, 2.22, 2.26, 2.23]),
+    ("MBE", [2.46, 2.41, 2.45, 2.42]),
+    ("bit-serial(M)", [3.52, 3.52, 3.52, 3.53]),
+    ("bit-serial(C)", [3.99, 3.98, 3.98, 3.98]),
+];
+
+/// Linear interpolation/extrapolation over anchor rows, by width.
+///
+/// # Panics
+///
+/// Panics if `rows` has fewer than two entries.
+pub fn interp_area(rows: &[AnchorRow], width: u32) -> f64 {
+    interp(rows, width, |r| r.area_um2)
+}
+
+/// Delay interpolation over anchor rows, by width.
+pub fn interp_delay(rows: &[AnchorRow], width: u32) -> f64 {
+    interp(rows, width, |r| r.delay_ns)
+}
+
+/// Power interpolation over anchor rows, by width.
+pub fn interp_power(rows: &[AnchorRow], width: u32) -> f64 {
+    interp(rows, width, |r| r.power_uw)
+}
+
+fn interp(rows: &[AnchorRow], width: u32, f: impl Fn(&AnchorRow) -> f64) -> f64 {
+    assert!(rows.len() >= 2, "need at least two anchors");
+    let w = f64::from(width);
+    // Find the bracketing segment (clamped to the outer segments for
+    // extrapolation).
+    let mut i = 0;
+    while i + 2 < rows.len() && f64::from(rows[i + 1].width) < w {
+        i += 1;
+    }
+    let (a, b) = (&rows[i], &rows[i + 1]);
+    let t = (w - f64::from(a.width)) / (f64::from(b.width) - f64::from(a.width));
+    f(a) + t * (f(b) - f(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_hits_anchors_exactly() {
+        for row in &TABLE5_COMPRESSOR_TREE {
+            assert!((interp_area(&TABLE5_COMPRESSOR_TREE, row.width) - row.area_um2).abs() < 1e-9);
+        }
+        for row in &TABLE1_ACCUMULATOR {
+            assert!((interp_delay(&TABLE1_ACCUMULATOR, row.width) - row.delay_ns).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn interpolation_between_anchors() {
+        // Width 18 sits halfway between the 16 and 20 anchors.
+        let a = interp_area(&TABLE5_COMPRESSOR_TREE, 18);
+        assert!((a - (60.98 + 77.11) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolation_is_monotone_for_area() {
+        let a40 = interp_area(&TABLE5_COMPRESSOR_TREE, 40);
+        assert!(a40 > 126.25, "wider tree must be larger, got {a40}");
+        let a12 = interp_area(&TABLE5_COMPRESSOR_TREE, 12);
+        assert!(a12 < 52.92);
+    }
+
+    /// Sanity: Table VII's efficiency columns are consistent with
+    /// area/power/peak (spot check TPU and OPT4E rows).
+    #[test]
+    fn table7_self_consistency() {
+        let tpu = &TABLE7_OTHERS[0];
+        let ae = tpu.peak_tops / (tpu.area_um2 / 1e6);
+        assert!((ae - 5.53).abs() < 0.05, "TPU area efficiency {ae}");
+        let ee = tpu.peak_tops / tpu.power_w;
+        assert!((ee - 8.2).abs() < 0.2, "TPU energy efficiency {ee}");
+
+        let e = &TABLE7_OURS[7];
+        let ae = e.peak_tops / (e.area_um2 / 1e6);
+        assert!((ae - 10.73).abs() < 0.05, "OPT4E area efficiency {ae}");
+    }
+
+    /// The paper's own TOPS arithmetic: 32×32 MACs at 1 GHz, 2 ops per MAC.
+    #[test]
+    fn peak_tops_convention() {
+        let tops: f64 = 32.0 * 32.0 * 2.0 * 1e9 / 1e12;
+        assert!((tops - 2.048).abs() < 1e-9);
+        assert!((TABLE7_OTHERS[0].peak_tops - 2.05).abs() < 0.01);
+    }
+}

@@ -1,0 +1,94 @@
+//! Standard-cell library constants for bottom-up component estimates.
+//!
+//! Values are representative SMIC-28nm RVT cell figures, tuned so composed
+//! components agree with the paper's anchors: a 4-2 compressor tree of
+//! width `w` contains `2w` full adders, and Table V gives 52.92 µm² at
+//! `w = 14` → ≈1.89 µm² per full-adder cell, which is the keystone the
+//! other cells are scaled around.
+
+/// Area of a mirror full-adder cell (µm²). Derived from Table V:
+/// 52.92 µm² / (2 × 14) FAs.
+pub const FA_AREA_UM2: f64 = 1.89;
+
+/// Area of a half-adder cell (µm²).
+pub const HA_AREA_UM2: f64 = 1.15;
+
+/// Area of a 2:1 mux (µm²).
+pub const MUX2_AREA_UM2: f64 = 0.85;
+
+/// Area of an XOR2 gate (µm²).
+pub const XOR2_AREA_UM2: f64 = 0.80;
+
+/// Area of a NAND2-equivalent gate (µm²) — the generic "random logic" unit.
+pub const NAND2_AREA_UM2: f64 = 0.45;
+
+/// Area of a D flip-flop with scan (µm²). Chosen so an OPT4E group's shared
+/// DFF bank matches the paper's 311 µm² group quote.
+pub const DFF_AREA_UM2: f64 = 1.80;
+
+/// Propagation delay of one 3:2 compressor level (ns). Table V: a two-level
+/// 4-2 tree shows 0.31–0.32 ns end to end, including input buffering.
+pub const CSA_LEVEL_DELAY_NS: f64 = 0.155;
+
+/// Delay of a 2:1 mux stage (ns).
+pub const MUX_DELAY_NS: f64 = 0.04;
+
+/// Delay of the Booth/EN-T digit encoder (ns) — a two-gate-level recoder.
+pub const ENCODER_DELAY_NS: f64 = 0.09;
+
+/// Sequential overhead per cycle: DFF clk→Q plus setup (ns). With the
+/// paper's 8–10% timing margin this is what bounds OPT4C below ~3 GHz even
+/// though its combinational path is 0.29 ns.
+pub const SEQUENTIAL_OVERHEAD_NS: f64 = 0.12;
+
+/// Dynamic energy per DFF clock-pin toggle (fJ) at 0.72 V — paid every
+/// enabled cycle.
+pub const DFF_CLOCK_ENERGY_FJ: f64 = 0.40;
+
+/// Dynamic energy per DFF data toggle (fJ).
+pub const DFF_DATA_ENERGY_FJ: f64 = 0.70;
+
+/// Average data-toggle probability of datapath registers under dense
+/// normally-distributed operands.
+pub const DFF_DATA_ACTIVITY: f64 = 0.5;
+
+/// Dynamic energy per full-adder output toggle (fJ).
+pub const FA_TOGGLE_ENERGY_FJ: f64 = 0.55;
+
+/// Average toggle probability of compressor-tree cells: carry-save state
+/// settles once per cycle and sign-extension bits are mostly static.
+pub const CSA_ACTIVITY: f64 = 0.6;
+
+/// Glitch multiplier for carry-propagating structures (ripple/lookahead
+/// adders and accumulators): carry chains re-evaluate multiple times per
+/// cycle, unlike compressor trees whose cells settle once. This is the
+/// activity asymmetry the paper leans on when it replaces `add` +
+/// `accumulate` with `half_reduce` (and Bucket Getter's "low activity"
+/// argument in Figure 2(G)).
+pub const CARRY_CHAIN_GLITCH_FACTOR: f64 = 1.25;
+
+/// Static leakage power per µm² of cell area (µW/µm²) at 0.72 V, 25 °C.
+pub const LEAKAGE_UW_PER_UM2: f64 = 0.004;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchors::TABLE5_COMPRESSOR_TREE;
+
+    /// The keystone derivation: 2w FA cells reproduce Table V's area within
+    /// a wiring margin that shrinks as width grows.
+    #[test]
+    fn fa_area_reproduces_table5() {
+        for row in &TABLE5_COMPRESSOR_TREE {
+            let composed = 2.0 * f64::from(row.width) * FA_AREA_UM2;
+            let err = (composed - row.area_um2).abs() / row.area_um2;
+            assert!(err < 0.10, "width {}: composed {composed} vs {}", row.width, row.area_um2);
+        }
+    }
+
+    /// Two CSA levels reproduce the 4-2 tree delay.
+    #[test]
+    fn csa_delay_reproduces_table5() {
+        assert!((2.0 * CSA_LEVEL_DELAY_NS - 0.31).abs() < 0.01);
+    }
+}

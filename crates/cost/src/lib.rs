@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # tpe-cost
+//!
+//! Area / delay / power model for TPE components, standing in for the
+//! paper's Synopsys Design Compiler + PrimeTime PX flow on SMIC
+//! 28nm-HKCP-RVT at 0.72 V.
+//!
+//! The model is **anchored interpolation + structural composition**:
+//!
+//! * Unit costs come from the paper's own synthesis tables where available
+//!   ([`anchors`] holds Table I and Table V verbatim).
+//! * Components not tabulated (encoders, muxes, CPPGs, DFF banks) are
+//!   gate-count estimates over the [`gates`] cell library, scaled so that
+//!   PE-level totals match the paper's §V quotes (traditional MAC 367 µm² at
+//!   1 GHz → 707 µm² at 1.5 GHz, OPT4C PE 81.27 µm², OPT4E group 311 µm²).
+//! * Clock-constraint behaviour — the area inflation a synthesis tool pays
+//!   to close timing, and the frequency wall where it fails — is modeled in
+//!   [`timing`] and calibrated to the area-growth factors the paper reports
+//!   (×1.93 for the MAC from 1→1.5 GHz, ×1.14 for OPT1, ×1.09 for OPT3).
+//!
+//! Every calibration constant cites the paper datum next to it, so the
+//! provenance of each number in the regenerated tables is auditable.
+
+pub mod anchors;
+pub mod components;
+pub mod gates;
+pub mod power;
+pub mod process;
+pub mod report;
+pub mod synthesis;
+pub mod timing;
+
+pub use components::{CompCost, Component};
+pub use synthesis::{PeDesign, SynthReport};

@@ -1,0 +1,72 @@
+//! Process-node normalization.
+//!
+//! The paper compares against accelerators published at other nodes by
+//! normalizing their area and power to 28 nm, "based on references from the
+//! TSMC annual report". We implement the standard first-order scaling used
+//! for such normalizations: area scales with the square of feature size;
+//! dynamic power scales with capacitance (≈ linear in feature size) and the
+//! square of supply voltage.
+
+/// A CMOS process node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessNode {
+    /// Feature size in nm.
+    pub nm: f64,
+    /// Nominal core supply in volts.
+    pub vdd: f64,
+}
+
+impl ProcessNode {
+    /// SMIC 28 nm HKC+ RVT at the paper's operating voltage.
+    pub const SMIC28: ProcessNode = ProcessNode { nm: 28.0, vdd: 0.72 };
+    /// TSMC 65 nm (Laconic, Bitlet-era designs).
+    pub const N65: ProcessNode = ProcessNode { nm: 65.0, vdd: 1.0 };
+    /// TSMC 40 nm.
+    pub const N40: ProcessNode = ProcessNode { nm: 40.0, vdd: 0.9 };
+    /// 28 nm generic (Sibia, Bitwave, HUAA report at 28 nm).
+    pub const N28: ProcessNode = ProcessNode { nm: 28.0, vdd: 0.8 };
+    /// TSMC 16 nm FinFET.
+    pub const N16: ProcessNode = ProcessNode { nm: 16.0, vdd: 0.8 };
+}
+
+/// Scales an area from `from` to `to`: `area × (to.nm / from.nm)²`.
+pub fn scale_area_um2(area_um2: f64, from: ProcessNode, to: ProcessNode) -> f64 {
+    area_um2 * (to.nm / from.nm).powi(2)
+}
+
+/// Scales dynamic power: capacitance ∝ feature size, energy ∝ C·V².
+pub fn scale_power_w(power_w: f64, from: ProcessNode, to: ProcessNode) -> f64 {
+    power_w * (to.nm / from.nm) * (to.vdd / from.vdd).powi(2)
+}
+
+/// Scales an energy-per-op figure the same way as power.
+pub fn scale_energy(energy: f64, from: ProcessNode, to: ProcessNode) -> f64 {
+    scale_power_w(energy, from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scaling_is_quadratic() {
+        let a = scale_area_um2(1000.0, ProcessNode::N65, ProcessNode::SMIC28);
+        assert!((a - 1000.0 * (28.0f64 / 65.0).powi(2)).abs() < 1e-9);
+        assert!(a < 200.0);
+    }
+
+    #[test]
+    fn identity_scaling() {
+        assert_eq!(
+            scale_area_um2(123.0, ProcessNode::SMIC28, ProcessNode::SMIC28),
+            123.0
+        );
+    }
+
+    #[test]
+    fn power_scaling_includes_voltage() {
+        let p = scale_power_w(1.0, ProcessNode::N65, ProcessNode::SMIC28);
+        // 28/65 × (0.72/1.0)² ≈ 0.223
+        assert!((p - (28.0 / 65.0) * 0.72f64.powi(2)).abs() < 1e-9);
+    }
+}

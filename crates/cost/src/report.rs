@@ -1,0 +1,147 @@
+//! Text rendering for synthesis reports and experiment tables.
+//!
+//! The `repro` harness prints paper-style tables; these helpers keep the
+//! formatting consistent (fixed-width markdown-ish tables that diff cleanly
+//! against EXPERIMENTS.md).
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:<w$} ", c, w = width[i]);
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.header);
+        for (i, w) in width.iter().enumerate() {
+            let _ = write!(out, "|{:-<w$}", "", w = w + 2);
+            if i == cols - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+impl Table {
+    /// Renders the table as CSV (header + rows), for plotting pipelines.
+    pub fn render_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as the paper prints them: `(×1.27)`.
+pub fn ratio(x: f64) -> String {
+    format!("(×{x:.2})")
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn num(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "area"]);
+        t.row(["MAC", "238.51"]);
+        t.row(["OPT1-long-name", "1.0"]);
+        let s = t.render();
+        assert!(s.contains("| MAC            | 238.51 |"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn row_arity_checked() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn ratio_format_matches_paper() {
+        assert_eq!(ratio(1.27), "(×1.27)");
+    }
+
+    #[test]
+    fn csv_escapes_and_renders() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["plain", "has,comma"]);
+        t.row(["has\"quote", "x"]);
+        let csv = t.render_csv();
+        assert_eq!(
+            csv,
+            "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n"
+        );
+    }
+}

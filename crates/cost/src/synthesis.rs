@@ -1,0 +1,267 @@
+//! PE-level synthesis: composing components into a design and "running it
+//! through the tool" at a clock constraint.
+//!
+//! A [`PeDesign`] is a bag of combinational [`Component`]s plus state bits
+//! (DFFs) and a critical path. [`PeDesign::synthesize`] prices it at a
+//! frequency: timing feasibility and area inflation come from
+//! [`crate::timing`], power from [`crate::power`].
+
+use crate::components::{CompCost, Component};
+use crate::power::EnergyBreakdown;
+use crate::timing;
+
+/// A processing-element (or PE-group) design to be synthesized.
+#[derive(Debug, Clone)]
+pub struct PeDesign {
+    /// Design name ("MAC", "OPT1", ...).
+    pub name: String,
+    /// Combinational components with instance counts.
+    pub combinational: Vec<(Component, u32)>,
+    /// State and pipeline DFB bits inside the PE (input operand registers,
+    /// carry-save state, select registers...).
+    pub state_bits: u32,
+    /// Relaxed-synthesis critical path in ns. Built with
+    /// [`PeDesignBuilder::critical_path`] or set directly from a paper
+    /// quote.
+    pub nominal_delay_ns: f64,
+    /// Hard frequency cap (GHz) from the paper's Figure 9 sweep, applied on
+    /// top of the timing model's own wall.
+    pub max_freq_ghz: f64,
+    /// Number of MAC-equivalent lanes this design provides (4 for an OPT4E
+    /// group, 1 otherwise) — used for per-lane efficiency metrics.
+    pub lanes: u32,
+}
+
+/// Builder for [`PeDesign`] (counted components accumulate; the critical
+/// path is the sum of an explicit component chain).
+#[derive(Debug, Clone)]
+pub struct PeDesignBuilder {
+    design: PeDesign,
+}
+
+impl PeDesignBuilder {
+    /// Starts an empty design.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            design: PeDesign {
+                name: name.into(),
+                combinational: Vec::new(),
+                state_bits: 0,
+                nominal_delay_ns: 0.0,
+                max_freq_ghz: f64::INFINITY,
+                lanes: 1,
+            },
+        }
+    }
+
+    /// Adds `count` instances of a combinational component.
+    pub fn comp(mut self, c: Component, count: u32) -> Self {
+        self.design.combinational.push((c, count));
+        self
+    }
+
+    /// Adds `bits` of DFF state.
+    pub fn state(mut self, bits: u32) -> Self {
+        self.design.state_bits += bits;
+        self
+    }
+
+    /// Sets the critical path as a chain of components (delays add).
+    pub fn critical_path(mut self, chain: &[Component]) -> Self {
+        self.design.nominal_delay_ns = chain.iter().map(|c| c.cost().delay_ns).sum();
+        self
+    }
+
+    /// Overrides the nominal delay with an explicit value (paper quote).
+    pub fn nominal_delay(mut self, ns: f64) -> Self {
+        self.design.nominal_delay_ns = ns;
+        self
+    }
+
+    /// Caps the synthesizable frequency (paper's observed wall).
+    pub fn max_freq(mut self, ghz: f64) -> Self {
+        self.design.max_freq_ghz = ghz;
+        self
+    }
+
+    /// Declares the number of MAC lanes the design provides.
+    pub fn lanes(mut self, lanes: u32) -> Self {
+        self.design.lanes = lanes;
+        self
+    }
+
+    /// Finishes the design.
+    pub fn build(self) -> PeDesign {
+        self.design
+    }
+}
+
+impl PeDesign {
+    /// Starts a builder.
+    pub fn builder(name: impl Into<String>) -> PeDesignBuilder {
+        PeDesignBuilder::new(name)
+    }
+
+    /// Relaxed-synthesis combinational cost (sum over components).
+    pub fn comb_cost(&self) -> CompCost {
+        let mut total = CompCost::default();
+        for (c, n) in &self.combinational {
+            let cost = c.cost();
+            let n = f64::from(*n);
+            total.area_um2 += cost.area_um2 * n;
+            total.energy_fj += cost.energy_fj * n;
+        }
+        total
+    }
+
+    /// Highest frequency this design closes timing at (model ∧ paper cap).
+    pub fn max_frequency_ghz(&self) -> f64 {
+        timing::max_frequency_ghz(self.nominal_delay_ns).min(self.max_freq_ghz)
+    }
+
+    /// Synthesizes at `freq_ghz`. Returns `None` on a timing violation.
+    pub fn synthesize(&self, freq_ghz: f64) -> Option<SynthReport> {
+        if freq_ghz > self.max_freq_ghz + 1e-9 {
+            return None;
+        }
+        let factor = timing::area_factor(self.nominal_delay_ns, freq_ghz)?;
+        let comb = self.comb_cost();
+        let dff = Component::DffBank {
+            bits: self.state_bits,
+        }
+        .cost();
+        let comb_area = comb.area_um2 * factor;
+        let dff_area = dff.area_um2;
+        let area = comb_area + dff_area;
+        Some(SynthReport {
+            design: self.name.clone(),
+            freq_ghz,
+            area_um2: area,
+            comb_area_um2: comb_area,
+            dff_area_um2: dff_area,
+            nominal_delay_ns: self.nominal_delay_ns,
+            lanes: self.lanes,
+            energy: EnergyBreakdown {
+                // Upsized gates switch proportionally more capacitance.
+                comb_fj: comb.energy_fj * factor,
+                dff_fj: dff.energy_fj,
+                leakage_uw: EnergyBreakdown::leakage_for_area(area),
+            },
+        })
+    }
+}
+
+/// The outcome of synthesizing a [`PeDesign`] at a clock constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthReport {
+    /// Design name.
+    pub design: String,
+    /// Clock constraint (GHz) the report was produced at.
+    pub freq_ghz: f64,
+    /// Total cell area (µm²).
+    pub area_um2: f64,
+    /// Combinational share of the area (µm², post-inflation).
+    pub comb_area_um2: f64,
+    /// Register share of the area (µm²).
+    pub dff_area_um2: f64,
+    /// The relaxed critical path the inflation was computed from.
+    pub nominal_delay_ns: f64,
+    /// MAC-equivalent lanes.
+    pub lanes: u32,
+    /// Per-cycle energy decomposition.
+    pub energy: EnergyBreakdown,
+}
+
+impl SynthReport {
+    /// Average power (µW) at combinational `activity` and clock duty.
+    pub fn power_uw(&self, activity: f64, clock_duty: f64) -> f64 {
+        self.energy.power_uw(self.freq_ghz, activity, clock_duty)
+    }
+
+    /// Throughput-normalized area efficiency in GOPS/mm² given `ops_per_cycle`
+    /// effective operations per cycle (2 per MAC lane-cycle for dense MACs).
+    pub fn area_efficiency(&self, ops_per_cycle: f64) -> f64 {
+        let gops = ops_per_cycle * self.freq_ghz;
+        gops / (self.area_um2 / 1e6)
+    }
+
+    /// Energy efficiency in TOPS/W at the given activity.
+    pub fn energy_efficiency(&self, ops_per_cycle: f64, activity: f64) -> f64 {
+        let tops = ops_per_cycle * self.freq_ghz * 1e9 / 1e12;
+        let watts = self.power_uw(activity, 1.0) * 1e-6;
+        tops / watts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchors;
+
+    fn toy_design(delay: f64) -> PeDesign {
+        PeDesign::builder("toy")
+            .comp(Component::CompressorTree { inputs: 4, width: 32 }, 1)
+            .state(64)
+            .nominal_delay(delay)
+            .build()
+    }
+
+    #[test]
+    fn synthesize_reports_area_breakdown() {
+        let d = toy_design(0.4);
+        let r = d.synthesize(1.0).unwrap();
+        assert!(r.comb_area_um2 > 0.0 && r.dff_area_um2 > 0.0);
+        assert!((r.area_um2 - (r.comb_area_um2 + r.dff_area_um2)).abs() < 1e-9);
+        assert!((r.dff_area_um2 - 64.0 * crate::gates::DFF_AREA_UM2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timing_violation_returns_none() {
+        let d = toy_design(anchors::MAC_TPD_NS);
+        assert!(d.synthesize(1.5).is_some());
+        assert!(d.synthesize(1.7).is_none());
+    }
+
+    #[test]
+    fn paper_frequency_cap_enforced() {
+        let d = PeDesign::builder("capped")
+            .comp(Component::CompressorTree { inputs: 3, width: 16 }, 1)
+            .nominal_delay(0.3)
+            .max_freq(2.0)
+            .build();
+        assert!(d.synthesize(2.0).is_some());
+        assert!(d.synthesize(2.1).is_none());
+    }
+
+    #[test]
+    fn area_grows_with_constraint() {
+        let d = toy_design(1.0);
+        let a1 = d.synthesize(0.8).unwrap().area_um2;
+        let a2 = d.synthesize(1.6).unwrap().area_um2;
+        assert!(a2 > a1);
+    }
+
+    #[test]
+    fn efficiency_metrics_positive_and_consistent() {
+        let d = toy_design(0.4);
+        let r = d.synthesize(2.0).unwrap();
+        let ae = r.area_efficiency(2.0);
+        let ee = r.energy_efficiency(2.0, 1.0);
+        assert!(ae > 0.0 && ee > 0.0);
+        // Halving ops per cycle halves both.
+        assert!((r.area_efficiency(1.0) - ae / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_critical_path_composes_delays() {
+        let d = PeDesign::builder("path")
+            .critical_path(&[
+                Component::Mux { ways: 5, width: 10 },
+                Component::CompressorTree { inputs: 3, width: 16 },
+            ])
+            .build();
+        let mux = Component::Mux { ways: 5, width: 10 }.cost().delay_ns;
+        let tree = Component::CompressorTree { inputs: 3, width: 16 }.cost().delay_ns;
+        assert!((d.nominal_delay_ns - (mux + tree)).abs() < 1e-12);
+    }
+}

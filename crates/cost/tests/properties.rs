@@ -1,0 +1,92 @@
+//! Property tests for the cost model: the physical sanity conditions any
+//! synthesis substitute must uphold.
+
+use proptest::prelude::*;
+use tpe_cost::components::Component;
+use tpe_cost::power::EnergyBreakdown;
+use tpe_cost::synthesis::PeDesign;
+use tpe_cost::timing;
+
+fn toy(delay: f64, state: u32) -> PeDesign {
+    PeDesign::builder("toy")
+        .comp(Component::CompressorTree { inputs: 4, width: 24 }, 1)
+        .comp(Component::Mux { ways: 5, width: 10 }, 2)
+        .state(state)
+        .nominal_delay(delay)
+        .build()
+}
+
+proptest! {
+    /// Area never shrinks as the clock constraint tightens, and once
+    /// timing fails it fails for all higher frequencies.
+    #[test]
+    fn area_monotone_and_feasibility_downward_closed(
+        delay in 0.2f64..2.0,
+        state in 8u32..128,
+    ) {
+        let d = toy(delay, state);
+        let mut last_area = 0.0;
+        let mut failed = false;
+        let mut f = 0.4;
+        while f <= 3.2 {
+            match d.synthesize(f) {
+                Some(r) => {
+                    prop_assert!(!failed, "feasible at {f} after failing earlier");
+                    prop_assert!(r.area_um2 + 1e-9 >= last_area, "area shrank at {f}");
+                    last_area = r.area_um2;
+                }
+                None => failed = true,
+            }
+            f += 0.1;
+        }
+    }
+
+    /// The model's max frequency is consistent with pointwise feasibility.
+    #[test]
+    fn max_frequency_is_the_boundary(delay in 0.2f64..2.0) {
+        let fmax = timing::max_frequency_ghz(delay);
+        prop_assert!(timing::area_factor(delay, fmax * 0.99).is_some());
+        prop_assert!(timing::area_factor(delay, fmax * 1.01).is_none());
+    }
+
+    /// Power increases with frequency, activity and clock duty.
+    #[test]
+    fn power_monotonicity(
+        comb in 10.0f64..500.0,
+        dff in 5.0f64..200.0,
+        f in 0.5f64..3.0,
+        act in 0.0f64..1.0,
+    ) {
+        let e = EnergyBreakdown { comb_fj: comb, dff_fj: dff, leakage_uw: 1.0 };
+        prop_assert!(e.power_uw(f, act, 1.0) <= e.power_uw(f + 0.1, act, 1.0));
+        prop_assert!(e.power_uw(f, act, 1.0) <= e.power_uw(f, (act + 0.1).min(1.0), 1.0) + 1e-12);
+        prop_assert!(e.power_uw(f, act, 0.5) <= e.power_uw(f, act, 1.0));
+        prop_assert!(e.power_uw(f, 0.0, 0.0) >= 1.0 - 1e-12, "leakage floor");
+    }
+
+    /// Component costs are non-negative and grow with width.
+    #[test]
+    fn component_width_monotonicity(w in 8u32..40) {
+        for make in [
+            |w| Component::Accumulator { width: w },
+            |w| Component::CarryPropagateAdder { width: w },
+            |w| Component::CompressorTree { inputs: 4, width: w },
+            |w| Component::DffBank { bits: w },
+        ] {
+            let small = make(w).cost();
+            let big = make(w + 8).cost();
+            prop_assert!(small.area_um2 >= 0.0 && small.energy_fj >= 0.0);
+            prop_assert!(big.area_um2 >= small.area_um2, "area must grow with width");
+        }
+    }
+
+    /// Compressor trees grow with input count but keep depth-logarithmic
+    /// delay.
+    #[test]
+    fn tree_scaling(inputs in 3u32..24) {
+        let t = Component::CompressorTree { inputs, width: 24 }.cost();
+        let t2 = Component::CompressorTree { inputs: inputs + 1, width: 24 }.cost();
+        prop_assert!(t2.area_um2 >= t.area_um2);
+        prop_assert!(t.delay_ns <= 0.16 * f64::from(inputs), "delay must stay shallow");
+    }
+}

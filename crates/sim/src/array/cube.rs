@@ -1,0 +1,121 @@
+//! 3D-Cube array (Ascend-like): an `MP × NP × KP` block of MACs computing
+//! one GEMM sub-block per cycle, with `KP`-deep adder trees reducing the K
+//! axis spatially.
+
+use super::DenseArray;
+use crate::stats::SimStats;
+use tpe_workloads::Matrix;
+
+/// An `MP × NP × KP` cube of multiply units with spatial K reduction.
+#[derive(Debug, Clone, Copy)]
+pub struct CubeArray {
+    mp: usize,
+    np: usize,
+    kp: usize,
+}
+
+impl CubeArray {
+    /// Creates the cube (the paper's Ascend configuration is 10×10×10).
+    pub fn new(mp: usize, np: usize, kp: usize) -> Self {
+        assert!(mp > 0 && np > 0 && kp > 0);
+        Self { mp, np, kp }
+    }
+
+    /// Adder-tree pipeline depth for the spatial K reduction.
+    fn tree_depth(&self) -> u64 {
+        (usize::BITS - (self.kp - 1).leading_zeros()) as u64
+    }
+}
+
+impl DenseArray for CubeArray {
+    fn name(&self) -> &'static str {
+        "Ascend(3D-Cube)"
+    }
+
+    fn pe_count(&self) -> usize {
+        self.mp * self.np * self.kp
+    }
+
+    fn simulate(&self, a: &Matrix<i8>, b: &Matrix<i8>) -> (Matrix<i32>, SimStats) {
+        assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+        let (m, n, k) = (a.rows(), b.cols(), a.cols());
+        let mut out = Matrix::<i32>::zeros(m, n);
+        let mut cycles = 0u64;
+        // Each cycle the cube consumes an (mp × kp) × (kp × np) block.
+        let mut m0 = 0;
+        while m0 < m {
+            let mm = (m - m0).min(self.mp);
+            let mut n0 = 0;
+            while n0 < n {
+                let nn = (n - n0).min(self.np);
+                let mut k0 = 0;
+                while k0 < k {
+                    let kk = (k - k0).min(self.kp);
+                    for i in 0..mm {
+                        for j in 0..nn {
+                            let mut acc = 0i32;
+                            for x in 0..kk {
+                                acc += i32::from(a[(m0 + i, k0 + x)])
+                                    * i32::from(b[(k0 + x, n0 + j)]);
+                            }
+                            out[(m0 + i, n0 + j)] += acc;
+                        }
+                    }
+                    cycles += 1;
+                    k0 += self.kp;
+                }
+                n0 += self.np;
+            }
+            m0 += self.mp;
+        }
+        cycles += self.tree_depth(); // drain the reduction pipeline
+        let macs = (m * n * k) as u64;
+        let stats = SimStats {
+            cycles,
+            macs,
+            partial_products: macs * 4,
+            busy_per_column: vec![cycles - self.tree_depth(); self.np],
+            sync_events: 0,
+            lanes: self.pe_count() as u64,
+        };
+        (out, stats)
+    }
+
+    fn estimate_cycles(&self, m: usize, n: usize, k: usize) -> u64 {
+        (m.div_ceil(self.mp) * n.div_ceil(self.np) * k.div_ceil(self.kp)) as u64
+            + self.tree_depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpe_workloads::distributions::uniform_int8_matrix;
+    use tpe_workloads::matrix::matmul_i8;
+
+    #[test]
+    fn exact_with_ragged_tiles() {
+        let a = uniform_int8_matrix(11, 23, 7);
+        let b = uniform_int8_matrix(23, 13, 8);
+        let cube = CubeArray::new(4, 4, 4);
+        let (c, _) = cube.simulate(&a, &b);
+        assert_eq!(c, matmul_i8(&a, &b));
+    }
+
+    #[test]
+    fn one_block_per_cycle() {
+        let cube = CubeArray::new(10, 10, 10);
+        // A 10×10×10 GEMM is one cycle plus tree drain (⌈log2 10⌉ = 4).
+        assert_eq!(cube.estimate_cycles(10, 10, 10), 1 + 4);
+        assert_eq!(cube.estimate_cycles(20, 20, 20), 8 + 4);
+    }
+
+    #[test]
+    fn cube_is_k_parallel() {
+        // Doubling K adds blocks along the reduction axis only.
+        let cube = CubeArray::new(10, 10, 10);
+        let c1 = cube.estimate_cycles(10, 10, 100);
+        let c2 = cube.estimate_cycles(10, 10, 200);
+        assert_eq!(c2 - c1, 10);
+    }
+}

@@ -1,0 +1,318 @@
+//! Column-synchronous bit-slice array: the execution substrate of
+//! OPT3 / OPT4C / OPT4E.
+//!
+//! Organization (paper Figure 7/8):
+//!
+//! * The array has `MP` **columns**; column `c` owns one row of `A` at a
+//!   time and broadcasts that operand's *encoded digits* down the column.
+//! * Each column contains `NP` PEs (× `lanes_per_pe` lanes for OPT4E
+//!   groups); every lane serves one output column `n`, so a column covers
+//!   `NP · lanes` outputs per pass and `⌈N / (NP·lanes)⌉` passes cover N.
+//! * A column spends **one cycle per non-zero digit** of each `A[m][k]`
+//!   (zero digits are sparse-skipped; all-zero operands are skipped
+//!   entirely by the prefetcher).
+//! * Columns run asynchronously between `sync` barriers placed every `KT`
+//!   operands of the reduction; a barrier completes when the slowest
+//!   column finishes (`Tsync = max(T_1 … T_MP)`, Eq. 7).
+//!
+//! Cycle counts are exact under these semantics, and the computed matrix
+//! is produced through the actual serial digit datapath
+//! ([`tpe_arith::mac::SerialDigitMac`]), so results are bit-exact.
+
+use crate::stats::SimStats;
+use tpe_arith::encode::{Encoder, EncodingKind};
+use tpe_arith::mac::SerialDigitMac;
+use tpe_workloads::Matrix;
+
+/// Configuration of a column-synchronous bit-slice array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitsliceConfig {
+    /// Number of columns (spatial M).
+    pub mp: usize,
+    /// PEs per column (spatial N).
+    pub np: usize,
+    /// Output lanes per PE (4 for OPT4E PE-groups, 1 otherwise).
+    pub lanes_per_pe: usize,
+    /// Operands between `sync` barriers (the temporal K granularity; the
+    /// paper synchronizes at most every `KT × KP` cycles).
+    pub kt: usize,
+    /// Multiplicand encoding (EN-T for the proposed designs).
+    pub encoding: EncodingKind,
+}
+
+impl BitsliceConfig {
+    /// OPT3's Table VII configuration: 32×32 PEs, EN-T encoding.
+    pub fn opt3() -> Self {
+        Self {
+            mp: 32,
+            np: 32,
+            lanes_per_pe: 1,
+            kt: 16,
+            encoding: EncodingKind::EnT,
+        }
+    }
+
+    /// OPT4C: same array, shared out-of-array encoders (cycle-identical to
+    /// OPT3; the difference is area/power, priced by `tpe-core`).
+    pub fn opt4c() -> Self {
+        Self::opt3()
+    }
+
+    /// OPT4E: 32×32 PE-groups, each group 4 lanes sharing one 6-2 tree.
+    pub fn opt4e() -> Self {
+        Self {
+            mp: 32,
+            np: 32,
+            lanes_per_pe: 4,
+            kt: 16,
+            encoding: EncodingKind::EnT,
+        }
+    }
+
+    /// Output columns covered per pass.
+    pub fn n_per_pass(&self) -> usize {
+        self.np * self.lanes_per_pe
+    }
+
+    /// Total MAC lanes in the array.
+    pub fn lanes(&self) -> usize {
+        self.mp * self.np * self.lanes_per_pe
+    }
+}
+
+/// The column-synchronous array simulator.
+#[derive(Debug, Clone)]
+pub struct BitsliceArray {
+    cfg: BitsliceConfig,
+}
+
+impl BitsliceArray {
+    /// Creates the array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration dimension is zero.
+    pub fn new(cfg: BitsliceConfig) -> Self {
+        assert!(cfg.mp > 0 && cfg.np > 0 && cfg.lanes_per_pe > 0 && cfg.kt > 0);
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BitsliceConfig {
+        &self.cfg
+    }
+
+    /// Per-operand serial cycle cost: the number of non-zero digits.
+    fn operand_cycles(enc: &dyn Encoder, v: i8) -> u64 {
+        enc.num_pps(i64::from(v), 8) as u64
+    }
+
+    /// Simulates `C = A·B` exactly, returning the product and statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn simulate(&self, a: &Matrix<i8>, b: &Matrix<i8>) -> (Matrix<i32>, SimStats) {
+        assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+        let enc = self.cfg.encoding.encoder();
+        let (m, n, k) = (a.rows(), b.cols(), a.cols());
+        let mut out = Matrix::<i32>::zeros(m, n);
+
+        // Exact values through the serial digit datapath.
+        for i in 0..m {
+            for j in 0..n {
+                let mut mac = SerialDigitMac::new(32);
+                for x in 0..k {
+                    for d in enc.encode_nonzero(i64::from(a[(i, x)]), 8) {
+                        mac.step(d, i64::from(b[(x, j)]));
+                    }
+                }
+                out[(i, j)] = mac.resolve() as i32;
+            }
+        }
+
+        let stats = self.cycle_stats(a, n);
+        (out, stats)
+    }
+
+    /// Cycle/utilization statistics only — exact under the lockstep-column
+    /// semantics and cheap enough for network-level sweeps (cycles do not
+    /// depend on `B`'s values, only on `A`'s digit statistics and `N`).
+    pub fn cycle_stats(&self, a: &Matrix<i8>, n: usize) -> SimStats {
+        let enc = self.cfg.encoding.encoder();
+        let (m, k) = (a.rows(), a.cols());
+        let n_passes = n.div_ceil(self.cfg.n_per_pass()) as u64;
+
+        let mut cycles = 0u64;
+        let mut busy = vec![0u64; self.cfg.mp];
+        let mut pps = 0u64;
+        let mut syncs = 0u64;
+
+        let mut m0 = 0;
+        while m0 < m {
+            let active = (m - m0).min(self.cfg.mp);
+            // Per-column serial cycles for each KT block of the reduction.
+            let mut k0 = 0;
+            while k0 < k {
+                let kk = (k - k0).min(self.cfg.kt);
+                let mut tmax = 0u64;
+                let mut block_busy = vec![0u64; active];
+                for (c, bb) in block_busy.iter_mut().enumerate() {
+                    let row = m0 + c;
+                    let t: u64 = (k0..k0 + kk)
+                        .map(|x| Self::operand_cycles(enc.as_ref(), a[(row, x)]))
+                        .sum();
+                    *bb = t;
+                    tmax = tmax.max(t);
+                }
+                // All passes over N repeat the same digit stream.
+                cycles += tmax * n_passes;
+                for (c, bb) in block_busy.iter().enumerate() {
+                    busy[c] += bb * n_passes;
+                }
+                pps += block_busy.iter().sum::<u64>() * n_passes;
+                syncs += n_passes;
+                k0 += self.cfg.kt;
+            }
+            m0 += self.cfg.mp;
+        }
+
+        SimStats {
+            cycles,
+            macs: (m * n * k) as u64,
+            // Each serial cycle applies one digit to every covered output
+            // column, so processed PPs scale with the outputs per pass.
+            partial_products: pps * self.cfg.n_per_pass().min(n) as u64,
+            busy_per_column: busy,
+            sync_events: syncs,
+            lanes: self.cfg.lanes() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpe_workloads::distributions::{normal_int8_matrix, uniform_int8_matrix};
+    use tpe_workloads::matrix::matmul_i8;
+
+    fn small_cfg() -> BitsliceConfig {
+        BitsliceConfig {
+            mp: 4,
+            np: 4,
+            lanes_per_pe: 1,
+            kt: 8,
+            encoding: EncodingKind::EnT,
+        }
+    }
+
+    #[test]
+    fn bit_exact_against_reference() {
+        let a = uniform_int8_matrix(9, 19, 100);
+        let b = uniform_int8_matrix(19, 7, 101);
+        let (c, stats) = BitsliceArray::new(small_cfg()).simulate(&a, &b);
+        assert_eq!(c, matmul_i8(&a, &b));
+        assert_eq!(stats.macs, 9 * 19 * 7);
+        assert!(stats.cycles > 0);
+    }
+
+    /// Hand-checked cycle count on a 2-column array with known operands.
+    #[test]
+    fn cycle_count_is_max_over_columns() {
+        // Column 0 processes [124, 15] → 2 + 2 = 4 cycles.
+        // Column 1 processes [91, 0]  → 4 + 0 = 4 cycles.
+        let a = Matrix::from_vec(2, 2, vec![124i8, 15, 91, 0]);
+        let cfg = BitsliceConfig {
+            mp: 2,
+            np: 2,
+            lanes_per_pe: 1,
+            kt: 2,
+            encoding: EncodingKind::EnT,
+        };
+        let stats = BitsliceArray::new(cfg).cycle_stats(&a, 2);
+        assert_eq!(stats.cycles, 4);
+        assert_eq!(stats.busy_per_column, vec![4, 4]);
+        assert_eq!(stats.sync_events, 1);
+    }
+
+    /// Sync barriers make the slow column gate the block.
+    #[test]
+    fn slow_column_gates_sync() {
+        // Column 0: all zeros (0 cycles); column 1: −1 → worst-case digits.
+        let a = Matrix::from_vec(2, 1, vec![0i8, -1]);
+        let cfg = BitsliceConfig {
+            mp: 2,
+            np: 1,
+            lanes_per_pe: 1,
+            kt: 1,
+            encoding: EncodingKind::BitSerialComplement,
+        };
+        let stats = BitsliceArray::new(cfg).cycle_stats(&a, 1);
+        assert_eq!(stats.cycles, 8, "-1 has 8 complement slices");
+        assert_eq!(stats.busy_per_column, vec![0, 8]);
+        assert!((stats.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    /// Longer K reduces the relative sync penalty (§VI): utilization grows
+    /// with the reduction dimension.
+    #[test]
+    fn utilization_improves_with_k() {
+        let cfg = BitsliceConfig {
+            mp: 8,
+            np: 4,
+            lanes_per_pe: 1,
+            kt: usize::MAX,
+            encoding: EncodingKind::EnT,
+        };
+        let short = BitsliceArray::new(cfg).cycle_stats(&normal_int8_matrix(8, 9, 1.0, 5), 4);
+        let long = BitsliceArray::new(cfg).cycle_stats(&normal_int8_matrix(8, 576, 1.0, 5), 4);
+        assert!(
+            long.utilization() > short.utilization(),
+            "K=576 util {} should beat K=9 util {}",
+            long.utilization(),
+            short.utilization()
+        );
+        assert!(long.utilization() > 0.9, "paper reports >90% at K=576");
+    }
+
+    /// OPT4E's 4 lanes per PE quarter the number of passes over N.
+    #[test]
+    fn lanes_reduce_passes() {
+        let a = normal_int8_matrix(4, 32, 1.0, 9);
+        let base = BitsliceConfig {
+            mp: 4,
+            np: 4,
+            lanes_per_pe: 1,
+            kt: 8,
+            encoding: EncodingKind::EnT,
+        };
+        let grouped = BitsliceConfig {
+            lanes_per_pe: 4,
+            ..base
+        };
+        let c1 = BitsliceArray::new(base).cycle_stats(&a, 16);
+        let c4 = BitsliceArray::new(grouped).cycle_stats(&a, 16);
+        assert_eq!(c1.cycles, 4 * c4.cycles);
+    }
+
+    /// Ragged M tail: inactive columns don't contribute busy cycles.
+    #[test]
+    fn ragged_m_tail() {
+        let a = normal_int8_matrix(5, 16, 1.0, 33);
+        let stats = BitsliceArray::new(small_cfg()).cycle_stats(&a, 4);
+        assert_eq!(stats.busy_per_column.len(), 4);
+        // Two m-tiles: {rows 0-3} then {row 4} → only column 0 busy there.
+        assert!(stats.busy_per_column[0] > stats.busy_per_column[3] / 2);
+    }
+
+    /// Average PPs per MAC tracks the encoder statistics (≈2.2 for EN-T on
+    /// normal data).
+    #[test]
+    fn avg_pps_matches_encoding(){
+        let a = normal_int8_matrix(16, 128, 1.0, 77);
+        let cfg = BitsliceConfig { mp: 16, np: 8, lanes_per_pe: 1, kt: 32, encoding: EncodingKind::EnT };
+        let stats = BitsliceArray::new(cfg).cycle_stats(&a, 8);
+        let avg = stats.avg_pps_per_mac();
+        assert!((2.0..2.5).contains(&avg), "avg NumPPs {avg}");
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # tpe-sim
+//!
+//! Cycle-level simulators for tensor-processing-engine arrays.
+//!
+//! Two simulation styles cover the paper's evaluation:
+//!
+//! * **Dense arrays** ([`mod@array`]) — the four classic TPE topologies the
+//!   paper retrofits with OPT1/OPT2: weight-stationary systolic (TPU-like),
+//!   3D-Cube (Ascend-like), multiplier–adder-tree (Trapezoid-like) and
+//!   broadcast 2D-Matrix (FlexFlow-like). The systolic array is simulated
+//!   cycle-accurately (skewed wavefront, register movement); the others are
+//!   functionally exact with validated closed-form cycle models.
+//! * **Column-synchronous bit-slice engine** ([`bitslice`]) — the substrate
+//!   of OPT3/OPT4C/OPT4E: each column shares a multiplicand stream, spends
+//!   one cycle per non-zero encoded digit, and synchronizes with the other
+//!   columns every `KT` operands (the `sync` primitive). Cycle counts are
+//!   exact; results are bit-exact against the reference GEMM.
+//!
+//! Every simulator returns both the product matrix and a [`stats::SimStats`]
+//! that downstream crates combine with `tpe-cost` to price delay and energy.
+
+pub mod array;
+pub mod bitslice;
+pub mod memory;
+pub mod pe_schemes;
+pub mod stats;
+
+pub use bitslice::{BitsliceArray, BitsliceConfig};
+pub use stats::SimStats;

@@ -1,0 +1,109 @@
+//! Property tests for the simulators: exactness and conservation laws on
+//! random shapes and data.
+
+use proptest::prelude::*;
+use tpe_arith::encode::EncodingKind;
+use tpe_sim::array::{
+    AdderTreeArray, CubeArray, DenseArray, Matrix2dArray, OsSystolicArray, SystolicArray,
+};
+use tpe_sim::pe_schemes::compare_schemes;
+use tpe_sim::{BitsliceArray, BitsliceConfig};
+use tpe_workloads::distributions::uniform_int8_matrix;
+use tpe_workloads::matrix::matmul_i8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both systolic dataflows (WS and OS) and the other dense arrays are
+    /// exact on random shapes.
+    #[test]
+    fn dense_arrays_exact(
+        m in 1usize..14,
+        n in 1usize..14,
+        k in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        let a = uniform_int8_matrix(m, k, seed);
+        let b = uniform_int8_matrix(k, n, seed + 1);
+        let expect = matmul_i8(&a, &b);
+        let engines: Vec<Box<dyn DenseArray>> = vec![
+            Box::new(SystolicArray::new(4, 4)),
+            Box::new(OsSystolicArray::new(4, 4)),
+            Box::new(CubeArray::new(3, 3, 3)),
+            Box::new(AdderTreeArray::new(4, 4)),
+            Box::new(Matrix2dArray::new(4, 4)),
+        ];
+        for e in engines {
+            let (c, stats) = e.simulate(&a, &b);
+            prop_assert_eq!(&c, &expect, "{}", e.name());
+            prop_assert_eq!(stats.macs, (m * n * k) as u64);
+            prop_assert_eq!(stats.cycles, e.estimate_cycles(m, n, k), "{}", e.name());
+        }
+    }
+
+    /// Every Figure 2 PE scheme is exact on random vectors, and the cycle
+    /// hierarchy holds: interleaved ≤ serial, encoded ≤ bit-serial.
+    #[test]
+    fn pe_schemes_exact_and_ordered(
+        k in 1usize..200,
+        seed in 0u64..500,
+    ) {
+        let a: Vec<i8> = uniform_int8_matrix(1, k, seed).data().to_vec();
+        let b: Vec<i8> = uniform_int8_matrix(1, k, seed + 1).data().to_vec();
+        let results = compare_schemes(&a, &b);
+        let val = results[0].1.value;
+        for (name, r) in &results {
+            prop_assert_eq!(r.value, val, "{}", name);
+        }
+        let get = |tag: &str| results.iter().find(|(n, _)| n.contains(tag)).unwrap().1;
+        prop_assert!(get("2E").cycles <= get("2B").cycles, "encoding never hurts");
+        prop_assert!(get("2F").cycles <= get("2E").cycles, "interleaving never hurts");
+        prop_assert!(get("2C+").cycles <= get("2C)").cycles.max(get("2C+").cycles));
+    }
+
+    /// The bit-slice engine conserves work: the sum of per-column busy
+    /// cycles equals processed digits, and cycles ≥ busy-max.
+    #[test]
+    fn bitslice_work_conservation(
+        m in 1usize..12,
+        k in 1usize..40,
+        n in 1usize..12,
+        kt in 1usize..16,
+        seed in 0u64..200,
+    ) {
+        let a = uniform_int8_matrix(m, k, seed);
+        let cfg = BitsliceConfig {
+            mp: 4,
+            np: 2,
+            lanes_per_pe: 1,
+            kt,
+            encoding: EncodingKind::EnT,
+        };
+        let stats = BitsliceArray::new(cfg).cycle_stats(&a, n);
+        prop_assert!(stats.cycles >= stats.busy_max());
+        let n_passes = n.div_ceil(cfg.n_per_pass()) as u64;
+        // Total digits in A × passes = total busy.
+        let enc = EncodingKind::EnT.encoder();
+        let digits: u64 = a.iter().map(|&v| enc.num_pps(i64::from(v), 8) as u64).sum();
+        let busy: u64 = stats.busy_per_column.iter().sum();
+        prop_assert_eq!(busy, digits * n_passes);
+    }
+
+    /// Sync granularity only ever helps when coarsened: cycles(kt = ∞) ≤
+    /// cycles(kt) for any kt.
+    #[test]
+    fn coarser_sync_never_slower(
+        k in 2usize..60,
+        kt in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let a = uniform_int8_matrix(8, k, seed);
+        let fine = BitsliceConfig {
+            mp: 8, np: 2, lanes_per_pe: 1, kt, encoding: EncodingKind::EnT,
+        };
+        let coarse = BitsliceConfig { kt: usize::MAX, ..fine };
+        let cf = BitsliceArray::new(fine).cycle_stats(&a, 2);
+        let cc = BitsliceArray::new(coarse).cycle_stats(&a, 2);
+        prop_assert!(cc.cycles <= cf.cycles);
+    }
+}

@@ -1,0 +1,136 @@
+//! Seeded normal sampling and INT8 quantization.
+//!
+//! Normal variates come from an in-repo Box–Muller transform over `rand`'s
+//! `StdRng` (keeping the dependency set to the workspace's allowed crates).
+//! Quantization uses symmetric max-abs scaling — the standard scheme for
+//! INT8 DNN tensors — which makes digit statistics σ-invariant, matching
+//! the paper's Table III observation that average NumPPs barely moves from
+//! σ = 0.5 to σ = 5.0.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded N(0, σ) sampler (Box–Muller).
+#[derive(Debug)]
+pub struct NormalSampler {
+    rng: StdRng,
+    sigma: f64,
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler for N(0, `sigma`) with a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not strictly positive and finite.
+    pub fn new(sigma: f64, seed: u64) -> Self {
+        assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            sigma,
+            spare: None,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z * self.sigma;
+        }
+        // Box–Muller: two uniforms → two independent standard normals.
+        let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos() * self.sigma
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+/// Symmetric max-abs INT8 quantization: `q = round(127 · x / max|x|)`.
+///
+/// Returns all zeros if the input is all zeros.
+pub fn quantize_symmetric(values: &[f64]) -> Vec<i8> {
+    let max_abs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        return vec![0; values.len()];
+    }
+    let scale = 127.0 / max_abs;
+    values
+        .iter()
+        .map(|&v| (v * scale).round().clamp(-128.0, 127.0) as i8)
+        .collect()
+}
+
+/// A `rows × cols` INT8 matrix of quantized N(0, σ) values.
+pub fn normal_int8_matrix(rows: usize, cols: usize, sigma: f64, seed: u64) -> Matrix<i8> {
+    let mut sampler = NormalSampler::new(sigma, seed);
+    let raw = sampler.sample_vec(rows * cols);
+    Matrix::from_vec(rows, cols, quantize_symmetric(&raw))
+}
+
+/// Uniform INT8 matrix over the full range (for worst-case sweeps).
+pub fn uniform_int8_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-128i16..=127) as i8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let a = NormalSampler::new(1.0, 42).sample_vec(100);
+        let b = NormalSampler::new(1.0, 42).sample_vec(100);
+        assert_eq!(a, b);
+        let c = NormalSampler::new(1.0, 43).sample_vec(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sample_moments_are_roughly_normal() {
+        let xs = NormalSampler::new(2.0, 7).sample_vec(200_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.03, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn quantization_uses_full_scale() {
+        let q = quantize_symmetric(&[-2.0, -1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(q, vec![-127, -64, 0, 64, 127]);
+    }
+
+    #[test]
+    fn quantization_of_zeros() {
+        assert_eq!(quantize_symmetric(&[0.0; 4]), vec![0; 4]);
+    }
+
+    /// Max-abs scaling makes the quantized distribution σ-invariant — the
+    /// mechanism behind Table III's flat rows.
+    #[test]
+    fn quantized_distribution_sigma_invariant() {
+        let stat = |sigma: f64| {
+            let m = normal_int8_matrix(128, 128, sigma, 11);
+            m.iter().map(|&v| f64::from(v).abs()).sum::<f64>() / (128.0 * 128.0)
+        };
+        let (a, b) = (stat(0.5), stat(5.0));
+        assert!((a - b).abs() / a < 0.05, "mean |q| differs: {a} vs {b}");
+    }
+
+    #[test]
+    fn uniform_matrix_covers_range() {
+        let m = uniform_int8_matrix(64, 64, 3);
+        assert!(m.iter().any(|&v| v < -100));
+        assert!(m.iter().any(|&v| v > 100));
+    }
+}

@@ -1,0 +1,201 @@
+//! Row-major matrices and the reference integer GEMM.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Creates a `rows × cols` matrix filled with `T::default()`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        assert!(rows > 0 && cols > 0);
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix element-wise from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self::from_vec(rows, cols, data)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the row-major backing storage.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over all elements in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.data.iter()
+    }
+
+    /// The transposed matrix.
+    pub fn transposed(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+}
+
+impl<T> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Matrix<T> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: fmt::Display + Copy + Default> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows.min(8) {
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:>6} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}", if self.cols > 12 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "… ({} × {})", self.rows, self.cols)?;
+        }
+        Ok(())
+    }
+}
+
+/// Reference INT8 × INT8 → INT32 GEMM: the ground truth every simulated
+/// architecture must reproduce exactly.
+///
+/// # Panics
+///
+/// Panics if inner dimensions disagree.
+pub fn matmul_i8(a: &Matrix<i8>, b: &Matrix<i8>) -> Matrix<i32> {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    let mut c = Matrix::<i32>::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let aik = i32::from(a[(i, k)]);
+            if aik == 0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                c[(i, j)] += aik * i32::from(b[(k, j)]);
+            }
+        }
+    }
+    c
+}
+
+/// Reference i32 GEMM for wider substrates.
+pub fn matmul_i32(a: &Matrix<i32>, b: &Matrix<i32>) -> Matrix<i64> {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    let mut c = Matrix::<i64>::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let aik = i64::from(a[(i, k)]);
+            for j in 0..b.cols() {
+                c[(i, j)] += aik * i64::from(b[(k, j)]);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul() {
+        let a = Matrix::<i8>::from_fn(3, 3, |r, c| if r == c { 1 } else { 0 });
+        let b = Matrix::<i8>::from_fn(3, 2, |r, c| (r * 2 + c) as i8);
+        let c = matmul_i8(&a, &b);
+        for r in 0..3 {
+            for col in 0..2 {
+                assert_eq!(c[(r, col)], i32::from(b[(r, col)]));
+            }
+        }
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_vec(2, 2, vec![1i8, 2, 3, 4]);
+        let b = Matrix::from_vec(2, 2, vec![5i8, 6, 7, 8]);
+        let c = matmul_i8(&a, &b);
+        assert_eq!(c.data(), &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow_i32() {
+        // 512 × (−128 × −128) = 8,388,608 — fits i32 comfortably.
+        let a = Matrix::from_vec(1, 512, vec![-128i8; 512]);
+        let b = Matrix::from_vec(512, 1, vec![-128i8; 512]);
+        let c = matmul_i8(&a, &b);
+        assert_eq!(c[(0, 0)], 512 * 16384);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::<i8>::from_fn(3, 5, |r, c| (r * 5 + c) as i8);
+        assert_eq!(a.transposed().transposed(), a);
+        assert_eq!(a.transposed()[(4, 2)], a[(2, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let a = Matrix::<i8>::zeros(2, 3);
+        let b = Matrix::<i8>::zeros(2, 3);
+        matmul_i8(&a, &b);
+    }
+
+    #[test]
+    fn row_slice_matches_indexing() {
+        let a = Matrix::<i8>::from_fn(4, 4, |r, c| (r * 4 + c) as i8);
+        assert_eq!(a.row(2), &[8, 9, 10, 11]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Encoding sparsity and NumPPs measurement over real data.
+//!
+//! These are the data-facing statistics the paper builds its acceleration
+//! case on: the average number of non-zero partial products per operand
+//! (Table III) and the digit-level sparsity `s` that parameterizes the
+//! synchronization model of Eqs. 7–8 (e.g. `s = 0.38` for EN-T-encoded
+//! ResNet-18 weights).
+
+use crate::matrix::Matrix;
+use tpe_arith::encode::{Encoder, EncodingKind};
+
+/// How a bit-serial PE accounts cycles for an operand's digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleConvention {
+    /// One cycle per non-zero digit (encoded radix-4 designs and
+    /// complement bit-serial).
+    NonzeroDigits,
+    /// One cycle per non-zero magnitude bit **plus one sign slice** —
+    /// sign-magnitude serial PEs process the sign explicitly.
+    NonzeroDigitsPlusSign,
+}
+
+impl CycleConvention {
+    /// The convention the paper's Table III uses for each encoding.
+    pub fn for_kind(kind: EncodingKind) -> Self {
+        match kind {
+            EncodingKind::BitSerialSignMagnitude => CycleConvention::NonzeroDigitsPlusSign,
+            _ => CycleConvention::NonzeroDigits,
+        }
+    }
+}
+
+/// Cycles (= partial products) one operand costs under an encoding.
+pub fn operand_cycles(enc: &dyn Encoder, convention: CycleConvention, value: i8) -> usize {
+    let pps = enc.num_pps(i64::from(value), 8);
+    match convention {
+        CycleConvention::NonzeroDigits => pps,
+        CycleConvention::NonzeroDigitsPlusSign => pps + 1,
+    }
+}
+
+/// Average NumPPs over a matrix — one Table III cell.
+pub fn avg_num_pps(matrix: &Matrix<i8>, kind: EncodingKind) -> f64 {
+    let enc = kind.encoder();
+    let convention = CycleConvention::for_kind(kind);
+    let total: usize = matrix
+        .iter()
+        .map(|&v| operand_cycles(enc.as_ref(), convention, v))
+        .sum();
+    total as f64 / (matrix.rows() * matrix.cols()) as f64
+}
+
+/// Digit-level sparsity `s`: the fraction of *zero* digits among all digit
+/// positions — the binomial parameter of the Eq. 7 synchronization model.
+pub fn encoding_sparsity(matrix: &Matrix<i8>, kind: EncodingKind) -> f64 {
+    let enc = kind.encoder();
+    let mut zero = 0usize;
+    let mut total = 0usize;
+    for &v in matrix.iter() {
+        let digits = enc.encode(i64::from(v), 8);
+        total += digits.len();
+        zero += digits.iter().filter(|d| !d.is_nonzero()).count();
+    }
+    zero as f64 / total as f64
+}
+
+/// NumPPs histogram over a matrix, indexed by count.
+pub fn num_pps_histogram(matrix: &Matrix<i8>, kind: EncodingKind) -> Vec<usize> {
+    let enc = kind.encoder();
+    let mut hist = vec![0usize; 10];
+    for &v in matrix.iter() {
+        let n = enc.num_pps(i64::from(v), 8);
+        if n >= hist.len() {
+            hist.resize(n + 1, 0);
+        }
+        hist[n] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::normal_int8_matrix;
+
+    /// Table III reproduction: average NumPPs of 1024×1024 N(0,σ) matrices.
+    /// Paper: EN-T ≈ 2.22–2.27, MBE ≈ 2.41–2.46, bit-serial(M) ≈ 3.52,
+    /// bit-serial(C) ≈ 3.98. Exact values depend on the quantizer; the
+    /// bands below hold the ordering and magnitudes.
+    #[test]
+    fn table3_bands() {
+        let m = normal_int8_matrix(256, 256, 1.0, 2024);
+        let ent = avg_num_pps(&m, EncodingKind::EnT);
+        let mbe = avg_num_pps(&m, EncodingKind::Mbe);
+        let bsm = avg_num_pps(&m, EncodingKind::BitSerialSignMagnitude);
+        let bsc = avg_num_pps(&m, EncodingKind::BitSerialComplement);
+        assert!((2.0..2.5).contains(&ent), "EN-T {ent}");
+        assert!((2.2..2.7).contains(&mbe), "MBE {mbe}");
+        assert!((3.0..3.9).contains(&bsm), "bit-serial(M) {bsm}");
+        assert!((3.6..4.4).contains(&bsc), "bit-serial(C) {bsc}");
+        assert!(ent < mbe && mbe < bsm && bsm < bsc, "paper ordering");
+    }
+
+    /// σ-invariance of the measured averages (Table III rows are flat).
+    #[test]
+    fn avg_numpps_sigma_invariant() {
+        let sigmas = [0.5, 1.0, 2.5, 5.0];
+        let vals: Vec<f64> = sigmas
+            .iter()
+            .map(|&s| avg_num_pps(&normal_int8_matrix(128, 128, s, 7), EncodingKind::EnT))
+            .collect();
+        let spread = vals.iter().cloned().fold(f64::MIN, f64::max)
+            - vals.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.1, "EN-T averages vary too much: {vals:?}");
+    }
+
+    /// Sparsity and average NumPPs are two views of the same statistic for
+    /// 4-digit encoders: avg = 4 × (1 − s).
+    #[test]
+    fn sparsity_consistent_with_avg() {
+        let m = normal_int8_matrix(64, 64, 1.0, 99);
+        let s = encoding_sparsity(&m, EncodingKind::EnT);
+        let avg = avg_num_pps(&m, EncodingKind::EnT);
+        assert!((avg - 4.0 * (1.0 - s)).abs() < 1e-9);
+    }
+
+    /// EN-T sparsity of normal data sits near the paper's ResNet-18 figure
+    /// (s ≈ 0.38–0.45 depending on tensor statistics).
+    #[test]
+    fn ent_sparsity_band(){
+        let m = normal_int8_matrix(256, 256, 1.0, 5);
+        let s = encoding_sparsity(&m, EncodingKind::EnT);
+        assert!((0.35..0.55).contains(&s), "EN-T sparsity {s}");
+    }
+
+    #[test]
+    fn histogram_sums_to_element_count() {
+        let m = normal_int8_matrix(32, 32, 1.0, 1);
+        let h = num_pps_histogram(&m, EncodingKind::Mbe);
+        assert_eq!(h.iter().sum::<usize>(), 32 * 32);
+    }
+}

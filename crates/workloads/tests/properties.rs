@@ -1,0 +1,73 @@
+//! Property tests for the workload substrate.
+
+use proptest::prelude::*;
+use tpe_workloads::distributions::{quantize_symmetric, uniform_int8_matrix};
+use tpe_workloads::img2col::{conv2d_direct, conv2d_gemm, ConvShape};
+use tpe_workloads::matrix::{matmul_i8, Matrix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// img2col + GEMM equals direct convolution for arbitrary shapes.
+    #[test]
+    fn im2col_equals_direct_conv(
+        in_c in 1usize..4,
+        out_c in 1usize..5,
+        hw in 3usize..10,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(hw + 2 * padding >= kernel);
+        let shape = ConvShape::standard(in_c, out_c, hw, kernel, stride, padding);
+        let input = uniform_int8_matrix(1, in_c * hw * hw, seed).data().to_vec();
+        let (m, _, k) = shape.gemm_dims();
+        let weights = uniform_int8_matrix(1, m * k, seed + 1).data().to_vec();
+        prop_assert_eq!(
+            conv2d_gemm(&shape, &input, &weights),
+            conv2d_direct(&shape, &input, &weights)
+        );
+    }
+
+    /// Symmetric quantization: sign-preserving, full-scale, monotone.
+    #[test]
+    fn quantization_invariants(values in prop::collection::vec(-1000.0f64..1000.0, 2..100)) {
+        let q = quantize_symmetric(&values);
+        let max_abs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        prop_assume!(max_abs > 0.0);
+        // The max-magnitude element hits ±127.
+        prop_assert!(q.iter().any(|&v| v.unsigned_abs() == 127));
+        // Signs preserved (up to rounding to zero).
+        for (&x, &qx) in values.iter().zip(&q) {
+            if qx != 0 {
+                prop_assert_eq!(x.signum() as i32, i32::from(qx.signum()));
+            }
+        }
+        // Monotone: larger magnitude never quantizes smaller.
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i].abs() > values[j].abs() {
+                    prop_assert!(q[i].unsigned_abs() >= q[j].unsigned_abs());
+                }
+            }
+        }
+    }
+
+    /// Matrix transpose is an involution and matmul respects transposition:
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(
+        m in 1usize..8,
+        n in 1usize..8,
+        k in 1usize..10,
+        seed in 0u64..300,
+    ) {
+        let a = uniform_int8_matrix(m, k, seed);
+        let b = uniform_int8_matrix(k, n, seed + 1);
+        let c = matmul_i8(&a, &b);
+        let ct = matmul_i8(&b.transposed(), &a.transposed());
+        let ct_expected: Matrix<i32> = c.transposed();
+        prop_assert_eq!(ct, ct_expected);
+    }
+}

@@ -1,0 +1,61 @@
+//! Bit-exactness across every simulated architecture: the same INT8 GEMM
+//! through all four classic dense arrays and the column-synchronous
+//! bit-slice engine, all matching the reference product exactly.
+//!
+//! ```text
+//! cargo run --release --example bit_exact_gemm
+//! ```
+
+use tpe::arith::encode::EncodingKind;
+use tpe::sim::array::ClassicArch;
+use tpe::sim::{BitsliceArray, BitsliceConfig};
+use tpe::workloads::distributions::normal_int8_matrix;
+use tpe::workloads::matrix::matmul_i8;
+
+fn main() {
+    let (m, n, k) = (48, 40, 96);
+    let a = normal_int8_matrix(m, k, 1.0, 11);
+    let b = normal_int8_matrix(k, n, 1.0, 22);
+    let reference = matmul_i8(&a, &b);
+    println!("reference GEMM: {m}×{k} · {k}×{n}\n");
+    println!("{:<24} {:>9} {:>12} {:>10}", "engine", "cycles", "PPs", "util%");
+
+    for arch in ClassicArch::ALL {
+        let engine = arch.at_paper_config();
+        let (c, stats) = engine.simulate(&a, &b);
+        assert_eq!(c, reference, "{} diverged!", engine.name());
+        println!(
+            "{:<24} {:>9} {:>12} {:>10}",
+            engine.name(),
+            stats.cycles,
+            stats.partial_products,
+            "-"
+        );
+    }
+
+    for (name, cfg) in [
+        ("OPT3/OPT4C (serial)", BitsliceConfig::opt3()),
+        ("OPT4E (4-lane groups)", BitsliceConfig::opt4e()),
+        (
+            "serial, bit-serial(C)",
+            BitsliceConfig {
+                encoding: EncodingKind::BitSerialComplement,
+                ..BitsliceConfig::opt3()
+            },
+        ),
+    ] {
+        let engine = BitsliceArray::new(cfg);
+        let (c, stats) = engine.simulate(&a, &b);
+        assert_eq!(c, reference, "{name} diverged!");
+        println!(
+            "{:<24} {:>9} {:>12} {:>10.1}",
+            name,
+            stats.cycles,
+            stats.partial_products,
+            stats.utilization() * 100.0
+        );
+    }
+
+    println!("\nall engines agree with the reference product, bit for bit ✓");
+    println!("(EN-T-encoded serial engines process ~1.8× fewer PPs than radix-2 bit-serial)");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: encode operands, run the two MAC datapaths, and price a PE.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use tpe::arith::encode::{Encoder, EncodingKind, EntEncoder};
+use tpe::arith::mac::{CompressAccMac, TraditionalMac};
+use tpe::core::arch::PeStyle;
+use tpe::workloads::distributions::normal_int8_matrix;
+
+fn main() {
+    // 1. Encoding: the bit-weight decomposition of a multiplicand.
+    println!("== EN-T encoding (the paper's Figure 3) ==");
+    for v in [91i8, 124, -77] {
+        let digits = EntEncoder.encode_i8(v);
+        let nonzero: Vec<String> = digits
+            .iter()
+            .filter(|d| d.is_nonzero())
+            .map(|d| d.to_string())
+            .collect();
+        println!("  {v:>4} = Σ {{{}}}  → {} partial products", nonzero.join(", "), nonzero.len());
+    }
+
+    // 2. The two MAC datapaths compute identical dot products; OPT1 just
+    //    defers the carry-propagating add to the end of the reduction.
+    println!("\n== MAC datapaths on a K=1024 dot product ==");
+    let a = normal_int8_matrix(1, 1024, 1.0, 7);
+    let b = normal_int8_matrix(1, 1024, 1.0, 8);
+    let mut trad = TraditionalMac::new(EntEncoder, 32);
+    let mut opt1 = CompressAccMac::new(EntEncoder, 32);
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        trad.mac(i64::from(x), i64::from(y), 8);
+        opt1.mac(i64::from(x), i64::from(y), 8);
+    }
+    let resolved = opt1.resolve();
+    assert_eq!(trad.value(), resolved);
+    println!("  result = {} (both datapaths agree)", resolved);
+    println!(
+        "  traditional: {} carry-propagating adds; OPT1: {} (deferred to the SIMD core)",
+        trad.stats().full_adds,
+        opt1.stats().full_adds
+    );
+
+    // 3. Cost: synthesize a traditional MAC and an OPT1 PE across clocks.
+    println!("\n== Synthesis-model comparison (the Figure 9 story) ==");
+    for f in [1.0, 1.5, 2.0] {
+        let mac = PeStyle::TraditionalMac.design().synthesize(f);
+        let opt = PeStyle::Opt1.design().synthesize(f);
+        println!(
+            "  {f:.1} GHz: MAC {:>10}  OPT1 {:>10}",
+            mac.map_or("violation".into(), |r| format!("{:.0} um2", r.area_um2)),
+            opt.map_or("violation".into(), |r| format!("{:.0} um2", r.area_um2)),
+        );
+    }
+
+    // 4. Average NumPPs drives serial throughput (Table III).
+    let m = normal_int8_matrix(256, 256, 1.0, 9);
+    let avg = tpe::workloads::sparsity::avg_num_pps(&m, EncodingKind::EnT);
+    println!("\n== Data statistics ==");
+    println!("  EN-T average NumPPs on N(0,1) INT8 data: {avg:.2} (paper: 2.22–2.27)");
+}

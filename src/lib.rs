@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # Bit-Weight TPE
+//!
+//! Facade crate for the bit-weight tensor-processing-engine workspace — a
+//! full-system reproduction of *"Exploring the Performance Improvement of
+//! Tensor Processing Engines through Transformation in the Bit-weight
+//! Dimension of MACs"* (HPCA 2025).
+//!
+//! The workspace models, at the bit level, how a multiply–accumulate unit is
+//! decomposed into encoders, candidate-partial-product generators, shifters,
+//! compressor trees, full adders and accumulators — and how reordering those
+//! components across the loop nest of a matrix multiplication (the *bit-weight
+//! dimension* transformation) yields the paper's OPT1–OPT4E processing
+//! elements.
+//!
+//! ## Crates
+//!
+//! * [`arith`] — bit-accurate arithmetic substrate (encodings, partial
+//!   products, compressor trees, carry-save accumulation, multipliers).
+//! * [`cost`] — SMIC-28nm-calibrated area/delay/power model standing in for
+//!   logic synthesis.
+//! * [`workloads`] — matrices, distributions, img2col and a DNN/LLM layer
+//!   shape database.
+//! * [`sim`] — cycle-level simulators for the classic TPE array topologies
+//!   and the bit-slice column-synchronous engine.
+//! * [`core`] — the paper's contribution: the compute-centric loop-nest
+//!   notation, legality-checked transformations, the OPT1–OPT4E processing
+//!   element architectures, analytic models and published baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tpe::arith::encode::{Encoder, EntEncoder};
+//! use tpe::arith::pp::reduce_partial_products;
+//!
+//! // Encode the multiplicand 91 into radix-4 signed digits; the paper's
+//! // Figure 3 example yields digits {1, 2, -1, -1} on weights 2^6..2^0.
+//! let digits = EntEncoder.encode_i8(91);
+//! let product = reduce_partial_products(&digits, 113);
+//! assert_eq!(product, 91 * 113);
+//! ```
+
+pub use tpe_arith as arith;
+pub use tpe_core as core;
+pub use tpe_cost as cost;
+pub use tpe_sim as sim;
+pub use tpe_workloads as workloads;

@@ -1,0 +1,106 @@
+//! Cross-crate property tests: random shapes and data through the full
+//! stack.
+
+use proptest::prelude::*;
+use tpe::arith::encode::EncodingKind;
+use tpe::core::notation::transform::{
+    extract_shared_encoder, fuse_add_into_half_reduce, sparsify_bw, temporalize_bw,
+    verify_equivalent,
+};
+use tpe::core::notation::{interp::execute, legality, nests};
+use tpe::sim::{BitsliceArray, BitsliceConfig};
+use tpe::workloads::distributions::uniform_int8_matrix;
+use tpe::workloads::matrix::matmul_i8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The serial engine is bit-exact for arbitrary shapes and encodings.
+    #[test]
+    fn bitslice_gemm_exact(
+        m in 1usize..10,
+        n in 1usize..10,
+        k in 1usize..24,
+        seed in 0u64..1000,
+        ent in prop::bool::ANY,
+    ) {
+        let a = uniform_int8_matrix(m, k, seed);
+        let b = uniform_int8_matrix(k, n, seed + 1);
+        let cfg = BitsliceConfig {
+            mp: 4,
+            np: 2,
+            lanes_per_pe: 2,
+            kt: 4,
+            encoding: if ent { EncodingKind::EnT } else { EncodingKind::BitSerialComplement },
+        };
+        let (c, stats) = BitsliceArray::new(cfg).simulate(&a, &b);
+        prop_assert_eq!(c, matmul_i8(&a, &b));
+        prop_assert!(stats.macs == (m * n * k) as u64);
+    }
+
+    /// The full OPT1→OPT4 derivation chain preserves semantics on random
+    /// shapes (sizes kept small: the interpreter is exhaustive).
+    #[test]
+    fn derivation_chain_equivalence(
+        m in 1usize..6,
+        n in 1usize..6,
+        k in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let t = nests::traditional_mac(m, n, k, EncodingKind::EnT);
+        let o1 = fuse_add_into_half_reduce(&t).unwrap();
+        let o2 = temporalize_bw(&o1).unwrap();
+        let o3 = sparsify_bw(&o2).unwrap();
+        let o4 = extract_shared_encoder(&o3).unwrap();
+        prop_assert!(verify_equivalent(&t, &o1, m, n, k, seed));
+        prop_assert!(verify_equivalent(&o1, &o2, m, n, k, seed));
+        prop_assert!(verify_equivalent(&o2, &o3, m, n, k, seed));
+        prop_assert!(verify_equivalent(&o3, &o4, m, n, k, seed));
+        // All derived nests also stay statically legal.
+        for nest in [&o1, &o2, &o3, &o4] {
+            prop_assert!(legality::check(nest).is_ok());
+        }
+    }
+
+    /// Interpreter vs reference on random nests from the constructor
+    /// family and random encodings.
+    #[test]
+    fn interpreter_matches_reference(
+        m in 1usize..8,
+        n in 1usize..8,
+        k in 1usize..12,
+        seed in 0u64..500,
+        which in 0usize..5,
+    ) {
+        let nest = match which {
+            0 => nests::traditional_mac(m, n, k, EncodingKind::Mbe),
+            1 => nests::opt1(m, n, k, EncodingKind::EnT),
+            2 => nests::opt2(m, n, k, EncodingKind::Mbe),
+            3 => nests::opt3(m, n, k, EncodingKind::EnT),
+            _ => nests::opt4(m, n, k, EncodingKind::EnT),
+        };
+        let a = uniform_int8_matrix(m, k, seed);
+        let b = uniform_int8_matrix(k, n, seed + 7);
+        let (c, _) = execute(&nest, &a, &b).unwrap();
+        prop_assert_eq!(c, matmul_i8(&a, &b));
+    }
+
+    /// Dense array estimates always match their simulations.
+    #[test]
+    fn dense_estimates_consistent(
+        m in 1usize..20,
+        n in 1usize..20,
+        k in 1usize..30,
+        seed in 0u64..100,
+    ) {
+        use tpe::sim::array::ClassicArch;
+        let a = uniform_int8_matrix(m, k, seed);
+        let b = uniform_int8_matrix(k, n, seed + 1);
+        for arch in ClassicArch::ALL {
+            let engine = arch.at_paper_config();
+            let (c, stats) = engine.simulate(&a, &b);
+            prop_assert_eq!(&c, &matmul_i8(&a, &b));
+            prop_assert_eq!(stats.cycles, engine.estimate_cycles(m, n, k));
+        }
+    }
+}
