@@ -42,7 +42,10 @@ pub fn bit(value: i64, i: u32) -> u8 {
 /// ```
 #[inline]
 pub fn to_wrapped(value: i64, width: u32) -> u64 {
-    assert!((1..=MAX_WIDTH).contains(&width), "width {width} out of range");
+    assert!(
+        (1..=MAX_WIDTH).contains(&width),
+        "width {width} out of range"
+    );
     assert!(
         fits_signed(value, width),
         "value {value} does not fit in {width} signed bits"
@@ -62,7 +65,10 @@ pub fn to_wrapped(value: i64, width: u32) -> u64 {
 /// ```
 #[inline]
 pub fn from_wrapped(pattern: u64, width: u32) -> i64 {
-    assert!((1..=MAX_WIDTH).contains(&width), "width {width} out of range");
+    assert!(
+        (1..=MAX_WIDTH).contains(&width),
+        "width {width} out of range"
+    );
     let shift = 64 - width;
     ((pattern << shift) as i64) >> shift
 }
@@ -103,7 +109,10 @@ pub fn fits_signed(value: i64, width: u32) -> bool {
 /// assert_eq!(to_bits(-1, 3), vec![1, 1, 1]);
 /// ```
 pub fn to_bits(value: i64, width: u32) -> Vec<u8> {
-    assert!(fits_signed(value, width), "{value} does not fit in {width} bits");
+    assert!(
+        fits_signed(value, width),
+        "{value} does not fit in {width} bits"
+    );
     (0..width).map(|i| bit(value, i)).collect()
 }
 

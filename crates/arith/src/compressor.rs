@@ -153,12 +153,8 @@ mod tests {
         for a in -10i64..10 {
             for b in -10i64..10 {
                 for c in -10i64..10 {
-                    let (s, cy) = compress_3_2(
-                        to_wrapped(a, 16),
-                        to_wrapped(b, 16),
-                        to_wrapped(c, 16),
-                        16,
-                    );
+                    let (s, cy) =
+                        compress_3_2(to_wrapped(a, 16), to_wrapped(b, 16), to_wrapped(c, 16), 16);
                     check_pair(a + b + c, s, cy, 16);
                 }
             }

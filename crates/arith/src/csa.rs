@@ -57,7 +57,13 @@ impl CsAccumulator {
     /// 4-2 compressor stage — the per-cycle OPT1 operation.
     pub fn accumulate_pair(&mut self, sum: u64, carry: u64) {
         let w = self.state.width;
-        let (s, c) = compress_4_2(self.state.sum, self.state.carry, sum & mask(w), carry & mask(w), w);
+        let (s, c) = compress_4_2(
+            self.state.sum,
+            self.state.carry,
+            sum & mask(w),
+            carry & mask(w),
+            w,
+        );
         self.state.sum = s;
         self.state.carry = c;
         self.ops += 1;

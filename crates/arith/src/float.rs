@@ -43,7 +43,11 @@ pub struct Bf16 {
 
 impl Bf16 {
     /// Zero.
-    pub const ZERO: Bf16 = Bf16 { sign: 1, exp: 0, mant: 0 };
+    pub const ZERO: Bf16 = Bf16 {
+        sign: 1,
+        exp: 0,
+        mant: 0,
+    };
 
     /// Quantizes an `f32` to the nearest representable value
     /// (round-to-nearest-even on the mantissa).
@@ -121,7 +125,10 @@ pub struct FpProduct {
 /// Multiplies exactly (no rounding: 8 × 8 significand bits fit easily).
 pub fn multiply(a: Bf16, b: Bf16) -> FpProduct {
     if a.is_zero() || b.is_zero() {
-        return FpProduct { significand: 0, scale: 0 };
+        return FpProduct {
+            significand: 0,
+            scale: 0,
+        };
     }
     FpProduct {
         significand: a.signed_significand() * b.signed_significand(),

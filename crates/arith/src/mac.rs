@@ -13,10 +13,10 @@
 //! Both are bit-exact; the difference is purely structural (what sits on the
 //! per-cycle critical path), which the cost model prices.
 
+use crate::bits::{fits_signed, to_wrapped};
 use crate::compressor::{wallace_reduce, CarrySave};
 use crate::csa::CsAccumulator;
 use crate::encode::{Encoder, SignedDigit};
-use crate::bits::{fits_signed, to_wrapped};
 
 /// Per-operation structural statistics shared by both MAC flavors.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,12 +59,7 @@ impl<E: Encoder> TraditionalMac<E> {
         let digits = self.encoder.encode(a, a_width);
         let pps: Vec<u64> = digits
             .iter()
-            .map(|d| {
-                to_wrapped(
-                    (i64::from(d.coeff) * b) << d.weight.min(62),
-                    self.acc_width,
-                )
-            })
+            .map(|d| to_wrapped((i64::from(d.coeff) * b) << d.weight.min(62), self.acc_width))
             .collect();
         self.stats.partial_products += pps.len() as u64;
         self.stats.nonzero_partial_products +=
@@ -125,7 +120,8 @@ impl<E: Encoder> CompressAccMac<E> {
         self.stats.nonzero_partial_products +=
             digits.iter().filter(|d| d.is_nonzero()).count() as u64;
         let reduced = wallace_reduce(&pps, w);
-        self.acc.accumulate_pair(reduced.pair.sum, reduced.pair.carry);
+        self.acc
+            .accumulate_pair(reduced.pair.sum, reduced.pair.carry);
         self.stats.macs += 1;
     }
 
@@ -222,7 +218,9 @@ mod tests {
         let mut b = Vec::with_capacity(k);
         let mut x = 7i64;
         for i in 0..k {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             a.push((x % 128).rem_euclid(256) - 128);
             b.push(((x >> 17) % 128).rem_euclid(256) - 128);
             let _ = i;

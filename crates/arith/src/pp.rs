@@ -121,7 +121,8 @@ mod tests {
     /// to the exact product.
     #[test]
     fn exhaustive_int8_products() {
-        let encoders: [&dyn Encoder; 4] = [&MbeEncoder, &EntEncoder, &CsdEncoder, &BitSerialComplement];
+        let encoders: [&dyn Encoder; 4] =
+            [&MbeEncoder, &EntEncoder, &CsdEncoder, &BitSerialComplement];
         for enc in encoders {
             for a in (i8::MIN..=i8::MAX).step_by(3) {
                 let digits = enc.encode(i64::from(a), 8);

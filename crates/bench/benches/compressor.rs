@@ -9,7 +9,9 @@ use tpe_arith::compressor::{compress_4_2, wallace_reduce};
 use tpe_arith::csa::CsAccumulator;
 
 fn bench_reduction(c: &mut Criterion) {
-    let values: Vec<i64> = (0..1024).map(|i| (i * 2654435761i64) % 65536 - 32768).collect();
+    let values: Vec<i64> = (0..1024)
+        .map(|i| (i * 2654435761i64) % 65536 - 32768)
+        .collect();
     let words: Vec<u64> = values.iter().map(|&v| to_wrapped(v, 32)).collect();
 
     let mut group = c.benchmark_group("reduce_1024_words");

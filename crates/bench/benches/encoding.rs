@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
-use tpe_arith::encode::{
-    BitSerialComplement, CsdEncoder, Encoder, EntEncoder, MbeEncoder,
-};
+use tpe_arith::encode::{BitSerialComplement, CsdEncoder, Encoder, EntEncoder, MbeEncoder};
 use tpe_workloads::distributions::normal_int8_matrix;
 
 fn bench_encoders(c: &mut Criterion) {

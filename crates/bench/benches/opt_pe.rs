@@ -51,7 +51,10 @@ fn bench_interpreter(c: &mut Criterion) {
     let b = normal_int8_matrix(8, 4, 1.0, 10);
     let mut group = c.benchmark_group("notation_interpreter_4x4x8");
     for (name, nest) in [
-        ("traditional", nests::traditional_mac(4, 4, 8, EncodingKind::EnT)),
+        (
+            "traditional",
+            nests::traditional_mac(4, 4, 8, EncodingKind::EnT),
+        ),
         ("opt1", nests::opt1(4, 4, 8, EncodingKind::EnT)),
         ("opt4", nests::opt4(4, 4, 8, EncodingKind::EnT)),
     ] {

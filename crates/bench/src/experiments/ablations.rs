@@ -89,7 +89,10 @@ pub fn ablate_group() -> String {
             .comp(Component::Cppg { width: 8 }, lanes)
             .comp(Component::Mux { ways: 5, width: 8 }, lanes)
             .comp(
-                Component::CompressorTree { inputs: tree_inputs, width: 20 },
+                Component::CompressorTree {
+                    inputs: tree_inputs,
+                    width: 20,
+                },
                 1,
             )
             .state(40 + 2 * lanes + 8)
@@ -153,7 +156,10 @@ mod tests {
         let s = super::ablate_operand_selection();
         assert!(s.contains("0.5"));
         // 50% zeros ≈ ×2 speedup.
-        assert!(s.contains("×1.9") || s.contains("×2.0") || s.contains("×2.1"), "{s}");
+        assert!(
+            s.contains("×1.9") || s.contains("×2.0") || s.contains("×2.1"),
+            "{s}"
+        );
     }
 
     #[test]

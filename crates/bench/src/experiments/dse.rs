@@ -1,0 +1,262 @@
+//! The `repro dse` experiment: sweep the full design space in parallel,
+//! extract the Pareto front, and report cache + scaling behaviour.
+//!
+//! ```text
+//! repro dse [--filter SUBSTR] [--objectives area,delay,energy]
+//!           [--threads N] [--seed S] [--out sweep.csv] [--json sweep.json]
+//! ```
+//!
+//! The sweep runs twice — once on one thread, once on `--threads` workers
+//! — both to measure the parallel speedup and to *prove* the parallel run
+//! is byte-identical to the serial one (the executor's determinism
+//! contract).
+
+use std::fmt::Write as _;
+
+use tpe_dse::emit::{to_csv, to_json};
+use tpe_dse::{pareto_front_per_workload, sweep, DesignSpace, Objective, SweepConfig};
+
+/// Parsed CLI options for the sweep.
+struct DseOptions {
+    filter: String,
+    objectives: Vec<Objective>,
+    threads: usize,
+    seed: u64,
+    out_csv: Option<String>,
+    out_json: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<DseOptions, String> {
+    let mut opts = DseOptions {
+        filter: String::new(),
+        objectives: Objective::DEFAULT.to_vec(),
+        threads: 0,
+        seed: 42,
+        out_csv: None,
+        out_json: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--filter" => opts.filter = value("--filter")?,
+            "--objectives" => opts.objectives = Objective::parse_list(&value("--objectives")?)?,
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => opts.out_csv = Some(value("--out")?),
+            "--json" => opts.out_json = Some(value("--json")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Topology axis value of a point, for the report's coverage breakdown.
+fn topology_key(p: &tpe_dse::DesignPoint) -> String {
+    tpe_dse::emit::topology_name(p.kind).to_string()
+}
+
+/// Runs the design-space sweep and renders the report.
+pub fn dse(args: &[String]) -> String {
+    match try_dse(args) {
+        Ok(report) => report,
+        Err(msg) => format!(
+            "error: {msg}\nusage: repro dse [--filter SUBSTR] [--objectives area,delay,energy,\
+             power,throughput,utilization] [--threads N] [--seed S] [--out FILE.csv] [--json FILE.json]\n"
+        ),
+    }
+}
+
+fn try_dse(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    let space = DesignSpace::paper_default();
+    let points = space.enumerate_filtered(&opts.filter);
+    if points.is_empty() {
+        return Err(format!("no design points match filter `{}`", opts.filter));
+    }
+
+    let serial = sweep(
+        &points,
+        SweepConfig {
+            threads: 1,
+            seed: opts.seed,
+        },
+    );
+    let parallel = sweep(
+        &points,
+        SweepConfig {
+            threads: opts.threads,
+            seed: opts.seed,
+        },
+    );
+    assert_eq!(
+        serial.results, parallel.results,
+        "parallel sweep diverged from the serial reference"
+    );
+
+    let front = pareto_front_per_workload(&parallel.results, &opts.objectives);
+    let csv = to_csv(&parallel.results, &front);
+
+    if let Some(path) = &opts.out_csv {
+        std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.out_json {
+        let json = to_json(&parallel.results, &front, &opts.objectives);
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    let mut out = String::new();
+    let objective_names: Vec<&str> = opts.objectives.iter().map(|o| o.name()).collect();
+    // Axis breakdown of the points actually swept (a --filter can narrow
+    // any axis, so counting the full space here would misreport coverage).
+    let distinct = |f: &dyn Fn(&tpe_dse::DesignPoint) -> String| {
+        let mut values: Vec<String> = points.iter().map(f).collect();
+        values.sort();
+        values.dedup();
+        values.len()
+    };
+    writeln!(
+        out,
+        "Design-space exploration — {} points (legality-pruned cross product spanning {} styles, \
+         {} topologies, {} encodings, {} corners, {} workloads)",
+        points.len(),
+        distinct(&|p| p.style.name().to_string()),
+        distinct(&topology_key),
+        distinct(&|p| p.encoding.to_string()),
+        distinct(&|p| p.corner.label()),
+        distinct(&|p| p.workload.name.clone())
+    )
+    .unwrap();
+    if !opts.filter.is_empty() {
+        writeln!(out, "filter: `{}`", opts.filter).unwrap();
+    }
+    writeln!(
+        out,
+        "feasible: {} / {} (the rest fail timing at their corner)",
+        parallel.feasible_count(),
+        points.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "eval cache: {} hits / {} misses ({:.1}% hit rate, {} distinct PE/corner pairs priced)",
+        parallel.cache.hits,
+        parallel.cache.misses,
+        parallel.cache.hit_rate() * 100.0,
+        parallel.cache.misses
+    )
+    .unwrap();
+    let speedup = serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-9);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    writeln!(
+        out,
+        "sweep wall-clock: {:.0} ms on 1 thread, {:.0} ms on {} threads — speedup ×{:.2} \
+         ({} core(s) available; outputs byte-identical)",
+        serial.elapsed.as_secs_f64() * 1e3,
+        parallel.elapsed.as_secs_f64() * 1e3,
+        parallel.threads,
+        speedup,
+        cores
+    )
+    .unwrap();
+
+    writeln!(
+        out,
+        "\nPareto front over [{}], extracted per workload — {} of {} feasible points:",
+        objective_names.join(", "),
+        front.len(),
+        parallel.feasible_count()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "| {:<42} | {:>10} | {:>9} | {:>8} | {:>8} | {:>6} | {:>6} |",
+        "design point", "area(um2)", "delay(us)", "fJ/MAC", "GOPS", "util", "W"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "|{:-<44}|{:-<12}|{:-<11}|{:-<10}|{:-<10}|{:-<8}|{:-<8}|",
+        "", "", "", "", "", "", ""
+    )
+    .unwrap();
+    let mut rows: Vec<usize> = front.clone();
+    rows.sort_by(|&a, &b| {
+        let (ma, mb) = (
+            parallel.results[a].metrics.as_ref().unwrap(),
+            parallel.results[b].metrics.as_ref().unwrap(),
+        );
+        ma.area_um2.total_cmp(&mb.area_um2)
+    });
+    const MAX_ROWS: usize = 40;
+    for &i in rows.iter().take(MAX_ROWS) {
+        let r = &parallel.results[i];
+        let m = r.metrics.as_ref().unwrap();
+        writeln!(
+            out,
+            "| {:<42} | {:>10.0} | {:>9.2} | {:>8.2} | {:>8.1} | {:>6.3} | {:>6.3} |",
+            r.point.label(),
+            m.area_um2,
+            m.delay_us,
+            m.energy_per_mac_fj,
+            m.throughput_gops,
+            m.utilization,
+            m.power_w
+        )
+        .unwrap();
+    }
+    if rows.len() > MAX_ROWS {
+        writeln!(
+            out,
+            "… {} more front points (use --out to dump all)",
+            rows.len() - MAX_ROWS
+        )
+        .unwrap();
+    }
+    if let Some(path) = &opts.out_csv {
+        writeln!(out, "\nfull sweep written to {path}").unwrap();
+    }
+    if let Some(path) = &opts.out_json {
+        writeln!(out, "front + sweep JSON written to {path}").unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// A filtered sweep renders the full report structure. (Filtered to
+    /// the dense family to stay fast in debug test runs.)
+    #[test]
+    fn filtered_dse_report_renders() {
+        let report = dse(&args(&["--filter", "(TPU)", "--threads", "2"]));
+        assert!(report.contains("Pareto front"), "{report}");
+        assert!(report.contains("eval cache"), "{report}");
+        assert!(report.contains("hit rate"), "{report}");
+        assert!(report.contains("speedup"), "{report}");
+    }
+
+    #[test]
+    fn bad_flags_render_usage() {
+        assert!(dse(&args(&["--bogus"])).contains("usage:"));
+        assert!(dse(&args(&["--objectives", "area"])).contains("usage:"));
+        assert!(dse(&args(&["--filter", "no-such-point-anywhere"])).contains("no design points"));
+    }
+}

@@ -27,7 +27,9 @@ pub fn fig3() -> String {
             mbe.iter().filter(|d| d.is_nonzero()).count(),
         ));
     }
-    out.push_str("  paper: 91→{1,2,-1,-1} (4 PPs), 124→{2,0,-1,0} (2 PPs); Fig 2(E): 114→3, 15→2, 124→2\n");
+    out.push_str(
+        "  paper: 91→{1,2,-1,-1} (4 PPs), 124→{2,0,-1,0} (2 PPs); Fig 2(E): 114→3, 15→2, 124→2\n",
+    );
     out
 }
 
@@ -35,7 +37,12 @@ pub fn fig3() -> String {
 /// clock constraint for the six designs.
 pub fn fig9() -> String {
     let mut t = Table::new([
-        "GHz", "design", "area(um2)", "power(uW)", "AE(TOPS/mm2)", "EE(TOPS/W)",
+        "GHz",
+        "design",
+        "area(um2)",
+        "power(uW)",
+        "AE(TOPS/mm2)",
+        "EE(TOPS/W)",
     ]);
     let freqs = [0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0];
     for style in PeStyle::ALL {
@@ -79,8 +86,14 @@ pub fn fig9() -> String {
 /// Figure 14: single-PE throughput and energy per operation for best /
 /// worst / general operand cases.
 pub fn fig14() -> String {
-    let mac = PeStyle::TraditionalMac.design().synthesize(1.0).expect("MAC@1GHz");
-    let opt4c = PeStyle::Opt4C.design().synthesize(2.5).expect("OPT4C@2.5GHz");
+    let mac = PeStyle::TraditionalMac
+        .design()
+        .synthesize(1.0)
+        .expect("MAC@1GHz");
+    let opt4c = PeStyle::Opt4C
+        .design()
+        .synthesize(2.5)
+        .expect("OPT4C@2.5GHz");
     let opt4e = PeStyle::Opt4E.design().synthesize(2.0).expect("OPT4E@2GHz");
 
     // Cycles per MAC for the serial designs: the operand's NumPPs.
@@ -136,7 +149,15 @@ pub fn fig14() -> String {
 
 /// Eqs. 7–8: the synchronization-time model with Monte-Carlo validation.
 pub fn sync_model() -> String {
-    let mut t = Table::new(["K", "sparsity", "MP", "E[T_single]", "E[Tsync]", "MC", "saving%"]);
+    let mut t = Table::new([
+        "K",
+        "sparsity",
+        "MP",
+        "E[T_single]",
+        "E[Tsync]",
+        "MC",
+        "saving%",
+    ]);
     for (k, s, mp) in [
         (576u64, 0.38, 32u32),
         (576, 0.445, 32),

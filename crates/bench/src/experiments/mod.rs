@@ -2,6 +2,7 @@
 //! report text.
 
 mod ablations;
+mod dse;
 mod figures;
 mod notation_demo;
 mod schemes;
@@ -9,6 +10,7 @@ mod tables;
 mod workload_figs;
 
 pub use ablations::{ablate_encoders, ablate_group, ablate_operand_selection, ablate_sync};
+pub use dse::dse;
 pub use figures::{fig14, fig3, fig9, sync_model};
 pub use notation_demo::notation;
 pub use schemes::{fig2_schemes, sweep_precision, sweep_width};
@@ -40,6 +42,7 @@ pub fn all() -> String {
         ("ablate-sync", ablate_sync()),
         ("ablate-group", ablate_group()),
         ("ablate-operand-selection", ablate_operand_selection()),
+        ("dse", dse(&[])),
     ] {
         out.push_str(&format!("\n════════ {name} ════════\n"));
         out.push_str(&text);

@@ -26,15 +26,28 @@ pub fn notation() -> String {
     ];
     let mut out = String::new();
     let mut t = Table::new([
-        "nest", "encodes", "maps", "shifts", "half_reduces", "adds", "accumulates", "syncs",
-        "GEMM ok", "legal", "enc-shared/N",
+        "nest",
+        "encodes",
+        "maps",
+        "shifts",
+        "half_reduces",
+        "adds",
+        "accumulates",
+        "syncs",
+        "GEMM ok",
+        "legal",
+        "enc-shared/N",
     ]);
     for nest in &nests {
         out.push_str(&printer::render(nest));
         out.push('\n');
         let (c, stats) = execute(nest, &a, &b).expect("nest executes");
         t.row([
-            nest.name.split(" from").next().unwrap_or(&nest.name).to_string(),
+            nest.name
+                .split(" from")
+                .next()
+                .unwrap_or(&nest.name)
+                .to_string(),
             stats.encodes.to_string(),
             stats.maps.to_string(),
             stats.shifts.to_string(),
@@ -43,16 +56,35 @@ pub fn notation() -> String {
             stats.accumulates.to_string(),
             stats.syncs.to_string(),
             if c == reference { "OK" } else { "MISMATCH" }.to_string(),
-            if legality::check(nest).is_ok() { "legal" } else { "ILLEGAL" }.to_string(),
-            if legality::encoder_shared_over_n(nest) { "shared" } else { "per-PE" }.to_string(),
+            if legality::check(nest).is_ok() {
+                "legal"
+            } else {
+                "ILLEGAL"
+            }
+            .to_string(),
+            if legality::encoder_shared_over_n(nest) {
+                "shared"
+            } else {
+                "per-PE"
+            }
+            .to_string(),
         ]);
     }
     // The notation → costing bridge: derive a PE design from each nest.
-    let mut c = Table::new(["nest", "derived delay(ns)", "derived area(um2) @1GHz", "fmax(GHz)"]);
+    let mut c = Table::new([
+        "nest",
+        "derived delay(ns)",
+        "derived area(um2) @1GHz",
+        "fmax(GHz)",
+    ]);
     for nest in &nests {
         let d = costing::pe_design_of(nest);
         c.row([
-            nest.name.split(" from").next().unwrap_or(&nest.name).to_string(),
+            nest.name
+                .split(" from")
+                .next()
+                .unwrap_or(&nest.name)
+                .to_string(),
             format!("{:.2}", d.nominal_delay_ns),
             d.synthesize(1.0)
                 .map_or("violation".into(), |r| format!("{:.0}", r.area_um2)),
@@ -76,7 +108,11 @@ mod tests {
         assert!(s.contains("GEMM ok"));
         assert!(!s.contains("MISMATCH"), "a nest failed verification:\n{s}");
         assert!(!s.contains("ILLEGAL"), "a nest failed legality:\n{s}");
-        assert_eq!(s.matches("shared").count(), 2, "only OPT4 shares (+ header)");
+        assert_eq!(
+            s.matches("shared").count(),
+            2,
+            "only OPT4 shares (+ header)"
+        );
         assert!(s.contains("OPT4"));
     }
 }

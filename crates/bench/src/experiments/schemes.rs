@@ -25,8 +25,18 @@ pub fn fig2_schemes() -> String {
         ]);
     }
     let worked = compare_schemes(&[114, 15, 124], &[1, 1, 1]);
-    let serial = worked.iter().find(|(n, _)| n.contains("2B")).unwrap().1.cycles;
-    let encoded = worked.iter().find(|(n, _)| n.contains("2E")).unwrap().1.cycles;
+    let serial = worked
+        .iter()
+        .find(|(n, _)| n.contains("2B"))
+        .unwrap()
+        .1
+        .cycles;
+    let encoded = worked
+        .iter()
+        .find(|(n, _)| n.contains("2E"))
+        .unwrap()
+        .1
+        .cycles;
     format!(
         "Figure 2 — PE schemes on a K=2048 N(0,1) dot product (8 lanes where applicable)\n{}\n\
          worked example {{114, 15, 124}}: bit-serial {} cycles (paper 4+4+5=13), encoded {} (paper 3+2+2=7)\n",
@@ -41,7 +51,11 @@ pub fn fig2_schemes() -> String {
 /// the quantitative version of §II-A.
 pub fn sweep_width() -> String {
     let mut t = Table::new([
-        "acc width", "MAC delay(ns)", "MAC fmax(GHz)", "OPT1 tree delay(ns)", "OPT1 fmax(GHz)",
+        "acc width",
+        "MAC delay(ns)",
+        "MAC fmax(GHz)",
+        "OPT1 tree delay(ns)",
+        "OPT1 fmax(GHz)",
         "reduction area share %",
     ]);
     for width in [16u32, 20, 24, 28, 32, 40, 48] {
@@ -65,11 +79,22 @@ pub fn sweep_width() -> String {
     let opt1 = |w: u32| {
         PeDesign::builder(format!("opt1-{w}"))
             .comp(Component::MultiplierFront { acc_width: 32 }, 1)
-            .comp(Component::CompressorTree { inputs: 4, width: w }, 1)
+            .comp(
+                Component::CompressorTree {
+                    inputs: 4,
+                    width: w,
+                },
+                1,
+            )
             .state(2 * w + 16)
             .nominal_delay(
                 Component::MultiplierFront { acc_width: 32 }.cost().delay_ns
-                    + Component::CompressorTree { inputs: 4, width: w }.cost().delay_ns,
+                    + Component::CompressorTree {
+                        inputs: 4,
+                        width: w,
+                    }
+                    .cost()
+                    .delay_ns,
             )
             .build()
     };
@@ -87,10 +112,13 @@ pub fn sweep_width() -> String {
 
 /// Precision sweep: digit statistics and serial cost from INT4 to INT16.
 pub fn sweep_precision() -> String {
-    use tpe_core::analytic::precision;
     use tpe_arith::encode::EncodingKind;
+    use tpe_core::analytic::precision;
     let mut t = Table::new([
-        "width", "EN-T avg (exhaustive)", "MBE avg", "EN-T avg (normal data)",
+        "width",
+        "EN-T avg (exhaustive)",
+        "MBE avg",
+        "EN-T avg (normal data)",
         "serial cost vs INT8",
     ]);
     for w in [4u32, 6, 8, 10, 12, 16] {
@@ -107,7 +135,10 @@ pub fn sweep_precision() -> String {
             ent,
             mbe,
             num(precision::sampled_average(EncodingKind::EnT, w, 9), 2),
-            format!("×{:.2}", precision::relative_serial_cost(EncodingKind::EnT, w, 9)),
+            format!(
+                "×{:.2}",
+                precision::relative_serial_cost(EncodingKind::EnT, w, 9)
+            ),
         ]);
     }
     format!(

@@ -1,20 +1,30 @@
 //! Tables I, II, III, V and VII.
 
+use tpe_arith::encode::EncodingKind;
 use tpe_core::analytic::numpps;
 use tpe_core::arch::{ArchModel, ArrayModel};
 use tpe_core::baselines;
 use tpe_cost::anchors;
 use tpe_cost::components::Component;
 use tpe_cost::report::{num, ratio, Table};
-use tpe_arith::encode::EncodingKind;
 
 /// Table I: component decomposition of the INT8 MAC (model vs paper).
 pub fn table1() -> String {
     let mut t = Table::new([
-        "Unit", "Bit", "Area(um2)", "paper", "Delay(ns)", "paper", "Power(uW@2ns)", "paper",
+        "Unit",
+        "Bit",
+        "Area(um2)",
+        "paper",
+        "Delay(ns)",
+        "paper",
+        "Power(uW@2ns)",
+        "paper",
     ]);
     for row in &anchors::TABLE1_MAC {
-        let c = Component::MacUnit { acc_width: row.width }.cost();
+        let c = Component::MacUnit {
+            acc_width: row.width,
+        }
+        .cost();
         t.row([
             "MAC".to_string(),
             row.width.to_string(),
@@ -26,7 +36,11 @@ pub fn table1() -> String {
             num(row.power_uw, 1),
         ]);
     }
-    let tree = Component::CompressorTree { inputs: 4, width: 14 }.cost();
+    let tree = Component::CompressorTree {
+        inputs: 4,
+        width: 14,
+    }
+    .cost();
     t.row([
         "4-2 Compressor Tree".into(),
         "14".into(),
@@ -129,7 +143,9 @@ pub fn table2() -> String {
 /// Table III: average NumPPs on 1024×1024 N(0,σ) matrices.
 pub fn table3() -> String {
     let rows = numpps::table3(1024, 20240603);
-    let mut t = Table::new(["Encoding", "N(0,0.5)", "N(0,1.0)", "N(0,2.5)", "N(0,5.0)", "paper"]);
+    let mut t = Table::new([
+        "Encoding", "N(0,0.5)", "N(0,1.0)", "N(0,2.5)", "N(0,5.0)", "paper",
+    ]);
     for (kind, row) in rows {
         let paper = anchors::TABLE3_AVG_NUMPPS
             .iter()
@@ -156,7 +172,11 @@ pub fn table3() -> String {
 pub fn table5() -> String {
     let mut t = Table::new(["Width", "Area(um2)", "paper", "Delay(ns)", "paper"]);
     for row in &anchors::TABLE5_COMPRESSOR_TREE {
-        let c = Component::CompressorTree { inputs: 4, width: row.width }.cost();
+        let c = Component::CompressorTree {
+            inputs: 4,
+            width: row.width,
+        }
+        .cost();
         t.row([
             row.width.to_string(),
             num(c.area_um2, 2),
@@ -178,8 +198,16 @@ pub fn table5() -> String {
 /// Table VII: array-level comparison, model vs paper.
 pub fn table7() -> String {
     let mut t = Table::new([
-        "Design", "MHz", "Area(um2)", "paper", "Power(W)", "paper", "TOPS", "paper",
-        "TOPS/W", "TOPS/mm2",
+        "Design",
+        "MHz",
+        "Area(um2)",
+        "paper",
+        "Power(W)",
+        "paper",
+        "TOPS",
+        "paper",
+        "TOPS/W",
+        "TOPS/mm2",
     ]);
     let paper_for = |name: &str| {
         anchors::TABLE7_OTHERS
@@ -207,10 +235,20 @@ pub fn table7() -> String {
             num(row.energy_efficiency(), 2),
             num(row.area_efficiency(), 2),
         ]);
-        dense_ae.push((row.name.clone(), row.area_efficiency(), row.energy_efficiency()));
+        dense_ae.push((
+            row.name.clone(),
+            row.area_efficiency(),
+            row.energy_efficiency(),
+        ));
     }
     // Improvement ratios OPT1(x) vs x — the paper's headline 1.27–1.56×.
-    let find = |n: &str| dense_ae.iter().find(|(name, _, _)| name == n).unwrap().clone();
+    let find = |n: &str| {
+        dense_ae
+            .iter()
+            .find(|(name, _, _)| name == n)
+            .unwrap()
+            .clone()
+    };
     let mut ratios = String::new();
     for (base, opt) in [
         ("TPU", "OPT1(TPU)"),

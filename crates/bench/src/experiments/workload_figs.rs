@@ -1,7 +1,9 @@
 //! Figures 11, 12 and 13: DNN/LLM workload comparisons of OPT4E against an
 //! equal-area parallel-MAC TPE.
 
-use tpe_core::arch::workload::{dense_layer, equal_area_lane_scale, evaluate_network, serial_layer};
+use tpe_core::arch::workload::{
+    dense_layer, equal_area_lane_scale, evaluate_network, serial_layer,
+};
 use tpe_core::arch::ArchModel;
 use tpe_cost::report::{num, Table};
 use tpe_workloads::models;
@@ -25,14 +27,24 @@ pub fn fig11(net: &str) -> String {
             let net = models::mobilenet_v3();
             net.layers
                 .iter()
-                .filter(|l| l.name.starts_with("b3") || l.name.starts_with("b11") || l.name.starts_with("b13"))
+                .filter(|l| {
+                    l.name.starts_with("b3")
+                        || l.name.starts_with("b11")
+                        || l.name.starts_with("b13")
+                })
                 .cloned()
                 .collect()
         }
         other => panic!("unknown net {other}; use gpt2 or mobilenetv3"),
     };
     let mut t = Table::new([
-        "sublayer", "K", "MAC delay(us)", "OPT4E delay(us)", "speedup", "util%", "busy-min%",
+        "sublayer",
+        "K",
+        "MAC delay(us)",
+        "OPT4E delay(us)",
+        "speedup",
+        "util%",
+        "busy-min%",
         "busy-max%",
     ]);
     for (i, layer) in layers.iter().enumerate() {
@@ -88,7 +100,12 @@ pub fn fig13() -> String {
         rows.push((net.name.clone(), r.speedup, r.energy_ratio));
         t.row([net.name.clone(), num(r.speedup, 2), num(r.energy_ratio, 3)]);
     }
-    let pick = |n: &str| rows.iter().find(|(name, _, _)| name == n).map(|r| r.1).unwrap_or(0.0);
+    let pick = |n: &str| {
+        rows.iter()
+            .find(|(name, _, _)| name == n)
+            .map(|r| r.1)
+            .unwrap_or(0.0)
+    };
     format!(
         "Figure 13 — speedup & energy ratio of OPT4E vs equal-area parallel-MAC TPE\n{}\n\
          paper: MobileViT ×1.89, ViT ×2.02, GPT-2 ×2.16 are the largest speedups;\n\

@@ -120,7 +120,10 @@ mod tests {
         let e = expected_tsync(576, 0.38, 32);
         assert!((e - 381.0).abs() < 3.0, "E[Tsync] = {e}, paper says 381");
         let saving = saving_vs_dense(576, 0.38, 32);
-        assert!((saving - 0.3384).abs() < 0.006, "saving {saving}, paper 33.84%");
+        assert!(
+            (saving - 0.3384).abs() < 0.006,
+            "saving {saving}, paper 33.84%"
+        );
     }
 
     #[test]
@@ -160,12 +163,14 @@ mod tests {
     /// decreases").
     #[test]
     fn relative_overhead_shrinks_with_k() {
-        let rel = |k: u64| {
-            expected_tsync(k, 0.4, 32) / expected_single(k, 0.4) - 1.0
-        };
+        let rel = |k: u64| expected_tsync(k, 0.4, 32) / expected_single(k, 0.4) - 1.0;
         assert!(rel(64) > rel(576));
         assert!(rel(576) > rel(4096));
-        assert!(rel(4096) < 0.03, "big-K overhead should be tiny: {}", rel(4096));
+        assert!(
+            rel(4096) < 0.03,
+            "big-K overhead should be tiny: {}",
+            rel(4096)
+        );
     }
 
     /// Monte Carlo agrees with the closed form within sampling error.

@@ -68,7 +68,17 @@ impl ArrayModel {
     /// * OPT4C/OPT4E share 2 encoders + sparse encoders per PE column and
     ///   add B-prefetch address logic (§IV-D).
     /// * OPT3 keeps everything inside the PEs.
-    fn support_area_um2(&self) -> f64 {
+    ///
+    /// The paper's designs stream EN-T digits; see
+    /// [`Self::support_area_um2_for`] for other encodings.
+    pub fn support_area_um2(&self) -> f64 {
+        self.support_area_um2_for(tpe_arith::encode::EncodingKind::EnT)
+    }
+
+    /// [`Self::support_area_um2`] with the shared digit recoders priced
+    /// for `encoding` (only OPT4C/OPT4E carry encoding-dependent support
+    /// hardware; see [`super::designs::encoder_component`]).
+    pub fn support_area_um2_for(&self, encoding: tpe_arith::encode::EncodingKind) -> f64 {
         let rows = (self.arch.pe_instances as f64).sqrt().round() as u32;
         match self.arch.style {
             PeStyle::TraditionalMac => 0.0,
@@ -81,7 +91,7 @@ impl ArrayModel {
                 lanes * Component::SimdLane { width: 32 }.cost().area_um2
             }
             PeStyle::Opt4C | PeStyle::Opt4E => {
-                let enc = Component::EntEncoder { width: 8 }.cost().area_um2
+                let enc = super::designs::encoder_component(encoding).cost().area_um2
                     + Component::SparseEncoder { digits: 4 }.cost().area_um2;
                 let prefetch = 40.0; // address generation + B staging per row
                 let simd = self.arch.pe_instances.div_ceil(32) as f64

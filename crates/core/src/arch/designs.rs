@@ -9,9 +9,26 @@
 //! clock, where the efficiency knees sit) is what the model must and does
 //! reproduce.
 
+use tpe_arith::encode::EncodingKind;
 use tpe_cost::anchors;
 use tpe_cost::components::Component;
 use tpe_cost::synthesis::PeDesign;
+
+/// The digit-recoder hardware a serial datapath carries for `encoding`.
+///
+/// MBE and EN-T have first-class cost components. CSD is priced as the
+/// EN-T recoder (both are Booth cells plus a carry chain — the closest
+/// calibrated anchor). The radix-2 bit-serial decompositions need no
+/// recoder at all, only zero-skip logic.
+pub fn encoder_component(encoding: EncodingKind) -> Component {
+    match encoding {
+        EncodingKind::Mbe => Component::BoothEncoder { width: 8 },
+        EncodingKind::EnT | EncodingKind::Csd => Component::EntEncoder { width: 8 },
+        EncodingKind::BitSerialComplement | EncodingKind::BitSerialSignMagnitude => {
+            Component::SkipZeroUnit { width: 8 }
+        }
+    }
+}
 
 /// The six PE styles of the paper's Figure 9 sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,7 +99,13 @@ impl PeStyle {
             PeStyle::Opt1 => PeDesign::builder("OPT1")
                 .comp(Component::MultiplierFront { acc_width: 32 }, 1)
                 // The 4-2 compressor accumulation tree at full width.
-                .comp(Component::CompressorTree { inputs: 4, width: 32 }, 1)
+                .comp(
+                    Component::CompressorTree {
+                        inputs: 4,
+                        width: 32,
+                    },
+                    1,
+                )
                 // Carry-save state (sum + carry) plus operand inputs.
                 .state(64 + 16)
                 .nominal_delay(anchors::OPT1_TPD_NS)
@@ -95,7 +118,13 @@ impl PeStyle {
                 .comp(Component::BoothEncoder { width: 8 }, 1)
                 .comp(Component::Cppg { width: 8 }, 1)
                 .comp(Component::Mux { ways: 5, width: 10 }, 4)
-                .comp(Component::CompressorTree { inputs: 4, width: 16 }, 2)
+                .comp(
+                    Component::CompressorTree {
+                        inputs: 4,
+                        width: 16,
+                    },
+                    2,
+                )
                 // Narrow pair state, but KP = 4 prefetched B operands — the
                 // input-DFF growth the paper calls out.
                 .state(32 + 8 + 32)
@@ -109,8 +138,20 @@ impl PeStyle {
                 .comp(Component::SparseEncoder { digits: 4 }, 1)
                 .comp(Component::Cppg { width: 8 }, 1)
                 .comp(Component::Mux { ways: 5, width: 10 }, 1)
-                .comp(Component::BarrelShifter { width: 18, positions: 4 }, 1)
-                .comp(Component::CompressorTree { inputs: 3, width: 24 }, 1)
+                .comp(
+                    Component::BarrelShifter {
+                        width: 18,
+                        positions: 4,
+                    },
+                    1,
+                )
+                .comp(
+                    Component::CompressorTree {
+                        inputs: 3,
+                        width: 24,
+                    },
+                    1,
+                )
                 // Encoded-operand DFBs (KP = 4 operands × 4 digits × 3 b),
                 // B inputs and the carry-save pair: the input-DFF-dominated
                 // single PE the paper describes.
@@ -123,7 +164,13 @@ impl PeStyle {
                 // Figure 8(C): only CPPG + mux + 3-2 tree remain in the PE.
                 .comp(Component::Cppg { width: 8 }, 1)
                 .comp(Component::Mux { ways: 5, width: 8 }, 1)
-                .comp(Component::CompressorTree { inputs: 3, width: 14 }, 1)
+                .comp(
+                    Component::CompressorTree {
+                        inputs: 3,
+                        width: 14,
+                    },
+                    1,
+                )
                 // sel (2 b) + prefetched B (8 b) + narrow pair.
                 .state(2 + 8 + 16)
                 .nominal_delay(anchors::OPT4C_TPD_NS)
@@ -134,7 +181,13 @@ impl PeStyle {
                 // Figure 8(E): 4 lanes share one 6-2 tree and the DFBs.
                 .comp(Component::Cppg { width: 8 }, 4)
                 .comp(Component::Mux { ways: 5, width: 8 }, 4)
-                .comp(Component::CompressorTree { inputs: 6, width: 20 }, 1)
+                .comp(
+                    Component::CompressorTree {
+                        inputs: 6,
+                        width: 20,
+                    },
+                    1,
+                )
                 // Shared pair (2×20) + 4 lane selects + prefetched B per
                 // lane.
                 .state(40 + 8 + 32)
@@ -143,6 +196,24 @@ impl PeStyle {
                 .lanes(4)
                 .build(),
         }
+    }
+
+    /// The synthesizable PE design under a specific multiplicand encoding.
+    ///
+    /// OPT3 carries its digit recoder inside the PE, so its design swaps
+    /// in [`encoder_component`]; every other style's PE is
+    /// encoding-invariant (dense multipliers bake in Booth, OPT4 shares
+    /// encoders out of the array).
+    pub fn design_with_encoding(self, encoding: EncodingKind) -> PeDesign {
+        let mut design = self.design();
+        if self == PeStyle::Opt3 {
+            for (component, _) in &mut design.combinational {
+                if matches!(component, Component::EntEncoder { .. }) {
+                    *component = encoder_component(encoding);
+                }
+            }
+        }
+        design
     }
 
     /// Dense-topology baseline PE: the four classic architectures differ in
@@ -196,14 +267,26 @@ impl PeStyle {
             ClassicArch::Tpu | ClassicArch::FlexFlow => PeStyle::Opt1.design(),
             ClassicArch::Ascend => PeDesign::builder("OPT1-Ascend-PE")
                 .comp(Component::MultiplierFront { acc_width: 32 }, 1)
-                .comp(Component::CompressorTree { inputs: 4, width: 24 }, 1)
+                .comp(
+                    Component::CompressorTree {
+                        inputs: 4,
+                        width: 24,
+                    },
+                    1,
+                )
                 .state(48 + 16)
                 .nominal_delay(anchors::OPT1_TPD_NS)
                 .max_freq(anchors::OPT1_MAX_FREQ_GHZ)
                 .build(),
             ClassicArch::Trapezoid => PeDesign::builder("OPT1-Trapezoid-PE")
                 .comp(Component::MultiplierFront { acc_width: 32 }, 1)
-                .comp(Component::CompressorTree { inputs: 3, width: 24 }, 1)
+                .comp(
+                    Component::CompressorTree {
+                        inputs: 3,
+                        width: 24,
+                    },
+                    1,
+                )
                 .state(48 + 12)
                 .nominal_delay(anchors::OPT1_TPD_NS)
                 .max_freq(anchors::OPT1_MAX_FREQ_GHZ)
@@ -273,7 +356,8 @@ mod tests {
     fn opt1_wins_at_high_frequency() {
         let mac = PeStyle::TraditionalMac.design();
         let opt1 = PeStyle::Opt1.design();
-        let mac_growth = mac.synthesize(1.5).unwrap().area_um2 / mac.synthesize(1.0).unwrap().area_um2;
+        let mac_growth =
+            mac.synthesize(1.5).unwrap().area_um2 / mac.synthesize(1.0).unwrap().area_um2;
         let opt1_growth =
             opt1.synthesize(1.5).unwrap().area_um2 / opt1.synthesize(1.0).unwrap().area_um2;
         assert!(mac_growth > 1.8, "MAC growth {mac_growth}");

@@ -43,9 +43,7 @@ impl ArchModel {
     /// differs across the four classic arrays).
     pub fn pe_design(&self) -> PeDesign {
         match (self.style, self.kind) {
-            (PeStyle::TraditionalMac, ArchKind::Dense(arch)) => {
-                PeStyle::dense_baseline_pe(arch)
-            }
+            (PeStyle::TraditionalMac, ArchKind::Dense(arch)) => PeStyle::dense_baseline_pe(arch),
             (PeStyle::Opt1, ArchKind::Dense(arch)) => PeStyle::Opt1.dense_opt1_pe(arch),
             _ => self.style.design(),
         }

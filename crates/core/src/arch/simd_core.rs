@@ -110,6 +110,11 @@ mod tests {
                 .synthesize(1.5)
                 .unwrap()
                 .area_um2;
-        assert!(s.area_um2() < 0.05 * pe_array, "{} vs {}", s.area_um2(), pe_array);
+        assert!(
+            s.area_um2() < 0.05 * pe_array,
+            "{} vs {}",
+            s.area_um2(),
+            pe_array
+        );
     }
 }

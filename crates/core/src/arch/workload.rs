@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use tpe_arith::encode::Encoder;
 use tpe_sim::array::{DenseArray, SystolicArray};
+use tpe_sim::BitsliceConfig;
 use tpe_workloads::LayerShape;
 
 /// Minimum operands per synchronization round: small-K rows (depthwise
@@ -31,35 +32,73 @@ use tpe_workloads::LayerShape;
 /// matching the paper's `Tsync ≤ KT × KP` granularity.
 pub const KT_MIN_OPERANDS: usize = 32;
 
-/// Cap on sampled sync rounds per layer (rounds are i.i.d., so sampling is
-/// unbiased; totals are rescaled).
-const MAX_SAMPLED_ROUNDS: usize = 128;
+/// Sampling caps for the statistical serial-layer model. Rounds are
+/// i.i.d., so capping keeps the estimate unbiased; totals are rescaled.
+/// The defaults suit single experiments; `tpe-dse` sweeps hundreds of
+/// points and passes tighter caps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SerialSampleCaps {
+    /// Cap on sampled sync rounds per layer.
+    pub max_rounds: usize,
+    /// Budget of sampled operands per layer.
+    pub max_operands: usize,
+}
 
-/// Budget of sampled operands per layer — bounds evaluation cost on very
-/// large layers (sampling rounds i.i.d. keeps estimates unbiased).
-const MAX_SAMPLED_OPERANDS: usize = 1_500_000;
+impl Default for SerialSampleCaps {
+    fn default() -> Self {
+        Self {
+            max_rounds: 128,
+            max_operands: 1_500_000,
+        }
+    }
+}
 
-/// Per-operand digit-count distribution of EN-T-encoded, max-abs-quantized
-/// N(0, 1) INT8 data: `P(NumPPs = j)` as a cumulative table, computed by
-/// weighting the exhaustive INT8 histogram with the quantized-normal pmf.
-fn digit_count_cdf(encoder: &dyn Encoder) -> [f64; 6] {
+/// Highest per-operand digit count any INT8 encoder produces (radix-2
+/// bit-serial: one digit per bit).
+const MAX_DIGITS: usize = 8;
+
+/// Gaussian-weighted digit-count histogram of `encoder` on max-abs-
+/// quantized N(0, 1) INT8 data: unnormalized `P(NumPPs = j)` weights plus
+/// their total. The single source of truth for both the sampling CDF and
+/// the effective-NumPPs statistic.
+fn digit_count_weights(encoder: &dyn Encoder) -> ([f64; MAX_DIGITS + 1], f64) {
     let sigma_int = 30.0f64; // 127 / (max|z| ≈ 4.2σ) for 10⁶-sample tensors
-    let mut probs = [0f64; 6];
+    let mut probs = [0f64; MAX_DIGITS + 1];
     let mut total = 0f64;
     for v in -127i64..=127 {
         let w = (-0.5 * (v as f64 / sigma_int).powi(2)).exp();
-        let n = encoder.num_pps(v, 8).min(5);
+        let n = encoder.num_pps(v, 8).min(MAX_DIGITS);
         probs[n] += w;
         total += w;
     }
-    let mut cdf = [0f64; 6];
+    (probs, total)
+}
+
+/// Per-operand digit-count distribution of `encoder`-encoded,
+/// max-abs-quantized N(0, 1) INT8 data, as a cumulative table.
+fn digit_count_cdf(encoder: &dyn Encoder) -> [f64; MAX_DIGITS + 1] {
+    let (probs, total) = digit_count_weights(encoder);
+    let mut cdf = [0f64; MAX_DIGITS + 1];
     let mut acc = 0.0;
     for (i, p) in probs.iter().enumerate() {
         acc += p / total;
         cdf[i] = acc;
     }
-    cdf[5] = 1.0;
+    cdf[MAX_DIGITS] = 1.0;
     cdf
+}
+
+/// Expected digits per operand of `encoder` under the same distribution —
+/// the divisor in a serial design's peak-throughput accounting (Table
+/// III's effective NumPPs, generalized to any encoder).
+pub fn effective_numpps(encoder: &dyn Encoder) -> f64 {
+    let (probs, total) = digit_count_weights(encoder);
+    probs
+        .iter()
+        .enumerate()
+        .map(|(n, w)| n as f64 * w)
+        .sum::<f64>()
+        / total
 }
 
 /// Result of running one layer on one architecture.
@@ -86,53 +125,22 @@ pub struct LayerResult {
 ///
 /// Panics if the architecture is not serial or cannot close timing.
 pub fn serial_layer(arch: &ArchModel, layer: &LayerShape, seed: u64) -> LayerResult {
-    assert!(matches!(arch.kind, ArchKind::Serial), "serial architectures only");
+    assert!(
+        matches!(arch.kind, ArchKind::Serial),
+        "serial architectures only"
+    );
     let cfg = arch.bitslice_config();
     let pe = arch.pe_design().synthesize(arch.freq_ghz).expect("timing");
     let encoder = cfg.encoding.encoder();
 
-    // Multiplicand matrix: the operand that gets encoded. Weights for
-    // conv/linear layers (rows = output features), cached K/V rows for
-    // attention. Heuristic: the larger non-reduction dim indexes it.
-    let rows_total = layer.m.max(layer.n) * layer.repeats;
-    let streamed = layer.m.min(layer.n);
-    let passes = streamed.div_ceil(cfg.n_per_pass()).max(1) as f64;
-
-    // Rows per column per sync round (batch tiny-K rows).
-    let rows_per_round = KT_MIN_OPERANDS.div_ceil(layer.k).max(1);
-    let rounds = rows_total.div_ceil(cfg.mp * rows_per_round).max(1);
-    let ops_per_round = rows_per_round * layer.k;
-    let budget_rounds = (MAX_SAMPLED_OPERANDS / (cfg.mp * ops_per_round)).max(1);
-    let sampled = rounds.min(MAX_SAMPLED_ROUNDS).min(budget_rounds);
-    let scale = rounds as f64 / sampled as f64;
-
-    // Sample per-column digit sums round by round from the categorical
-    // digit-count distribution of quantized-normal operands.
-    let cdf = digit_count_cdf(encoder.as_ref());
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut busy = vec![0f64; cfg.mp];
-    let mut cycles = 0f64;
-    for _ in 0..sampled {
-        let mut round_max = 0f64;
-        for b in busy.iter_mut() {
-            let mut t = 0u64;
-            for _ in 0..ops_per_round {
-                let u: f64 = rng.random();
-                let mut n = 0u64;
-                while cdf[n as usize] < u {
-                    n += 1;
-                }
-                t += n;
-            }
-            *b += t as f64;
-            round_max = round_max.max(t as f64);
-        }
-        cycles += round_max;
-    }
-    cycles *= scale * passes;
-    for b in busy.iter_mut() {
-        *b *= scale * passes;
-    }
+    let stats = sample_serial_cycles(
+        &cfg,
+        encoder.as_ref(),
+        layer,
+        seed,
+        SerialSampleCaps::default(),
+    );
+    let (cycles, busy) = (stats.cycles, stats.busy);
 
     let delay_us = cycles / (arch.freq_ghz * 1e3);
     let busy_total: f64 = busy.iter().sum();
@@ -157,6 +165,78 @@ pub fn serial_layer(arch: &ArchModel, layer: &LayerShape, seed: u64) -> LayerRes
         busy_max: busy_max / cycles,
         energy_uj,
     }
+}
+
+/// Sampled cycle/busy statistics of a serial layer (already rescaled to
+/// the full layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerialCycleStats {
+    /// Total array cycles (sync barriers included).
+    pub cycles: f64,
+    /// Busy cycles per column.
+    pub busy: Vec<f64>,
+}
+
+impl SerialCycleStats {
+    /// Average busy fraction across columns.
+    pub fn utilization(&self) -> f64 {
+        self.busy.iter().sum::<f64>() / (self.cycles * self.busy.len() as f64)
+    }
+}
+
+/// The statistical serial-layer model shared by [`serial_layer`] and the
+/// `tpe-dse` sweep: maps the layer onto `cfg`'s columns, samples per-column
+/// digit sums round by round from the categorical digit-count distribution
+/// of quantized-normal operands under `encoder`, and applies the `sync`
+/// barrier (the slowest column bounds each round, Eq. 7).
+pub fn sample_serial_cycles(
+    cfg: &BitsliceConfig,
+    encoder: &dyn Encoder,
+    layer: &LayerShape,
+    seed: u64,
+    caps: SerialSampleCaps,
+) -> SerialCycleStats {
+    // Multiplicand matrix: the operand that gets encoded. Weights for
+    // conv/linear layers (rows = output features), cached K/V rows for
+    // attention. Heuristic: the larger non-reduction dim indexes it.
+    let rows_total = layer.m.max(layer.n) * layer.repeats;
+    let streamed = layer.m.min(layer.n);
+    let passes = streamed.div_ceil(cfg.n_per_pass()).max(1) as f64;
+
+    // Rows per column per sync round (batch tiny-K rows).
+    let rows_per_round = KT_MIN_OPERANDS.div_ceil(layer.k).max(1);
+    let rounds = rows_total.div_ceil(cfg.mp * rows_per_round).max(1);
+    let ops_per_round = rows_per_round * layer.k;
+    let budget_rounds = (caps.max_operands / (cfg.mp * ops_per_round)).max(1);
+    let sampled = rounds.min(caps.max_rounds).min(budget_rounds);
+    let scale = rounds as f64 / sampled as f64;
+
+    let cdf = digit_count_cdf(encoder);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut busy = vec![0f64; cfg.mp];
+    let mut cycles = 0f64;
+    for _ in 0..sampled {
+        let mut round_max = 0f64;
+        for b in busy.iter_mut() {
+            let mut t = 0u64;
+            for _ in 0..ops_per_round {
+                let u: f64 = rng.random();
+                let mut n = 0u64;
+                while cdf[n as usize] < u {
+                    n += 1;
+                }
+                t += n;
+            }
+            *b += t as f64;
+            round_max = round_max.max(t as f64);
+        }
+        cycles += round_max;
+    }
+    cycles *= scale * passes;
+    for b in busy.iter_mut() {
+        *b *= scale * passes;
+    }
+    SerialCycleStats { cycles, busy }
 }
 
 /// Runs a layer on a dense parallel-MAC systolic array (the Figure 11
@@ -318,7 +398,11 @@ mod tests {
             rd.utilization,
             rp.utilization
         );
-        assert!((0.85..0.97).contains(&rd.utilization), "DW util {:.3}", rd.utilization);
+        assert!(
+            (0.85..0.97).contains(&rd.utilization),
+            "DW util {:.3}",
+            rd.utilization
+        );
         assert!(rp.utilization > 0.95, "PW util {:.3}", rp.utilization);
     }
 

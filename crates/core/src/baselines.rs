@@ -129,8 +129,16 @@ mod tests {
     #[test]
     fn opt4e_vs_laconic_paper_arithmetic() {
         let r = vs_laconic("OPT4E", 8.11, 10.73);
-        assert!((r.ee_vs_laconic - 12.10).abs() < 0.15, "EE ratio {}", r.ee_vs_laconic);
-        assert!((r.ae_vs_laconic - 2.85).abs() < 0.05, "AE ratio {}", r.ae_vs_laconic);
+        assert!(
+            (r.ee_vs_laconic - 12.10).abs() < 0.15,
+            "EE ratio {}",
+            r.ee_vs_laconic
+        );
+        assert!(
+            (r.ae_vs_laconic - 2.85).abs() < 0.05,
+            "AE ratio {}",
+            r.ae_vs_laconic
+        );
     }
 
     /// Bitwave's published EE is ×22.04 Laconic's (Table VII). Note the

@@ -169,10 +169,16 @@ fn strip_after_k(stmts: &[Stmt], mut after_k: bool) -> (Vec<Stmt>, bool) {
                     // that still contains per-cycle compute (none, by
                     // construction) — strip drain ops inside it.
                     let (body2, _) = strip_after_k(body, true);
-                    out.push(Stmt::For { dim: dim.clone(), body: body2 });
+                    out.push(Stmt::For {
+                        dim: dim.clone(),
+                        body: body2,
+                    });
                 } else {
                     let (body2, _) = strip_after_k(body, false);
-                    out.push(Stmt::For { dim: dim.clone(), body: body2 });
+                    out.push(Stmt::For {
+                        dim: dim.clone(),
+                        body: body2,
+                    });
                     if is_temporal_k {
                         after_k = true;
                     }
@@ -229,7 +235,10 @@ pub fn pe_design_of(nest: &LoopNest) -> PeDesign {
     }
     if t.barrel_shifters > 0 {
         b = b.comp(
-            Component::BarrelShifter { width: PP_WIDTH, positions: 4 },
+            Component::BarrelShifter {
+                width: PP_WIDTH,
+                positions: 4,
+            },
             t.barrel_shifters,
         );
     }
@@ -245,7 +254,10 @@ pub fn pe_design_of(nest: &LoopNest) -> PeDesign {
     let tree_arity = t.tree_inputs + 2; // + carry-save feedback pair
     if t.tree_inputs > 0 {
         b = b.comp(
-            Component::CompressorTree { inputs: tree_arity, width: tree_width },
+            Component::CompressorTree {
+                inputs: tree_arity,
+                width: tree_width,
+            },
             1,
         );
     }
@@ -269,17 +281,25 @@ pub fn pe_design_of(nest: &LoopNest) -> PeDesign {
         delay += Component::Mux { ways: 5, width: 10 }.cost().delay_ns;
     }
     if t.barrel_shifters > 0 {
-        delay += Component::BarrelShifter { width: PP_WIDTH, positions: 4 }
-            .cost()
-            .delay_ns;
+        delay += Component::BarrelShifter {
+            width: PP_WIDTH,
+            positions: 4,
+        }
+        .cost()
+        .delay_ns;
     }
     if t.tree_inputs > 0 {
-        delay += Component::CompressorTree { inputs: tree_arity, width: tree_width }
-            .cost()
-            .delay_ns;
+        delay += Component::CompressorTree {
+            inputs: tree_arity,
+            width: tree_width,
+        }
+        .cost()
+        .delay_ns;
     }
     if t.add_in_pe || t.accumulate_in_pe {
-        delay += Component::CarryPropagateAdder { width: ACC_WIDTH }.cost().delay_ns;
+        delay += Component::CarryPropagateAdder { width: ACC_WIDTH }
+            .cost()
+            .delay_ns;
     }
     if t.accumulate_in_pe {
         delay += Component::Accumulator { width: ACC_WIDTH }.cost().delay_ns;
@@ -326,7 +346,10 @@ mod tests {
         };
         assert!(has(&trad, &|c| matches!(c, Component::Accumulator { .. })));
         assert!(!has(&opt1, &|c| matches!(c, Component::Accumulator { .. })));
-        assert!(!has(&opt1, &|c| matches!(c, Component::CarryPropagateAdder { .. })));
+        assert!(!has(&opt1, &|c| matches!(
+            c,
+            Component::CarryPropagateAdder { .. }
+        )));
     }
 
     /// OPT4's derived PE has no encoder (it hoisted out of the PE column),
@@ -339,7 +362,10 @@ mod tests {
             d.combinational
                 .iter()
                 .filter(|(c, _)| {
-                    matches!(c, Component::EntEncoder { .. } | Component::BoothEncoder { .. })
+                    matches!(
+                        c,
+                        Component::EntEncoder { .. } | Component::BoothEncoder { .. }
+                    )
                 })
                 .map(|(_, n)| *n)
                 .sum()
@@ -364,6 +390,9 @@ mod tests {
             "derived OPT1 must clear {f} GHz (path {:.2} ns)",
             opt1.nominal_delay_ns
         );
-        assert!(trad.synthesize(f).is_none(), "derived traditional at {f} GHz");
+        assert!(
+            trad.synthesize(f).is_none(),
+            "derived traditional at {f} GHz"
+        );
     }
 }

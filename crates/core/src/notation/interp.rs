@@ -66,7 +66,11 @@ pub enum ExecError {
     /// An op received a value of the wrong kind.
     TypeMismatch { op: &'static str, got: &'static str },
     /// Matrix access out of bounds: the nest's dims don't cover the data.
-    OutOfBounds { index: &'static str, value: usize, bound: usize },
+    OutOfBounds {
+        index: &'static str,
+        value: usize,
+        bound: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -77,7 +81,11 @@ impl std::fmt::Display for ExecError {
             ExecError::TypeMismatch { op, got } => {
                 write!(f, "`{op}` received incompatible value kind {got}")
             }
-            ExecError::OutOfBounds { index, value, bound } => {
+            ExecError::OutOfBounds {
+                index,
+                value,
+                bound,
+            } => {
                 write!(f, "index {index}={value} out of bounds {bound}")
             }
         }
@@ -163,10 +171,18 @@ impl<'a> Interp<'a> {
         let m = self.composite("m")?;
         let k = self.composite("k")?;
         if m >= self.a.rows() {
-            return Err(ExecError::OutOfBounds { index: "m", value: m, bound: self.a.rows() });
+            return Err(ExecError::OutOfBounds {
+                index: "m",
+                value: m,
+                bound: self.a.rows(),
+            });
         }
         if k >= self.a.cols() {
-            return Err(ExecError::OutOfBounds { index: "k", value: k, bound: self.a.cols() });
+            return Err(ExecError::OutOfBounds {
+                index: "k",
+                value: k,
+                bound: self.a.cols(),
+            });
         }
         Ok(self.a[(m, k)])
     }
@@ -175,10 +191,18 @@ impl<'a> Interp<'a> {
         let k = self.composite("k")?;
         let n = self.composite("n")?;
         if k >= self.b.rows() {
-            return Err(ExecError::OutOfBounds { index: "k", value: k, bound: self.b.rows() });
+            return Err(ExecError::OutOfBounds {
+                index: "k",
+                value: k,
+                bound: self.b.rows(),
+            });
         }
         if n >= self.b.cols() {
-            return Err(ExecError::OutOfBounds { index: "n", value: n, bound: self.b.cols() });
+            return Err(ExecError::OutOfBounds {
+                index: "n",
+                value: n,
+                bound: self.b.cols(),
+            });
         }
         Ok(self.b[(k, n)])
     }
@@ -222,10 +246,16 @@ impl<'a> Interp<'a> {
                 let d = match self.reg(enc)? {
                     Value::Digit(d) => d,
                     Value::Word(_) => {
-                        return Err(ExecError::TypeMismatch { op: "map", got: "word" })
+                        return Err(ExecError::TypeMismatch {
+                            op: "map",
+                            got: "word",
+                        })
                     }
                     Value::Pp { .. } => {
-                        return Err(ExecError::TypeMismatch { op: "map", got: "pp" })
+                        return Err(ExecError::TypeMismatch {
+                            op: "map",
+                            got: "pp",
+                        })
                     }
                 };
                 let b = self.b_at()?;
@@ -246,7 +276,10 @@ impl<'a> Interp<'a> {
                         w << (u32::from(self.radix_weight) * bw as u32)
                     }
                     Value::Digit(_) => {
-                        return Err(ExecError::TypeMismatch { op: "shift", got: "digit" })
+                        return Err(ExecError::TypeMismatch {
+                            op: "shift",
+                            got: "digit",
+                        })
                     }
                 };
                 self.regs.insert(dst.clone(), Value::Word(v));
@@ -258,7 +291,10 @@ impl<'a> Interp<'a> {
                     // Unshifted reduction under the same bit weight (OPT2).
                     Value::Pp { value, .. } => value,
                     Value::Digit(_) => {
-                        return Err(ExecError::TypeMismatch { op: "half_reduce", got: "digit" })
+                        return Err(ExecError::TypeMismatch {
+                            op: "half_reduce",
+                            got: "digit",
+                        })
                     }
                 };
                 let k = (acc.clone(), self.key_values(key)?);
@@ -277,7 +313,12 @@ impl<'a> Interp<'a> {
             Op::Accumulate { acc, src, key } => {
                 let v = match self.reg(src)? {
                     Value::Word(w) => w,
-                    _ => return Err(ExecError::TypeMismatch { op: "accumulate", got: "non-word" }),
+                    _ => {
+                        return Err(ExecError::TypeMismatch {
+                            op: "accumulate",
+                            got: "non-word",
+                        })
+                    }
                 };
                 let k = (acc.clone(), self.key_values(key)?);
                 *self.scalars.entry(k).or_insert(0) += v;
@@ -291,7 +332,12 @@ impl<'a> Interp<'a> {
             Op::StoreC { src } => {
                 let v = match self.reg(src)? {
                     Value::Word(w) => w,
-                    _ => return Err(ExecError::TypeMismatch { op: "store", got: "non-word" }),
+                    _ => {
+                        return Err(ExecError::TypeMismatch {
+                            op: "store",
+                            got: "non-word",
+                        })
+                    }
                 };
                 let m = self.composite("m")?;
                 let n = self.composite("n")?;
@@ -319,7 +365,11 @@ pub fn execute(
     a: &Matrix<i8>,
     b: &Matrix<i8>,
 ) -> Result<(Matrix<i32>, ExecStats), ExecError> {
-    let radix_weight = if nest.encoding.encoder().radix() == 4 { 2 } else { 1 };
+    let radix_weight = if nest.encoding.encoder().radix() == 4 {
+        2
+    } else {
+        1
+    };
     let mut interp = Interp {
         a,
         b,
@@ -364,7 +414,9 @@ mod tests {
             encoding: EncodingKind::Mbe,
             body: vec![Stmt::For {
                 dim: Dim::temporal("m", 1),
-                body: vec![Stmt::Op(Op::StoreC { src: "nowhere".into() })],
+                body: vec![Stmt::Op(Op::StoreC {
+                    src: "nowhere".into(),
+                })],
             }],
         };
         let a = uniform_int8_matrix(1, 1, 3);

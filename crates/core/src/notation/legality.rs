@@ -88,20 +88,26 @@ impl Checker {
 
     fn need(&mut self, op: &'static str, family: &'static str) {
         if !self.has_family(family) {
-            self.errors.push(LegalityError::MissingDim { op, dim: family });
+            self.errors
+                .push(LegalityError::MissingDim { op, dim: family });
         }
     }
 
     fn read(&mut self, op: &'static str, reg: &str, want: Option<ValueKind>) -> Option<ValueKind> {
         match self.regs.get(reg) {
             None => {
-                self.errors.push(LegalityError::UndefinedRegister(reg.to_string()));
+                self.errors
+                    .push(LegalityError::UndefinedRegister(reg.to_string()));
                 None
             }
             Some(&kind) => {
                 if let Some(w) = want {
                     if w != kind {
-                        self.errors.push(LegalityError::KindMismatch { op, want: w, got: kind });
+                        self.errors.push(LegalityError::KindMismatch {
+                            op,
+                            want: w,
+                            got: kind,
+                        });
                     }
                 }
                 Some(kind)
@@ -121,7 +127,8 @@ impl Checker {
                 other => self.scope.iter().any(|d| d == other),
             };
             if !ok {
-                self.errors.push(LegalityError::UnresolvableKey(name.clone()));
+                self.errors
+                    .push(LegalityError::UnresolvableKey(name.clone()));
             }
         }
     }
@@ -238,8 +245,7 @@ pub fn encoder_shared_over_n(nest: &LoopNest) -> bool {
         stmts.iter().all(|s| match s {
             Stmt::For { dim, body } => walk(
                 body,
-                under_np
-                    || (dim.name.starts_with('n') && dim.kind == super::DimKind::Spatial),
+                under_np || (dim.name.starts_with('n') && dim.kind == super::DimKind::Spatial),
             ),
             Stmt::ForSparseDigits { body, .. } => !under_np && walk(body, under_np),
             Stmt::Op(Op::Encode { .. }) => !under_np,
@@ -272,9 +278,24 @@ mod tests {
     /// Only OPT4 achieves the shared-encoder property.
     #[test]
     fn encoder_sharing_distinguishes_opt4() {
-        assert!(!encoder_shared_over_n(&nests::traditional_mac(4, 4, 8, EncodingKind::EnT)));
-        assert!(!encoder_shared_over_n(&nests::opt3(4, 4, 8, EncodingKind::EnT)));
-        assert!(encoder_shared_over_n(&nests::opt4(4, 4, 8, EncodingKind::EnT)));
+        assert!(!encoder_shared_over_n(&nests::traditional_mac(
+            4,
+            4,
+            8,
+            EncodingKind::EnT
+        )));
+        assert!(!encoder_shared_over_n(&nests::opt3(
+            4,
+            4,
+            8,
+            EncodingKind::EnT
+        )));
+        assert!(encoder_shared_over_n(&nests::opt4(
+            4,
+            4,
+            8,
+            EncodingKind::EnT
+        )));
     }
 
     /// A map outside any n loop is flagged.
@@ -292,16 +313,23 @@ mod tests {
                         dim: Dim::spatial("bw", 4),
                         body: vec![
                             Stmt::Op(Op::Encode { dst: "e".into() }),
-                            Stmt::Op(Op::Map { dst: "p".into(), enc: "e".into() }),
+                            Stmt::Op(Op::Map {
+                                dst: "p".into(),
+                                enc: "e".into(),
+                            }),
                         ],
                     }],
                 }],
             }],
         };
         let errs = check(&nest).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, LegalityError::MissingDim { op: "map", dim: "n" })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            LegalityError::MissingDim {
+                op: "map",
+                dim: "n"
+            }
+        )));
     }
 
     /// Shifting a raw word without a bw dimension in scope is flagged.
@@ -314,15 +342,26 @@ mod tests {
             body: vec![Stmt::For {
                 dim: Dim::temporal("m", 1),
                 body: vec![
-                    Stmt::Op(Op::AddResolve { dst: "w".into(), acc: "t".into(), key: vec![] }),
-                    Stmt::Op(Op::Shift { dst: "s".into(), src: "w".into() }),
+                    Stmt::Op(Op::AddResolve {
+                        dst: "w".into(),
+                        acc: "t".into(),
+                        key: vec![],
+                    }),
+                    Stmt::Op(Op::Shift {
+                        dst: "s".into(),
+                        src: "w".into(),
+                    }),
                 ],
             }],
         };
         let errs = check(&nest).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, LegalityError::MissingDim { op: "shift", dim: "bw" })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            LegalityError::MissingDim {
+                op: "shift",
+                dim: "bw"
+            }
+        )));
     }
 
     /// Feeding a digit straight into the compressor is a kind mismatch.
@@ -351,6 +390,8 @@ mod tests {
             }],
         };
         let errs = check(&nest).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, LegalityError::KindMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, LegalityError::KindMismatch { .. })));
     }
 }

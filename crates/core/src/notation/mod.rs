@@ -93,15 +93,31 @@ pub enum Op {
     Shift { dst: Reg, src: Reg },
     /// `half_reduce(acc[key...], src)` — compressor-tree accumulate into a
     /// redundant (sum, carry) pair keyed by the listed dims.
-    HalfReduce { acc: AccId, src: Reg, key: Vec<String> },
+    HalfReduce {
+        acc: AccId,
+        src: Reg,
+        key: Vec<String>,
+    },
     /// `dst = add(acc[key...])` — the single carry-propagating add that
     /// resolves a redundant pair.
-    AddResolve { dst: Reg, acc: AccId, key: Vec<String> },
+    AddResolve {
+        dst: Reg,
+        acc: AccId,
+        key: Vec<String>,
+    },
     /// `accumulate(acc[key...], src)` — scalar register-feedback
     /// accumulation (the traditional MAC's step ❸).
-    Accumulate { acc: AccId, src: Reg, key: Vec<String> },
+    Accumulate {
+        acc: AccId,
+        src: Reg,
+        key: Vec<String>,
+    },
     /// `dst = read(acc[key...])` — read a scalar accumulator.
-    ReadAcc { dst: Reg, acc: AccId, key: Vec<String> },
+    ReadAcc {
+        dst: Reg,
+        acc: AccId,
+        key: Vec<String>,
+    },
     /// `C[m][n] += src` — commit a value to the output matrix.
     StoreC { src: Reg },
     /// `sync()` — barrier across the spatial columns (Table VI).

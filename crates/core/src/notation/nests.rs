@@ -49,8 +49,14 @@ pub fn traditional_mac(m: usize, n: usize, k: usize, encoding: EncodingKind) -> 
 
     let bw_body = vec![
         Stmt::Op(Op::Encode { dst: "enc".into() }),
-        Stmt::Op(Op::Map { dst: "pp".into(), enc: "enc".into() }),
-        Stmt::Op(Op::Shift { dst: "sp".into(), src: "pp".into() }),
+        Stmt::Op(Op::Map {
+            dst: "pp".into(),
+            enc: "enc".into(),
+        }),
+        Stmt::Op(Op::Shift {
+            dst: "sp".into(),
+            src: "pp".into(),
+        }),
         Stmt::Op(Op::HalfReduce {
             acc: "tree".into(),
             src: "sp".into(),

@@ -52,7 +52,10 @@ fn walk(stmts: &[Stmt], depth: usize, out: &mut String) {
                     Op::Map { dst, enc } => format!("{dst} = map(B[k][n], {enc})"),
                     Op::Shift { dst, src } => format!("{dst} = shift({src}, bw)"),
                     Op::HalfReduce { acc, src, key } => {
-                        format!("({acc}_s, {acc}_c){} = half_reduce({acc}_s, {acc}_c, {src})", key_str(key))
+                        format!(
+                            "({acc}_s, {acc}_c){} = half_reduce({acc}_s, {acc}_c, {src})",
+                            key_str(key)
+                        )
                     }
                     Op::AddResolve { dst, acc, key } => {
                         format!("{dst} = add({acc}_s{0}, {acc}_c{0})", key_str(key))
@@ -88,7 +91,10 @@ mod tests {
     #[test]
     fn opt2_shows_temporal_bw() {
         let s = super::render(&nests::opt2(4, 4, 8, EncodingKind::EnT));
-        assert!(s.contains("for bw in 0..4:"), "bw must print as temporal:\n{s}");
+        assert!(
+            s.contains("for bw in 0..4:"),
+            "bw must print as temporal:\n{s}"
+        );
         assert!(!s.contains("parallel bw"));
     }
 

@@ -71,7 +71,9 @@ pub fn fuse_add_into_half_reduce(nest: &LoopNest) -> Result<LoopNest, TransformE
                 && matches!(body[body.len() - 1], Stmt::Op(Op::Accumulate { .. })))
         })?;
         let (tree_acc, tree_key, p_reg, scalar_acc) = {
-            let Stmt::For { body, .. } = &block[kpos] else { unreachable!() };
+            let Stmt::For { body, .. } = &block[kpos] else {
+                unreachable!()
+            };
             let Stmt::Op(Op::AddResolve { dst, acc, key }) = &body[body.len() - 2] else {
                 unreachable!()
             };
@@ -84,9 +86,9 @@ pub fn fuse_add_into_half_reduce(nest: &LoopNest) -> Result<LoopNest, TransformE
             (acc.clone(), key.clone(), dst.clone(), sacc.clone())
         };
         // The trailing drain must read that scalar accumulator.
-        let read_pos = block.iter().position(|s| {
-            matches!(s, Stmt::Op(Op::ReadAcc { acc, .. }) if *acc == scalar_acc)
-        })?;
+        let read_pos = block
+            .iter()
+            .position(|s| matches!(s, Stmt::Op(Op::ReadAcc { acc, .. }) if *acc == scalar_acc))?;
         let Stmt::Op(Op::ReadAcc { dst: out_reg, .. }) = block[read_pos].clone() else {
             unreachable!()
         };
@@ -143,7 +145,9 @@ pub fn temporalize_bw(nest: &LoopNest) -> Result<LoopNest, TransformError> {
     let applied = rewrite_blocks(&mut out.body, &mut |block| {
         // Locate: For k { For bw(spatial) { Encode, Map, Shift, HalfReduce } }
         let kpos = block.iter().position(|s| {
-            let Stmt::For { dim, body } = s else { return false };
+            let Stmt::For { dim, body } = s else {
+                return false;
+            };
             dim.name.starts_with('k')
                 && body.len() == 1
                 && matches!(&body[0], Stmt::For { dim: bwd, body: inner }
@@ -151,7 +155,11 @@ pub fn temporalize_bw(nest: &LoopNest) -> Result<LoopNest, TransformError> {
                     && is_encode_map_shift_reduce(inner))
         })?;
         // Followed by [AddResolve(tree), StoreC].
-        let Stmt::Op(Op::AddResolve { dst: out_reg, acc: tree, key }) = block[kpos + 1].clone()
+        let Stmt::Op(Op::AddResolve {
+            dst: out_reg,
+            acc: tree,
+            key,
+        }) = block[kpos + 1].clone()
         else {
             return None;
         };
@@ -160,8 +168,16 @@ pub fn temporalize_bw(nest: &LoopNest) -> Result<LoopNest, TransformError> {
         }
 
         let (k_dim, bw_dim, inner) = {
-            let Stmt::For { dim, body } = &block[kpos] else { unreachable!() };
-            let Stmt::For { dim: bwd, body: inner } = &body[0] else { unreachable!() };
+            let Stmt::For { dim, body } = &block[kpos] else {
+                unreachable!()
+            };
+            let Stmt::For {
+                dim: bwd,
+                body: inner,
+            } = &body[0]
+            else {
+                unreachable!()
+            };
             (dim.clone(), bwd.clone(), inner.clone())
         };
         // Legality: the shift consumes the map output (weight is a function
@@ -183,7 +199,10 @@ pub fn temporalize_bw(nest: &LoopNest) -> Result<LoopNest, TransformError> {
                 }
                 Stmt::Op(Op::Map { dst, enc }) => {
                     reduce_src = dst.clone();
-                    new_inner.push(Stmt::Op(Op::Map { dst: dst.clone(), enc: enc.clone() }));
+                    new_inner.push(Stmt::Op(Op::Map {
+                        dst: dst.clone(),
+                        enc: enc.clone(),
+                    }));
                 }
                 other => new_inner.push(other.clone()),
             }
@@ -192,9 +211,19 @@ pub fn temporalize_bw(nest: &LoopNest) -> Result<LoopNest, TransformError> {
         let bw_temporal = Stmt::For {
             dim: Dim::temporal("bw", bw_dim.size),
             body: vec![
-                Stmt::For { dim: k_dim, body: new_inner },
-                Stmt::Op(Op::AddResolve { dst: "v".into(), acc: tree.clone(), key: key.clone() }),
-                Stmt::Op(Op::Shift { dst: "sv".into(), src: "v".into() }),
+                Stmt::For {
+                    dim: k_dim,
+                    body: new_inner,
+                },
+                Stmt::Op(Op::AddResolve {
+                    dst: "v".into(),
+                    acc: tree.clone(),
+                    key: key.clone(),
+                }),
+                Stmt::Op(Op::Shift {
+                    dst: "sv".into(),
+                    src: "v".into(),
+                }),
                 Stmt::Op(Op::Accumulate {
                     acc: "acc_c".into(),
                     src: "sv".into(),
@@ -243,20 +272,32 @@ pub fn sparsify_bw(nest: &LoopNest) -> Result<LoopNest, TransformError> {
     let mut out = nest.clone();
     let applied = rewrite_blocks(&mut out.body, &mut |block| {
         let bwpos = block.iter().position(|s| {
-            let Stmt::For { dim, body } = s else { return false };
+            let Stmt::For { dim, body } = s else {
+                return false;
+            };
             dim.name == "bw"
                 && dim.kind == DimKind::Temporal
                 && body.len() == 4
                 && matches!(&body[0], Stmt::For { dim: kd, .. } if kd.name.starts_with('k'))
         })?;
         let (k_dim, tree, key) = {
-            let Stmt::For { body, .. } = &block[bwpos] else { unreachable!() };
-            let Stmt::For { dim: kd, body: inner } = &body[0] else { unreachable!() };
+            let Stmt::For { body, .. } = &block[bwpos] else {
+                unreachable!()
+            };
+            let Stmt::For {
+                dim: kd,
+                body: inner,
+            } = &body[0]
+            else {
+                unreachable!()
+            };
             // inner = [Encode, Map, HalfReduce]
             let Stmt::Op(Op::HalfReduce { acc, key, .. }) = inner.last()? else {
                 return None;
             };
-            let _ = inner.iter().find(|s| matches!(s, Stmt::Op(Op::Encode { .. })))?;
+            let _ = inner
+                .iter()
+                .find(|s| matches!(s, Stmt::Op(Op::Encode { .. })))?;
             (kd.clone(), acc.clone(), key.clone())
         };
         let Stmt::Op(Op::ReadAcc { dst: out_reg, .. }) = block[bwpos + 1].clone() else {
@@ -264,19 +305,36 @@ pub fn sparsify_bw(nest: &LoopNest) -> Result<LoopNest, TransformError> {
         };
 
         let sparse_body = vec![
-            Stmt::Op(Op::Map { dst: "pp".into(), enc: "d".into() }),
-            Stmt::Op(Op::Shift { dst: "sp".into(), src: "pp".into() }),
-            Stmt::Op(Op::HalfReduce { acc: tree.clone(), src: "sp".into(), key: key.clone() }),
+            Stmt::Op(Op::Map {
+                dst: "pp".into(),
+                enc: "d".into(),
+            }),
+            Stmt::Op(Op::Shift {
+                dst: "sp".into(),
+                src: "pp".into(),
+            }),
+            Stmt::Op(Op::HalfReduce {
+                acc: tree.clone(),
+                src: "sp".into(),
+                key: key.clone(),
+            }),
         ];
         block[bwpos] = Stmt::For {
             dim: k_dim,
-            body: vec![Stmt::ForSparseDigits { digit_reg: "d".into(), body: sparse_body }],
+            body: vec![Stmt::ForSparseDigits {
+                digit_reg: "d".into(),
+                body: sparse_body,
+            }],
         };
         block[bwpos + 1] = Stmt::Op(Op::Sync);
         // StoreC stays; insert the resolving add before it.
         block.insert(
             bwpos + 2,
-            Stmt::Op(Op::AddResolve { dst: out_reg, acc: tree, key }),
+            Stmt::Op(Op::AddResolve {
+                dst: out_reg,
+                acc: tree,
+                key,
+            }),
         );
         Some(())
     });
@@ -316,7 +374,9 @@ pub fn extract_shared_encoder(nest: &LoopNest) -> Result<LoopNest, TransformErro
     let applied = rewrite_blocks(&mut out.body, &mut |block| {
         // Find: For np { For k { ForSparseDigits { body } }, drains... }
         let np_pos = block.iter().position(|s| {
-            let Stmt::For { dim, body } = s else { return false };
+            let Stmt::For { dim, body } = s else {
+                return false;
+            };
             dim.name.starts_with('n')
                 && dim.kind == DimKind::Spatial
                 && body.iter().any(|inner| {
@@ -326,16 +386,28 @@ pub fn extract_shared_encoder(nest: &LoopNest) -> Result<LoopNest, TransformErro
                         && matches!(kb[0], Stmt::ForSparseDigits { .. }))
                 })
         })?;
-        let Stmt::For { dim: np_dim, body: np_body } = block[np_pos].clone() else {
+        let Stmt::For {
+            dim: np_dim,
+            body: np_body,
+        } = block[np_pos].clone()
+        else {
             unreachable!()
         };
         let kpos = np_body
             .iter()
             .position(|s| matches!(s, Stmt::For { dim, .. } if dim.name.starts_with('k')))?;
-        let Stmt::For { dim: k_dim, body: k_body } = np_body[kpos].clone() else {
+        let Stmt::For {
+            dim: k_dim,
+            body: k_body,
+        } = np_body[kpos].clone()
+        else {
             unreachable!()
         };
-        let Stmt::ForSparseDigits { digit_reg, body: digit_body } = k_body[0].clone() else {
+        let Stmt::ForSparseDigits {
+            digit_reg,
+            body: digit_body,
+        } = k_body[0].clone()
+        else {
             unreachable!()
         };
 
@@ -355,7 +427,10 @@ pub fn extract_shared_encoder(nest: &LoopNest) -> Result<LoopNest, TransformErro
         drain.remove(kpos);
         let mut replacement = vec![hoisted];
         if !drain.is_empty() {
-            replacement.push(Stmt::For { dim: np_dim, body: drain });
+            replacement.push(Stmt::For {
+                dim: np_dim,
+                body: drain,
+            });
         }
         block.splice(np_pos..=np_pos, replacement);
         Some(())
@@ -441,13 +516,17 @@ pub fn split_dim(
         Some(())
     });
     if found_indivisible {
-        return Err(TransformError::Illegal("tile size must divide the dimension"));
+        return Err(TransformError::Illegal(
+            "tile size must divide the dimension",
+        ));
     }
     if applied {
         out.name = format!("{} [split {name}→{outer_name}×{inner_name}]", nest.name);
         Ok(out)
     } else {
-        Err(TransformError::PatternNotFound("no loop over the named dimension"))
+        Err(TransformError::PatternNotFound(
+            "no loop over the named dimension",
+        ))
     }
 }
 
@@ -539,7 +618,12 @@ mod tests {
         let o3 = sparsify_bw(&o2).unwrap();
         let o4 = extract_shared_encoder(&o3).unwrap();
         for (b, a) in [(&t, &o1), (&o1, &o2), (&o2, &o3), (&o3, &o4)] {
-            assert!(verify_equivalent(b, a, m, n, k, 400), "{} → {}", b.name, a.name);
+            assert!(
+                verify_equivalent(b, a, m, n, k, 400),
+                "{} → {}",
+                b.name,
+                a.name
+            );
         }
     }
 

@@ -21,38 +21,116 @@ pub struct AnchorRow {
 /// Table I — complete INT8 MAC at accumulator widths 20–32
 /// (SMIC 28nm, 2 ns clock constraint).
 pub const TABLE1_MAC: [AnchorRow; 4] = [
-    AnchorRow { width: 20, area_um2: 179.30, delay_ns: 1.56, power_uw: 27.1 },
-    AnchorRow { width: 24, area_um2: 192.65, delay_ns: 1.67, power_uw: 29.2 },
-    AnchorRow { width: 28, area_um2: 206.01, delay_ns: 1.84, power_uw: 31.4 },
-    AnchorRow { width: 32, area_um2: 238.51, delay_ns: 1.97, power_uw: 36.3 },
+    AnchorRow {
+        width: 20,
+        area_um2: 179.30,
+        delay_ns: 1.56,
+        power_uw: 27.1,
+    },
+    AnchorRow {
+        width: 24,
+        area_um2: 192.65,
+        delay_ns: 1.67,
+        power_uw: 29.2,
+    },
+    AnchorRow {
+        width: 28,
+        area_um2: 206.01,
+        delay_ns: 1.84,
+        power_uw: 31.4,
+    },
+    AnchorRow {
+        width: 32,
+        area_um2: 238.51,
+        delay_ns: 1.97,
+        power_uw: 36.3,
+    },
 ];
 
 /// Table I — the 14-bit 4-2 compressor tree inside the MAC.
-pub const TABLE1_COMPRESSOR_TREE_14: AnchorRow =
-    AnchorRow { width: 14, area_um2: 55.92, delay_ns: 0.31, power_uw: 8.5 };
+pub const TABLE1_COMPRESSOR_TREE_14: AnchorRow = AnchorRow {
+    width: 14,
+    area_um2: 55.92,
+    delay_ns: 0.31,
+    power_uw: 8.5,
+};
 
 /// Table I — the 14-bit carry-propagating full adder inside the MAC.
-pub const TABLE1_FULL_ADDER_14: AnchorRow =
-    AnchorRow { width: 14, area_um2: 51.32, delay_ns: 0.34, power_uw: 7.7 };
+pub const TABLE1_FULL_ADDER_14: AnchorRow = AnchorRow {
+    width: 14,
+    area_um2: 51.32,
+    delay_ns: 0.34,
+    power_uw: 7.7,
+};
 
 /// Table I — the high-width accumulator (register + resolved add).
 pub const TABLE1_ACCUMULATOR: [AnchorRow; 4] = [
-    AnchorRow { width: 20, area_um2: 57.32, delay_ns: 0.80, power_uw: 8.6 },
-    AnchorRow { width: 24, area_um2: 62.43, delay_ns: 0.90, power_uw: 9.4 },
-    AnchorRow { width: 28, area_um2: 82.78, delay_ns: 0.99, power_uw: 12.3 },
-    AnchorRow { width: 32, area_um2: 95.13, delay_ns: 1.13, power_uw: 14.3 },
+    AnchorRow {
+        width: 20,
+        area_um2: 57.32,
+        delay_ns: 0.80,
+        power_uw: 8.6,
+    },
+    AnchorRow {
+        width: 24,
+        area_um2: 62.43,
+        delay_ns: 0.90,
+        power_uw: 9.4,
+    },
+    AnchorRow {
+        width: 28,
+        area_um2: 82.78,
+        delay_ns: 0.99,
+        power_uw: 12.3,
+    },
+    AnchorRow {
+        width: 32,
+        area_um2: 95.13,
+        delay_ns: 1.13,
+        power_uw: 14.3,
+    },
 ];
 
 /// Table V — 4-2 compressor tree area/delay versus width. The paper's
 /// structural point: delay is flat (≈0.32 ns) because compressors have no
 /// carry chain, while area grows linearly with width.
 pub const TABLE5_COMPRESSOR_TREE: [AnchorRow; 6] = [
-    AnchorRow { width: 14, area_um2: 52.92, delay_ns: 0.31, power_uw: 0.0 },
-    AnchorRow { width: 16, area_um2: 60.98, delay_ns: 0.32, power_uw: 0.0 },
-    AnchorRow { width: 20, area_um2: 77.11, delay_ns: 0.32, power_uw: 0.0 },
-    AnchorRow { width: 24, area_um2: 93.99, delay_ns: 0.32, power_uw: 0.0 },
-    AnchorRow { width: 28, area_um2: 110.12, delay_ns: 0.32, power_uw: 0.0 },
-    AnchorRow { width: 32, area_um2: 126.25, delay_ns: 0.32, power_uw: 0.0 },
+    AnchorRow {
+        width: 14,
+        area_um2: 52.92,
+        delay_ns: 0.31,
+        power_uw: 0.0,
+    },
+    AnchorRow {
+        width: 16,
+        area_um2: 60.98,
+        delay_ns: 0.32,
+        power_uw: 0.0,
+    },
+    AnchorRow {
+        width: 20,
+        area_um2: 77.11,
+        delay_ns: 0.32,
+        power_uw: 0.0,
+    },
+    AnchorRow {
+        width: 24,
+        area_um2: 93.99,
+        delay_ns: 0.32,
+        power_uw: 0.0,
+    },
+    AnchorRow {
+        width: 28,
+        area_um2: 110.12,
+        delay_ns: 0.32,
+        power_uw: 0.0,
+    },
+    AnchorRow {
+        width: 32,
+        area_um2: 126.25,
+        delay_ns: 0.32,
+        power_uw: 0.0,
+    },
 ];
 
 /// §IV-A / Figure 5: traditional MAC tpd at INT8 mul + INT32 acc, 2 ns clock.
@@ -110,26 +188,122 @@ pub struct ArrayAnchor {
 /// Table VII, "Others" half — the classic architectures and published
 /// bit-slice baselines (already normalized to 28 nm by the paper).
 pub const TABLE7_OTHERS: [ArrayAnchor; 8] = [
-    ArrayAnchor { name: "TPU",       freq_mhz: 1000.0, area_um2: 370_631.0, power_w: 0.25, peak_tops: 2.05 },
-    ArrayAnchor { name: "Ascend",    freq_mhz: 1000.0, area_um2: 320_783.0, power_w: 0.24, peak_tops: 2.05 },
-    ArrayAnchor { name: "Trapezoid", freq_mhz: 1000.0, area_um2: 283_704.0, power_w: 0.22, peak_tops: 2.05 },
-    ArrayAnchor { name: "FlexFlow",  freq_mhz: 1000.0, area_um2: 332_848.0, power_w: 0.28, peak_tops: 2.05 },
-    ArrayAnchor { name: "Laconic",   freq_mhz: 1000.0, area_um2: 213_248.0, power_w: 1.21, peak_tops: 0.81 },
-    ArrayAnchor { name: "Bitlet",    freq_mhz: 1000.0, area_um2: 415_800.0, power_w: 0.23, peak_tops: 0.74 },
-    ArrayAnchor { name: "Sibia",     freq_mhz: 250.0,  area_um2: 1_069_000.0, power_w: 0.10, peak_tops: 0.77 },
-    ArrayAnchor { name: "Bitwave",   freq_mhz: 250.0,  area_um2: 861_681.0, power_w: 0.01, peak_tops: 0.22 },
+    ArrayAnchor {
+        name: "TPU",
+        freq_mhz: 1000.0,
+        area_um2: 370_631.0,
+        power_w: 0.25,
+        peak_tops: 2.05,
+    },
+    ArrayAnchor {
+        name: "Ascend",
+        freq_mhz: 1000.0,
+        area_um2: 320_783.0,
+        power_w: 0.24,
+        peak_tops: 2.05,
+    },
+    ArrayAnchor {
+        name: "Trapezoid",
+        freq_mhz: 1000.0,
+        area_um2: 283_704.0,
+        power_w: 0.22,
+        peak_tops: 2.05,
+    },
+    ArrayAnchor {
+        name: "FlexFlow",
+        freq_mhz: 1000.0,
+        area_um2: 332_848.0,
+        power_w: 0.28,
+        peak_tops: 2.05,
+    },
+    ArrayAnchor {
+        name: "Laconic",
+        freq_mhz: 1000.0,
+        area_um2: 213_248.0,
+        power_w: 1.21,
+        peak_tops: 0.81,
+    },
+    ArrayAnchor {
+        name: "Bitlet",
+        freq_mhz: 1000.0,
+        area_um2: 415_800.0,
+        power_w: 0.23,
+        peak_tops: 0.74,
+    },
+    ArrayAnchor {
+        name: "Sibia",
+        freq_mhz: 250.0,
+        area_um2: 1_069_000.0,
+        power_w: 0.10,
+        peak_tops: 0.77,
+    },
+    ArrayAnchor {
+        name: "Bitwave",
+        freq_mhz: 250.0,
+        area_um2: 861_681.0,
+        power_w: 0.01,
+        peak_tops: 0.22,
+    },
 ];
 
 /// Table VII, "Ours" half — the paper's measured OPT arrays.
 pub const TABLE7_OURS: [ArrayAnchor; 8] = [
-    ArrayAnchor { name: "OPT1(TPU)",       freq_mhz: 1500.0, area_um2: 436_646.0, power_w: 0.37, peak_tops: 3.07 },
-    ArrayAnchor { name: "OPT1(Ascend)",    freq_mhz: 1500.0, area_um2: 332_185.0, power_w: 0.24, peak_tops: 3.07 },
-    ArrayAnchor { name: "OPT1(Trapezoid)", freq_mhz: 1500.0, area_um2: 271_989.0, power_w: 0.22, peak_tops: 3.07 },
-    ArrayAnchor { name: "OPT1(FlexFlow)",  freq_mhz: 1500.0, area_um2: 373_898.0, power_w: 0.38, peak_tops: 3.07 },
-    ArrayAnchor { name: "OPT2(FlexFlow)",  freq_mhz: 1500.0, area_um2: 347_216.0, power_w: 0.35, peak_tops: 3.07 },
-    ArrayAnchor { name: "OPT3",            freq_mhz: 2000.0, area_um2: 460_349.0, power_w: 0.70, peak_tops: 1.80 },
-    ArrayAnchor { name: "OPT4C",           freq_mhz: 2500.0, area_um2: 259_298.0, power_w: 0.51, peak_tops: 2.25 },
-    ArrayAnchor { name: "OPT4E",           freq_mhz: 2000.0, area_um2: 672_419.0, power_w: 0.89, peak_tops: 7.22 },
+    ArrayAnchor {
+        name: "OPT1(TPU)",
+        freq_mhz: 1500.0,
+        area_um2: 436_646.0,
+        power_w: 0.37,
+        peak_tops: 3.07,
+    },
+    ArrayAnchor {
+        name: "OPT1(Ascend)",
+        freq_mhz: 1500.0,
+        area_um2: 332_185.0,
+        power_w: 0.24,
+        peak_tops: 3.07,
+    },
+    ArrayAnchor {
+        name: "OPT1(Trapezoid)",
+        freq_mhz: 1500.0,
+        area_um2: 271_989.0,
+        power_w: 0.22,
+        peak_tops: 3.07,
+    },
+    ArrayAnchor {
+        name: "OPT1(FlexFlow)",
+        freq_mhz: 1500.0,
+        area_um2: 373_898.0,
+        power_w: 0.38,
+        peak_tops: 3.07,
+    },
+    ArrayAnchor {
+        name: "OPT2(FlexFlow)",
+        freq_mhz: 1500.0,
+        area_um2: 347_216.0,
+        power_w: 0.35,
+        peak_tops: 3.07,
+    },
+    ArrayAnchor {
+        name: "OPT3",
+        freq_mhz: 2000.0,
+        area_um2: 460_349.0,
+        power_w: 0.70,
+        peak_tops: 1.80,
+    },
+    ArrayAnchor {
+        name: "OPT4C",
+        freq_mhz: 2500.0,
+        area_um2: 259_298.0,
+        power_w: 0.51,
+        peak_tops: 2.25,
+    },
+    ArrayAnchor {
+        name: "OPT4E",
+        freq_mhz: 2000.0,
+        area_um2: 672_419.0,
+        power_w: 0.89,
+        peak_tops: 7.22,
+    },
 ];
 
 /// Table III — the paper's measured average NumPPs on 1024×1024 normally

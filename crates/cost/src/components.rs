@@ -7,8 +7,8 @@
 //! composes into whole processing elements.
 
 use crate::anchors::{
-    interp_area, interp_delay, interp_power, TABLE1_ACCUMULATOR, TABLE1_FULL_ADDER_14,
-    TABLE1_MAC, TABLE5_COMPRESSOR_TREE,
+    interp_area, interp_delay, interp_power, TABLE1_ACCUMULATOR, TABLE1_FULL_ADDER_14, TABLE1_MAC,
+    TABLE5_COMPRESSOR_TREE,
 };
 use crate::gates;
 use tpe_arith::compressor::wallace_depth;
@@ -91,8 +91,7 @@ impl Component {
             Component::Accumulator { width } => CompCost::new(
                 interp_area(&TABLE1_ACCUMULATOR, width),
                 interp_delay(&TABLE1_ACCUMULATOR, width),
-                interp_power(&TABLE1_ACCUMULATOR, width) / 0.5
-                    * gates::CARRY_CHAIN_GLITCH_FACTOR,
+                interp_power(&TABLE1_ACCUMULATOR, width) / 0.5 * gates::CARRY_CHAIN_GLITCH_FACTOR,
             ),
             Component::CarryPropagateAdder { width } => {
                 let base = &TABLE1_FULL_ADDER_14;
@@ -225,7 +224,11 @@ mod tests {
     #[test]
     fn compressor_tree_matches_table5_at_4_inputs() {
         for w in [14u32, 16, 20, 24, 28, 32] {
-            let c = Component::CompressorTree { inputs: 4, width: w }.cost();
+            let c = Component::CompressorTree {
+                inputs: 4,
+                width: w,
+            }
+            .cost();
             let expect = interp_area(&TABLE5_COMPRESSOR_TREE, w);
             assert!((c.area_um2 - expect).abs() < 1e-9, "width {w}");
             assert!((c.delay_ns - 0.31).abs() < 0.01, "flat delay at width {w}");
@@ -236,8 +239,18 @@ mod tests {
     /// carry-propagate delay is not.
     #[test]
     fn compressor_delay_flat_cpa_delay_grows() {
-        let t14 = Component::CompressorTree { inputs: 4, width: 14 }.cost().delay_ns;
-        let t32 = Component::CompressorTree { inputs: 4, width: 32 }.cost().delay_ns;
+        let t14 = Component::CompressorTree {
+            inputs: 4,
+            width: 14,
+        }
+        .cost()
+        .delay_ns;
+        let t32 = Component::CompressorTree {
+            inputs: 4,
+            width: 32,
+        }
+        .cost()
+        .delay_ns;
         assert!((t14 - t32).abs() < 1e-9);
 
         let a14 = Component::CarryPropagateAdder { width: 14 }.cost().delay_ns;
@@ -262,7 +275,11 @@ mod tests {
 
     #[test]
     fn trivial_tree_is_free() {
-        let c = Component::CompressorTree { inputs: 2, width: 32 }.cost();
+        let c = Component::CompressorTree {
+            inputs: 2,
+            width: 32,
+        }
+        .cost();
         assert_eq!(c.area_um2, 0.0);
     }
 
@@ -271,7 +288,11 @@ mod tests {
         let m5 = Component::Mux { ways: 5, width: 10 }.cost();
         let m2 = Component::Mux { ways: 2, width: 10 }.cost();
         assert!(m5.area_um2 > m2.area_um2);
-        let s = Component::BarrelShifter { width: 16, positions: 4 }.cost();
+        let s = Component::BarrelShifter {
+            width: 16,
+            positions: 4,
+        }
+        .cost();
         assert!(s.delay_ns > 0.0 && s.area_um2 > 0.0);
     }
 }

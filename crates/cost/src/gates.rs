@@ -82,7 +82,12 @@ mod tests {
         for row in &TABLE5_COMPRESSOR_TREE {
             let composed = 2.0 * f64::from(row.width) * FA_AREA_UM2;
             let err = (composed - row.area_um2).abs() / row.area_um2;
-            assert!(err < 0.10, "width {}: composed {composed} vs {}", row.width, row.area_um2);
+            assert!(
+                err < 0.10,
+                "width {}: composed {composed} vs {}",
+                row.width,
+                row.area_um2
+            );
         }
     }
 

@@ -18,7 +18,10 @@ pub struct ProcessNode {
 
 impl ProcessNode {
     /// SMIC 28 nm HKC+ RVT at the paper's operating voltage.
-    pub const SMIC28: ProcessNode = ProcessNode { nm: 28.0, vdd: 0.72 };
+    pub const SMIC28: ProcessNode = ProcessNode {
+        nm: 28.0,
+        vdd: 0.72,
+    };
     /// TSMC 65 nm (Laconic, Bitlet-era designs).
     pub const N65: ProcessNode = ProcessNode { nm: 65.0, vdd: 1.0 };
     /// TSMC 40 nm.

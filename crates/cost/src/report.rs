@@ -88,7 +88,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -139,9 +146,6 @@ mod tests {
         t.row(["plain", "has,comma"]);
         t.row(["has\"quote", "x"]);
         let csv = t.render_csv();
-        assert_eq!(
-            csv,
-            "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n"
-        );
+        assert_eq!(csv, "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n");
     }
 }

@@ -200,7 +200,13 @@ mod tests {
 
     fn toy_design(delay: f64) -> PeDesign {
         PeDesign::builder("toy")
-            .comp(Component::CompressorTree { inputs: 4, width: 32 }, 1)
+            .comp(
+                Component::CompressorTree {
+                    inputs: 4,
+                    width: 32,
+                },
+                1,
+            )
             .state(64)
             .nominal_delay(delay)
             .build()
@@ -225,7 +231,13 @@ mod tests {
     #[test]
     fn paper_frequency_cap_enforced() {
         let d = PeDesign::builder("capped")
-            .comp(Component::CompressorTree { inputs: 3, width: 16 }, 1)
+            .comp(
+                Component::CompressorTree {
+                    inputs: 3,
+                    width: 16,
+                },
+                1,
+            )
             .nominal_delay(0.3)
             .max_freq(2.0)
             .build();
@@ -257,11 +269,19 @@ mod tests {
         let d = PeDesign::builder("path")
             .critical_path(&[
                 Component::Mux { ways: 5, width: 10 },
-                Component::CompressorTree { inputs: 3, width: 16 },
+                Component::CompressorTree {
+                    inputs: 3,
+                    width: 16,
+                },
             ])
             .build();
         let mux = Component::Mux { ways: 5, width: 10 }.cost().delay_ns;
-        let tree = Component::CompressorTree { inputs: 3, width: 16 }.cost().delay_ns;
+        let tree = Component::CompressorTree {
+            inputs: 3,
+            width: 16,
+        }
+        .cost()
+        .delay_ns;
         assert!((d.nominal_delay_ns - (mux + tree)).abs() < 1e-12);
     }
 }

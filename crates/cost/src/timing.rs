@@ -103,8 +103,7 @@ mod tests {
     #[test]
     fn opt1_growth_validation() {
         let nominal = anchors::OPT1_TPD_NS;
-        let growth =
-            area_factor(nominal, 1.5).unwrap() / area_factor(nominal, 1.0).unwrap();
+        let growth = area_factor(nominal, 1.5).unwrap() / area_factor(nominal, 1.0).unwrap();
         assert!(
             (growth - anchors::OPT1_AREA_GROWTH_1_TO_1_5).abs() < 0.06,
             "OPT1 growth {growth} vs paper {}",
@@ -116,7 +115,10 @@ mod tests {
     #[test]
     fn mac_frequency_wall() {
         let f = max_frequency_ghz(anchors::MAC_TPD_NS);
-        assert!((f - anchors::MAC_MAX_FREQ_GHZ).abs() < 0.1, "wall at {f} GHz");
+        assert!(
+            (f - anchors::MAC_MAX_FREQ_GHZ).abs() < 0.1,
+            "wall at {f} GHz"
+        );
         assert!(area_factor(anchors::MAC_TPD_NS, 1.49).is_some());
         assert!(area_factor(anchors::MAC_TPD_NS, 1.6).is_none());
     }

@@ -9,7 +9,13 @@ use tpe_cost::timing;
 
 fn toy(delay: f64, state: u32) -> PeDesign {
     PeDesign::builder("toy")
-        .comp(Component::CompressorTree { inputs: 4, width: 24 }, 1)
+        .comp(
+            Component::CompressorTree {
+                inputs: 4,
+                width: 24,
+            },
+            1,
+        )
         .comp(Component::Mux { ways: 5, width: 10 }, 2)
         .state(state)
         .nominal_delay(delay)

@@ -1,0 +1,204 @@
+//! The evaluation cache: synthesis results memoized on the cost-relevant
+//! subset of a design point.
+//!
+//! A sweep crosses every (PE, corner) pair with every workload, but the
+//! synthesis outcome — area, power, timing feasibility — depends only on
+//! the PE composition, the clock constraint and the process node. The
+//! cache keys on exactly that subset ([`PeKey`]), so a sweep over W
+//! workloads prices each PE/corner pair once and serves the remaining
+//! `W - 1` evaluations from memory. Hit/miss counters are exposed for the
+//! `repro dse` report.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tpe_arith::encode::EncodingKind;
+use tpe_core::arch::{ArchKind, PeStyle};
+use tpe_sim::array::ClassicArch;
+
+use crate::space::DesignPoint;
+
+/// The cost-relevant subset of a design point: everything synthesis sees.
+///
+/// Frequencies are keyed in integer MHz and feature sizes in integer
+/// tenths of a nm so the key is `Eq + Hash` without float edge cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeKey {
+    /// PE microarchitecture.
+    pub style: PeStyle,
+    /// Dense topology, if any (changes the per-PE reduction logic).
+    pub dense: Option<ClassicArch>,
+    /// Encoding, when it lives *inside* the PE (OPT3 carries its encoder;
+    /// dense multipliers bake in Booth and OPT4's encoders sit out of the
+    /// array in support logic, so those styles key as `None`).
+    pub in_pe_encoding: Option<EncodingKind>,
+    /// Clock constraint in MHz.
+    pub freq_mhz: u32,
+    /// Process feature size in tenths of a nm.
+    pub node_dnm: u32,
+}
+
+impl PeKey {
+    /// Extracts the key from a design point.
+    pub fn of(point: &DesignPoint) -> Self {
+        Self {
+            style: point.style,
+            dense: match point.kind {
+                ArchKind::Dense(a) => Some(a),
+                ArchKind::Serial => None,
+            },
+            in_pe_encoding: (point.style == PeStyle::Opt3).then_some(point.encoding),
+            freq_mhz: (point.corner.freq_ghz * 1e3).round() as u32,
+            node_dnm: (point.corner.node.nm * 10.0).round() as u32,
+        }
+    }
+}
+
+/// A priced PE at one corner (node scaling already applied).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeRecord {
+    /// PE (or PE-group) cell area in µm².
+    pub area_um2: f64,
+    /// Power at full datapath activity, µW.
+    pub active_power_uw: f64,
+    /// Clock-gated idle power, µW.
+    pub idle_power_uw: f64,
+    /// MAC-equivalent lanes the design provides.
+    pub lanes: u32,
+}
+
+/// Cache hit/miss counters at one observation point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that ran synthesis.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from memory (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe memoization of synthesis outcomes. `None` values record
+/// corners where the design cannot close timing, so infeasibility is
+/// cached too.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: Mutex<HashMap<PeKey, Option<PeRecord>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the record for `key`, running `price` on a miss.
+    ///
+    /// The lock is held across `price` so concurrent sweep workers never
+    /// duplicate a synthesis run; pricing is orders of magnitude cheaper
+    /// than the workload evaluation that follows, so contention here does
+    /// not limit sweep scaling.
+    pub fn pe_record(
+        &self,
+        key: PeKey,
+        price: impl FnOnce() -> Option<PeRecord>,
+    ) -> Option<PeRecord> {
+        let mut map = self.map.lock().expect("cache poisoned");
+        if let Some(rec) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *rec;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let rec = price();
+        map.insert(key, rec);
+        rec
+    }
+
+    /// Counters at this instant.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct keys priced.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether nothing has been priced yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(freq_mhz: u32) -> PeKey {
+        PeKey {
+            style: PeStyle::Opt1,
+            dense: Some(ClassicArch::Tpu),
+            in_pe_encoding: None,
+            freq_mhz,
+            node_dnm: 280,
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = EvalCache::new();
+        let mut priced = 0;
+        for _ in 0..3 {
+            cache.pe_record(key(1500), || {
+                priced += 1;
+                Some(PeRecord {
+                    area_um2: 1.0,
+                    active_power_uw: 2.0,
+                    idle_power_uw: 0.1,
+                    lanes: 1,
+                })
+            });
+        }
+        assert_eq!(priced, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn infeasible_outcomes_are_cached() {
+        let cache = EvalCache::new();
+        assert_eq!(cache.pe_record(key(9000), || None), None);
+        assert_eq!(
+            cache.pe_record(key(9000), || panic!("must not re-price")),
+            None
+        );
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn distinct_corners_miss() {
+        let cache = EvalCache::new();
+        cache.pe_record(key(1000), || None);
+        cache.pe_record(key(1500), || None);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+}

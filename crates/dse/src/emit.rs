@@ -1,0 +1,212 @@
+//! CSV / JSON emission of sweep results.
+//!
+//! Formatting is fixed-precision and locale-independent, so a
+//! deterministic sweep emits **byte-identical** text across runs and
+//! thread counts (pinned by the determinism tests). No serde: the
+//! environment vendors no serialization crates, and the schema is flat.
+
+use tpe_core::arch::ArchKind;
+
+use crate::eval::PointResult;
+use crate::pareto::Objective;
+use crate::space::classic_name;
+
+/// CSV header matching [`csv_row`].
+pub const CSV_HEADER: &str = "label,style,topology,encoding,node,freq_ghz,workload,m,n,k,repeats,\
+     feasible,pareto,area_um2,delay_us,energy_uj,fj_per_mac,gops,peak_tops,utilization,power_w";
+
+/// Display name of a point's topology axis ("TPU", ..., or "Serial").
+pub fn topology_name(kind: ArchKind) -> &'static str {
+    match kind {
+        ArchKind::Dense(arch) => classic_name(arch),
+        ArchKind::Serial => "Serial",
+    }
+}
+
+/// RFC-4180 escaping: fields containing a comma, quote or newline are
+/// quoted (free-form workload names would otherwise shift columns).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn csv_row(result: &PointResult, on_front: bool) -> String {
+    let p = &result.point;
+    let w = &p.workload;
+    let head = format!(
+        "{},{},{},{},{},{:.2},{},{},{},{},{},{},{}",
+        csv_field(&p.label()),
+        p.style.name(),
+        topology_name(p.kind),
+        csv_field(&p.encoding.to_string()),
+        p.corner.node_name,
+        p.corner.freq_ghz,
+        csv_field(&w.name),
+        w.m,
+        w.n,
+        w.k,
+        w.repeats,
+        u8::from(result.feasible()),
+        u8::from(on_front),
+    );
+    match &result.metrics {
+        Some(m) => format!(
+            "{head},{:.3},{:.4},{:.6},{:.4},{:.3},{:.4},{:.5},{:.5}",
+            m.area_um2,
+            m.delay_us,
+            m.energy_uj,
+            m.energy_per_mac_fj,
+            m.throughput_gops,
+            m.peak_tops,
+            m.utilization,
+            m.power_w
+        ),
+        None => format!("{head},,,,,,,,"),
+    }
+}
+
+/// Renders all results as CSV; `front` holds the indices on the Pareto
+/// front (from [`crate::pareto::pareto_front`]).
+pub fn to_csv(results: &[PointResult], front: &[usize]) -> String {
+    let mut out = String::with_capacity(results.len() * 160);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&csv_row(r, front.binary_search(&i).is_ok()));
+        out.push('\n');
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders results + front + objectives as a JSON document.
+pub fn to_json(results: &[PointResult], front: &[usize], objectives: &[Objective]) -> String {
+    let mut out = String::with_capacity(results.len() * 260);
+    out.push_str("{\n  \"objectives\": [");
+    for (i, o) in objectives.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", o.name()));
+    }
+    out.push_str("],\n  \"points\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let p = &r.point;
+        let w = &p.workload;
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"style\": \"{}\", \"topology\": \"{}\", \
+             \"encoding\": \"{}\", \"node\": \"{}\", \"freq_ghz\": {:.2}, \
+             \"workload\": \"{}\", \"feasible\": {}, \"pareto\": {}",
+            json_escape(&p.label()),
+            p.style.name(),
+            topology_name(p.kind),
+            json_escape(&p.encoding.to_string()),
+            p.corner.node_name,
+            p.corner.freq_ghz,
+            json_escape(&w.name),
+            r.feasible(),
+            front.binary_search(&i).is_ok(),
+        ));
+        if let Some(m) = &r.metrics {
+            out.push_str(&format!(
+                ", \"area_um2\": {:.3}, \"delay_us\": {:.4}, \"energy_uj\": {:.6}, \
+                 \"fj_per_mac\": {:.4}, \"gops\": {:.3}, \"peak_tops\": {:.4}, \
+                 \"utilization\": {:.5}, \"power_w\": {:.5}",
+                m.area_um2,
+                m.delay_us,
+                m.energy_uj,
+                m.energy_per_mac_fj,
+                m.throughput_gops,
+                m.peak_tops,
+                m.utilization,
+                m.power_w
+            ));
+        }
+        out.push_str(if i + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::EvalCache;
+    use crate::eval::evaluate;
+    use crate::pareto::pareto_front;
+    use crate::space::DesignSpace;
+
+    fn sample() -> (Vec<PointResult>, Vec<usize>) {
+        let cache = EvalCache::new();
+        let results: Vec<PointResult> = DesignSpace::quick()
+            .enumerate()
+            .iter()
+            .map(|p| evaluate(p, &cache, 2))
+            .collect();
+        let front = pareto_front(&results, &Objective::DEFAULT);
+        (results, front)
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_point() {
+        let (results, front) = sample();
+        let csv = to_csv(&results, &front);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), results.len() + 1);
+        let columns = CSV_HEADER.split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), columns, "bad row: {line}");
+        }
+        assert!(csv.contains(",1,"), "some point must be on the front");
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let (results, front) = sample();
+        let json = to_json(&results, &front, &Objective::DEFAULT);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"objectives\": [\"area\", \"delay\", \"energy\"]"));
+        assert_eq!(json.matches("\"label\"").count(), results.len());
+    }
+
+    #[test]
+    fn csv_fields_with_delimiters_are_quoted() {
+        assert_eq!(csv_field("plain-name"), "plain-name");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn infeasible_rows_have_empty_metric_cells() {
+        let cache = EvalCache::new();
+        let points = DesignSpace::paper_default().enumerate_filtered("MAC(TPU)/28nm@2.00");
+        let results: Vec<PointResult> = points.iter().map(|p| evaluate(p, &cache, 2)).collect();
+        assert!(results.iter().all(|r| !r.feasible()));
+        let csv = to_csv(&results, &[]);
+        for line in csv.lines().skip(1) {
+            assert!(line.ends_with(",,,,,,,,"), "infeasible row: {line}");
+        }
+    }
+}

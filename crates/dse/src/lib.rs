@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # tpe-dse
+//!
+//! Parallel design-space exploration over the bit-weight TPE workspace.
+//!
+//! The paper's contribution is a *space* of MAC transformations — OPT1
+//! through OPT4E crossed with encoders, array topologies, synthesis
+//! corners and workloads — but each `repro` experiment evaluates
+//! hand-picked points. This crate turns the reproduction into the tool
+//! the paper implies: enumerate the legal cross product, evaluate every
+//! point in parallel, and extract the Pareto surface.
+//!
+//! * [`space`] — [`DesignPoint`] / [`DesignSpace`]: the five axes
+//!   (PE style, topology, encoding, corner, workload), legality rules and
+//!   deterministic enumeration.
+//! * [`cache`] — [`EvalCache`]: synthesis results memoized on the
+//!   cost-relevant subset ([`cache::PeKey`]), so a sweep prices each
+//!   (PE, corner) pair once across all workloads.
+//! * [`eval`] — one point → [`eval::Metrics`] (area, delay, energy/MAC,
+//!   throughput, utilization, power), composing `tpe-core` PE designs,
+//!   `tpe-cost` synthesis, `tpe-sim` cycle models and the encoding-
+//!   generalized serial workload model.
+//! * [`sweep`] — the scoped-thread executor: work is claimed from an
+//!   atomic cursor, results merge back into input order, and per-point
+//!   seeding makes output byte-identical across thread counts.
+//! * [`pareto`] — [`Objective`] and non-dominated-set extraction.
+//! * [`emit`] — deterministic CSV / JSON emission.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tpe_dse::{sweep, DesignSpace, Objective, SweepConfig};
+//!
+//! let points = DesignSpace::quick().enumerate();
+//! let outcome = sweep(&points, SweepConfig { threads: 2, seed: 42 });
+//! let front = tpe_dse::pareto_front(&outcome.results, &Objective::DEFAULT);
+//! assert!(!front.is_empty());
+//! let csv = tpe_dse::emit::to_csv(&outcome.results, &front);
+//! assert!(csv.lines().count() > points.len());
+//! ```
+
+pub mod cache;
+pub mod emit;
+pub mod eval;
+pub mod pareto;
+pub mod space;
+pub mod sweep;
+
+pub use cache::{CacheStats, EvalCache};
+pub use eval::{evaluate, Metrics, PointResult};
+pub use pareto::{pareto_front, pareto_front_per_workload, Objective};
+pub use space::{Corner, DesignPoint, DesignSpace};
+pub use sweep::{sweep, SweepConfig, SweepOutcome};

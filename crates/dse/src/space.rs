@@ -1,0 +1,353 @@
+//! The design space: axes, legality rules and cross-product enumeration.
+//!
+//! A [`DesignPoint`] is one fully-specified configuration drawn from five
+//! axes:
+//!
+//! 1. **PE style** — the paper's six microarchitectures
+//!    ([`PeStyle`], Figure 9);
+//! 2. **array topology** — one of the four classic dense arrays or the
+//!    column-synchronous serial array ([`ArchKind`], Table VII);
+//! 3. **multiplicand encoding** — the signed-digit encoder streamed through
+//!    the serial datapath ([`EncodingKind`], Tables II–III);
+//! 4. **process / frequency corner** — clock constraint plus process node
+//!    ([`Corner`], the §V synthesis axis);
+//! 5. **workload** — the GEMM layer shape driving delay, utilization and
+//!    energy ([`LayerShape`], Figures 11–13).
+//!
+//! [`DesignSpace::enumerate`] takes the cross product and drops illegal
+//! combinations (serial styles require the serial array; dense multipliers
+//! have their Booth encoder baked in, so the encoding axis only varies for
+//! serial styles; OPT2's same-bit-weight trick needs FlexFlow's broadcast).
+
+use tpe_arith::encode::EncodingKind;
+use tpe_core::arch::{ArchKind, ArchModel, PeStyle};
+use tpe_cost::process::ProcessNode;
+use tpe_sim::array::ClassicArch;
+use tpe_workloads::{models, LayerShape};
+
+/// A synthesis corner: clock constraint + process node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Clock constraint in GHz.
+    pub freq_ghz: f64,
+    /// Process node costs are scaled to (the model is calibrated at
+    /// SMIC 28 nm; other nodes use first-order scaling).
+    pub node: ProcessNode,
+    /// Display name of the node ("28nm", "16nm", ...).
+    pub node_name: &'static str,
+}
+
+impl Corner {
+    /// SMIC 28 nm (the paper's node) at `freq_ghz`.
+    pub fn smic28(freq_ghz: f64) -> Self {
+        Self {
+            freq_ghz,
+            node: ProcessNode::SMIC28,
+            node_name: "28nm",
+        }
+    }
+
+    /// 16 nm FinFET at `freq_ghz` (first-order scaled).
+    pub fn n16(freq_ghz: f64) -> Self {
+        Self {
+            freq_ghz,
+            node: ProcessNode::N16,
+            node_name: "16nm",
+        }
+    }
+
+    /// Stable display label ("28nm@1.50GHz").
+    pub fn label(&self) -> String {
+        format!("{}@{:.2}GHz", self.node_name, self.freq_ghz)
+    }
+}
+
+/// One fully-specified design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// PE microarchitecture.
+    pub style: PeStyle,
+    /// Array organization.
+    pub kind: ArchKind,
+    /// Multiplicand encoding (serial datapaths; dense multipliers carry
+    /// their internal Booth encoding and always record [`EncodingKind::Mbe`]).
+    pub encoding: EncodingKind,
+    /// Synthesis corner.
+    pub corner: Corner,
+    /// The GEMM workload.
+    pub workload: LayerShape,
+}
+
+impl DesignPoint {
+    /// Architecture half of the label ("OPT1(TPU)", "OPT3[CSD]").
+    pub fn arch_label(&self) -> String {
+        match self.kind {
+            ArchKind::Dense(arch) => format!("{}({})", self.style.name(), classic_name(arch)),
+            ArchKind::Serial => format!("{}[{}]", self.style.name(), self.encoding),
+        }
+    }
+
+    /// Full point label, stable across runs — used for seeding, filtering
+    /// and CSV emission.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.arch_label(),
+            self.corner.label(),
+            self.workload.name
+        )
+    }
+
+    /// PE instances at the paper's array sizes (10×10×10 Cube, else 32×32).
+    pub fn pe_instances(&self) -> usize {
+        match self.kind {
+            ArchKind::Dense(ClassicArch::Ascend) => 1000,
+            _ => 1024,
+        }
+    }
+
+    /// The equivalent `tpe-core` architecture model at this corner.
+    pub fn arch_model(&self) -> ArchModel {
+        ArchModel {
+            name: self.arch_label(),
+            style: self.style,
+            kind: self.kind,
+            pe_instances: self.pe_instances(),
+            freq_ghz: self.corner.freq_ghz,
+        }
+    }
+}
+
+/// Display name of a classic dense topology.
+pub fn classic_name(arch: ClassicArch) -> &'static str {
+    match arch {
+        ClassicArch::Tpu => "TPU",
+        ClassicArch::Ascend => "Ascend",
+        ClassicArch::Trapezoid => "Trapezoid",
+        ClassicArch::FlexFlow => "FlexFlow",
+    }
+}
+
+/// The five axes; [`DesignSpace::enumerate`] takes the legal cross product.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    /// PE styles to sweep.
+    pub styles: Vec<PeStyle>,
+    /// Dense topologies to pair with dense-capable styles.
+    pub dense_topologies: Vec<ClassicArch>,
+    /// Encodings to pair with serial styles.
+    pub encodings: Vec<EncodingKind>,
+    /// Synthesis corners.
+    pub corners: Vec<Corner>,
+    /// Workload layers.
+    pub workloads: Vec<LayerShape>,
+}
+
+impl DesignSpace {
+    /// The full paper-flavored space: all six PE styles, all four classic
+    /// topologies, all five encoders, four corners and a workload slice
+    /// covering the utilization regimes of Figures 11–13 (wide conv,
+    /// depthwise, attention, FFN).
+    pub fn paper_default() -> Self {
+        Self {
+            styles: PeStyle::ALL.to_vec(),
+            dense_topologies: ClassicArch::ALL.to_vec(),
+            encodings: EncodingKind::ALL.to_vec(),
+            corners: vec![
+                Corner::smic28(1.0),
+                Corner::smic28(1.5),
+                Corner::smic28(2.0),
+                Corner::n16(1.5),
+            ],
+            workloads: default_workloads(),
+        }
+    }
+
+    /// A small space for tests and the example: two styles per family, two
+    /// encodings, one corner family, two workloads.
+    pub fn quick() -> Self {
+        Self {
+            styles: vec![
+                PeStyle::TraditionalMac,
+                PeStyle::Opt1,
+                PeStyle::Opt3,
+                PeStyle::Opt4E,
+            ],
+            dense_topologies: vec![ClassicArch::Tpu, ClassicArch::Trapezoid],
+            encodings: vec![EncodingKind::EnT, EncodingKind::Mbe],
+            corners: vec![Corner::smic28(1.0), Corner::smic28(1.5)],
+            workloads: vec![
+                LayerShape::new("conv-64x3136x576", 64, 3136, 576, 1),
+                LayerShape::new("attn-qk-1024x64", 1024, 1024, 64, 1),
+            ],
+        }
+    }
+
+    /// Whether a (style, kind, encoding) combination is realizable.
+    ///
+    /// * Serial styles (OPT3/OPT4C/OPT4E) run only on the serial array and
+    ///   accept every encoding axis value.
+    /// * Dense styles run only on dense topologies with the multiplier's
+    ///   built-in Booth encoding ([`EncodingKind::Mbe`]).
+    /// * OPT2 additionally requires FlexFlow's operand broadcast (§IV-B).
+    pub fn is_legal(style: PeStyle, kind: ArchKind, encoding: EncodingKind) -> bool {
+        match kind {
+            ArchKind::Serial => style.is_serial(),
+            ArchKind::Dense(arch) => {
+                if style.is_serial() || encoding != EncodingKind::Mbe {
+                    return false;
+                }
+                match style {
+                    PeStyle::TraditionalMac | PeStyle::Opt1 => true,
+                    PeStyle::Opt2 => arch == ClassicArch::FlexFlow,
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Enumerates the legal cross product, in a deterministic order.
+    pub fn enumerate(&self) -> Vec<DesignPoint> {
+        let mut points = Vec::new();
+        for &style in &self.styles {
+            // (kind, encoding) pairs legal for this style.
+            let mut variants: Vec<(ArchKind, EncodingKind)> = Vec::new();
+            if style.is_serial() {
+                for &enc in &self.encodings {
+                    variants.push((ArchKind::Serial, enc));
+                }
+            } else {
+                for &arch in &self.dense_topologies {
+                    let kind = ArchKind::Dense(arch);
+                    if Self::is_legal(style, kind, EncodingKind::Mbe) {
+                        variants.push((kind, EncodingKind::Mbe));
+                    }
+                }
+            }
+            for &(kind, encoding) in &variants {
+                for &corner in &self.corners {
+                    for workload in &self.workloads {
+                        points.push(DesignPoint {
+                            style,
+                            kind,
+                            encoding,
+                            corner,
+                            workload: workload.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Enumerates, keeping only points whose label contains `filter`
+    /// (case-insensitive). An empty filter keeps everything.
+    pub fn enumerate_filtered(&self, filter: &str) -> Vec<DesignPoint> {
+        let needle = filter.to_ascii_lowercase();
+        self.enumerate()
+            .into_iter()
+            .filter(|p| needle.is_empty() || p.label().to_ascii_lowercase().contains(&needle))
+            .collect()
+    }
+}
+
+/// The default workload axis: one layer per utilization regime the paper
+/// studies — wide mid-network conv, depthwise conv, pointwise projection,
+/// attention score GEMM, transformer FFN, and the classifier GEMV.
+pub fn default_workloads() -> Vec<LayerShape> {
+    let resnet = models::resnet18();
+    let mobilenet = models::mobilenet_v3();
+    let mut picks: Vec<LayerShape> = Vec::new();
+    // Wide conv (K = 576): the §IV-C sync example.
+    if let Some(l) = resnet.layers.iter().find(|l| l.name == "l2.0-3x3s2") {
+        picks.push(l.clone());
+    }
+    // Depthwise (K = 25) and pointwise from MobileNetV3: Figure 11(B).
+    for name in ["b13-dw5x5", "b13-pw-proj"] {
+        if let Some(l) = mobilenet.layers.iter().find(|l| l.name == name) {
+            picks.push(l.clone());
+        }
+    }
+    // Transformer shapes: attention scores (K = 64) and the FFN (K = 768).
+    for l in models::gpt2_decode_sublayers("L0", 1024) {
+        if l.k == 64 || l.name.ends_with("fc1") {
+            picks.push(l);
+        }
+    }
+    // Classifier GEMV — the skinny tail case.
+    picks.push(LayerShape::new("fc-1000x512", 1000, 1, 512, 1));
+    picks.truncate(6);
+    picks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_covers_over_200_points_on_4_plus_axes() {
+        let space = DesignSpace::paper_default();
+        assert!(space.styles.len() >= 4);
+        assert!(space.encodings.len() >= 4);
+        assert!(space.corners.len() >= 3);
+        assert!(space.workloads.len() >= 4);
+        let points = space.enumerate();
+        assert!(points.len() >= 200, "only {} points", points.len());
+    }
+
+    #[test]
+    fn every_enumerated_point_is_legal() {
+        for p in DesignSpace::paper_default().enumerate() {
+            assert!(
+                DesignSpace::is_legal(p.style, p.kind, p.encoding),
+                "illegal point {}",
+                p.label()
+            );
+        }
+    }
+
+    #[test]
+    fn serial_styles_never_pair_with_dense_arrays() {
+        assert!(!DesignSpace::is_legal(
+            PeStyle::Opt3,
+            ArchKind::Dense(ClassicArch::Tpu),
+            EncodingKind::EnT
+        ));
+        assert!(!DesignSpace::is_legal(
+            PeStyle::TraditionalMac,
+            ArchKind::Serial,
+            EncodingKind::Mbe
+        ));
+        // OPT2 needs FlexFlow.
+        assert!(!DesignSpace::is_legal(
+            PeStyle::Opt2,
+            ArchKind::Dense(ClassicArch::Tpu),
+            EncodingKind::Mbe
+        ));
+        assert!(DesignSpace::is_legal(
+            PeStyle::Opt2,
+            ArchKind::Dense(ClassicArch::FlexFlow),
+            EncodingKind::Mbe
+        ));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let points = DesignSpace::paper_default().enumerate();
+        let mut labels: Vec<String> = points.iter().map(DesignPoint::label).collect();
+        labels.sort();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(before, labels.len(), "duplicate point labels");
+    }
+
+    #[test]
+    fn filter_narrows_enumeration() {
+        let space = DesignSpace::quick();
+        let all = space.enumerate();
+        let opt3 = space.enumerate_filtered("opt3");
+        assert!(!opt3.is_empty() && opt3.len() < all.len());
+        assert!(opt3.iter().all(|p| p.style == PeStyle::Opt3));
+    }
+}

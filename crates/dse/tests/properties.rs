@@ -1,0 +1,245 @@
+//! Property tests for the DSE subsystem: Pareto extraction returns only
+//! non-dominated points and is permutation-invariant; seeded parallel
+//! sweeps are byte-identical across runs and thread counts; the
+//! evaluation cache hits on workload-heavy sweeps.
+
+use proptest::prelude::*;
+use tpe_dse::emit::to_csv;
+use tpe_dse::eval::{Metrics, PointResult};
+use tpe_dse::pareto::dominates;
+use tpe_dse::{pareto_front, sweep, Corner, DesignPoint, DesignSpace, Objective, SweepConfig};
+
+use tpe_arith::encode::EncodingKind;
+use tpe_core::arch::{ArchKind, PeStyle};
+use tpe_workloads::LayerShape;
+
+/// Builds a synthetic feasible result from a raw objective triple.
+fn synthetic(area: f64, delay: f64, energy: f64) -> PointResult {
+    let point = DesignPoint {
+        style: PeStyle::Opt3,
+        kind: ArchKind::Serial,
+        encoding: EncodingKind::EnT,
+        corner: Corner::smic28(2.0),
+        workload: LayerShape::new("synthetic", 4, 4, 4, 1),
+    };
+    PointResult {
+        point,
+        metrics: Some(Metrics {
+            area_um2: area,
+            delay_us: delay,
+            energy_uj: energy,
+            energy_per_mac_fj: energy,
+            throughput_gops: 1.0 / delay,
+            peak_tops: 1.0,
+            utilization: 0.5,
+            power_w: energy / delay,
+        }),
+    }
+}
+
+const OBJECTIVES: [Objective; 3] = [Objective::Area, Objective::Delay, Objective::Energy];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every point on the front is non-dominated, and every point off the
+    /// front is dominated by someone.
+    #[test]
+    fn front_is_exactly_the_non_dominated_set(
+        triples in prop::collection::vec((1u32..1000, 1u32..1000, 1u32..1000), 1..40),
+    ) {
+        let results: Vec<PointResult> = triples
+            .iter()
+            .map(|&(a, d, e)| synthetic(f64::from(a), f64::from(d), f64::from(e)))
+            .collect();
+        let front = pareto_front(&results, &OBJECTIVES);
+        prop_assert!(!front.is_empty());
+        let metric = |i: usize| results[i].metrics.as_ref().unwrap();
+        for &i in &front {
+            for (j, _) in results.iter().enumerate() {
+                prop_assert!(
+                    !dominates(metric(j), metric(i), &OBJECTIVES),
+                    "front point {i} dominated by {j}"
+                );
+            }
+        }
+        for i in 0..results.len() {
+            if !front.contains(&i) {
+                prop_assert!(
+                    (0..results.len()).any(|j| dominates(metric(j), metric(i), &OBJECTIVES)),
+                    "off-front point {i} dominated by nobody"
+                );
+            }
+        }
+    }
+
+    /// Permuting the input permutes the front: the same *set* of points
+    /// comes back regardless of order.
+    #[test]
+    fn front_is_invariant_under_permutation(
+        triples in prop::collection::vec((1u32..50, 1u32..50, 1u32..50), 1..30),
+        rotation in 0usize..30,
+    ) {
+        let results: Vec<PointResult> = triples
+            .iter()
+            .map(|&(a, d, e)| synthetic(f64::from(a), f64::from(d), f64::from(e)))
+            .collect();
+        let rotation = rotation % results.len().max(1);
+        let mut rotated = results.clone();
+        rotated.rotate_left(rotation);
+
+        let key = |r: &PointResult| {
+            let m = r.metrics.as_ref().unwrap();
+            (m.area_um2.to_bits(), m.delay_us.to_bits(), m.energy_uj.to_bits())
+        };
+        let mut front_a: Vec<_> = pareto_front(&results, &OBJECTIVES)
+            .into_iter()
+            .map(|i| key(&results[i]))
+            .collect();
+        let mut front_b: Vec<_> = pareto_front(&rotated, &OBJECTIVES)
+            .into_iter()
+            .map(|i| key(&rotated[i]))
+            .collect();
+        front_a.sort_unstable();
+        front_b.sort_unstable();
+        prop_assert_eq!(front_a, front_b);
+    }
+
+    /// Front size never exceeds input size and front indices are sorted.
+    #[test]
+    fn front_indices_sorted_and_bounded(
+        triples in prop::collection::vec((1u32..100, 1u32..100, 1u32..100), 1..25),
+    ) {
+        let results: Vec<PointResult> = triples
+            .iter()
+            .map(|&(a, d, e)| synthetic(f64::from(a), f64::from(d), f64::from(e)))
+            .collect();
+        let front = pareto_front(&results, &OBJECTIVES);
+        prop_assert!(front.len() <= results.len());
+        prop_assert!(front.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+/// The global front is always a subset of the per-workload union: a point
+/// non-dominated against everyone is non-dominated within its workload.
+#[test]
+fn global_front_is_subset_of_per_workload_union() {
+    let points = DesignSpace::quick().enumerate();
+    let outcome = sweep(
+        &points,
+        SweepConfig {
+            threads: 2,
+            seed: 11,
+        },
+    );
+    let global = pareto_front(&outcome.results, &Objective::DEFAULT);
+    let per_wl = tpe_dse::pareto_front_per_workload(&outcome.results, &Objective::DEFAULT);
+    assert!(
+        global.iter().all(|i| per_wl.contains(i)),
+        "global {global:?} not within per-workload {per_wl:?}"
+    );
+    assert!(
+        per_wl.windows(2).all(|w| w[0] < w[1]),
+        "union must be sorted"
+    );
+}
+
+/// A seeded sweep emits byte-identical CSV across runs and thread counts —
+/// the property that makes sharded/parallel sweeps trustworthy.
+#[test]
+fn sweep_csv_is_byte_identical_across_runs_and_thread_counts() {
+    let points = DesignSpace::quick().enumerate();
+    let emit = |threads: usize| {
+        let outcome = sweep(
+            &points,
+            SweepConfig {
+                threads,
+                seed: 1234,
+            },
+        );
+        let front = pareto_front(&outcome.results, &Objective::DEFAULT);
+        to_csv(&outcome.results, &front)
+    };
+    let once = emit(1);
+    let again = emit(1);
+    assert_eq!(once, again, "same thread count must reproduce");
+    for threads in [2, 3, 8] {
+        let parallel = emit(threads);
+        assert_eq!(
+            once.len(),
+            parallel.len(),
+            "CSV length diverged at {threads} threads"
+        );
+        assert_eq!(once, parallel, "CSV bytes diverged at {threads} threads");
+    }
+}
+
+/// Different seeds must actually change the sampled serial workloads
+/// (guards against the seed being dropped on the floor).
+#[test]
+fn sweep_seed_reaches_the_workload_model() {
+    let points = DesignSpace::quick().enumerate_filtered("OPT3");
+    let a = sweep(
+        &points,
+        SweepConfig {
+            threads: 2,
+            seed: 1,
+        },
+    );
+    let b = sweep(
+        &points,
+        SweepConfig {
+            threads: 2,
+            seed: 2,
+        },
+    );
+    assert_ne!(a.results, b.results);
+}
+
+/// The evaluation cache reports a nonzero hit rate on a workload-heavy
+/// sweep: (PE, corner) pairs repeat across workloads and are priced once.
+#[test]
+fn cache_hit_rate_is_nonzero_and_bounded() {
+    let points = DesignSpace::quick().enumerate();
+    let outcome = sweep(
+        &points,
+        SweepConfig {
+            threads: 4,
+            seed: 7,
+        },
+    );
+    let stats = outcome.cache;
+    assert!(stats.hits > 0, "expected hits: {stats:?}");
+    assert!(stats.misses > 0, "at least one real pricing: {stats:?}");
+    assert_eq!(
+        stats.hits + stats.misses,
+        points.len() as u64,
+        "one lookup per point"
+    );
+    assert!(
+        stats.hit_rate() > 0.4,
+        "hit rate {:.3} too low",
+        stats.hit_rate()
+    );
+}
+
+/// The paper-default space satisfies the sweep-scale acceptance bar.
+#[test]
+fn paper_default_space_is_large_and_mostly_feasible() {
+    let points = DesignSpace::paper_default().enumerate();
+    assert!(points.len() >= 200, "{} points", points.len());
+    // Sweep a fast serial-free slice to keep the debug-profile test quick.
+    let dense: Vec<_> = points
+        .iter()
+        .filter(|p| matches!(p.kind, ArchKind::Dense(_)))
+        .cloned()
+        .collect();
+    let outcome = sweep(
+        &dense,
+        SweepConfig {
+            threads: 4,
+            seed: 3,
+        },
+    );
+    assert!(outcome.feasible_count() > dense.len() / 2);
+}

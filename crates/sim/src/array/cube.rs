@@ -55,8 +55,8 @@ impl DenseArray for CubeArray {
                         for j in 0..nn {
                             let mut acc = 0i32;
                             for x in 0..kk {
-                                acc += i32::from(a[(m0 + i, k0 + x)])
-                                    * i32::from(b[(k0 + x, n0 + j)]);
+                                acc +=
+                                    i32::from(a[(m0 + i, k0 + x)]) * i32::from(b[(k0 + x, n0 + j)]);
                             }
                             out[(m0 + i, n0 + j)] += acc;
                         }
@@ -82,8 +82,7 @@ impl DenseArray for CubeArray {
     }
 
     fn estimate_cycles(&self, m: usize, n: usize, k: usize) -> u64 {
-        (m.div_ceil(self.mp) * n.div_ceil(self.np) * k.div_ceil(self.kp)) as u64
-            + self.tree_depth()
+        (m.div_ceil(self.mp) * n.div_ceil(self.np) * k.div_ceil(self.kp)) as u64 + self.tree_depth()
     }
 }
 

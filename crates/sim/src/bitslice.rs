@@ -308,9 +308,15 @@ mod tests {
     /// Average PPs per MAC tracks the encoder statistics (≈2.2 for EN-T on
     /// normal data).
     #[test]
-    fn avg_pps_matches_encoding(){
+    fn avg_pps_matches_encoding() {
         let a = normal_int8_matrix(16, 128, 1.0, 77);
-        let cfg = BitsliceConfig { mp: 16, np: 8, lanes_per_pe: 1, kt: 32, encoding: EncodingKind::EnT };
+        let cfg = BitsliceConfig {
+            mp: 16,
+            np: 8,
+            lanes_per_pe: 1,
+            kt: 32,
+            encoding: EncodingKind::EnT,
+        };
         let stats = BitsliceArray::new(cfg).cycle_stats(&a, 8);
         let avg = stats.avg_pps_per_mac();
         assert!((2.0..2.5).contains(&avg), "avg NumPPs {avg}");

@@ -20,9 +20,7 @@
 
 use crate::stats::SimStats;
 use tpe_arith::csa::CsAccumulator;
-use tpe_arith::encode::{
-    BitSerialComplement, Encoder, EntEncoder,
-};
+use tpe_arith::encode::{BitSerialComplement, Encoder, EntEncoder};
 use tpe_arith::mac::TraditionalMac;
 
 /// Result of one dot-product run on a PE scheme.

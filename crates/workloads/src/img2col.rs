@@ -47,7 +47,13 @@ impl ConvShape {
     }
 
     /// A depthwise convolution (one group per channel).
-    pub fn depthwise(channels: usize, input_hw: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+    pub fn depthwise(
+        channels: usize,
+        input_hw: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
         Self {
             in_channels: channels,
             out_channels: channels,

@@ -420,10 +420,18 @@ mod tests {
     #[test]
     fn depthwise_layers_have_tiny_k() {
         let net = mobilenet_v3();
-        let dws: Vec<_> = net.layers.iter().filter(|l| l.name.contains("dw")).collect();
+        let dws: Vec<_> = net
+            .layers
+            .iter()
+            .filter(|l| l.name.contains("dw"))
+            .collect();
         assert!(!dws.is_empty());
         assert!(dws.iter().all(|l| l.k == 9 || l.k == 25));
-        let pws: Vec<_> = net.layers.iter().filter(|l| l.name.contains("pw")).collect();
+        let pws: Vec<_> = net
+            .layers
+            .iter()
+            .filter(|l| l.name.contains("pw"))
+            .collect();
         assert!(pws.iter().all(|l| l.k >= 16));
     }
 

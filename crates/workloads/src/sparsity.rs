@@ -127,7 +127,7 @@ mod tests {
     /// EN-T sparsity of normal data sits near the paper's ResNet-18 figure
     /// (s ≈ 0.38–0.45 depending on tensor statistics).
     #[test]
-    fn ent_sparsity_band(){
+    fn ent_sparsity_band() {
         let m = normal_int8_matrix(256, 256, 1.0, 5);
         let s = encoding_sparsity(&m, EncodingKind::EnT);
         assert!((0.35..0.55).contains(&s), "EN-T sparsity {s}");

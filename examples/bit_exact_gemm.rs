@@ -18,7 +18,10 @@ fn main() {
     let b = normal_int8_matrix(k, n, 1.0, 22);
     let reference = matmul_i8(&a, &b);
     println!("reference GEMM: {m}×{k} · {k}×{n}\n");
-    println!("{:<24} {:>9} {:>12} {:>10}", "engine", "cycles", "PPs", "util%");
+    println!(
+        "{:<24} {:>9} {:>12} {:>10}",
+        "engine", "cycles", "PPs", "util%"
+    );
 
     for arch in ClassicArch::ALL {
         let engine = arch.at_paper_config();

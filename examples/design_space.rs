@@ -30,7 +30,11 @@ fn main() {
     for nest in [&opt1, &opt2, &opt3, &opt4] {
         legality::check(nest).expect("every derived nest is structurally legal");
         let (c, stats) = execute(nest, &a, &b).expect("nest executes");
-        assert_eq!(c, reference, "{} diverged from the reference GEMM", nest.name);
+        assert_eq!(
+            c, reference,
+            "{} diverged from the reference GEMM",
+            nest.name
+        );
         println!(
             "{}\n  verified ✓  adds={} shifts={} encodes={} syncs={}\n",
             printer::render(nest),

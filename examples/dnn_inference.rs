@@ -5,7 +5,9 @@
 //! cargo run --release --example dnn_inference
 //! ```
 
-use tpe::core::arch::workload::{dense_layer, equal_area_lane_scale, evaluate_network, serial_layer};
+use tpe::core::arch::workload::{
+    dense_layer, equal_area_lane_scale, evaluate_network, serial_layer,
+};
 use tpe::core::arch::ArchModel;
 use tpe::workloads::models;
 
@@ -18,7 +20,10 @@ fn main() {
     println!("area equalization: OPT4E array ≈ {scale:.2}× the 32×32 MAC array silicon\n");
 
     println!("== GPT-2 decode sublayers (one token, 1024-token KV cache) ==");
-    println!("{:<14} {:>6} {:>12} {:>12} {:>8} {:>7}", "sublayer", "K", "MAC (us)", "OPT4E (us)", "speedup", "util%");
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>8} {:>7}",
+        "sublayer", "K", "MAC (us)", "OPT4E (us)", "speedup", "util%"
+    );
     for (i, layer) in models::gpt2_decode_sublayers("L0", 1024).iter().enumerate() {
         let s = serial_layer(&opt4e, layer, 100 + i as u64);
         let d = dense_layer(layer, 1.0, scale);
@@ -34,7 +39,10 @@ fn main() {
     }
 
     println!("\n== Whole networks (speedup over equal-area MAC TPE) ==");
-    println!("{:<16} {:>8} {:>14} {:>7}", "network", "speedup", "energy ratio", "util%");
+    println!(
+        "{:<16} {:>8} {:>14} {:>7}",
+        "network", "speedup", "energy ratio", "util%"
+    );
     for net in [
         models::mobilenet_v3(),
         models::resnet18(),
@@ -50,5 +58,7 @@ fn main() {
             r.utilization * 100.0
         );
     }
-    println!("\npaper: MobileViT ×1.89, ViT ×2.02, GPT-2 ×2.16 speedups; higher-K nets save more energy");
+    println!(
+        "\npaper: MobileViT ×1.89, ViT ×2.02, GPT-2 ×2.16 speedups; higher-K nets save more energy"
+    );
 }

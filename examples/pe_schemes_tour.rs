@@ -14,7 +14,10 @@ fn main() {
     let a: Vec<i8> = normal_int8_matrix(1, 1024, 1.0, 3).data().to_vec();
     let b: Vec<i8> = normal_int8_matrix(1, 1024, 1.0, 4).data().to_vec();
     println!("== Figure 2 integer PE schemes (K = 1024, N(0,1) data) ==");
-    println!("{:<46} {:>7} {:>7} {:>11}", "scheme", "cycles", "PPs", "cycles/MAC");
+    println!(
+        "{:<46} {:>7} {:>7} {:>11}",
+        "scheme", "cycles", "PPs", "cycles/MAC"
+    );
     for (name, r) in compare_schemes(&a, &b) {
         println!(
             "{name:<46} {:>7} {:>7} {:>11.2}",

@@ -19,7 +19,11 @@ fn main() {
             .filter(|d| d.is_nonzero())
             .map(|d| d.to_string())
             .collect();
-        println!("  {v:>4} = Σ {{{}}}  → {} partial products", nonzero.join(", "), nonzero.len());
+        println!(
+            "  {v:>4} = Σ {{{}}}  → {} partial products",
+            nonzero.join(", "),
+            nonzero.len()
+        );
     }
 
     // 2. The two MAC datapaths compute identical dot products; OPT1 just

@@ -27,6 +27,11 @@
 //! * [`core`] — the paper's contribution: the compute-centric loop-nest
 //!   notation, legality-checked transformations, the OPT1–OPT4E processing
 //!   element architectures, analytic models and published baselines.
+//! * [`dse`] — parallel design-space exploration over all of the above:
+//!   enumerate (PE style × topology × encoding × corner × workload) points,
+//!   sweep them on scoped worker threads with a memoized synthesis cache,
+//!   and extract area/delay/energy Pareto fronts
+//!   (`repro dse`, `examples/design_space_sweep.rs`).
 //!
 //! ## Quickstart
 //!
@@ -44,5 +49,6 @@
 pub use tpe_arith as arith;
 pub use tpe_core as core;
 pub use tpe_cost as cost;
+pub use tpe_dse as dse;
 pub use tpe_sim as sim;
 pub use tpe_workloads as workloads;

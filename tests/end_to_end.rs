@@ -50,8 +50,18 @@ fn every_table7_architecture_synthesizes_and_prices() {
         .chain(ArchModel::table7_ours())
     {
         let row = ArrayModel::new(arch.clone()).table7_row();
-        assert!(row.area_um2 > 1e5 && row.area_um2 < 1e6, "{}: {}", row.name, row.area_um2);
-        assert!(row.power_w > 0.05 && row.power_w < 2.0, "{}: {}", row.name, row.power_w);
+        assert!(
+            row.area_um2 > 1e5 && row.area_um2 < 1e6,
+            "{}: {}",
+            row.name,
+            row.area_um2
+        );
+        assert!(
+            row.power_w > 0.05 && row.power_w < 2.0,
+            "{}: {}",
+            row.name,
+            row.power_w
+        );
         assert!(row.peak_tops > 0.5 && row.peak_tops < 10.0);
         assert!(row.energy_efficiency() > 1.0);
         assert!(row.area_efficiency() > 2.0);
@@ -80,7 +90,10 @@ fn pe_styles_cover_paper_frequency_points() {
     // fails beyond its wall.
     for style in PeStyle::ALL {
         assert!(
-            style.design().synthesize(style.optimal_freq_ghz()).is_some(),
+            style
+                .design()
+                .synthesize(style.optimal_freq_ghz())
+                .is_some(),
             "{} at {} GHz",
             style.name(),
             style.optimal_freq_ghz()
@@ -107,8 +120,8 @@ fn analytic_model_agrees_with_simulated_sync() {
     // operands; digit sparsity measured from the same matrix.
     let s = tpe::workloads::sparsity::encoding_sparsity(&a, EncodingKind::EnT);
     let slots = 4 * 576;
-    let analytic_util = sync_model::expected_single(slots, s)
-        / sync_model::expected_tsync(slots, s, 32);
+    let analytic_util =
+        sync_model::expected_single(slots, s) / sync_model::expected_tsync(slots, s, 32);
     assert!(
         (sim_util - analytic_util).abs() < 0.03,
         "simulated {sim_util:.3} vs analytic {analytic_util:.3}"

@@ -47,13 +47,18 @@ fn abstract_opt4e_vs_laconic() {
         .find(|a| a.name == "OPT4E")
         .unwrap();
     let row = ArrayModel::new(opt4e).table7_row();
-    let rel = tpe::core::baselines::vs_laconic(
-        "OPT4E",
-        row.energy_efficiency(),
-        row.area_efficiency(),
+    let rel =
+        tpe::core::baselines::vs_laconic("OPT4E", row.energy_efficiency(), row.area_efficiency());
+    assert!(
+        rel.ee_vs_laconic > 8.0,
+        "EE ×{:.1} (paper ×12.10)",
+        rel.ee_vs_laconic
     );
-    assert!(rel.ee_vs_laconic > 8.0, "EE ×{:.1} (paper ×12.10)", rel.ee_vs_laconic);
-    assert!(rel.ae_vs_laconic > 2.0, "AE ×{:.1} (paper ×2.85)", rel.ae_vs_laconic);
+    assert!(
+        rel.ae_vs_laconic > 2.0,
+        "AE ×{:.1} (paper ×2.85)",
+        rel.ae_vs_laconic
+    );
 }
 
 /// §IV-A: OPT1 halves the MAC's critical path (1.95 → 0.92 ns) because
@@ -64,8 +69,18 @@ fn opt1_halves_the_critical_path() {
     assert!(opt1 < mac / 2.0 + 0.01, "{opt1} vs {mac}");
     // And the model's compressor tree really is flat across widths.
     use tpe::cost::components::Component;
-    let d14 = Component::CompressorTree { inputs: 4, width: 14 }.cost().delay_ns;
-    let d32 = Component::CompressorTree { inputs: 4, width: 32 }.cost().delay_ns;
+    let d14 = Component::CompressorTree {
+        inputs: 4,
+        width: 14,
+    }
+    .cost()
+    .delay_ns;
+    let d32 = Component::CompressorTree {
+        inputs: 4,
+        width: 32,
+    }
+    .cost()
+    .delay_ns;
     assert_eq!(d14, d32);
 }
 
@@ -73,20 +88,29 @@ fn opt1_halves_the_critical_path() {
 /// products (MBE 68.4%, bit-serial 36.3%), histograms exact.
 #[test]
 fn table2_exact_histograms() {
-    assert_eq!(&numpps::int8_histogram(EncodingKind::EnT)[..5], &[1, 15, 60, 108, 72]);
-    assert_eq!(&numpps::int8_histogram(EncodingKind::Mbe)[..5], &[1, 12, 54, 108, 81]);
+    assert_eq!(
+        &numpps::int8_histogram(EncodingKind::EnT)[..5],
+        &[1, 15, 60, 108, 72]
+    );
+    assert_eq!(
+        &numpps::int8_histogram(EncodingKind::Mbe)[..5],
+        &[1, 12, 54, 108, 81]
+    );
     assert!((numpps::fraction_at_most(EncodingKind::EnT, 3) - 0.719).abs() < 0.001);
     assert!((numpps::fraction_at_most(EncodingKind::Mbe, 3) - 0.684).abs() < 0.001);
-    assert!(
-        (numpps::fraction_at_most(EncodingKind::BitSerialComplement, 3) - 0.363).abs() < 0.001
-    );
+    assert!((numpps::fraction_at_most(EncodingKind::BitSerialComplement, 3) - 0.363).abs() < 0.001);
 }
 
 /// Figure 3: the worked examples, digit for digit.
 #[test]
 fn figure3_worked_examples() {
     let digits = |v: i64| -> Vec<i8> {
-        EntEncoder.encode(v, 8).iter().rev().map(|d| d.coeff).collect()
+        EntEncoder
+            .encode(v, 8)
+            .iter()
+            .rev()
+            .map(|d| d.coeff)
+            .collect()
     };
     assert_eq!(digits(91), vec![1, 2, -1, -1]);
     assert_eq!(digits(124), vec![2, 0, -1, 0]);
@@ -109,7 +133,10 @@ fn table3_band_and_ordering() {
     let t = numpps::table3(512, 99);
     let row = |k: EncodingKind| t.iter().find(|(kk, _)| *kk == k).unwrap().1;
     let ent = row(EncodingKind::EnT);
-    assert!(ent.iter().all(|v| (2.1..2.4).contains(v)), "EN-T row {ent:?}");
+    assert!(
+        ent.iter().all(|v| (2.1..2.4).contains(v)),
+        "EN-T row {ent:?}"
+    );
     let mbe = row(EncodingKind::Mbe);
     let bsm = row(EncodingKind::BitSerialSignMagnitude);
     let bsc = row(EncodingKind::BitSerialComplement);
@@ -146,7 +173,11 @@ fn gpt2_speedup_claim() {
         .find(|a| a.name == "OPT4E")
         .unwrap();
     let r = evaluate_network(&opt4e, &tpe::workloads::models::gpt2(), 3);
-    assert!((1.7..2.6).contains(&r.speedup), "GPT-2 speedup ×{:.2}", r.speedup);
+    assert!(
+        (1.7..2.6).contains(&r.speedup),
+        "GPT-2 speedup ×{:.2}",
+        r.speedup
+    );
     assert!(r.energy_ratio < 0.9, "energy ratio {:.2}", r.energy_ratio);
     assert!(r.utilization > 0.94, "utilization {:.3}", r.utilization);
 }

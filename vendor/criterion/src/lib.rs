@@ -1,0 +1,200 @@
+#![warn(missing_docs)]
+
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! Provides the `Criterion` / benchmark-group / `Bencher` surface the
+//! workspace's benches use, with a simple measured loop instead of
+//! criterion's statistical machinery: each benchmark is warmed up, then
+//! timed over enough iterations to fill a short window, and the median
+//! per-iteration time is printed as `name/bench: <t> ns/iter`.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim re-runs the setup closure per iteration regardless).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Re-export for benches importing it from criterion rather than std.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("", f);
+        group.finish();
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples (criterion API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let label = if name.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        match bencher.median_ns() {
+            Some(ns) => println!("{label}: {ns:.1} ns/iter"),
+            None => println!("{label}: no measurement"),
+        }
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures passed by the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        self.run_samples(|| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        });
+    }
+
+    /// Times `f` over inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut f: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.run_samples(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            start.elapsed()
+        });
+    }
+
+    /// Collects `sample_size` timed samples after a short warm-up, scaling
+    /// iterations so that timer resolution does not dominate.
+    fn run_samples(&mut self, mut one: impl FnMut() -> Duration) {
+        // Warm-up.
+        let mut warm = Duration::ZERO;
+        let mut warm_iters = 0u32;
+        while warm < Duration::from_millis(20) && warm_iters < 10_000 {
+            warm += one();
+            warm_iters += 1;
+        }
+        let per_iter = warm.checked_div(warm_iters.max(1)).unwrap_or_default();
+        // Aim each sample at ~2 ms of work.
+        let iters = if per_iter.is_zero() {
+            1_000
+        } else {
+            (Duration::from_millis(2).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000)
+                as u32
+        };
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += one();
+            }
+            self.samples_ns
+                .push(total.as_nanos() as f64 / f64::from(iters));
+        }
+    }
+
+    fn median_ns(&self) -> Option<f64> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(s[s.len() / 2])
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from [`criterion_group!`] outputs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_measure_and_print() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("iter", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}
