@@ -8,8 +8,10 @@
 //!   fig3 fig9 fig11 [gpt2|mobilenetv3] fig12 fig13 fig14
 //!   sync-model notation
 //!   ablate-encoders ablate-sync ablate-group
-//!   dse [--filter S] [--objectives a,b,..] [--threads N] [--seed S]
-//!       [--out F.csv] [--json F.json]
+//!   dse [--filter S] [--objectives a,b,..] [--model S] [--threads N]
+//!       [--seed S] [--out F.csv] [--json F.json]
+//!   models [--model S] [--arch S] [--threads N] [--seed S]
+//!          [--out F.csv] [--json F.json]
 //!   all
 //! ```
 
@@ -50,12 +52,21 @@ fn main() {
             }
             out
         }
+        "models" => {
+            let out = exp::models(&args[1..]);
+            if out.starts_with("error:") {
+                eprint!("{out}");
+                std::process::exit(2);
+            }
+            out
+        }
         "all" => exp::all(),
         _ => {
             eprintln!(
                 "usage: repro <table1|table2|table3|table5|table7|fig3|fig2-schemes|sweep-width|sweep-precision|fig9|fig11 [net]|fig12|\
                  fig13|fig14|sync-model|notation|ablate-encoders|ablate-sync|ablate-group|ablate-operand-selection|\
-                 dse [--filter S] [--objectives a,b,..] [--threads N] [--seed S] [--out F.csv] [--json F.json]|all>"
+                 dse [--filter S] [--objectives a,b,..] [--model S] [--threads N] [--seed S] [--out F.csv] [--json F.json]|\
+                 models [--model S] [--arch S] [--threads N] [--seed S] [--out F.csv] [--json F.json]|all>"
             );
             std::process::exit(2);
         }

@@ -3,13 +3,20 @@
 //!
 //! ```text
 //! repro dse [--filter SUBSTR] [--objectives area,delay,energy]
-//!           [--threads N] [--seed S] [--out sweep.csv] [--json sweep.json]
+//!           [--model SUBSTR] [--threads N] [--seed S]
+//!           [--out sweep.csv] [--json sweep.json]
 //! ```
 //!
 //! The sweep runs twice — once on one thread, once on `--threads` workers
 //! — both to measure the parallel speedup and to *prove* the parallel run
 //! is byte-identical to the serial one (the executor's determinism
 //! contract).
+//!
+//! `--model` swaps the workload axis for whole networks (matched by name
+//! substring; `--model all` keeps every Figure 12/13 network), so the
+//! Pareto front is extracted over *end-to-end model* objectives instead
+//! of single layers. The default space also carries ResNet-18 end-to-end
+//! as its seventh workload.
 
 use std::fmt::Write as _;
 
@@ -20,6 +27,7 @@ use tpe_dse::{pareto_front_per_workload, sweep, DesignSpace, Objective, SweepCon
 struct DseOptions {
     filter: String,
     objectives: Vec<Objective>,
+    model: Option<String>,
     threads: usize,
     seed: u64,
     out_csv: Option<String>,
@@ -30,6 +38,7 @@ fn parse_options(args: &[String]) -> Result<DseOptions, String> {
     let mut opts = DseOptions {
         filter: String::new(),
         objectives: Objective::DEFAULT.to_vec(),
+        model: None,
         threads: 0,
         seed: 42,
         out_csv: None,
@@ -45,6 +54,7 @@ fn parse_options(args: &[String]) -> Result<DseOptions, String> {
         match flag.as_str() {
             "--filter" => opts.filter = value("--filter")?,
             "--objectives" => opts.objectives = Objective::parse_list(&value("--objectives")?)?,
+            "--model" => opts.model = Some(value("--model")?),
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse()
@@ -74,14 +84,21 @@ pub fn dse(args: &[String]) -> String {
         Ok(report) => report,
         Err(msg) => format!(
             "error: {msg}\nusage: repro dse [--filter SUBSTR] [--objectives area,delay,energy,\
-             power,throughput,utilization] [--threads N] [--seed S] [--out FILE.csv] [--json FILE.json]\n"
+             power,throughput,utilization] [--model SUBSTR|all] [--threads N] [--seed S] \
+             [--out FILE.csv] [--json FILE.json]\n"
         ),
     }
 }
 
 fn try_dse(args: &[String]) -> Result<String, String> {
     let opts = parse_options(args)?;
-    let space = DesignSpace::paper_default();
+    let space = match &opts.model {
+        // `--model all` (or any matching substring) swaps the workload
+        // axis for whole networks: the front becomes model-level.
+        Some(name) if name.eq_ignore_ascii_case("all") => DesignSpace::with_models("")?,
+        Some(name) => DesignSpace::with_models(name)?,
+        None => DesignSpace::paper_default(),
+    };
     let points = space.enumerate_filtered(&opts.filter);
     if points.is_empty() {
         return Err(format!("no design points match filter `{}`", opts.filter));
@@ -136,11 +153,19 @@ fn try_dse(args: &[String]) -> Result<String, String> {
         distinct(&topology_key),
         distinct(&|p| p.encoding.to_string()),
         distinct(&|p| p.corner.label()),
-        distinct(&|p| p.workload.name.clone())
+        distinct(&|p| p.workload.name().to_string())
     )
     .unwrap();
     if !opts.filter.is_empty() {
         writeln!(out, "filter: `{}`", opts.filter).unwrap();
+    }
+    if let Some(name) = &opts.model {
+        writeln!(
+            out,
+            "whole-model workloads (`--model {name}`): every point evaluates a \
+             complete network through the tpe-pipeline scheduler"
+        )
+        .unwrap();
     }
     writeln!(
         out,
@@ -253,10 +278,29 @@ mod tests {
         assert!(report.contains("speedup"), "{report}");
     }
 
+    /// `--model` puts whole networks on the Pareto front (dense-only
+    /// filter keeps the debug-profile run fast; model cycles are
+    /// closed-form there).
+    #[test]
+    fn model_mode_sweeps_whole_networks() {
+        let report = dse(&args(&[
+            "--model",
+            "resnet18",
+            "--filter",
+            "OPT1(",
+            "--threads",
+            "2",
+        ]));
+        assert!(report.contains("whole-model workloads"), "{report}");
+        assert!(report.contains("/ResNet18"), "{report}");
+        assert!(report.contains("Pareto front"), "{report}");
+    }
+
     #[test]
     fn bad_flags_render_usage() {
         assert!(dse(&args(&["--bogus"])).contains("usage:"));
         assert!(dse(&args(&["--objectives", "area"])).contains("usage:"));
         assert!(dse(&args(&["--filter", "no-such-point-anywhere"])).contains("no design points"));
+        assert!(dse(&args(&["--model", "no-such-net"])).contains("usage:"));
     }
 }

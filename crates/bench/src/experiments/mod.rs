@@ -4,6 +4,7 @@
 mod ablations;
 mod dse;
 mod figures;
+mod models;
 mod notation_demo;
 mod schemes;
 mod tables;
@@ -12,6 +13,7 @@ mod workload_figs;
 pub use ablations::{ablate_encoders, ablate_group, ablate_operand_selection, ablate_sync};
 pub use dse::dse;
 pub use figures::{fig14, fig3, fig9, sync_model};
+pub use models::models;
 pub use notation_demo::notation;
 pub use schemes::{fig2_schemes, sweep_precision, sweep_width};
 pub use tables::{table1, table2, table3, table5, table7};
@@ -43,6 +45,7 @@ pub fn all() -> String {
         ("ablate-group", ablate_group()),
         ("ablate-operand-selection", ablate_operand_selection()),
         ("dse", dse(&[])),
+        ("models", models(&[])),
     ] {
         out.push_str(&format!("\n════════ {name} ════════\n"));
         out.push_str(&text);

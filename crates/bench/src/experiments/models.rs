@@ -1,0 +1,264 @@
+//! The `repro models` experiment: run every network of the Figure 12/13
+//! sweep end-to-end through the `tpe-pipeline` scheduling model on the
+//! full Table VII engine roster, and render per-model reports.
+//!
+//! ```text
+//! repro models [--model SUBSTR] [--arch SUBSTR] [--threads N] [--seed S]
+//!              [--out models.csv] [--json models.json]
+//! ```
+//!
+//! Like `repro dse`, the grid runs twice — once on one thread, once on
+//! `--threads` workers — to measure scaling and *prove* the parallel run
+//! emits byte-identical CSV to the serial reference.
+
+use std::fmt::Write as _;
+
+use tpe_dse::emit::{model_csv, model_json};
+use tpe_pipeline::{run_grid, EngineSpec, GridConfig, ModelRun};
+use tpe_workloads::NetworkModel;
+
+/// Parsed CLI options for the model grid.
+struct ModelOptions {
+    model_filter: String,
+    arch_filter: String,
+    threads: usize,
+    seed: u64,
+    out_csv: Option<String>,
+    out_json: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<ModelOptions, String> {
+    let mut opts = ModelOptions {
+        model_filter: String::new(),
+        arch_filter: String::new(),
+        threads: 0,
+        seed: 42,
+        out_csv: None,
+        out_json: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--model" => opts.model_filter = value("--model")?,
+            "--arch" => opts.arch_filter = value("--arch")?,
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => opts.out_csv = Some(value("--out")?),
+            "--json" => opts.out_json = Some(value("--json")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs the model-level pipeline grid and renders the report.
+pub fn models(args: &[String]) -> String {
+    match try_models(args) {
+        Ok(report) => report,
+        Err(msg) => format!(
+            "error: {msg}\nusage: repro models [--model SUBSTR] [--arch SUBSTR] \
+             [--threads N] [--seed S] [--out FILE.csv] [--json FILE.json]\n"
+        ),
+    }
+}
+
+fn try_models(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    let model_needle = opts.model_filter.to_ascii_lowercase();
+    let nets: Vec<NetworkModel> = NetworkModel::all()
+        .into_iter()
+        .filter(|n| model_needle.is_empty() || n.name.to_ascii_lowercase().contains(&model_needle))
+        .collect();
+    if nets.is_empty() {
+        return Err(format!("no network matches `{}`", opts.model_filter));
+    }
+    let arch_needle = opts.arch_filter.to_ascii_lowercase();
+    let engines: Vec<EngineSpec> = EngineSpec::paper_roster()
+        .into_iter()
+        .filter(|e| arch_needle.is_empty() || e.label().to_ascii_lowercase().contains(&arch_needle))
+        .collect();
+    if engines.is_empty() {
+        return Err(format!("no engine matches `{}`", opts.arch_filter));
+    }
+
+    let serial = run_grid(
+        &nets,
+        &engines,
+        GridConfig {
+            threads: 1,
+            seed: opts.seed,
+            ..GridConfig::default()
+        },
+    );
+    let parallel = run_grid(
+        &nets,
+        &engines,
+        GridConfig {
+            threads: opts.threads,
+            seed: opts.seed,
+            ..GridConfig::default()
+        },
+    );
+    let csv = model_csv(&parallel.runs);
+    assert_eq!(
+        model_csv(&serial.runs),
+        csv,
+        "parallel model grid diverged from the serial reference"
+    );
+
+    if let Some(path) = &opts.out_csv {
+        std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.out_json {
+        std::fs::write(path, model_json(&parallel.runs))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Model-level scheduling pipeline — {} network(s) × {} engine(s) \
+         (img2col tiling → per-layer cycle/energy model → end-to-end aggregation)",
+        nets.len(),
+        engines.len()
+    )
+    .unwrap();
+    if !opts.model_filter.is_empty() || !opts.arch_filter.is_empty() {
+        writeln!(
+            out,
+            "filters: model `{}`, arch `{}`",
+            opts.model_filter, opts.arch_filter
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "grid wall-clock: {:.0} ms on 1 thread, {:.0} ms on {} threads \
+         (outputs byte-identical)",
+        serial.elapsed.as_secs_f64() * 1e3,
+        parallel.elapsed.as_secs_f64() * 1e3,
+        parallel.threads,
+    )
+    .unwrap();
+
+    for net in &nets {
+        let runs: Vec<&ModelRun> = parallel
+            .runs
+            .iter()
+            .filter(|r| r.model == net.name)
+            .collect();
+        writeln!(
+            out,
+            "\n{} — {} layers, {:.2} GMACs:",
+            net.name,
+            net.layers.len(),
+            net.total_macs() as f64 / 1e9
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "| {:<26} | {:>10} | {:>8} | {:>9} | {:>6} | {:>9} | {:>7} |",
+            "engine", "delay(ms)", "GOPS", "peak TOPS", "util", "energy(mJ)", "TOPS/W"
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "|{:-<28}|{:-<12}|{:-<10}|{:-<11}|{:-<8}|{:-<11}|{:-<9}|",
+            "", "", "", "", "", "", ""
+        )
+        .unwrap();
+        let mut best: Option<(&ModelRun, f64)> = None;
+        for run in runs {
+            match &run.report {
+                Some(r) => {
+                    writeln!(
+                        out,
+                        "| {:<26} | {:>10.3} | {:>8.1} | {:>9.2} | {:>6.3} | {:>9.3} | {:>7.2} |",
+                        run.engine.label(),
+                        r.delay_us / 1e3,
+                        r.throughput_gops(),
+                        r.peak_tops,
+                        r.utilization,
+                        r.energy_uj / 1e3,
+                        r.tops_per_w(),
+                    )
+                    .unwrap();
+                    if best.as_ref().is_none_or(|&(_, d)| r.delay_us < d) {
+                        best = Some((run, r.delay_us));
+                    }
+                }
+                None => {
+                    writeln!(
+                        out,
+                        "| {:<26} | {:>10} | {:>8} | {:>9} | {:>6} | {:>9} | {:>7} |",
+                        run.engine.label(),
+                        "— fails",
+                        "timing",
+                        "—",
+                        "—",
+                        "—",
+                        "—"
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        if let Some((run, _)) = best {
+            writeln!(out, "fastest: {}", run.engine.label()).unwrap();
+        }
+    }
+    if let Some(path) = &opts.out_csv {
+        writeln!(out, "\nfull grid written to {path}").unwrap();
+    }
+    if let Some(path) = &opts.out_json {
+        writeln!(out, "grid + per-layer JSON written to {path}").unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// A filtered grid renders the full report structure (dense engines
+    /// only, to stay fast in debug test runs).
+    #[test]
+    fn filtered_models_report_renders() {
+        let report = models(&args(&[
+            "--model",
+            "resnet18",
+            "--arch",
+            "OPT1",
+            "--threads",
+            "2",
+        ]));
+        assert!(report.contains("ResNet18"), "{report}");
+        assert!(report.contains("fastest:"), "{report}");
+        assert!(report.contains("byte-identical"), "{report}");
+        assert!(report.contains("TOPS/W"), "{report}");
+    }
+
+    #[test]
+    fn bad_flags_render_usage() {
+        assert!(models(&args(&["--bogus"])).contains("usage:"));
+        assert!(models(&args(&["--model", "no-such-net"])).contains("no network"));
+        assert!(models(&args(&["--arch", "no-such-engine"])).contains("no engine"));
+    }
+}

@@ -1,5 +1,19 @@
-//! Analytic models: the synchronization-time expectation of Eqs. 7–8 and
-//! the NumPPs enumerations behind Tables II and III.
+//! Analytic models: closed-form reproductions of the paper's statistical
+//! arguments, validated against the bit-exact simulators.
+//!
+//! * [`sync_model`] — the §IV-C synchronization-time model: a column's
+//!   round time is a binomial sum over digit counts, and the expected
+//!   barrier time is the expectation of the *maximum* over MP columns
+//!   (`Tsync = max(T_1 … T_MP)`, Eqs. 7–8). This is what predicts the
+//!   381-cycle ResNet-18 example and the utilization curves of
+//!   Figure 11.
+//! * [`numpps`] — exhaustive NumPPs enumerations over the INT8 range for
+//!   every encoder: the average partial-product counts of Table II
+//!   (uniform) and Table III (quantized-normal), the paper's central
+//!   cost metric.
+//! * [`precision`] — how digit counts and serial cycle counts scale with
+//!   operand width (the INT4/INT8/INT16 sensitivity the §V sweeps
+//!   touch).
 
 pub mod numpps;
 pub mod precision;

@@ -133,7 +133,7 @@ impl ArrayModel {
         let area = (pe.area_um2 * pes + self.support_area_um2()) * (1.0 + ARRAY_OVERHEAD_FRAC);
         // Dense sweeps keep every PE busy; serial designs toggle the
         // datapath every cycle too (they only skip *zero* digits).
-        let pe_power_uw = pe.power_uw(1.0, 1.0);
+        let pe_power_uw = pe.busy_power_uw();
         let power_w = pe_power_uw * pes * 1e-6 * (1.0 + ARRAY_OVERHEAD_FRAC);
         Table7Row {
             name: self.arch.name.clone(),

@@ -150,8 +150,8 @@ pub fn serial_layer(arch: &ArchModel, layer: &LayerShape, seed: u64) -> LayerRes
     // columns are clock-gated (§VI: early finishers "enter an idle state,
     // saving power").
     let pes_per_column = cfg.np as f64;
-    let e_busy_fj = pe.power_uw(1.0, 1.0) / arch.freq_ghz; // per PE instance-cycle
-    let e_idle_fj = pe.power_uw(0.0, 0.1) / arch.freq_ghz;
+    let e_busy_fj = pe.busy_power_uw() / arch.freq_ghz; // per PE instance-cycle
+    let e_idle_fj = pe.idle_power_uw() / arch.freq_ghz;
     let idle_total = cycles * cfg.mp as f64 - busy_total;
     let energy_uj = (busy_total * e_busy_fj + idle_total * e_idle_fj) * pes_per_column * 1e-9;
 
@@ -175,6 +175,10 @@ pub struct SerialCycleStats {
     pub cycles: f64,
     /// Busy cycles per column.
     pub busy: Vec<f64>,
+    /// Scheduling granularity: total sync rounds × output passes the layer
+    /// maps to (the serial analogue of a dense array's tile count; always
+    /// the full-layer figure, independent of sampling caps).
+    pub rounds: f64,
 }
 
 impl SerialCycleStats {
@@ -236,7 +240,11 @@ pub fn sample_serial_cycles(
     for b in busy.iter_mut() {
         *b *= scale * passes;
     }
-    SerialCycleStats { cycles, busy }
+    SerialCycleStats {
+        cycles,
+        busy,
+        rounds: rounds as f64 * passes,
+    }
 }
 
 /// Runs a layer on a dense parallel-MAC systolic array (the Figure 11
@@ -256,7 +264,7 @@ pub fn dense_layer(layer: &LayerShape, freq_ghz: f64, lane_scale: f64) -> LayerR
         .design()
         .synthesize(freq_ghz)
         .expect("MAC timing");
-    let e_cycle_fj = pe.power_uw(1.0, 1.0) / freq_ghz;
+    let e_cycle_fj = pe.busy_power_uw() / freq_ghz;
     // Dense arrays clock every PE every cycle, useful or not.
     let energy_uj = cycles * 1024.0 * lane_scale * e_cycle_fj * 1e-9;
     let useful = layer.macs() as f64;

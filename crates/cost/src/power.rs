@@ -13,6 +13,35 @@
 
 use crate::gates::LEAKAGE_UW_PER_UM2;
 
+/// An activity operating point of a PE datapath: combinational toggle
+/// `activity` and clock-enable `clock_duty`, both ∈ [0, 1]. These are the
+/// arguments of [`EnergyBreakdown::power_uw`] /
+/// [`SynthReport::power_uw`](crate::SynthReport::power_uw).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityPoint {
+    /// Fraction of cycles the combinational logic toggles.
+    pub activity: f64,
+    /// Fraction of cycles the clock is enabled.
+    pub clock_duty: f64,
+}
+
+/// A PE actively computing: full combinational switching, clock always on.
+/// Single source of truth for every busy-energy account in the workspace
+/// (`tpe-core`'s layer models, `tpe-dse`'s sweep evaluator, `tpe-pipeline`).
+pub const PE_BUSY: ActivityPoint = ActivityPoint {
+    activity: 1.0,
+    clock_duty: 1.0,
+};
+
+/// A PE waiting at a `sync` barrier: combinational logic quiescent, clock
+/// gated down to a 10% residual duty (§VI: early finishers "enter an idle
+/// state, saving power" — gating is never perfect, so a residual clock
+/// share and leakage remain).
+pub const PE_IDLE: ActivityPoint = ActivityPoint {
+    activity: 0.0,
+    clock_duty: 0.1,
+};
+
 /// Fraction of total power consumed by the clock network at `freq_ghz`.
 ///
 /// §V-B: "the clock network accounts for 30%∼60% of total power".

@@ -178,6 +178,23 @@ impl SynthReport {
         self.energy.power_uw(self.freq_ghz, activity, clock_duty)
     }
 
+    /// Average power (µW) at a named activity operating point
+    /// ([`crate::power::PE_BUSY`] / [`crate::power::PE_IDLE`]).
+    pub fn power_uw_at(&self, point: crate::power::ActivityPoint) -> f64 {
+        self.power_uw(point.activity, point.clock_duty)
+    }
+
+    /// Power of a PE actively computing ([`crate::power::PE_BUSY`]).
+    pub fn busy_power_uw(&self) -> f64 {
+        self.power_uw_at(crate::power::PE_BUSY)
+    }
+
+    /// Power of a clock-gated PE waiting at a barrier
+    /// ([`crate::power::PE_IDLE`]).
+    pub fn idle_power_uw(&self) -> f64 {
+        self.power_uw_at(crate::power::PE_IDLE)
+    }
+
     /// Throughput-normalized area efficiency in GOPS/mm² given `ops_per_cycle`
     /// effective operations per cycle (2 per MAC lane-cycle for dense MACs).
     pub fn area_efficiency(&self, ops_per_cycle: f64) -> f64 {

@@ -39,8 +39,27 @@ pub struct PeKey {
     pub node_dnm: u32,
 }
 
+/// Canonical representative of an encoding's *in-PE recoder hardware*.
+///
+/// Several encodings map onto the same physical recoder
+/// (`tpe_core::arch::designs::encoder_component`): CSD is priced as the
+/// EN-T carry-chained Booth recoder, and both radix-2 bit-serial
+/// decompositions need only the same zero-skip unit. Synthesis outcomes
+/// for such encodings are identical, so the cache keys them together —
+/// only the workload model (digit statistics) distinguishes them, and
+/// that is never cached.
+pub fn canonical_encoding(encoding: EncodingKind) -> EncodingKind {
+    match encoding {
+        EncodingKind::Csd => EncodingKind::EnT,
+        EncodingKind::BitSerialSignMagnitude => EncodingKind::BitSerialComplement,
+        other => other,
+    }
+}
+
 impl PeKey {
-    /// Extracts the key from a design point.
+    /// Extracts the key from a design point. The encoding enters the key
+    /// only for OPT3 (whose recoder is inside the PE), and then only as its
+    /// [`canonical_encoding`] hardware class.
     pub fn of(point: &DesignPoint) -> Self {
         Self {
             style: point.style,
@@ -48,7 +67,8 @@ impl PeKey {
                 ArchKind::Dense(a) => Some(a),
                 ArchKind::Serial => None,
             },
-            in_pe_encoding: (point.style == PeStyle::Opt3).then_some(point.encoding),
+            in_pe_encoding: (point.style == PeStyle::Opt3)
+                .then_some(canonical_encoding(point.encoding)),
             freq_mhz: (point.corner.freq_ghz * 1e3).round() as u32,
             node_dnm: (point.corner.node.nm * 10.0).round() as u32,
         }
@@ -191,6 +211,41 @@ mod tests {
             None
         );
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    /// The canonical map must mirror the hardware: encodings keyed together
+    /// synthesize to bit-identical OPT3 PE reports (CSD prices as the EN-T
+    /// recoder; both bit-serial kinds price as the zero-skip unit), while
+    /// MBE's plain Booth recoder stays distinct.
+    #[test]
+    fn canonical_encodings_share_identical_recoder_hardware() {
+        for (a, b) in [
+            (EncodingKind::Csd, EncodingKind::EnT),
+            (
+                EncodingKind::BitSerialSignMagnitude,
+                EncodingKind::BitSerialComplement,
+            ),
+        ] {
+            assert_eq!(canonical_encoding(a), canonical_encoding(b));
+            let ra = PeStyle::Opt3
+                .design_with_encoding(a)
+                .synthesize(2.0)
+                .unwrap();
+            let rb = PeStyle::Opt3
+                .design_with_encoding(b)
+                .synthesize(2.0)
+                .unwrap();
+            assert_eq!(ra.area_um2.to_bits(), rb.area_um2.to_bits());
+            assert_eq!(
+                ra.busy_power_uw().to_bits(),
+                rb.busy_power_uw().to_bits(),
+                "{a:?}/{b:?} must price identically to share a cache entry"
+            );
+        }
+        assert_ne!(
+            canonical_encoding(EncodingKind::Mbe),
+            canonical_encoding(EncodingKind::EnT)
+        );
     }
 
     #[test]

@@ -9,11 +9,15 @@ use tpe_core::arch::ArchKind;
 
 use crate::eval::PointResult;
 use crate::pareto::Objective;
-use crate::space::classic_name;
+use crate::space::{classic_name, SweepWorkload};
 
-/// CSV header matching [`csv_row`].
-pub const CSV_HEADER: &str = "label,style,topology,encoding,node,freq_ghz,workload,m,n,k,repeats,\
-     feasible,pareto,area_um2,delay_us,energy_uj,fj_per_mac,gops,peak_tops,utilization,power_w";
+/// CSV header matching the per-point row layout. `workload_kind` is
+/// `layer` or `model`; the `m,n,k,repeats` shape columns are empty for
+/// whole-model rows (their shape is the `layers`/`macs` aggregate).
+pub const CSV_HEADER: &str =
+    "label,style,topology,encoding,node,freq_ghz,workload,workload_kind,layers,macs,\
+     m,n,k,repeats,feasible,pareto,\
+     area_um2,delay_us,energy_uj,fj_per_mac,gops,peak_tops,utilization,power_w";
 
 /// Display name of a point's topology axis ("TPU", ..., or "Serial").
 pub fn topology_name(kind: ArchKind) -> &'static str {
@@ -33,9 +37,21 @@ fn csv_field(s: &str) -> String {
     }
 }
 
+/// `workload_kind` column value.
+fn workload_kind(w: &SweepWorkload) -> &'static str {
+    match w {
+        SweepWorkload::Layer(_) => "layer",
+        SweepWorkload::Model(_) => "model",
+    }
+}
+
 fn csv_row(result: &PointResult, on_front: bool) -> String {
     let p = &result.point;
     let w = &p.workload;
+    let shape = match w {
+        SweepWorkload::Layer(l) => format!("{},{},{},{}", l.m, l.n, l.k, l.repeats),
+        SweepWorkload::Model(_) => ",,,".to_string(),
+    };
     let head = format!(
         "{},{},{},{},{},{:.2},{},{},{},{},{},{},{}",
         csv_field(&p.label()),
@@ -44,11 +60,11 @@ fn csv_row(result: &PointResult, on_front: bool) -> String {
         csv_field(&p.encoding.to_string()),
         p.corner.node_name,
         p.corner.freq_ghz,
-        csv_field(&w.name),
-        w.m,
-        w.n,
-        w.k,
-        w.repeats,
+        csv_field(w.name()),
+        workload_kind(w),
+        w.layer_count(),
+        w.macs(),
+        shape,
         u8::from(result.feasible()),
         u8::from(on_front),
     );
@@ -111,14 +127,18 @@ pub fn to_json(results: &[PointResult], front: &[usize], objectives: &[Objective
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"style\": \"{}\", \"topology\": \"{}\", \
              \"encoding\": \"{}\", \"node\": \"{}\", \"freq_ghz\": {:.2}, \
-             \"workload\": \"{}\", \"feasible\": {}, \"pareto\": {}",
+             \"workload\": \"{}\", \"workload_kind\": \"{}\", \"layers\": {}, \
+             \"macs\": {}, \"feasible\": {}, \"pareto\": {}",
             json_escape(&p.label()),
             p.style.name(),
             topology_name(p.kind),
             json_escape(&p.encoding.to_string()),
             p.corner.node_name,
             p.corner.freq_ghz,
-            json_escape(&w.name),
+            json_escape(w.name()),
+            workload_kind(w),
+            w.layer_count(),
+            w.macs(),
             r.feasible(),
             front.binary_search(&i).is_ok(),
         ));
@@ -142,6 +162,111 @@ pub fn to_json(results: &[PointResult], front: &[usize], objectives: &[Objective
         } else {
             "},\n"
         });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// CSV header matching [`model_csv`]'s per-(model, engine) row layout.
+pub const MODEL_CSV_HEADER: &str =
+    "model,engine,style,topology,encoding,node,freq_ghz,feasible,layers,macs,\
+     cycles,delay_us,energy_uj,gops,peak_tops,utilization,power_w,tops_per_w,area_um2";
+
+/// Renders a `tpe-pipeline` model grid as CSV (same fixed-precision,
+/// locale-independent discipline as [`to_csv`], so deterministic grids
+/// emit byte-identical text across runs and thread counts).
+pub fn model_csv(runs: &[tpe_pipeline::ModelRun]) -> String {
+    let mut out = String::with_capacity(runs.len() * 180 + MODEL_CSV_HEADER.len());
+    out.push_str(MODEL_CSV_HEADER);
+    out.push('\n');
+    for run in runs {
+        let e = &run.engine;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.2},{}",
+            csv_field(&run.model),
+            csv_field(&e.label()),
+            e.style.name(),
+            topology_name(e.kind),
+            csv_field(&e.encoding.to_string()),
+            e.node_name,
+            e.freq_ghz,
+            u8::from(run.feasible()),
+        ));
+        match &run.report {
+            Some(r) => out.push_str(&format!(
+                ",{},{},{:.0},{:.4},{:.6},{:.3},{:.4},{:.5},{:.5},{:.4},{:.3}\n",
+                r.layer_count(),
+                r.total_macs,
+                r.cycles,
+                r.delay_us,
+                r.energy_uj,
+                r.throughput_gops(),
+                r.peak_tops,
+                r.utilization,
+                r.power_w(),
+                r.tops_per_w(),
+                r.area_um2,
+            )),
+            None => out.push_str(",,,,,,,,,,,\n"),
+        }
+    }
+    out
+}
+
+/// Renders a `tpe-pipeline` model grid as a JSON document (one object per
+/// (model, engine) cell, plus the per-layer breakdown).
+pub fn model_json(runs: &[tpe_pipeline::ModelRun]) -> String {
+    let mut out = String::with_capacity(runs.len() * 400);
+    out.push_str("{\n  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let e = &run.engine;
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"engine\": \"{}\", \"style\": \"{}\", \
+             \"topology\": \"{}\", \"encoding\": \"{}\", \"node\": \"{}\", \
+             \"freq_ghz\": {:.2}, \"feasible\": {}",
+            json_escape(&run.model),
+            json_escape(&e.label()),
+            e.style.name(),
+            topology_name(e.kind),
+            json_escape(&e.encoding.to_string()),
+            e.node_name,
+            e.freq_ghz,
+            run.feasible(),
+        ));
+        if let Some(r) = &run.report {
+            out.push_str(&format!(
+                ", \"layers\": {}, \"macs\": {}, \"cycles\": {:.0}, \
+                 \"delay_us\": {:.4}, \"energy_uj\": {:.6}, \"gops\": {:.3}, \
+                 \"peak_tops\": {:.4}, \"utilization\": {:.5}, \"power_w\": {:.5}, \
+                 \"tops_per_w\": {:.4}, \"area_um2\": {:.3}, \"per_layer\": [",
+                r.layer_count(),
+                r.total_macs,
+                r.cycles,
+                r.delay_us,
+                r.energy_uj,
+                r.throughput_gops(),
+                r.peak_tops,
+                r.utilization,
+                r.power_w(),
+                r.tops_per_w(),
+                r.area_um2,
+            ));
+            for (j, l) in r.layers.iter().enumerate() {
+                out.push_str(&format!(
+                    "{}{{\"name\": \"{}\", \"macs\": {}, \"cycles\": {:.0}, \
+                     \"delay_us\": {:.4}, \"utilization\": {:.5}, \"energy_uj\": {:.6}}}",
+                    if j > 0 { ", " } else { "" },
+                    json_escape(&l.name),
+                    l.macs,
+                    l.cycles,
+                    l.delay_us,
+                    l.utilization,
+                    l.energy_uj,
+                ));
+            }
+            out.push(']');
+        }
+        out.push_str(if i + 1 == runs.len() { "}\n" } else { "},\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -196,6 +321,57 @@ mod tests {
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
         assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn model_csv_and_json_render_the_grid() {
+        use tpe_core::arch::PeStyle;
+        use tpe_pipeline::{run_grid, EngineSpec, GridConfig};
+        use tpe_sim::array::ClassicArch;
+
+        let models = vec![tpe_workloads::models::resnet18()];
+        let engines = vec![
+            EngineSpec::dense(PeStyle::Opt1, ClassicArch::Tpu, 1.5),
+            EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 2.0), // walls
+        ];
+        let outcome = run_grid(&models, &engines, GridConfig::quick_test(1, 2));
+        let csv = model_csv(&outcome.runs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], MODEL_CSV_HEADER);
+        assert_eq!(lines.len(), outcome.runs.len() + 1);
+        let columns = MODEL_CSV_HEADER.split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), columns, "bad row: {line}");
+        }
+        assert!(
+            lines[2].ends_with(",,,,,,,,,,,"),
+            "infeasible row: {}",
+            lines[2]
+        );
+
+        let json = model_json(&outcome.runs);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches("\"model\"").count(), outcome.runs.len());
+        assert_eq!(
+            json.matches("\"name\"").count(),
+            models[0].layers.len(),
+            "feasible cell emits one per-layer object per layer"
+        );
+    }
+
+    #[test]
+    fn model_workload_rows_emit_aggregates_not_shape() {
+        let cache = EvalCache::new();
+        let space = DesignSpace::with_models("resnet18").unwrap();
+        let points = space.enumerate_filtered("OPT1(TPU)/28nm@1.50");
+        let results: Vec<PointResult> = points.iter().map(|p| evaluate(p, &cache, 2)).collect();
+        let csv = to_csv(&results, &[]);
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.contains(",model,"), "kind column: {row}");
+        assert!(row.contains(",ResNet18,"), "workload name: {row}");
+        // m,n,k,repeats stay empty for whole-model rows.
+        assert!(row.contains(",,,,1,0,"), "empty shape cells: {row}");
     }
 
     #[test]

@@ -3,15 +3,19 @@
 //!
 //! The evaluator composes the existing layers rather than re-deriving
 //! them: PE composition and array support logic come from `tpe-core`
-//! ([`ArchModel::pe_design`] / [`ArrayModel::support_area_um2`]), pricing
-//! from `tpe-cost`, dense cycle counts from `tpe-sim`'s validated
+//! ([`pe_design`](tpe_core::arch::ArchModel::pe_design) /
+//! [`support_area_um2`](tpe_core::arch::ArrayModel::support_area_um2)),
+//! pricing from `tpe-cost`, dense cycle counts from `tpe-sim`'s validated
 //! closed-form models, and serial delay/utilization comes from
 //! `tpe-core`'s shared [`sample_serial_cycles`] model (here driven with
 //! the point's encoding instead of the hard-wired EN-T, and with
-//! sweep-sized sampling caps).
+//! sweep-sized sampling caps). Whole-model workloads
+//! ([`SweepWorkload::Model`]) run layer-by-layer through `tpe-pipeline`'s
+//! scheduling model with order-independent per-layer seeds.
 
 use tpe_arith::encode::Encoder;
 use tpe_core::arch::workload::{sample_serial_cycles, SerialSampleCaps};
+use tpe_pipeline::{dense_model_cycles, serial_model_cycles, MODEL_SAMPLE_CAPS};
 
 /// Re-exported from `tpe-core`: expected digits per operand of an encoder
 /// on quantized-normal INT8 data (the serial peak-throughput divisor).
@@ -21,7 +25,7 @@ use tpe_cost::process::{scale_area_um2, scale_power_w, ProcessNode};
 use tpe_sim::BitsliceConfig;
 
 use crate::cache::{EvalCache, PeKey, PeRecord};
-use crate::space::DesignPoint;
+use crate::space::{DesignPoint, SweepWorkload};
 
 use tpe_core::arch::array::ARRAY_OVERHEAD_FRAC;
 
@@ -72,14 +76,10 @@ impl PointResult {
 
 /// FNV-1a over a label: the stable per-point seed component. Independent
 /// of sweep order and thread assignment, which is what makes parallel
-/// sweeps byte-identical to serial ones.
+/// sweeps byte-identical to serial ones. (The canonical implementation is
+/// [`tpe_pipeline::fnv1a`], shared with the model-grid executor.)
 pub fn label_hash(label: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in label.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    tpe_pipeline::fnv1a(label)
 }
 
 /// Prices the PE of a point at its corner, through the cache.
@@ -99,8 +99,11 @@ fn priced_pe(point: &DesignPoint, cache: &EvalCache) -> Option<PeRecord> {
         let node = point.corner.node;
         Some(PeRecord {
             area_um2: scale_area_um2(report.area_um2, ProcessNode::SMIC28, node),
-            active_power_uw: scale_power_w(report.power_uw(1.0, 1.0), ProcessNode::SMIC28, node),
-            idle_power_uw: scale_power_w(report.power_uw(0.0, 0.1), ProcessNode::SMIC28, node),
+            // Busy/idle activity points are the shared `tpe_cost::power`
+            // constants, so this sweep and `serial_layer` account energy
+            // identically.
+            active_power_uw: scale_power_w(report.busy_power_uw(), ProcessNode::SMIC28, node),
+            idle_power_uw: scale_power_w(report.idle_power_uw(), ProcessNode::SMIC28, node),
             lanes: report.lanes,
         })
     })
@@ -140,9 +143,12 @@ pub fn evaluate(point: &DesignPoint, cache: &EvalCache, seed: u64) -> PointResul
 
     let (cycles, busy_frac, peak_tops) = match point.kind {
         ArchKind::Dense(arch) => {
-            let w = &point.workload;
-            let engine = arch.at_paper_config();
-            let cycles = engine.estimate_cycles(w.m, w.n, w.k) as f64 * w.repeats as f64;
+            let cycles = match &point.workload {
+                SweepWorkload::Layer(w) => {
+                    arch.at_paper_config().estimate_cycles(w.m, w.n, w.k) as f64 * w.repeats as f64
+                }
+                SweepWorkload::Model(net) => dense_model_cycles(arch, net),
+            };
             // Dense arrays clock every PE every cycle, useful or not.
             (cycles, 1.0, raw_tops)
         }
@@ -153,9 +159,8 @@ pub fn evaluate(point: &DesignPoint, cache: &EvalCache, seed: u64) -> PointResul
         }
     };
 
-    let w = &point.workload;
     let delay_us = cycles / (freq * 1e3);
-    let macs = w.macs() as f64;
+    let macs = point.workload.macs() as f64;
 
     // Energy: fJ per PE instance-cycle at the record's activity levels.
     let e_active_fj = pe.active_power_uw / freq;
@@ -185,20 +190,23 @@ pub fn evaluate(point: &DesignPoint, cache: &EvalCache, seed: u64) -> PointResul
     }
 }
 
-/// Statistical serial-layer model: delegates to `tpe-core`'s shared
-/// encoder-parameterized sampler with sweep-sized caps. Returns total
-/// cycles and the average busy fraction across columns.
+/// Statistical serial workload model: delegates to `tpe-core`'s shared
+/// encoder-parameterized sampler with sweep-sized caps (single layers) or
+/// to `tpe-pipeline`'s layer-by-layer model scheduler (whole networks).
+/// Returns total cycles and the average busy fraction across columns.
 fn serial_workload_cycles(point: &DesignPoint, encoder: &dyn Encoder, seed: u64) -> (f64, f64) {
     let cfg = bitslice_config(point);
-    let stats = sample_serial_cycles(
-        &cfg,
-        encoder,
-        &point.workload,
-        seed ^ label_hash(&point.label()),
-        SWEEP_SAMPLE_CAPS,
-    );
-    let utilization = stats.utilization();
-    (stats.cycles, utilization)
+    let point_seed = seed ^ label_hash(&point.label());
+    match &point.workload {
+        SweepWorkload::Layer(layer) => {
+            let stats = sample_serial_cycles(&cfg, encoder, layer, point_seed, SWEEP_SAMPLE_CAPS);
+            let utilization = stats.utilization();
+            (stats.cycles, utilization)
+        }
+        SweepWorkload::Model(net) => {
+            serial_model_cycles(&cfg, encoder, net, point_seed, MODEL_SAMPLE_CAPS)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +316,58 @@ mod tests {
             3,
             "OPT4C's PE has no encoder; encodings share one synthesis"
         );
+    }
+
+    /// The five-encoding OPT3 axis prices only three distinct recoders:
+    /// EN-T/CSD share the carry-chained recoder and the two bit-serial
+    /// kinds share the zero-skip unit, so canonicalizing
+    /// `PeKey.in_pe_encoding` lifts the hit rate from 0/5 to 2/5 on this
+    /// slice (and correspondingly on the full default sweep).
+    #[test]
+    fn opt3_encoding_hardware_classes_share_cache_entries() {
+        let cache = EvalCache::new();
+        let space = DesignSpace::paper_default();
+        for kind in EncodingKind::ALL {
+            let points = space.enumerate_filtered(&format!("OPT3[{kind}]/28nm@2.00"));
+            evaluate(&points[0], &cache, 1);
+        }
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (2, 3),
+            "EN-T+CSD and the two bit-serial kinds must share entries"
+        );
+        assert!(stats.hit_rate() > 0.39);
+    }
+
+    /// The sweep evaluator and `tpe-pipeline`'s engine pricing are two
+    /// views of the same synthesis path; pin them bit-identical so the
+    /// "model report and layer sweep price one engine identically"
+    /// invariant can't silently drift.
+    #[test]
+    fn evaluator_and_pipeline_price_engines_identically() {
+        let cache = EvalCache::new();
+        let space = DesignSpace::paper_default();
+        for filter in [
+            "MAC(TPU)/28nm@1.00",
+            "OPT1(Ascend)/28nm@1.50",
+            "OPT3[CSD]/28nm@2.00",
+            "OPT4E[EN-T]/16nm@1.50",
+        ] {
+            let point = &space.enumerate_filtered(filter)[0];
+            let metrics = evaluate(point, &cache, 1).metrics.unwrap();
+            let price = point.engine_spec().price().unwrap();
+            assert_eq!(
+                metrics.area_um2.to_bits(),
+                price.area_um2.to_bits(),
+                "{filter}: area drifted between dse eval and pipeline pricing"
+            );
+            assert_eq!(
+                metrics.peak_tops.to_bits(),
+                price.peak_tops.to_bits(),
+                "{filter}: peak TOPS drifted"
+            );
+        }
     }
 
     #[test]

@@ -13,19 +13,26 @@
 //!
 //! * [`space`] — [`DesignPoint`] / [`DesignSpace`]: the five axes
 //!   (PE style, topology, encoding, corner, workload), legality rules and
-//!   deterministic enumeration.
+//!   deterministic enumeration. The workload axis ([`SweepWorkload`])
+//!   holds single GEMM layers *and whole networks* — the latter evaluated
+//!   end-to-end through `tpe-pipeline`'s model scheduler, so Pareto
+//!   fronts can carry whole-model objectives
+//!   (`repro dse --model resnet50`).
 //! * [`cache`] — [`EvalCache`]: synthesis results memoized on the
-//!   cost-relevant subset ([`cache::PeKey`]), so a sweep prices each
+//!   cost-relevant subset ([`cache::PeKey`], with encodings canonicalized
+//!   to their recoder-hardware class), so a sweep prices each
 //!   (PE, corner) pair once across all workloads.
 //! * [`eval`] — one point → [`eval::Metrics`] (area, delay, energy/MAC,
 //!   throughput, utilization, power), composing `tpe-core` PE designs,
 //!   `tpe-cost` synthesis, `tpe-sim` cycle models and the encoding-
 //!   generalized serial workload model.
-//! * [`sweep`] — the scoped-thread executor: work is claimed from an
+//! * [`mod@sweep`] — the scoped-thread executor: work is claimed from an
 //!   atomic cursor, results merge back into input order, and per-point
 //!   seeding makes output byte-identical across thread counts.
 //! * [`pareto`] — [`Objective`] and non-dominated-set extraction.
-//! * [`emit`] — deterministic CSV / JSON emission.
+//! * [`emit`] — deterministic CSV / JSON emission, for both point sweeps
+//!   ([`emit::to_csv`]) and `tpe-pipeline` model grids
+//!   ([`emit::model_csv`]).
 //!
 //! ## Quickstart
 //!
@@ -50,5 +57,5 @@ pub mod sweep;
 pub use cache::{CacheStats, EvalCache};
 pub use eval::{evaluate, Metrics, PointResult};
 pub use pareto::{pareto_front, pareto_front_per_workload, Objective};
-pub use space::{Corner, DesignPoint, DesignSpace};
+pub use space::{Corner, DesignPoint, DesignSpace, SweepWorkload};
 pub use sweep::{sweep, SweepConfig, SweepOutcome};

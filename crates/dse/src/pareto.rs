@@ -134,10 +134,7 @@ pub fn pareto_front_per_workload(results: &[PointResult], objectives: &[Objectiv
         std::collections::BTreeMap::new();
     for (i, r) in results.iter().enumerate() {
         if r.metrics.is_some() {
-            groups
-                .entry(r.point.workload.name.as_str())
-                .or_default()
-                .push(i);
+            groups.entry(r.point.workload.name()).or_default().push(i);
         }
     }
     let metric = |i: usize| results[i].metrics.as_ref().unwrap();
@@ -167,7 +164,7 @@ mod tests {
             kind: ArchKind::Serial,
             encoding: EncodingKind::EnT,
             corner: Corner::smic28(2.0),
-            workload: LayerShape::new("t", 8, 8, 8, 1),
+            workload: LayerShape::new("t", 8, 8, 8, 1).into(),
         };
         PointResult {
             point,
@@ -246,7 +243,7 @@ mod tests {
     #[test]
     fn per_workload_front_restricts_dominance_to_shared_workloads() {
         let mut tiny = result(5.0, 0.01, 5.0); // small GEMM: trivially fast
-        tiny.point.workload = LayerShape::new("tiny", 2, 2, 2, 1);
+        tiny.point.workload = LayerShape::new("tiny", 2, 2, 2, 1).into();
         let big_winner = result(1.0, 100.0, 1.0);
         let big_loser = result(20.0, 200.0, 2.0);
         let results = vec![tiny, big_winner, big_loser];

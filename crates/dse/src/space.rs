@@ -11,8 +11,9 @@
 //!    the serial datapath ([`EncodingKind`], Tables II–III);
 //! 4. **process / frequency corner** — clock constraint plus process node
 //!    ([`Corner`], the §V synthesis axis);
-//! 5. **workload** — the GEMM layer shape driving delay, utilization and
-//!    energy ([`LayerShape`], Figures 11–13).
+//! 5. **workload** — a single GEMM layer shape *or a whole network*
+//!    driving delay, utilization and energy ([`SweepWorkload`],
+//!    Figures 11–13).
 //!
 //! [`DesignSpace::enumerate`] takes the cross product and drops illegal
 //! combinations (serial styles require the serial array; dense multipliers
@@ -22,8 +23,9 @@
 use tpe_arith::encode::EncodingKind;
 use tpe_core::arch::{ArchKind, ArchModel, PeStyle};
 use tpe_cost::process::ProcessNode;
+use tpe_pipeline::EngineSpec;
 use tpe_sim::array::ClassicArch;
-use tpe_workloads::{models, LayerShape};
+use tpe_workloads::{models, LayerShape, NetworkModel};
 
 /// A synthesis corner: clock constraint + process node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +64,55 @@ impl Corner {
     }
 }
 
+/// The workload axis of a design point: either one GEMM-shaped layer
+/// (the Figure 11 texture) or a whole network evaluated end-to-end through
+/// the `tpe-pipeline` scheduling model (the Figure 12/13 aggregates).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepWorkload {
+    /// A single img2col-lowered GEMM layer.
+    Layer(LayerShape),
+    /// A whole network, summed layer by layer.
+    Model(NetworkModel),
+}
+
+impl SweepWorkload {
+    /// Display / grouping name (layer label or network name).
+    pub fn name(&self) -> &str {
+        match self {
+            SweepWorkload::Layer(l) => &l.name,
+            SweepWorkload::Model(n) => &n.name,
+        }
+    }
+
+    /// Total useful multiply–accumulates.
+    pub fn macs(&self) -> u64 {
+        match self {
+            SweepWorkload::Layer(l) => l.macs(),
+            SweepWorkload::Model(n) => n.total_macs(),
+        }
+    }
+
+    /// Number of GEMM layers (1 for a single layer).
+    pub fn layer_count(&self) -> usize {
+        match self {
+            SweepWorkload::Layer(_) => 1,
+            SweepWorkload::Model(n) => n.layers.len(),
+        }
+    }
+}
+
+impl From<LayerShape> for SweepWorkload {
+    fn from(layer: LayerShape) -> Self {
+        SweepWorkload::Layer(layer)
+    }
+}
+
+impl From<NetworkModel> for SweepWorkload {
+    fn from(net: NetworkModel) -> Self {
+        SweepWorkload::Model(net)
+    }
+}
+
 /// One fully-specified design point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
@@ -74,17 +125,29 @@ pub struct DesignPoint {
     pub encoding: EncodingKind,
     /// Synthesis corner.
     pub corner: Corner,
-    /// The GEMM workload.
-    pub workload: LayerShape,
+    /// The workload: one GEMM layer or a whole network.
+    pub workload: SweepWorkload,
 }
 
 impl DesignPoint {
-    /// Architecture half of the label ("OPT1(TPU)", "OPT3[CSD]").
-    pub fn arch_label(&self) -> String {
-        match self.kind {
-            ArchKind::Dense(arch) => format!("{}({})", self.style.name(), classic_name(arch)),
-            ArchKind::Serial => format!("{}[{}]", self.style.name(), self.encoding),
+    /// The architecture-and-corner half of the point as a `tpe-pipeline`
+    /// engine. Label grammar, PE counts and design composition all
+    /// delegate to this single source, so `repro dse --filter` and
+    /// `repro models --arch` always match the same strings.
+    pub fn engine_spec(&self) -> EngineSpec {
+        EngineSpec {
+            style: self.style,
+            kind: self.kind,
+            encoding: self.encoding,
+            freq_ghz: self.corner.freq_ghz,
+            node: self.corner.node,
+            node_name: self.corner.node_name,
         }
+    }
+
+    /// Architecture half of the label (`OPT1(TPU)`, `OPT3[CSD]`).
+    pub fn arch_label(&self) -> String {
+        self.engine_spec().arch_label()
     }
 
     /// Full point label, stable across runs — used for seeding, filtering
@@ -94,39 +157,23 @@ impl DesignPoint {
             "{}/{}/{}",
             self.arch_label(),
             self.corner.label(),
-            self.workload.name
+            self.workload.name()
         )
     }
 
     /// PE instances at the paper's array sizes (10×10×10 Cube, else 32×32).
     pub fn pe_instances(&self) -> usize {
-        match self.kind {
-            ArchKind::Dense(ClassicArch::Ascend) => 1000,
-            _ => 1024,
-        }
+        self.engine_spec().pe_instances()
     }
 
     /// The equivalent `tpe-core` architecture model at this corner.
     pub fn arch_model(&self) -> ArchModel {
-        ArchModel {
-            name: self.arch_label(),
-            style: self.style,
-            kind: self.kind,
-            pe_instances: self.pe_instances(),
-            freq_ghz: self.corner.freq_ghz,
-        }
+        self.engine_spec().arch_model()
     }
 }
 
-/// Display name of a classic dense topology.
-pub fn classic_name(arch: ClassicArch) -> &'static str {
-    match arch {
-        ClassicArch::Tpu => "TPU",
-        ClassicArch::Ascend => "Ascend",
-        ClassicArch::Trapezoid => "Trapezoid",
-        ClassicArch::FlexFlow => "FlexFlow",
-    }
-}
+/// Display name of a classic dense topology (shared with `tpe-pipeline`).
+pub use tpe_pipeline::engine::classic_name;
 
 /// The five axes; [`DesignSpace::enumerate`] takes the legal cross product.
 #[derive(Debug, Clone)]
@@ -139,15 +186,17 @@ pub struct DesignSpace {
     pub encodings: Vec<EncodingKind>,
     /// Synthesis corners.
     pub corners: Vec<Corner>,
-    /// Workload layers.
-    pub workloads: Vec<LayerShape>,
+    /// Workloads: single layers and/or whole networks.
+    pub workloads: Vec<SweepWorkload>,
 }
 
 impl DesignSpace {
     /// The full paper-flavored space: all six PE styles, all four classic
     /// topologies, all five encoders, four corners and a workload slice
     /// covering the utilization regimes of Figures 11–13 (wide conv,
-    /// depthwise, attention, FFN).
+    /// depthwise, attention, FFN) **plus one whole-model workload**
+    /// (ResNet-18 end-to-end), so the default Pareto front always carries
+    /// at least one model-level objective point.
     pub fn paper_default() -> Self {
         Self {
             styles: PeStyle::ALL.to_vec(),
@@ -161,6 +210,26 @@ impl DesignSpace {
             ],
             workloads: default_workloads(),
         }
+    }
+
+    /// The paper-default axes with the workload axis replaced by whole
+    /// networks whose name contains `filter` (case-insensitive; empty
+    /// keeps all ten models of Figures 12–13). Errors when nothing
+    /// matches.
+    pub fn with_models(filter: &str) -> Result<Self, String> {
+        let needle = filter.to_ascii_lowercase();
+        let nets: Vec<SweepWorkload> = tpe_workloads::NetworkModel::all()
+            .into_iter()
+            .filter(|n| needle.is_empty() || n.name.to_ascii_lowercase().contains(&needle))
+            .map(SweepWorkload::Model)
+            .collect();
+        if nets.is_empty() {
+            return Err(format!("no network model matches `{filter}`"));
+        }
+        Ok(Self {
+            workloads: nets,
+            ..Self::paper_default()
+        })
     }
 
     /// A small space for tests and the example: two styles per family, two
@@ -177,8 +246,8 @@ impl DesignSpace {
             encodings: vec![EncodingKind::EnT, EncodingKind::Mbe],
             corners: vec![Corner::smic28(1.0), Corner::smic28(1.5)],
             workloads: vec![
-                LayerShape::new("conv-64x3136x576", 64, 3136, 576, 1),
-                LayerShape::new("attn-qk-1024x64", 1024, 1024, 64, 1),
+                SweepWorkload::Layer(LayerShape::new("conv-64x3136x576", 64, 3136, 576, 1)),
+                SweepWorkload::Layer(LayerShape::new("attn-qk-1024x64", 1024, 1024, 64, 1)),
             ],
         }
     }
@@ -254,8 +323,9 @@ impl DesignSpace {
 
 /// The default workload axis: one layer per utilization regime the paper
 /// studies — wide mid-network conv, depthwise conv, pointwise projection,
-/// attention score GEMM, transformer FFN, and the classifier GEMV.
-pub fn default_workloads() -> Vec<LayerShape> {
+/// attention score GEMM, transformer FFN, the classifier GEMV — plus the
+/// ResNet-18 network end-to-end (the whole-model objective).
+pub fn default_workloads() -> Vec<SweepWorkload> {
     let resnet = models::resnet18();
     let mobilenet = models::mobilenet_v3();
     let mut picks: Vec<LayerShape> = Vec::new();
@@ -278,7 +348,9 @@ pub fn default_workloads() -> Vec<LayerShape> {
     // Classifier GEMV — the skinny tail case.
     picks.push(LayerShape::new("fc-1000x512", 1000, 1, 512, 1));
     picks.truncate(6);
-    picks
+    let mut workloads: Vec<SweepWorkload> = picks.into_iter().map(SweepWorkload::Layer).collect();
+    workloads.push(SweepWorkload::Model(resnet));
+    workloads
 }
 
 #[cfg(test)]
@@ -340,6 +412,33 @@ mod tests {
         let before = labels.len();
         labels.dedup();
         assert_eq!(before, labels.len(), "duplicate point labels");
+    }
+
+    #[test]
+    fn default_space_carries_a_whole_model_workload() {
+        let space = DesignSpace::paper_default();
+        let models: Vec<_> = space
+            .workloads
+            .iter()
+            .filter(|w| matches!(w, SweepWorkload::Model(_)))
+            .collect();
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].name(), "ResNet18");
+        assert!(models[0].layer_count() > 10);
+        assert_eq!(models[0].macs(), models::resnet18().total_macs());
+    }
+
+    #[test]
+    fn with_models_replaces_the_workload_axis() {
+        let space = DesignSpace::with_models("resnet").unwrap();
+        assert_eq!(space.workloads.len(), 2, "ResNet18 + ResNet50");
+        assert!(space
+            .workloads
+            .iter()
+            .all(|w| matches!(w, SweepWorkload::Model(_))));
+        let all = DesignSpace::with_models("").unwrap();
+        assert_eq!(all.workloads.len(), models::NetworkModel::all().len());
+        assert!(DesignSpace::with_models("no-such-net").is_err());
     }
 
     #[test]

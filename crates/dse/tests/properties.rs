@@ -20,7 +20,7 @@ fn synthetic(area: f64, delay: f64, energy: f64) -> PointResult {
         kind: ArchKind::Serial,
         encoding: EncodingKind::EnT,
         corner: Corner::smic28(2.0),
-        workload: LayerShape::new("synthetic", 4, 4, 4, 1),
+        workload: LayerShape::new("synthetic", 4, 4, 4, 1).into(),
     };
     PointResult {
         point,

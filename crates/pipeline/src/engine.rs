@@ -1,0 +1,240 @@
+//! Execution engines: the (PE style × array × encoding × clock) targets a
+//! model is scheduled onto, and their synthesis-derived pricing.
+//!
+//! An [`EngineSpec`] is the architecture half of a `tpe-dse` design point —
+//! everything except the workload. [`EngineSpec::price`] composes the same
+//! path the sweep evaluator uses (`PeStyle` design → `tpe-cost` synthesis →
+//! node scaling → array support logic), with the shared
+//! [`tpe_cost::power::PE_BUSY`]/[`tpe_cost::power::PE_IDLE`] activity
+//! points, so a model report and a layer sweep price one engine
+//! identically.
+
+use tpe_arith::encode::EncodingKind;
+use tpe_core::arch::array::ARRAY_OVERHEAD_FRAC;
+use tpe_core::arch::workload::effective_numpps;
+use tpe_core::arch::{ArchKind, ArchModel, ArrayModel, PeStyle};
+use tpe_cost::process::{scale_area_um2, scale_power_w, ProcessNode};
+use tpe_sim::array::ClassicArch;
+
+/// One fully-specified execution engine (a design point minus workload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSpec {
+    /// PE microarchitecture (Figure 9).
+    pub style: PeStyle,
+    /// Array organization (Table VII).
+    pub kind: ArchKind,
+    /// Multiplicand encoding (serial datapaths; dense multipliers carry
+    /// their built-in Booth encoding).
+    pub encoding: EncodingKind,
+    /// Clock in GHz.
+    pub freq_ghz: f64,
+    /// Process node costs are scaled to.
+    pub node: ProcessNode,
+    /// Display name of the node.
+    pub node_name: &'static str,
+}
+
+impl EngineSpec {
+    /// A dense engine (classic topology) at SMIC 28 nm.
+    pub fn dense(style: PeStyle, arch: ClassicArch, freq_ghz: f64) -> Self {
+        Self {
+            style,
+            kind: ArchKind::Dense(arch),
+            encoding: EncodingKind::Mbe,
+            freq_ghz,
+            node: ProcessNode::SMIC28,
+            node_name: "28nm",
+        }
+    }
+
+    /// A serial (column-synchronous) engine at SMIC 28 nm.
+    pub fn serial(style: PeStyle, encoding: EncodingKind, freq_ghz: f64) -> Self {
+        Self {
+            style,
+            kind: ArchKind::Serial,
+            encoding,
+            freq_ghz,
+            node: ProcessNode::SMIC28,
+            node_name: "28nm",
+        }
+    }
+
+    /// The `repro models` roster: the four classic dense baselines at
+    /// their Table VII clocks, their OPT1/OPT2 retrofits, and the three
+    /// serial styles under EN-T — every Table VII configuration, so each
+    /// model is scored across all four dense array geometries *and* all
+    /// serial PE styles.
+    pub fn paper_roster() -> Vec<EngineSpec> {
+        use ClassicArch::*;
+        vec![
+            EngineSpec::dense(PeStyle::TraditionalMac, Tpu, 1.0),
+            EngineSpec::dense(PeStyle::TraditionalMac, Ascend, 1.0),
+            EngineSpec::dense(PeStyle::TraditionalMac, Trapezoid, 1.0),
+            EngineSpec::dense(PeStyle::TraditionalMac, FlexFlow, 1.0),
+            EngineSpec::dense(PeStyle::Opt1, Tpu, 1.5),
+            EngineSpec::dense(PeStyle::Opt1, Ascend, 1.5),
+            EngineSpec::dense(PeStyle::Opt1, Trapezoid, 1.5),
+            EngineSpec::dense(PeStyle::Opt1, FlexFlow, 1.5),
+            EngineSpec::dense(PeStyle::Opt2, FlexFlow, 1.5),
+            EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0),
+            EngineSpec::serial(PeStyle::Opt4C, EncodingKind::EnT, 2.5),
+            EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0),
+        ]
+    }
+
+    /// Architecture half of the label ("OPT1(TPU)", "OPT3\[EN-T\]").
+    pub fn arch_label(&self) -> String {
+        match self.kind {
+            ArchKind::Dense(arch) => format!("{}({})", self.style.name(), classic_name(arch)),
+            ArchKind::Serial => format!("{}[{}]", self.style.name(), self.encoding),
+        }
+    }
+
+    /// Full engine label, stable across runs — the seed/filter/CSV key
+    /// ("OPT4E\[EN-T\]/28nm\@2.00GHz").
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}@{:.2}GHz",
+            self.arch_label(),
+            self.node_name,
+            self.freq_ghz
+        )
+    }
+
+    /// PE instances at the paper's array sizes (10×10×10 Cube, else 32×32).
+    pub fn pe_instances(&self) -> usize {
+        match self.kind {
+            ArchKind::Dense(ClassicArch::Ascend) => 1000,
+            _ => 1024,
+        }
+    }
+
+    /// The equivalent `tpe-core` architecture model.
+    pub fn arch_model(&self) -> ArchModel {
+        ArchModel {
+            name: self.arch_label(),
+            style: self.style,
+            kind: self.kind,
+            pe_instances: self.pe_instances(),
+            freq_ghz: self.freq_ghz,
+        }
+    }
+
+    /// Prices the engine: PE synthesis at the clock, node scaling, array
+    /// support logic. `None` when the PE cannot close timing.
+    pub fn price(&self) -> Option<EnginePrice> {
+        let design = match self.kind {
+            ArchKind::Dense(_) => self.arch_model().pe_design(),
+            ArchKind::Serial => self.style.design_with_encoding(self.encoding),
+        };
+        let report = design.synthesize(self.freq_ghz)?;
+        let instances = self.pe_instances() as f64;
+        let support = scale_area_um2(
+            ArrayModel::new(self.arch_model()).support_area_um2_for(self.encoding),
+            ProcessNode::SMIC28,
+            self.node,
+        );
+        let pe_area = scale_area_um2(report.area_um2, ProcessNode::SMIC28, self.node);
+        let area_um2 = (pe_area * instances + support) * (1.0 + ARRAY_OVERHEAD_FRAC);
+
+        let lanes_total = instances * f64::from(report.lanes);
+        let raw_tops = lanes_total * 2.0 * self.freq_ghz * 1e9 / 1e12;
+        let peak_tops = match self.kind {
+            ArchKind::Dense(_) => raw_tops,
+            ArchKind::Serial => raw_tops / effective_numpps(self.encoding.encoder().as_ref()),
+        };
+
+        Some(EnginePrice {
+            area_um2,
+            e_active_fj: scale_power_w(report.busy_power_uw(), ProcessNode::SMIC28, self.node)
+                / self.freq_ghz,
+            e_idle_fj: scale_power_w(report.idle_power_uw(), ProcessNode::SMIC28, self.node)
+                / self.freq_ghz,
+            instances,
+            lanes_total,
+            peak_tops,
+        })
+    }
+}
+
+/// Display name of a classic dense topology.
+pub fn classic_name(arch: ClassicArch) -> &'static str {
+    match arch {
+        ClassicArch::Tpu => "TPU",
+        ClassicArch::Ascend => "Ascend",
+        ClassicArch::Trapezoid => "Trapezoid",
+        ClassicArch::FlexFlow => "FlexFlow",
+    }
+}
+
+/// A priced engine: everything the scheduler needs to turn cycles into
+/// delay, energy and efficiency figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnginePrice {
+    /// Total array area (µm², node-scaled, support + overhead included).
+    pub area_um2: f64,
+    /// Energy per PE-instance-cycle while busy (fJ, [`tpe_cost::power::PE_BUSY`]).
+    pub e_active_fj: f64,
+    /// Energy per PE-instance-cycle while clock-gated (fJ,
+    /// [`tpe_cost::power::PE_IDLE`]).
+    pub e_idle_fj: f64,
+    /// PE (or PE-group) instances in the array.
+    pub instances: f64,
+    /// Total MAC-equivalent lanes (instances × lanes per instance).
+    pub lanes_total: f64,
+    /// Peak throughput (TOPS; serial engines divide by effective NumPPs).
+    pub peak_tops: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_covers_all_topologies_and_serial_styles() {
+        let roster = EngineSpec::paper_roster();
+        for arch in ClassicArch::ALL {
+            assert!(
+                roster.iter().any(|e| e.kind == ArchKind::Dense(arch)),
+                "{arch:?} missing from roster"
+            );
+        }
+        for style in [PeStyle::Opt3, PeStyle::Opt4C, PeStyle::Opt4E] {
+            assert!(roster.iter().any(|e| e.style == style));
+        }
+        let mut labels: Vec<String> = roster.iter().map(EngineSpec::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), roster.len(), "duplicate engine labels");
+    }
+
+    #[test]
+    fn every_roster_engine_prices_at_its_paper_clock() {
+        for engine in EngineSpec::paper_roster() {
+            let price = engine
+                .price()
+                .unwrap_or_else(|| panic!("{} fails timing", engine.label()));
+            assert!(price.area_um2 > 0.0 && price.area_um2.is_finite());
+            assert!(price.e_active_fj > price.e_idle_fj);
+            assert!(price.peak_tops > 0.0);
+        }
+    }
+
+    #[test]
+    fn mac_engine_walls_beyond_1p5_ghz() {
+        let mut e = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 2.0);
+        assert!(e.price().is_none());
+        e.freq_ghz = 1.0;
+        assert!(e.price().is_some());
+    }
+
+    #[test]
+    fn serial_peak_tops_divides_by_effective_numpps() {
+        let opt3 = EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0)
+            .price()
+            .unwrap();
+        // 1024 lanes × 2 ops × 2 GHz = 4.096 raw TOPS; EN-T's ~2.27
+        // effective NumPPs lands near Table VII's 1.80 TOPS.
+        assert!((1.6..2.1).contains(&opt3.peak_tops), "{}", opt3.peak_tops);
+    }
+}

@@ -1,0 +1,230 @@
+//! The deterministic parallel (model × engine) grid executor.
+//!
+//! Same discipline as `tpe-dse`'s sweep: cells are claimed from an atomic
+//! cursor by scoped worker threads, every cell's RNG is seeded from the
+//! grid seed and the cell's own `(engine, model)` label, and results merge
+//! back into input order — so the output is **byte-identical across runs
+//! and thread counts** (pinned by the determinism tests and asserted on
+//! every `repro models` run).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use tpe_core::arch::workload::SerialSampleCaps;
+use tpe_workloads::NetworkModel;
+
+use crate::engine::EngineSpec;
+use crate::fnv1a;
+use crate::report::ModelReport;
+use crate::schedule::{evaluate_model, MODEL_SAMPLE_CAPS};
+
+/// Grid parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GridConfig {
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+    /// Global seed mixed into every cell's layer sampling.
+    pub seed: u64,
+    /// Serial-layer sampling caps.
+    pub caps: SerialSampleCaps,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            seed: 42,
+            caps: MODEL_SAMPLE_CAPS,
+        }
+    }
+}
+
+impl GridConfig {
+    /// A config for debug-profile tests: explicit threads/seed, very tight
+    /// sampling caps so whole-model cells stay fast unoptimized.
+    pub fn quick_test(threads: usize, seed: u64) -> Self {
+        Self {
+            threads,
+            seed,
+            caps: SerialSampleCaps {
+                max_rounds: 6,
+                max_operands: 4_000,
+            },
+        }
+    }
+
+    /// The effective worker count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// One (model × engine) cell's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRun {
+    /// Network name.
+    pub model: String,
+    /// The engine the model was scheduled onto.
+    pub engine: EngineSpec,
+    /// The end-to-end report, or `None` when the engine fails timing.
+    pub report: Option<ModelReport>,
+}
+
+impl ModelRun {
+    /// Whether the engine closed timing.
+    pub fn feasible(&self) -> bool {
+        self.report.is_some()
+    }
+}
+
+/// Everything a grid run produces.
+#[derive(Debug)]
+pub struct GridOutcome {
+    /// One run per (model, engine) cell, model-major, in input order.
+    pub runs: Vec<ModelRun>,
+    /// Wall-clock spent evaluating.
+    pub elapsed: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+impl GridOutcome {
+    /// Number of cells whose engine closed timing.
+    pub fn feasible_count(&self) -> usize {
+        self.runs.iter().filter(|r| r.feasible()).count()
+    }
+}
+
+/// Evaluates every model on every engine (model-major cell order).
+///
+/// Engines are priced once up front (synthesis is cheap and deterministic);
+/// cells with an infeasible engine report `None` without sampling.
+pub fn run_grid(
+    models: &[NetworkModel],
+    engines: &[EngineSpec],
+    config: GridConfig,
+) -> GridOutcome {
+    let start = Instant::now();
+    let prices: Vec<_> = engines.iter().map(EngineSpec::price).collect();
+    let cells: Vec<(usize, usize)> = (0..models.len())
+        .flat_map(|mi| (0..engines.len()).map(move |ei| (mi, ei)))
+        .collect();
+    let threads = config.effective_threads().min(cells.len()).max(1);
+
+    let eval_cell = |&(mi, ei): &(usize, usize)| -> ModelRun {
+        let (model, engine) = (&models[mi], &engines[ei]);
+        let report = prices[ei].as_ref().map(|price| {
+            let seed = config.seed ^ fnv1a(&format!("{}/{}", engine.label(), model.name));
+            evaluate_model(engine, price, model, seed, config.caps)
+        });
+        ModelRun {
+            model: model.name.clone(),
+            engine: engine.clone(),
+            report,
+        }
+    };
+
+    let mut runs: Vec<Option<ModelRun>> = vec![None; cells.len()];
+    if threads == 1 {
+        for (slot, cell) in runs.iter_mut().zip(&cells) {
+            *slot = Some(eval_cell(cell));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let mut collected: Vec<Vec<(usize, ModelRun)>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= cells.len() {
+                                break;
+                            }
+                            local.push((i, eval_cell(&cells[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("grid worker panicked"))
+                .collect()
+        });
+        for (i, run) in collected.drain(..).flatten() {
+            runs[i] = Some(run);
+        }
+    }
+
+    GridOutcome {
+        runs: runs
+            .into_iter()
+            .map(|r| r.expect("every cell evaluated exactly once"))
+            .collect(),
+        elapsed: start.elapsed(),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpe_arith::encode::EncodingKind;
+    use tpe_core::arch::PeStyle;
+    use tpe_sim::array::ClassicArch;
+    use tpe_workloads::models;
+
+    fn small_grid() -> (Vec<NetworkModel>, Vec<EngineSpec>) {
+        (
+            vec![models::resnet18()],
+            vec![
+                EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0),
+                EngineSpec::dense(PeStyle::Opt1, ClassicArch::Trapezoid, 1.5),
+                EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn grid_covers_all_cells_in_model_major_order() {
+        let (ms, es) = small_grid();
+        let outcome = run_grid(&ms, &es, GridConfig::quick_test(2, 5));
+        assert_eq!(outcome.runs.len(), ms.len() * es.len());
+        for (i, run) in outcome.runs.iter().enumerate() {
+            assert_eq!(run.model, ms[i / es.len()].name);
+            assert_eq!(run.engine.label(), es[i % es.len()].label());
+            let r = run.report.as_ref().expect("paper clocks are feasible");
+            assert_eq!(r.layer_count(), ms[i / es.len()].layers.len());
+            assert!(r.delay_us > 0.0 && r.energy_uj > 0.0);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (ms, es) = small_grid();
+        let serial = run_grid(&ms, &es, GridConfig::quick_test(1, 3));
+        let parallel = run_grid(&ms, &es, GridConfig::quick_test(4, 3));
+        assert_eq!(serial.runs, parallel.runs);
+    }
+
+    #[test]
+    fn infeasible_engines_yield_empty_reports() {
+        let engines = vec![EngineSpec::dense(
+            PeStyle::TraditionalMac,
+            ClassicArch::Tpu,
+            2.0, // beyond the MAC's 1.5 GHz wall
+        )];
+        let outcome = run_grid(
+            &[models::resnet18()],
+            &engines,
+            GridConfig::quick_test(1, 1),
+        );
+        assert_eq!(outcome.feasible_count(), 0);
+        assert!(!outcome.runs[0].feasible());
+    }
+}

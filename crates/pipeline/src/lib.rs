@@ -1,0 +1,94 @@
+#![warn(missing_docs)]
+
+//! # tpe-pipeline
+//!
+//! Model-level scheduling pipeline: whole-DNN evaluation on bit-weight TPE
+//! arrays.
+//!
+//! The paper's end-to-end results (Figures 11–13) score architectures on
+//! *complete networks*, not isolated layers: per-layer utilization dips
+//! (depthwise K = 9/25 in Figure 11(B)), tiling residue on skinny GEMV
+//! tails, and the delay mix across dozens of layers are what separate the
+//! designs in practice. This crate turns the workspace's point evaluators
+//! into that model-serving pipeline:
+//!
+//! ```text
+//! workloads::models ──► img2col-lowered GEMM layers (tpe-workloads)
+//!        │
+//!        ▼  per layer
+//! [`schedule`] ── tiling onto the engine's array geometry
+//!        │        · dense: systolic / OS-systolic / adder-tree / cube
+//!        │          closed-form cycle models (tpe-sim, Table VII)
+//!        │        · serial: the shared encoder-parameterized
+//!        │          [`sample_serial_cycles`] sync model (Eq. 7)
+//!        ▼
+//! [`report`] ── per-layer cycles / utilization / energy, aggregated to
+//!        │       end-to-end [`ModelReport`]s (latency, GOPS, TOPS/W,
+//!        │       delay-weighted utilization)
+//!        ▼
+//! [`grid`] ── deterministic parallel (model × engine) sweep; results are
+//!              byte-identical across thread counts, like `tpe-dse`.
+//! ```
+//!
+//! Engine pricing ([`engine`]) composes the same `tpe-core`/`tpe-cost`
+//! synthesis path as `tpe-dse`, with the shared
+//! [`tpe_cost::power::PE_BUSY`]/[`tpe_cost::power::PE_IDLE`] activity
+//! points, so layer-level sweeps and model-level reports account energy
+//! identically. `repro models` renders the grid; `repro dse --model NAME`
+//! puts whole-model workloads on the Pareto front.
+//!
+//! [`sample_serial_cycles`]: tpe_core::arch::workload::sample_serial_cycles
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tpe_pipeline::{run_grid, EngineSpec, GridConfig};
+//! use tpe_workloads::models;
+//!
+//! let models = vec![models::resnet18()];
+//! let engines = EngineSpec::paper_roster();
+//! let outcome = run_grid(&models, &engines, GridConfig::quick_test(2, 42));
+//! assert_eq!(outcome.runs.len(), engines.len());
+//! let best = outcome
+//!     .runs
+//!     .iter()
+//!     .filter_map(|r| r.report.as_ref())
+//!     .min_by(|a, b| a.delay_us.total_cmp(&b.delay_us))
+//!     .unwrap();
+//! assert!(best.delay_us > 0.0);
+//! ```
+
+pub mod engine;
+pub mod grid;
+pub mod report;
+pub mod schedule;
+
+pub use engine::{EnginePrice, EngineSpec};
+pub use grid::{run_grid, GridConfig, GridOutcome, ModelRun};
+pub use report::{LayerReport, ModelReport};
+pub use schedule::{dense_model_cycles, evaluate_model, serial_model_cycles, MODEL_SAMPLE_CAPS};
+
+/// FNV-1a over a label: the stable seed component used everywhere the
+/// workspace derives per-work-item RNG streams. Independent of sweep order
+/// and thread assignment, which is what makes parallel runs byte-identical
+/// to serial ones (`tpe-dse` re-exports this as `label_hash`).
+pub fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable_and_label_sensitive() {
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("ResNet18/OPT4E"), fnv1a("ResNet18/OPT4E"));
+        assert_ne!(fnv1a("ResNet18/OPT4E"), fnv1a("ResNet18/OPT3"));
+    }
+}

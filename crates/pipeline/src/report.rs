@@ -1,0 +1,171 @@
+//! Per-layer and end-to-end model reports: the pipeline's output schema.
+//!
+//! A [`ModelReport`] is the model-level analogue of a `tpe-dse` metrics
+//! row — the quantities Figures 12–13 compare across networks: end-to-end
+//! latency, sustained throughput, energy, TOPS/W and delay-weighted
+//! utilization. Aggregates are pure sums/weighted means of the per-layer
+//! rows (property-tested in `tests/properties.rs`), so layer and model
+//! views can never drift apart.
+
+use crate::engine::{EnginePrice, EngineSpec};
+
+/// One layer's scheduled outcome on one engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Layer label (the figure x-axis names).
+    pub name: String,
+    /// Useful multiply–accumulates.
+    pub macs: u64,
+    /// Scheduling granularity: dense img2col tiles or serial sync rounds.
+    pub tiles: f64,
+    /// Array cycles.
+    pub cycles: f64,
+    /// Wall-clock (µs).
+    pub delay_us: f64,
+    /// Lane utilization (busy fraction for serial, MAC occupancy for dense).
+    pub utilization: f64,
+    /// Energy (µJ).
+    pub energy_uj: f64,
+}
+
+/// End-to-end evaluation of one model on one engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelReport {
+    /// Network name (Figure 12/13 labels).
+    pub model: String,
+    /// The engine evaluated.
+    pub engine: EngineSpec,
+    /// Per-layer breakdown, in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Total useful MACs.
+    pub total_macs: u64,
+    /// Total array cycles (sum over layers).
+    pub cycles: f64,
+    /// End-to-end latency (µs, sum over layers).
+    pub delay_us: f64,
+    /// Total energy (µJ, sum over layers).
+    pub energy_uj: f64,
+    /// Delay-weighted average utilization.
+    pub utilization: f64,
+    /// Total array area (µm²), from the engine price.
+    pub area_um2: f64,
+    /// Peak throughput (TOPS), from the engine price.
+    pub peak_tops: f64,
+}
+
+impl ModelReport {
+    /// Builds the end-to-end aggregate from per-layer rows.
+    pub fn aggregate(
+        model: String,
+        engine: EngineSpec,
+        price: &EnginePrice,
+        layers: Vec<LayerReport>,
+    ) -> Self {
+        let delay_us: f64 = layers.iter().map(|l| l.delay_us).sum();
+        let util_weighted: f64 = layers.iter().map(|l| l.utilization * l.delay_us).sum();
+        Self {
+            model,
+            engine,
+            total_macs: layers.iter().map(|l| l.macs).sum(),
+            cycles: layers.iter().map(|l| l.cycles).sum(),
+            delay_us,
+            energy_uj: layers.iter().map(|l| l.energy_uj).sum(),
+            utilization: if delay_us > 0.0 {
+                util_weighted / delay_us
+            } else {
+                0.0
+            },
+            area_um2: price.area_um2,
+            peak_tops: price.peak_tops,
+            layers,
+        }
+    }
+
+    /// Sustained throughput over the whole model (GOPS, 2 ops per MAC).
+    /// Zero for a degenerate empty model (no layers, no delay).
+    pub fn throughput_gops(&self) -> f64 {
+        if self.delay_us > 0.0 {
+            2.0 * self.total_macs as f64 / self.delay_us / 1e3
+        } else {
+            0.0
+        }
+    }
+
+    /// Average power over the run (W). Zero for a degenerate empty model.
+    pub fn power_w(&self) -> f64 {
+        if self.delay_us > 0.0 {
+            self.energy_uj / self.delay_us
+        } else {
+            0.0
+        }
+    }
+
+    /// Sustained energy efficiency (TOPS/W). Zero for a degenerate empty
+    /// model.
+    pub fn tops_per_w(&self) -> f64 {
+        let power = self.power_w();
+        if power > 0.0 {
+            self.throughput_gops() / 1e3 / power
+        } else {
+            0.0
+        }
+    }
+
+    /// Layer count.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpe_core::arch::PeStyle;
+    use tpe_sim::array::ClassicArch;
+
+    fn layer(name: &str, macs: u64, cycles: f64, util: f64, energy: f64) -> LayerReport {
+        LayerReport {
+            name: name.into(),
+            macs,
+            tiles: 1.0,
+            cycles,
+            delay_us: cycles / 1e3,
+            utilization: util,
+            energy_uj: energy,
+        }
+    }
+
+    fn price() -> EnginePrice {
+        EnginePrice {
+            area_um2: 100.0,
+            e_active_fj: 2.0,
+            e_idle_fj: 0.1,
+            instances: 4.0,
+            lanes_total: 4.0,
+            peak_tops: 1.0,
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_and_weights() {
+        let engine = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0);
+        let r = ModelReport::aggregate(
+            "toy".into(),
+            engine,
+            &price(),
+            vec![
+                layer("a", 1000, 100.0, 1.0, 3.0),
+                layer("b", 500, 300.0, 0.5, 1.0),
+            ],
+        );
+        assert_eq!(r.total_macs, 1500);
+        assert_eq!(r.cycles, 400.0);
+        assert_eq!(r.energy_uj, 4.0);
+        // Delay-weighted: (1.0·0.1 + 0.5·0.3) / 0.4 = 0.625.
+        assert!((r.utilization - 0.625).abs() < 1e-12);
+        assert!((r.throughput_gops() - 2.0 * 1500.0 / 0.4 / 1e3).abs() < 1e-9);
+        assert!((r.power_w() - 4.0 / 0.4).abs() < 1e-12);
+        assert!(r.tops_per_w() > 0.0);
+        assert_eq!(r.layer_count(), 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Layer → array scheduling: img2col-lowered GEMMs tiled onto an engine's
+//! geometry, with cycle, utilization and tiling accounting.
+//!
+//! The model database (`tpe_workloads::models`) stores every layer already
+//! lowered to its GEMM via img2col (`ConvShape::gemm_dims`, §IV-C's
+//! K = C·k² reduction). Scheduling then depends only on the engine family:
+//!
+//! * **Dense** — the layer is cut into output/reduction tiles matching the
+//!   array grid (32×32 planes, the 10×10×10 cube) and cycles come from the
+//!   simulator-validated closed-form models in [`tpe_sim::array`]. Dense
+//!   arrays clock every PE every cycle, so the busy fraction is 1 and
+//!   utilization is useful MACs over lane-cycles.
+//! * **Serial** — the layer maps multiplicand rows across the MP columns
+//!   and cycles are sampled from the shared encoder-parameterized
+//!   [`sample_serial_cycles`] model (Eq. 7's `sync` barrier: the slowest
+//!   column bounds each round). Utilization is the sampled busy fraction.
+//!
+//! Per-layer RNG seeds are derived from [`fnv1a`] over the layer's index
+//! and name, so whole-model results never depend on evaluation order —
+//! the property the grid executor's byte-identical determinism rests on.
+
+use tpe_arith::encode::Encoder;
+use tpe_core::arch::workload::{sample_serial_cycles, SerialSampleCaps};
+use tpe_core::arch::ArchKind;
+use tpe_sim::array::ClassicArch;
+use tpe_sim::BitsliceConfig;
+use tpe_workloads::{LayerShape, NetworkModel};
+
+use crate::engine::{EnginePrice, EngineSpec};
+use crate::fnv1a;
+use crate::report::{LayerReport, ModelReport};
+
+/// Sampling caps for whole-model serial evaluation. Tighter than the
+/// single-layer defaults: a model sums dozens of layers, so per-layer
+/// sampling noise averages out and the budget stays proportionate to a
+/// sweep that scores hundreds of (model × engine) cells. Rounds are
+/// i.i.d., so the estimates remain unbiased.
+pub const MODEL_SAMPLE_CAPS: SerialSampleCaps = SerialSampleCaps {
+    max_rounds: 24,
+    max_operands: 30_000,
+};
+
+/// Number of img2col tiles a dense array cuts one GEMM layer into — the
+/// scheduling granularity of the dense pipelines (weight tiles for the
+/// weight-stationary systolic array, output blocks for the broadcast
+/// matrix, unit batches for the adder tree, 3-D blocks for the cube).
+pub fn dense_tiles(arch: ClassicArch, layer: &LayerShape) -> u64 {
+    let (m, n, k) = (layer.m, layer.n, layer.k);
+    let per_repeat = match arch {
+        // Weight-stationary: one 32×32 weight tile per (k, n) block.
+        ClassicArch::Tpu => (k.div_ceil(32) * n.div_ceil(32)) as u64,
+        // 10×10×10 cube: 3-D blocks over all of m, n, k.
+        ClassicArch::Ascend => (m.div_ceil(10) * n.div_ceil(10) * k.div_ceil(10)) as u64,
+        // 32 dot-product units × 32-lane reduction chunks.
+        ClassicArch::Trapezoid => ((m * n * k.div_ceil(32)) as u64).div_ceil(32),
+        // Output-stationary 32×32 blocks, K streamed.
+        ClassicArch::FlexFlow => (m.div_ceil(32) * n.div_ceil(32)) as u64,
+    };
+    per_repeat * layer.repeats as u64
+}
+
+/// One layer scheduled onto one engine: cycles, busy fraction, tiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerSchedule {
+    /// Array cycles for the full layer (all repeats).
+    pub cycles: f64,
+    /// Fraction of PE-cycles doing useful work (1.0 for dense arrays,
+    /// which clock every PE every cycle).
+    pub busy_frac: f64,
+    /// Scheduling granularity: dense img2col tiles or serial sync rounds.
+    pub tiles: f64,
+}
+
+/// Schedules one img2col-lowered layer onto `engine`.
+pub fn schedule_layer(
+    engine: &EngineSpec,
+    layer: &LayerShape,
+    seed: u64,
+    caps: SerialSampleCaps,
+) -> LayerSchedule {
+    match engine.kind {
+        ArchKind::Dense(arch) => {
+            let sim = arch.at_paper_config();
+            let cycles =
+                sim.estimate_cycles(layer.m, layer.n, layer.k) as f64 * layer.repeats as f64;
+            LayerSchedule {
+                cycles,
+                busy_frac: 1.0,
+                tiles: dense_tiles(arch, layer) as f64,
+            }
+        }
+        ArchKind::Serial => {
+            let cfg = serial_config(engine);
+            let encoder = engine.encoding.encoder();
+            let stats = sample_serial_cycles(&cfg, encoder.as_ref(), layer, seed, caps);
+            LayerSchedule {
+                cycles: stats.cycles,
+                busy_frac: stats.utilization(),
+                tiles: stats.rounds,
+            }
+        }
+    }
+}
+
+/// The engine's bit-slice configuration with its encoding swapped in.
+///
+/// # Panics
+///
+/// Panics if the engine is dense.
+fn serial_config(engine: &EngineSpec) -> BitsliceConfig {
+    let mut cfg = engine.arch_model().bitslice_config();
+    cfg.encoding = engine.encoding;
+    cfg
+}
+
+/// Stable per-layer seed: mixes the caller's seed with the layer's index
+/// and name so results are independent of evaluation order.
+fn layer_seed(seed: u64, index: usize, layer: &LayerShape) -> u64 {
+    seed ^ fnv1a(&format!("{index}/{}", layer.name))
+}
+
+/// Total cycles of a whole model on a dense topology (closed-form; no
+/// sampling, hence no seed).
+pub fn dense_model_cycles(arch: ClassicArch, net: &NetworkModel) -> f64 {
+    let sim = arch.at_paper_config();
+    net.layers
+        .iter()
+        .map(|l| sim.estimate_cycles(l.m, l.n, l.k) as f64 * l.repeats as f64)
+        .sum()
+}
+
+/// Total cycles and aggregate busy fraction of a whole model on a serial
+/// array: every layer goes through the shared sampled sync model with its
+/// own order-independent seed, and busy cycles are pooled across layers
+/// (the delay-weighted utilization).
+pub fn serial_model_cycles(
+    cfg: &BitsliceConfig,
+    encoder: &dyn Encoder,
+    net: &NetworkModel,
+    seed: u64,
+    caps: SerialSampleCaps,
+) -> (f64, f64) {
+    let mut cycles = 0.0;
+    let mut busy_sum = 0.0;
+    for (i, layer) in net.layers.iter().enumerate() {
+        let stats = sample_serial_cycles(cfg, encoder, layer, layer_seed(seed, i, layer), caps);
+        busy_sum += stats.busy.iter().sum::<f64>();
+        cycles += stats.cycles;
+    }
+    // Guard the degenerate empty network (0 cycles would divide to NaN).
+    let busy_frac = if cycles > 0.0 {
+        busy_sum / (cycles * cfg.mp as f64)
+    } else {
+        0.0
+    };
+    (cycles, busy_frac)
+}
+
+/// Evaluates one whole model on one priced engine: every layer scheduled,
+/// costed and aggregated into an end-to-end [`ModelReport`].
+pub fn evaluate_model(
+    engine: &EngineSpec,
+    price: &EnginePrice,
+    net: &NetworkModel,
+    seed: u64,
+    caps: SerialSampleCaps,
+) -> ModelReport {
+    let layers: Vec<LayerReport> = net
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, layer)| {
+            let s = schedule_layer(engine, layer, layer_seed(seed, i, layer), caps);
+            let delay_us = s.cycles / (engine.freq_ghz * 1e3);
+            let macs = layer.macs();
+            let pe_cycles = s.cycles * price.instances;
+            let energy_uj = (pe_cycles * s.busy_frac * price.e_active_fj
+                + pe_cycles * (1.0 - s.busy_frac) * price.e_idle_fj)
+                * 1e-9;
+            let utilization = match engine.kind {
+                ArchKind::Dense(_) => (macs as f64 / (s.cycles * price.lanes_total)).min(1.0),
+                ArchKind::Serial => s.busy_frac,
+            };
+            LayerReport {
+                name: layer.name.clone(),
+                macs,
+                tiles: s.tiles,
+                cycles: s.cycles,
+                delay_us,
+                utilization,
+                energy_uj,
+            }
+        })
+        .collect();
+    ModelReport::aggregate(net.name.clone(), engine.clone(), price, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpe_arith::encode::EncodingKind;
+    use tpe_core::arch::PeStyle;
+    use tpe_workloads::img2col::ConvShape;
+    use tpe_workloads::models;
+
+    fn opt4e() -> EngineSpec {
+        EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0)
+    }
+
+    #[test]
+    fn dense_tiles_cover_every_topology() {
+        let layer = LayerShape::new("t", 64, 56 * 56, 576, 1);
+        for arch in ClassicArch::ALL {
+            assert!(dense_tiles(arch, &layer) > 0, "{arch:?}");
+        }
+        // The §IV-C layer cuts into ⌈576/32⌉ × ⌈3136/32⌉ = 18 × 98 weight
+        // tiles on the systolic array.
+        assert_eq!(dense_tiles(ClassicArch::Tpu, &layer), 18 * 98);
+        // Depthwise repeats multiply.
+        let dw = LayerShape::new("dw", 1, 28 * 28, 9, 672);
+        assert_eq!(
+            dense_tiles(ClassicArch::FlexFlow, &dw),
+            672 * 25,
+            "1×784 output per channel = 25 blocks of 32"
+        );
+    }
+
+    #[test]
+    fn img2col_lowered_conv_schedules_like_its_gemm() {
+        // The pipeline ingests pre-lowered layers: a conv fed through
+        // img2col (§IV-C) and its explicit GEMM shape schedule identically.
+        let conv = ConvShape::standard(64, 64, 56, 3, 1, 1);
+        let lowered = LayerShape::from_conv("l1", &conv);
+        assert_eq!((lowered.m, lowered.n, lowered.k), (64, 56 * 56, 576));
+        let explicit = LayerShape::new("l1", 64, 56 * 56, 576, 1);
+        let engine = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0);
+        let a = schedule_layer(&engine, &lowered, 1, MODEL_SAMPLE_CAPS);
+        let b = schedule_layer(&engine, &explicit, 1, MODEL_SAMPLE_CAPS);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serial_schedule_matches_shared_sync_model() {
+        let engine = opt4e();
+        let layer = LayerShape::new("fc1", 1, 4 * 768, 768, 1);
+        let s = schedule_layer(&engine, &layer, 7, MODEL_SAMPLE_CAPS);
+        assert!(s.cycles > 0.0);
+        assert!((0.0..=1.0).contains(&s.busy_frac));
+        assert!(s.busy_frac > 0.9, "K=768 keeps columns busy (Fig. 11(A))");
+        assert!(s.tiles >= 1.0);
+    }
+
+    #[test]
+    fn model_cycles_sum_layer_cycles() {
+        let net = models::resnet18();
+        let engine = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0);
+        let per_layer: f64 = net
+            .layers
+            .iter()
+            .map(|l| schedule_layer(&engine, l, 0, MODEL_SAMPLE_CAPS).cycles)
+            .sum();
+        let whole = dense_model_cycles(ClassicArch::Tpu, &net);
+        assert!((per_layer - whole).abs() < 1e-6 * whole.max(1.0));
+    }
+
+    #[test]
+    fn serial_model_cycles_are_seed_deterministic_and_order_independent() {
+        let engine = opt4e();
+        let cfg = serial_config(&engine);
+        let encoder = engine.encoding.encoder();
+        let net = models::mobilenet_v3();
+        let (c1, b1) = serial_model_cycles(&cfg, encoder.as_ref(), &net, 9, MODEL_SAMPLE_CAPS);
+        let (c2, b2) = serial_model_cycles(&cfg, encoder.as_ref(), &net, 9, MODEL_SAMPLE_CAPS);
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        assert_eq!(b1.to_bits(), b2.to_bits());
+        let (c3, _) = serial_model_cycles(&cfg, encoder.as_ref(), &net, 10, MODEL_SAMPLE_CAPS);
+        assert_ne!(c1.to_bits(), c3.to_bits(), "seed must reach the sampler");
+        assert!((0.0..=1.0).contains(&b1));
+    }
+}

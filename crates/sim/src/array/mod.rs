@@ -1,4 +1,23 @@
-//! Dense TPE array topologies: the four classic architectures of Table VII.
+//! Dense TPE array topologies: the four classic architectures the paper
+//! retrofits and compares against (Table VII, §II-B).
+//!
+//! * [`SystolicArray`] — weight-stationary systolic array (TPU-like,
+//!   Jouppi et al.): weights pre-load column by column, activations skew
+//!   through the wavefront. Simulated cycle-accurately, including the
+//!   load/drain phases the Figure 11 baseline pays on every tile.
+//! * [`CubeArray`] — 3D-Cube (Ascend-like): a 10×10×10 block of
+//!   multipliers with a spatial K-reduction tree (`tree_depth` drain).
+//! * [`AdderTreeArray`] — multiplier–adder-tree (Trapezoid-like): dot
+//!   product units of 32 lanes, one output element per unit-round.
+//! * [`OsSystolicArray`] / [`Matrix2dArray`] — output-stationary and
+//!   broadcast 2D-Matrix (FlexFlow-like) organizations; the row/column
+//!   operand broadcast is the property OPT2's same-bit-weight reduction
+//!   exploits (§IV-B).
+//!
+//! Every engine implements [`DenseArray`]: an exact `simulate` (validated
+//! against the reference GEMM) plus a closed-form `estimate_cycles`
+//! pinned to simulation in tests — the cycle model `tpe-pipeline` uses to
+//! schedule whole networks, layer by img2col-lowered layer.
 
 mod adder_tree;
 mod cube;

@@ -27,11 +27,17 @@
 //! * [`core`] — the paper's contribution: the compute-centric loop-nest
 //!   notation, legality-checked transformations, the OPT1–OPT4E processing
 //!   element architectures, analytic models and published baselines.
+//! * [`pipeline`] — the model-level scheduling pipeline: whole networks
+//!   from the layer database run end-to-end (img2col tiling → per-layer
+//!   cycle/energy models → aggregated latency, TOPS/W and utilization) on
+//!   any dense or serial engine, in a deterministic parallel grid
+//!   (`repro models`).
 //! * [`dse`] — parallel design-space exploration over all of the above:
-//!   enumerate (PE style × topology × encoding × corner × workload) points,
-//!   sweep them on scoped worker threads with a memoized synthesis cache,
-//!   and extract area/delay/energy Pareto fronts
-//!   (`repro dse`, `examples/design_space_sweep.rs`).
+//!   enumerate (PE style × topology × encoding × corner × workload) points
+//!   — workloads being single layers *or whole networks* — sweep them on
+//!   scoped worker threads with a memoized synthesis cache, and extract
+//!   area/delay/energy Pareto fronts
+//!   (`repro dse [--model NAME]`, `examples/design_space_sweep.rs`).
 //!
 //! ## Quickstart
 //!
@@ -50,5 +56,6 @@ pub use tpe_arith as arith;
 pub use tpe_core as core;
 pub use tpe_cost as cost;
 pub use tpe_dse as dse;
+pub use tpe_pipeline as pipeline;
 pub use tpe_sim as sim;
 pub use tpe_workloads as workloads;
