@@ -1,0 +1,147 @@
+//! Criterion benchmark (vendored shim) for the `tpe-engine` evaluator hot
+//! path: cold vs cached pricing and the dense/serial cycle estimates —
+//! the unit of work every sweep point, grid cell and serve query pays.
+//!
+//! Besides the usual `name: N ns/iter` lines, this bench writes
+//! `BENCH_evaluator.json` (flat JSON, median ns per scenario) so CI and
+//! future PRs can track the perf trajectory mechanically.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use tpe_arith::encode::EncodingKind;
+use tpe_core::arch::PeStyle;
+use tpe_engine::schedule::cached_serial_cycles;
+use tpe_engine::{EngineCache, EngineSpec, Evaluator, SampleProfile, SweepWorkload};
+use tpe_sim::array::ClassicArch;
+use tpe_workloads::LayerShape;
+
+fn serial_spec() -> EngineSpec {
+    EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0)
+}
+
+fn dense_spec() -> EngineSpec {
+    EngineSpec::dense(PeStyle::Opt1, ClassicArch::Tpu, 1.5)
+}
+
+fn probe_layer() -> LayerShape {
+    LayerShape::new("bench-probe", 64, 256, 128, 1)
+}
+
+/// One benchmark scenario: a named closure performing one unit of the
+/// hot path.
+type Scenario = (&'static str, Box<dyn FnMut() -> f64>);
+
+/// The benchmark scenarios, shared by the criterion printout and the JSON
+/// emitter.
+fn scenarios() -> Vec<Scenario> {
+    let caps = SampleProfile::Sweep.caps();
+    let warm = EngineCache::new();
+    // Warm the shared cache once so the `_cached` scenarios measure pure
+    // lookup + assembly.
+    Evaluator::new(&warm).price(&serial_spec());
+    Evaluator::new(&warm).price(&dense_spec());
+    cached_serial_cycles(&warm, &serial_spec(), &probe_layer(), 42, caps);
+    let warm: &'static EngineCache = &*Box::leak(Box::new(warm));
+
+    vec![
+        (
+            "price_cold",
+            Box::new(|| {
+                let cache = EngineCache::new();
+                let p = Evaluator::new(&cache).price(&serial_spec()).unwrap();
+                black_box(p.area_um2)
+            }),
+        ),
+        (
+            "price_cached",
+            Box::new(|| {
+                let p = Evaluator::new(warm).price(&serial_spec()).unwrap();
+                black_box(p.area_um2)
+            }),
+        ),
+        (
+            "dense_layer_metrics",
+            Box::new(|| {
+                let w = SweepWorkload::Layer(probe_layer());
+                let m = Evaluator::new(warm).metrics(&dense_spec(), &w, 42).unwrap();
+                black_box(m.delay_us)
+            }),
+        ),
+        (
+            "serial_cycles_cold",
+            Box::new(move || {
+                let cache = EngineCache::new();
+                let rec = cached_serial_cycles(&cache, &serial_spec(), &probe_layer(), 42, caps);
+                black_box(rec.cycles)
+            }),
+        ),
+        (
+            "serial_cycles_cached",
+            Box::new(move || {
+                let rec = cached_serial_cycles(warm, &serial_spec(), &probe_layer(), 42, caps);
+                black_box(rec.cycles)
+            }),
+        ),
+    ]
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluator");
+    group.sample_size(20);
+    for (name, mut f) in scenarios() {
+        group.bench_function(name, |b| b.iter(&mut f));
+    }
+    group.finish();
+}
+
+/// Median ns/iter over `samples` timed samples after a short warm-up.
+fn measure(f: &mut dyn FnMut() -> f64, samples: usize) -> f64 {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    // Scale iterations so one sample is ~1 ms or at least one call.
+    let probe = Instant::now();
+    black_box(f());
+    let per_iter = probe.elapsed();
+    let iters = (1_000_000u128 / per_iter.as_nanos().max(1)).clamp(1, 10_000) as usize;
+    let mut medians: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    medians.sort_by(|a, b| a.total_cmp(b));
+    medians[medians.len() / 2]
+}
+
+/// Writes `BENCH_evaluator.json`: the perf-trajectory artifact.
+fn emit_json() {
+    let mut entries = Vec::new();
+    for (name, mut f) in scenarios() {
+        let ns = measure(&mut f, 9);
+        entries.push(format!(
+            "    {{\"name\": \"{name}\", \"ns_per_iter\": {ns:.1}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"evaluator\",\n  \"unit\": \"ns/iter\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    // Default to the workspace root regardless of cargo's bench CWD.
+    let path = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_evaluator.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&path, &json).expect("writing BENCH_evaluator.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_evaluator);
+
+fn main() {
+    benches();
+    emit_json();
+}

@@ -1,75 +1,19 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, explore the
+//! design space, and serve the canonical evaluation stack.
 //!
-//! ```text
-//! cargo run -p tpe-bench --release --bin repro -- <experiment>
-//!
-//! experiments:
-//!   table1 table2 table3 table5 table7
-//!   fig3 fig9 fig11 [gpt2|mobilenetv3] fig12 fig13 fig14
-//!   sync-model notation
-//!   ablate-encoders ablate-sync ablate-group
-//!   dse [--filter S] [--objectives a,b,..] [--model S] [--threads N]
-//!       [--seed S] [--out F.csv] [--json F.json]
-//!   models [--model S] [--arch S] [--threads N] [--seed S]
-//!          [--out F.csv] [--json F.json]
-//!   all
-//! ```
+//! Subcommands are declared once in [`tpe_bench::cli::commands`]; run
+//! `repro help` for the generated list. Unknown commands and flag errors
+//! exit 2.
 
-use tpe_bench::experiments as exp;
+use tpe_bench::cli::{dispatch, CliOutcome};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("help");
-    let out = match cmd {
-        "table1" => exp::table1(),
-        "table2" => exp::table2(),
-        "table3" => exp::table3(),
-        "table5" => exp::table5(),
-        "table7" => exp::table7(),
-        "fig3" => exp::fig3(),
-        "fig2-schemes" => exp::fig2_schemes(),
-        "sweep-width" => exp::sweep_width(),
-        "sweep-precision" => exp::sweep_precision(),
-        "fig9" => exp::fig9(),
-        "fig11" => {
-            let net = args.get(1).map(String::as_str).unwrap_or("gpt2");
-            exp::fig11(net)
-        }
-        "fig12" => exp::fig12(),
-        "fig13" => exp::fig13(),
-        "fig14" => exp::fig14(),
-        "sync-model" => exp::sync_model(),
-        "notation" => exp::notation(),
-        "ablate-encoders" => exp::ablate_encoders(),
-        "ablate-sync" => exp::ablate_sync(),
-        "ablate-group" => exp::ablate_group(),
-        "ablate-operand-selection" => exp::ablate_operand_selection(),
-        "dse" => {
-            let out = exp::dse(&args[1..]);
-            if out.starts_with("error:") {
-                eprint!("{out}");
-                std::process::exit(2);
-            }
-            out
-        }
-        "models" => {
-            let out = exp::models(&args[1..]);
-            if out.starts_with("error:") {
-                eprint!("{out}");
-                std::process::exit(2);
-            }
-            out
-        }
-        "all" => exp::all(),
-        _ => {
-            eprintln!(
-                "usage: repro <table1|table2|table3|table5|table7|fig3|fig2-schemes|sweep-width|sweep-precision|fig9|fig11 [net]|fig12|\
-                 fig13|fig14|sync-model|notation|ablate-encoders|ablate-sync|ablate-group|ablate-operand-selection|\
-                 dse [--filter S] [--objectives a,b,..] [--model S] [--threads N] [--seed S] [--out F.csv] [--json F.json]|\
-                 models [--model S] [--arch S] [--threads N] [--seed S] [--out F.csv] [--json F.json]|all>"
-            );
+    match dispatch(&args) {
+        CliOutcome::Ok(out) => println!("{out}"),
+        CliOutcome::Err(msg) => {
+            eprintln!("{msg}");
             std::process::exit(2);
         }
-    };
-    println!("{out}");
+    }
 }

@@ -1,0 +1,261 @@
+//! The `repro` command table: one declarative list of every subcommand,
+//! from which help text and dispatch are both generated — so the usage
+//! text can never drift from what the binary actually accepts again.
+
+use crate::experiments as exp;
+
+/// How a dispatch attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliOutcome {
+    /// Print to stdout, exit 0.
+    Ok(String),
+    /// Print to stderr, exit 2 (bad flags, unknown command, runtime error).
+    Err(String),
+}
+
+/// One `repro` subcommand.
+pub struct Command {
+    /// Subcommand name as typed.
+    pub name: &'static str,
+    /// Argument synopsis ("" when the command takes none).
+    pub args: &'static str,
+    /// One-line description for the generated help.
+    pub about: &'static str,
+    run: fn(&[String]) -> CliOutcome,
+}
+
+/// Wraps an argument-parsing experiment whose error convention is an
+/// `error:`-prefixed report.
+fn fallible(out: String) -> CliOutcome {
+    if out.starts_with("error:") {
+        CliOutcome::Err(out)
+    } else {
+        CliOutcome::Ok(out)
+    }
+}
+
+macro_rules! cmd {
+    ($name:literal, $args:literal, $about:literal, $run:expr) => {
+        Command {
+            name: $name,
+            args: $args,
+            about: $about,
+            run: $run,
+        }
+    };
+}
+
+/// The command table, in help order (paper order, then the service
+/// commands, then the aggregates).
+pub fn commands() -> Vec<Command> {
+    vec![
+        cmd!("table1", "", "Table I: INT8 MAC component decomposition", |_| {
+            CliOutcome::Ok(exp::table1())
+        }),
+        cmd!("table2", "", "Table II: NumPPs histograms over INT8", |_| {
+            CliOutcome::Ok(exp::table2())
+        }),
+        cmd!("table3", "", "Table III: average NumPPs on N(0,sigma) matrices", |_| {
+            CliOutcome::Ok(exp::table3())
+        }),
+        cmd!("table5", "", "Table V: 4-2 compressor tree vs width", |_| {
+            CliOutcome::Ok(exp::table5())
+        }),
+        cmd!("table7", "", "Table VII: array-level comparison (engine roster)", |_| {
+            CliOutcome::Ok(exp::table7())
+        }),
+        cmd!("fig3", "", "Figure 3: worked encoding examples", |_| {
+            CliOutcome::Ok(exp::fig3())
+        }),
+        cmd!("fig2-schemes", "", "Figure 2: PE scheme cost walk-through", |_| {
+            CliOutcome::Ok(exp::fig2_schemes())
+        }),
+        cmd!("sweep-width", "", "Accumulator-width sweep across PE schemes", |_| {
+            CliOutcome::Ok(exp::sweep_width())
+        }),
+        cmd!("sweep-precision", "", "Operand-precision sweep across PE schemes", |_| {
+            CliOutcome::Ok(exp::sweep_precision())
+        }),
+        cmd!("fig9", "", "Figure 9: PE sweeps under clock constraints", |_| {
+            CliOutcome::Ok(exp::fig9())
+        }),
+        cmd!(
+            "fig11",
+            "[gpt2|mobilenetv3]",
+            "Figure 11: sublayer delay & utilization",
+            |a| {
+                let net = a.first().map(String::as_str).unwrap_or("gpt2");
+                if !matches!(net, "gpt2" | "mobilenetv3") {
+                    return CliOutcome::Err(format!(
+                        "error: unknown net `{net}`\nusage: repro fig11 [gpt2|mobilenetv3]\n"
+                    ));
+                }
+                CliOutcome::Ok(exp::fig11(net))
+            }
+        ),
+        cmd!("fig12", "", "Figure 12: normalized delay across networks", |_| {
+            CliOutcome::Ok(exp::fig12())
+        }),
+        cmd!("fig13", "", "Figure 13: speedup & energy ratio across networks", |_| {
+            CliOutcome::Ok(exp::fig13())
+        }),
+        cmd!("fig14", "", "Figure 14: per-PE throughput & energy cases", |_| {
+            CliOutcome::Ok(exp::fig14())
+        }),
+        cmd!("sync-model", "", "Eqs. 7-8: synchronization-time model", |_| {
+            CliOutcome::Ok(exp::sync_model())
+        }),
+        cmd!("notation", "", "Loop-nest notation demo (Section III)", |_| {
+            CliOutcome::Ok(exp::notation())
+        }),
+        cmd!("ablate-encoders", "", "Ablation: encoder choice", |_| {
+            CliOutcome::Ok(exp::ablate_encoders())
+        }),
+        cmd!("ablate-sync", "", "Ablation: sync granularity", |_| {
+            CliOutcome::Ok(exp::ablate_sync())
+        }),
+        cmd!("ablate-group", "", "Ablation: OPT4E group size", |_| {
+            CliOutcome::Ok(exp::ablate_group())
+        }),
+        cmd!("ablate-operand-selection", "", "Ablation: zero-skip operand selection", |_| {
+            CliOutcome::Ok(exp::ablate_operand_selection())
+        }),
+        cmd!(
+            "dse",
+            "[--filter S] [--objectives a,b,..] [--model S|all] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
+            "Design-space sweep + Pareto front (tpe-dse)",
+            |a| fallible(exp::dse(a))
+        ),
+        cmd!(
+            "models",
+            "[--model S] [--arch S] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
+            "Model-level grid: every network x the engine roster",
+            |a| fallible(exp::models(a))
+        ),
+        cmd!(
+            "serve",
+            "[--port N]",
+            "TCP/NDJSON batch query server over the global engine cache",
+            |a| fallible(exp::serve(a))
+        ),
+        cmd!(
+            "query",
+            "[--host H] --port N [--file F]",
+            "Client: send NDJSON requests (file or stdin) to a serve instance",
+            |a| fallible(exp::query(a))
+        ),
+        cmd!(
+            "serve-smoke",
+            "[--queries N]",
+            "Self-driving load smoke: mixed batch, hit-rate + throughput report",
+            |a| fallible(exp::serve_smoke(a))
+        ),
+        cmd!("all", "", "Every experiment in paper order", |_| {
+            CliOutcome::Ok(exp::all())
+        }),
+    ]
+}
+
+/// The generated help text — the only usage text there is.
+pub fn help() -> String {
+    let table = commands();
+    let width = table.iter().map(|c| c.name.len()).max().unwrap_or(0);
+    let mut out = String::from(
+        "repro — regenerate the paper's tables and figures, explore the design space,\n\
+         and serve the canonical evaluation stack\n\nusage: repro <command> [args]\n\ncommands:\n",
+    );
+    for c in &table {
+        out.push_str(&format!("  {:<width$}  {}\n", c.name, c.about));
+        if !c.args.is_empty() {
+            out.push_str(&format!("  {:<width$}  {}\n", "", c.args));
+        }
+    }
+    out.push_str("\nrun `repro help` to print this list; unknown commands exit 2\n");
+    out
+}
+
+/// Dispatches a full argv tail (`args[0]` is the command).
+pub fn dispatch(args: &[String]) -> CliOutcome {
+    let Some(cmd) = args.first() else {
+        return CliOutcome::Err(help());
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => CliOutcome::Ok(help()),
+        name => match commands().iter().find(|c| c.name == name) {
+            Some(c) => (c.run)(&args[1..]),
+            None => CliOutcome::Err(format!("error: unknown command `{name}`\n\n{}", help())),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The help text is generated from the table, so every command —
+    /// including the four the old hand-written usage string omitted —
+    /// appears in it.
+    #[test]
+    fn help_lists_every_command() {
+        let help = help();
+        for c in commands() {
+            assert!(help.contains(c.name), "help omits `{}`", c.name);
+        }
+        // The historical drift victims, by name.
+        for drifted in [
+            "fig2-schemes",
+            "sweep-width",
+            "sweep-precision",
+            "ablate-operand-selection",
+        ] {
+            assert!(help.contains(drifted), "help omits `{drifted}`");
+        }
+        assert!(help.contains("usage: repro <command>"));
+    }
+
+    #[test]
+    fn command_names_are_unique_and_all_is_last() {
+        let table = commands();
+        let mut names: Vec<&str> = table.iter().map(|c| c.name).collect();
+        assert_eq!(table.last().unwrap().name, "all");
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate command names");
+    }
+
+    #[test]
+    fn unknown_commands_error_and_help_succeeds() {
+        let unknown = dispatch(&["no-such-experiment".to_string()]);
+        match unknown {
+            CliOutcome::Err(msg) => {
+                assert!(msg.contains("unknown command"), "{msg}");
+                assert!(msg.contains("usage: repro"), "{msg}");
+            }
+            CliOutcome::Ok(_) => panic!("unknown command must not succeed"),
+        }
+        assert!(
+            matches!(dispatch(&[]), CliOutcome::Err(_)),
+            "bare repro errors"
+        );
+        for h in ["help", "--help", "-h"] {
+            assert!(
+                matches!(dispatch(&[h.to_string()]), CliOutcome::Ok(_)),
+                "`{h}` must exit 0"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_runs_a_real_experiment() {
+        match dispatch(&["table5".to_string()]) {
+            CliOutcome::Ok(out) => assert!(out.contains("compressor"), "{out}"),
+            CliOutcome::Err(e) => panic!("table5 failed: {e}"),
+        }
+        // Flag errors surface as exit-2 outcomes through the table too.
+        assert!(matches!(
+            dispatch(&["dse".to_string(), "--bogus".to_string()]),
+            CliOutcome::Err(_)
+        ));
+    }
+}

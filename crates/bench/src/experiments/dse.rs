@@ -21,7 +21,10 @@
 use std::fmt::Write as _;
 
 use tpe_dse::emit::{to_csv, to_json};
-use tpe_dse::{pareto_front_per_workload, sweep, DesignSpace, Objective, SweepConfig};
+use tpe_dse::{
+    pareto_front_per_workload, sweep, sweep_with_cache, DesignSpace, EngineCache, Objective,
+    SweepConfig,
+};
 
 /// Parsed CLI options for the sweep.
 struct DseOptions {
@@ -75,7 +78,7 @@ fn parse_options(args: &[String]) -> Result<DseOptions, String> {
 
 /// Topology axis value of a point, for the report's coverage breakdown.
 fn topology_key(p: &tpe_dse::DesignPoint) -> String {
-    tpe_dse::emit::topology_name(p.kind).to_string()
+    tpe_dse::emit::topology_name(p.kind()).to_string()
 }
 
 /// Runs the design-space sweep and renders the report.
@@ -104,12 +107,17 @@ fn try_dse(args: &[String]) -> Result<String, String> {
         return Err(format!("no design points match filter `{}`", opts.filter));
     }
 
-    let serial = sweep(
+    // Serial reference on an isolated cache (honest cold timing), the
+    // parallel run against the process-wide global cache every other
+    // consumer shares. Memoization cannot change values, so the equality
+    // assertion below also pins global-vs-isolated agreement.
+    let serial = sweep_with_cache(
         &points,
         SweepConfig {
             threads: 1,
             seed: opts.seed,
         },
+        &EngineCache::new(),
     );
     let parallel = sweep(
         &points,
@@ -149,10 +157,10 @@ fn try_dse(args: &[String]) -> Result<String, String> {
         "Design-space exploration — {} points (legality-pruned cross product spanning {} styles, \
          {} topologies, {} encodings, {} corners, {} workloads)",
         points.len(),
-        distinct(&|p| p.style.name().to_string()),
+        distinct(&|p| p.style().name().to_string()),
         distinct(&topology_key),
-        distinct(&|p| p.encoding.to_string()),
-        distinct(&|p| p.corner.label()),
+        distinct(&|p| p.encoding().to_string()),
+        distinct(&|p| p.corner().label()),
         distinct(&|p| p.workload.name().to_string())
     )
     .unwrap();
@@ -176,11 +184,15 @@ fn try_dse(args: &[String]) -> Result<String, String> {
     .unwrap();
     writeln!(
         out,
-        "eval cache: {} hits / {} misses ({:.1}% hit rate, {} distinct PE/corner pairs priced)",
-        parallel.cache.hits,
-        parallel.cache.misses,
+        "eval cache (global, this run): {} hits / {} misses ({:.1}% hit rate; \
+         pricing {}h/{}m, workload cycles {}h/{}m)",
+        parallel.cache.hits(),
+        parallel.cache.misses(),
         parallel.cache.hit_rate() * 100.0,
-        parallel.cache.misses
+        parallel.cache.price_hits,
+        parallel.cache.price_misses,
+        parallel.cache.cycle_hits,
+        parallel.cache.cycle_misses,
     )
     .unwrap();
     let speedup = serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-9);

@@ -7,6 +7,7 @@ mod figures;
 mod models;
 mod notation_demo;
 mod schemes;
+mod serve;
 mod tables;
 mod workload_figs;
 
@@ -16,6 +17,7 @@ pub use figures::{fig14, fig3, fig9, sync_model};
 pub use models::models;
 pub use notation_demo::notation;
 pub use schemes::{fig2_schemes, sweep_precision, sweep_width};
+pub use serve::{query, serve, serve_smoke, smoke_batch};
 pub use tables::{table1, table2, table3, table5, table7};
 pub use workload_figs::{fig11, fig12, fig13};
 
@@ -46,6 +48,7 @@ pub fn all() -> String {
         ("ablate-operand-selection", ablate_operand_selection()),
         ("dse", dse(&[])),
         ("models", models(&[])),
+        ("serve-smoke", serve_smoke(&[])),
     ] {
         out.push_str(&format!("\n════════ {name} ════════\n"));
         out.push_str(&text);

@@ -10,6 +10,7 @@ use tpe_core::arch::ArchKind;
 use crate::eval::PointResult;
 use crate::pareto::Objective;
 use crate::space::{classic_name, SweepWorkload};
+use tpe_engine::EngineSpec;
 
 /// CSV header matching the per-point row layout. `workload_kind` is
 /// `layer` or `model`; the `m,n,k,repeats` shape columns are empty for
@@ -52,14 +53,15 @@ fn csv_row(result: &PointResult, on_front: bool) -> String {
         SweepWorkload::Layer(l) => format!("{},{},{},{}", l.m, l.n, l.k, l.repeats),
         SweepWorkload::Model(_) => ",,,".to_string(),
     };
+    let e: &EngineSpec = &p.engine;
     let head = format!(
         "{},{},{},{},{},{:.2},{},{},{},{},{},{},{}",
         csv_field(&p.label()),
-        p.style.name(),
-        topology_name(p.kind),
-        csv_field(&p.encoding.to_string()),
-        p.corner.node_name,
-        p.corner.freq_ghz,
+        e.style.name(),
+        topology_name(e.kind),
+        csv_field(&e.encoding.to_string()),
+        e.node_name,
+        e.freq_ghz,
         csv_field(w.name()),
         workload_kind(w),
         w.layer_count(),
@@ -130,11 +132,11 @@ pub fn to_json(results: &[PointResult], front: &[usize], objectives: &[Objective
              \"workload\": \"{}\", \"workload_kind\": \"{}\", \"layers\": {}, \
              \"macs\": {}, \"feasible\": {}, \"pareto\": {}",
             json_escape(&p.label()),
-            p.style.name(),
-            topology_name(p.kind),
-            json_escape(&p.encoding.to_string()),
-            p.corner.node_name,
-            p.corner.freq_ghz,
+            p.engine.style.name(),
+            topology_name(p.engine.kind),
+            json_escape(&p.engine.encoding.to_string()),
+            p.engine.node_name,
+            p.engine.freq_ghz,
             json_escape(w.name()),
             workload_kind(w),
             w.layer_count(),
@@ -275,13 +277,13 @@ pub fn model_json(runs: &[tpe_pipeline::ModelRun]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::EvalCache;
     use crate::eval::evaluate;
     use crate::pareto::pareto_front;
     use crate::space::DesignSpace;
+    use tpe_engine::EngineCache;
 
     fn sample() -> (Vec<PointResult>, Vec<usize>) {
-        let cache = EvalCache::new();
+        let cache = EngineCache::new();
         let results: Vec<PointResult> = DesignSpace::quick()
             .enumerate()
             .iter()
@@ -362,7 +364,7 @@ mod tests {
 
     #[test]
     fn model_workload_rows_emit_aggregates_not_shape() {
-        let cache = EvalCache::new();
+        let cache = EngineCache::new();
         let space = DesignSpace::with_models("resnet18").unwrap();
         let points = space.enumerate_filtered("OPT1(TPU)/28nm@1.50");
         let results: Vec<PointResult> = points.iter().map(|p| evaluate(p, &cache, 2)).collect();
@@ -376,7 +378,7 @@ mod tests {
 
     #[test]
     fn infeasible_rows_have_empty_metric_cells() {
-        let cache = EvalCache::new();
+        let cache = EngineCache::new();
         let points = DesignSpace::paper_default().enumerate_filtered("MAC(TPU)/28nm@2.00");
         let results: Vec<PointResult> = points.iter().map(|p| evaluate(p, &cache, 2)).collect();
         assert!(results.iter().all(|r| !r.feasible()));

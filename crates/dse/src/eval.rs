@@ -1,61 +1,24 @@
-//! Evaluation of a single design point: synthesis (cached) + array
-//! assembly + workload execution model → one [`Metrics`] row.
+//! Evaluation of a single design point — a thin binding of the canonical
+//! [`tpe_engine::Evaluator`] to the sweep's [`DesignPoint`] shape.
 //!
-//! The evaluator composes the existing layers rather than re-deriving
-//! them: PE composition and array support logic come from `tpe-core`
-//! ([`pe_design`](tpe_core::arch::ArchModel::pe_design) /
-//! [`support_area_um2`](tpe_core::arch::ArrayModel::support_area_um2)),
-//! pricing from `tpe-cost`, dense cycle counts from `tpe-sim`'s validated
-//! closed-form models, and serial delay/utilization comes from
-//! `tpe-core`'s shared [`sample_serial_cycles`] model (here driven with
-//! the point's encoding instead of the hard-wired EN-T, and with
-//! sweep-sized sampling caps). Whole-model workloads
-//! ([`SweepWorkload::Model`]) run layer-by-layer through `tpe-pipeline`'s
-//! scheduling model with order-independent per-layer seeds.
+//! The actual composition — cached synthesis, node scaling, array support
+//! logic, dense closed-form / serial sampled cycle models — lives in
+//! `tpe-engine` and is shared with `tpe-pipeline`, the `repro`
+//! experiments and `repro serve`. This module only pairs the outcome with
+//! the point for Pareto extraction and emission.
 
-use tpe_arith::encode::Encoder;
-use tpe_core::arch::workload::{sample_serial_cycles, SerialSampleCaps};
-use tpe_pipeline::{dense_model_cycles, serial_model_cycles, MODEL_SAMPLE_CAPS};
+use tpe_engine::{EngineCache, Evaluator};
 
-/// Re-exported from `tpe-core`: expected digits per operand of an encoder
-/// on quantized-normal INT8 data (the serial peak-throughput divisor).
-pub use tpe_core::arch::workload::effective_numpps;
-use tpe_core::arch::{ArchKind, ArrayModel};
-use tpe_cost::process::{scale_area_um2, scale_power_w, ProcessNode};
-use tpe_sim::BitsliceConfig;
+pub use tpe_engine::eval::{effective_numpps, Metrics};
 
-use crate::cache::{EvalCache, PeKey, PeRecord};
-use crate::space::{DesignPoint, SweepWorkload};
+use crate::space::DesignPoint;
 
-use tpe_core::arch::array::ARRAY_OVERHEAD_FRAC;
-
-/// Sampling caps for the serial-layer model. Tighter than the
-/// single-experiment defaults because a sweep evaluates hundreds of
-/// points; rounds are i.i.d. so the estimates stay unbiased.
-const SWEEP_SAMPLE_CAPS: SerialSampleCaps = SerialSampleCaps {
-    max_rounds: 48,
-    max_operands: 400_000,
-};
-
-/// The objective vector of one feasible design point.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Metrics {
-    /// Total array area (µm², node-scaled).
-    pub area_um2: f64,
-    /// Workload wall-clock (µs).
-    pub delay_us: f64,
-    /// Workload energy (µJ).
-    pub energy_uj: f64,
-    /// Energy per MAC (fJ).
-    pub energy_per_mac_fj: f64,
-    /// Sustained throughput on this workload (GOPS, 2 ops per MAC).
-    pub throughput_gops: f64,
-    /// Peak throughput (TOPS).
-    pub peak_tops: f64,
-    /// Average compute-lane utilization (busy fraction, 0–1).
-    pub utilization: f64,
-    /// Average power over the workload (W).
-    pub power_w: f64,
+/// FNV-1a over a label: the stable per-point seed component. Independent
+/// of sweep order and thread assignment, which is what makes parallel
+/// sweeps byte-identical to serial ones. (The canonical implementation is
+/// [`tpe_engine::fnv1a`], shared with the model-grid executor.)
+pub fn label_hash(label: &str) -> u64 {
+    tpe_engine::fnv1a(label)
 }
 
 /// A design point with its evaluation outcome.
@@ -74,149 +37,24 @@ impl PointResult {
     }
 }
 
-/// FNV-1a over a label: the stable per-point seed component. Independent
-/// of sweep order and thread assignment, which is what makes parallel
-/// sweeps byte-identical to serial ones. (The canonical implementation is
-/// [`tpe_pipeline::fnv1a`], shared with the model-grid executor.)
-pub fn label_hash(label: &str) -> u64 {
-    tpe_pipeline::fnv1a(label)
-}
-
-/// Prices the PE of a point at its corner, through the cache.
-///
-/// OPT3 carries its encoder inside the PE, so its design is built with
-/// the point's encoding (`PeStyle::design_with_encoding`, and the cache
-/// key includes the encoding). OPT4's encoders live in the array support
-/// logic, priced in [`evaluate`].
-fn priced_pe(point: &DesignPoint, cache: &EvalCache) -> Option<PeRecord> {
-    let key = PeKey::of(point);
-    cache.pe_record(key, || {
-        let design = match point.kind {
-            ArchKind::Dense(_) => point.arch_model().pe_design(),
-            ArchKind::Serial => point.style.design_with_encoding(point.encoding),
-        };
-        let report = design.synthesize(point.corner.freq_ghz)?;
-        let node = point.corner.node;
-        Some(PeRecord {
-            area_um2: scale_area_um2(report.area_um2, ProcessNode::SMIC28, node),
-            // Busy/idle activity points are the shared `tpe_cost::power`
-            // constants, so this sweep and `serial_layer` account energy
-            // identically.
-            active_power_uw: scale_power_w(report.busy_power_uw(), ProcessNode::SMIC28, node),
-            idle_power_uw: scale_power_w(report.idle_power_uw(), ProcessNode::SMIC28, node),
-            lanes: report.lanes,
-        })
-    })
-}
-
-/// The bit-slice array configuration of a serial point: the style's paper
-/// geometry (from `tpe-core`, the single source of truth) with the
-/// point's encoding swapped in.
-fn bitslice_config(point: &DesignPoint) -> BitsliceConfig {
-    let mut cfg = point.arch_model().bitslice_config();
-    cfg.encoding = point.encoding;
-    cfg
-}
-
-/// Evaluates one design point. Synthesis goes through `cache`; the
-/// workload model draws from an RNG seeded by `seed ^ label_hash(point)`,
-/// so results do not depend on evaluation order.
-pub fn evaluate(point: &DesignPoint, cache: &EvalCache, seed: u64) -> PointResult {
-    let Some(pe) = priced_pe(point, cache) else {
-        return PointResult {
-            point: point.clone(),
-            metrics: None,
-        };
-    };
-
-    let instances = point.pe_instances() as f64;
-    let support = scale_area_um2(
-        ArrayModel::new(point.arch_model()).support_area_um2_for(point.encoding),
-        ProcessNode::SMIC28,
-        point.corner.node,
-    );
-    let area_um2 = (pe.area_um2 * instances + support) * (1.0 + ARRAY_OVERHEAD_FRAC);
-
-    let lanes_total = instances * f64::from(pe.lanes);
-    let freq = point.corner.freq_ghz;
-    let raw_tops = lanes_total * 2.0 * freq * 1e9 / 1e12;
-
-    let (cycles, busy_frac, peak_tops) = match point.kind {
-        ArchKind::Dense(arch) => {
-            let cycles = match &point.workload {
-                SweepWorkload::Layer(w) => {
-                    arch.at_paper_config().estimate_cycles(w.m, w.n, w.k) as f64 * w.repeats as f64
-                }
-                SweepWorkload::Model(net) => dense_model_cycles(arch, net),
-            };
-            // Dense arrays clock every PE every cycle, useful or not.
-            (cycles, 1.0, raw_tops)
-        }
-        ArchKind::Serial => {
-            let encoder = point.encoding.encoder();
-            let (cycles, busy) = serial_workload_cycles(point, encoder.as_ref(), seed);
-            (cycles, busy, raw_tops / effective_numpps(encoder.as_ref()))
-        }
-    };
-
-    let delay_us = cycles / (freq * 1e3);
-    let macs = point.workload.macs() as f64;
-
-    // Energy: fJ per PE instance-cycle at the record's activity levels.
-    let e_active_fj = pe.active_power_uw / freq;
-    let e_idle_fj = pe.idle_power_uw / freq;
-    let pe_cycles = cycles * instances;
-    let energy_uj =
-        (pe_cycles * busy_frac * e_active_fj + pe_cycles * (1.0 - busy_frac) * e_idle_fj) * 1e-9;
-
-    let utilization = match point.kind {
-        ArchKind::Dense(_) => (macs / (cycles * lanes_total)).min(1.0),
-        ArchKind::Serial => busy_frac,
-    };
-
-    let metrics = Metrics {
-        area_um2,
-        delay_us,
-        energy_uj,
-        energy_per_mac_fj: energy_uj * 1e9 / macs,
-        throughput_gops: 2.0 * macs / delay_us / 1e3,
-        peak_tops,
-        utilization,
-        power_w: energy_uj / delay_us,
-    };
+/// Evaluates one design point through `cache`. Synthesis and serial
+/// sampling are memoized; the workload model draws from an RNG seeded by
+/// `seed ^ label_hash(point.label())`, so results do not depend on
+/// evaluation order.
+pub fn evaluate(point: &DesignPoint, cache: &EngineCache, seed: u64) -> PointResult {
     PointResult {
         point: point.clone(),
-        metrics: Some(metrics),
-    }
-}
-
-/// Statistical serial workload model: delegates to `tpe-core`'s shared
-/// encoder-parameterized sampler with sweep-sized caps (single layers) or
-/// to `tpe-pipeline`'s layer-by-layer model scheduler (whole networks).
-/// Returns total cycles and the average busy fraction across columns.
-fn serial_workload_cycles(point: &DesignPoint, encoder: &dyn Encoder, seed: u64) -> (f64, f64) {
-    let cfg = bitslice_config(point);
-    let point_seed = seed ^ label_hash(&point.label());
-    match &point.workload {
-        SweepWorkload::Layer(layer) => {
-            let stats = sample_serial_cycles(&cfg, encoder, layer, point_seed, SWEEP_SAMPLE_CAPS);
-            let utilization = stats.utilization();
-            (stats.cycles, utilization)
-        }
-        SweepWorkload::Model(net) => {
-            serial_model_cycles(&cfg, encoder, net, point_seed, MODEL_SAMPLE_CAPS)
-        }
+        metrics: Evaluator::new(cache).metrics(&point.engine, &point.workload, seed),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::space::{Corner, DesignSpace};
-    use tpe_arith::encode::EncodingKind;
+    use crate::space::DesignSpace;
 
     fn eval_first(filter: &str) -> PointResult {
-        let cache = EvalCache::new();
+        let cache = EngineCache::new();
         let points = DesignSpace::paper_default().enumerate_filtered(filter);
         assert!(!points.is_empty(), "no points match {filter}");
         evaluate(&points[0], &cache, 42)
@@ -231,10 +69,7 @@ mod tests {
                 ("area", m.area_um2),
                 ("delay", m.delay_us),
                 ("energy", m.energy_uj),
-                ("fJ/MAC", m.energy_per_mac_fj),
                 ("GOPS", m.throughput_gops),
-                ("TOPS", m.peak_tops),
-                ("power", m.power_w),
             ] {
                 assert!(v.is_finite() && v > 0.0, "{filter}: {name} = {v}");
             }
@@ -248,105 +83,12 @@ mod tests {
         assert!(!r.feasible(), "the traditional MAC walls at 1.5 GHz");
     }
 
+    /// The sweep evaluator and the engine pricing path are one
+    /// implementation; pin them bit-identical so the "model report and
+    /// layer sweep price one engine identically" invariant can't drift.
     #[test]
-    fn effective_numpps_orders_encoders_as_table3() {
-        let ent = effective_numpps(EncodingKind::EnT.encoder().as_ref());
-        let mbe = effective_numpps(EncodingKind::Mbe.encoder().as_ref());
-        let bsc = effective_numpps(EncodingKind::BitSerialComplement.encoder().as_ref());
-        assert!(ent < mbe, "EN-T {ent} must beat MBE {mbe}");
-        assert!(mbe < bsc, "MBE {mbe} must beat bit-serial {bsc}");
-        assert!(
-            (2.0..2.5).contains(&ent),
-            "EN-T effective NumPPs {ent} vs paper 2.22-2.27"
-        );
-    }
-
-    #[test]
-    fn encoding_axis_changes_serial_delay() {
-        let cache = EvalCache::new();
-        let space = DesignSpace::paper_default();
-        let ent = space.enumerate_filtered("OPT3[EN-T]/28nm@2.00GHz/l2.0-3x3s2");
-        let bss = space.enumerate_filtered("OPT3[bit-serial(C)]/28nm@2.00GHz/l2.0-3x3s2");
-        let (e, b) = (
-            evaluate(&ent[0], &cache, 7).metrics.unwrap(),
-            evaluate(&bss[0], &cache, 7).metrics.unwrap(),
-        );
-        assert!(
-            e.delay_us < b.delay_us,
-            "EN-T ({}) must stream fewer digits than bit-serial ({})",
-            e.delay_us,
-            b.delay_us
-        );
-    }
-
-    #[test]
-    fn encoding_axis_prices_encoder_hardware() {
-        let cache = EvalCache::new();
-        let space = DesignSpace::paper_default();
-        let area = |f: &str| {
-            let points = space.enumerate_filtered(f);
-            evaluate(&points[0], &cache, 1).metrics.unwrap().area_um2
-        };
-        // OPT3 carries the encoder in-PE: the plain Booth recoder and the
-        // bit-serial zero-skip unit are both cheaper than EN-T's
-        // carry-chained recoder.
-        let opt3_ent = area("OPT3[EN-T]/28nm@2.00");
-        assert!(area("OPT3[MBE]/28nm@2.00") < opt3_ent);
-        assert!(area("OPT3[bit-serial(C)]/28nm@2.00") < opt3_ent);
-        // OPT4C's shared encoders reprice in the support logic too.
-        let opt4c_ent = area("OPT4C[EN-T]/28nm@2.00");
-        assert!(area("OPT4C[MBE]/28nm@2.00") < opt4c_ent);
-    }
-
-    #[test]
-    fn opt3_cache_key_distinguishes_encodings_but_opt4_shares() {
-        let cache = EvalCache::new();
-        let space = DesignSpace::paper_default();
-        let eval_first = |f: &str| {
-            let points = space.enumerate_filtered(f);
-            evaluate(&points[0], &cache, 1);
-        };
-        eval_first("OPT3[EN-T]/28nm@2.00");
-        eval_first("OPT3[MBE]/28nm@2.00");
-        assert_eq!(cache.stats().misses, 2, "in-PE encoder is cost-relevant");
-        eval_first("OPT4C[EN-T]/28nm@2.00");
-        eval_first("OPT4C[MBE]/28nm@2.00");
-        assert_eq!(
-            cache.stats().misses,
-            3,
-            "OPT4C's PE has no encoder; encodings share one synthesis"
-        );
-    }
-
-    /// The five-encoding OPT3 axis prices only three distinct recoders:
-    /// EN-T/CSD share the carry-chained recoder and the two bit-serial
-    /// kinds share the zero-skip unit, so canonicalizing
-    /// `PeKey.in_pe_encoding` lifts the hit rate from 0/5 to 2/5 on this
-    /// slice (and correspondingly on the full default sweep).
-    #[test]
-    fn opt3_encoding_hardware_classes_share_cache_entries() {
-        let cache = EvalCache::new();
-        let space = DesignSpace::paper_default();
-        for kind in EncodingKind::ALL {
-            let points = space.enumerate_filtered(&format!("OPT3[{kind}]/28nm@2.00"));
-            evaluate(&points[0], &cache, 1);
-        }
-        let stats = cache.stats();
-        assert_eq!(
-            (stats.hits, stats.misses),
-            (2, 3),
-            "EN-T+CSD and the two bit-serial kinds must share entries"
-        );
-        assert!(stats.hit_rate() > 0.39);
-    }
-
-    /// The sweep evaluator and `tpe-pipeline`'s engine pricing are two
-    /// views of the same synthesis path; pin them bit-identical so the
-    /// "model report and layer sweep price one engine identically"
-    /// invariant can't silently drift.
-    #[test]
-    fn evaluator_and_pipeline_price_engines_identically() {
-        let cache = EvalCache::new();
+    fn evaluator_and_engine_price_agree() {
+        let cache = EngineCache::new();
         let space = DesignSpace::paper_default();
         for filter in [
             "MAC(TPU)/28nm@1.00",
@@ -356,11 +98,11 @@ mod tests {
         ] {
             let point = &space.enumerate_filtered(filter)[0];
             let metrics = evaluate(point, &cache, 1).metrics.unwrap();
-            let price = point.engine_spec().price().unwrap();
+            let price = Evaluator::new(&cache).price(&point.engine).unwrap();
             assert_eq!(
                 metrics.area_um2.to_bits(),
                 price.area_um2.to_bits(),
-                "{filter}: area drifted between dse eval and pipeline pricing"
+                "{filter}: area drifted between dse eval and engine pricing"
             );
             assert_eq!(
                 metrics.peak_tops.to_bits(),
@@ -370,29 +112,18 @@ mod tests {
         }
     }
 
-    #[test]
-    fn node_scaling_shrinks_area_and_power() {
-        let cache = EvalCache::new();
-        let space = DesignSpace::paper_default();
-        let p28 = &space.enumerate_filtered("OPT4E[EN-T]/28nm@1.50")[0];
-        let mut p16 = p28.clone();
-        p16.corner = Corner::n16(1.5);
-        let m28 = evaluate(p28, &cache, 1).metrics.unwrap();
-        let m16 = evaluate(&p16, &cache, 1).metrics.unwrap();
-        assert!(m16.area_um2 < m28.area_um2 * 0.5);
-        assert!(m16.energy_uj < m28.energy_uj);
-    }
-
+    /// Pricing memoizes across workloads: one synthesis per (PE, corner)
+    /// pair no matter how many workloads score it.
     #[test]
     fn cache_prices_each_corner_once_across_workloads() {
-        let cache = EvalCache::new();
+        let cache = EngineCache::new();
         let points = DesignSpace::paper_default().enumerate_filtered("OPT4C[EN-T]/28nm@2.00");
         assert!(points.len() >= 2, "need several workloads");
         for p in &points {
             evaluate(p, &cache, 3);
         }
         let stats = cache.stats();
-        assert_eq!(stats.misses, 1);
-        assert_eq!(stats.hits, points.len() as u64 - 1);
+        assert_eq!(stats.price_misses, 1);
+        assert_eq!(stats.price_hits, points.len() as u64 - 1);
     }
 }

@@ -13,19 +13,16 @@
 //!
 //! * [`space`] — [`DesignPoint`] / [`DesignSpace`]: the five axes
 //!   (PE style, topology, encoding, corner, workload), legality rules and
-//!   deterministic enumeration. The workload axis ([`SweepWorkload`])
-//!   holds single GEMM layers *and whole networks* — the latter evaluated
-//!   end-to-end through `tpe-pipeline`'s model scheduler, so Pareto
-//!   fronts can carry whole-model objectives
+//!   deterministic enumeration. A point is a [`tpe_engine::EngineSpec`]
+//!   plus a [`SweepWorkload`] — single GEMM layers *and whole networks*,
+//!   the latter evaluated end-to-end through the model scheduler, so
+//!   Pareto fronts can carry whole-model objectives
 //!   (`repro dse --model resnet50`).
-//! * [`cache`] — [`EvalCache`]: synthesis results memoized on the
-//!   cost-relevant subset ([`cache::PeKey`], with encodings canonicalized
-//!   to their recoder-hardware class), so a sweep prices each
-//!   (PE, corner) pair once across all workloads.
-//! * [`eval`] — one point → [`eval::Metrics`] (area, delay, energy/MAC,
-//!   throughput, utilization, power), composing `tpe-core` PE designs,
-//!   `tpe-cost` synthesis, `tpe-sim` cycle models and the encoding-
-//!   generalized serial workload model.
+//! * [`eval`] — one point → [`eval::Metrics`], a thin binding of the
+//!   canonical [`tpe_engine::Evaluator`] (shared with `tpe-pipeline`, the
+//!   `repro` experiments and `repro serve`). Synthesis and serial
+//!   sampling memoize into the process-wide
+//!   [`tpe_engine::EngineCache`].
 //! * [`mod@sweep`] — the scoped-thread executor: work is claimed from an
 //!   atomic cursor, results merge back into input order, and per-point
 //!   seeding makes output byte-identical across thread counts.
@@ -47,15 +44,14 @@
 //! assert!(csv.lines().count() > points.len());
 //! ```
 
-pub mod cache;
 pub mod emit;
 pub mod eval;
 pub mod pareto;
 pub mod space;
 pub mod sweep;
 
-pub use cache::{CacheStats, EvalCache};
 pub use eval::{evaluate, Metrics, PointResult};
 pub use pareto::{pareto_front, pareto_front_per_workload, Objective};
 pub use space::{Corner, DesignPoint, DesignSpace, SweepWorkload};
-pub use sweep::{sweep, SweepConfig, SweepOutcome};
+pub use sweep::{sweep, sweep_with_cache, SweepConfig, SweepOutcome};
+pub use tpe_engine::{CacheStats, EngineCache};

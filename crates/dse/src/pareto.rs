@@ -153,19 +153,17 @@ pub fn pareto_front_per_workload(results: &[PointResult], objectives: &[Objectiv
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::space::{Corner, DesignPoint, DesignSpace};
+    use crate::space::{DesignPoint, DesignSpace};
     use tpe_arith::encode::EncodingKind;
-    use tpe_core::arch::{ArchKind, PeStyle};
+    use tpe_core::arch::PeStyle;
+    use tpe_engine::EngineSpec;
     use tpe_workloads::LayerShape;
 
     fn result(area: f64, delay: f64, energy: f64) -> PointResult {
-        let point = DesignPoint {
-            style: PeStyle::Opt3,
-            kind: ArchKind::Serial,
-            encoding: EncodingKind::EnT,
-            corner: Corner::smic28(2.0),
-            workload: LayerShape::new("t", 8, 8, 8, 1).into(),
-        };
+        let point = DesignPoint::new(
+            EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0),
+            LayerShape::new("t", 8, 8, 8, 1),
+        );
         PointResult {
             point,
             metrics: Some(Metrics {
@@ -271,7 +269,7 @@ mod tests {
 
     #[test]
     fn real_sweep_front_is_nonempty_and_subset() {
-        let cache = crate::cache::EvalCache::new();
+        let cache = tpe_engine::EngineCache::new();
         let results: Vec<PointResult> = DesignSpace::quick()
             .enumerate()
             .iter()

@@ -1,19 +1,10 @@
 //! The design space: axes, legality rules and cross-product enumeration.
 //!
-//! A [`DesignPoint`] is one fully-specified configuration drawn from five
-//! axes:
-//!
-//! 1. **PE style** — the paper's six microarchitectures
-//!    ([`PeStyle`], Figure 9);
-//! 2. **array topology** — one of the four classic dense arrays or the
-//!    column-synchronous serial array ([`ArchKind`], Table VII);
-//! 3. **multiplicand encoding** — the signed-digit encoder streamed through
-//!    the serial datapath ([`EncodingKind`], Tables II–III);
-//! 4. **process / frequency corner** — clock constraint plus process node
-//!    ([`Corner`], the §V synthesis axis);
-//! 5. **workload** — a single GEMM layer shape *or a whole network*
-//!    driving delay, utilization and energy ([`SweepWorkload`],
-//!    Figures 11–13).
+//! A [`DesignPoint`] is one fully-specified configuration: a
+//! [`tpe_engine::EngineSpec`] (the architecture half — PE style, array
+//! topology, multiplicand encoding and synthesis corner, Figure 9 /
+//! Table VII / Tables II–III / §V) paired with a [`SweepWorkload`] (a
+//! single GEMM layer *or a whole network*, Figures 11–13).
 //!
 //! [`DesignSpace::enumerate`] takes the cross product and drops illegal
 //! combinations (serial styles require the serial array; dense multipliers
@@ -22,158 +13,80 @@
 
 use tpe_arith::encode::EncodingKind;
 use tpe_core::arch::{ArchKind, ArchModel, PeStyle};
-use tpe_cost::process::ProcessNode;
-use tpe_pipeline::EngineSpec;
+use tpe_engine::{roster, EngineSpec};
 use tpe_sim::array::ClassicArch;
-use tpe_workloads::{models, LayerShape, NetworkModel};
+use tpe_workloads::{models, LayerShape};
 
-/// A synthesis corner: clock constraint + process node.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Corner {
-    /// Clock constraint in GHz.
-    pub freq_ghz: f64,
-    /// Process node costs are scaled to (the model is calibrated at
-    /// SMIC 28 nm; other nodes use first-order scaling).
-    pub node: ProcessNode,
-    /// Display name of the node ("28nm", "16nm", ...).
-    pub node_name: &'static str,
-}
+pub use tpe_engine::{classic_name, Corner, SweepWorkload};
 
-impl Corner {
-    /// SMIC 28 nm (the paper's node) at `freq_ghz`.
-    pub fn smic28(freq_ghz: f64) -> Self {
-        Self {
-            freq_ghz,
-            node: ProcessNode::SMIC28,
-            node_name: "28nm",
-        }
-    }
-
-    /// 16 nm FinFET at `freq_ghz` (first-order scaled).
-    pub fn n16(freq_ghz: f64) -> Self {
-        Self {
-            freq_ghz,
-            node: ProcessNode::N16,
-            node_name: "16nm",
-        }
-    }
-
-    /// Stable display label ("28nm@1.50GHz").
-    pub fn label(&self) -> String {
-        format!("{}@{:.2}GHz", self.node_name, self.freq_ghz)
-    }
-}
-
-/// The workload axis of a design point: either one GEMM-shaped layer
-/// (the Figure 11 texture) or a whole network evaluated end-to-end through
-/// the `tpe-pipeline` scheduling model (the Figure 12/13 aggregates).
-#[derive(Debug, Clone, PartialEq)]
-pub enum SweepWorkload {
-    /// A single img2col-lowered GEMM layer.
-    Layer(LayerShape),
-    /// A whole network, summed layer by layer.
-    Model(NetworkModel),
-}
-
-impl SweepWorkload {
-    /// Display / grouping name (layer label or network name).
-    pub fn name(&self) -> &str {
-        match self {
-            SweepWorkload::Layer(l) => &l.name,
-            SweepWorkload::Model(n) => &n.name,
-        }
-    }
-
-    /// Total useful multiply–accumulates.
-    pub fn macs(&self) -> u64 {
-        match self {
-            SweepWorkload::Layer(l) => l.macs(),
-            SweepWorkload::Model(n) => n.total_macs(),
-        }
-    }
-
-    /// Number of GEMM layers (1 for a single layer).
-    pub fn layer_count(&self) -> usize {
-        match self {
-            SweepWorkload::Layer(_) => 1,
-            SweepWorkload::Model(n) => n.layers.len(),
-        }
-    }
-}
-
-impl From<LayerShape> for SweepWorkload {
-    fn from(layer: LayerShape) -> Self {
-        SweepWorkload::Layer(layer)
-    }
-}
-
-impl From<NetworkModel> for SweepWorkload {
-    fn from(net: NetworkModel) -> Self {
-        SweepWorkload::Model(net)
-    }
-}
-
-/// One fully-specified design point.
+/// One fully-specified design point: an engine plus the workload it is
+/// scored on.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
-    /// PE microarchitecture.
-    pub style: PeStyle,
-    /// Array organization.
-    pub kind: ArchKind,
-    /// Multiplicand encoding (serial datapaths; dense multipliers carry
-    /// their internal Booth encoding and always record [`EncodingKind::Mbe`]).
-    pub encoding: EncodingKind,
-    /// Synthesis corner.
-    pub corner: Corner,
+    /// The architecture-and-corner half (the canonical `tpe-engine`
+    /// identity: label grammar, PE counts, pricing and scheduling all key
+    /// on this).
+    pub engine: EngineSpec,
     /// The workload: one GEMM layer or a whole network.
     pub workload: SweepWorkload,
 }
 
 impl DesignPoint {
-    /// The architecture-and-corner half of the point as a `tpe-pipeline`
-    /// engine. Label grammar, PE counts and design composition all
-    /// delegate to this single source, so `repro dse --filter` and
-    /// `repro models --arch` always match the same strings.
-    pub fn engine_spec(&self) -> EngineSpec {
-        EngineSpec {
-            style: self.style,
-            kind: self.kind,
-            encoding: self.encoding,
-            freq_ghz: self.corner.freq_ghz,
-            node: self.corner.node,
-            node_name: self.corner.node_name,
+    /// Pairs an engine with a workload.
+    pub fn new(engine: EngineSpec, workload: impl Into<SweepWorkload>) -> Self {
+        Self {
+            engine,
+            workload: workload.into(),
         }
+    }
+
+    /// The engine half — `repro dse --filter` and `repro models --arch`
+    /// always match the same strings because both sides print this spec.
+    pub fn engine_spec(&self) -> &EngineSpec {
+        &self.engine
+    }
+
+    /// PE microarchitecture.
+    pub fn style(&self) -> PeStyle {
+        self.engine.style
+    }
+
+    /// Array organization.
+    pub fn kind(&self) -> ArchKind {
+        self.engine.kind
+    }
+
+    /// Multiplicand encoding.
+    pub fn encoding(&self) -> EncodingKind {
+        self.engine.encoding
+    }
+
+    /// Synthesis corner.
+    pub fn corner(&self) -> Corner {
+        self.engine.corner()
     }
 
     /// Architecture half of the label (`OPT1(TPU)`, `OPT3[CSD]`).
     pub fn arch_label(&self) -> String {
-        self.engine_spec().arch_label()
+        self.engine.arch_label()
     }
 
     /// Full point label, stable across runs — used for seeding, filtering
     /// and CSV emission.
     pub fn label(&self) -> String {
-        format!(
-            "{}/{}/{}",
-            self.arch_label(),
-            self.corner.label(),
-            self.workload.name()
-        )
+        format!("{}/{}", self.engine.label(), self.workload.name())
     }
 
     /// PE instances at the paper's array sizes (10×10×10 Cube, else 32×32).
     pub fn pe_instances(&self) -> usize {
-        self.engine_spec().pe_instances()
+        self.engine.pe_instances()
     }
 
     /// The equivalent `tpe-core` architecture model at this corner.
     pub fn arch_model(&self) -> ArchModel {
-        self.engine_spec().arch_model()
+        self.engine.arch_model()
     }
 }
-
-/// Display name of a classic dense topology (shared with `tpe-pipeline`).
-pub use tpe_pipeline::engine::classic_name;
 
 /// The five axes; [`DesignSpace::enumerate`] takes the legal cross product.
 #[derive(Debug, Clone)]
@@ -192,22 +105,18 @@ pub struct DesignSpace {
 
 impl DesignSpace {
     /// The full paper-flavored space: all six PE styles, all four classic
-    /// topologies, all five encoders, four corners and a workload slice
-    /// covering the utilization regimes of Figures 11–13 (wide conv,
-    /// depthwise, attention, FFN) **plus one whole-model workload**
-    /// (ResNet-18 end-to-end), so the default Pareto front always carries
-    /// at least one model-level objective point.
+    /// topologies, all five encoders, the four
+    /// [`roster::sweep_corners`] and a workload slice covering the
+    /// utilization regimes of Figures 11–13 (wide conv, depthwise,
+    /// attention, FFN) **plus one whole-model workload** (ResNet-18
+    /// end-to-end), so the default Pareto front always carries at least
+    /// one model-level objective point.
     pub fn paper_default() -> Self {
         Self {
             styles: PeStyle::ALL.to_vec(),
             dense_topologies: ClassicArch::ALL.to_vec(),
             encodings: EncodingKind::ALL.to_vec(),
-            corners: vec![
-                Corner::smic28(1.0),
-                Corner::smic28(1.5),
-                Corner::smic28(2.0),
-                Corner::n16(1.5),
-            ],
+            corners: roster::sweep_corners(),
             workloads: default_workloads(),
         }
     }
@@ -297,10 +206,14 @@ impl DesignSpace {
                 for &corner in &self.corners {
                     for workload in &self.workloads {
                         points.push(DesignPoint {
-                            style,
-                            kind,
-                            encoding,
-                            corner,
+                            engine: EngineSpec {
+                                style,
+                                kind,
+                                encoding,
+                                freq_ghz: corner.freq_ghz,
+                                node: corner.node,
+                                node_name: corner.node_name,
+                            },
                             workload: workload.clone(),
                         });
                     }
@@ -372,7 +285,7 @@ mod tests {
     fn every_enumerated_point_is_legal() {
         for p in DesignSpace::paper_default().enumerate() {
             assert!(
-                DesignSpace::is_legal(p.style, p.kind, p.encoding),
+                DesignSpace::is_legal(p.style(), p.kind(), p.encoding()),
                 "illegal point {}",
                 p.label()
             );
@@ -447,6 +360,16 @@ mod tests {
         let all = space.enumerate();
         let opt3 = space.enumerate_filtered("opt3");
         assert!(!opt3.is_empty() && opt3.len() < all.len());
-        assert!(opt3.iter().all(|p| p.style == PeStyle::Opt3));
+        assert!(opt3.iter().all(|p| p.style() == PeStyle::Opt3));
+    }
+
+    /// Every engine a sweep enumerates resolves back through the roster's
+    /// label lookup — what makes any sweep point servable by name.
+    #[test]
+    fn every_point_engine_is_findable_by_label() {
+        for p in DesignSpace::quick().enumerate() {
+            let found = roster::find(&p.engine.label()).unwrap();
+            assert_eq!(found, p.engine, "{}", p.engine.label());
+        }
     }
 }

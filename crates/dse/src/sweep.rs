@@ -9,11 +9,17 @@
 //! and every point's RNG is seeded from the sweep seed and the point's
 //! own label — so the output is **byte-identical across runs and thread
 //! counts**, which the determinism tests pin.
+//!
+//! Synthesis and serial sampling memoize into a [`EngineCache`]:
+//! [`sweep`] shares the process-wide global instance (so later grids,
+//! experiments and serve queries reuse this sweep's work), while
+//! [`sweep_with_cache`] takes an explicit instance for isolation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use crate::cache::{CacheStats, EvalCache};
+use tpe_engine::{CacheStats, EngineCache};
+
 use crate::eval::{evaluate, PointResult};
 use crate::space::DesignPoint;
 
@@ -51,7 +57,8 @@ impl SweepConfig {
 pub struct SweepOutcome {
     /// One result per input point, in input order.
     pub results: Vec<PointResult>,
-    /// Evaluation-cache counters for this sweep.
+    /// Cache-counter deltas over this sweep (hits/misses this run added
+    /// against the cache it ran on).
     pub cache: CacheStats,
     /// Wall-clock spent evaluating.
     pub elapsed: Duration,
@@ -66,16 +73,26 @@ impl SweepOutcome {
     }
 }
 
-/// Evaluates all `points` with `config.threads` workers.
+/// Evaluates all `points` against the process-wide global cache.
 pub fn sweep(points: &[DesignPoint], config: SweepConfig) -> SweepOutcome {
+    sweep_with_cache(points, config, EngineCache::global())
+}
+
+/// Evaluates all `points` with `config.threads` workers against an
+/// explicit cache instance.
+pub fn sweep_with_cache(
+    points: &[DesignPoint],
+    config: SweepConfig,
+    cache: &EngineCache,
+) -> SweepOutcome {
     let threads = config.effective_threads().min(points.len()).max(1);
-    let cache = EvalCache::new();
+    let baseline = cache.stats();
     let start = Instant::now();
 
     let mut results: Vec<Option<PointResult>> = vec![None; points.len()];
     if threads == 1 {
         for (slot, point) in results.iter_mut().zip(points) {
-            *slot = Some(evaluate(point, &cache, config.seed));
+            *slot = Some(evaluate(point, cache, config.seed));
         }
     } else {
         let cursor = AtomicUsize::new(0);
@@ -89,7 +106,7 @@ pub fn sweep(points: &[DesignPoint], config: SweepConfig) -> SweepOutcome {
                             if i >= points.len() {
                                 break;
                             }
-                            local.push((i, evaluate(&points[i], &cache, config.seed)));
+                            local.push((i, evaluate(&points[i], cache, config.seed)));
                         }
                         local
                     })
@@ -110,7 +127,7 @@ pub fn sweep(points: &[DesignPoint], config: SweepConfig) -> SweepOutcome {
             .into_iter()
             .map(|r| r.expect("every point evaluated exactly once"))
             .collect(),
-        cache: cache.stats(),
+        cache: cache.stats().since(&baseline),
         elapsed: start.elapsed(),
         threads,
     }
@@ -161,18 +178,37 @@ mod tests {
     #[test]
     fn cache_hits_accumulate_on_workload_heavy_sweeps() {
         let points = DesignSpace::quick().enumerate();
-        let outcome = sweep(
+        let cache = EngineCache::new();
+        let outcome = sweep_with_cache(
             &points,
             SweepConfig {
                 threads: 2,
                 seed: 1,
             },
+            &cache,
         );
         assert!(
-            outcome.cache.hits > 0,
+            outcome.cache.hits() > 0,
             "multiple workloads per (PE, corner) must hit: {:?}",
             outcome.cache
         );
         assert!(outcome.cache.hit_rate() > 0.0);
+    }
+
+    /// A global-cache sweep reports only its own counter deltas, and its
+    /// results match an isolated-cache sweep byte for byte (memoization
+    /// can never change values).
+    #[test]
+    fn global_and_isolated_caches_agree() {
+        let points = DesignSpace::quick().enumerate();
+        let config = SweepConfig {
+            threads: 2,
+            seed: 31,
+        };
+        let isolated = sweep_with_cache(&points, config, &EngineCache::new());
+        let global = sweep(&points, config);
+        assert_eq!(isolated.results, global.results);
+        let total = global.cache.hits() + global.cache.misses();
+        assert!(total > 0, "deltas must reflect this sweep only");
     }
 }

@@ -1,0 +1,561 @@
+//! The process-wide concurrent evaluation cache.
+//!
+//! Every evaluation path — design-space sweeps, model grids, the figure
+//! experiments, `repro serve` queries — reduces to memoizable pure
+//! computations:
+//!
+//! 1. **PE synthesis** (+ node scaling), keyed on the cost-relevant
+//!    subset of an engine ([`PeKey`]);
+//! 2. **assembled engine prices** (support logic, overhead, peak
+//!    throughput), keyed on the full engine identity ([`PriceKey`]) as a
+//!    derived layer over the synthesis map;
+//! 3. **serial workload cycles** (the sampled sync model), keyed on the
+//!    cycle-relevant subset plus the exact seed and sampling caps
+//!    ([`CycleKey`]).
+//!
+//! All maps are sharded: each shard is an independent
+//! [`RwLock`]`<HashMap>` selected by key hash, so concurrent sweep workers
+//! and serve connections contend only when they touch the same shard, and
+//! reads (the overwhelming majority once warm) take a shared lock. A
+//! single process-wide instance ([`EngineCache::global`]) replaces the
+//! old per-sweep `EvalCache`: a `repro models` grid reuses synthesis the
+//! preceding `repro dse` sweep already paid for, and a long-running
+//! `repro serve` process converges to all-hit steady state.
+//!
+//! Memoized values are outputs of deterministic functions of their key,
+//! so caching can never change results — the byte-identical golden tests
+//! in `tpe-bench` pin this.
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+use tpe_arith::encode::EncodingKind;
+use tpe_core::arch::{ArchKind, PeStyle};
+use tpe_sim::array::ClassicArch;
+use tpe_workloads::LayerShape;
+
+use crate::caps::SerialSampleCaps;
+use crate::spec::{EnginePrice, EngineSpec};
+
+/// Number of independent lock shards per map. 16 keeps the footprint
+/// trivial while making same-shard contention unlikely at realistic
+/// worker counts.
+const SHARDS: usize = 16;
+
+/// The cost-relevant subset of an engine: everything synthesis sees.
+///
+/// Frequencies are keyed in integer MHz and feature sizes in integer
+/// tenths of a nm so the key is `Eq + Hash` without float edge cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeKey {
+    /// PE microarchitecture.
+    pub style: PeStyle,
+    /// Dense topology, if any (changes the per-PE reduction logic).
+    pub dense: Option<ClassicArch>,
+    /// Encoding, when it lives *inside* the PE (OPT3 carries its encoder;
+    /// dense multipliers bake in Booth and OPT4's encoders sit out of the
+    /// array in support logic, so those styles key as `None`).
+    pub in_pe_encoding: Option<EncodingKind>,
+    /// Clock constraint in MHz.
+    pub freq_mhz: u32,
+    /// Process feature size in tenths of a nm.
+    pub node_dnm: u32,
+}
+
+/// Canonical representative of an encoding's *in-PE recoder hardware*.
+///
+/// Several encodings map onto the same physical recoder
+/// (`tpe_core::arch::designs::encoder_component`): CSD is priced as the
+/// EN-T carry-chained Booth recoder, and both radix-2 bit-serial
+/// decompositions need only the same zero-skip unit. Synthesis outcomes
+/// for such encodings are identical, so the cache keys them together —
+/// only the workload model (digit statistics) distinguishes them, and
+/// that is keyed separately ([`CycleKey`] uses the raw encoding).
+pub fn canonical_encoding(encoding: EncodingKind) -> EncodingKind {
+    match encoding {
+        EncodingKind::Csd => EncodingKind::EnT,
+        EncodingKind::BitSerialSignMagnitude => EncodingKind::BitSerialComplement,
+        other => other,
+    }
+}
+
+impl PeKey {
+    /// Extracts the key from an engine spec. The encoding enters the key
+    /// only for OPT3 (whose recoder is inside the PE), and then only as its
+    /// [`canonical_encoding`] hardware class.
+    pub fn of(spec: &EngineSpec) -> Self {
+        Self {
+            style: spec.style,
+            dense: match spec.kind {
+                ArchKind::Dense(a) => Some(a),
+                ArchKind::Serial => None,
+            },
+            in_pe_encoding: (spec.style == PeStyle::Opt3)
+                .then_some(canonical_encoding(spec.encoding)),
+            freq_mhz: (spec.freq_ghz * 1e3).round() as u32,
+            node_dnm: (spec.node.nm * 10.0).round() as u32,
+        }
+    }
+}
+
+/// The full identity of a priced *engine* (as opposed to [`PeKey`], the
+/// synthesis subset): support logic and peak throughput depend on the raw
+/// encoding, so EN-T and CSD share a [`PeKey`] but not a `PriceKey`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PriceKey {
+    /// PE microarchitecture.
+    pub style: PeStyle,
+    /// Dense topology, if any.
+    pub dense: Option<ClassicArch>,
+    /// Raw multiplicand encoding (prices support encoders and the peak
+    /// NumPPs divisor).
+    pub encoding: EncodingKind,
+    /// Clock constraint in MHz.
+    pub freq_mhz: u32,
+    /// Process feature size in tenths of a nm.
+    pub node_dnm: u32,
+}
+
+impl PriceKey {
+    /// Extracts the key from an engine spec.
+    pub fn of(spec: &EngineSpec) -> Self {
+        Self {
+            style: spec.style,
+            dense: match spec.kind {
+                ArchKind::Dense(a) => Some(a),
+                ArchKind::Serial => None,
+            },
+            encoding: spec.encoding,
+            freq_mhz: (spec.freq_ghz * 1e3).round() as u32,
+            node_dnm: (spec.node.nm * 10.0).round() as u32,
+        }
+    }
+}
+
+/// A priced PE at one corner (node scaling already applied).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeRecord {
+    /// PE (or PE-group) cell area in µm².
+    pub area_um2: f64,
+    /// Power at full datapath activity, µW.
+    pub active_power_uw: f64,
+    /// Clock-gated idle power, µW.
+    pub idle_power_uw: f64,
+    /// MAC-equivalent lanes the design provides.
+    pub lanes: u32,
+}
+
+/// The cycle-relevant subset of a (serial engine, layer, seed, caps)
+/// evaluation — everything [`sample_serial_cycles`] sees.
+///
+/// The serial array geometry is a pure function of the PE style, the
+/// digit statistics are a pure function of the *raw* encoding (EN-T and
+/// CSD price identically but stream different digit counts, so no
+/// canonicalization here), and the layer enters by shape only (its name
+/// seasons the seed at the caller).
+///
+/// [`sample_serial_cycles`]: tpe_core::arch::workload::sample_serial_cycles
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CycleKey {
+    /// Serial PE style (fixes the bit-slice geometry).
+    pub style: PeStyle,
+    /// Multiplicand encoding (fixes the digit-count distribution).
+    pub encoding: EncodingKind,
+    /// GEMM rows.
+    pub m: usize,
+    /// GEMM columns.
+    pub n: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Layer repeat count.
+    pub repeats: usize,
+    /// The exact RNG seed the sampler is driven with.
+    pub seed: u64,
+    /// Sampled-round cap.
+    pub max_rounds: usize,
+    /// Sampled-operand budget.
+    pub max_operands: usize,
+}
+
+impl CycleKey {
+    /// Builds the key for scheduling `layer` on `spec` with `seed`/`caps`.
+    pub fn of(spec: &EngineSpec, layer: &LayerShape, seed: u64, caps: SerialSampleCaps) -> Self {
+        Self {
+            style: spec.style,
+            encoding: spec.encoding,
+            m: layer.m,
+            n: layer.n,
+            k: layer.k,
+            repeats: layer.repeats,
+            seed,
+            max_rounds: caps.max_rounds,
+            max_operands: caps.max_operands,
+        }
+    }
+}
+
+/// The memoized outcome of one serial-layer sampling run: the per-column
+/// busy vector collapsed to the aggregates every consumer derives from it
+/// (bit-identically to the original `SerialCycleStats` expressions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SerialLayerRecord {
+    /// Total array cycles (sync barriers included).
+    pub cycles: f64,
+    /// Sum of per-column busy cycles (in column order, as the stats
+    /// struct sums them).
+    pub busy_sum: f64,
+    /// Busy cycles of the fastest column.
+    pub busy_min: f64,
+    /// Busy cycles of the slowest column.
+    pub busy_max: f64,
+    /// Sync rounds × output passes (the serial tile count).
+    pub rounds: f64,
+    /// Columns in the array (the busy vector's length).
+    pub columns: u32,
+}
+
+impl SerialLayerRecord {
+    /// Average busy fraction across columns — identical arithmetic to
+    /// `SerialCycleStats::utilization`.
+    pub fn utilization(&self) -> f64 {
+        self.busy_sum / (self.cycles * f64::from(self.columns))
+    }
+}
+
+/// Cache hit/miss counters at one observation point, per map.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// PE-pricing lookups served from memory.
+    pub price_hits: u64,
+    /// PE-pricing lookups that ran synthesis.
+    pub price_misses: u64,
+    /// Workload-cycle lookups served from memory.
+    pub cycle_hits: u64,
+    /// Workload-cycle lookups that ran the sampler.
+    pub cycle_misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups served from memory.
+    pub fn hits(&self) -> u64 {
+        self.price_hits + self.cycle_hits
+    }
+
+    /// Total lookups that computed.
+    pub fn misses(&self) -> u64 {
+        self.price_misses + self.cycle_misses
+    }
+
+    /// Fraction of lookups served from memory (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot — how a single sweep, grid
+    /// or query batch behaved against the shared global cache.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            price_hits: self.price_hits.saturating_sub(earlier.price_hits),
+            price_misses: self.price_misses.saturating_sub(earlier.price_misses),
+            cycle_hits: self.cycle_hits.saturating_sub(earlier.cycle_hits),
+            cycle_misses: self.cycle_misses.saturating_sub(earlier.cycle_misses),
+        }
+    }
+}
+
+/// Sharded concurrent memoization of pricing and cycle outcomes.
+///
+/// `None` pricing values record corners where the design cannot close
+/// timing, so infeasibility is cached too.
+#[derive(Debug)]
+pub struct EngineCache {
+    records: [RwLock<HashMap<PeKey, Option<PeRecord>>>; SHARDS],
+    prices: [RwLock<HashMap<PriceKey, Option<EnginePrice>>>; SHARDS],
+    cycles: [RwLock<HashMap<CycleKey, SerialLayerRecord>>; SHARDS],
+    price_hits: AtomicU64,
+    price_misses: AtomicU64,
+    cycle_hits: AtomicU64,
+    cycle_misses: AtomicU64,
+}
+
+impl Default for EngineCache {
+    fn default() -> Self {
+        Self {
+            records: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            prices: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            cycles: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            price_hits: AtomicU64::new(0),
+            price_misses: AtomicU64::new(0),
+            cycle_hits: AtomicU64::new(0),
+            cycle_misses: AtomicU64::new(0),
+        }
+    }
+}
+
+fn shard_of(key: &impl Hash) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+impl EngineCache {
+    /// An empty, isolated cache (tests and honest cold-timing runs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide instance every default evaluation path shares.
+    pub fn global() -> &'static EngineCache {
+        static GLOBAL: OnceLock<EngineCache> = OnceLock::new();
+        GLOBAL.get_or_init(EngineCache::new)
+    }
+
+    /// Returns the pricing record for `key`, running `price` on a miss.
+    ///
+    /// The computation runs outside any lock; when two threads race on the
+    /// same cold key both may price, and the first insert wins — pricing
+    /// is deterministic, so the outcome is identical either way and
+    /// readers never block on synthesis.
+    pub fn pe_record(
+        &self,
+        key: PeKey,
+        price: impl FnOnce() -> Option<PeRecord>,
+    ) -> Option<PeRecord> {
+        let shard = &self.records[shard_of(&key)];
+        if let Some(rec) = shard.read().expect("cache poisoned").get(&key) {
+            self.price_hits.fetch_add(1, Ordering::Relaxed);
+            return *rec;
+        }
+        self.price_misses.fetch_add(1, Ordering::Relaxed);
+        let rec = price();
+        *shard
+            .write()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert(rec)
+    }
+
+    /// Returns the assembled engine price for `key`, running `assemble` on
+    /// a miss.
+    ///
+    /// This is a derived layer over [`Self::pe_record`]: hits count as
+    /// `price_hits`, while a miss delegates to `assemble` (which consults
+    /// `pe_record` and does the counting there) — so the hit/miss totals
+    /// read exactly as if only the synthesis map existed, just with the
+    /// support-logic and peak-throughput assembly memoized too.
+    pub fn engine_price(
+        &self,
+        key: PriceKey,
+        assemble: impl FnOnce() -> Option<EnginePrice>,
+    ) -> Option<EnginePrice> {
+        let shard = &self.prices[shard_of(&key)];
+        if let Some(price) = shard.read().expect("cache poisoned").get(&key) {
+            self.price_hits.fetch_add(1, Ordering::Relaxed);
+            return *price;
+        }
+        let price = assemble();
+        *shard
+            .write()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert(price)
+    }
+
+    /// Returns the serial-cycle record for `key`, running `sample` on a
+    /// miss. Same race discipline as [`Self::pe_record`].
+    pub fn serial_record(
+        &self,
+        key: CycleKey,
+        sample: impl FnOnce() -> SerialLayerRecord,
+    ) -> SerialLayerRecord {
+        let shard = &self.cycles[shard_of(&key)];
+        if let Some(rec) = shard.read().expect("cache poisoned").get(&key) {
+            self.cycle_hits.fetch_add(1, Ordering::Relaxed);
+            return *rec;
+        }
+        self.cycle_misses.fetch_add(1, Ordering::Relaxed);
+        let rec = sample();
+        *shard
+            .write()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert(rec)
+    }
+
+    /// Counters at this instant.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            price_hits: self.price_hits.load(Ordering::Relaxed),
+            price_misses: self.price_misses.load(Ordering::Relaxed),
+            cycle_hits: self.cycle_hits.load(Ordering::Relaxed),
+            cycle_misses: self.cycle_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct PE/corner pairs priced.
+    pub fn priced_len(&self) -> usize {
+        self.records
+            .iter()
+            .map(|s| s.read().expect("cache poisoned").len())
+            .sum()
+    }
+
+    /// Number of distinct serial-cycle evaluations memoized.
+    pub fn cycles_len(&self) -> usize {
+        self.cycles
+            .iter()
+            .map(|s| s.read().expect("cache poisoned").len())
+            .sum()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.priced_len() == 0 && self.cycles_len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(freq_mhz: u32) -> PeKey {
+        PeKey {
+            style: PeStyle::Opt1,
+            dense: Some(ClassicArch::Tpu),
+            in_pe_encoding: None,
+            freq_mhz,
+            node_dnm: 280,
+        }
+    }
+
+    fn record() -> PeRecord {
+        PeRecord {
+            area_um2: 1.0,
+            active_power_uw: 2.0,
+            idle_power_uw: 0.1,
+            lanes: 1,
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = EngineCache::new();
+        let mut priced = 0;
+        for _ in 0..3 {
+            cache.pe_record(key(1500), || {
+                priced += 1;
+                Some(record())
+            });
+        }
+        assert_eq!(priced, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.price_hits, stats.price_misses), (2, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.priced_len(), 1);
+    }
+
+    #[test]
+    fn infeasible_outcomes_are_cached() {
+        let cache = EngineCache::new();
+        assert_eq!(cache.pe_record(key(9000), || None), None);
+        assert_eq!(
+            cache.pe_record(key(9000), || panic!("must not re-price")),
+            None
+        );
+        assert_eq!(cache.stats().price_hits, 1);
+    }
+
+    #[test]
+    fn distinct_corners_miss() {
+        let cache = EngineCache::new();
+        cache.pe_record(key(1000), || None);
+        cache.pe_record(key(1500), || None);
+        assert_eq!(cache.stats().price_misses, 2);
+        assert_eq!(cache.priced_len(), 2);
+    }
+
+    #[test]
+    fn cycle_records_memoize_and_key_on_raw_encoding() {
+        let cache = EngineCache::new();
+        let spec = EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0);
+        let layer = LayerShape::new("t", 8, 8, 64, 1);
+        let k = CycleKey::of(&spec, &layer, 7, crate::caps::SampleProfile::Quick.caps());
+        let rec = SerialLayerRecord {
+            cycles: 10.0,
+            busy_sum: 9.0,
+            busy_min: 0.2,
+            busy_max: 0.9,
+            rounds: 1.0,
+            columns: 32,
+        };
+        assert_eq!(cache.serial_record(k, || rec), rec);
+        assert_eq!(cache.serial_record(k, || panic!("must hit")), rec);
+        // CSD prices like EN-T but streams different digits: the cycle key
+        // must distinguish what the price key canonicalizes together.
+        let csd = EngineSpec::serial(PeStyle::Opt3, EncodingKind::Csd, 2.0);
+        let kc = CycleKey::of(&csd, &layer, 7, crate::caps::SampleProfile::Quick.caps());
+        assert_ne!(k, kc);
+        assert_eq!(
+            canonical_encoding(EncodingKind::Csd),
+            canonical_encoding(EncodingKind::EnT)
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.cycle_hits, stats.cycle_misses), (1, 1));
+        assert_eq!(cache.cycles_len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn stats_deltas_subtract_fieldwise() {
+        let cache = EngineCache::new();
+        cache.pe_record(key(1000), || Some(record()));
+        let before = cache.stats();
+        cache.pe_record(key(1000), || unreachable!());
+        cache.pe_record(key(2000), || None);
+        let delta = cache.stats().since(&before);
+        assert_eq!((delta.price_hits, delta.price_misses), (1, 1));
+        assert_eq!(delta.hits() + delta.misses(), 2);
+    }
+
+    /// The canonical map must mirror the hardware: encodings keyed together
+    /// synthesize to bit-identical OPT3 PE reports (CSD prices as the EN-T
+    /// recoder; both bit-serial kinds price as the zero-skip unit), while
+    /// MBE's plain Booth recoder stays distinct.
+    #[test]
+    fn canonical_encodings_share_identical_recoder_hardware() {
+        for (a, b) in [
+            (EncodingKind::Csd, EncodingKind::EnT),
+            (
+                EncodingKind::BitSerialSignMagnitude,
+                EncodingKind::BitSerialComplement,
+            ),
+        ] {
+            assert_eq!(canonical_encoding(a), canonical_encoding(b));
+            let ra = PeStyle::Opt3
+                .design_with_encoding(a)
+                .synthesize(2.0)
+                .unwrap();
+            let rb = PeStyle::Opt3
+                .design_with_encoding(b)
+                .synthesize(2.0)
+                .unwrap();
+            assert_eq!(ra.area_um2.to_bits(), rb.area_um2.to_bits());
+            assert_eq!(
+                ra.busy_power_uw().to_bits(),
+                rb.busy_power_uw().to_bits(),
+                "{a:?}/{b:?} must price identically to share a cache entry"
+            );
+        }
+        assert_ne!(
+            canonical_encoding(EncodingKind::Mbe),
+            canonical_encoding(EncodingKind::EnT)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! The `SerialSampleCaps` profile table: every sampling budget the
+//! workspace uses, in one place.
+//!
+//! The statistical serial-layer model
+//! ([`tpe_core::arch::workload::sample_serial_cycles`]) caps how many sync
+//! rounds and operands it samples; rounds are i.i.d., so capping keeps the
+//! estimate unbiased while bounding cost. Before this table existed, each
+//! consumer hard-coded its own caps (`SWEEP_SAMPLE_CAPS` in `tpe-dse`,
+//! `MODEL_SAMPLE_CAPS` in `tpe-pipeline`) — a drift hazard the profile
+//! table closes: callers name the budget they want and the values live
+//! here only.
+
+pub use tpe_core::arch::workload::SerialSampleCaps;
+
+/// A named sampling budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SampleProfile {
+    /// Single-experiment default: one layer under the microscope
+    /// (Figures 11–13's per-sublayer views).
+    Single,
+    /// Design-space sweeps: hundreds of points, one layer each
+    /// (`repro dse`'s layer workloads).
+    Sweep,
+    /// Whole-model scheduling: dozens of layers per cell, sampling noise
+    /// averages out (`repro models`, `repro dse --model`).
+    Model,
+    /// Debug-profile tests: tight enough that unoptimized whole-model
+    /// cells stay fast.
+    Quick,
+}
+
+impl SampleProfile {
+    /// Every profile, in decreasing budget order.
+    pub const ALL: [SampleProfile; 4] = [
+        SampleProfile::Single,
+        SampleProfile::Sweep,
+        SampleProfile::Model,
+        SampleProfile::Quick,
+    ];
+
+    /// The profile's sampling caps.
+    pub const fn caps(self) -> SerialSampleCaps {
+        match self {
+            SampleProfile::Single => SerialSampleCaps {
+                max_rounds: 128,
+                max_operands: 1_500_000,
+            },
+            SampleProfile::Sweep => SerialSampleCaps {
+                max_rounds: 48,
+                max_operands: 400_000,
+            },
+            SampleProfile::Model => SerialSampleCaps {
+                max_rounds: 24,
+                max_operands: 30_000,
+            },
+            SampleProfile::Quick => SerialSampleCaps {
+                max_rounds: 6,
+                max_operands: 4_000,
+            },
+        }
+    }
+
+    /// Stable display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SampleProfile::Single => "single",
+            SampleProfile::Sweep => "sweep",
+            SampleProfile::Model => "model",
+            SampleProfile::Quick => "quick",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The documented budgets: `single` matches the core model's default,
+    /// and the table is strictly decreasing so a bigger scope never means
+    /// a bigger per-layer budget.
+    #[test]
+    fn profile_table_matches_documented_budgets() {
+        assert_eq!(SampleProfile::Single.caps(), SerialSampleCaps::default());
+        assert_eq!(
+            SampleProfile::Sweep.caps(),
+            SerialSampleCaps {
+                max_rounds: 48,
+                max_operands: 400_000
+            }
+        );
+        assert_eq!(
+            SampleProfile::Model.caps(),
+            SerialSampleCaps {
+                max_rounds: 24,
+                max_operands: 30_000
+            }
+        );
+        for pair in SampleProfile::ALL.windows(2) {
+            let (a, b) = (pair[0].caps(), pair[1].caps());
+            assert!(
+                a.max_rounds > b.max_rounds && a.max_operands > b.max_operands,
+                "{:?} must out-budget {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! The canonical evaluator: one (engine × workload) pair → one
+//! [`Metrics`] row, through the process-wide cache.
+//!
+//! Every comparison in the paper (Tables I–VII, Figures 9–14) reduces to
+//! pricing an (engine, workload) pair. The [`Evaluator`] is the single
+//! implementation of that composition — synthesis (memoized on
+//! [`PeKey`]) → node scaling → array support logic →
+//! dense closed-form / serial sampled cycle models — consumed by the
+//! `tpe-dse` sweep, the `tpe-pipeline` grid, the `repro` figure/table
+//! experiments and the `repro serve` query front end. Results are
+//! deterministic functions of (engine, workload, seed), so any two paths
+//! that ask the same question get byte-identical answers.
+
+use tpe_core::arch::{ArchKind, ArrayModel};
+use tpe_cost::process::{scale_area_um2, scale_power_w, ProcessNode};
+use tpe_workloads::NetworkModel;
+
+#[cfg(doc)]
+use crate::cache::PriceKey;
+use crate::cache::{EngineCache, PeKey, PeRecord};
+use crate::caps::{SampleProfile, SerialSampleCaps};
+use crate::fnv1a;
+use crate::report::ModelReport;
+use crate::schedule::{cached_serial_cycles, dense_model_cycles, serial_model_cycles};
+use crate::spec::{EnginePrice, EngineSpec};
+use crate::workload::SweepWorkload;
+
+/// Re-exported from `tpe-core`: expected digits per operand of an encoder
+/// on quantized-normal INT8 data (the serial peak-throughput divisor).
+pub use tpe_core::arch::workload::effective_numpps;
+
+/// The objective vector of one feasible (engine, workload) evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Total array area (µm², node-scaled).
+    pub area_um2: f64,
+    /// Workload wall-clock (µs).
+    pub delay_us: f64,
+    /// Workload energy (µJ).
+    pub energy_uj: f64,
+    /// Energy per MAC (fJ).
+    pub energy_per_mac_fj: f64,
+    /// Sustained throughput on this workload (GOPS, 2 ops per MAC).
+    pub throughput_gops: f64,
+    /// Peak throughput (TOPS).
+    pub peak_tops: f64,
+    /// Average compute-lane utilization (busy fraction, 0–1).
+    pub utilization: f64,
+    /// Average power over the workload (W).
+    pub power_w: f64,
+}
+
+/// The canonical evaluation stack, bound to a cache instance.
+///
+/// Most callers want [`Evaluator::global`]; isolated instances exist for
+/// exact-count cache tests and honest cold-timing measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'c> {
+    cache: &'c EngineCache,
+}
+
+impl<'c> Evaluator<'c> {
+    /// An evaluator over an explicit cache instance.
+    pub fn new(cache: &'c EngineCache) -> Self {
+        Self { cache }
+    }
+
+    /// The evaluator over the process-wide global cache.
+    pub fn global() -> Evaluator<'static> {
+        Evaluator {
+            cache: EngineCache::global(),
+        }
+    }
+
+    /// The cache this evaluator memoizes into.
+    pub fn cache(&self) -> &'c EngineCache {
+        self.cache
+    }
+
+    /// Prices the PE of an engine at its corner, through the cache.
+    ///
+    /// OPT3 carries its encoder inside the PE, so its design is built with
+    /// the engine's encoding (`PeStyle::design_with_encoding`, and the
+    /// cache key includes the encoding's recoder class). OPT4's encoders
+    /// live in the array support logic, priced in [`Self::price`].
+    pub fn pe_record(&self, spec: &EngineSpec) -> Option<PeRecord> {
+        let key = PeKey::of(spec);
+        self.cache.pe_record(key, || {
+            let design = match spec.kind {
+                ArchKind::Dense(_) => spec.arch_model().pe_design(),
+                ArchKind::Serial => spec.style.design_with_encoding(spec.encoding),
+            };
+            let report = design.synthesize(spec.freq_ghz)?;
+            Some(PeRecord {
+                area_um2: scale_area_um2(report.area_um2, ProcessNode::SMIC28, spec.node),
+                // Busy/idle activity points are the shared
+                // `tpe_cost::power` constants, so every consumer accounts
+                // energy identically.
+                active_power_uw: scale_power_w(
+                    report.busy_power_uw(),
+                    ProcessNode::SMIC28,
+                    spec.node,
+                ),
+                idle_power_uw: scale_power_w(
+                    report.idle_power_uw(),
+                    ProcessNode::SMIC28,
+                    spec.node,
+                ),
+                lanes: report.lanes,
+            })
+        })
+    }
+
+    /// Node-scaled area of the engine's support logic outside the PEs
+    /// (SIMD lanes, shared encoders, prefetch).
+    pub fn support_area_um2(&self, spec: &EngineSpec) -> f64 {
+        scale_area_um2(
+            ArrayModel::new(spec.arch_model()).support_area_um2_for(spec.encoding),
+            ProcessNode::SMIC28,
+            spec.node,
+        )
+    }
+
+    /// Prices the whole engine: cached PE synthesis, node scaling, array
+    /// support logic. `None` when the PE cannot close timing.
+    ///
+    /// The assembled price is itself memoized (on the full
+    /// [`PriceKey`]): the support-logic and
+    /// effective-NumPPs arithmetic runs once per engine per process, so a
+    /// warm price query is a single sharded map read.
+    pub fn price(&self, spec: &EngineSpec) -> Option<EnginePrice> {
+        let key = crate::cache::PriceKey::of(spec);
+        self.cache.engine_price(key, || {
+            let record = self.pe_record(spec)?;
+            Some(EnginePrice::from_record(
+                spec,
+                &record,
+                self.support_area_um2(spec),
+            ))
+        })
+    }
+
+    /// Evaluates one (engine, workload) pair with the sweep seeding
+    /// convention: the workload model draws from an RNG seeded by
+    /// `seed ^ fnv1a(label)`, where the label is
+    /// `"{engine}/{workload}"` — so results do not depend on evaluation
+    /// order, and two consumers asking about the same pair with the same
+    /// sweep seed get bit-identical metrics.
+    ///
+    /// Layer workloads sample under [`SampleProfile::Sweep`], whole-model
+    /// workloads under [`SampleProfile::Model`] (see [`crate::caps`]).
+    pub fn metrics(
+        &self,
+        spec: &EngineSpec,
+        workload: &SweepWorkload,
+        seed: u64,
+    ) -> Option<Metrics> {
+        let price = self.price(spec)?;
+
+        let freq = spec.freq_ghz;
+        let (cycles, busy_frac) = match spec.kind {
+            ArchKind::Dense(arch) => {
+                let cycles = match workload {
+                    SweepWorkload::Layer(w) => {
+                        arch.at_paper_config().estimate_cycles(w.m, w.n, w.k) as f64
+                            * w.repeats as f64
+                    }
+                    SweepWorkload::Model(net) => dense_model_cycles(arch, net),
+                };
+                // Dense arrays clock every PE every cycle, useful or not.
+                (cycles, 1.0)
+            }
+            ArchKind::Serial => {
+                let point_seed = seed ^ fnv1a(&format!("{}/{}", spec.label(), workload.name()));
+                match workload {
+                    SweepWorkload::Layer(layer) => {
+                        let rec = cached_serial_cycles(
+                            self.cache,
+                            spec,
+                            layer,
+                            point_seed,
+                            SampleProfile::Sweep.caps(),
+                        );
+                        (rec.cycles, rec.utilization())
+                    }
+                    SweepWorkload::Model(net) => serial_model_cycles(
+                        self.cache,
+                        spec,
+                        net,
+                        point_seed,
+                        SampleProfile::Model.caps(),
+                    ),
+                }
+            }
+        };
+
+        let delay_us = cycles / (freq * 1e3);
+        let macs = workload.macs() as f64;
+
+        // Energy: fJ per PE instance-cycle at the record's activity levels.
+        let pe_cycles = cycles * price.instances;
+        let energy_uj = (pe_cycles * busy_frac * price.e_active_fj
+            + pe_cycles * (1.0 - busy_frac) * price.e_idle_fj)
+            * 1e-9;
+
+        let utilization = match spec.kind {
+            ArchKind::Dense(_) => (macs / (cycles * price.lanes_total)).min(1.0),
+            ArchKind::Serial => busy_frac,
+        };
+
+        Some(Metrics {
+            area_um2: price.area_um2,
+            delay_us,
+            energy_uj,
+            energy_per_mac_fj: energy_uj * 1e9 / macs,
+            throughput_gops: 2.0 * macs / delay_us / 1e3,
+            peak_tops: price.peak_tops,
+            utilization,
+            power_w: energy_uj / delay_us,
+        })
+    }
+
+    /// Evaluates one whole model on one engine with the grid seeding
+    /// convention (`seed ^ fnv1a("{engine}/{model}")`, per-layer seeds
+    /// mixed inside). `None` when the engine fails timing.
+    pub fn model_report(
+        &self,
+        spec: &EngineSpec,
+        net: &NetworkModel,
+        seed: u64,
+        caps: SerialSampleCaps,
+    ) -> Option<ModelReport> {
+        let price = self.price(spec)?;
+        let cell_seed = seed ^ fnv1a(&format!("{}/{}", spec.label(), net.name));
+        Some(crate::schedule::evaluate_model_with(
+            self.cache, spec, &price, net, cell_seed, caps,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpe_arith::encode::EncodingKind;
+    use tpe_core::arch::PeStyle;
+    use tpe_sim::array::ClassicArch;
+    use tpe_workloads::{models, LayerShape};
+
+    fn layer_workload() -> SweepWorkload {
+        SweepWorkload::Layer(LayerShape::new("l2.0-3x3s2", 128, 28 * 28, 1152, 1))
+    }
+
+    #[test]
+    fn dense_and_serial_specs_produce_finite_metrics() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        for spec in [
+            EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0),
+            EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0),
+        ] {
+            let m = eval
+                .metrics(&spec, &layer_workload(), 42)
+                .expect("feasible");
+            for (name, v) in [
+                ("area", m.area_um2),
+                ("delay", m.delay_us),
+                ("energy", m.energy_uj),
+                ("fJ/MAC", m.energy_per_mac_fj),
+                ("GOPS", m.throughput_gops),
+                ("TOPS", m.peak_tops),
+                ("power", m.power_w),
+            ] {
+                assert!(v.is_finite() && v > 0.0, "{}: {name} = {v}", spec.label());
+            }
+            assert!((0.0..=1.0).contains(&m.utilization));
+        }
+    }
+
+    #[test]
+    fn mac_is_infeasible_beyond_its_frequency_wall() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let spec = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 2.0);
+        assert!(eval.metrics(&spec, &layer_workload(), 42).is_none());
+    }
+
+    #[test]
+    fn effective_numpps_orders_encoders_as_table3() {
+        let ent = effective_numpps(EncodingKind::EnT.encoder().as_ref());
+        let mbe = effective_numpps(EncodingKind::Mbe.encoder().as_ref());
+        let bsc = effective_numpps(EncodingKind::BitSerialComplement.encoder().as_ref());
+        assert!(ent < mbe, "EN-T {ent} must beat MBE {mbe}");
+        assert!(mbe < bsc, "MBE {mbe} must beat bit-serial {bsc}");
+        assert!(
+            (2.0..2.5).contains(&ent),
+            "EN-T effective NumPPs {ent} vs paper 2.22-2.27"
+        );
+    }
+
+    #[test]
+    fn encoding_axis_changes_serial_delay() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let w = layer_workload();
+        let ent = EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0);
+        let bss = EngineSpec::serial(PeStyle::Opt3, EncodingKind::BitSerialComplement, 2.0);
+        let (e, b) = (
+            eval.metrics(&ent, &w, 7).unwrap(),
+            eval.metrics(&bss, &w, 7).unwrap(),
+        );
+        assert!(
+            e.delay_us < b.delay_us,
+            "EN-T ({}) must stream fewer digits than bit-serial ({})",
+            e.delay_us,
+            b.delay_us
+        );
+    }
+
+    #[test]
+    fn encoding_axis_prices_encoder_hardware() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let area = |style, enc| {
+            eval.price(&EngineSpec::serial(style, enc, 2.0))
+                .unwrap()
+                .area_um2
+        };
+        // OPT3 carries the encoder in-PE: the plain Booth recoder and the
+        // bit-serial zero-skip unit are both cheaper than EN-T's
+        // carry-chained recoder.
+        let opt3_ent = area(PeStyle::Opt3, EncodingKind::EnT);
+        assert!(area(PeStyle::Opt3, EncodingKind::Mbe) < opt3_ent);
+        assert!(area(PeStyle::Opt3, EncodingKind::BitSerialComplement) < opt3_ent);
+        // OPT4C's shared encoders reprice in the support logic too.
+        let opt4c_ent = area(PeStyle::Opt4C, EncodingKind::EnT);
+        assert!(area(PeStyle::Opt4C, EncodingKind::Mbe) < opt4c_ent);
+    }
+
+    #[test]
+    fn opt3_cache_key_distinguishes_encodings_but_opt4_shares() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        eval.price(&EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0));
+        eval.price(&EngineSpec::serial(PeStyle::Opt3, EncodingKind::Mbe, 2.0));
+        assert_eq!(
+            cache.stats().price_misses,
+            2,
+            "in-PE encoder is cost-relevant"
+        );
+        eval.price(&EngineSpec::serial(PeStyle::Opt4C, EncodingKind::EnT, 2.0));
+        eval.price(&EngineSpec::serial(PeStyle::Opt4C, EncodingKind::Mbe, 2.0));
+        assert_eq!(
+            cache.stats().price_misses,
+            3,
+            "OPT4C's PE has no encoder; encodings share one synthesis"
+        );
+    }
+
+    /// The five-encoding OPT3 axis prices only three distinct recoders:
+    /// EN-T/CSD share the carry-chained recoder and the two bit-serial
+    /// kinds share the zero-skip unit, so canonicalizing the price key
+    /// lifts the hit rate from 0/5 to 2/5 on this slice.
+    #[test]
+    fn opt3_encoding_hardware_classes_share_cache_entries() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        for kind in EncodingKind::ALL {
+            eval.price(&EngineSpec::serial(PeStyle::Opt3, kind, 2.0));
+        }
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.price_hits, stats.price_misses),
+            (2, 3),
+            "EN-T+CSD and the two bit-serial kinds must share entries"
+        );
+        assert!(stats.hit_rate() > 0.39);
+    }
+
+    #[test]
+    fn node_scaling_shrinks_area_and_power() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let w = layer_workload();
+        let p28 = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 1.5);
+        let p16 = p28.at_corner(crate::spec::Corner::n16(1.5));
+        let m28 = eval.metrics(&p28, &w, 1).unwrap();
+        let m16 = eval.metrics(&p16, &w, 1).unwrap();
+        assert!(m16.area_um2 < m28.area_um2 * 0.5);
+        assert!(m16.energy_uj < m28.energy_uj);
+    }
+
+    #[test]
+    fn cache_prices_each_corner_once_across_workloads() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let spec = EngineSpec::serial(PeStyle::Opt4C, EncodingKind::EnT, 2.0);
+        let workloads = [
+            SweepWorkload::Layer(LayerShape::new("a", 64, 64, 64, 1)),
+            SweepWorkload::Layer(LayerShape::new("b", 128, 64, 64, 1)),
+            SweepWorkload::Model(models::resnet18()),
+        ];
+        for w in &workloads {
+            eval.metrics(&spec, w, 3);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.price_misses, 1);
+        assert_eq!(stats.price_hits, workloads.len() as u64 - 1);
+    }
+
+    /// The metrics path and the price path are one implementation: pinned
+    /// bit-identical so they can never drift apart again.
+    #[test]
+    fn metrics_and_price_agree_bit_for_bit() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        for spec in [
+            EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0),
+            EngineSpec::dense(PeStyle::Opt1, ClassicArch::Ascend, 1.5),
+            EngineSpec::serial(PeStyle::Opt3, EncodingKind::Csd, 2.0),
+            EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0),
+        ] {
+            let m = eval.metrics(&spec, &layer_workload(), 1).unwrap();
+            let p = eval.price(&spec).unwrap();
+            assert_eq!(m.area_um2.to_bits(), p.area_um2.to_bits());
+            assert_eq!(m.peak_tops.to_bits(), p.peak_tops.to_bits());
+        }
+    }
+
+    /// A warm rerun of an identical model evaluation is served entirely
+    /// from memory: zero synthesis, zero sampling (isolated cache, so the
+    /// counters are exact).
+    #[test]
+    fn warm_model_rerun_adds_zero_misses() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let spec = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0);
+        let net = models::resnet18();
+        let caps = SampleProfile::Quick.caps();
+        let first = eval.model_report(&spec, &net, 77, caps).unwrap();
+        let before = cache.stats();
+        let second = eval.model_report(&spec, &net, 77, caps).unwrap();
+        let delta = cache.stats().since(&before);
+        assert_eq!(first, second);
+        assert_eq!(delta.misses(), 0, "warm rerun must be all hits: {delta:?}");
+        assert!(delta.hits() > 0);
+    }
+
+    /// The model-report path agrees with the free-function composition the
+    /// grid executor uses.
+    #[test]
+    fn model_report_matches_grid_composition() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let spec = EngineSpec::dense(PeStyle::Opt1, ClassicArch::Tpu, 1.5);
+        let net = models::resnet18();
+        let caps = SampleProfile::Quick.caps();
+        let r = eval.model_report(&spec, &net, 5, caps).unwrap();
+        let price = eval.price(&spec).unwrap();
+        let seed = 5 ^ fnv1a(&format!("{}/{}", spec.label(), net.name));
+        let direct = crate::schedule::evaluate_model_with(&cache, &spec, &price, &net, seed, caps);
+        assert_eq!(r, direct);
+    }
+}

@@ -1,0 +1,105 @@
+#![warn(missing_docs)]
+
+//! # tpe-engine
+//!
+//! The canonical evaluation stack for the bit-weight TPE workspace.
+//!
+//! The paper's comparisons (Tables I–VII, Figures 9–14) all reduce to
+//! pricing one (engine × workload) pair. Before this crate existed the
+//! workspace computed that in three independently-maintained paths —
+//! `tpe-dse`'s point evaluator, `tpe-pipeline`'s engine pricing, and the
+//! hand-rolled figure/table experiments in `tpe-bench` — each with its own
+//! sample caps, engine roster and per-run cache. `tpe-engine` is the single
+//! implementation they now all consume:
+//!
+//! ```text
+//!            ┌───────────────────────────────────────────────┐
+//!            │                 tpe-engine                    │
+//!  queries   │  spec ── EngineSpec / EnginePrice / Corner    │
+//!  ───────►  │  roster ─ Table VII registry + label lookup   │
+//!  dse       │  caps ─── SerialSampleCaps profile table      │
+//!  pipeline  │  eval ─── Evaluator: synthesis → node scaling │
+//!  bench     │           → array support → cycle models      │
+//!  serve     │  cache ── process-wide sharded memo cache     │
+//!            │  serve ── NDJSON batch query server           │
+//!            └───────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`spec`] — [`EngineSpec`]: the architecture half of a design point
+//!   (PE style × array × encoding × corner), its stable label grammar, and
+//!   [`EnginePrice`], the array-level cost assembly.
+//! * [`roster`] — the named Table VII registry (12 engines), the default
+//!   sweep corners, and label → spec lookup for serve queries.
+//! * [`caps`] — the [`caps::SampleProfile`] table unifying every
+//!   serial-sampling budget the workspace uses.
+//! * [`cache`] — [`EngineCache`]: the process-wide concurrent memo cache,
+//!   sharded `RwLock` maps keyed on [`cache::PeKey`] (synthesis) and
+//!   [`cache::CycleKey`] (sampled workload cycles).
+//! * [`eval`] — [`Evaluator`]: one (engine, workload, seed) →
+//!   [`eval::Metrics`] / [`report::ModelReport`], bit-identical no matter
+//!   which consumer asks.
+//! * [`schedule`] / [`report`] — layer tiling onto array geometries and
+//!   the per-layer/end-to-end report schema.
+//! * [`serve`] — the `repro serve` protocol: a std-only TCP/NDJSON batch
+//!   query server over the global cache.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tpe_engine::{Evaluator, SweepWorkload};
+//! use tpe_workloads::LayerShape;
+//!
+//! let engine = tpe_engine::roster::find("OPT4E[EN-T]/28nm@2.00GHz").unwrap();
+//! let workload = SweepWorkload::Layer(LayerShape::new("fc1", 1, 3072, 768, 1));
+//! let metrics = Evaluator::global().metrics(&engine, &workload, 42).unwrap();
+//! assert!(metrics.throughput_gops > 0.0);
+//! // Same question, same answer — served from the global cache.
+//! let again = Evaluator::global().metrics(&engine, &workload, 42).unwrap();
+//! assert_eq!(metrics, again);
+//! ```
+
+pub mod cache;
+pub mod caps;
+pub mod eval;
+pub mod report;
+pub mod roster;
+pub mod schedule;
+pub mod serve;
+pub mod spec;
+pub mod workload;
+
+pub use cache::{CacheStats, EngineCache};
+pub use caps::{SampleProfile, SerialSampleCaps};
+pub use eval::{Evaluator, Metrics};
+pub use report::{LayerReport, ModelReport};
+pub use schedule::{
+    dense_model_cycles, dense_tiles, evaluate_model, schedule_layer, serial_model_cycles,
+    LayerSchedule, MODEL_SAMPLE_CAPS,
+};
+pub use spec::{classic_name, Corner, EnginePrice, EngineSpec};
+pub use workload::SweepWorkload;
+
+/// FNV-1a over a label: the stable seed component used everywhere the
+/// workspace derives per-work-item RNG streams. Independent of sweep order
+/// and thread assignment, which is what makes parallel runs byte-identical
+/// to serial ones (`tpe-dse` re-exports this as `label_hash`).
+pub fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable_and_label_sensitive() {
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("ResNet18/OPT4E"), fnv1a("ResNet18/OPT4E"));
+        assert_ne!(fnv1a("ResNet18/OPT4E"), fnv1a("ResNet18/OPT3"));
+    }
+}

@@ -1,13 +1,15 @@
-//! Per-layer and end-to-end model reports: the pipeline's output schema.
+//! Per-layer and end-to-end model reports: the model scheduler's output
+//! schema.
 //!
-//! A [`ModelReport`] is the model-level analogue of a `tpe-dse` metrics
-//! row — the quantities Figures 12–13 compare across networks: end-to-end
-//! latency, sustained throughput, energy, TOPS/W and delay-weighted
-//! utilization. Aggregates are pure sums/weighted means of the per-layer
-//! rows (property-tested in `tests/properties.rs`), so layer and model
-//! views can never drift apart.
+//! A [`ModelReport`] is the model-level analogue of a sweep
+//! [`Metrics`](crate::eval::Metrics) row — the quantities Figures 12–13
+//! compare across networks: end-to-end latency, sustained throughput,
+//! energy, TOPS/W and delay-weighted utilization. Aggregates are pure
+//! sums/weighted means of the per-layer rows (property-tested in
+//! `tpe-pipeline`'s suite), so layer and model views can never drift
+//! apart.
 
-use crate::engine::{EnginePrice, EngineSpec};
+use crate::spec::{EnginePrice, EngineSpec};
 
 /// One layer's scheduled outcome on one engine.
 #[derive(Debug, Clone, PartialEq)]

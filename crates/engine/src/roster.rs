@@ -1,0 +1,185 @@
+//! The named engine registry: Table VII's roster, the sweep corners, and
+//! label-based lookup for `repro serve` / `repro query`.
+//!
+//! Engine labels ("OPT4E\[EN-T\]/28nm\@2.00GHz") are the workspace's
+//! stable identity strings — seeds, CSV rows, `--filter`/`--arch`
+//! matching and serve queries all key on them. [`find`] resolves a label
+//! back to its [`EngineSpec`]: roster entries by name or full label, and
+//! arbitrary sweep points by parsing the label grammar, so a serve client
+//! can ask about any engine a sweep can enumerate.
+
+use tpe_arith::encode::EncodingKind;
+use tpe_core::arch::PeStyle;
+use tpe_sim::array::ClassicArch;
+
+use crate::spec::{classic_name, Corner, EngineSpec};
+
+/// The `repro models` roster: the four classic dense baselines at
+/// their Table VII clocks, their OPT1/OPT2 retrofits, and the three
+/// serial styles under EN-T — every Table VII configuration, so each
+/// model is scored across all four dense array geometries *and* all
+/// serial PE styles.
+pub fn paper_roster() -> Vec<EngineSpec> {
+    use ClassicArch::*;
+    vec![
+        EngineSpec::dense(PeStyle::TraditionalMac, Tpu, 1.0),
+        EngineSpec::dense(PeStyle::TraditionalMac, Ascend, 1.0),
+        EngineSpec::dense(PeStyle::TraditionalMac, Trapezoid, 1.0),
+        EngineSpec::dense(PeStyle::TraditionalMac, FlexFlow, 1.0),
+        EngineSpec::dense(PeStyle::Opt1, Tpu, 1.5),
+        EngineSpec::dense(PeStyle::Opt1, Ascend, 1.5),
+        EngineSpec::dense(PeStyle::Opt1, Trapezoid, 1.5),
+        EngineSpec::dense(PeStyle::Opt1, FlexFlow, 1.5),
+        EngineSpec::dense(PeStyle::Opt2, FlexFlow, 1.5),
+        EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0),
+        EngineSpec::serial(PeStyle::Opt4C, EncodingKind::EnT, 2.5),
+        EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0),
+    ]
+}
+
+/// The default design-space corner axis (`repro dse`): the paper's SMIC
+/// 28 nm node at its three studied clocks plus the 16 nm scaling point.
+pub fn sweep_corners() -> Vec<Corner> {
+    vec![
+        Corner::smic28(1.0),
+        Corner::smic28(1.5),
+        Corner::smic28(2.0),
+        Corner::n16(1.5),
+    ]
+}
+
+/// Full labels of every roster engine, in roster order.
+pub fn names() -> Vec<String> {
+    paper_roster().iter().map(EngineSpec::label).collect()
+}
+
+/// Resolves an engine name to its spec.
+///
+/// Accepted forms, case-insensitive:
+///
+/// * a roster arch label ("OPT4E\[EN-T\]") — resolved at its paper clock;
+/// * a full label ("OPT1(TPU)/16nm\@1.50GHz") — any arch the label
+///   grammar can express, at any sweep-expressible corner.
+pub fn find(name: &str) -> Option<EngineSpec> {
+    let roster = paper_roster();
+    if let Some(hit) = roster.iter().find(|e| e.label().eq_ignore_ascii_case(name)) {
+        return Some(hit.clone());
+    }
+    if let Some(hit) = roster
+        .iter()
+        .find(|e| e.arch_label().eq_ignore_ascii_case(name))
+    {
+        return Some(hit.clone());
+    }
+    let (arch_part, corner_part) = name.split_once('/')?;
+    let spec = parse_arch_label(arch_part)?;
+    let corner = parse_corner(corner_part)?;
+    Some(spec.at_corner(corner))
+}
+
+/// Parses "STYLE\[ENCODING\]" (serial) or "STYLE(TOPOLOGY)" (dense) at a
+/// placeholder clock (callers attach the corner).
+fn parse_arch_label(arch: &str) -> Option<EngineSpec> {
+    let style_of = |s: &str| {
+        PeStyle::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(s))
+    };
+    // Serial first: encodings like "bit-serial(C)" contain parentheses.
+    if let Some((style_str, rest)) = arch.split_once('[') {
+        let enc_str = rest.strip_suffix(']')?;
+        let style = style_of(style_str)?;
+        let encoding = EncodingKind::ALL
+            .into_iter()
+            .find(|e| e.to_string().eq_ignore_ascii_case(enc_str))?;
+        return style
+            .is_serial()
+            .then(|| EngineSpec::serial(style, encoding, 1.0));
+    }
+    let (style_str, rest) = arch.split_once('(')?;
+    let topo_str = rest.strip_suffix(')')?;
+    let style = style_of(style_str)?;
+    let topo = ClassicArch::ALL
+        .into_iter()
+        .find(|a| classic_name(*a).eq_ignore_ascii_case(topo_str))?;
+    (!style.is_serial()).then(|| EngineSpec::dense(style, topo, 1.0))
+}
+
+/// Parses "28nm\@2.00GHz" into a [`Corner`].
+fn parse_corner(corner: &str) -> Option<Corner> {
+    let (node_str, freq_str) = corner.split_once('@')?;
+    let ghz: f64 = freq_str
+        .strip_suffix("GHz")
+        .or_else(|| freq_str.strip_suffix("ghz"))?
+        .parse()
+        .ok()?;
+    if !(ghz.is_finite() && ghz > 0.0) {
+        return None;
+    }
+    match node_str.to_ascii_lowercase().as_str() {
+        "28nm" => Some(Corner::smic28(ghz)),
+        "16nm" => Some(Corner::n16(ghz)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_roster_label_round_trips_through_find() {
+        for engine in paper_roster() {
+            let by_label = find(&engine.label()).unwrap();
+            assert_eq!(by_label, engine, "{}", engine.label());
+            let by_arch = find(&engine.arch_label()).unwrap();
+            assert_eq!(by_arch.label(), engine.label(), "paper clock expected");
+        }
+        assert_eq!(names().len(), 12);
+    }
+
+    #[test]
+    fn find_parses_off_roster_sweep_points() {
+        let e = find("OPT3[CSD]/28nm@2.00GHz").unwrap();
+        assert_eq!(e.label(), "OPT3[CSD]/28nm@2.00GHz");
+        let e = find("opt1(tpu)/16nm@1.50ghz").unwrap();
+        assert_eq!(e.label(), "OPT1(TPU)/16nm@1.50GHz");
+        let e = find("OPT4E[bit-serial(C)]/28nm@2.00GHz").unwrap();
+        assert_eq!(e.encoding, EncodingKind::BitSerialComplement);
+        // The MAC baseline label grammar.
+        let e = find("MAC(FlexFlow)/28nm@1.00GHz").unwrap();
+        assert_eq!(e.style, PeStyle::TraditionalMac);
+    }
+
+    #[test]
+    fn find_rejects_nonsense() {
+        for bad in [
+            "",
+            "OPT9[EN-T]/28nm@2.00GHz",
+            "OPT3[NOPE]/28nm@2.00GHz",
+            "OPT3(TPU)/28nm@2.00GHz", // serial style on a dense topology
+            "MAC[EN-T]/28nm@2.00GHz", // dense style with an encoding
+            "OPT1(TPU)/7nm@1.00GHz",  // unknown node
+            "OPT1(TPU)/28nm@fastGHz", // unparsable clock
+            "OPT3[CSD]",              // off-roster arch without a corner
+        ] {
+            assert!(find(bad).is_none(), "{bad:?} must not resolve");
+        }
+    }
+
+    #[test]
+    fn sweep_corners_cover_the_paper_axis() {
+        let corners = sweep_corners();
+        assert_eq!(corners.len(), 4);
+        let labels: Vec<String> = corners.iter().map(Corner::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "28nm@1.00GHz",
+                "28nm@1.50GHz",
+                "28nm@2.00GHz",
+                "16nm@1.50GHz"
+            ]
+        );
+    }
+}

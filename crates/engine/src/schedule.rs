@@ -13,32 +13,32 @@
 //! * **Serial** — the layer maps multiplicand rows across the MP columns
 //!   and cycles are sampled from the shared encoder-parameterized
 //!   [`sample_serial_cycles`] model (Eq. 7's `sync` barrier: the slowest
-//!   column bounds each round). Utilization is the sampled busy fraction.
+//!   column bounds each round), memoized in the process-wide
+//!   [`EngineCache`] on the exact (geometry, encoding, shape, seed, caps)
+//!   key. Utilization is the sampled busy fraction.
 //!
-//! Per-layer RNG seeds are derived from [`fnv1a`] over the layer's index
-//! and name, so whole-model results never depend on evaluation order —
-//! the property the grid executor's byte-identical determinism rests on.
+//! Per-layer RNG seeds are derived from [`fnv1a`](crate::fnv1a()) over the
+//! layer's index and name, so whole-model results never depend on
+//! evaluation order — the property the grid executor's byte-identical
+//! determinism rests on.
+//!
+//! [`sample_serial_cycles`]: tpe_core::arch::workload::sample_serial_cycles
 
-use tpe_arith::encode::Encoder;
-use tpe_core::arch::workload::{sample_serial_cycles, SerialSampleCaps};
+use tpe_core::arch::workload::sample_serial_cycles;
 use tpe_core::arch::ArchKind;
 use tpe_sim::array::ClassicArch;
 use tpe_sim::BitsliceConfig;
 use tpe_workloads::{LayerShape, NetworkModel};
 
-use crate::engine::{EnginePrice, EngineSpec};
+use crate::cache::{CycleKey, EngineCache, SerialLayerRecord};
+use crate::caps::{SampleProfile, SerialSampleCaps};
 use crate::fnv1a;
 use crate::report::{LayerReport, ModelReport};
+use crate::spec::{EnginePrice, EngineSpec};
 
-/// Sampling caps for whole-model serial evaluation. Tighter than the
-/// single-layer defaults: a model sums dozens of layers, so per-layer
-/// sampling noise averages out and the budget stays proportionate to a
-/// sweep that scores hundreds of (model × engine) cells. Rounds are
-/// i.i.d., so the estimates remain unbiased.
-pub const MODEL_SAMPLE_CAPS: SerialSampleCaps = SerialSampleCaps {
-    max_rounds: 24,
-    max_operands: 30_000,
-};
+/// Sampling caps for whole-model serial evaluation
+/// ([`SampleProfile::Model`]; see the profile table for the rationale).
+pub const MODEL_SAMPLE_CAPS: SerialSampleCaps = SampleProfile::Model.caps();
 
 /// Number of img2col tiles a dense array cuts one GEMM layer into — the
 /// scheduling granularity of the dense pipelines (weight tiles for the
@@ -71,8 +71,38 @@ pub struct LayerSchedule {
     pub tiles: f64,
 }
 
-/// Schedules one img2col-lowered layer onto `engine`.
-pub fn schedule_layer(
+/// The sampled serial-layer outcome for `spec`, through `cache`.
+///
+/// This is the single entry point to the statistical sync model: the dse
+/// evaluator, the model scheduler and the figure experiments all draw
+/// from here, so one (engine, layer, seed, caps) evaluation is sampled at
+/// most once per process.
+pub fn cached_serial_cycles(
+    cache: &EngineCache,
+    spec: &EngineSpec,
+    layer: &LayerShape,
+    seed: u64,
+    caps: SerialSampleCaps,
+) -> SerialLayerRecord {
+    let key = CycleKey::of(spec, layer, seed, caps);
+    cache.serial_record(key, || {
+        let cfg = serial_config(spec);
+        let encoder = spec.encoding.encoder();
+        let stats = sample_serial_cycles(&cfg, encoder.as_ref(), layer, seed, caps);
+        SerialLayerRecord {
+            cycles: stats.cycles,
+            busy_sum: stats.busy.iter().sum(),
+            busy_min: stats.busy.iter().cloned().fold(f64::INFINITY, f64::min),
+            busy_max: stats.busy.iter().cloned().fold(0.0, f64::max),
+            rounds: stats.rounds,
+            columns: stats.busy.len() as u32,
+        }
+    })
+}
+
+/// Schedules one img2col-lowered layer onto `engine`, through `cache`.
+pub fn schedule_layer_with(
+    cache: &EngineCache,
     engine: &EngineSpec,
     layer: &LayerShape,
     seed: u64,
@@ -90,16 +120,24 @@ pub fn schedule_layer(
             }
         }
         ArchKind::Serial => {
-            let cfg = serial_config(engine);
-            let encoder = engine.encoding.encoder();
-            let stats = sample_serial_cycles(&cfg, encoder.as_ref(), layer, seed, caps);
+            let rec = cached_serial_cycles(cache, engine, layer, seed, caps);
             LayerSchedule {
-                cycles: stats.cycles,
-                busy_frac: stats.utilization(),
-                tiles: stats.rounds,
+                cycles: rec.cycles,
+                busy_frac: rec.utilization(),
+                tiles: rec.rounds,
             }
         }
     }
+}
+
+/// [`schedule_layer_with`] against the process-wide global cache.
+pub fn schedule_layer(
+    engine: &EngineSpec,
+    layer: &LayerShape,
+    seed: u64,
+    caps: SerialSampleCaps,
+) -> LayerSchedule {
+    schedule_layer_with(EngineCache::global(), engine, layer, seed, caps)
 }
 
 /// The engine's bit-slice configuration with its encoding swapped in.
@@ -107,7 +145,7 @@ pub fn schedule_layer(
 /// # Panics
 ///
 /// Panics if the engine is dense.
-fn serial_config(engine: &EngineSpec) -> BitsliceConfig {
+pub fn serial_config(engine: &EngineSpec) -> BitsliceConfig {
     let mut cfg = engine.arch_model().bitslice_config();
     cfg.encoding = engine.encoding;
     cfg
@@ -134,31 +172,34 @@ pub fn dense_model_cycles(arch: ClassicArch, net: &NetworkModel) -> f64 {
 /// own order-independent seed, and busy cycles are pooled across layers
 /// (the delay-weighted utilization).
 pub fn serial_model_cycles(
-    cfg: &BitsliceConfig,
-    encoder: &dyn Encoder,
+    cache: &EngineCache,
+    spec: &EngineSpec,
     net: &NetworkModel,
     seed: u64,
     caps: SerialSampleCaps,
 ) -> (f64, f64) {
+    let mp = serial_config(spec).mp;
     let mut cycles = 0.0;
     let mut busy_sum = 0.0;
     for (i, layer) in net.layers.iter().enumerate() {
-        let stats = sample_serial_cycles(cfg, encoder, layer, layer_seed(seed, i, layer), caps);
-        busy_sum += stats.busy.iter().sum::<f64>();
-        cycles += stats.cycles;
+        let rec = cached_serial_cycles(cache, spec, layer, layer_seed(seed, i, layer), caps);
+        busy_sum += rec.busy_sum;
+        cycles += rec.cycles;
     }
     // Guard the degenerate empty network (0 cycles would divide to NaN).
     let busy_frac = if cycles > 0.0 {
-        busy_sum / (cycles * cfg.mp as f64)
+        busy_sum / (cycles * mp as f64)
     } else {
         0.0
     };
     (cycles, busy_frac)
 }
 
-/// Evaluates one whole model on one priced engine: every layer scheduled,
-/// costed and aggregated into an end-to-end [`ModelReport`].
-pub fn evaluate_model(
+/// Evaluates one whole model on one priced engine, through `cache`: every
+/// layer scheduled, costed and aggregated into an end-to-end
+/// [`ModelReport`].
+pub fn evaluate_model_with(
+    cache: &EngineCache,
     engine: &EngineSpec,
     price: &EnginePrice,
     net: &NetworkModel,
@@ -170,7 +211,7 @@ pub fn evaluate_model(
         .iter()
         .enumerate()
         .map(|(i, layer)| {
-            let s = schedule_layer(engine, layer, layer_seed(seed, i, layer), caps);
+            let s = schedule_layer_with(cache, engine, layer, layer_seed(seed, i, layer), caps);
             let delay_us = s.cycles / (engine.freq_ghz * 1e3);
             let macs = layer.macs();
             let pe_cycles = s.cycles * price.instances;
@@ -193,6 +234,17 @@ pub fn evaluate_model(
         })
         .collect();
     ModelReport::aggregate(net.name.clone(), engine.clone(), price, layers)
+}
+
+/// [`evaluate_model_with`] against the process-wide global cache.
+pub fn evaluate_model(
+    engine: &EngineSpec,
+    price: &EnginePrice,
+    net: &NetworkModel,
+    seed: u64,
+    caps: SerialSampleCaps,
+) -> ModelReport {
+    evaluate_model_with(EngineCache::global(), engine, price, net, seed, caps)
 }
 
 #[cfg(test)]
@@ -266,15 +318,43 @@ mod tests {
     #[test]
     fn serial_model_cycles_are_seed_deterministic_and_order_independent() {
         let engine = opt4e();
-        let cfg = serial_config(&engine);
-        let encoder = engine.encoding.encoder();
+        let cache = EngineCache::new();
         let net = models::mobilenet_v3();
-        let (c1, b1) = serial_model_cycles(&cfg, encoder.as_ref(), &net, 9, MODEL_SAMPLE_CAPS);
-        let (c2, b2) = serial_model_cycles(&cfg, encoder.as_ref(), &net, 9, MODEL_SAMPLE_CAPS);
+        let (c1, b1) = serial_model_cycles(&cache, &engine, &net, 9, MODEL_SAMPLE_CAPS);
+        let (c2, b2) = serial_model_cycles(&cache, &engine, &net, 9, MODEL_SAMPLE_CAPS);
         assert_eq!(c1.to_bits(), c2.to_bits());
         assert_eq!(b1.to_bits(), b2.to_bits());
-        let (c3, _) = serial_model_cycles(&cfg, encoder.as_ref(), &net, 10, MODEL_SAMPLE_CAPS);
+        let (c3, _) = serial_model_cycles(&cache, &engine, &net, 10, MODEL_SAMPLE_CAPS);
         assert_ne!(c1.to_bits(), c3.to_bits(), "seed must reach the sampler");
         assert!((0.0..=1.0).contains(&b1));
+    }
+
+    /// The memoized record reproduces the raw sampler bit-for-bit, and a
+    /// repeated evaluation is served from memory.
+    #[test]
+    fn cached_serial_cycles_match_the_raw_sampler() {
+        let engine = opt4e();
+        let cache = EngineCache::new();
+        let layer = LayerShape::new("probe", 64, 128, 64, 1);
+        let caps = SampleProfile::Quick.caps();
+        let rec = cached_serial_cycles(&cache, &engine, &layer, 11, caps);
+
+        let cfg = serial_config(&engine);
+        let encoder = engine.encoding.encoder();
+        let stats = sample_serial_cycles(&cfg, encoder.as_ref(), &layer, 11, caps);
+        assert_eq!(rec.cycles.to_bits(), stats.cycles.to_bits());
+        assert_eq!(
+            rec.busy_sum.to_bits(),
+            stats.busy.iter().sum::<f64>().to_bits()
+        );
+        assert_eq!(rec.utilization().to_bits(), stats.utilization().to_bits());
+        assert_eq!(rec.columns as usize, stats.busy.len());
+        assert!(rec.busy_min <= rec.busy_max);
+
+        let before = cache.stats();
+        let again = cached_serial_cycles(&cache, &engine, &layer, 11, caps);
+        assert_eq!(again, rec);
+        let delta = cache.stats().since(&before);
+        assert_eq!((delta.cycle_hits, delta.cycle_misses), (1, 0));
     }
 }

@@ -1,0 +1,667 @@
+//! The `repro serve` protocol: a std-only TCP/NDJSON batch query server
+//! over the canonical evaluator and the process-wide cache.
+//!
+//! ## Wire format
+//!
+//! Newline-delimited JSON both ways: one flat JSON object per line in,
+//! one per line out, responses in request order. A connection is a batch;
+//! clients may stream any number of requests and close (or half-close)
+//! when done. Requests:
+//!
+//! ```text
+//! {"id":1,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz"}
+//! {"id":2,"op":"layer","engine":"OPT3[EN-T]","m":64,"n":3136,"k":576,"repeats":1,"seed":42}
+//! {"id":3,"op":"model","engine":"OPT4E[EN-T]","model":"ResNet18","seed":42}
+//! {"id":4,"op":"roster"}
+//! {"id":5,"op":"stats"}
+//! {"id":6,"op":"shutdown"}
+//! ```
+//!
+//! Responses echo the `id` and carry `"ok":true` plus op-specific fields,
+//! or `"ok":false` with an `"error"` string. All numeric fields render at
+//! fixed precision, so a given request line maps to exactly one response
+//! byte string — **batched responses are byte-identical to sequential
+//! single-query responses** (property-tested), because every evaluation is
+//! a deterministic function of the request (seeds are per-request, never
+//! per-connection).
+//!
+//! ## Concurrency
+//!
+//! Thread-per-connection over shared state: all connections evaluate
+//! through the same [`EngineCache`], so a mixed batch converges to
+//! all-hit steady state no matter how clients shard their queries.
+//! `shutdown` drains nothing: it answers, stops accepting, and lets
+//! in-flight connections finish.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use tpe_workloads::{LayerShape, NetworkModel};
+
+use crate::cache::EngineCache;
+use crate::eval::Evaluator;
+use crate::roster;
+use crate::workload::SweepWorkload;
+
+/// Default seed for sampled evaluations when a request omits `"seed"` —
+/// the same default every `repro` experiment uses.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// A parsed flat JSON value (the protocol never nests).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string.
+    Str(String),
+    /// Any JSON number.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Parses one flat JSON object (`{"key": value, ...}`; string / number /
+/// bool / null values only — the protocol is deliberately nesting-free).
+pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    };
+    let parse_string = |pos: &mut usize| -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = line.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|e| format!("\\u: {e}"))?;
+                            *pos += 4;
+                            // Standard JSON encodes non-BMP characters as
+                            // UTF-16 surrogate pairs (🔥).
+                            let scalar = if (0xD800..0xDC00).contains(&code) {
+                                if line.get(*pos + 1..*pos + 3) != Some("\\u") {
+                                    return Err("high surrogate without a low surrogate".into());
+                                }
+                                let hex2 =
+                                    line.get(*pos + 3..*pos + 7).ok_or("truncated \\u escape")?;
+                                let low = u32::from_str_radix(hex2, 16)
+                                    .map_err(|e| format!("\\u: {e}"))?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                *pos += 6;
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(scalar).ok_or("\\u escape is not a scalar value")?,
+                            );
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let s = &line[*pos..];
+                    let c = s.chars().next().ok_or("bad utf-8")?;
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    };
+
+    skip_ws(&mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err("expected `{`".into());
+    }
+    pos += 1;
+    let mut map = BTreeMap::new();
+    skip_ws(&mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        return Ok(map);
+    }
+    loop {
+        skip_ws(&mut pos);
+        let key = parse_string(&mut pos)?;
+        skip_ws(&mut pos);
+        if bytes.get(pos) != Some(&b':') {
+            return Err(format!("expected `:` after key {key:?}"));
+        }
+        pos += 1;
+        skip_ws(&mut pos);
+        let value = match bytes.get(pos) {
+            Some(b'"') => JsonValue::Str(parse_string(&mut pos)?),
+            Some(b't') if line[pos..].starts_with("true") => {
+                pos += 4;
+                JsonValue::Bool(true)
+            }
+            Some(b'f') if line[pos..].starts_with("false") => {
+                pos += 5;
+                JsonValue::Bool(false)
+            }
+            Some(b'n') if line[pos..].starts_with("null") => {
+                pos += 4;
+                JsonValue::Null
+            }
+            Some(b'{') | Some(b'[') => {
+                return Err("nested values are not part of the protocol".into())
+            }
+            Some(_) => {
+                let start = pos;
+                while pos < bytes.len()
+                    && matches!(bytes[pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    pos += 1;
+                }
+                let num: f64 = line[start..pos]
+                    .parse()
+                    .map_err(|e| format!("bad number {:?}: {e}", &line[start..pos]))?;
+                JsonValue::Num(num)
+            }
+            None => return Err("truncated object".into()),
+        };
+        map.insert(key, value);
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => {
+                pos += 1;
+                break;
+            }
+            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+        }
+    }
+    skip_ws(&mut pos);
+    if pos != bytes.len() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(map)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Typed field access over a parsed request object.
+struct Fields(BTreeMap<String, JsonValue>);
+
+impl Fields {
+    fn str(&self, key: &str) -> Result<&str, String> {
+        match self.0.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s),
+            Some(_) => Err(format!("field `{key}` must be a string")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    fn uint(&self, key: &str) -> Result<u64, String> {
+        match self.0.get(key) {
+            Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Ok(*n as u64)
+            }
+            Some(_) => Err(format!("field `{key}` must be a non-negative integer")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    fn uint_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        if self.0.contains_key(key) {
+            self.uint(key)
+        } else {
+            Ok(default)
+        }
+    }
+}
+
+/// Handles one request line against `cache`, returning the response line
+/// (no trailing newline) and whether the request asked for shutdown.
+pub fn handle_line(line: &str, cache: &EngineCache) -> (String, bool) {
+    let fields = match parse_flat_object(line) {
+        Ok(map) => Fields(map),
+        Err(e) => {
+            return (
+                format!(
+                    "{{\"id\":0,\"ok\":false,\"error\":\"{}\"}}",
+                    json_escape(&e)
+                ),
+                false,
+            )
+        }
+    };
+    let id = fields.uint_or("id", 0).unwrap_or(0);
+    match respond(&fields, cache) {
+        Ok((body, is_shutdown)) => (format!("{{\"id\":{id},\"ok\":true,{body}}}"), is_shutdown),
+        Err(e) => (
+            format!(
+                "{{\"id\":{id},\"ok\":false,\"error\":\"{}\"}}",
+                json_escape(&e)
+            ),
+            false,
+        ),
+    }
+}
+
+/// The op-specific response body (without the `id`/`ok` envelope).
+fn respond(fields: &Fields, cache: &EngineCache) -> Result<(String, bool), String> {
+    let eval = Evaluator::new(cache);
+    let op = fields.str("op")?;
+    match op {
+        "engine" => {
+            let spec = resolve_engine(fields)?;
+            let body = match eval.price(&spec) {
+                Some(p) => format!(
+                    "\"op\":\"engine\",\"engine\":\"{}\",\"feasible\":true,\
+                     \"area_um2\":{:.3},\"e_active_fj\":{:.4},\"e_idle_fj\":{:.4},\
+                     \"instances\":{:.0},\"lanes_total\":{:.0},\"peak_tops\":{:.4}",
+                    json_escape(&spec.label()),
+                    p.area_um2,
+                    p.e_active_fj,
+                    p.e_idle_fj,
+                    p.instances,
+                    p.lanes_total,
+                    p.peak_tops
+                ),
+                None => format!(
+                    "\"op\":\"engine\",\"engine\":\"{}\",\"feasible\":false",
+                    json_escape(&spec.label())
+                ),
+            };
+            Ok((body, false))
+        }
+        "layer" => {
+            let spec = resolve_engine(fields)?;
+            let m = fields.uint("m")? as usize;
+            let n = fields.uint("n")? as usize;
+            let k = fields.uint("k")? as usize;
+            if m == 0 || n == 0 || k == 0 {
+                return Err("layer dimensions must be positive".into());
+            }
+            let repeats = fields.uint_or("repeats", 1)?.max(1) as usize;
+            let seed = fields.uint_or("seed", DEFAULT_SEED)?;
+            let name = match fields.0.get("workload") {
+                Some(JsonValue::Str(s)) => s.clone(),
+                Some(_) => return Err("field `workload` must be a string".into()),
+                None => format!("{m}x{n}x{k}r{repeats}"),
+            };
+            let workload = SweepWorkload::Layer(LayerShape::new(&name, m, n, k, repeats));
+            let body = match eval.metrics(&spec, &workload, seed) {
+                Some(mt) => format!(
+                    "\"op\":\"layer\",\"engine\":\"{}\",\"workload\":\"{}\",\"seed\":{seed},\
+                     \"feasible\":true,{}",
+                    json_escape(&spec.label()),
+                    json_escape(&name),
+                    metrics_body(&mt)
+                ),
+                None => format!(
+                    "\"op\":\"layer\",\"engine\":\"{}\",\"workload\":\"{}\",\"seed\":{seed},\
+                     \"feasible\":false",
+                    json_escape(&spec.label()),
+                    json_escape(&name)
+                ),
+            };
+            Ok((body, false))
+        }
+        "model" => {
+            let spec = resolve_engine(fields)?;
+            let model_name = fields.str("model")?;
+            let seed = fields.uint_or("seed", DEFAULT_SEED)?;
+            let net = NetworkModel::all()
+                .into_iter()
+                .find(|n| n.name.eq_ignore_ascii_case(model_name))
+                .ok_or_else(|| format!("unknown model `{model_name}`"))?;
+            let body = match eval.model_report(&spec, &net, seed, crate::MODEL_SAMPLE_CAPS) {
+                Some(r) => format!(
+                    "\"op\":\"model\",\"engine\":\"{}\",\"model\":\"{}\",\"seed\":{seed},\
+                     \"feasible\":true,\"layers\":{},\"macs\":{},\"cycles\":{:.0},\
+                     \"delay_us\":{:.4},\"energy_uj\":{:.6},\"gops\":{:.3},\
+                     \"peak_tops\":{:.4},\"utilization\":{:.5},\"power_w\":{:.5},\
+                     \"tops_per_w\":{:.4},\"area_um2\":{:.3}",
+                    json_escape(&spec.label()),
+                    json_escape(&net.name),
+                    r.layer_count(),
+                    r.total_macs,
+                    r.cycles,
+                    r.delay_us,
+                    r.energy_uj,
+                    r.throughput_gops(),
+                    r.peak_tops,
+                    r.utilization,
+                    r.power_w(),
+                    r.tops_per_w(),
+                    r.area_um2
+                ),
+                None => format!(
+                    "\"op\":\"model\",\"engine\":\"{}\",\"model\":\"{}\",\"seed\":{seed},\
+                     \"feasible\":false",
+                    json_escape(&spec.label()),
+                    json_escape(&net.name)
+                ),
+            };
+            Ok((body, false))
+        }
+        "roster" => {
+            let names: Vec<String> = roster::names()
+                .iter()
+                .map(|n| format!("\"{}\"", json_escape(n)))
+                .collect();
+            Ok((
+                format!("\"op\":\"roster\",\"engines\":[{}]", names.join(",")),
+                false,
+            ))
+        }
+        "stats" => {
+            let s = cache.stats();
+            Ok((
+                format!(
+                    "\"op\":\"stats\",\"price_hits\":{},\"price_misses\":{},\
+                     \"cycle_hits\":{},\"cycle_misses\":{},\"hit_rate\":{:.4}",
+                    s.price_hits,
+                    s.price_misses,
+                    s.cycle_hits,
+                    s.cycle_misses,
+                    s.hit_rate()
+                ),
+                false,
+            ))
+        }
+        "shutdown" => Ok(("\"op\":\"shutdown\"".into(), true)),
+        other => Err(format!(
+            "unknown op `{other}` (expected engine|layer|model|roster|stats|shutdown)"
+        )),
+    }
+}
+
+fn resolve_engine(fields: &Fields) -> Result<crate::EngineSpec, String> {
+    let name = fields.str("engine")?;
+    roster::find(name).ok_or_else(|| format!("unknown engine `{name}`"))
+}
+
+fn metrics_body(m: &crate::Metrics) -> String {
+    format!(
+        "\"area_um2\":{:.3},\"delay_us\":{:.4},\"energy_uj\":{:.6},\"fj_per_mac\":{:.4},\
+         \"gops\":{:.3},\"peak_tops\":{:.4},\"utilization\":{:.5},\"power_w\":{:.5}",
+        m.area_um2,
+        m.delay_us,
+        m.energy_uj,
+        m.energy_per_mac_fj,
+        m.throughput_gops,
+        m.peak_tops,
+        m.utilization,
+        m.power_w
+    )
+}
+
+/// What one [`serve`] run handled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request lines answered.
+    pub requests: u64,
+}
+
+/// Runs the serve loop on `listener` until a `shutdown` request arrives:
+/// thread-per-connection, every connection evaluating through the shared
+/// `cache`. Blocks the calling thread.
+pub fn serve(listener: TcpListener, cache: &EngineCache) -> std::io::Result<ServeOutcome> {
+    let local = listener.local_addr()?;
+    let shutdown = AtomicBool::new(false);
+    let connections = AtomicU64::new(0);
+    let requests = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // A failed accept (client reset mid-handshake, transient
+                // fd exhaustion) must not take the server down; back off
+                // briefly so a persistent error cannot hot-spin.
+                Err(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            connections.fetch_add(1, Ordering::Relaxed);
+            let (shutdown, requests) = (&shutdown, &requests);
+            scope.spawn(move || {
+                if handle_connection(&stream, cache, requests) {
+                    shutdown.store(true, Ordering::SeqCst);
+                    // Wake the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(local);
+                }
+            });
+        }
+    });
+    Ok(ServeOutcome {
+        connections: connections.load(Ordering::Relaxed),
+        requests: requests.load(Ordering::Relaxed),
+    })
+}
+
+/// Serves one connection; returns whether it requested shutdown.
+fn handle_connection(stream: &TcpStream, cache: &EngineCache, requests: &AtomicU64) -> bool {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        requests.fetch_add(1, Ordering::Relaxed);
+        let (response, is_shutdown) = handle_line(&line, cache);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .is_err()
+        {
+            break;
+        }
+        if is_shutdown {
+            let _ = writer.flush();
+            return true;
+        }
+    }
+    let _ = writer.flush();
+    false
+}
+
+/// Sends `lines` over one connection and returns the response lines, in
+/// order. Writes from a helper thread so large batches cannot deadlock on
+/// full socket buffers.
+pub fn query_batch(addr: &str, lines: &[String]) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let expected = lines.iter().filter(|l| !l.trim().is_empty()).count();
+    std::thread::scope(|scope| -> std::io::Result<Vec<String>> {
+        let sender = scope.spawn(move || -> std::io::Result<()> {
+            for line in lines {
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+            writer.flush()?;
+            stream_shutdown_write(&writer);
+            Ok(())
+        });
+        let reader = BufReader::new(&stream);
+        let mut responses = Vec::with_capacity(expected);
+        for line in reader.lines() {
+            responses.push(line?);
+            if responses.len() == expected {
+                break;
+            }
+        }
+        sender.join().expect("sender thread panicked")?;
+        Ok(responses)
+    })
+}
+
+fn stream_shutdown_write(stream: &TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_flat_objects() {
+        let map = parse_flat_object(
+            r#"{"op":"layer","engine":"OPT3[EN-T]","m":64,"seed":42,"deep":-1.5e2,"flag":true,"nil":null,"esc":"a\"b\\c\nd"}"#,
+        )
+        .unwrap();
+        assert_eq!(map["op"], JsonValue::Str("layer".into()));
+        assert_eq!(map["m"], JsonValue::Num(64.0));
+        assert_eq!(map["deep"], JsonValue::Num(-150.0));
+        assert_eq!(map["flag"], JsonValue::Bool(true));
+        assert_eq!(map["nil"], JsonValue::Null);
+        assert_eq!(map["esc"], JsonValue::Str("a\"b\\c\nd".into()));
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+        // Standard JSON surrogate pairs decode to the non-BMP scalar.
+        let fire = parse_flat_object(r#"{"w":"\ud83d\udd25!"}"#).unwrap();
+        assert_eq!(fire["w"], JsonValue::Str("\u{1F525}!".into()));
+        for bad in [r#"{"w":"\ud83d"}"#, r#"{"w":"\ud83dA"}"#] {
+            assert!(parse_flat_object(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "[1]",
+            "{\"a\":}",
+            "{\"a\":{\"nested\":1}}",
+            "{\"a\":[1]}",
+            "{\"a\":1} trailing",
+            "{\"a\":\"unterminated}",
+            "{\"a\":01x}",
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn engine_and_roster_ops_answer() {
+        let cache = EngineCache::new();
+        let (resp, down) = handle_line(
+            r#"{"id":7,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz"}"#,
+            &cache,
+        );
+        assert!(!down);
+        assert!(resp.starts_with("{\"id\":7,\"ok\":true,"), "{resp}");
+        assert!(resp.contains("\"feasible\":true"), "{resp}");
+        assert!(resp.contains("\"peak_tops\":"), "{resp}");
+
+        let (roster_resp, _) = handle_line(r#"{"id":8,"op":"roster"}"#, &cache);
+        assert!(
+            roster_resp.contains("OPT4E[EN-T]/28nm@2.00GHz"),
+            "{roster_resp}"
+        );
+        assert_eq!(roster_resp.matches("GHz\"").count(), 12, "{roster_resp}");
+    }
+
+    #[test]
+    fn layer_op_is_deterministic_per_request() {
+        let cache = EngineCache::new();
+        let req = r#"{"id":1,"op":"layer","engine":"OPT3[EN-T]/28nm@2.00GHz","m":64,"n":128,"k":64,"seed":9}"#;
+        let (a, _) = handle_line(req, &cache);
+        let (b, _) = handle_line(req, &cache);
+        assert_eq!(a, b);
+        assert!(a.contains("\"utilization\":"), "{a}");
+        // A different seed is a different answer.
+        let req2 = r#"{"id":1,"op":"layer","engine":"OPT3[EN-T]/28nm@2.00GHz","m":64,"n":128,"k":64,"seed":10}"#;
+        let (c, _) = handle_line(req2, &cache);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn errors_echo_the_id_and_never_shutdown() {
+        let cache = EngineCache::new();
+        for (req, needle) in [
+            (r#"{"id":3,"op":"warp"}"#, "unknown op"),
+            (
+                r#"{"id":3,"op":"engine","engine":"OPT9"}"#,
+                "unknown engine",
+            ),
+            (
+                r#"{"id":3,"op":"model","engine":"OPT3[EN-T]","model":"LeNet"}"#,
+                "unknown model",
+            ),
+            (
+                r#"{"id":3,"op":"layer","engine":"OPT3[EN-T]","m":0,"n":1,"k":1}"#,
+                "positive",
+            ),
+            (
+                r#"{"id":3,"op":"layer","engine":"OPT3[EN-T]","n":1,"k":1}"#,
+                "missing field",
+            ),
+            ("not json", "expected"),
+        ] {
+            let (resp, down) = handle_line(req, &cache);
+            assert!(!down);
+            assert!(resp.contains("\"ok\":false"), "{req} -> {resp}");
+            assert!(resp.contains(needle), "{req} -> {resp}");
+        }
+    }
+
+    #[test]
+    fn infeasible_engines_answer_feasible_false() {
+        let cache = EngineCache::new();
+        let (resp, _) = handle_line(
+            r#"{"id":2,"op":"engine","engine":"MAC(TPU)/28nm@2.00GHz"}"#,
+            &cache,
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"feasible\":false"), "{resp}");
+    }
+
+    #[test]
+    fn shutdown_op_flags_the_connection() {
+        let cache = EngineCache::new();
+        let (resp, down) = handle_line(r#"{"id":9,"op":"shutdown"}"#, &cache);
+        assert!(down);
+        assert!(resp.contains("\"op\":\"shutdown\""), "{resp}");
+    }
+}

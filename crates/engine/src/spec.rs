@@ -1,20 +1,58 @@
-//! Execution engines: the (PE style × array × encoding × clock) targets a
-//! model is scheduled onto, and their synthesis-derived pricing.
+//! Execution engines: the (PE style × array × encoding × corner) targets a
+//! workload is priced and scheduled onto.
 //!
-//! An [`EngineSpec`] is the architecture half of a `tpe-dse` design point —
-//! everything except the workload. [`EngineSpec::price`] composes the same
-//! path the sweep evaluator uses (`PeStyle` design → `tpe-cost` synthesis →
-//! node scaling → array support logic), with the shared
-//! [`tpe_cost::power::PE_BUSY`]/[`tpe_cost::power::PE_IDLE`] activity
-//! points, so a model report and a layer sweep price one engine
-//! identically.
+//! An [`EngineSpec`] is the architecture half of a design point —
+//! everything except the workload. It is the single identity every
+//! evaluation path keys on: `repro dse` points, `repro models` grid cells,
+//! the `repro` figure/table experiments and `repro serve` queries all
+//! resolve to an `EngineSpec` before anything is priced, so one engine is
+//! priced exactly once per process (see [`crate::cache::EngineCache`]).
 
 use tpe_arith::encode::EncodingKind;
 use tpe_core::arch::array::ARRAY_OVERHEAD_FRAC;
 use tpe_core::arch::workload::effective_numpps;
-use tpe_core::arch::{ArchKind, ArchModel, ArrayModel, PeStyle};
-use tpe_cost::process::{scale_area_um2, scale_power_w, ProcessNode};
+use tpe_core::arch::{ArchKind, ArchModel, PeStyle};
+use tpe_cost::process::ProcessNode;
 use tpe_sim::array::ClassicArch;
+
+use crate::cache::PeRecord;
+
+/// A synthesis corner: clock constraint + process node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corner {
+    /// Clock constraint in GHz.
+    pub freq_ghz: f64,
+    /// Process node costs are scaled to (the model is calibrated at
+    /// SMIC 28 nm; other nodes use first-order scaling).
+    pub node: ProcessNode,
+    /// Display name of the node.
+    pub node_name: &'static str,
+}
+
+impl Corner {
+    /// SMIC 28 nm (the paper's node) at `freq_ghz`.
+    pub fn smic28(freq_ghz: f64) -> Self {
+        Self {
+            freq_ghz,
+            node: ProcessNode::SMIC28,
+            node_name: "28nm",
+        }
+    }
+
+    /// 16 nm FinFET at `freq_ghz` (first-order scaled).
+    pub fn n16(freq_ghz: f64) -> Self {
+        Self {
+            freq_ghz,
+            node: ProcessNode::N16,
+            node_name: "16nm",
+        }
+    }
+
+    /// Stable display label ("28nm@1.50GHz").
+    pub fn label(&self) -> String {
+        format!("{}@{:.2}GHz", self.node_name, self.freq_ghz)
+    }
+}
 
 /// One fully-specified execution engine (a design point minus workload).
 #[derive(Debug, Clone, PartialEq)]
@@ -59,27 +97,28 @@ impl EngineSpec {
         }
     }
 
-    /// The `repro models` roster: the four classic dense baselines at
-    /// their Table VII clocks, their OPT1/OPT2 retrofits, and the three
-    /// serial styles under EN-T — every Table VII configuration, so each
-    /// model is scored across all four dense array geometries *and* all
-    /// serial PE styles.
+    /// The Table VII roster (see [`crate::roster`] for the named registry).
     pub fn paper_roster() -> Vec<EngineSpec> {
-        use ClassicArch::*;
-        vec![
-            EngineSpec::dense(PeStyle::TraditionalMac, Tpu, 1.0),
-            EngineSpec::dense(PeStyle::TraditionalMac, Ascend, 1.0),
-            EngineSpec::dense(PeStyle::TraditionalMac, Trapezoid, 1.0),
-            EngineSpec::dense(PeStyle::TraditionalMac, FlexFlow, 1.0),
-            EngineSpec::dense(PeStyle::Opt1, Tpu, 1.5),
-            EngineSpec::dense(PeStyle::Opt1, Ascend, 1.5),
-            EngineSpec::dense(PeStyle::Opt1, Trapezoid, 1.5),
-            EngineSpec::dense(PeStyle::Opt1, FlexFlow, 1.5),
-            EngineSpec::dense(PeStyle::Opt2, FlexFlow, 1.5),
-            EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0),
-            EngineSpec::serial(PeStyle::Opt4C, EncodingKind::EnT, 2.5),
-            EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0),
-        ]
+        crate::roster::paper_roster()
+    }
+
+    /// The engine's synthesis corner.
+    pub fn corner(&self) -> Corner {
+        Corner {
+            freq_ghz: self.freq_ghz,
+            node: self.node,
+            node_name: self.node_name,
+        }
+    }
+
+    /// The same architecture at a different corner.
+    pub fn at_corner(&self, corner: Corner) -> Self {
+        Self {
+            freq_ghz: corner.freq_ghz,
+            node: corner.node,
+            node_name: corner.node_name,
+            ..self.clone()
+        }
     }
 
     /// Architecture half of the label ("OPT1(TPU)", "OPT3\[EN-T\]").
@@ -120,40 +159,11 @@ impl EngineSpec {
         }
     }
 
-    /// Prices the engine: PE synthesis at the clock, node scaling, array
-    /// support logic. `None` when the PE cannot close timing.
+    /// Prices the engine through the process-wide cache: PE synthesis at
+    /// the clock (memoized on [`crate::cache::PeKey`]), node scaling,
+    /// array support logic. `None` when the PE cannot close timing.
     pub fn price(&self) -> Option<EnginePrice> {
-        let design = match self.kind {
-            ArchKind::Dense(_) => self.arch_model().pe_design(),
-            ArchKind::Serial => self.style.design_with_encoding(self.encoding),
-        };
-        let report = design.synthesize(self.freq_ghz)?;
-        let instances = self.pe_instances() as f64;
-        let support = scale_area_um2(
-            ArrayModel::new(self.arch_model()).support_area_um2_for(self.encoding),
-            ProcessNode::SMIC28,
-            self.node,
-        );
-        let pe_area = scale_area_um2(report.area_um2, ProcessNode::SMIC28, self.node);
-        let area_um2 = (pe_area * instances + support) * (1.0 + ARRAY_OVERHEAD_FRAC);
-
-        let lanes_total = instances * f64::from(report.lanes);
-        let raw_tops = lanes_total * 2.0 * self.freq_ghz * 1e9 / 1e12;
-        let peak_tops = match self.kind {
-            ArchKind::Dense(_) => raw_tops,
-            ArchKind::Serial => raw_tops / effective_numpps(self.encoding.encoder().as_ref()),
-        };
-
-        Some(EnginePrice {
-            area_um2,
-            e_active_fj: scale_power_w(report.busy_power_uw(), ProcessNode::SMIC28, self.node)
-                / self.freq_ghz,
-            e_idle_fj: scale_power_w(report.idle_power_uw(), ProcessNode::SMIC28, self.node)
-                / self.freq_ghz,
-            instances,
-            lanes_total,
-            peak_tops,
-        })
+        crate::eval::Evaluator::global().price(self)
     }
 }
 
@@ -184,6 +194,40 @@ pub struct EnginePrice {
     pub lanes_total: f64,
     /// Peak throughput (TOPS; serial engines divide by effective NumPPs).
     pub peak_tops: f64,
+}
+
+impl EnginePrice {
+    /// Assembles the array-level price from a cached per-PE record.
+    ///
+    /// This is the single place PE-level synthesis becomes array-level
+    /// cost: support-logic area, the 2% interconnect overhead and the
+    /// peak-throughput accounting live here and nowhere else.
+    pub fn from_record(spec: &EngineSpec, record: &PeRecord, support_um2: f64) -> Self {
+        let instances = spec.pe_instances() as f64;
+        let area_um2 = (record.area_um2 * instances + support_um2) * (1.0 + ARRAY_OVERHEAD_FRAC);
+        let lanes_total = instances * f64::from(record.lanes);
+        let freq = spec.freq_ghz;
+        let raw_tops = lanes_total * 2.0 * freq * 1e9 / 1e12;
+        let peak_tops = match spec.kind {
+            ArchKind::Dense(_) => raw_tops,
+            ArchKind::Serial => raw_tops / effective_numpps(spec.encoding.encoder().as_ref()),
+        };
+        Self {
+            area_um2,
+            e_active_fj: record.active_power_uw / freq,
+            e_idle_fj: record.idle_power_uw / freq,
+            instances,
+            lanes_total,
+            peak_tops,
+        }
+    }
+
+    /// Table VII's array power convention: every PE toggles at full
+    /// datapath activity (dense sweeps keep all PEs busy; serial designs
+    /// only skip *zero* digits), plus the interconnect overhead share.
+    pub fn table7_power_w(&self, freq_ghz: f64) -> f64 {
+        self.e_active_fj * freq_ghz * self.instances * 1e-6 * (1.0 + ARRAY_OVERHEAD_FRAC)
+    }
 }
 
 #[cfg(test)]
@@ -236,5 +280,15 @@ mod tests {
         // 1024 lanes × 2 ops × 2 GHz = 4.096 raw TOPS; EN-T's ~2.27
         // effective NumPPs lands near Table VII's 1.80 TOPS.
         assert!((1.6..2.1).contains(&opt3.peak_tops), "{}", opt3.peak_tops);
+    }
+
+    #[test]
+    fn corner_round_trips_through_the_spec() {
+        let spec = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0);
+        let corner = spec.corner();
+        assert_eq!(corner.label(), "28nm@2.00GHz");
+        let moved = spec.at_corner(Corner::n16(1.5));
+        assert_eq!(moved.label(), "OPT4E[EN-T]/16nm@1.50GHz");
+        assert_eq!(moved.arch_label(), spec.arch_label());
     }
 }

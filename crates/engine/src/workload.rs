@@ -1,0 +1,53 @@
+//! The workload half of an evaluation query: one GEMM layer or a whole
+//! network.
+
+use tpe_workloads::{LayerShape, NetworkModel};
+
+/// The workload axis of an evaluation: either one GEMM-shaped layer
+/// (the Figure 11 texture) or a whole network evaluated end-to-end through
+/// the model scheduler (the Figure 12/13 aggregates).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepWorkload {
+    /// A single img2col-lowered GEMM layer.
+    Layer(LayerShape),
+    /// A whole network, summed layer by layer.
+    Model(NetworkModel),
+}
+
+impl SweepWorkload {
+    /// Display / grouping name (layer label or network name).
+    pub fn name(&self) -> &str {
+        match self {
+            SweepWorkload::Layer(l) => &l.name,
+            SweepWorkload::Model(n) => &n.name,
+        }
+    }
+
+    /// Total useful multiply–accumulates.
+    pub fn macs(&self) -> u64 {
+        match self {
+            SweepWorkload::Layer(l) => l.macs(),
+            SweepWorkload::Model(n) => n.total_macs(),
+        }
+    }
+
+    /// Number of GEMM layers (1 for a single layer).
+    pub fn layer_count(&self) -> usize {
+        match self {
+            SweepWorkload::Layer(_) => 1,
+            SweepWorkload::Model(n) => n.layers.len(),
+        }
+    }
+}
+
+impl From<LayerShape> for SweepWorkload {
+    fn from(layer: LayerShape) -> Self {
+        SweepWorkload::Layer(layer)
+    }
+}
+
+impl From<NetworkModel> for SweepWorkload {
+    fn from(net: NetworkModel) -> Self {
+        SweepWorkload::Model(net)
+    }
+}

@@ -1,0 +1,110 @@
+//! Socket-level integration and property tests for the serve layer:
+//! batched responses are byte-identical to sequential single-query
+//! responses, concurrent connections share the cache, and shutdown is
+//! clean.
+
+use std::net::TcpListener;
+use std::thread::JoinHandle;
+
+use proptest::prelude::*;
+use tpe_engine::serve::{query_batch, serve, ServeOutcome};
+use tpe_engine::EngineCache;
+
+/// Binds an ephemeral server backed by the global cache; returns its
+/// address and the join handle resolving to the serve outcome.
+fn spawn_server() -> (String, JoinHandle<std::io::Result<ServeOutcome>>) {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || serve(listener, EngineCache::global()));
+    (addr, handle)
+}
+
+fn shutdown(addr: &str) {
+    query_batch(addr, &[r#"{"id":0,"op":"shutdown"}"#.to_string()]).expect("shutdown");
+}
+
+#[test]
+fn batched_and_sequential_and_concurrent_replies_are_byte_identical() {
+    let (addr, handle) = spawn_server();
+    let requests: Vec<String> = vec![
+        r#"{"id":1,"op":"roster"}"#.into(),
+        r#"{"id":2,"op":"engine","engine":"OPT3[EN-T]/28nm@2.00GHz"}"#.into(),
+        r#"{"id":3,"op":"layer","engine":"OPT4E[EN-T]","m":64,"n":256,"k":128,"seed":7}"#.into(),
+        r#"{"id":4,"op":"layer","engine":"MAC(TPU)/28nm@1.00GHz","m":32,"n":32,"k":32}"#.into(),
+        r#"{"id":5,"op":"engine","engine":"MAC(TPU)/28nm@2.00GHz"}"#.into(),
+        r#"{"id":6,"op":"layer","engine":"OPT4E[EN-T]","m":64,"n":256,"k":128,"seed":7}"#.into(),
+    ];
+
+    let batched = query_batch(&addr, &requests).expect("batch");
+    assert_eq!(batched.len(), requests.len());
+
+    // Sequential: one fresh connection per request.
+    let sequential: Vec<String> = requests
+        .iter()
+        .map(|r| {
+            let mut resp = query_batch(&addr, std::slice::from_ref(r)).expect("single");
+            assert_eq!(resp.len(), 1);
+            resp.pop().unwrap()
+        })
+        .collect();
+    assert_eq!(batched, sequential);
+
+    // Concurrent: several client threads firing the same batch get the
+    // same bytes (the shared cache changes timing, never values).
+    let concurrent: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| query_batch(&addr, &requests).expect("concurrent batch")))
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    for replies in concurrent {
+        assert_eq!(replies, batched);
+    }
+
+    // Identical requests (ids 3 and 6) got identical replies.
+    assert_eq!(
+        batched[2].replace("\"id\":3", "\"id\":6"),
+        batched[5],
+        "same question, same answer"
+    );
+
+    shutdown(&addr);
+    let outcome = handle.join().unwrap().expect("serve loop");
+    assert!(outcome.connections >= 10, "{outcome:?}");
+    assert!(outcome.requests >= requests.len() as u64, "{outcome:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property: for arbitrary layer-query batches, the batched replies
+    /// equal the per-connection sequential replies byte for byte.
+    #[test]
+    fn arbitrary_layer_batches_are_batch_order_invariant(
+        shapes in prop::collection::vec(
+            (1usize..96, 1usize..96, 1usize..96, 0u64..4, 0usize..3),
+            1..5,
+        ),
+    ) {
+        let engines = ["OPT3[EN-T]", "OPT4C[EN-T]", "MAC(Trapezoid)"];
+        let requests: Vec<String> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, n, k, seed, e))| {
+                format!(
+                    r#"{{"id":{i},"op":"layer","engine":"{}","m":{m},"n":{n},"k":{k},"seed":{seed}}}"#,
+                    engines[e]
+                )
+            })
+            .collect();
+        let (addr, handle) = spawn_server();
+        let batched = query_batch(&addr, &requests).expect("batch");
+        let sequential: Vec<String> = requests
+            .iter()
+            .map(|r| query_batch(&addr, std::slice::from_ref(r)).expect("single").pop().unwrap())
+            .collect();
+        shutdown(&addr);
+        handle.join().unwrap().expect("serve loop");
+        prop_assert_eq!(batched, sequential);
+    }
+}

@@ -5,18 +5,18 @@
 //! grid seed and the cell's own `(engine, model)` label, and results merge
 //! back into input order — so the output is **byte-identical across runs
 //! and thread counts** (pinned by the determinism tests and asserted on
-//! every `repro models` run).
+//! every `repro models` run). Cells evaluate through
+//! [`tpe_engine::Evaluator`] against the process-wide cache, so engines
+//! are priced once per process and repeated (engine, model, seed) cells —
+//! across grid runs, dse sweeps and serve queries — are served from
+//! memory.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use tpe_core::arch::workload::SerialSampleCaps;
+use tpe_engine::caps::{SampleProfile, SerialSampleCaps};
+use tpe_engine::{EngineSpec, Evaluator, ModelReport};
 use tpe_workloads::NetworkModel;
-
-use crate::engine::EngineSpec;
-use crate::fnv1a;
-use crate::report::ModelReport;
-use crate::schedule::{evaluate_model, MODEL_SAMPLE_CAPS};
 
 /// Grid parameters.
 #[derive(Debug, Clone, Copy)]
@@ -34,7 +34,7 @@ impl Default for GridConfig {
         Self {
             threads: 0,
             seed: 42,
-            caps: MODEL_SAMPLE_CAPS,
+            caps: SampleProfile::Model.caps(),
         }
     }
 }
@@ -46,10 +46,7 @@ impl GridConfig {
         Self {
             threads,
             seed,
-            caps: SerialSampleCaps {
-                max_rounds: 6,
-                max_operands: 4_000,
-            },
+            caps: SampleProfile::Quick.caps(),
         }
     }
 
@@ -100,16 +97,13 @@ impl GridOutcome {
 }
 
 /// Evaluates every model on every engine (model-major cell order).
-///
-/// Engines are priced once up front (synthesis is cheap and deterministic);
-/// cells with an infeasible engine report `None` without sampling.
 pub fn run_grid(
     models: &[NetworkModel],
     engines: &[EngineSpec],
     config: GridConfig,
 ) -> GridOutcome {
     let start = Instant::now();
-    let prices: Vec<_> = engines.iter().map(EngineSpec::price).collect();
+    let evaluator = Evaluator::global();
     let cells: Vec<(usize, usize)> = (0..models.len())
         .flat_map(|mi| (0..engines.len()).map(move |ei| (mi, ei)))
         .collect();
@@ -117,14 +111,10 @@ pub fn run_grid(
 
     let eval_cell = |&(mi, ei): &(usize, usize)| -> ModelRun {
         let (model, engine) = (&models[mi], &engines[ei]);
-        let report = prices[ei].as_ref().map(|price| {
-            let seed = config.seed ^ fnv1a(&format!("{}/{}", engine.label(), model.name));
-            evaluate_model(engine, price, model, seed, config.caps)
-        });
         ModelRun {
             model: model.name.clone(),
             engine: engine.clone(),
-            report,
+            report: evaluator.model_report(engine, model, config.seed, config.caps),
         }
     };
 
@@ -226,5 +216,22 @@ mod tests {
         );
         assert_eq!(outcome.feasible_count(), 0);
         assert!(!outcome.runs[0].feasible());
+    }
+
+    /// Repeated identical grids are served from the global cache: the
+    /// second run is byte-identical and only adds hits for this config's
+    /// keys. (Sibling tests share the process-global counters and may add
+    /// their own misses concurrently, so no zero-miss assertion — the
+    /// isolated-cache equivalent is pinned in `tpe-engine`'s suite.)
+    #[test]
+    fn repeated_grids_hit_the_global_cache() {
+        let (ms, es) = small_grid();
+        let config = GridConfig::quick_test(1, 77);
+        let first = run_grid(&ms, &es, config);
+        let before = tpe_engine::EngineCache::global().stats();
+        let second = run_grid(&ms, &es, config);
+        let delta = tpe_engine::EngineCache::global().stats().since(&before);
+        assert_eq!(first.runs, second.runs);
+        assert!(delta.hits() > 0, "warm rerun must hit: {delta:?}");
     }
 }

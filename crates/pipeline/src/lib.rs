@@ -9,35 +9,28 @@
 //! *complete networks*, not isolated layers: per-layer utilization dips
 //! (depthwise K = 9/25 in Figure 11(B)), tiling residue on skinny GEMV
 //! tails, and the delay mix across dozens of layers are what separate the
-//! designs in practice. This crate turns the workspace's point evaluators
-//! into that model-serving pipeline:
+//! designs in practice. This crate owns the **grid executor** — the
+//! deterministic parallel (model × engine) sweep behind `repro models` —
+//! while the evaluation stack it drives (engine specs, pricing, layer
+//! scheduling, reports) lives in [`tpe_engine`], the canonical
+//! implementation shared with `tpe-dse` and `repro serve`:
 //!
 //! ```text
 //! workloads::models ──► img2col-lowered GEMM layers (tpe-workloads)
 //!        │
-//!        ▼  per layer
-//! [`schedule`] ── tiling onto the engine's array geometry
-//!        │        · dense: systolic / OS-systolic / adder-tree / cube
-//!        │          closed-form cycle models (tpe-sim, Table VII)
-//!        │        · serial: the shared encoder-parameterized
-//!        │          [`sample_serial_cycles`] sync model (Eq. 7)
+//!        ▼  per (model × engine) cell
+//! tpe_engine::Evaluator ── pricing (global cache) + per-layer scheduling
+//!        │                 → end-to-end ModelReport
 //!        ▼
-//! [`report`] ── per-layer cycles / utilization / energy, aggregated to
-//!        │       end-to-end [`ModelReport`]s (latency, GOPS, TOPS/W,
-//!        │       delay-weighted utilization)
-//!        ▼
-//! [`grid`] ── deterministic parallel (model × engine) sweep; results are
-//!              byte-identical across thread counts, like `tpe-dse`.
+//! [`grid`] ── deterministic parallel executor; results are
+//!              byte-identical across runs and thread counts.
 //! ```
 //!
-//! Engine pricing ([`engine`]) composes the same `tpe-core`/`tpe-cost`
-//! synthesis path as `tpe-dse`, with the shared
-//! [`tpe_cost::power::PE_BUSY`]/[`tpe_cost::power::PE_IDLE`] activity
-//! points, so layer-level sweeps and model-level reports account energy
-//! identically. `repro models` renders the grid; `repro dse --model NAME`
-//! puts whole-model workloads on the Pareto front.
-//!
-//! [`sample_serial_cycles`]: tpe_core::arch::workload::sample_serial_cycles
+//! Every cell's RNG is seeded from the grid seed and the cell's own
+//! `(engine, model)` label, so results never depend on evaluation order,
+//! and all synthesis/sampling is memoized in the process-wide
+//! [`tpe_engine::EngineCache`] — a grid run after a `repro dse` sweep
+//! reuses everything the sweep already priced.
 //!
 //! ## Quickstart
 //!
@@ -58,37 +51,17 @@
 //! assert!(best.delay_us > 0.0);
 //! ```
 
-pub mod engine;
 pub mod grid;
-pub mod report;
-pub mod schedule;
 
-pub use engine::{EnginePrice, EngineSpec};
+/// The canonical engine-spec module (re-exported from `tpe-engine`, where
+/// the implementation moved).
+pub use tpe_engine::spec as engine;
+
 pub use grid::{run_grid, GridConfig, GridOutcome, ModelRun};
-pub use report::{LayerReport, ModelReport};
-pub use schedule::{dense_model_cycles, evaluate_model, serial_model_cycles, MODEL_SAMPLE_CAPS};
-
-/// FNV-1a over a label: the stable seed component used everywhere the
-/// workspace derives per-work-item RNG streams. Independent of sweep order
-/// and thread assignment, which is what makes parallel runs byte-identical
-/// to serial ones (`tpe-dse` re-exports this as `label_hash`).
-pub fn fnv1a(label: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in label.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fnv1a_is_stable_and_label_sensitive() {
-        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a("ResNet18/OPT4E"), fnv1a("ResNet18/OPT4E"));
-        assert_ne!(fnv1a("ResNet18/OPT4E"), fnv1a("ResNet18/OPT3"));
-    }
-}
+pub use tpe_engine::fnv1a;
+pub use tpe_engine::report::{LayerReport, ModelReport};
+pub use tpe_engine::schedule::{
+    dense_model_cycles, dense_tiles, evaluate_model, schedule_layer, serial_model_cycles,
+    MODEL_SAMPLE_CAPS,
+};
+pub use tpe_engine::spec::{EnginePrice, EngineSpec};

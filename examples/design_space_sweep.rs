@@ -53,7 +53,7 @@ fn main() {
         parallel.threads,
         serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-9),
         parallel.cache.hit_rate() * 100.0,
-        parallel.cache.misses,
+        parallel.cache.price_misses,
     );
     println!(
         "feasible: {} / {} points close timing at their corner",

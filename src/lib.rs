@@ -27,6 +27,10 @@
 //! * [`core`] — the paper's contribution: the compute-centric loop-nest
 //!   notation, legality-checked transformations, the OPT1–OPT4E processing
 //!   element architectures, analytic models and published baselines.
+//! * [`engine`] — the canonical evaluation stack: engine specs and the
+//!   Table VII roster, the process-wide concurrent cache, the single
+//!   evaluator every consumer shares, and the `repro serve` NDJSON batch
+//!   query protocol.
 //! * [`pipeline`] — the model-level scheduling pipeline: whole networks
 //!   from the layer database run end-to-end (img2col tiling → per-layer
 //!   cycle/energy models → aggregated latency, TOPS/W and utilization) on
@@ -56,6 +60,7 @@ pub use tpe_arith as arith;
 pub use tpe_core as core;
 pub use tpe_cost as cost;
 pub use tpe_dse as dse;
+pub use tpe_engine as engine;
 pub use tpe_pipeline as pipeline;
 pub use tpe_sim as sim;
 pub use tpe_workloads as workloads;
