@@ -34,6 +34,8 @@
 //! * [`mac`] — complete multiply–accumulate datapaths: the traditional
 //!   three-stage MAC and the compressor-accumulation MAC.
 //! * [`multiplier`] — array, Booth and Wallace multiplier models.
+//! * [`precision`] — operand/accumulator bit widths ([`Precision`]): the
+//!   workspace-wide description of the INT4/INT8/INT16 precision axis.
 //!
 //! ## Example
 //!
@@ -54,7 +56,9 @@ pub mod float;
 pub mod mac;
 pub mod multiplier;
 pub mod pp;
+pub mod precision;
 
 pub use compressor::CarrySave;
 pub use csa::CsAccumulator;
 pub use encode::{Encoder, SignedDigit};
+pub use precision::Precision;

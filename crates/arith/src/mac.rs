@@ -13,10 +13,29 @@
 //! Both are bit-exact; the difference is purely structural (what sits on the
 //! per-cycle critical path), which the cost model prices.
 
-use crate::bits::{fits_signed, to_wrapped};
+use crate::bits::{fits_signed, mask};
 use crate::compressor::{wallace_reduce, CarrySave};
 use crate::csa::CsAccumulator;
 use crate::encode::{Encoder, SignedDigit};
+
+/// One partial product `(coeff · b) << weight` as a `width`-bit
+/// two's-complement pattern, with **hardware wrap semantics**: at wide
+/// operand precisions an individual partial product can exceed the
+/// accumulator's signed range (a 16-bit operand's top digit against a
+/// 32-bit accumulator, say) and the datapath simply keeps the low `width`
+/// bits — modular arithmetic makes the resolved dot product come out
+/// right regardless. The previous implementation asserted the shifted
+/// value fit `width` signed bits (a panic real hardware has no analogue
+/// of) and clamped the shift at 62, which mis-wraps weights ≥ 63 against
+/// a 64-bit accumulator; shifting in the u64 pattern domain is exact for
+/// every weight.
+fn wrap_pp(digit: SignedDigit, b: i64, width: u32) -> u64 {
+    if digit.weight >= 64 {
+        // 2^weight ≡ 0 (mod 2^width) for any width ≤ 64.
+        return 0;
+    }
+    ((i64::from(digit.coeff).wrapping_mul(b) as u64) << digit.weight) & mask(width)
+}
 
 /// Per-operation structural statistics shared by both MAC flavors.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,7 +78,7 @@ impl<E: Encoder> TraditionalMac<E> {
         let digits = self.encoder.encode(a, a_width);
         let pps: Vec<u64> = digits
             .iter()
-            .map(|d| to_wrapped((i64::from(d.coeff) * b) << d.weight.min(62), self.acc_width))
+            .map(|d| wrap_pp(*d, b, self.acc_width))
             .collect();
         self.stats.partial_products += pps.len() as u64;
         self.stats.nonzero_partial_products +=
@@ -68,7 +87,8 @@ impl<E: Encoder> TraditionalMac<E> {
         let reduced = wallace_reduce(&pps, self.acc_width);
         let product = reduced.pair.resolve();
         self.stats.full_adds += 1;
-        self.acc = wrap_acc(self.acc + product, self.acc_width);
+        // Wrapping add: at a 64-bit accumulator the sum itself can wrap.
+        self.acc = wrap_acc(self.acc.wrapping_add(product), self.acc_width);
         self.stats.macs += 1;
     }
 
@@ -112,10 +132,7 @@ impl<E: Encoder> CompressAccMac<E> {
     pub fn mac(&mut self, a: i64, b: i64, a_width: u32) {
         let w = self.acc.width();
         let digits = self.encoder.encode(a, a_width);
-        let pps: Vec<u64> = digits
-            .iter()
-            .map(|d| to_wrapped((i64::from(d.coeff) * b) << d.weight.min(62), w))
-            .collect();
+        let pps: Vec<u64> = digits.iter().map(|d| wrap_pp(*d, b, w)).collect();
         self.stats.partial_products += pps.len() as u64;
         self.stats.nonzero_partial_products +=
             digits.iter().filter(|d| d.is_nonzero()).count() as u64;
@@ -170,8 +187,7 @@ impl SerialDigitMac {
     pub fn step(&mut self, digit: SignedDigit, b: i64) {
         debug_assert!(digit.is_nonzero(), "sparse encoder must skip zeros");
         let w = self.acc.width();
-        let pp = (i64::from(digit.coeff) * b) << digit.weight.min(62);
-        self.acc.accumulate_word(to_wrapped(pp, w));
+        self.acc.accumulate_word(wrap_pp(digit, b, w));
         self.cycles += 1;
     }
 

@@ -118,6 +118,47 @@ proptest! {
         prop_assert_eq!(s.resolve(), expected);
     }
 
+    /// W16 regression: every MAC organization matches the reference dot
+    /// product on random INT16 vectors under every encoder, at both the
+    /// 64-bit W16 accumulator and a 40-bit one where individual partial
+    /// products (top digit: ±2·b·2^16 ≈ 2^33) overflow nothing only
+    /// because the datapath wraps — the case the old partial-product
+    /// `to_wrapped` assert rejected outright.
+    #[test]
+    fn macs_agree_at_w16(pairs in prop::collection::vec((i16::MIN as i64..=i16::MAX as i64,
+                                                         i16::MIN as i64..=i16::MAX as i64), 1..60)) {
+        let a: Vec<i64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        fn dots<E: Encoder + Copy>(enc: E, a: &[i64], b: &[i64], acc_width: u32) -> [i64; 3] {
+            let mut t = TraditionalMac::new(enc, acc_width);
+            let mut o = CompressAccMac::new(enc, acc_width);
+            let mut s = SerialDigitMac::new(acc_width);
+            for (&x, &y) in a.iter().zip(b) {
+                t.mac(x, y, 16);
+                o.mac(x, y, 16);
+                for d in enc.encode_nonzero(x, 16) {
+                    s.step(d, y);
+                }
+            }
+            [t.value(), o.resolve(), s.resolve()]
+        }
+        for acc_width in [40u32, 64] {
+            let expected = reference_dot(&a, &b, acc_width);
+            let runs = [
+                ("MBE", dots(MbeEncoder, &a, &b, acc_width)),
+                ("EN-T", dots(EntEncoder, &a, &b, acc_width)),
+                ("CSD", dots(CsdEncoder, &a, &b, acc_width)),
+                ("bit-serial(C)", dots(BitSerialComplement, &a, &b, acc_width)),
+                ("bit-serial(M)", dots(BitSerialSignMagnitude, &a, &b, acc_width)),
+            ];
+            for (name, [t, o, s]) in runs {
+                prop_assert_eq!(t, expected, "MacUnit {} acc={}", name, acc_width);
+                prop_assert_eq!(o, expected, "OPT1 {} acc={}", name, acc_width);
+                prop_assert_eq!(s, expected, "serial {} acc={}", name, acc_width);
+            }
+        }
+    }
+
     /// Multiplier architectures are mutually equivalent.
     #[test]
     fn multipliers_equivalent(a in -2048i64..2048, b in -2048i64..2048) {

@@ -1,6 +1,8 @@
 //! Criterion benchmark (vendored shim) for the `tpe-engine` evaluator hot
-//! path: cold vs cached pricing and the dense/serial cycle estimates —
-//! the unit of work every sweep point, grid cell and serve query pays.
+//! path: cold vs cached pricing (per operand precision — the `price_*`
+//! scenarios are the W8 baseline, `*_w4`/`*_w16` track the precision-keyed
+//! cache) and the dense/serial cycle estimates — the unit of work every
+//! sweep point, grid cell and serve query pays.
 //!
 //! Besides the usual `name: N ns/iter` lines, this bench writes
 //! `BENCH_evaluator.json` (flat JSON, median ns per scenario) so CI and
@@ -11,6 +13,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
 use tpe_arith::encode::EncodingKind;
+use tpe_arith::Precision;
 use tpe_core::arch::PeStyle;
 use tpe_engine::schedule::cached_serial_cycles;
 use tpe_engine::{EngineCache, EngineSpec, Evaluator, SampleProfile, SweepWorkload};
@@ -39,28 +42,53 @@ fn scenarios() -> Vec<Scenario> {
     let caps = SampleProfile::Sweep.caps();
     let warm = EngineCache::new();
     // Warm the shared cache once so the `_cached` scenarios measure pure
-    // lookup + assembly.
-    Evaluator::new(&warm).price(&serial_spec());
+    // lookup + assembly (per precision: W4/W8/W16 are distinct keys).
+    for p in [Precision::W8, Precision::W4, Precision::W16] {
+        Evaluator::new(&warm).price(&serial_spec().with_precision(p));
+    }
     Evaluator::new(&warm).price(&dense_spec());
     cached_serial_cycles(&warm, &serial_spec(), &probe_layer(), 42, caps);
     let warm: &'static EngineCache = &*Box::leak(Box::new(warm));
 
-    vec![
+    let price_cold = |p: Precision| -> Scenario {
+        let name = match p {
+            Precision::W4 => "price_cold_w4",
+            Precision::W16 => "price_cold_w16",
+            _ => "price_cold",
+        };
         (
-            "price_cold",
-            Box::new(|| {
+            name,
+            Box::new(move || {
                 let cache = EngineCache::new();
-                let p = Evaluator::new(&cache).price(&serial_spec()).unwrap();
-                black_box(p.area_um2)
+                let spec = serial_spec().with_precision(p);
+                let price = Evaluator::new(&cache).price(&spec).unwrap();
+                black_box(price.area_um2)
             }),
-        ),
+        )
+    };
+    let price_cached = |p: Precision| -> Scenario {
+        let name = match p {
+            Precision::W4 => "price_cached_w4",
+            Precision::W16 => "price_cached_w16",
+            _ => "price_cached",
+        };
         (
-            "price_cached",
-            Box::new(|| {
-                let p = Evaluator::new(warm).price(&serial_spec()).unwrap();
-                black_box(p.area_um2)
+            name,
+            Box::new(move || {
+                let spec = serial_spec().with_precision(p);
+                let price = Evaluator::new(warm).price(&spec).unwrap();
+                black_box(price.area_um2)
             }),
-        ),
+        )
+    };
+
+    vec![
+        price_cold(Precision::W8),
+        price_cached(Precision::W8),
+        price_cold(Precision::W4),
+        price_cached(Precision::W4),
+        price_cold(Precision::W16),
+        price_cached(Precision::W16),
         (
             "dense_layer_metrics",
             Box::new(|| {

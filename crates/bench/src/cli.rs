@@ -122,13 +122,13 @@ pub fn commands() -> Vec<Command> {
         }),
         cmd!(
             "dse",
-            "[--filter S] [--objectives a,b,..] [--model S|all] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
+            "[--filter S[,precision=W4]] [--objectives a,b,..] [--model S|all] [--precision W4,W8,..] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
             "Design-space sweep + Pareto front (tpe-dse)",
             |a| fallible(exp::dse(a))
         ),
         cmd!(
             "models",
-            "[--model S] [--arch S] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
+            "[--model S] [--arch S] [--precision W4|W8|W16|W8xW4] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
             "Model-level grid: every network x the engine roster",
             |a| fallible(exp::models(a))
         ),
@@ -140,7 +140,7 @@ pub fn commands() -> Vec<Command> {
         ),
         cmd!(
             "query",
-            "[--host H] --port N [--file F]",
+            "[--host H] --port N [--file F] [--precision P]",
             "Client: send NDJSON requests (file or stdin) to a serve instance",
             |a| fallible(exp::query(a))
         ),

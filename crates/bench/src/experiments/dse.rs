@@ -31,10 +31,27 @@ struct DseOptions {
     filter: String,
     objectives: Vec<Objective>,
     model: Option<String>,
+    precisions: Option<Vec<tpe_dse::Precision>>,
     threads: usize,
     seed: u64,
     out_csv: Option<String>,
     out_json: Option<String>,
+}
+
+/// Parses a comma-separated precision list ("w4,w8,w16").
+fn parse_precisions(list: &str) -> Result<Vec<tpe_dse::Precision>, String> {
+    let precisions: Vec<tpe_dse::Precision> = list
+        .split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| {
+            tpe_dse::Precision::parse(part.trim())
+                .ok_or_else(|| format!("unknown precision `{part}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if precisions.is_empty() {
+        return Err("--precision needs at least one value".into());
+    }
+    Ok(precisions)
 }
 
 fn parse_options(args: &[String]) -> Result<DseOptions, String> {
@@ -42,6 +59,7 @@ fn parse_options(args: &[String]) -> Result<DseOptions, String> {
         filter: String::new(),
         objectives: Objective::DEFAULT.to_vec(),
         model: None,
+        precisions: None,
         threads: 0,
         seed: 42,
         out_csv: None,
@@ -58,6 +76,7 @@ fn parse_options(args: &[String]) -> Result<DseOptions, String> {
             "--filter" => opts.filter = value("--filter")?,
             "--objectives" => opts.objectives = Objective::parse_list(&value("--objectives")?)?,
             "--model" => opts.model = Some(value("--model")?),
+            "--precision" => opts.precisions = Some(parse_precisions(&value("--precision")?)?),
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse()
@@ -86,8 +105,9 @@ pub fn dse(args: &[String]) -> String {
     match try_dse(args) {
         Ok(report) => report,
         Err(msg) => format!(
-            "error: {msg}\nusage: repro dse [--filter SUBSTR] [--objectives area,delay,energy,\
-             power,throughput,utilization] [--model SUBSTR|all] [--threads N] [--seed S] \
+            "error: {msg}\nusage: repro dse [--filter SUBSTR[,precision=W4]] [--objectives \
+             area,delay,energy,power,throughput,utilization] [--model SUBSTR|all] \
+             [--precision W4,W8,W16,W8xW4] [--threads N] [--seed S] \
              [--out FILE.csv] [--json FILE.json]\n"
         ),
     }
@@ -95,13 +115,16 @@ pub fn dse(args: &[String]) -> String {
 
 fn try_dse(args: &[String]) -> Result<String, String> {
     let opts = parse_options(args)?;
-    let space = match &opts.model {
+    let mut space = match &opts.model {
         // `--model all` (or any matching substring) swaps the workload
         // axis for whole networks: the front becomes model-level.
         Some(name) if name.eq_ignore_ascii_case("all") => DesignSpace::with_models("")?,
         Some(name) => DesignSpace::with_models(name)?,
         None => DesignSpace::paper_default(),
     };
+    if let Some(precisions) = &opts.precisions {
+        space.precisions = precisions.clone();
+    }
     let points = space.enumerate_filtered(&opts.filter);
     if points.is_empty() {
         return Err(format!("no design points match filter `{}`", opts.filter));
@@ -155,11 +178,12 @@ fn try_dse(args: &[String]) -> Result<String, String> {
     writeln!(
         out,
         "Design-space exploration — {} points (legality-pruned cross product spanning {} styles, \
-         {} topologies, {} encodings, {} corners, {} workloads)",
+         {} topologies, {} encodings, {} precisions, {} corners, {} workloads)",
         points.len(),
         distinct(&|p| p.style().name().to_string()),
         distinct(&topology_key),
         distinct(&|p| p.encoding().to_string()),
+        distinct(&|p| p.precision().label()),
         distinct(&|p| p.corner().label()),
         distinct(&|p| p.workload.name().to_string())
     )
@@ -308,11 +332,32 @@ mod tests {
         assert!(report.contains("Pareto front"), "{report}");
     }
 
+    /// `--precision` restricts the axis and `precision=` filter terms
+    /// select it (the CI smoke's `--filter precision=w4` path).
+    #[test]
+    fn precision_flag_and_filter_narrow_the_axis() {
+        let report = dse(&args(&["--filter", "(TPU),precision=w4", "--threads", "2"]));
+        assert!(report.contains("1 precisions"), "{report}");
+        assert!(report.contains("@W4"), "{report}");
+        let report = dse(&args(&[
+            "--precision",
+            "w16",
+            "--filter",
+            "OPT1(Trapezoid)",
+            "--threads",
+            "2",
+        ]));
+        assert!(report.contains("1 precisions"), "{report}");
+        assert!(report.contains("@W16"), "{report}");
+    }
+
     #[test]
     fn bad_flags_render_usage() {
         assert!(dse(&args(&["--bogus"])).contains("usage:"));
         assert!(dse(&args(&["--objectives", "area"])).contains("usage:"));
         assert!(dse(&args(&["--filter", "no-such-point-anywhere"])).contains("no design points"));
         assert!(dse(&args(&["--model", "no-such-net"])).contains("usage:"));
+        assert!(dse(&args(&["--precision", "w99"])).contains("usage:"));
+        assert!(dse(&args(&["--precision", ""])).contains("usage:"));
     }
 }

@@ -21,6 +21,7 @@ use tpe_workloads::NetworkModel;
 struct ModelOptions {
     model_filter: String,
     arch_filter: String,
+    precision: Option<tpe_dse::Precision>,
     threads: usize,
     seed: u64,
     out_csv: Option<String>,
@@ -31,6 +32,7 @@ fn parse_options(args: &[String]) -> Result<ModelOptions, String> {
     let mut opts = ModelOptions {
         model_filter: String::new(),
         arch_filter: String::new(),
+        precision: None,
         threads: 0,
         seed: 42,
         out_csv: None,
@@ -46,6 +48,13 @@ fn parse_options(args: &[String]) -> Result<ModelOptions, String> {
         match flag.as_str() {
             "--model" => opts.model_filter = value("--model")?,
             "--arch" => opts.arch_filter = value("--arch")?,
+            "--precision" => {
+                let v = value("--precision")?;
+                opts.precision = Some(
+                    tpe_dse::Precision::parse(&v)
+                        .ok_or_else(|| format!("unknown precision `{v}`"))?,
+                );
+            }
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse()
@@ -70,7 +79,8 @@ pub fn models(args: &[String]) -> String {
         Ok(report) => report,
         Err(msg) => format!(
             "error: {msg}\nusage: repro models [--model SUBSTR] [--arch SUBSTR] \
-             [--threads N] [--seed S] [--out FILE.csv] [--json FILE.json]\n"
+             [--precision W4|W8|W16|W8xW4] [--threads N] [--seed S] \
+             [--out FILE.csv] [--json FILE.json]\n"
         ),
     }
 }
@@ -78,7 +88,14 @@ pub fn models(args: &[String]) -> String {
 fn try_models(args: &[String]) -> Result<String, String> {
     let opts = parse_options(args)?;
     let model_needle = opts.model_filter.to_ascii_lowercase();
-    let nets: Vec<NetworkModel> = NetworkModel::all()
+    // The catalog: the ten Figure 12/13 networks when unfiltered, with the
+    // mixed-precision presets (ResNet18-W4) reachable by name.
+    let pool = if model_needle.is_empty() {
+        NetworkModel::all()
+    } else {
+        NetworkModel::catalog()
+    };
+    let nets: Vec<NetworkModel> = pool
         .into_iter()
         .filter(|n| model_needle.is_empty() || n.name.to_ascii_lowercase().contains(&model_needle))
         .collect();
@@ -86,8 +103,14 @@ fn try_models(args: &[String]) -> Result<String, String> {
         return Err(format!("no network matches `{}`", opts.model_filter));
     }
     let arch_needle = opts.arch_filter.to_ascii_lowercase();
+    // `--precision` reprices the whole roster at that operand width (the
+    // default W8 keeps the Table VII roster byte-identical).
     let engines: Vec<EngineSpec> = EngineSpec::paper_roster()
         .into_iter()
+        .map(|e| match opts.precision {
+            Some(p) => e.with_precision(p),
+            None => e,
+        })
         .filter(|e| arch_needle.is_empty() || e.label().to_ascii_lowercase().contains(&arch_needle))
         .collect();
     if engines.is_empty() {
@@ -255,10 +278,30 @@ mod tests {
         assert!(report.contains("TOPS/W"), "{report}");
     }
 
+    /// `--precision` reprices the roster (labels carry the suffix) and the
+    /// quantized preset resolves through the catalog.
+    #[test]
+    fn precision_flag_and_quantized_preset_render() {
+        let report = models(&args(&[
+            "--model",
+            "resnet18",
+            "--arch",
+            "OPT1(TPU)",
+            "--precision",
+            "w16",
+            "--threads",
+            "2",
+        ]));
+        assert!(report.contains("@W16"), "{report}");
+        assert!(report.contains("ResNet18-W4"), "catalog preset: {report}");
+        assert!(report.contains("fastest:"), "{report}");
+    }
+
     #[test]
     fn bad_flags_render_usage() {
         assert!(models(&args(&["--bogus"])).contains("usage:"));
         assert!(models(&args(&["--model", "no-such-net"])).contains("no network"));
         assert!(models(&args(&["--arch", "no-such-engine"])).contains("no engine"));
+        assert!(models(&args(&["--precision", "w99"])).contains("usage:"));
     }
 }

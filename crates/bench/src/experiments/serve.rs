@@ -93,18 +93,43 @@ fn try_serve(args: &[String]) -> Result<String, String> {
 }
 
 /// Sends NDJSON requests to a running server
-/// (`repro query [--host H] --port N [--file F]`; default input is stdin).
+/// (`repro query [--host H] --port N [--file F] [--precision P]`; default
+/// input is stdin). `--precision` stamps the given operand precision onto
+/// every request that does not already carry a `precision` field — the
+/// client-side way to re-ask a whole batch at W4/W16.
 pub fn query(args: &[String]) -> String {
     match try_query(args) {
         Ok(report) => report,
-        Err(msg) => format!("error: {msg}\nusage: repro query [--host H] --port N [--file F]\n"),
+        Err(msg) => format!(
+            "error: {msg}\nusage: repro query [--host H] --port N [--file F] \
+             [--precision W4|W8|W16|W8xW4]\n"
+        ),
+    }
+}
+
+/// Adds `"precision":"<p>"` to a flat request object that lacks one.
+/// Requests already carrying the field (or non-object lines, which the
+/// server will reject with a parse error anyway) pass through untouched.
+fn stamp_precision(line: &str, precision: &str) -> String {
+    let trimmed = line.trim_end();
+    if line.contains("\"precision\"") {
+        return line.to_string();
+    }
+    match trimmed.strip_suffix('}') {
+        Some(head) => format!("{head},\"precision\":\"{precision}\"}}"),
+        None => line.to_string(),
     }
 }
 
 fn try_query(args: &[String]) -> Result<String, String> {
     let values = parse_flags(
         args,
-        &[("--host", false), ("--port", true), ("--file", false)],
+        &[
+            ("--host", false),
+            ("--port", true),
+            ("--file", false),
+            ("--precision", false),
+        ],
     )?;
     let host = values[0].clone().unwrap_or_else(|| "127.0.0.1".into());
     let port: u16 = parse_num(values[1].as_deref().unwrap(), "--port")?;
@@ -120,7 +145,22 @@ fn try_query(args: &[String]) -> Result<String, String> {
             .collect::<Result<_, _>>()
             .map_err(|e| format!("reading stdin: {e}"))?,
     };
-    let requests: Vec<String> = lines.into_iter().filter(|l| !l.trim().is_empty()).collect();
+    let precision = values[3]
+        .as_deref()
+        .map(|p| {
+            tpe_engine::Precision::parse(p)
+                .map(|v| v.label())
+                .ok_or_else(|| format!("unknown precision `{p}`"))
+        })
+        .transpose()?;
+    let requests: Vec<String> = lines
+        .into_iter()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| match &precision {
+            Some(p) => stamp_precision(&l, p),
+            None => l,
+        })
+        .collect();
     if requests.is_empty() {
         return Err("no requests to send".into());
     }
@@ -129,9 +169,16 @@ fn try_query(args: &[String]) -> Result<String, String> {
     Ok(responses.join("\n") + "\n")
 }
 
-/// The deterministic mixed query batch the smoke fires: engine pricing,
-/// layer evaluations over the default dse workload slice, and whole-model
-/// queries, cycling the Table VII roster.
+/// The deterministic mixed query batch the smoke fires: engine pricing
+/// (cycling the W8/W4/W16/W8xW4 precision axis), layer evaluations over
+/// the default dse workload slice, mixed-precision layer queries against
+/// a fixed serial engine, and whole-model queries (including the
+/// quantized ResNet18-W4 preset), cycling the Table VII roster.
+///
+/// Precision-bearing queries deliberately revisit a *bounded* set of
+/// (engine, precision) keys: the smoke's >90% hit-rate bar is a
+/// steady-state property, and mixing the axis must prove the
+/// precision-keyed cache converges just like the W8-only batch did.
 pub fn smoke_batch(n: usize) -> Vec<String> {
     let engines = roster::names();
     let layers: Vec<(String, usize, usize, usize, usize)> = default_workloads()
@@ -142,6 +189,7 @@ pub fn smoke_batch(n: usize) -> Vec<String> {
         })
         .collect();
     let models = ["ResNet18", "MobileNetV3"];
+    let precisions = ["W8", "W4", "W16", "W8xW4"];
     (0..n)
         .map(|i| {
             // Engine cycles fastest, workload slowest, so the batch walks
@@ -150,16 +198,38 @@ pub fn smoke_batch(n: usize) -> Vec<String> {
             let engine = &engines[i % engines.len()];
             let slow = i / engines.len();
             match i % 10 {
-                0 => format!(r#"{{"id":{i},"op":"engine","engine":"{engine}"}}"#),
-                1..=7 => {
+                0 => {
+                    let precision = precisions[slow % precisions.len()];
+                    format!(
+                        r#"{{"id":{i},"op":"engine","engine":"{engine}","precision":"{precision}"}}"#
+                    )
+                }
+                1..=6 => {
                     let (name, m, nn, k, r) = &layers[slow % layers.len()];
                     format!(
                         r#"{{"id":{i},"op":"layer","engine":"{engine}","workload":"{name}","m":{m},"n":{nn},"k":{k},"repeats":{r},"seed":42}}"#
                     )
                 }
-                _ => {
+                7 => {
+                    // Mixed-precision serial streaming against one fixed
+                    // engine/layer pair: two cycle keys, many revisits.
+                    let precision = ["W4", "W16"][slow % 2];
+                    let (name, m, nn, k, r) = &layers[0];
+                    format!(
+                        r#"{{"id":{i},"op":"layer","engine":"OPT4E[EN-T]/28nm@2.00GHz","precision":"{precision}","workload":"{name}","m":{m},"n":{nn},"k":{k},"repeats":{r},"seed":42}}"#
+                    )
+                }
+                8 => {
                     let model = models[slow % models.len()];
                     format!(r#"{{"id":{i},"op":"model","engine":"{engine}","model":"{model}","seed":42}}"#)
+                }
+                _ => {
+                    // The quantized preset streams W4 digit statistics —
+                    // bounded to one fixed serial engine so its per-layer
+                    // cycle keys converge to steady-state hits.
+                    format!(
+                        r#"{{"id":{i},"op":"model","engine":"OPT4E[EN-T]/28nm@2.00GHz","model":"ResNet18-W4","seed":42}}"#
+                    )
                 }
             }
         })
@@ -212,7 +282,8 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
     let mut out = String::new();
     writeln!(
         out,
-        "serve smoke — {} mixed queries (engine/layer/model over the {}-engine roster) on {addr}",
+        "serve smoke — {} mixed queries (engine/layer/model over the {}-engine roster, \
+         precisions mixed across W8/W4/W16/W8xW4) on {addr}",
         queries,
         roster::names().len()
     )
@@ -341,6 +412,15 @@ mod tests {
         for op in ["\"op\":\"engine\"", "\"op\":\"layer\"", "\"op\":\"model\""] {
             assert!(batch.iter().any(|r| r.contains(op)), "missing {op}");
         }
+        // The batch exercises the precision axis on every op family.
+        for needle in [
+            "\"precision\":\"W4\"",
+            "\"precision\":\"W16\"",
+            "\"precision\":\"W8xW4\"",
+            "\"model\":\"ResNet18-W4\"",
+        ] {
+            assert!(batch.iter().any(|r| r.contains(needle)), "missing {needle}");
+        }
         // Every request parses and answers ok against a fresh cache.
         let cache = EngineCache::new();
         for resp in answer_locally(&batch[..20], &cache) {
@@ -365,5 +445,22 @@ mod tests {
         assert!(serve_smoke(&args(&["--queries", "0"])).contains("usage:"));
         assert!(query(&args(&[])).contains("usage:"), "--port is required");
         assert!(serve(&args(&["--port", "notaport"])).contains("usage:"));
+    }
+
+    /// `--precision` stamping: added when absent, never overrides an
+    /// explicit field, and the stamped request evaluates at the new width.
+    #[test]
+    fn query_precision_stamping() {
+        let plain = r#"{"id":1,"op":"engine","engine":"OPT4E[EN-T]"}"#;
+        let stamped = stamp_precision(plain, "W4");
+        assert_eq!(
+            stamped,
+            r#"{"id":1,"op":"engine","engine":"OPT4E[EN-T]","precision":"W4"}"#
+        );
+        let explicit = r#"{"id":1,"op":"engine","engine":"OPT4E[EN-T]","precision":"W16"}"#;
+        assert_eq!(stamp_precision(explicit, "W4"), explicit);
+        let cache = EngineCache::new();
+        let resp = answer_locally(&[stamped], &cache);
+        assert!(resp[0].contains("@W4\""), "{}", resp[0]);
     }
 }

@@ -79,23 +79,45 @@ impl ArrayModel {
     /// for `encoding` (only OPT4C/OPT4E carry encoding-dependent support
     /// hardware; see [`super::designs::encoder_component`]).
     pub fn support_area_um2_for(&self, encoding: tpe_arith::encode::EncodingKind) -> f64 {
+        self.support_area_um2_with(encoding, tpe_arith::Precision::W8)
+    }
+
+    /// [`Self::support_area_um2_for`] at an arbitrary operand precision:
+    /// the SIMD vector-core lanes resolve at the accumulator width and the
+    /// OPT4 shared encoders/sparse encoders cover the multiplicand's digit
+    /// slots, so support logic scales with precision just like the PEs.
+    pub fn support_area_um2_with(
+        &self,
+        encoding: tpe_arith::encode::EncodingKind,
+        precision: tpe_arith::Precision,
+    ) -> f64 {
         let rows = (self.arch.pe_instances as f64).sqrt().round() as u32;
+        let simd_lane = Component::SimdLane {
+            width: precision.acc_bits,
+        }
+        .cost()
+        .area_um2;
         match self.arch.style {
             PeStyle::TraditionalMac => 0.0,
             PeStyle::Opt1 | PeStyle::Opt2 => {
                 let lanes = self.arch.pe_instances.div_ceil(32) as f64;
-                lanes * Component::SimdLane { width: 32 }.cost().area_um2
+                lanes * simd_lane
             }
             PeStyle::Opt3 => {
                 let lanes = self.arch.pe_instances.div_ceil(32) as f64;
-                lanes * Component::SimdLane { width: 32 }.cost().area_um2
+                lanes * simd_lane
             }
             PeStyle::Opt4C | PeStyle::Opt4E => {
-                let enc = super::designs::encoder_component(encoding).cost().area_um2
-                    + Component::SparseEncoder { digits: 4 }.cost().area_um2;
+                let enc = super::designs::encoder_component_for(encoding, precision.a_bits)
+                    .cost()
+                    .area_um2
+                    + Component::SparseEncoder {
+                        digits: precision.digits(),
+                    }
+                    .cost()
+                    .area_um2;
                 let prefetch = 40.0; // address generation + B staging per row
-                let simd = self.arch.pe_instances.div_ceil(32) as f64
-                    * Component::SimdLane { width: 32 }.cost().area_um2;
+                let simd = self.arch.pe_instances.div_ceil(32) as f64 * simd_lane;
                 f64::from(rows) * (2.0 * enc + prefetch) + simd
             }
         }

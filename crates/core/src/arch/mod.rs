@@ -38,14 +38,24 @@ pub struct ArchModel {
 }
 
 impl ArchModel {
-    /// The PE design, ready for synthesis. Dense topologies get their
-    /// per-architecture composition (the reduction logic each PE carries
-    /// differs across the four classic arrays).
+    /// The PE design, ready for synthesis, at the paper's W8 precision.
+    /// Dense topologies get their per-architecture composition (the
+    /// reduction logic each PE carries differs across the four classic
+    /// arrays).
     pub fn pe_design(&self) -> PeDesign {
+        self.pe_design_for(tpe_arith::Precision::W8)
+    }
+
+    /// [`Self::pe_design`] at an arbitrary operand precision.
+    pub fn pe_design_for(&self, precision: tpe_arith::Precision) -> PeDesign {
         match (self.style, self.kind) {
-            (PeStyle::TraditionalMac, ArchKind::Dense(arch)) => PeStyle::dense_baseline_pe(arch),
-            (PeStyle::Opt1, ArchKind::Dense(arch)) => PeStyle::Opt1.dense_opt1_pe(arch),
-            _ => self.style.design(),
+            (PeStyle::TraditionalMac, ArchKind::Dense(arch)) => {
+                PeStyle::dense_baseline_pe_for(arch, precision)
+            }
+            (PeStyle::Opt1, ArchKind::Dense(arch)) => {
+                PeStyle::Opt1.dense_opt1_pe_for(arch, precision)
+            }
+            _ => self.style.design_for(precision),
         }
     }
 

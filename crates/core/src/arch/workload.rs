@@ -53,46 +53,75 @@ impl Default for SerialSampleCaps {
     }
 }
 
-/// Highest per-operand digit count any INT8 encoder produces (radix-2
-/// bit-serial: one digit per bit).
-const MAX_DIGITS: usize = 8;
-
 /// Gaussian-weighted digit-count histogram of `encoder` on max-abs-
-/// quantized N(0, 1) INT8 data: unnormalized `P(NumPPs = j)` weights plus
-/// their total. The single source of truth for both the sampling CDF and
-/// the effective-NumPPs statistic.
-fn digit_count_weights(encoder: &dyn Encoder) -> ([f64; MAX_DIGITS + 1], f64) {
-    let sigma_int = 30.0f64; // 127 / (max|z| ≈ 4.2σ) for 10⁶-sample tensors
-    let mut probs = [0f64; MAX_DIGITS + 1];
+/// quantized N(0, 1) data at `a_bits` operand width: unnormalized
+/// `P(NumPPs = j)` weights plus their total (index range `0..=a_bits` —
+/// radix-2 bit-serial produces one digit per bit, the worst case). The
+/// single source of truth for both the sampling CDF and the
+/// effective-NumPPs statistic.
+///
+/// The histogram is a pure function of (encoder, width) but costs a full
+/// range enumeration (2^16 encodes at W16), so it is memoized
+/// process-wide on the encoder's stable name — memoization can never
+/// change values, only skip recomputation.
+fn digit_count_weights(encoder: &dyn Encoder, a_bits: u32) -> (Vec<f64>, f64) {
+    use std::collections::HashMap;
+    use std::sync::{OnceLock, RwLock};
+    type WeightMemo = RwLock<HashMap<(&'static str, u32), (Vec<f64>, f64)>>;
+    static MEMO: OnceLock<WeightMemo> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| RwLock::new(HashMap::new()));
+    let key = (encoder.name(), a_bits);
+    if let Some(hit) = memo.read().expect("weights memo poisoned").get(&key) {
+        return hit.clone();
+    }
+
+    let max = (1i64 << (a_bits - 1)) - 1;
+    // The INT8 pipeline's effective scale: 127 / (max|z| ≈ 4.2σ) = 30, so
+    // σ = max · 30 / 127 (exactly 30.0 at the default 8-bit width).
+    let sigma_int = max as f64 * 30.0 / 127.0;
+    let max_digits = a_bits as usize;
+    let mut probs = vec![0f64; max_digits + 1];
     let mut total = 0f64;
-    for v in -127i64..=127 {
+    for v in -max..=max {
         let w = (-0.5 * (v as f64 / sigma_int).powi(2)).exp();
-        let n = encoder.num_pps(v, 8).min(MAX_DIGITS);
+        let n = encoder.num_pps(v, a_bits).min(max_digits);
         probs[n] += w;
         total += w;
     }
-    (probs, total)
+    memo.write()
+        .expect("weights memo poisoned")
+        .entry(key)
+        .or_insert((probs, total))
+        .clone()
 }
 
 /// Per-operand digit-count distribution of `encoder`-encoded,
-/// max-abs-quantized N(0, 1) INT8 data, as a cumulative table.
-fn digit_count_cdf(encoder: &dyn Encoder) -> [f64; MAX_DIGITS + 1] {
-    let (probs, total) = digit_count_weights(encoder);
-    let mut cdf = [0f64; MAX_DIGITS + 1];
+/// max-abs-quantized N(0, 1) data at `a_bits` width, as a cumulative
+/// table.
+fn digit_count_cdf(encoder: &dyn Encoder, a_bits: u32) -> Vec<f64> {
+    let (probs, total) = digit_count_weights(encoder, a_bits);
+    let mut cdf = vec![0f64; probs.len()];
     let mut acc = 0.0;
     for (i, p) in probs.iter().enumerate() {
         acc += p / total;
         cdf[i] = acc;
     }
-    cdf[MAX_DIGITS] = 1.0;
+    *cdf.last_mut().expect("non-empty cdf") = 1.0;
     cdf
 }
 
-/// Expected digits per operand of `encoder` under the same distribution —
-/// the divisor in a serial design's peak-throughput accounting (Table
+/// Expected digits per operand of `encoder` on quantized-normal INT8 data
+/// — the divisor in a serial design's peak-throughput accounting (Table
 /// III's effective NumPPs, generalized to any encoder).
 pub fn effective_numpps(encoder: &dyn Encoder) -> f64 {
-    let (probs, total) = digit_count_weights(encoder);
+    effective_numpps_at(encoder, 8)
+}
+
+/// [`effective_numpps`] at an arbitrary operand width: the precision
+/// axis's serial cost law (digit slots scale with `a_bits`, so expected
+/// digits — and serial cycles/MAC — grow roughly linearly with width).
+pub fn effective_numpps_at(encoder: &dyn Encoder, a_bits: u32) -> f64 {
+    let (probs, total) = digit_count_weights(encoder, a_bits);
     probs
         .iter()
         .enumerate()
@@ -136,6 +165,7 @@ pub fn serial_layer(arch: &ArchModel, layer: &LayerShape, seed: u64) -> LayerRes
     let stats = sample_serial_cycles(
         &cfg,
         encoder.as_ref(),
+        8,
         layer,
         seed,
         SerialSampleCaps::default(),
@@ -191,11 +221,17 @@ impl SerialCycleStats {
 /// The statistical serial-layer model shared by [`serial_layer`] and the
 /// `tpe-dse` sweep: maps the layer onto `cfg`'s columns, samples per-column
 /// digit sums round by round from the categorical digit-count distribution
-/// of quantized-normal operands under `encoder`, and applies the `sync`
-/// barrier (the slowest column bounds each round, Eq. 7).
+/// of quantized-normal `a_bits`-wide operands under `encoder`, and applies
+/// the `sync` barrier (the slowest column bounds each round, Eq. 7).
+///
+/// `a_bits` is the encoded-multiplicand width — the precision axis's only
+/// input to the cycle model: a serial PE streams one digit per cycle, so
+/// wider operands (more digit slots at near-constant digit sparsity) cost
+/// proportionally more cycles while the array geometry stays fixed.
 pub fn sample_serial_cycles(
     cfg: &BitsliceConfig,
     encoder: &dyn Encoder,
+    a_bits: u32,
     layer: &LayerShape,
     seed: u64,
     caps: SerialSampleCaps,
@@ -215,7 +251,7 @@ pub fn sample_serial_cycles(
     let sampled = rounds.min(caps.max_rounds).min(budget_rounds);
     let scale = rounds as f64 / sampled as f64;
 
-    let cdf = digit_count_cdf(encoder);
+    let cdf = digit_count_cdf(encoder, a_bits);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut busy = vec![0f64; cfg.mp];
     let mut cycles = 0f64;
@@ -298,7 +334,7 @@ pub fn cycles_per_mac_with_zeros(arch: &ArchModel, zero_frac: f64, seed: u64) ->
     assert!((0.0..=1.0).contains(&zero_frac));
     let cfg = arch.bitslice_config();
     let encoder = cfg.encoding.encoder();
-    let cdf = digit_count_cdf(encoder.as_ref());
+    let cdf = digit_count_cdf(encoder.as_ref(), 8);
     let mut rng = StdRng::seed_from_u64(seed);
     let samples = 200_000usize;
     let mut total = 0u64;

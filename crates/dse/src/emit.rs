@@ -14,11 +14,13 @@ use tpe_engine::EngineSpec;
 
 /// CSV header matching the per-point row layout. `workload_kind` is
 /// `layer` or `model`; the `m,n,k,repeats` shape columns are empty for
-/// whole-model rows (their shape is the `layers`/`macs` aggregate).
+/// whole-model rows (their shape is the `layers`/`macs` aggregate). The
+/// `precision` axis column sits last so every W8 row is the historical
+/// row plus a `,W8` suffix (the golden-compatibility invariant).
 pub const CSV_HEADER: &str =
     "label,style,topology,encoding,node,freq_ghz,workload,workload_kind,layers,macs,\
      m,n,k,repeats,feasible,pareto,\
-     area_um2,delay_us,energy_uj,fj_per_mac,gops,peak_tops,utilization,power_w";
+     area_um2,delay_us,energy_uj,fj_per_mac,gops,peak_tops,utilization,power_w,precision";
 
 /// Display name of a point's topology axis ("TPU", ..., or "Serial").
 pub fn topology_name(kind: ArchKind) -> &'static str {
@@ -70,9 +72,10 @@ fn csv_row(result: &PointResult, on_front: bool) -> String {
         u8::from(result.feasible()),
         u8::from(on_front),
     );
+    let precision = e.precision.label();
     match &result.metrics {
         Some(m) => format!(
-            "{head},{:.3},{:.4},{:.6},{:.4},{:.3},{:.4},{:.5},{:.5}",
+            "{head},{:.3},{:.4},{:.6},{:.4},{:.3},{:.4},{:.5},{:.5},{precision}",
             m.area_um2,
             m.delay_us,
             m.energy_uj,
@@ -82,7 +85,7 @@ fn csv_row(result: &PointResult, on_front: bool) -> String {
             m.utilization,
             m.power_w
         ),
-        None => format!("{head},,,,,,,,"),
+        None => format!("{head},,,,,,,,,{precision}"),
     }
 }
 
@@ -128,13 +131,15 @@ pub fn to_json(results: &[PointResult], front: &[usize], objectives: &[Objective
         let w = &p.workload;
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"style\": \"{}\", \"topology\": \"{}\", \
-             \"encoding\": \"{}\", \"node\": \"{}\", \"freq_ghz\": {:.2}, \
+             \"encoding\": \"{}\", \"precision\": \"{}\", \"node\": \"{}\", \
+             \"freq_ghz\": {:.2}, \
              \"workload\": \"{}\", \"workload_kind\": \"{}\", \"layers\": {}, \
              \"macs\": {}, \"feasible\": {}, \"pareto\": {}",
             json_escape(&p.label()),
             p.engine.style.name(),
             topology_name(p.engine.kind),
             json_escape(&p.engine.encoding.to_string()),
+            p.engine.precision.label(),
             p.engine.node_name,
             p.engine.freq_ghz,
             json_escape(w.name()),
@@ -170,9 +175,11 @@ pub fn to_json(results: &[PointResult], front: &[usize], objectives: &[Objective
 }
 
 /// CSV header matching [`model_csv`]'s per-(model, engine) row layout.
+/// As in [`CSV_HEADER`], the `precision` column sits last so W8 rows are
+/// the historical bytes plus `,W8`.
 pub const MODEL_CSV_HEADER: &str =
     "model,engine,style,topology,encoding,node,freq_ghz,feasible,layers,macs,\
-     cycles,delay_us,energy_uj,gops,peak_tops,utilization,power_w,tops_per_w,area_um2";
+     cycles,delay_us,energy_uj,gops,peak_tops,utilization,power_w,tops_per_w,area_um2,precision";
 
 /// Renders a `tpe-pipeline` model grid as CSV (same fixed-precision,
 /// locale-independent discipline as [`to_csv`], so deterministic grids
@@ -194,9 +201,10 @@ pub fn model_csv(runs: &[tpe_pipeline::ModelRun]) -> String {
             e.freq_ghz,
             u8::from(run.feasible()),
         ));
+        let precision = e.precision.label();
         match &run.report {
             Some(r) => out.push_str(&format!(
-                ",{},{},{:.0},{:.4},{:.6},{:.3},{:.4},{:.5},{:.5},{:.4},{:.3}\n",
+                ",{},{},{:.0},{:.4},{:.6},{:.3},{:.4},{:.5},{:.5},{:.4},{:.3},{precision}\n",
                 r.layer_count(),
                 r.total_macs,
                 r.cycles,
@@ -209,7 +217,7 @@ pub fn model_csv(runs: &[tpe_pipeline::ModelRun]) -> String {
                 r.tops_per_w(),
                 r.area_um2,
             )),
-            None => out.push_str(",,,,,,,,,,,\n"),
+            None => out.push_str(&format!(",,,,,,,,,,,,{precision}\n")),
         }
     }
     out
@@ -224,13 +232,14 @@ pub fn model_json(runs: &[tpe_pipeline::ModelRun]) -> String {
         let e = &run.engine;
         out.push_str(&format!(
             "    {{\"model\": \"{}\", \"engine\": \"{}\", \"style\": \"{}\", \
-             \"topology\": \"{}\", \"encoding\": \"{}\", \"node\": \"{}\", \
-             \"freq_ghz\": {:.2}, \"feasible\": {}",
+             \"topology\": \"{}\", \"encoding\": \"{}\", \"precision\": \"{}\", \
+             \"node\": \"{}\", \"freq_ghz\": {:.2}, \"feasible\": {}",
             json_escape(&run.model),
             json_escape(&e.label()),
             e.style.name(),
             topology_name(e.kind),
             json_escape(&e.encoding.to_string()),
+            e.precision.label(),
             e.node_name,
             e.freq_ghz,
             run.feasible(),
@@ -346,7 +355,7 @@ mod tests {
             assert_eq!(line.split(',').count(), columns, "bad row: {line}");
         }
         assert!(
-            lines[2].ends_with(",,,,,,,,,,,"),
+            lines[2].ends_with(",,,,,,,,,,,W8"),
             "infeasible row: {}",
             lines[2]
         );
@@ -384,7 +393,15 @@ mod tests {
         assert!(results.iter().all(|r| !r.feasible()));
         let csv = to_csv(&results, &[]);
         for line in csv.lines().skip(1) {
-            assert!(line.ends_with(",,,,,,,,"), "infeasible row: {line}");
+            let precision = line.rsplit(',').next().unwrap();
+            assert!(
+                tpe_engine::Precision::parse(precision).is_some(),
+                "precision column: {line}"
+            );
+            assert!(
+                line.ends_with(&format!(",,,,,,,,,{precision}")),
+                "infeasible row: {line}"
+            );
         }
     }
 }

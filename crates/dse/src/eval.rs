@@ -112,12 +112,13 @@ mod tests {
         }
     }
 
-    /// Pricing memoizes across workloads: one synthesis per (PE, corner)
-    /// pair no matter how many workloads score it.
+    /// Pricing memoizes across workloads: one synthesis per (PE, corner,
+    /// precision) no matter how many workloads score it.
     #[test]
     fn cache_prices_each_corner_once_across_workloads() {
         let cache = EngineCache::new();
-        let points = DesignSpace::paper_default().enumerate_filtered("OPT4C[EN-T]/28nm@2.00");
+        let points =
+            DesignSpace::paper_default().enumerate_filtered("OPT4C[EN-T]/28nm@2.00,precision=w8");
         assert!(points.len() >= 2, "need several workloads");
         for p in &points {
             evaluate(p, &cache, 3);

@@ -52,6 +52,6 @@ pub mod sweep;
 
 pub use eval::{evaluate, Metrics, PointResult};
 pub use pareto::{pareto_front, pareto_front_per_workload, Objective};
-pub use space::{Corner, DesignPoint, DesignSpace, SweepWorkload};
+pub use space::{Corner, DesignPoint, DesignSpace, Precision, SweepWorkload};
 pub use sweep::{sweep, sweep_with_cache, SweepConfig, SweepOutcome};
 pub use tpe_engine::{CacheStats, EngineCache};

@@ -121,20 +121,29 @@ pub fn pareto_front(results: &[PointResult], objectives: &[Objective]) -> Vec<us
         .collect()
 }
 
-/// Union of per-workload Pareto fronts, sorted ascending.
+/// Union of per-(workload × precision) Pareto fronts, sorted ascending.
 ///
 /// Absolute delay/energy are only comparable between points evaluating
 /// the *same* workload (a small GEMM trivially "dominates" a large one on
-/// raw delay), so dominance is restricted to points sharing a workload.
-/// The global [`pareto_front`] is always a subset of this union: a point
-/// non-dominated against everyone is non-dominated within its workload.
+/// raw delay) at the *same* operand precision (a W4 MAC moves half the
+/// bits of a W8 one, so its raw delay is not the same computation), so
+/// dominance is restricted to points sharing both. Restricting to the
+/// default W8 reproduces the historical per-workload fronts exactly. The
+/// global [`pareto_front`] is always a subset of this union: a point
+/// non-dominated against everyone is non-dominated within its group.
 pub fn pareto_front_per_workload(results: &[PointResult], objectives: &[Objective]) -> Vec<usize> {
     assert!(!objectives.is_empty(), "need at least one objective");
-    let mut groups: std::collections::BTreeMap<&str, Vec<usize>> =
+    /// Dominance-comparability group: workload name × (a, b, acc) widths.
+    type GroupKey<'a> = (&'a str, (u32, u32, u32));
+    let mut groups: std::collections::BTreeMap<GroupKey, Vec<usize>> =
         std::collections::BTreeMap::new();
     for (i, r) in results.iter().enumerate() {
         if r.metrics.is_some() {
-            groups.entry(r.point.workload.name()).or_default().push(i);
+            let p = r.point.precision();
+            groups
+                .entry((r.point.workload.name(), (p.a_bits, p.b_bits, p.acc_bits)))
+                .or_default()
+                .push(i);
         }
     }
     let metric = |i: usize| results[i].metrics.as_ref().unwrap();

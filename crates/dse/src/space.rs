@@ -17,7 +17,7 @@ use tpe_engine::{roster, EngineSpec};
 use tpe_sim::array::ClassicArch;
 use tpe_workloads::{models, LayerShape};
 
-pub use tpe_engine::{classic_name, Corner, SweepWorkload};
+pub use tpe_engine::{classic_name, Corner, Precision, SweepWorkload};
 
 /// One fully-specified design point: an engine plus the workload it is
 /// scored on.
@@ -61,6 +61,11 @@ impl DesignPoint {
         self.engine.encoding
     }
 
+    /// Operand precision.
+    pub fn precision(&self) -> Precision {
+        self.engine.precision
+    }
+
     /// Synthesis corner.
     pub fn corner(&self) -> Corner {
         self.engine.corner()
@@ -88,7 +93,7 @@ impl DesignPoint {
     }
 }
 
-/// The five axes; [`DesignSpace::enumerate`] takes the legal cross product.
+/// The six axes; [`DesignSpace::enumerate`] takes the legal cross product.
 #[derive(Debug, Clone)]
 pub struct DesignSpace {
     /// PE styles to sweep.
@@ -97,6 +102,9 @@ pub struct DesignSpace {
     pub dense_topologies: Vec<ClassicArch>,
     /// Encodings to pair with serial styles.
     pub encodings: Vec<EncodingKind>,
+    /// Operand precisions (every style × topology × encoding combination
+    /// synthesizes at each).
+    pub precisions: Vec<Precision>,
     /// Synthesis corners.
     pub corners: Vec<Corner>,
     /// Workloads: single layers and/or whole networks.
@@ -104,9 +112,15 @@ pub struct DesignSpace {
 }
 
 impl DesignSpace {
+    /// The default precision axis: the symmetric W4/W8/W16 ladder, W8
+    /// first so the paper's configuration leads every label group.
+    pub fn default_precisions() -> Vec<Precision> {
+        vec![Precision::W8, Precision::W4, Precision::W16]
+    }
+
     /// The full paper-flavored space: all six PE styles, all four classic
-    /// topologies, all five encoders, the four
-    /// [`roster::sweep_corners`] and a workload slice covering the
+    /// topologies, all five encoders, the W8/W4/W16 precision ladder, the
+    /// four [`roster::sweep_corners`] and a workload slice covering the
     /// utilization regimes of Figures 11–13 (wide conv, depthwise,
     /// attention, FFN) **plus one whole-model workload** (ResNet-18
     /// end-to-end), so the default Pareto front always carries at least
@@ -116,6 +130,7 @@ impl DesignSpace {
             styles: PeStyle::ALL.to_vec(),
             dense_topologies: ClassicArch::ALL.to_vec(),
             encodings: EncodingKind::ALL.to_vec(),
+            precisions: Self::default_precisions(),
             corners: roster::sweep_corners(),
             workloads: default_workloads(),
         }
@@ -123,11 +138,11 @@ impl DesignSpace {
 
     /// The paper-default axes with the workload axis replaced by whole
     /// networks whose name contains `filter` (case-insensitive; empty
-    /// keeps all ten models of Figures 12–13). Errors when nothing
-    /// matches.
+    /// keeps the full catalog — the ten models of Figures 12–13 plus the
+    /// mixed-precision presets). Errors when nothing matches.
     pub fn with_models(filter: &str) -> Result<Self, String> {
         let needle = filter.to_ascii_lowercase();
-        let nets: Vec<SweepWorkload> = tpe_workloads::NetworkModel::all()
+        let nets: Vec<SweepWorkload> = tpe_workloads::NetworkModel::catalog()
             .into_iter()
             .filter(|n| needle.is_empty() || n.name.to_ascii_lowercase().contains(&needle))
             .map(SweepWorkload::Model)
@@ -142,7 +157,7 @@ impl DesignSpace {
     }
 
     /// A small space for tests and the example: two styles per family, two
-    /// encodings, one corner family, two workloads.
+    /// encodings, two precisions, one corner family, two workloads.
     pub fn quick() -> Self {
         Self {
             styles: vec![
@@ -153,6 +168,7 @@ impl DesignSpace {
             ],
             dense_topologies: vec![ClassicArch::Tpu, ClassicArch::Trapezoid],
             encodings: vec![EncodingKind::EnT, EncodingKind::Mbe],
+            precisions: vec![Precision::W8, Precision::W4],
             corners: vec![Corner::smic28(1.0), Corner::smic28(1.5)],
             workloads: vec![
                 SweepWorkload::Layer(LayerShape::new("conv-64x3136x576", 64, 3136, 576, 1)),
@@ -203,19 +219,22 @@ impl DesignSpace {
                 }
             }
             for &(kind, encoding) in &variants {
-                for &corner in &self.corners {
-                    for workload in &self.workloads {
-                        points.push(DesignPoint {
-                            engine: EngineSpec {
-                                style,
-                                kind,
-                                encoding,
-                                freq_ghz: corner.freq_ghz,
-                                node: corner.node,
-                                node_name: corner.node_name,
-                            },
-                            workload: workload.clone(),
-                        });
+                for &precision in &self.precisions {
+                    for &corner in &self.corners {
+                        for workload in &self.workloads {
+                            points.push(DesignPoint {
+                                engine: EngineSpec {
+                                    style,
+                                    kind,
+                                    encoding,
+                                    precision,
+                                    freq_ghz: corner.freq_ghz,
+                                    node: corner.node,
+                                    node_name: corner.node_name,
+                                },
+                                workload: workload.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -223,13 +242,27 @@ impl DesignSpace {
         points
     }
 
-    /// Enumerates, keeping only points whose label contains `filter`
-    /// (case-insensitive). An empty filter keeps everything.
+    /// Enumerates, keeping only points matching `filter`
+    /// (case-insensitive). The filter is a comma-separated list of terms
+    /// that must all match: a `precision=<label>` term matches the
+    /// precision axis exactly (so `precision=w8` selects the default
+    /// points, whose labels carry no suffix), any other term matches the
+    /// point label as a substring. An empty filter keeps everything.
     pub fn enumerate_filtered(&self, filter: &str) -> Vec<DesignPoint> {
-        let needle = filter.to_ascii_lowercase();
+        let terms: Vec<&str> = filter.split(',').filter(|t| !t.is_empty()).collect();
         self.enumerate()
             .into_iter()
-            .filter(|p| needle.is_empty() || p.label().to_ascii_lowercase().contains(&needle))
+            .filter(|p| {
+                terms.iter().all(|term| match term.split_once('=') {
+                    Some((key, value)) if key.eq_ignore_ascii_case("precision") => {
+                        Precision::parse(value) == Some(p.precision())
+                    }
+                    _ => p
+                        .label()
+                        .to_ascii_lowercase()
+                        .contains(&term.to_ascii_lowercase()),
+                })
+            })
             .collect()
     }
 }
@@ -271,14 +304,59 @@ mod tests {
     use super::*;
 
     #[test]
-    fn paper_space_covers_over_200_points_on_4_plus_axes() {
+    fn paper_space_covers_over_200_points_on_5_plus_axes() {
         let space = DesignSpace::paper_default();
         assert!(space.styles.len() >= 4);
         assert!(space.encodings.len() >= 4);
         assert!(space.corners.len() >= 3);
         assert!(space.workloads.len() >= 4);
+        assert_eq!(space.precisions.len(), 3, "W8/W4/W16 ladder");
         let points = space.enumerate();
-        assert!(points.len() >= 200, "only {} points", points.len());
+        // The historical 672-point W8 space, multiplied by the precision
+        // ladder.
+        assert_eq!(points.len(), 672 * 3, "default space size");
+        let w8: Vec<_> = points
+            .iter()
+            .filter(|p| p.precision() == Precision::W8)
+            .collect();
+        assert_eq!(w8.len(), 672, "the W8 slice is the historical space");
+    }
+
+    /// The W8 subsequence of the grown default space enumerates in exactly
+    /// the historical order: a single-precision space's points, in order.
+    #[test]
+    fn w8_subsequence_preserves_historical_order() {
+        let w8_only = DesignSpace {
+            precisions: vec![Precision::W8],
+            ..DesignSpace::paper_default()
+        };
+        let historical: Vec<String> = w8_only.enumerate().iter().map(DesignPoint::label).collect();
+        let projected: Vec<String> = DesignSpace::paper_default()
+            .enumerate()
+            .iter()
+            .filter(|p| p.precision() == Precision::W8)
+            .map(DesignPoint::label)
+            .collect();
+        assert_eq!(projected, historical);
+    }
+
+    #[test]
+    fn precision_filter_terms_select_the_axis() {
+        let space = DesignSpace::quick();
+        let all = space.enumerate();
+        let w4 = space.enumerate_filtered("precision=w4");
+        let w8 = space.enumerate_filtered("precision=w8");
+        assert_eq!(w4.len() + w8.len(), all.len());
+        assert!(w4.iter().all(|p| p.precision() == Precision::W4));
+        assert!(w8.iter().all(|p| p.precision() == Precision::W8));
+        // Terms compose: precision + label substring.
+        let opt3_w4 = space.enumerate_filtered("precision=w4,opt3");
+        assert!(!opt3_w4.is_empty());
+        assert!(opt3_w4
+            .iter()
+            .all(|p| p.style() == PeStyle::Opt3 && p.precision() == Precision::W4));
+        // An unparsable precision term matches nothing.
+        assert!(space.enumerate_filtered("precision=w99").is_empty());
     }
 
     #[test]
@@ -344,13 +422,17 @@ mod tests {
     #[test]
     fn with_models_replaces_the_workload_axis() {
         let space = DesignSpace::with_models("resnet").unwrap();
-        assert_eq!(space.workloads.len(), 2, "ResNet18 + ResNet50");
+        assert_eq!(
+            space.workloads.len(),
+            3,
+            "ResNet18 + ResNet50 + the quantized ResNet18-W4 preset"
+        );
         assert!(space
             .workloads
             .iter()
             .all(|w| matches!(w, SweepWorkload::Model(_))));
         let all = DesignSpace::with_models("").unwrap();
-        assert_eq!(all.workloads.len(), models::NetworkModel::all().len());
+        assert_eq!(all.workloads.len(), models::NetworkModel::catalog().len());
         assert!(DesignSpace::with_models("no-such-net").is_err());
     }
 

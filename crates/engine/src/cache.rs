@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{OnceLock, RwLock};
 
 use tpe_arith::encode::EncodingKind;
+use tpe_arith::Precision;
 use tpe_core::arch::{ArchKind, PeStyle};
 use tpe_sim::array::ClassicArch;
 use tpe_workloads::LayerShape;
@@ -58,6 +59,10 @@ pub struct PeKey {
     /// dense multipliers bake in Booth and OPT4's encoders sit out of the
     /// array in support logic, so those styles key as `None`).
     pub in_pe_encoding: Option<EncodingKind>,
+    /// Operand/accumulator precision: every datapath width synthesis sees
+    /// scales with it, so engines at different precisions never share a
+    /// synthesis record.
+    pub precision: Precision,
     /// Clock constraint in MHz.
     pub freq_mhz: u32,
     /// Process feature size in tenths of a nm.
@@ -94,6 +99,7 @@ impl PeKey {
             },
             in_pe_encoding: (spec.style == PeStyle::Opt3)
                 .then_some(canonical_encoding(spec.encoding)),
+            precision: spec.precision,
             freq_mhz: (spec.freq_ghz * 1e3).round() as u32,
             node_dnm: (spec.node.nm * 10.0).round() as u32,
         }
@@ -112,6 +118,9 @@ pub struct PriceKey {
     /// Raw multiplicand encoding (prices support encoders and the peak
     /// NumPPs divisor).
     pub encoding: EncodingKind,
+    /// Operand/accumulator precision (scales synthesis, support logic and
+    /// the effective-NumPPs peak divisor).
+    pub precision: Precision,
     /// Clock constraint in MHz.
     pub freq_mhz: u32,
     /// Process feature size in tenths of a nm.
@@ -128,6 +137,7 @@ impl PriceKey {
                 ArchKind::Serial => None,
             },
             encoding: spec.encoding,
+            precision: spec.precision,
             freq_mhz: (spec.freq_ghz * 1e3).round() as u32,
             node_dnm: (spec.node.nm * 10.0).round() as u32,
         }
@@ -163,6 +173,12 @@ pub struct CycleKey {
     pub style: PeStyle,
     /// Multiplicand encoding (fixes the digit-count distribution).
     pub encoding: EncodingKind,
+    /// Encoded-multiplicand width the digit statistics are drawn at — the
+    /// cycle-relevant subset of the precision: a layer-level precision
+    /// override (mixed-precision schedules) or the engine's own. `b_bits`
+    /// and `acc_bits` never reach the cycle model, so they stay out of the
+    /// key.
+    pub a_bits: u32,
     /// GEMM rows.
     pub m: usize,
     /// GEMM columns.
@@ -181,10 +197,13 @@ pub struct CycleKey {
 
 impl CycleKey {
     /// Builds the key for scheduling `layer` on `spec` with `seed`/`caps`.
+    /// The digit width is the layer's precision override when present
+    /// (mixed-precision schedules), the engine's precision otherwise.
     pub fn of(spec: &EngineSpec, layer: &LayerShape, seed: u64, caps: SerialSampleCaps) -> Self {
         Self {
             style: spec.style,
             encoding: spec.encoding,
+            a_bits: crate::schedule::layer_a_bits(spec, layer),
             m: layer.m,
             n: layer.n,
             k: layer.k,
@@ -430,6 +449,7 @@ mod tests {
             style: PeStyle::Opt1,
             dense: Some(ClassicArch::Tpu),
             in_pe_encoding: None,
+            precision: Precision::W8,
             freq_mhz,
             node_dnm: 280,
         }

@@ -60,6 +60,25 @@ impl SampleProfile {
         }
     }
 
+    /// The profile's sampling caps scaled to an operand precision: each
+    /// sampled operand contributes digit cycles proportional to its width,
+    /// so the operand budget scales inversely with the multiplicand width
+    /// to keep the sampled *cycle mass* — what the estimate's variance
+    /// rides on — roughly constant across the precision axis (W4 samples
+    /// twice the operands of W8, W16 half). Round caps are
+    /// width-independent. At the default W8 this is exactly
+    /// [`Self::caps`], so every historical cycle-cache key is unchanged.
+    pub fn caps_for(self, precision: tpe_arith::Precision) -> SerialSampleCaps {
+        let base = self.caps();
+        if precision.a_bits == 8 {
+            return base;
+        }
+        SerialSampleCaps {
+            max_rounds: base.max_rounds,
+            max_operands: (base.max_operands * 8 / precision.a_bits as usize).max(1_000),
+        }
+    }
+
     /// Stable display name.
     pub const fn name(self) -> &'static str {
         match self {
@@ -103,6 +122,23 @@ mod tests {
                 pair[0],
                 pair[1]
             );
+        }
+    }
+
+    /// Precision-scaled budgets: W8 is exactly the base table, W4 doubles
+    /// the operand budget, W16 halves it, rounds never change.
+    #[test]
+    fn caps_scale_inversely_with_operand_width() {
+        use tpe_arith::Precision;
+        for profile in SampleProfile::ALL {
+            let base = profile.caps();
+            assert_eq!(profile.caps_for(Precision::W8), base);
+            let w4 = profile.caps_for(Precision::W4);
+            let w16 = profile.caps_for(Precision::W16);
+            assert_eq!(w4.max_operands, base.max_operands * 2);
+            assert_eq!(w16.max_operands, (base.max_operands / 2).max(1_000));
+            assert_eq!(w4.max_rounds, base.max_rounds);
+            assert_eq!(w16.max_rounds, base.max_rounds);
         }
     }
 }

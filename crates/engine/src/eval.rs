@@ -26,8 +26,9 @@ use crate::spec::{EnginePrice, EngineSpec};
 use crate::workload::SweepWorkload;
 
 /// Re-exported from `tpe-core`: expected digits per operand of an encoder
-/// on quantized-normal INT8 data (the serial peak-throughput divisor).
-pub use tpe_core::arch::workload::effective_numpps;
+/// on quantized-normal INT8 data (the serial peak-throughput divisor),
+/// plus the width-generic variant behind the precision axis.
+pub use tpe_core::arch::workload::{effective_numpps, effective_numpps_at};
 
 /// The objective vector of one feasible (engine, workload) evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,15 +81,19 @@ impl<'c> Evaluator<'c> {
     /// Prices the PE of an engine at its corner, through the cache.
     ///
     /// OPT3 carries its encoder inside the PE, so its design is built with
-    /// the engine's encoding (`PeStyle::design_with_encoding`, and the
+    /// the engine's encoding (`PeStyle::design_with_encoding_for`, and the
     /// cache key includes the encoding's recoder class). OPT4's encoders
-    /// live in the array support logic, priced in [`Self::price`].
+    /// live in the array support logic, priced in [`Self::price`]. Every
+    /// datapath width scales with the engine's precision — the cache key
+    /// carries it, so W4/W8/W16 variants synthesize independently.
     pub fn pe_record(&self, spec: &EngineSpec) -> Option<PeRecord> {
         let key = PeKey::of(spec);
         self.cache.pe_record(key, || {
             let design = match spec.kind {
-                ArchKind::Dense(_) => spec.arch_model().pe_design(),
-                ArchKind::Serial => spec.style.design_with_encoding(spec.encoding),
+                ArchKind::Dense(_) => spec.arch_model().pe_design_for(spec.precision),
+                ArchKind::Serial => spec
+                    .style
+                    .design_with_encoding_for(spec.encoding, spec.precision),
             };
             let report = design.synthesize(spec.freq_ghz)?;
             Some(PeRecord {
@@ -112,10 +117,11 @@ impl<'c> Evaluator<'c> {
     }
 
     /// Node-scaled area of the engine's support logic outside the PEs
-    /// (SIMD lanes, shared encoders, prefetch).
+    /// (SIMD lanes at the accumulator width, shared encoders at the
+    /// multiplicand width, prefetch).
     pub fn support_area_um2(&self, spec: &EngineSpec) -> f64 {
         scale_area_um2(
-            ArrayModel::new(spec.arch_model()).support_area_um2_for(spec.encoding),
+            ArrayModel::new(spec.arch_model()).support_area_um2_with(spec.encoding, spec.precision),
             ProcessNode::SMIC28,
             spec.node,
         )
@@ -179,7 +185,7 @@ impl<'c> Evaluator<'c> {
                             spec,
                             layer,
                             point_seed,
-                            SampleProfile::Sweep.caps(),
+                            SampleProfile::Sweep.caps_for(spec.precision),
                         );
                         (rec.cycles, rec.utilization())
                     }
@@ -188,7 +194,7 @@ impl<'c> Evaluator<'c> {
                         spec,
                         net,
                         point_seed,
-                        SampleProfile::Model.caps(),
+                        SampleProfile::Model.caps_for(spec.precision),
                     ),
                 }
             }
@@ -374,6 +380,87 @@ mod tests {
             "EN-T+CSD and the two bit-serial kinds must share entries"
         );
         assert!(stats.hit_rate() > 0.39);
+    }
+
+    /// The acceptance invariant of the precision axis: for a fixed engine,
+    /// array area and serial cycle counts strictly increase W4 → W8 → W16
+    /// (wider operands synthesize bigger PEs and stream more digits), and
+    /// the precision-keyed cache treats each width as its own entry.
+    #[test]
+    fn area_and_serial_cycles_strictly_increase_with_precision() {
+        use tpe_arith::Precision;
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let ladder = [Precision::W4, Precision::W8, Precision::W16];
+        for base in [
+            EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0),
+            EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0),
+            EngineSpec::dense(PeStyle::Opt1, ClassicArch::Tpu, 1.5),
+            EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Ascend, 1.0),
+        ] {
+            let areas: Vec<f64> = ladder
+                .iter()
+                .map(|&p| {
+                    eval.price(&base.clone().with_precision(p))
+                        .unwrap_or_else(|| panic!("{} fails timing", base.label()))
+                        .area_um2
+                })
+                .collect();
+            assert!(
+                areas[0] < areas[1] && areas[1] < areas[2],
+                "{}: areas not strictly increasing over W4/W8/W16: {areas:?}",
+                base.label()
+            );
+        }
+        for base in [
+            EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0),
+            EngineSpec::serial(PeStyle::Opt4C, EncodingKind::Csd, 2.5),
+        ] {
+            let w = layer_workload();
+            let delays: Vec<f64> = ladder
+                .iter()
+                .map(|&p| {
+                    eval.metrics(&base.clone().with_precision(p), &w, 7)
+                        .unwrap()
+                        .delay_us
+                })
+                .collect();
+            assert!(
+                delays[0] < delays[1] && delays[1] < delays[2],
+                "{}: serial delay not strictly increasing over W4/W8/W16: {delays:?}",
+                base.label()
+            );
+        }
+        // Peak throughput moves the other way: fewer digits per operand.
+        let peak = |p| {
+            eval.price(
+                &EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0).with_precision(p),
+            )
+            .unwrap()
+            .peak_tops
+        };
+        assert!(peak(tpe_arith::Precision::W4) > peak(tpe_arith::Precision::W8));
+        assert!(peak(tpe_arith::Precision::W8) > peak(tpe_arith::Precision::W16));
+    }
+
+    /// Distinct precisions never share cache entries; identical precision
+    /// queries do.
+    #[test]
+    fn precision_is_part_of_every_cache_key() {
+        use tpe_arith::Precision;
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let base = EngineSpec::serial(PeStyle::Opt4C, EncodingKind::EnT, 2.5);
+        for p in [Precision::W8, Precision::W4, Precision::W16] {
+            eval.price(&base.clone().with_precision(p));
+        }
+        assert_eq!(
+            cache.stats().price_misses,
+            3,
+            "each precision must synthesize its own PE"
+        );
+        eval.price(&base.clone().with_precision(Precision::W4));
+        assert_eq!(cache.stats().price_misses, 3, "repeat W4 must hit");
     }
 
     #[test]

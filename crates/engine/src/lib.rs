@@ -26,7 +26,8 @@
 //! ```
 //!
 //! * [`spec`] — [`EngineSpec`]: the architecture half of a design point
-//!   (PE style × array × encoding × corner), its stable label grammar, and
+//!   (PE style × array × encoding × operand [`Precision`] × corner), its
+//!   stable label grammar (`@W4`-style precision suffixes), and
 //!   [`EnginePrice`], the array-level cost assembly.
 //! * [`roster`] — the named Table VII registry (12 engines), the default
 //!   sweep corners, and label → spec lookup for serve queries.
@@ -77,6 +78,7 @@ pub use schedule::{
     LayerSchedule, MODEL_SAMPLE_CAPS,
 };
 pub use spec::{classic_name, Corner, EnginePrice, EngineSpec};
+pub use tpe_arith::Precision;
 pub use workload::SweepWorkload;
 
 /// FNV-1a over a label: the stable seed component used everywhere the

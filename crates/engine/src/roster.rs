@@ -9,6 +9,7 @@
 //! can ask about any engine a sweep can enumerate.
 
 use tpe_arith::encode::EncodingKind;
+use tpe_arith::Precision;
 use tpe_core::arch::PeStyle;
 use tpe_sim::array::ClassicArch;
 
@@ -59,7 +60,11 @@ pub fn names() -> Vec<String> {
 ///
 /// * a roster arch label ("OPT4E\[EN-T\]") — resolved at its paper clock;
 /// * a full label ("OPT1(TPU)/16nm\@1.50GHz") — any arch the label
-///   grammar can express, at any sweep-expressible corner.
+///   grammar can express, at any sweep-expressible corner;
+/// * any of the above with a trailing precision suffix
+///   ("OPT3\[EN-T\]/28nm\@2.00GHz\@W4", "OPT4E\[EN-T\]\@W16") — the
+///   `@W…` grammar [`EngineSpec::label`] emits for non-default
+///   precisions, resolved via [`Precision::parse`].
 pub fn find(name: &str) -> Option<EngineSpec> {
     let roster = paper_roster();
     if let Some(hit) = roster.iter().find(|e| e.label().eq_ignore_ascii_case(name)) {
@@ -70,6 +75,14 @@ pub fn find(name: &str) -> Option<EngineSpec> {
         .find(|e| e.arch_label().eq_ignore_ascii_case(name))
     {
         return Some(hit.clone());
+    }
+    // Precision suffix: peel it off the right and resolve the rest. The
+    // corner's own "@2.00GHz" tail never parses as a precision, so plain
+    // labels fall through untouched.
+    if let Some((head, tail)) = name.rsplit_once('@') {
+        if let Some(precision) = Precision::parse(tail) {
+            return find(head).map(|spec| spec.with_precision(precision));
+        }
     }
     let (arch_part, corner_part) = name.split_once('/')?;
     let spec = parse_arch_label(arch_part)?;
@@ -151,6 +164,48 @@ mod tests {
         assert_eq!(e.style, PeStyle::TraditionalMac);
     }
 
+    /// The label round-trip property over the whole expressible space:
+    /// every roster engine at every sweep corner and every precision
+    /// preset resolves back to itself through `find(label(spec))` — what
+    /// makes any sweep point, at any precision, servable by name.
+    #[test]
+    fn every_roster_corner_precision_label_round_trips() {
+        for engine in paper_roster() {
+            for corner in sweep_corners() {
+                for precision in Precision::PRESETS {
+                    let spec = engine.clone().at_corner(corner).with_precision(precision);
+                    let found = find(&spec.label())
+                        .unwrap_or_else(|| panic!("{} must resolve", spec.label()));
+                    assert_eq!(found, spec, "{}", spec.label());
+                    // W8 labels are suffix-free; everything else carries
+                    // the parsable suffix.
+                    assert_eq!(
+                        spec.label().contains("@W"),
+                        !precision.is_default(),
+                        "{}",
+                        spec.label()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Arch-label + precision shorthand resolves at the paper clock.
+    #[test]
+    fn find_parses_precision_suffixes() {
+        let e = find("OPT4E[EN-T]@W4").unwrap();
+        assert_eq!(e.precision, Precision::W4);
+        assert_eq!(e.freq_ghz, 2.0, "paper clock expected");
+        let e = find("opt3[csd]/28nm@2.00ghz@w16").unwrap();
+        assert_eq!(e.precision, Precision::W16);
+        assert_eq!(e.label(), "OPT3[CSD]/28nm@2.00GHz@W16");
+        let e = find("OPT4C[EN-T]/16nm@1.50GHz@W8xW4").unwrap();
+        assert_eq!(e.precision, Precision::W8X4);
+        // An explicit W8 suffix resolves to the suffix-free default.
+        let e = find("OPT4E[EN-T]/28nm@2.00GHz@W8").unwrap();
+        assert_eq!(e.label(), "OPT4E[EN-T]/28nm@2.00GHz");
+    }
+
     #[test]
     fn find_rejects_nonsense() {
         for bad in [
@@ -162,6 +217,8 @@ mod tests {
             "OPT1(TPU)/7nm@1.00GHz",  // unknown node
             "OPT1(TPU)/28nm@fastGHz", // unparsable clock
             "OPT3[CSD]",              // off-roster arch without a corner
+            "OPT3[EN-T]/28nm@2.00GHz@W99", // invalid precision suffix
+            "@W4",                    // precision without an engine
         ] {
             assert!(find(bad).is_none(), "{bad:?} must not resolve");
         }

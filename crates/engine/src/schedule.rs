@@ -71,12 +71,45 @@ pub struct LayerSchedule {
     pub tiles: f64,
 }
 
+/// The encoded-multiplicand width `layer` streams at on `spec`: the
+/// layer's precision override when present (mixed-precision schedules),
+/// the engine's synthesized precision otherwise.
+pub fn layer_a_bits(spec: &EngineSpec, layer: &LayerShape) -> u32 {
+    layer.precision.map_or(spec.precision.a_bits, |p| p.a_bits)
+}
+
+/// Rescales caller caps from the engine's operand width to the layer's
+/// effective width: callers budget operands for the *engine* precision
+/// ([`SampleProfile::caps_for`]), but a mixed-precision layer override
+/// streams digits at its own width — so the operand budget is corrected
+/// by `engine_a / layer_a` to keep the sampled cycle mass (and hence
+/// estimate variance) at the profile's intended level. No override, no
+/// change.
+fn caps_for_layer(
+    spec: &EngineSpec,
+    layer: &LayerShape,
+    caps: SerialSampleCaps,
+) -> SerialSampleCaps {
+    let (engine_a, layer_a) = (spec.precision.a_bits, layer_a_bits(spec, layer));
+    if engine_a == layer_a {
+        return caps;
+    }
+    SerialSampleCaps {
+        max_rounds: caps.max_rounds,
+        max_operands: (caps.max_operands * engine_a as usize / layer_a as usize).max(1_000),
+    }
+}
+
 /// The sampled serial-layer outcome for `spec`, through `cache`.
 ///
 /// This is the single entry point to the statistical sync model: the dse
 /// evaluator, the model scheduler and the figure experiments all draw
 /// from here, so one (engine, layer, seed, caps) evaluation is sampled at
-/// most once per process.
+/// most once per process. Digit statistics are drawn at
+/// [`layer_a_bits`] — the precision axis's hook into the cycle model —
+/// and the operand budget is width-corrected per layer
+/// ([`caps_for_layer`]); the cache keys on the corrected caps, i.e. on
+/// what the sampler actually ran with.
 pub fn cached_serial_cycles(
     cache: &EngineCache,
     spec: &EngineSpec,
@@ -84,11 +117,19 @@ pub fn cached_serial_cycles(
     seed: u64,
     caps: SerialSampleCaps,
 ) -> SerialLayerRecord {
+    let caps = caps_for_layer(spec, layer, caps);
     let key = CycleKey::of(spec, layer, seed, caps);
     cache.serial_record(key, || {
         let cfg = serial_config(spec);
         let encoder = spec.encoding.encoder();
-        let stats = sample_serial_cycles(&cfg, encoder.as_ref(), layer, seed, caps);
+        let stats = sample_serial_cycles(
+            &cfg,
+            encoder.as_ref(),
+            layer_a_bits(spec, layer),
+            layer,
+            seed,
+            caps,
+        );
         SerialLayerRecord {
             cycles: stats.cycles,
             busy_sum: stats.busy.iter().sum(),
@@ -329,6 +370,78 @@ mod tests {
         assert!((0.0..=1.0).contains(&b1));
     }
 
+    /// Mixed-precision schedules: a layer's precision override reaches the
+    /// digit sampler (W4 layers stream fewer digits on a serial engine),
+    /// dense engines schedule the override identically, and the override
+    /// is part of the cycle-cache identity.
+    #[test]
+    fn layer_precision_overrides_drive_serial_digit_streaming() {
+        use tpe_arith::Precision;
+        let serial = opt4e();
+        let layer = LayerShape::new("blk", 64, 784, 576, 1);
+        let quant = layer.clone().with_precision(Precision::W4);
+        assert_eq!(layer_a_bits(&serial, &layer), 8, "inherits the engine");
+        assert_eq!(layer_a_bits(&serial, &quant), 4, "override wins");
+
+        let caps = SampleProfile::Quick.caps();
+        let cache = EngineCache::new();
+        let s8 = schedule_layer_with(&cache, &serial, &layer, 3, caps);
+        let s4 = schedule_layer_with(&cache, &serial, &quant, 3, caps);
+        assert!(
+            s4.cycles < s8.cycles,
+            "W4 layer must stream fewer digits: {} vs {}",
+            s4.cycles,
+            s8.cycles
+        );
+        assert_eq!(
+            cache.stats().cycle_misses,
+            2,
+            "override must be its own cycle-cache entry"
+        );
+
+        // Dense parallel engines do one full-width MAC per lane-cycle:
+        // the override changes nothing in their schedule.
+        let dense = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0);
+        assert_eq!(
+            schedule_layer_with(&cache, &dense, &layer, 3, caps),
+            schedule_layer_with(&cache, &dense, &quant, 3, caps),
+        );
+
+        // End to end: the quantized ResNet-18 preset beats the plain one
+        // on a serial engine.
+        let (plain, _) = serial_model_cycles(&cache, &serial, &models::resnet18(), 9, caps);
+        let (q, _) = serial_model_cycles(&cache, &serial, &models::resnet18_quantized(), 9, caps);
+        assert!(q < plain, "quantized preset must be faster: {q} vs {plain}");
+    }
+
+    /// A layer override corrects the operand budget to its own width:
+    /// W4 layers on a W8 engine sample 2× the operands (same cycle mass),
+    /// W16 layers half; no override leaves caller caps untouched.
+    #[test]
+    fn layer_override_rescales_sampling_caps() {
+        use tpe_arith::Precision;
+        let engine = opt4e(); // W8
+        let base = SampleProfile::Sweep.caps();
+        let plain = LayerShape::new("p", 8, 8, 8, 1);
+        assert_eq!(caps_for_layer(&engine, &plain, base), base);
+        let w4 = plain.clone().with_precision(Precision::W4);
+        assert_eq!(
+            caps_for_layer(&engine, &w4, base).max_operands,
+            base.max_operands * 2
+        );
+        let w16 = plain.clone().with_precision(Precision::W16);
+        let corrected = caps_for_layer(&engine, &w16, base);
+        assert_eq!(corrected.max_operands, base.max_operands / 2);
+        assert_eq!(corrected.max_rounds, base.max_rounds);
+        // On a W16 engine, a W4 layer gets the full 4× correction even
+        // though the caller budgeted for W16.
+        let engine16 = engine.with_precision(Precision::W16);
+        assert_eq!(
+            caps_for_layer(&engine16, &w4, base).max_operands,
+            base.max_operands * 4
+        );
+    }
+
     /// The memoized record reproduces the raw sampler bit-for-bit, and a
     /// repeated evaluation is served from memory.
     #[test]
@@ -341,7 +454,7 @@ mod tests {
 
         let cfg = serial_config(&engine);
         let encoder = engine.encoding.encoder();
-        let stats = sample_serial_cycles(&cfg, encoder.as_ref(), &layer, 11, caps);
+        let stats = sample_serial_cycles(&cfg, encoder.as_ref(), 8, &layer, 11, caps);
         assert_eq!(rec.cycles.to_bits(), stats.cycles.to_bits());
         assert_eq!(
             rec.busy_sum.to_bits(),

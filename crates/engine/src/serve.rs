@@ -12,10 +12,18 @@
 //! {"id":1,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz"}
 //! {"id":2,"op":"layer","engine":"OPT3[EN-T]","m":64,"n":3136,"k":576,"repeats":1,"seed":42}
 //! {"id":3,"op":"model","engine":"OPT4E[EN-T]","model":"ResNet18","seed":42}
-//! {"id":4,"op":"roster"}
-//! {"id":5,"op":"stats"}
-//! {"id":6,"op":"shutdown"}
+//! {"id":4,"op":"engine","engine":"OPT4E[EN-T]","precision":"W4"}
+//! {"id":5,"op":"roster"}
+//! {"id":6,"op":"stats"}
+//! {"id":7,"op":"shutdown"}
 //! ```
+//!
+//! The `engine`/`layer`/`model` ops accept an optional `"precision"`
+//! field (`"W4"` / `"W8"` / `"W16"` / `"W8xW4"`, or the generic
+//! `"W{a}xW{b}a{acc}"` form): the engine is then priced and scheduled at
+//! that operand precision, and response labels carry the `@W…` suffix.
+//! Omitting it keeps the paper's W8 — byte-identical to the
+//! pre-precision protocol.
 //!
 //! Responses echo the `id` and carry `"ok":true` plus op-specific fields,
 //! or `"ok":false` with an `"error"` string. All numeric fields render at
@@ -342,7 +350,7 @@ fn respond(fields: &Fields, cache: &EngineCache) -> Result<(String, bool), Strin
             let spec = resolve_engine(fields)?;
             let model_name = fields.str("model")?;
             let seed = fields.uint_or("seed", DEFAULT_SEED)?;
-            let net = NetworkModel::all()
+            let net = NetworkModel::catalog()
                 .into_iter()
                 .find(|n| n.name.eq_ignore_ascii_case(model_name))
                 .ok_or_else(|| format!("unknown model `{model_name}`"))?;
@@ -408,9 +416,20 @@ fn respond(fields: &Fields, cache: &EngineCache) -> Result<(String, bool), Strin
     }
 }
 
+/// Resolves the request's engine: the `engine` label (which may itself
+/// carry a `@W4`-style suffix), overridden by the optional `precision`
+/// field when present — so clients can sweep the precision axis without
+/// re-spelling labels.
 fn resolve_engine(fields: &Fields) -> Result<crate::EngineSpec, String> {
     let name = fields.str("engine")?;
-    roster::find(name).ok_or_else(|| format!("unknown engine `{name}`"))
+    let spec = roster::find(name).ok_or_else(|| format!("unknown engine `{name}`"))?;
+    match fields.0.get("precision") {
+        None => Ok(spec),
+        Some(JsonValue::Str(p)) => tpe_arith::Precision::parse(p)
+            .map(|precision| spec.with_precision(precision))
+            .ok_or_else(|| format!("unknown precision `{p}`")),
+        Some(_) => Err("field `precision` must be a string".into()),
+    }
 }
 
 fn metrics_body(m: &crate::Metrics) -> String {
@@ -644,6 +663,43 @@ mod tests {
             assert!(resp.contains("\"ok\":false"), "{req} -> {resp}");
             assert!(resp.contains(needle), "{req} -> {resp}");
         }
+    }
+
+    /// The optional precision field reprices the engine and is reflected
+    /// in the echoed label; omitting it is byte-identical to W8.
+    #[test]
+    fn precision_field_reprices_and_tags_the_label() {
+        let cache = EngineCache::new();
+        let base = r#"{"id":1,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz"}"#;
+        let w8 = r#"{"id":1,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz","precision":"W8"}"#;
+        let w4 = r#"{"id":1,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz","precision":"W4"}"#;
+        let (r_base, _) = handle_line(base, &cache);
+        let (r_w8, _) = handle_line(w8, &cache);
+        let (r_w4, _) = handle_line(w4, &cache);
+        assert_eq!(r_base, r_w8, "explicit W8 must be the default");
+        assert_ne!(r_base, r_w4);
+        assert!(r_w4.contains("@W4\""), "{r_w4}");
+        assert!(r_w4.contains("\"feasible\":true"), "{r_w4}");
+        // Layer queries stream fewer digits at W4 on a serial engine.
+        let layer = |p: &str| {
+            let req = format!(
+                r#"{{"id":2,"op":"layer","engine":"OPT3[EN-T]/28nm@2.00GHz","m":64,"n":128,"k":64,"seed":7{p}}}"#
+            );
+            handle_line(&req, &cache).0
+        };
+        let (d8, d4) = (layer(""), layer(r#","precision":"w4""#));
+        let delay = |r: &str| {
+            let tail = &r[r.find("\"delay_us\":").unwrap() + 11..];
+            tail[..tail.find(',').unwrap()].parse::<f64>().unwrap()
+        };
+        assert!(delay(&d4) < delay(&d8), "W4 must be faster: {d4} vs {d8}");
+        // Bad precision strings error without shutting down.
+        let (bad, down) = handle_line(
+            r#"{"id":3,"op":"engine","engine":"OPT3[EN-T]","precision":"W99"}"#,
+            &cache,
+        );
+        assert!(!down);
+        assert!(bad.contains("unknown precision"), "{bad}");
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! priced exactly once per process (see [`crate::cache::EngineCache`]).
 
 use tpe_arith::encode::EncodingKind;
+use tpe_arith::Precision;
 use tpe_core::arch::array::ARRAY_OVERHEAD_FRAC;
-use tpe_core::arch::workload::effective_numpps;
+use tpe_core::arch::workload::effective_numpps_at;
 use tpe_core::arch::{ArchKind, ArchModel, PeStyle};
 use tpe_cost::process::ProcessNode;
 use tpe_sim::array::ClassicArch;
@@ -64,6 +65,10 @@ pub struct EngineSpec {
     /// Multiplicand encoding (serial datapaths; dense multipliers carry
     /// their built-in Booth encoding).
     pub encoding: EncodingKind,
+    /// Operand/accumulator precision the datapath is synthesized for
+    /// ([`Precision::W8`] is the paper's configuration and the default;
+    /// labels carry a `@W4`-style suffix for anything else).
+    pub precision: Precision,
     /// Clock in GHz.
     pub freq_ghz: f64,
     /// Process node costs are scaled to.
@@ -73,28 +78,35 @@ pub struct EngineSpec {
 }
 
 impl EngineSpec {
-    /// A dense engine (classic topology) at SMIC 28 nm.
+    /// A dense engine (classic topology) at SMIC 28 nm, W8 precision.
     pub fn dense(style: PeStyle, arch: ClassicArch, freq_ghz: f64) -> Self {
         Self {
             style,
             kind: ArchKind::Dense(arch),
             encoding: EncodingKind::Mbe,
+            precision: Precision::W8,
             freq_ghz,
             node: ProcessNode::SMIC28,
             node_name: "28nm",
         }
     }
 
-    /// A serial (column-synchronous) engine at SMIC 28 nm.
+    /// A serial (column-synchronous) engine at SMIC 28 nm, W8 precision.
     pub fn serial(style: PeStyle, encoding: EncodingKind, freq_ghz: f64) -> Self {
         Self {
             style,
             kind: ArchKind::Serial,
             encoding,
+            precision: Precision::W8,
             freq_ghz,
             node: ProcessNode::SMIC28,
             node_name: "28nm",
         }
+    }
+
+    /// The same engine synthesized for a different operand precision.
+    pub fn with_precision(self, precision: Precision) -> Self {
+        Self { precision, ..self }
     }
 
     /// The Table VII roster (see [`crate::roster`] for the named registry).
@@ -130,14 +142,22 @@ impl EngineSpec {
     }
 
     /// Full engine label, stable across runs — the seed/filter/CSV key
-    /// ("OPT4E\[EN-T\]/28nm\@2.00GHz").
+    /// ("OPT4E\[EN-T\]/28nm\@2.00GHz"). Non-default precisions append a
+    /// `@W4`-style suffix ("OPT3\[EN-T\]/28nm\@2.00GHz\@W4") parsed back by
+    /// [`crate::roster::find`]; the default W8 stays suffix-free so every
+    /// historical label (and seed derived from it) is unchanged.
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}@{:.2}GHz",
             self.arch_label(),
             self.node_name,
             self.freq_ghz
-        )
+        );
+        if self.precision.is_default() {
+            base
+        } else {
+            format!("{base}@{}", self.precision.label())
+        }
     }
 
     /// PE instances at the paper's array sizes (10×10×10 Cube, else 32×32).
@@ -210,7 +230,13 @@ impl EnginePrice {
         let raw_tops = lanes_total * 2.0 * freq * 1e9 / 1e12;
         let peak_tops = match spec.kind {
             ArchKind::Dense(_) => raw_tops,
-            ArchKind::Serial => raw_tops / effective_numpps(spec.encoding.encoder().as_ref()),
+            // Serial peak divides by the expected digits per operand at
+            // the engine's multiplicand width — the precision axis's
+            // linear serial cost law.
+            ArchKind::Serial => {
+                raw_tops
+                    / effective_numpps_at(spec.encoding.encoder().as_ref(), spec.precision.a_bits)
+            }
         };
         Self {
             area_um2,

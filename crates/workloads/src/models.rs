@@ -8,6 +8,7 @@
 //! minor bookkeeping layers (biases, norms) are omitted as the paper does.
 
 use crate::img2col::ConvShape;
+use tpe_arith::Precision;
 
 /// One GEMM-shaped layer: `C[m×n] = A[m×k] · B[k×n]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,10 +24,18 @@ pub struct LayerShape {
     /// How many times this GEMM repeats in the network (e.g. per-group
     /// depthwise repeats, per-layer transformer repeats).
     pub repeats: usize,
+    /// Layer-level operand precision override for mixed-precision
+    /// schedules (`None` inherits the engine's precision — the default,
+    /// and bit-identical to the pre-precision behavior). On serial
+    /// engines a lower-precision layer streams proportionally fewer
+    /// digits; dense parallel engines complete one full-width MAC per
+    /// lane-cycle regardless, so the override only changes their
+    /// numerics, not their schedule.
+    pub precision: Option<Precision>,
 }
 
 impl LayerShape {
-    /// Creates a layer shape.
+    /// Creates a layer shape at the engine-inherited (default) precision.
     pub fn new(name: impl Into<String>, m: usize, n: usize, k: usize, repeats: usize) -> Self {
         assert!(m > 0 && n > 0 && k > 0 && repeats > 0);
         Self {
@@ -35,7 +44,14 @@ impl LayerShape {
             n,
             k,
             repeats,
+            precision: None,
         }
+    }
+
+    /// The same layer pinned to an explicit operand precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
     }
 
     /// From a convolution via img2col (one group).
@@ -80,6 +96,17 @@ impl NetworkModel {
             bert_base(),
         ]
     }
+
+    /// The full lookup catalog: the Figure 12/13 sweep plus the
+    /// mixed-precision presets ([`resnet18_quantized`]). Name-based
+    /// resolution (`repro models --model`, `repro dse --model`, the serve
+    /// `model` op) searches this; [`Self::all`] stays the paper's
+    /// ten-network default grid.
+    pub fn catalog() -> Vec<NetworkModel> {
+        let mut nets = Self::all();
+        nets.push(resnet18_quantized());
+        nets
+    }
 }
 
 fn conv(name: &str, in_c: usize, out_c: usize, out_hw: usize, k: usize) -> LayerShape {
@@ -113,6 +140,34 @@ pub fn resnet18() -> NetworkModel {
     layers.push(LayerShape::new("fc", 1000, 1, 512, 1));
     NetworkModel {
         name: "ResNet18".into(),
+        layers,
+    }
+}
+
+/// Quantized ResNet-18: the standard mixed-precision deployment recipe —
+/// the stem convolution and the classifier stay at W8 (they are the
+/// accuracy-critical ends of the network), every middle block runs at W4.
+/// On serial bit-slice engines the W4 layers stream roughly half the
+/// digits, so this preset is where the precision axis pays off most
+/// (T-MAC-style low-bit inference); dense parallel engines schedule it
+/// identically to [`resnet18`].
+pub fn resnet18_quantized() -> NetworkModel {
+    let base = resnet18();
+    let last = base.layers.len() - 1;
+    let layers = base
+        .layers
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 || i == last {
+                l.with_precision(Precision::W8)
+            } else {
+                l.with_precision(Precision::W4)
+            }
+        })
+        .collect();
+    NetworkModel {
+        name: "ResNet18-W4".into(),
         layers,
     }
 }
@@ -394,6 +449,24 @@ mod tests {
         assert_eq!(mid.k, 576);
         assert_eq!(mid.m, 64);
         assert_eq!(mid.n, 56 * 56);
+    }
+
+    #[test]
+    fn quantized_resnet18_pins_ends_at_w8_and_middle_at_w4() {
+        let q = resnet18_quantized();
+        let base = resnet18();
+        assert_eq!(q.layers.len(), base.layers.len());
+        assert_eq!(q.total_macs(), base.total_macs(), "shapes unchanged");
+        assert_eq!(q.layers.first().unwrap().precision, Some(Precision::W8));
+        assert_eq!(q.layers.last().unwrap().precision, Some(Precision::W8));
+        for l in &q.layers[1..q.layers.len() - 1] {
+            assert_eq!(l.precision, Some(Precision::W4), "{}", l.name);
+        }
+        // The catalog resolves it by name; the default grid stays at ten.
+        assert_eq!(NetworkModel::all().len(), 10);
+        assert!(NetworkModel::catalog()
+            .iter()
+            .any(|n| n.name == "ResNet18-W4"));
     }
 
     #[test]

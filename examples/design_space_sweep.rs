@@ -18,7 +18,7 @@ fn main() {
     let space = DesignSpace::paper_default();
     let points = space.enumerate_filtered(&filter);
     println!(
-        "design space: {} legal points over 5 axes{}",
+        "design space: {} legal points over 6 axes{}",
         points.len(),
         if filter.is_empty() {
             String::new()

@@ -37,11 +37,13 @@
 //!   any dense or serial engine, in a deterministic parallel grid
 //!   (`repro models`).
 //! * [`dse`] — parallel design-space exploration over all of the above:
-//!   enumerate (PE style × topology × encoding × corner × workload) points
-//!   — workloads being single layers *or whole networks* — sweep them on
-//!   scoped worker threads with a memoized synthesis cache, and extract
-//!   area/delay/energy Pareto fronts
-//!   (`repro dse [--model NAME]`, `examples/design_space_sweep.rs`).
+//!   enumerate (PE style × topology × encoding × operand precision ×
+//!   corner × workload) points — workloads being single layers *or whole
+//!   networks*, precisions spanning the W4/W8/W16 ladder plus asymmetric
+//!   presets — sweep them on scoped worker threads with a memoized
+//!   synthesis cache, and extract area/delay/energy Pareto fronts
+//!   (`repro dse [--model NAME] [--precision W4,..]`,
+//!   `examples/design_space_sweep.rs`).
 //!
 //! ## Quickstart
 //!
