@@ -134,8 +134,8 @@ pub fn commands() -> Vec<Command> {
         ),
         cmd!(
             "serve",
-            "[--port N]",
-            "TCP/NDJSON batch query server over the global engine cache",
+            "[--port N] [--threads N] [--max-line-bytes N]",
+            "TCP/NDJSON batch query server (worker pool, sweep/pareto ops, global cache)",
             |a| fallible(exp::serve(a))
         ),
         cmd!(
@@ -146,8 +146,8 @@ pub fn commands() -> Vec<Command> {
         ),
         cmd!(
             "serve-smoke",
-            "[--queries N]",
-            "Self-driving load smoke: mixed batch, hit-rate + throughput report",
+            "[--queries N] [--threads N] [--out F.json]",
+            "Self-driving load smoke: mixed batch incl. sweep/pareto, latency percentiles",
             |a| fallible(exp::serve_smoke(a))
         ),
         cmd!("all", "", "Every experiment in paper order", |_| {

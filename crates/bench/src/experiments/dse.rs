@@ -22,8 +22,7 @@ use std::fmt::Write as _;
 
 use tpe_dse::emit::{to_csv, to_json};
 use tpe_dse::{
-    pareto_front_per_workload, sweep, sweep_with_cache, DesignSpace, EngineCache, Objective,
-    SweepConfig,
+    pareto_front_per_workload, sweep, sweep_with_cache, EngineCache, Objective, SweepConfig,
 };
 
 /// Parsed CLI options for the sweep.
@@ -115,13 +114,11 @@ pub fn dse(args: &[String]) -> String {
 
 fn try_dse(args: &[String]) -> Result<String, String> {
     let opts = parse_options(args)?;
-    let mut space = match &opts.model {
-        // `--model all` (or any matching substring) swaps the workload
-        // axis for whole networks: the front becomes model-level.
-        Some(name) if name.eq_ignore_ascii_case("all") => DesignSpace::with_models("")?,
-        Some(name) => DesignSpace::with_models(name)?,
-        None => DesignSpace::paper_default(),
-    };
+    // `--model all` (or any matching substring) swaps the workload axis
+    // for whole networks: the front becomes model-level. `slice_space` is
+    // shared with the serve `sweep`/`pareto` ops, so a filter addresses
+    // the same points over the wire as here.
+    let mut space = tpe_dse::slice_space(opts.model.as_deref())?;
     if let Some(precisions) = &opts.precisions {
         space.precisions = precisions.clone();
     }

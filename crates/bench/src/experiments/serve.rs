@@ -2,14 +2,19 @@
 //! batched NDJSON query front end over the canonical evaluation stack.
 //!
 //! `serve` binds a TCP listener and answers engine/layer/model evaluation
-//! queries (protocol in [`tpe_engine::serve`]) until a `shutdown` request
-//! arrives; all connections share the process-wide [`EngineCache`].
-//! `query` is the matching client. `serve-smoke` is the self-driving load
-//! test: it spins a server thread over a dedicated cache instance (so the
-//! measured hit rate is a deterministic property of the batch alone),
-//! fires a mixed 1000-query batch, verifies the batched responses
-//! byte-identical to sequential single-query replies, and reports
-//! throughput plus the cache hit rate.
+//! queries plus `tpe-dse`'s server-side `sweep`/`pareto` batch ops
+//! (protocol in [`tpe_engine::serve`], slice ops in
+//! [`tpe_dse::serve_ops`]) until a `shutdown` request arrives; requests
+//! pipeline across a bounded worker pool (`--threads`) and all
+//! connections share the process-wide [`EngineCache`]. `query` is the
+//! matching client. `serve-smoke` is the self-driving load test: it spins
+//! a pooled server thread over a dedicated cache instance (so the
+//! measured hit rate is a property of the batch alone, give or take
+//! cold-key races between pool workers),
+//! fires a mixed 1000-query batch (sweep/pareto ops included), verifies
+//! the batched responses byte-identical to sequential single-query
+//! replies, and reports throughput, sequential-replay latency
+//! percentiles and the cache hit rate (optionally as JSON via `--out`).
 
 use std::fmt::Write as _;
 use std::io::{BufRead, Write as _};
@@ -22,8 +27,8 @@ use std::time::{Duration, Instant};
 const HIT_RATE_MIN_QUERIES: usize = 500;
 
 use tpe_dse::space::default_workloads;
-use tpe_dse::SweepWorkload;
-use tpe_engine::serve::{query_batch, serve as serve_loop};
+use tpe_dse::{DseOps, SweepWorkload};
+use tpe_engine::serve::{query_batch, serve_with, ServeConfig};
 use tpe_engine::{roster, CacheStats, EngineCache};
 
 /// Minimal flag parser shared by the three commands.
@@ -55,37 +60,72 @@ where
     value.parse().map_err(|e| format!("{flag}: {e}"))
 }
 
-/// Runs the blocking serve loop (`repro serve [--port N]`; port 0 binds an
-/// ephemeral port). Prints the bound address before serving, so callers
-/// can scrape it.
+/// Builds a [`ServeConfig`] from optional `--threads` / `--max-line-bytes`
+/// flag values.
+fn serve_config(
+    threads: Option<&str>,
+    max_line_bytes: Option<&str>,
+) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    if let Some(v) = threads {
+        config.threads = parse_num(v, "--threads")?;
+    }
+    if let Some(v) = max_line_bytes {
+        config.max_line_bytes = parse_num(v, "--max-line-bytes")?;
+        if config.max_line_bytes == 0 {
+            return Err("--max-line-bytes must be positive".into());
+        }
+    }
+    Ok(config)
+}
+
+/// Runs the blocking serve loop
+/// (`repro serve [--port N] [--threads N] [--max-line-bytes N]`; port 0
+/// binds an ephemeral port). Prints the bound address before serving, so
+/// callers can scrape it.
 pub fn serve(args: &[String]) -> String {
     match try_serve(args) {
         Ok(report) => report,
-        Err(msg) => format!("error: {msg}\nusage: repro serve [--port N]\n"),
+        Err(msg) => format!(
+            "error: {msg}\nusage: repro serve [--port N] [--threads N] [--max-line-bytes N]\n"
+        ),
     }
 }
 
 fn try_serve(args: &[String]) -> Result<String, String> {
-    let values = parse_flags(args, &[("--port", false)])?;
+    let values = parse_flags(
+        args,
+        &[
+            ("--port", false),
+            ("--threads", false),
+            ("--max-line-bytes", false),
+        ],
+    )?;
     let port: u16 = values[0]
         .as_deref()
         .map(|v| parse_num(v, "--port"))
         .transpose()?
         .unwrap_or(0);
+    let config = serve_config(values[1].as_deref(), values[2].as_deref())?;
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "repro serve listening on {addr} (NDJSON; ops: engine|layer|model|roster|stats|shutdown)"
+        "repro serve listening on {addr} ({} worker(s), max line {} bytes; NDJSON; \
+         ops: engine|layer|model|roster|stats|sweep|pareto|shutdown)",
+        config.effective_threads(),
+        config.max_line_bytes,
     );
     std::io::stdout().flush().ok();
-    let outcome = serve_loop(listener, EngineCache::global()).map_err(|e| e.to_string())?;
+    let outcome =
+        serve_with(listener, EngineCache::global(), &DseOps, config).map_err(|e| e.to_string())?;
     let stats = EngineCache::global().stats();
     Ok(format!(
-        "serve shut down cleanly: {} connection(s), {} request(s); \
+        "serve shut down cleanly: {} connection(s), {} request(s) on {} worker(s); \
          global cache {} hits / {} misses ({:.1}% hit rate)\n",
         outcome.connections,
         outcome.requests,
+        outcome.workers,
         stats.hits(),
         stats.misses(),
         stats.hit_rate() * 100.0,
@@ -172,13 +212,15 @@ fn try_query(args: &[String]) -> Result<String, String> {
 /// The deterministic mixed query batch the smoke fires: engine pricing
 /// (cycling the W8/W4/W16/W8xW4 precision axis), layer evaluations over
 /// the default dse workload slice, mixed-precision layer queries against
-/// a fixed serial engine, and whole-model queries (including the
-/// quantized ResNet18-W4 preset), cycling the Table VII roster.
+/// a fixed serial engine, whole-model queries (including the quantized
+/// ResNet18-W4 preset) cycling the Table VII roster, **and server-side
+/// `sweep`/`pareto` slice ops** (summary-only, so every request still
+/// answers exactly one line and the byte-identity replay stays 1:1).
 ///
-/// Precision-bearing queries deliberately revisit a *bounded* set of
-/// (engine, precision) keys: the smoke's >90% hit-rate bar is a
-/// steady-state property, and mixing the axis must prove the
-/// precision-keyed cache converges just like the W8-only batch did.
+/// Precision-bearing and slice queries deliberately revisit a *bounded*
+/// set of cache keys: the smoke's >90% hit-rate bar is a steady-state
+/// property, and mixing the axes must prove the shared cache converges
+/// just like the W8-only batch did.
 pub fn smoke_batch(n: usize) -> Vec<String> {
     let engines = roster::names();
     let layers: Vec<(String, usize, usize, usize, usize)> = default_workloads()
@@ -190,6 +232,12 @@ pub fn smoke_batch(n: usize) -> Vec<String> {
         .collect();
     let models = ["ResNet18", "MobileNetV3"];
     let precisions = ["W8", "W4", "W16", "W8xW4"];
+    // Bounded slice filters: one serial engine (7 workloads incl. the
+    // whole-model point) and one dense engine across its corners.
+    let slice_filters = [
+        "OPT4E[EN-T]/28nm@2.00GHz,precision=w8",
+        "OPT1(TPU)/28nm@1.50,precision=w8",
+    ];
     (0..n)
         .map(|i| {
             // Engine cycles fastest, workload slowest, so the batch walks
@@ -197,6 +245,20 @@ pub fn smoke_batch(n: usize) -> Vec<String> {
             // shared divisors.
             let engine = &engines[i % engines.len()];
             let slow = i / engines.len();
+            // Every 50th line (offset to hit both early and late in the
+            // batch) exercises a server-side slice op instead of a point
+            // query — heavy enough to prove the path, rare enough to keep
+            // the throughput figure a point-query number.
+            if i % 50 == 19 {
+                let filter = slice_filters[slow % slice_filters.len()];
+                return format!(r#"{{"id":{i},"op":"sweep","filter":"{filter}","seed":42}}"#);
+            }
+            if i % 50 == 49 {
+                let filter = slice_filters[slow % slice_filters.len()];
+                return format!(
+                    r#"{{"id":{i},"op":"pareto","filter":"{filter}","seed":42,"points":false}}"#
+                );
+            }
             match i % 10 {
                 0 => {
                     let precision = precisions[slow % precisions.len()];
@@ -236,16 +298,57 @@ pub fn smoke_batch(n: usize) -> Vec<String> {
         .collect()
 }
 
-/// The self-driving load smoke (`repro serve-smoke [--queries N]`).
+/// Latency distribution of the sequential replay phase, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LatencySummary {
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+impl LatencySummary {
+    /// Nearest-rank percentiles over the per-query samples.
+    fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "no latency samples");
+        samples.sort_by(f64::total_cmp);
+        let at = |p: f64| samples[((p * (samples.len() - 1) as f64).round()) as usize];
+        Self {
+            p50_us: at(0.50),
+            p90_us: at(0.90),
+            p99_us: at(0.99),
+            max_us: *samples.last().unwrap(),
+        }
+    }
+}
+
+/// Everything the smoke's drive phase measures.
+struct SmokeMeasurement {
+    elapsed: Duration,
+    delta: CacheStats,
+    divergences: usize,
+    latency: LatencySummary,
+    /// `sweep`/`pareto` requests the fired batch contained (0 for
+    /// batches too short to reach a slice-op index).
+    slice_ops: usize,
+}
+
+/// The self-driving load smoke
+/// (`repro serve-smoke [--queries N] [--threads N] [--out F.json]`).
 pub fn serve_smoke(args: &[String]) -> String {
     match try_serve_smoke(args) {
         Ok(report) => report,
-        Err(msg) => format!("error: {msg}\nusage: repro serve-smoke [--queries N]\n"),
+        Err(msg) => format!(
+            "error: {msg}\nusage: repro serve-smoke [--queries N] [--threads N] [--out F.json]\n"
+        ),
     }
 }
 
 fn try_serve_smoke(args: &[String]) -> Result<String, String> {
-    let values = parse_flags(args, &[("--queries", false)])?;
+    let values = parse_flags(
+        args,
+        &[("--queries", false), ("--threads", false), ("--out", false)],
+    )?;
     let queries: usize = values[0]
         .as_deref()
         .map(|v| parse_num(v, "--queries"))
@@ -254,15 +357,19 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
     if queries == 0 {
         return Err("--queries must be positive".into());
     }
+    let config = serve_config(values[1].as_deref(), None)?;
+    let out_json = values[2].clone();
 
     let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| e.to_string())?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
     // A dedicated cache instance (same type the real server shares
-    // process-wide): the measured hit rate is then a deterministic
-    // property of the batch alone — no distortion from whatever else the
-    // process evaluated before or concurrently.
+    // process-wide): the measured hit rate is then a property of the
+    // batch alone — no distortion from whatever else the process
+    // evaluated before. (Under the worker pool two workers can race one
+    // cold key and both count a miss, so the counters may wobble by a
+    // few cold-start misses run-to-run; the >90% bar has ample slack.)
     let cache: &'static EngineCache = &*Box::leak(Box::new(EngineCache::new()));
-    let server = std::thread::spawn(move || serve_loop(listener, cache));
+    let server = std::thread::spawn(move || serve_with(listener, cache, &DseOps, config));
 
     // Whatever happens mid-smoke, the server must come down: run the
     // drive phase, then always send shutdown and join before reporting.
@@ -276,42 +383,56 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
         .join()
         .map_err(|_| "server thread panicked".to_string())
         .and_then(|r| r.map_err(|e| format!("serve loop: {e}")))?;
-    let (elapsed, delta, divergences) = driven?;
+    let m = driven?;
 
-    let hit_rate = delta.hit_rate();
+    let hit_rate = m.delta.hit_rate();
+    let qps = queries as f64 / m.elapsed.as_secs_f64().max(1e-9);
     let mut out = String::new();
     writeln!(
         out,
         "serve smoke — {} mixed queries (engine/layer/model over the {}-engine roster, \
-         precisions mixed across W8/W4/W16/W8xW4) on {addr}",
+         precisions mixed across W8/W4/W16/W8xW4{}) on {addr} with {} pool worker(s)",
         queries,
-        roster::names().len()
+        roster::names().len(),
+        if m.slice_ops > 0 {
+            format!(", {} sweep/pareto slice ops in the mix", m.slice_ops)
+        } else {
+            String::new()
+        },
+        outcome.workers,
     )
     .unwrap();
     writeln!(
         out,
-        "batch wall-clock: {:.1} ms ({:.0} queries/s over one connection)",
-        elapsed.as_secs_f64() * 1e3,
-        queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        "batch wall-clock: {:.1} ms ({:.0} queries/s over one pipelined connection)",
+        m.elapsed.as_secs_f64() * 1e3,
+        qps,
     )
     .unwrap();
     writeln!(
         out,
         "serve cache over the batch: {} hits / {} misses ({:.1}% hit rate; \
-         pricing {}h/{}m, workload cycles {}h/{}m)",
-        delta.hits(),
-        delta.misses(),
+         pricing {}h/{}m, workload cycles {}h/{}m; lookups consistent: {})",
+        m.delta.hits(),
+        m.delta.misses(),
         hit_rate * 100.0,
-        delta.price_hits,
-        delta.price_misses,
-        delta.cycle_hits,
-        delta.cycle_misses,
+        m.delta.price_hits,
+        m.delta.price_misses,
+        m.delta.cycle_hits,
+        m.delta.cycle_misses,
+        m.delta.lookups() == m.delta.hits() + m.delta.misses(),
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "sequential-replay latency: p50 {:.0} µs, p90 {:.0} µs, p99 {:.0} µs, max {:.0} µs",
+        m.latency.p50_us, m.latency.p90_us, m.latency.p99_us, m.latency.max_us,
     )
     .unwrap();
     writeln!(
         out,
         "batched vs sequential replies: {} / {} byte-identical",
-        queries - divergences,
+        queries - m.divergences,
         queries
     )
     .unwrap();
@@ -331,9 +452,35 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
     )
     .unwrap();
 
-    if divergences > 0 {
+    if let Some(path) = &out_json {
+        let json = format!(
+            "{{\n  \"queries\": {queries},\n  \"workers\": {},\n  \
+             \"throughput_qps\": {:.1},\n  \"batch_ms\": {:.3},\n  \
+             \"hit_rate\": {:.4},\n  \"hits\": {},\n  \"misses\": {},\n  \
+             \"lookups_consistent\": {},\n  \"divergences\": {},\n  \
+             \"latency_us\": {{\"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \
+             \"max\": {:.1}}}\n}}\n",
+            outcome.workers,
+            qps,
+            m.elapsed.as_secs_f64() * 1e3,
+            hit_rate,
+            m.delta.hits(),
+            m.delta.misses(),
+            m.delta.lookups() == m.delta.hits() + m.delta.misses(),
+            m.divergences,
+            m.latency.p50_us,
+            m.latency.p90_us,
+            m.latency.p99_us,
+            m.latency.max_us,
+        );
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        writeln!(out, "latency-percentile summary written to {path}").unwrap();
+    }
+
+    if m.divergences > 0 {
         return Err(format!(
-            "{divergences} batched responses diverged from sequential replies\n{out}"
+            "{} batched responses diverged from sequential replies\n{out}",
+            m.divergences
         ));
     }
     if queries >= HIT_RATE_MIN_QUERIES && hit_rate <= 0.90 {
@@ -342,19 +489,31 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
             hit_rate * 100.0
         ));
     }
+    if m.delta.lookups() != m.delta.hits() + m.delta.misses() {
+        return Err(format!(
+            "cache stats inconsistent: {} lookups vs {} hits + {} misses\n{out}",
+            m.delta.lookups(),
+            m.delta.hits(),
+            m.delta.misses()
+        ));
+    }
     Ok(out)
 }
 
-/// The smoke's drive phase: fire the mixed batch over one connection,
-/// validate every reply, then replay each request on its own fresh
-/// connection and count byte divergences. Returns the batch wall-clock,
-/// the cache-counter delta over the batch, and the divergence count.
+/// The smoke's drive phase: fire the mixed batch over one pipelined
+/// connection, validate every reply, then replay each request on its own
+/// fresh connection (timing each for the latency percentiles) and count
+/// byte divergences.
 fn drive_smoke(
     addr: &str,
     queries: usize,
     cache: &EngineCache,
-) -> Result<(Duration, CacheStats, usize), String> {
+) -> Result<SmokeMeasurement, String> {
     let batch = smoke_batch(queries);
+    let slice_ops = batch
+        .iter()
+        .filter(|r| r.contains("\"op\":\"sweep\"") || r.contains("\"op\":\"pareto\""))
+        .count();
     let before = cache.stats();
     let start = Instant::now();
     let batched = query_batch(addr, &batch).map_err(|e| format!("batch: {e}"))?;
@@ -373,26 +532,38 @@ fn drive_smoke(
     }
 
     // Property: batched responses are byte-identical to sequential
-    // single-query responses (fresh connection per request).
+    // single-query responses (fresh connection per request). The replay
+    // doubles as the latency probe: each single query is one full
+    // connect → evaluate → respond round trip.
     let mut divergences = 0usize;
+    let mut samples = Vec::with_capacity(batch.len());
     for (req, batched_resp) in batch.iter().zip(&batched) {
+        let t0 = Instant::now();
         let single = query_batch(addr, std::slice::from_ref(req))
             .map_err(|e| format!("single query: {e}"))?;
-        if single.len() != 1 || &single[0] != batched_resp {
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+        if single.first() != Some(batched_resp) {
             divergences += 1;
         }
     }
-    Ok((elapsed, delta, divergences))
+    Ok(SmokeMeasurement {
+        elapsed,
+        delta,
+        divergences,
+        latency: LatencySummary::from_samples(samples),
+        slice_ops,
+    })
 }
 
 /// In-process variant for tests: answers the batch through
-/// [`tpe_engine::serve::handle_line`] without sockets (the same code path
-/// the server threads use per connection).
+/// [`tpe_engine::serve::handle_request`] with the same `sweep`/`pareto`
+/// ops attached — the code path the server's pool workers run per
+/// request.
 #[cfg(test)]
 fn answer_locally(requests: &[String], cache: &EngineCache) -> Vec<String> {
     requests
         .iter()
-        .map(|r| tpe_engine::serve::handle_line(r, cache).0)
+        .flat_map(|r| tpe_engine::serve::handle_request(r, cache, &DseOps).0)
         .collect()
 }
 
@@ -409,7 +580,13 @@ mod tests {
         let batch = smoke_batch(100);
         assert_eq!(batch.len(), 100);
         assert_eq!(batch, smoke_batch(100), "batch must be deterministic");
-        for op in ["\"op\":\"engine\"", "\"op\":\"layer\"", "\"op\":\"model\""] {
+        for op in [
+            "\"op\":\"engine\"",
+            "\"op\":\"layer\"",
+            "\"op\":\"model\"",
+            "\"op\":\"sweep\"",
+            "\"op\":\"pareto\"",
+        ] {
             assert!(batch.iter().any(|r| r.contains(op)), "missing {op}");
         }
         // The batch exercises the precision axis on every op family.
@@ -421,22 +598,68 @@ mod tests {
         ] {
             assert!(batch.iter().any(|r| r.contains(needle)), "missing {needle}");
         }
-        // Every request parses and answers ok against a fresh cache.
+        // Every request parses and answers ok against a fresh cache
+        // (covering a sweep op at index 19 and a pareto at 49).
         let cache = EngineCache::new();
-        for resp in answer_locally(&batch[..20], &cache) {
+        for resp in answer_locally(&batch[..50], &cache) {
             assert!(resp.contains("\"ok\":true"), "{resp}");
         }
     }
 
+    /// The slice ops in the smoke batch answer exactly one line each —
+    /// what keeps the byte-identity replay a 1:1 zip.
+    #[test]
+    fn smoke_slice_ops_are_summary_only() {
+        let cache = EngineCache::new();
+        let mut slices = 0usize;
+        for r in smoke_batch(100)
+            .iter()
+            .filter(|r| r.contains("\"op\":\"sweep\"") || r.contains("\"op\":\"pareto\""))
+        {
+            let (lines, _) = tpe_engine::serve::handle_request(r, &cache, &DseOps);
+            assert_eq!(lines.len(), 1, "{r} answered {} lines", lines.len());
+            assert!(lines[0].contains("\"points_follow\":0"), "{}", lines[0]);
+            slices += 1;
+        }
+        assert!(slices >= 2, "smoke must include slice ops");
+    }
+
+    #[test]
+    fn latency_percentiles_are_order_statistics() {
+        let s = LatencySummary::from_samples((1..=100).map(f64::from).collect());
+        assert_eq!(s.p50_us, 51.0);
+        assert_eq!(s.p90_us, 90.0);
+        assert_eq!(s.p99_us, 99.0);
+        assert_eq!(s.max_us, 100.0);
+    }
+
     /// The full smoke at the acceptance batch size (the default 1000):
-    /// server thread, TCP batch, >90% hit rate, byte-identity, clean
-    /// shutdown.
+    /// pooled server thread, TCP batch with sweep/pareto in the mix,
+    /// >90% hit rate, byte-identity, latency percentiles, clean shutdown.
     #[test]
     fn serve_smoke_end_to_end() {
-        let report = serve_smoke(&[]);
+        let out_path = std::env::temp_dir().join("tpe_serve_smoke_test.json");
+        let out = out_path.to_str().unwrap().to_string();
+        let report = serve_smoke(&args(&["--threads", "4", "--out", &out]));
         assert!(!report.starts_with("error:"), "{report}");
         assert!(report.contains("1000 / 1000 byte-identical"), "{report}");
         assert!(report.contains("shutdown: clean"), "{report}");
+        assert!(
+            report.contains("sequential-replay latency: p50"),
+            "{report}"
+        );
+        assert!(report.contains("4 pool worker(s)"), "{report}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        for field in [
+            "\"throughput_qps\"",
+            "\"latency_us\"",
+            "\"p99\"",
+            "\"lookups_consistent\": true",
+            "\"divergences\": 0",
+        ] {
+            assert!(json.contains(field), "{json}");
+        }
+        let _ = std::fs::remove_file(&out_path);
     }
 
     #[test]
@@ -445,6 +668,8 @@ mod tests {
         assert!(serve_smoke(&args(&["--queries", "0"])).contains("usage:"));
         assert!(query(&args(&[])).contains("usage:"), "--port is required");
         assert!(serve(&args(&["--port", "notaport"])).contains("usage:"));
+        assert!(serve(&args(&["--threads", "x"])).contains("usage:"));
+        assert!(serve(&args(&["--max-line-bytes", "0"])).contains("usage:"));
     }
 
     /// `--precision` stamping: added when absent, never overrides an

@@ -48,7 +48,12 @@ fn workload_kind(w: &SweepWorkload) -> &'static str {
     }
 }
 
-fn csv_row(result: &PointResult, on_front: bool) -> String {
+/// Renders one result as its CSV row (no trailing newline) — the exact
+/// bytes [`to_csv`] emits for that point. Public so the serve layer's
+/// `sweep`/`pareto` ops can ship per-point rows that are byte-identical
+/// to a `repro dse` dump of the same slice (golden-tested in
+/// `tpe-bench`).
+pub fn point_csv_row(result: &PointResult, on_front: bool) -> String {
     let p = &result.point;
     let w = &p.workload;
     let shape = match w {
@@ -96,7 +101,7 @@ pub fn to_csv(results: &[PointResult], front: &[usize]) -> String {
     out.push_str(CSV_HEADER);
     out.push('\n');
     for (i, r) in results.iter().enumerate() {
-        out.push_str(&csv_row(r, front.binary_search(&i).is_ok()));
+        out.push_str(&point_csv_row(r, front.binary_search(&i).is_ok()));
         out.push('\n');
     }
     out

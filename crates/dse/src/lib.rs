@@ -30,6 +30,10 @@
 //! * [`emit`] — deterministic CSV / JSON emission, for both point sweeps
 //!   ([`emit::to_csv`]) and `tpe-pipeline` model grids
 //!   ([`emit::model_csv`]).
+//! * [`serve_ops`] — [`DseOps`]: the `sweep`/`pareto` batch ops `repro
+//!   serve` attaches, answering a filtered slice (via
+//!   [`sweep::evaluate_slice`]) as a summary line plus per-point `repro
+//!   dse` CSV rows over the wire.
 //!
 //! ## Quickstart
 //!
@@ -47,11 +51,13 @@
 pub mod emit;
 pub mod eval;
 pub mod pareto;
+pub mod serve_ops;
 pub mod space;
 pub mod sweep;
 
 pub use eval::{evaluate, Metrics, PointResult};
 pub use pareto::{pareto_front, pareto_front_per_workload, Objective};
-pub use space::{Corner, DesignPoint, DesignSpace, Precision, SweepWorkload};
-pub use sweep::{sweep, sweep_with_cache, SweepConfig, SweepOutcome};
+pub use serve_ops::DseOps;
+pub use space::{slice_space, Corner, DesignPoint, DesignSpace, Precision, SweepWorkload};
+pub use sweep::{evaluate_slice, sweep, sweep_with_cache, SweepConfig, SweepOutcome};
 pub use tpe_engine::{CacheStats, EngineCache};

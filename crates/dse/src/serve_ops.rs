@@ -1,0 +1,322 @@
+//! Server-side design-space batch ops for the `repro serve` front end.
+//!
+//! [`DseOps`] plugs the sweep executor and Pareto extractor into
+//! `tpe_engine::serve`'s [`BatchOps`] extension point, so a client can
+//! run whole design-space questions — the paper's Figure 11–13 sweeps
+//! and Pareto fronts — over the wire instead of one point at a time:
+//!
+//! ```text
+//! {"id":1,"op":"sweep","filter":"OPT4E[EN-T],precision=w8","seed":42,"points":true}
+//! {"id":2,"op":"pareto","filter":"precision=w8","objectives":"area,delay,energy"}
+//! ```
+//!
+//! * **`sweep`** evaluates the filtered slice
+//!   ([`crate::sweep::evaluate_slice`] — the same points
+//!   `repro dse --filter F [--model M]` sweeps) through the shared cache
+//!   and answers a summary line. With `"points":true` it follows with one
+//!   line per design point carrying the point's **exact `repro dse` CSV
+//!   row** in a `"csv"` field (schema in the summary's `"csv_header"`),
+//!   so the dse CSV pipeline is fully reconstructable from a query
+//!   (golden-tested byte-identical in `tpe-bench`).
+//! * **`pareto`** runs the same slice evaluation and extracts the
+//!   per-(workload × precision) Pareto front ([`pareto_front_per_workload`])
+//!   over the requested `"objectives"` (default `area,delay,energy`),
+//!   answering a summary plus one line per *front* point (suppress with
+//!   `"points":false`).
+//!
+//! Both summaries carry `"points_follow"` — the number of per-point lines
+//! that follow — which `tpe_engine::serve::query_batch` uses to grow its
+//! expected response count. All fields are deterministic functions of the
+//! request, preserving the serve layer's batched==sequential
+//! byte-identity property (cache-state observables like hit counts are
+//! deliberately excluded).
+//!
+//! Slice size is capped per request ([`DEFAULT_MAX_POINTS`], raisable via
+//! `"max_points"`): the cap is checked before any point is priced, so a
+//! single cheap-to-send request cannot pin a pool worker on an unbounded
+//! evaluation.
+
+use tpe_engine::serve::{json_escape, BatchOps, Fields, DEFAULT_SEED};
+use tpe_engine::EngineCache;
+
+use crate::emit::{point_csv_row, CSV_HEADER};
+use crate::eval::PointResult;
+use crate::pareto::{pareto_front_per_workload, Objective};
+use crate::sweep::evaluate_slice;
+
+/// The `sweep`/`pareto` op set. Attach with
+/// `tpe_engine::serve::serve_with(listener, cache, &DseOps, config)`.
+pub struct DseOps;
+
+impl BatchOps for DseOps {
+    fn handle(
+        &self,
+        op: &str,
+        fields: &Fields,
+        cache: &EngineCache,
+    ) -> Option<Result<Vec<String>, String>> {
+        match op {
+            "sweep" => Some(slice_op(fields, cache, SliceOp::Sweep)),
+            "pareto" => Some(slice_op(fields, cache, SliceOp::Pareto)),
+            _ => None,
+        }
+    }
+
+    fn op_names(&self) -> &'static str {
+        "|sweep|pareto"
+    }
+}
+
+/// Which of the two slice-shaped ops is being answered.
+#[derive(Clone, Copy, PartialEq)]
+enum SliceOp {
+    Sweep,
+    Pareto,
+}
+
+impl SliceOp {
+    fn name(self) -> &'static str {
+        match self {
+            SliceOp::Sweep => "sweep",
+            SliceOp::Pareto => "pareto",
+        }
+    }
+
+    /// Whether per-point lines are emitted when the request omits
+    /// `"points"`: a sweep defaults to summary-only (slices can be
+    /// thousands of rows), while a pareto's whole purpose is the front.
+    fn points_by_default(self) -> bool {
+        matches!(self, SliceOp::Pareto)
+    }
+}
+
+/// The default per-request slice-size cap: generous enough for the full
+/// default space (2016 points), small enough that one request cannot pin
+/// a pool worker on an unbounded evaluation. Requests may raise it
+/// explicitly via `"max_points"`.
+pub const DEFAULT_MAX_POINTS: usize = 2048;
+
+/// The shared request shape: evaluate a filtered slice, extract the
+/// front, answer a summary (+ optional per-point lines).
+fn slice_op(fields: &Fields, cache: &EngineCache, op: SliceOp) -> Result<Vec<String>, String> {
+    let filter = fields.opt_str("filter")?.unwrap_or("").to_string();
+    let model = fields.opt_str("model")?.map(str::to_string);
+    let seed = fields.uint_or("seed", DEFAULT_SEED)?;
+    let objectives = match fields.opt_str("objectives")? {
+        Some(list) => Objective::parse_list(list)?,
+        None => Objective::DEFAULT.to_vec(),
+    };
+    let include_points = fields.bool_or("points", op.points_by_default())?;
+    let max_points = fields.uint_or("max_points", DEFAULT_MAX_POINTS as u64)? as usize;
+
+    let results = evaluate_slice(&filter, model.as_deref(), seed, Some(max_points), cache)?;
+    let front = pareto_front_per_workload(&results, &objectives);
+    let feasible = results.iter().filter(|r| r.feasible()).count();
+    let objective_names: Vec<&str> = objectives.iter().map(|o| o.name()).collect();
+
+    // The per-point payload: the front members for `pareto`, the whole
+    // slice for `sweep`.
+    let payload: Vec<(usize, &PointResult)> = match op {
+        SliceOp::Sweep => results.iter().enumerate().collect(),
+        SliceOp::Pareto => front.iter().map(|&i| (i, &results[i])).collect(),
+    };
+    let points_follow = if include_points { payload.len() } else { 0 };
+
+    let mut model_field = String::new();
+    if let Some(m) = &model {
+        model_field = format!("\"model\":\"{}\",", json_escape(m));
+    }
+    let mut bodies = vec![format!(
+        "\"op\":\"{}\",\"filter\":\"{}\",{model_field}\"seed\":{seed},\
+         \"objectives\":\"{}\",\"points\":{},\"feasible\":{feasible},\"front\":{},\
+         \"csv_header\":\"{}\",\"points_follow\":{points_follow}",
+        op.name(),
+        json_escape(&filter),
+        objective_names.join(","),
+        results.len(),
+        front.len(),
+        json_escape(CSV_HEADER),
+    )];
+    if include_points {
+        bodies.reserve(payload.len());
+        for (i, r) in payload {
+            let on_front = front.binary_search(&i).is_ok();
+            bodies.push(format!(
+                "\"op\":\"{}-point\",\"index\":{i},\"label\":\"{}\",\"feasible\":{},\
+                 \"pareto\":{},\"csv\":\"{}\"",
+                op.name(),
+                json_escape(&r.point.label()),
+                r.feasible(),
+                on_front,
+                json_escape(&point_csv_row(r, on_front)),
+            ));
+        }
+    }
+    Ok(bodies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpe_engine::serve::handle_request;
+
+    const FILTER: &str = "OPT1(TPU)/28nm@1.50,precision=w8";
+
+    fn ask(req: &str, cache: &EngineCache) -> (Vec<String>, bool) {
+        handle_request(req, cache, &DseOps)
+    }
+
+    #[test]
+    fn sweep_summary_counts_the_slice() {
+        let cache = EngineCache::new();
+        let req = format!(r#"{{"id":5,"op":"sweep","filter":"{FILTER}","seed":42}}"#);
+        let (lines, down) = ask(&req, &cache);
+        assert!(!down);
+        assert_eq!(lines.len(), 1, "summary only by default: {lines:?}");
+        let expected = crate::space::DesignSpace::paper_default()
+            .enumerate_filtered(FILTER)
+            .len();
+        assert!(
+            lines[0].starts_with("{\"id\":5,\"ok\":true,\"op\":\"sweep\""),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[0].contains(&format!("\"points\":{expected}")),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"points_follow\":0"), "{}", lines[0]);
+        assert!(
+            lines[0].contains("\"objectives\":\"area,delay,energy\""),
+            "{}",
+            lines[0]
+        );
+    }
+
+    #[test]
+    fn sweep_points_ship_the_exact_csv_rows() {
+        let cache = EngineCache::new();
+        let req = format!(r#"{{"id":1,"op":"sweep","filter":"{FILTER}","seed":42,"points":true}}"#);
+        let (lines, _) = ask(&req, &cache);
+        let slice = evaluate_slice(FILTER, None, 42, None, &EngineCache::new()).unwrap();
+        assert_eq!(lines.len(), 1 + slice.len());
+        assert!(
+            lines[0].contains(&format!("\"points_follow\":{}", slice.len())),
+            "{}",
+            lines[0]
+        );
+        let front = pareto_front_per_workload(&slice, &Objective::DEFAULT);
+        for (i, line) in lines[1..].iter().enumerate() {
+            let on_front = front.binary_search(&i).is_ok();
+            let expected = json_escape(&point_csv_row(&slice[i], on_front));
+            assert!(
+                line.contains(&format!("\"csv\":\"{expected}\"")),
+                "point {i}: {line}"
+            );
+            assert!(line.contains(&format!("\"index\":{i}")), "{line}");
+        }
+    }
+
+    #[test]
+    fn pareto_answers_front_points_by_default() {
+        let cache = EngineCache::new();
+        let req = format!(r#"{{"id":2,"op":"pareto","filter":"{FILTER}","seed":42}}"#);
+        let (lines, _) = ask(&req, &cache);
+        let slice = evaluate_slice(FILTER, None, 42, None, &EngineCache::new()).unwrap();
+        let front = pareto_front_per_workload(&slice, &Objective::DEFAULT);
+        assert_eq!(lines.len(), 1 + front.len());
+        assert!(
+            lines[0].contains(&format!("\"front\":{}", front.len())),
+            "{}",
+            lines[0]
+        );
+        for line in &lines[1..] {
+            assert!(line.contains("\"op\":\"pareto-point\""), "{line}");
+            assert!(line.contains("\"pareto\":true"), "{line}");
+        }
+        // Custom objectives change the front deterministically.
+        let req2 = format!(
+            r#"{{"id":2,"op":"pareto","filter":"{FILTER}","seed":42,"objectives":"area,power"}}"#
+        );
+        let (lines2, _) = ask(&req2, &cache);
+        assert!(
+            lines2[0].contains("\"objectives\":\"area,power\""),
+            "{}",
+            lines2[0]
+        );
+    }
+
+    #[test]
+    fn slice_ops_surface_cli_shaped_errors() {
+        let cache = EngineCache::new();
+        for (req, needle) in [
+            (
+                r#"{"id":1,"op":"sweep","filter":"no-such-point"}"#,
+                "no design points",
+            ),
+            (
+                r#"{"id":1,"op":"sweep","objectives":"area"}"#,
+                "at least two objectives",
+            ),
+            (
+                r#"{"id":1,"op":"pareto","model":"no-such-net"}"#,
+                "no network model",
+            ),
+            (
+                r#"{"id":1,"op":"sweep","points":"yes"}"#,
+                "must be a boolean",
+            ),
+            (
+                r#"{"id":1,"op":"sweep","filter":"OPT1(TPU)/28nm@1.50,precision=w8","max_points":5}"#,
+                "over the cap of 5",
+            ),
+        ] {
+            let (lines, down) = ask(req, &cache);
+            assert!(!down);
+            assert_eq!(lines.len(), 1);
+            assert!(lines[0].contains("\"ok\":false"), "{req} -> {}", lines[0]);
+            assert!(lines[0].contains(needle), "{req} -> {}", lines[0]);
+        }
+    }
+
+    /// Whole-model slices work over the wire like `repro dse --model`.
+    #[test]
+    fn sweep_accepts_a_model_axis() {
+        let cache = EngineCache::new();
+        let req = r#"{"id":3,"op":"sweep","filter":"OPT1(TPU)/28nm@1.50,precision=w8","model":"resnet18","seed":42,"points":true}"#;
+        let (lines, _) = ask(req, &cache);
+        assert!(lines[0].contains("\"model\":\"resnet18\""), "{}", lines[0]);
+        assert!(lines.len() > 1);
+        assert!(
+            lines[1..].iter().all(|l| l.contains(",model,")),
+            "per-point rows must be whole-model rows: {lines:?}"
+        );
+    }
+
+    /// `max_points` bounds evaluation cost before any pricing runs; a
+    /// request-level raise re-admits the slice.
+    #[test]
+    fn max_points_cap_is_raisable_per_request() {
+        let cache = EngineCache::new();
+        let capped = format!(r#"{{"id":1,"op":"sweep","filter":"{FILTER}","max_points":3}}"#);
+        let (lines, _) = ask(&capped, &cache);
+        assert!(lines[0].contains("over the cap of 3"), "{}", lines[0]);
+        let raised = format!(r#"{{"id":1,"op":"sweep","filter":"{FILTER}","max_points":100}}"#);
+        let (lines, _) = ask(&raised, &cache);
+        assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+    }
+
+    /// Identical requests produce identical bytes whatever the cache has
+    /// seen — the property that lets sweeps join pipelined batches.
+    #[test]
+    fn slice_ops_are_deterministic_per_request() {
+        let cache = EngineCache::new();
+        let req = format!(r#"{{"id":9,"op":"sweep","filter":"{FILTER}","points":true}}"#);
+        let (a, _) = ask(&req, &cache);
+        let (b, _) = ask(&req, &cache); // warm rerun
+        assert_eq!(a, b);
+        let (c, _) = ask(&req, &EngineCache::new()); // cold cache
+        assert_eq!(a, c);
+    }
+}

@@ -202,6 +202,46 @@ impl DesignSpace {
 
     /// Enumerates the legal cross product, in a deterministic order.
     pub fn enumerate(&self) -> Vec<DesignPoint> {
+        self.enumerate_matching(&[])
+    }
+
+    /// Enumerates, keeping only points matching `filter`
+    /// (case-insensitive). The filter is a comma-separated list of terms
+    /// that must all match: a `precision=<label>` term matches the
+    /// precision axis exactly (so `precision=w8` selects the default
+    /// points, whose labels carry no suffix), any other term matches the
+    /// point label as a substring. An empty filter keeps everything.
+    pub fn enumerate_filtered(&self, filter: &str) -> Vec<DesignPoint> {
+        let terms: Vec<&str> = filter.split(',').filter(|t| !t.is_empty()).collect();
+        self.enumerate_matching(&terms)
+    }
+
+    /// The shared enumeration loop. Filtering happens *during* the cross
+    /// product, before a candidate's workload is cloned — a narrow filter
+    /// over the default space (the serve `sweep`/`pareto` hot path) then
+    /// costs label matching only, not 2000 whole-model clones.
+    fn enumerate_matching(&self, terms: &[&str]) -> Vec<DesignPoint> {
+        /// A pre-lowered filter term: the precision axis exact-match form,
+        /// or a lowercased label substring.
+        enum Term {
+            Precision(Option<Precision>),
+            Label(String),
+        }
+        let mut terms: Vec<Term> = terms
+            .iter()
+            .map(|term| match term.split_once('=') {
+                Some((key, value)) if key.eq_ignore_ascii_case("precision") => {
+                    Term::Precision(Precision::parse(value))
+                }
+                _ => Term::Label(term.to_ascii_lowercase()),
+            })
+            .collect();
+        // Exact-match precision terms are a field compare; evaluate them
+        // before any label term so rejected candidates never pay for
+        // label construction (term conjunction is order-independent).
+        terms.sort_by_key(|t| matches!(t, Term::Label(_)));
+        let needs_label = terms.iter().any(|t| matches!(t, Term::Label(_)));
+
         let mut points = Vec::new();
         for &style in &self.styles {
             // (kind, encoding) pairs legal for this style.
@@ -221,19 +261,41 @@ impl DesignSpace {
             for &(kind, encoding) in &variants {
                 for &precision in &self.precisions {
                     for &corner in &self.corners {
+                        let engine = EngineSpec {
+                            style,
+                            kind,
+                            encoding,
+                            precision,
+                            freq_ghz: corner.freq_ghz,
+                            node: corner.node,
+                            node_name: corner.node_name,
+                        };
+                        let engine_label = needs_label
+                            .then(|| format!("{}/", engine.label()).to_ascii_lowercase());
                         for workload in &self.workloads {
-                            points.push(DesignPoint {
-                                engine: EngineSpec {
-                                    style,
-                                    kind,
-                                    encoding,
-                                    precision,
-                                    freq_ghz: corner.freq_ghz,
-                                    node: corner.node,
-                                    node_name: corner.node_name,
-                                },
-                                workload: workload.clone(),
+                            // One lazily-built lowercased label per
+                            // candidate, shared by every label term —
+                            // never built when a precision term rejects
+                            // the candidate first.
+                            let mut label: Option<String> = None;
+                            let matches = terms.iter().all(|term| match term {
+                                Term::Precision(p) => *p == Some(precision),
+                                Term::Label(needle) => label
+                                    .get_or_insert_with(|| {
+                                        let mut label = engine_label
+                                            .clone()
+                                            .expect("label terms imply a prefix");
+                                        label.push_str(&workload.name().to_ascii_lowercase());
+                                        label
+                                    })
+                                    .contains(needle),
                             });
+                            if matches {
+                                points.push(DesignPoint {
+                                    engine: engine.clone(),
+                                    workload: workload.clone(),
+                                });
+                            }
                         }
                     }
                 }
@@ -241,29 +303,21 @@ impl DesignSpace {
         }
         points
     }
+}
 
-    /// Enumerates, keeping only points matching `filter`
-    /// (case-insensitive). The filter is a comma-separated list of terms
-    /// that must all match: a `precision=<label>` term matches the
-    /// precision axis exactly (so `precision=w8` selects the default
-    /// points, whose labels carry no suffix), any other term matches the
-    /// point label as a substring. An empty filter keeps everything.
-    pub fn enumerate_filtered(&self, filter: &str) -> Vec<DesignPoint> {
-        let terms: Vec<&str> = filter.split(',').filter(|t| !t.is_empty()).collect();
-        self.enumerate()
-            .into_iter()
-            .filter(|p| {
-                terms.iter().all(|term| match term.split_once('=') {
-                    Some((key, value)) if key.eq_ignore_ascii_case("precision") => {
-                        Precision::parse(value) == Some(p.precision())
-                    }
-                    _ => p
-                        .label()
-                        .to_ascii_lowercase()
-                        .contains(&term.to_ascii_lowercase()),
-                })
-            })
-            .collect()
+/// Builds the space a *slice query* selects from — the shared entry point
+/// of `repro dse` and the serve `sweep`/`pareto` ops, so a filter string
+/// addresses exactly the same points on both paths.
+///
+/// `model` mirrors the CLI's `--model` flag: `None` keeps the paper
+/// default space (layer workloads + ResNet-18 end-to-end), `"all"`
+/// (case-insensitive) swaps the workload axis for every catalog network,
+/// and any other value selects networks by name substring.
+pub fn slice_space(model: Option<&str>) -> Result<DesignSpace, String> {
+    match model {
+        Some(name) if name.eq_ignore_ascii_case("all") => DesignSpace::with_models(""),
+        Some(name) => DesignSpace::with_models(name),
+        None => Ok(DesignSpace::paper_default()),
     }
 }
 

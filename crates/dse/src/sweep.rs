@@ -133,6 +133,50 @@ pub fn sweep_with_cache(
     }
 }
 
+/// One filtered slice of the design space, evaluated in enumeration order
+/// through `cache` — the public slice-evaluation entry point behind the
+/// serve layer's `sweep`/`pareto` ops and any other consumer that wants
+/// "the points `repro dse --filter F [--model M]` would sweep" without
+/// the CLI.
+///
+/// Evaluation is single-threaded (callers that want parallelism already
+/// sit inside a worker pool or can use [`sweep_with_cache`]); results are
+/// byte-identical to what the parallel sweep executor produces for the
+/// same points and seed, because per-point seeding depends only on the
+/// point label.
+///
+/// `max_points` bounds the evaluation cost *before* any point is priced:
+/// a slice larger than the cap is rejected with an error naming both
+/// numbers. `None` means unbounded (the CLI, which owns its own process).
+///
+/// # Errors
+///
+/// Returns the same errors as the CLI — an unknown `model` selector or a
+/// filter matching no design points — plus the over-cap rejection.
+pub fn evaluate_slice(
+    filter: &str,
+    model: Option<&str>,
+    seed: u64,
+    max_points: Option<usize>,
+    cache: &EngineCache,
+) -> Result<Vec<PointResult>, String> {
+    let space = crate::space::slice_space(model)?;
+    let points = space.enumerate_filtered(filter);
+    if points.is_empty() {
+        return Err(format!("no design points match filter `{filter}`"));
+    }
+    if let Some(cap) = max_points {
+        if points.len() > cap {
+            return Err(format!(
+                "slice matches {} points, over the cap of {cap} — narrow the filter \
+                 or raise `max_points`",
+                points.len()
+            ));
+        }
+    }
+    Ok(points.iter().map(|p| evaluate(p, cache, seed)).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +237,32 @@ mod tests {
             outcome.cache
         );
         assert!(outcome.cache.hit_rate() > 0.0);
+    }
+
+    /// The slice entry point selects exactly the filtered enumeration and
+    /// agrees with the parallel executor byte for byte.
+    #[test]
+    fn evaluate_slice_matches_the_sweep_executor() {
+        let cache = EngineCache::new();
+        let slice =
+            evaluate_slice("OPT1(TPU)/28nm@1.50,precision=w8", None, 9, None, &cache).unwrap();
+        let points =
+            DesignSpace::paper_default().enumerate_filtered("OPT1(TPU)/28nm@1.50,precision=w8");
+        assert_eq!(slice.len(), points.len());
+        let swept = sweep_with_cache(
+            &points,
+            SweepConfig {
+                threads: 2,
+                seed: 9,
+            },
+            &EngineCache::new(),
+        );
+        assert_eq!(slice, swept.results);
+        // CLI-shaped errors surface as messages, not panics.
+        assert!(evaluate_slice("no-such-point", None, 9, None, &cache)
+            .unwrap_err()
+            .contains("no design points"));
+        assert!(evaluate_slice("", Some("no-such-net"), 9, None, &cache).is_err());
     }
 
     /// A global-cache sweep reports only its own counter deltas, and its

@@ -254,6 +254,15 @@ pub struct CacheStats {
     pub cycle_hits: u64,
     /// Workload-cycle lookups that ran the sampler.
     pub cycle_misses: u64,
+    /// Accounted pricing lookups, counted independently of the hit/miss
+    /// branch. At quiescence `price_lookups == price_hits + price_misses`
+    /// — the consistency invariant the serve `stats` op exposes so clients
+    /// can detect broken accounting (a counting site added on one side but
+    /// not the other).
+    pub price_lookups: u64,
+    /// Accounted cycle lookups; at quiescence
+    /// `cycle_lookups == cycle_hits + cycle_misses`.
+    pub cycle_lookups: u64,
 }
 
 impl CacheStats {
@@ -265,6 +274,14 @@ impl CacheStats {
     /// Total lookups that computed.
     pub fn misses(&self) -> u64 {
         self.price_misses + self.cycle_misses
+    }
+
+    /// Total accounted lookups across both maps. At quiescence this equals
+    /// [`Self::hits`]` + `[`Self::misses`] — each lookup increments its
+    /// map's lookup counter and then exactly one of that map's hit/miss
+    /// counters.
+    pub fn lookups(&self) -> u64 {
+        self.price_lookups + self.cycle_lookups
     }
 
     /// Fraction of lookups served from memory (0 when never queried).
@@ -285,6 +302,8 @@ impl CacheStats {
             price_misses: self.price_misses.saturating_sub(earlier.price_misses),
             cycle_hits: self.cycle_hits.saturating_sub(earlier.cycle_hits),
             cycle_misses: self.cycle_misses.saturating_sub(earlier.cycle_misses),
+            price_lookups: self.price_lookups.saturating_sub(earlier.price_lookups),
+            cycle_lookups: self.cycle_lookups.saturating_sub(earlier.cycle_lookups),
         }
     }
 }
@@ -302,6 +321,8 @@ pub struct EngineCache {
     price_misses: AtomicU64,
     cycle_hits: AtomicU64,
     cycle_misses: AtomicU64,
+    price_lookups: AtomicU64,
+    cycle_lookups: AtomicU64,
 }
 
 impl Default for EngineCache {
@@ -314,6 +335,8 @@ impl Default for EngineCache {
             price_misses: AtomicU64::new(0),
             cycle_hits: AtomicU64::new(0),
             cycle_misses: AtomicU64::new(0),
+            price_lookups: AtomicU64::new(0),
+            cycle_lookups: AtomicU64::new(0),
         }
     }
 }
@@ -348,6 +371,7 @@ impl EngineCache {
         price: impl FnOnce() -> Option<PeRecord>,
     ) -> Option<PeRecord> {
         let shard = &self.records[shard_of(&key)];
+        self.price_lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(rec) = shard.read().expect("cache poisoned").get(&key) {
             self.price_hits.fetch_add(1, Ordering::Relaxed);
             return *rec;
@@ -376,6 +400,11 @@ impl EngineCache {
     ) -> Option<EnginePrice> {
         let shard = &self.prices[shard_of(&key)];
         if let Some(price) = shard.read().expect("cache poisoned").get(&key) {
+            // A derived-layer hit is one accounted lookup; a miss counts
+            // nothing here — `assemble` consults `pe_record`, which does
+            // the lookup *and* hit/miss accounting, keeping the
+            // hits+misses == lookups invariant exact.
+            self.price_lookups.fetch_add(1, Ordering::Relaxed);
             self.price_hits.fetch_add(1, Ordering::Relaxed);
             return *price;
         }
@@ -395,6 +424,7 @@ impl EngineCache {
         sample: impl FnOnce() -> SerialLayerRecord,
     ) -> SerialLayerRecord {
         let shard = &self.cycles[shard_of(&key)];
+        self.cycle_lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(rec) = shard.read().expect("cache poisoned").get(&key) {
             self.cycle_hits.fetch_add(1, Ordering::Relaxed);
             return *rec;
@@ -415,6 +445,8 @@ impl EngineCache {
             price_misses: self.price_misses.load(Ordering::Relaxed),
             cycle_hits: self.cycle_hits.load(Ordering::Relaxed),
             cycle_misses: self.cycle_misses.load(Ordering::Relaxed),
+            price_lookups: self.price_lookups.load(Ordering::Relaxed),
+            cycle_lookups: self.cycle_lookups.load(Ordering::Relaxed),
         }
     }
 
@@ -479,6 +511,7 @@ mod tests {
         assert_eq!((stats.price_hits, stats.price_misses), (2, 1));
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(cache.priced_len(), 1);
+        assert_eq!(stats.lookups(), stats.hits() + stats.misses());
     }
 
     #[test]
@@ -542,6 +575,51 @@ mod tests {
         let delta = cache.stats().since(&before);
         assert_eq!((delta.price_hits, delta.price_misses), (1, 1));
         assert_eq!(delta.hits() + delta.misses(), 2);
+        assert_eq!(delta.lookups(), 2, "deltas keep the lookup invariant");
+    }
+
+    /// The derived price layer keeps the accounting invariant: every
+    /// `engine_price` call lands exactly one accounted lookup and one
+    /// hit-or-miss, whether it hits its own map, delegates to `pe_record`,
+    /// or finds the synthesis already cached under a sibling price key.
+    #[test]
+    fn lookup_counters_match_hits_plus_misses_through_the_derived_layer() {
+        let cache = EngineCache::new();
+        let price_key = |f| crate::cache::PriceKey {
+            style: PeStyle::Opt1,
+            dense: Some(ClassicArch::Tpu),
+            encoding: EncodingKind::Mbe,
+            precision: Precision::W8,
+            freq_mhz: f,
+            node_dnm: 280,
+        };
+        let assemble = |cache: &EngineCache, f| {
+            cache.pe_record(key(f), || Some(record()));
+            None
+        };
+        cache.engine_price(price_key(1000), || assemble(&cache, 1000)); // cold
+        cache.engine_price(price_key(1000), || unreachable!()); // price hit
+        cache.engine_price(price_key(1500), || assemble(&cache, 1500)); // cold again
+        cache.serial_record(
+            CycleKey::of(
+                &EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0),
+                &LayerShape::new("t", 8, 8, 64, 1),
+                7,
+                crate::caps::SampleProfile::Quick.caps(),
+            ),
+            || SerialLayerRecord {
+                cycles: 1.0,
+                busy_sum: 1.0,
+                busy_min: 1.0,
+                busy_max: 1.0,
+                rounds: 1.0,
+                columns: 1,
+            },
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), stats.hits() + stats.misses());
+        assert_eq!(stats.price_lookups, stats.price_hits + stats.price_misses);
+        assert_eq!(stats.cycle_lookups, stats.cycle_hits + stats.cycle_misses);
     }
 
     /// The canonical map must mirror the hardware: encodings keyed together

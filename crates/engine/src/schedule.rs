@@ -108,7 +108,7 @@ fn caps_for_layer(
 /// most once per process. Digit statistics are drawn at
 /// [`layer_a_bits`] — the precision axis's hook into the cycle model —
 /// and the operand budget is width-corrected per layer
-/// ([`caps_for_layer`]); the cache keys on the corrected caps, i.e. on
+/// (`caps_for_layer`); the cache keys on the corrected caps, i.e. on
 /// what the sampler actually ran with.
 pub fn cached_serial_cycles(
     cache: &EngineCache,

@@ -4,9 +4,9 @@
 //! ## Wire format
 //!
 //! Newline-delimited JSON both ways: one flat JSON object per line in,
-//! one per line out, responses in request order. A connection is a batch;
-//! clients may stream any number of requests and close (or half-close)
-//! when done. Requests:
+//! one (or, for batch ops, several) per line out, responses in request
+//! order. A connection is a batch; clients may stream any number of
+//! requests and close (or half-close) when done. Requests:
 //!
 //! ```text
 //! {"id":1,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz"}
@@ -25,26 +25,54 @@
 //! Omitting it keeps the paper's W8 — byte-identical to the
 //! pre-precision protocol.
 //!
+//! Deployments can extend the op set through [`BatchOps`]: the `repro`
+//! binary attaches `tpe-dse`'s `sweep`/`pareto` ops, which answer one
+//! request with a summary line plus optional per-design-point lines
+//! (each carrying `"points_follow"` so clients know how many extra lines
+//! to read — [`query_batch`] does this automatically).
+//!
 //! Responses echo the `id` and carry `"ok":true` plus op-specific fields,
 //! or `"ok":false` with an `"error"` string. All numeric fields render at
 //! fixed precision, so a given request line maps to exactly one response
-//! byte string — **batched responses are byte-identical to sequential
+//! byte sequence — **batched responses are byte-identical to sequential
 //! single-query responses** (property-tested), because every evaluation is
 //! a deterministic function of the request (seeds are per-request, never
 //! per-connection).
 //!
 //! ## Concurrency
 //!
-//! Thread-per-connection over shared state: all connections evaluate
-//! through the same [`EngineCache`], so a mixed batch converges to
-//! all-hit steady state no matter how clients shard their queries.
-//! `shutdown` drains nothing: it answers, stops accepting, and lets
-//! in-flight connections finish.
+//! A bounded worker pool ([`ServeConfig::threads`], default one per core)
+//! is shared by every connection. Each connection pipelines: its reader
+//! parses lines in order and submits them to the pool, up to
+//! [`ServeConfig::max_inflight`] outstanding at once; workers evaluate
+//! concurrently; a per-connection writer reassembles completed responses
+//! **in request order** before they touch the socket. Reordering can
+//! therefore never be observed on the wire — on a 1-core box the pool
+//! proves ordering rather than speedup, and the batched==sequential
+//! byte-identity property holds at any pool size.
+//!
+//! All connections evaluate through the same [`EngineCache`], so a mixed
+//! batch converges to all-hit steady state no matter how clients shard
+//! their queries.
+//!
+//! ## Limits and lifecycle
+//!
+//! Request lines longer than [`ServeConfig::max_line_bytes`] are answered
+//! with an error and the connection is closed (there is no way to resync
+//! mid-line). A `shutdown` request stops the listener **the moment it is
+//! parsed** (a slow client cannot postpone it by holding its connection
+//! open) and then **drains gracefully**: in-flight work on every
+//! connection finishes, and lines that follow the shutdown request *in
+//! the same batch* are each answered with
+//! `"ok":false,"error":"server draining"` (ids echoed) instead of being
+//! silently dropped — for a bounded window (~5 s), so a peer trickling
+//! lines forever cannot pin the drain either.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
 
 use tpe_workloads::{LayerShape, NetworkModel};
 
@@ -214,7 +242,8 @@ pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonValue>, Stri
     Ok(map)
 }
 
-fn json_escape(s: &str) -> String {
+/// JSON string-content escaping for response fields.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -227,11 +256,58 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Typed field access over a parsed request object.
-struct Fields(BTreeMap<String, JsonValue>);
+/// Best-effort recovery of a request's `"id"` from a line that failed to
+/// parse as a flat object: a lenient scan for an `"id"` key followed by a
+/// run of digits, so pipelined clients can still correlate the error
+/// response with the request that caused it. Returns 0 when nothing
+/// id-shaped is found (the historical behavior).
+pub fn recover_id(line: &str) -> u64 {
+    let bytes = line.as_bytes();
+    let Some(pos) = line.find("\"id\"") else {
+        return 0;
+    };
+    let mut i = pos + 4;
+    while bytes.get(i).is_some_and(u8::is_ascii_whitespace) {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b':') {
+        return 0;
+    }
+    i += 1;
+    while bytes.get(i).is_some_and(u8::is_ascii_whitespace) {
+        i += 1;
+    }
+    let start = i;
+    while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+        i += 1;
+    }
+    line[start..i].parse().unwrap_or(0)
+}
+
+/// The id of a request line, whether or not it parses: the parsed `"id"`
+/// field when the object is well-formed, a [`recover_id`] scan otherwise.
+fn request_id(line: &str) -> u64 {
+    match parse_flat_object(line) {
+        Ok(map) => Fields(map).uint_or("id", 0).unwrap_or(0),
+        Err(_) => recover_id(line),
+    }
+}
+
+/// Renders the standard error envelope.
+fn error_line(id: u64, error: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"error\":\"{}\"}}",
+        json_escape(error)
+    )
+}
+
+/// Typed field access over a parsed request object, shared with
+/// [`BatchOps`] extensions.
+pub struct Fields(pub BTreeMap<String, JsonValue>);
 
 impl Fields {
-    fn str(&self, key: &str) -> Result<&str, String> {
+    /// A required string field.
+    pub fn str(&self, key: &str) -> Result<&str, String> {
         match self.0.get(key) {
             Some(JsonValue::Str(s)) => Ok(s),
             Some(_) => Err(format!("field `{key}` must be a string")),
@@ -239,7 +315,17 @@ impl Fields {
         }
     }
 
-    fn uint(&self, key: &str) -> Result<u64, String> {
+    /// An optional string field (`Ok(None)` when absent).
+    pub fn opt_str(&self, key: &str) -> Result<Option<&str>, String> {
+        match self.0.get(key) {
+            Some(JsonValue::Str(s)) => Ok(Some(s)),
+            Some(_) => Err(format!("field `{key}` must be a string")),
+            None => Ok(None),
+        }
+    }
+
+    /// A required non-negative integer field.
+    pub fn uint(&self, key: &str) -> Result<u64, String> {
         match self.0.get(key) {
             Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
                 Ok(*n as u64)
@@ -249,47 +335,106 @@ impl Fields {
         }
     }
 
-    fn uint_or(&self, key: &str, default: u64) -> Result<u64, String> {
+    /// A non-negative integer field with a default.
+    pub fn uint_or(&self, key: &str, default: u64) -> Result<u64, String> {
         if self.0.contains_key(key) {
             self.uint(key)
         } else {
             Ok(default)
         }
     }
+
+    /// A boolean field with a default.
+    pub fn bool_or(&self, key: &str, default: bool) -> Result<bool, String> {
+        match self.0.get(key) {
+            Some(JsonValue::Bool(b)) => Ok(*b),
+            Some(_) => Err(format!("field `{key}` must be a boolean")),
+            None => Ok(default),
+        }
+    }
+}
+
+/// Server-side batch-op extensions (the `sweep`/`pareto` ops live in
+/// `tpe-dse`, which sits above this crate, so the serve loop takes them
+/// as a capability instead of depending upward).
+///
+/// One request may answer with **several** response lines (a summary plus
+/// per-point lines); every returned body is wrapped in the standard
+/// `{"id":N,"ok":true,…}` envelope and written contiguously, in order.
+/// Extensions must be deterministic functions of (request, cache-agnostic
+/// inputs) to preserve the batched==sequential byte-identity property.
+pub trait BatchOps: Sync {
+    /// Handles `op`, returning `None` when this extension does not define
+    /// it, `Some(Ok(bodies))` with one or more response bodies (without
+    /// the `id`/`ok` envelope), or `Some(Err(message))`.
+    fn handle(
+        &self,
+        op: &str,
+        fields: &Fields,
+        cache: &EngineCache,
+    ) -> Option<Result<Vec<String>, String>>;
+
+    /// `|`-prefixed op names appended to the unknown-op error message
+    /// (e.g. `"|sweep|pareto"`).
+    fn op_names(&self) -> &'static str {
+        ""
+    }
+}
+
+/// The empty extension set: the built-in ops only.
+pub struct NoOps;
+
+impl BatchOps for NoOps {
+    fn handle(
+        &self,
+        _op: &str,
+        _fields: &Fields,
+        _cache: &EngineCache,
+    ) -> Option<Result<Vec<String>, String>> {
+        None
+    }
 }
 
 /// Handles one request line against `cache`, returning the response line
 /// (no trailing newline) and whether the request asked for shutdown.
+/// Built-in ops only (the multi-line capable generalization is
+/// [`handle_request`]).
 pub fn handle_line(line: &str, cache: &EngineCache) -> (String, bool) {
+    let (lines, is_shutdown) = handle_request(line, cache, &NoOps);
+    (lines.join("\n"), is_shutdown)
+}
+
+/// Handles one request line against `cache` with `ops` extensions,
+/// returning the response lines (one for built-in ops, possibly several
+/// for batch ops; no trailing newlines) and whether the request asked for
+/// shutdown.
+pub fn handle_request(line: &str, cache: &EngineCache, ops: &dyn BatchOps) -> (Vec<String>, bool) {
     let fields = match parse_flat_object(line) {
         Ok(map) => Fields(map),
-        Err(e) => {
-            return (
-                format!(
-                    "{{\"id\":0,\"ok\":false,\"error\":\"{}\"}}",
-                    json_escape(&e)
-                ),
-                false,
-            )
-        }
+        Err(e) => return (vec![error_line(recover_id(line), &e)], false),
     };
     let id = fields.uint_or("id", 0).unwrap_or(0);
-    match respond(&fields, cache) {
-        Ok((body, is_shutdown)) => (format!("{{\"id\":{id},\"ok\":true,{body}}}"), is_shutdown),
-        Err(e) => (
-            format!(
-                "{{\"id\":{id},\"ok\":false,\"error\":\"{}\"}}",
-                json_escape(&e)
-            ),
-            false,
+    match respond(&fields, cache, ops) {
+        Ok((bodies, is_shutdown)) => (
+            bodies
+                .into_iter()
+                .map(|body| format!("{{\"id\":{id},\"ok\":true,{body}}}"))
+                .collect(),
+            is_shutdown,
         ),
+        Err(e) => (vec![error_line(id, &e)], false),
     }
 }
 
-/// The op-specific response body (without the `id`/`ok` envelope).
-fn respond(fields: &Fields, cache: &EngineCache) -> Result<(String, bool), String> {
+/// The op-specific response bodies (without the `id`/`ok` envelope).
+fn respond(
+    fields: &Fields,
+    cache: &EngineCache,
+    ops: &dyn BatchOps,
+) -> Result<(Vec<String>, bool), String> {
     let eval = Evaluator::new(cache);
     let op = fields.str("op")?;
+    let one = |body: String| Ok((vec![body], false));
     match op {
         "engine" => {
             let spec = resolve_engine(fields)?;
@@ -311,7 +456,7 @@ fn respond(fields: &Fields, cache: &EngineCache) -> Result<(String, bool), Strin
                     json_escape(&spec.label())
                 ),
             };
-            Ok((body, false))
+            one(body)
         }
         "layer" => {
             let spec = resolve_engine(fields)?;
@@ -344,7 +489,7 @@ fn respond(fields: &Fields, cache: &EngineCache) -> Result<(String, bool), Strin
                     json_escape(&name)
                 ),
             };
-            Ok((body, false))
+            one(body)
         }
         "model" => {
             let spec = resolve_engine(fields)?;
@@ -382,37 +527,45 @@ fn respond(fields: &Fields, cache: &EngineCache) -> Result<(String, bool), Strin
                     json_escape(&net.name)
                 ),
             };
-            Ok((body, false))
+            one(body)
         }
         "roster" => {
             let names: Vec<String> = roster::names()
                 .iter()
                 .map(|n| format!("\"{}\"", json_escape(n)))
                 .collect();
-            Ok((
-                format!("\"op\":\"roster\",\"engines\":[{}]", names.join(",")),
-                false,
+            one(format!(
+                "\"op\":\"roster\",\"engines\":[{}]",
+                names.join(",")
             ))
         }
         "stats" => {
             let s = cache.stats();
-            Ok((
-                format!(
-                    "\"op\":\"stats\",\"price_hits\":{},\"price_misses\":{},\
-                     \"cycle_hits\":{},\"cycle_misses\":{},\"hit_rate\":{:.4}",
-                    s.price_hits,
-                    s.price_misses,
-                    s.cycle_hits,
-                    s.cycle_misses,
-                    s.hit_rate()
-                ),
-                false,
+            one(format!(
+                "\"op\":\"stats\",\"price_hits\":{},\"price_misses\":{},\
+                 \"cycle_hits\":{},\"cycle_misses\":{},\"hit_rate\":{:.4},\
+                 \"price_lookups\":{},\"cycle_lookups\":{},\
+                 \"priced_entries\":{},\"cycle_entries\":{}",
+                s.price_hits,
+                s.price_misses,
+                s.cycle_hits,
+                s.cycle_misses,
+                s.hit_rate(),
+                s.price_lookups,
+                s.cycle_lookups,
+                cache.priced_len(),
+                cache.cycles_len()
             ))
         }
-        "shutdown" => Ok(("\"op\":\"shutdown\"".into(), true)),
-        other => Err(format!(
-            "unknown op `{other}` (expected engine|layer|model|roster|stats|shutdown)"
-        )),
+        "shutdown" => Ok((vec!["\"op\":\"shutdown\"".into()], true)),
+        other => match ops.handle(other, fields, cache) {
+            Some(Ok(bodies)) => Ok((bodies, false)),
+            Some(Err(e)) => Err(e),
+            None => Err(format!(
+                "unknown op `{other}` (expected engine|layer|model|roster|stats|shutdown{})",
+                ops.op_names()
+            )),
+        },
     }
 }
 
@@ -447,6 +600,40 @@ fn metrics_body(m: &crate::Metrics) -> String {
     )
 }
 
+/// Operational limits and pool sizing for one [`serve_with`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads evaluating requests; 0 means one per available core.
+    pub threads: usize,
+    /// Maximum accepted request-line length in bytes (newline excluded).
+    /// Longer lines are answered with an error and the connection closes.
+    pub max_line_bytes: usize,
+    /// Maximum requests a single connection may have in flight (submitted
+    /// to the pool but not yet written back); the reader blocks past this.
+    pub max_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            max_line_bytes: 64 * 1024,
+            max_inflight: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The effective pool size.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
 /// What one [`serve`] run handled.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeOutcome {
@@ -454,17 +641,66 @@ pub struct ServeOutcome {
     pub connections: u64,
     /// Request lines answered.
     pub requests: u64,
+    /// Worker-pool threads the run evaluated on.
+    pub workers: usize,
+}
+
+/// One pipelined request: the raw line, its position in the connection's
+/// response order, and the channel its responses return on.
+struct Job {
+    line: String,
+    seq: u64,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// (sequence number, response lines).
+type Reply = (u64, Vec<String>);
+
+/// Runs the serve loop on `listener` with the default configuration and
+/// the built-in op set. Blocks the calling thread until a `shutdown`
+/// request arrives; see [`serve_with`].
+pub fn serve(listener: TcpListener, cache: &EngineCache) -> std::io::Result<ServeOutcome> {
+    serve_with(listener, cache, &NoOps, ServeConfig::default())
 }
 
 /// Runs the serve loop on `listener` until a `shutdown` request arrives:
-/// thread-per-connection, every connection evaluating through the shared
-/// `cache`. Blocks the calling thread.
-pub fn serve(listener: TcpListener, cache: &EngineCache) -> std::io::Result<ServeOutcome> {
+/// a shared bounded worker pool, per-connection request pipelining with
+/// in-order response reassembly, and `ops` batch-op extensions. Blocks
+/// the calling thread; on shutdown the listener stops accepting and every
+/// in-flight connection drains before this returns.
+pub fn serve_with(
+    listener: TcpListener,
+    cache: &EngineCache,
+    ops: &dyn BatchOps,
+    config: ServeConfig,
+) -> std::io::Result<ServeOutcome> {
     let local = listener.local_addr()?;
+    let workers = config.effective_threads();
     let shutdown = AtomicBool::new(false);
     let connections = AtomicU64::new(0);
     let requests = AtomicU64::new(0);
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let job_rx = Mutex::new(job_rx);
     std::thread::scope(|scope| {
+        // The pool: workers claim jobs until the channel closes, which
+        // happens only after the accept loop exits *and* every connection
+        // thread (each holding a sender clone) has drained — so shutdown
+        // finishes in-flight work before the pool winds down.
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = job_rx.lock().expect("serve pool poisoned").recv();
+                let Ok(Job { line, seq, reply }) = job else {
+                    break;
+                };
+                // Shutdown is signaled by the connection reader at parse
+                // time (see `handle_connection`), so the worker only
+                // evaluates and answers.
+                let (lines, _) = handle_request(&line, cache, ops);
+                // The connection may already be gone; its writer dropping
+                // the receiver is the cancellation signal.
+                let _ = reply.send((seq, lines));
+            });
+        }
         for stream in listener.incoming() {
             if shutdown.load(Ordering::SeqCst) {
                 break;
@@ -480,59 +716,260 @@ pub fn serve(listener: TcpListener, cache: &EngineCache) -> std::io::Result<Serv
                 }
             };
             connections.fetch_add(1, Ordering::Relaxed);
-            let (shutdown, requests) = (&shutdown, &requests);
+            let (shutdown, requests, pool) = (&shutdown, &requests, job_tx.clone());
             scope.spawn(move || {
-                if handle_connection(&stream, cache, requests) {
+                // Fired by the reader the moment it *parses* a shutdown
+                // request — the listener must stop accepting right away,
+                // not when this connection eventually closes (a client
+                // trickling post-shutdown lines could postpone that
+                // indefinitely).
+                let notify_shutdown = || {
                     shutdown.store(true, Ordering::SeqCst);
                     // Wake the accept loop so it observes the flag.
                     let _ = TcpStream::connect(local);
-                }
+                };
+                handle_connection(&stream, &pool, config, requests, &notify_shutdown);
             });
         }
+        // Close the socket now: connections the kernel would otherwise
+        // keep accepting into the backlog during the drain get refused
+        // instead of hanging unanswered.
+        drop(listener);
+        drop(job_tx);
     });
     Ok(ServeOutcome {
         connections: connections.load(Ordering::Relaxed),
         requests: requests.load(Ordering::Relaxed),
+        workers,
     })
 }
 
-/// Serves one connection; returns whether it requested shutdown.
-fn handle_connection(stream: &TcpStream, cache: &EngineCache, requests: &AtomicU64) -> bool {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return false,
-    };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        requests.fetch_add(1, Ordering::Relaxed);
-        let (response, is_shutdown) = handle_line(&line, cache);
-        if writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .is_err()
-        {
-            break;
-        }
-        if is_shutdown {
-            let _ = writer.flush();
-            return true;
+/// One read attempt against the length-limited line reader.
+enum LineRead {
+    /// A complete request line (newline stripped).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeds the configured byte limit; `partial` holds the
+    /// prefix read so far (for id recovery).
+    TooLong { partial: Vec<u8> },
+    /// The line is not valid UTF-8; `bytes` holds it (for id recovery).
+    Utf8Error { bytes: Vec<u8> },
+}
+
+/// Reads one `\n`-terminated line of at most `max` content bytes — the
+/// limit excludes the terminator, whether `\n` or `\r\n` (reading up to
+/// `max + 2` raw bytes lets a max-length CRLF line through; the content
+/// check after stripping is what enforces the cap).
+fn read_limited_line<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let n = std::io::Read::take(reader, max as u64 + 2).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
         }
     }
-    let _ = writer.flush();
-    false
+    if buf.len() > max {
+        return Ok(LineRead::TooLong { partial: buf });
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(LineRead::Line(line)),
+        Err(e) => Ok(LineRead::Utf8Error {
+            bytes: e.into_bytes(),
+        }),
+    }
+}
+
+/// Whether a request line is a well-formed `shutdown` request — the exact
+/// predicate [`handle_request`] answers `is_shutdown` for, evaluated at
+/// parse time so the reader can start draining deterministically.
+fn is_shutdown_request(line: &str) -> bool {
+    line.contains("shutdown")
+        && parse_flat_object(line)
+            .ok()
+            .is_some_and(|map| matches!(map.get("op"), Some(JsonValue::Str(s)) if s == "shutdown"))
+}
+
+/// Serves one connection over the shared pool.
+///
+/// The calling thread is the reader: it parses lines in request order and
+/// submits each to the pool (bounded by [`ServeConfig::max_inflight`]
+/// tokens), while a scoped writer thread reassembles completed responses
+/// in sequence order onto the socket. Once a `shutdown` request is read,
+/// every later line in the batch is answered with a `server draining`
+/// error instead of being evaluated — identical bytes to what a
+/// sequential server would produce, regardless of pool timing.
+fn handle_connection(
+    stream: &TcpStream,
+    pool: &mpsc::Sender<Job>,
+    config: ServeConfig,
+    requests: &AtomicU64,
+    notify_shutdown: &dyn Fn(),
+) {
+    let Ok(writer_stream) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let (token_tx, token_rx) = mpsc::sync_channel::<()>(config.max_inflight.max(1));
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(move || write_in_order(writer_stream, reply_rx, token_rx));
+        let mut reader = BufReader::new(stream);
+        let mut seq: u64 = 0;
+        let mut drain_deadline: Option<std::time::Instant> = None;
+        // Acquire an in-flight token per answered request; the writer
+        // releases one per response written. An error means the writer
+        // is gone (client stopped reading), so the batch is over.
+        let answer_inline =
+            |reply: Reply| -> bool { token_tx.send(()).is_ok() && reply_tx.send(reply).is_ok() };
+        while let Ok(read) = read_limited_line(&mut reader, config.max_line_bytes) {
+            match read {
+                LineRead::Eof => break,
+                LineRead::TooLong { partial } => {
+                    // There is no way to resync mid-line: answer (with a
+                    // best-effort id from the prefix) and close.
+                    let id = recover_id(&String::from_utf8_lossy(&partial));
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    answer_inline((
+                        seq,
+                        vec![error_line(
+                            id,
+                            &format!(
+                                "request line exceeds max line bytes ({})",
+                                config.max_line_bytes
+                            ),
+                        )],
+                    ));
+                    break;
+                }
+                LineRead::Utf8Error { bytes } => {
+                    // Same id recovery as TooLong: the id is usually in
+                    // the readable ASCII prefix.
+                    let id = recover_id(&String::from_utf8_lossy(&bytes));
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    answer_inline((seq, vec![error_line(id, "request line is not valid UTF-8")]));
+                    break;
+                }
+                LineRead::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    if let Some(deadline) = drain_deadline {
+                        if std::time::Instant::now() >= deadline {
+                            // A peer trickling lines forever must not pin
+                            // the drain; the window is generous for any
+                            // real client flushing its already-written
+                            // batch.
+                            break;
+                        }
+                        if !answer_inline((
+                            seq,
+                            vec![error_line(request_id(&line), "server draining")],
+                        )) {
+                            break;
+                        }
+                    } else {
+                        if is_shutdown_request(&line) {
+                            // Stop the listener *now* — waiting for this
+                            // connection to close would let a slow client
+                            // postpone shutdown indefinitely — then keep
+                            // draining this batch's remaining lines for a
+                            // bounded window.
+                            notify_shutdown();
+                            drain_deadline =
+                                Some(std::time::Instant::now() + std::time::Duration::from_secs(5));
+                            let _ =
+                                stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+                        }
+                        if token_tx.send(()).is_err() {
+                            break;
+                        }
+                        let job = Job {
+                            line,
+                            seq,
+                            reply: reply_tx.clone(),
+                        };
+                        if pool.send(job).is_err() {
+                            break;
+                        }
+                    }
+                    seq += 1;
+                }
+            }
+        }
+        drop(reply_tx);
+        drop(token_tx);
+        writer.join().expect("connection writer panicked");
+    });
+}
+
+/// The per-connection writer: receives `(seq, lines)` replies in
+/// completion order, holds them in a reorder buffer, and writes them to
+/// the socket strictly in sequence order — the pipelining stays invisible
+/// on the wire.
+fn write_in_order(stream: TcpStream, replies: mpsc::Receiver<Reply>, tokens: mpsc::Receiver<()>) {
+    let mut out = BufWriter::new(stream);
+    let mut pending: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut next: u64 = 0;
+    'recv: for (seq, lines) in replies.iter() {
+        pending.insert(seq, lines);
+        while let Some(lines) = pending.remove(&next) {
+            next += 1;
+            for line in &lines {
+                if out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                    .is_err()
+                {
+                    // Dropping the token receiver unblocks the reader.
+                    break 'recv;
+                }
+            }
+            let _ = tokens.recv();
+        }
+        // Flush once per completion burst, not per line.
+        if out.flush().is_err() {
+            break;
+        }
+    }
+    let _ = out.flush();
+}
+
+/// Scans a response line for a `"points_follow":N` marker — how batch ops
+/// announce extra per-point lines beyond the one-response-per-request
+/// baseline.
+fn points_follow(line: &str) -> usize {
+    let needle = "\"points_follow\":";
+    let Some(pos) = line.find(needle) else {
+        return 0;
+    };
+    line[pos + needle.len()..]
+        .bytes()
+        .take_while(u8::is_ascii_digit)
+        .fold(0usize, |acc, b| {
+            acc.saturating_mul(10).saturating_add((b - b'0') as usize)
+        })
 }
 
 /// Sends `lines` over one connection and returns the response lines, in
 /// order. Writes from a helper thread so large batches cannot deadlock on
-/// full socket buffers.
+/// full socket buffers. Batch ops announcing per-point lines via
+/// `"points_follow"` grow the expected response count automatically.
+///
+/// # Errors
+///
+/// Besides transport errors, returns [`std::io::ErrorKind::UnexpectedEof`]
+/// when the server closes the connection before answering every request —
+/// the error names the expected and received line counts, so pipelined
+/// clients can tell a short batch from a complete one.
 pub fn query_batch(addr: &str, lines: &[String]) -> std::io::Result<Vec<String>> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = stream.try_clone()?;
-    let expected = lines.iter().filter(|l| !l.trim().is_empty()).count();
+    let mut expected = lines.iter().filter(|l| !l.trim().is_empty()).count();
     std::thread::scope(|scope| -> std::io::Result<Vec<String>> {
         let sender = scope.spawn(move || -> std::io::Result<()> {
             for line in lines {
@@ -546,12 +983,25 @@ pub fn query_batch(addr: &str, lines: &[String]) -> std::io::Result<Vec<String>>
         let reader = BufReader::new(&stream);
         let mut responses = Vec::with_capacity(expected);
         for line in reader.lines() {
-            responses.push(line?);
-            if responses.len() == expected {
+            let line = line?;
+            expected += points_follow(&line);
+            responses.push(line);
+            if responses.len() >= expected {
                 break;
             }
         }
-        sender.join().expect("sender thread panicked")?;
+        let sent = sender.join().expect("sender thread panicked");
+        if responses.len() < expected {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!(
+                    "server closed the connection mid-batch: expected {expected} response \
+                     line(s), received {}",
+                    responses.len()
+                ),
+            ));
+        }
+        sent?;
         Ok(responses)
     })
 }
@@ -665,6 +1115,38 @@ mod tests {
         }
     }
 
+    /// Parse errors recover the request's id with a lenient scan, so
+    /// pipelined clients can correlate failures (the old behavior
+    /// hardcoded `"id":0`).
+    #[test]
+    fn parse_errors_recover_the_request_id() {
+        let cache = EngineCache::new();
+        for (req, id) in [
+            // Truncated object, id first.
+            (r#"{"id":7,"op":"engine","engine":"#, 7),
+            // Truncated object, id later.
+            (r#"{"op":"engine","id": 12"#, 12),
+            // Nested value (rejected), id present.
+            (r#"{"id":31,"op":"engine","extra":{"nested":1}}"#, 31),
+            // Trailing garbage after a complete object.
+            (r#"{"id":5,"op":"roster"} trailing"#, 5),
+            // No id anywhere: the historical 0.
+            (r#"{"op":"engine""#, 0),
+            ("not json at all", 0),
+            // id is not a number: recovery cannot invent one.
+            (r#"{"id":"seven","op":"#, 0),
+        ] {
+            let (resp, down) = handle_line(req, &cache);
+            assert!(!down);
+            assert!(
+                resp.starts_with(&format!("{{\"id\":{id},\"ok\":false,")),
+                "{req} -> {resp}"
+            );
+        }
+        assert_eq!(recover_id(r#"{"id":  42 ,"op":"x"#), 42);
+        assert_eq!(recover_id(r#"{"id":-3,"op":"x"#), 0, "negative ids stay 0");
+    }
+
     /// The optional precision field reprices the engine and is reflected
     /// in the echoed label; omitting it is byte-identical to W8.
     #[test]
@@ -719,5 +1201,154 @@ mod tests {
         let (resp, down) = handle_line(r#"{"id":9,"op":"shutdown"}"#, &cache);
         assert!(down);
         assert!(resp.contains("\"op\":\"shutdown\""), "{resp}");
+    }
+
+    /// The parse-time shutdown predicate agrees with `handle_request`'s
+    /// `is_shutdown` on every line shape — what makes drain behavior
+    /// independent of pool timing.
+    #[test]
+    fn shutdown_predicate_matches_the_handler() {
+        let cache = EngineCache::new();
+        for line in [
+            r#"{"id":9,"op":"shutdown"}"#,
+            r#"{"op":"shutdown","id":9}"#,
+            r#"{"op":"shutdown"}"#,
+            // Mentions shutdown but is not a shutdown op.
+            r#"{"id":1,"op":"layer","engine":"OPT3[EN-T]","workload":"shutdown","m":1,"n":1,"k":1}"#,
+            r#"{"id":1,"op":"engine","engine":"shutdown"}"#,
+            // Malformed line mentioning shutdown.
+            r#"{"op":"shutdown""#,
+            "shutdown",
+        ] {
+            let (_, down) = handle_line(line, &cache);
+            assert_eq!(
+                is_shutdown_request(line),
+                down,
+                "predicate drifted from handler on {line:?}"
+            );
+        }
+    }
+
+    /// The stats op surfaces the accounting invariant fields.
+    #[test]
+    fn stats_op_reports_lookup_consistency_fields() {
+        let cache = EngineCache::new();
+        handle_line(
+            r#"{"id":1,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz"}"#,
+            &cache,
+        );
+        let (resp, _) = handle_line(r#"{"id":2,"op":"stats"}"#, &cache);
+        for field in [
+            "\"price_lookups\":",
+            "\"cycle_lookups\":",
+            "\"priced_entries\":",
+            "\"cycle_entries\":",
+        ] {
+            assert!(resp.contains(field), "{resp}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), stats.hits() + stats.misses());
+    }
+
+    /// Unknown ops list any extension names, and extensions can answer
+    /// with several enveloped lines per request.
+    #[test]
+    fn batch_ops_extensions_answer_multi_line() {
+        struct Echo3;
+        impl BatchOps for Echo3 {
+            fn handle(
+                &self,
+                op: &str,
+                fields: &Fields,
+                _cache: &EngineCache,
+            ) -> Option<Result<Vec<String>, String>> {
+                (op == "echo3").then(|| {
+                    let tag = fields.str("tag")?.to_string();
+                    Ok((0..3)
+                        .map(|i| format!("\"op\":\"echo3\",\"i\":{i},\"tag\":\"{tag}\""))
+                        .collect())
+                })
+            }
+            fn op_names(&self) -> &'static str {
+                "|echo3"
+            }
+        }
+        let cache = EngineCache::new();
+        let (lines, down) = handle_request(r#"{"id":4,"op":"echo3","tag":"t"}"#, &cache, &Echo3);
+        assert!(!down);
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with("{\"id\":4,\"ok\":true,"), "{line}");
+            assert!(line.contains(&format!("\"i\":{i}")), "{line}");
+        }
+        // Extension errors use the standard envelope.
+        let (err_lines, _) = handle_request(r#"{"id":4,"op":"echo3"}"#, &cache, &Echo3);
+        assert_eq!(err_lines.len(), 1);
+        assert!(
+            err_lines[0].contains("missing field `tag`"),
+            "{err_lines:?}"
+        );
+        // Unknown ops name the extensions.
+        let (unknown, _) = handle_request(r#"{"id":4,"op":"warp"}"#, &cache, &Echo3);
+        assert!(unknown[0].contains("|echo3"), "{unknown:?}");
+        // Without extensions the historical message is unchanged.
+        let (plain, _) = handle_request(r#"{"id":4,"op":"warp"}"#, &cache, &NoOps);
+        assert!(
+            plain[0].contains("(expected engine|layer|model|roster|stats|shutdown)"),
+            "{plain:?}"
+        );
+    }
+
+    #[test]
+    fn points_follow_scans_only_genuine_markers() {
+        assert_eq!(
+            points_follow(r#"{"id":1,"ok":true,"points_follow":21}"#),
+            21
+        );
+        assert_eq!(points_follow(r#"{"id":1,"ok":true,"points_follow":0}"#), 0);
+        assert_eq!(points_follow(r#"{"id":1,"ok":true}"#), 0);
+        // An escaped occurrence inside a string value does not match.
+        assert_eq!(
+            points_follow(r#"{"id":1,"ok":false,"error":"bad \"points_follow\": field"}"#),
+            0
+        );
+    }
+
+    #[test]
+    fn read_limited_line_enforces_the_cap() {
+        let data = b"short\nexactly8\nway too long line\nlast";
+        let mut reader = BufReader::new(&data[..]);
+        let line = |r: &mut BufReader<&[u8]>, max| match read_limited_line(r, max).unwrap() {
+            LineRead::Line(l) => l,
+            other => panic!(
+                "expected a line, got {}",
+                match other {
+                    LineRead::Eof => "eof",
+                    LineRead::TooLong { .. } => "too long",
+                    _ => "utf8 error",
+                }
+            ),
+        };
+        assert_eq!(line(&mut reader, 16), "short");
+        assert_eq!(line(&mut reader, 8), "exactly8", "max-length line passes");
+        match read_limited_line(&mut reader, 8).unwrap() {
+            LineRead::TooLong { partial } => assert_eq!(&partial, b"way too lo"),
+            _ => panic!("over-long line must be rejected"),
+        }
+        // A final line without a newline still reads (like `lines()`).
+        let mut tail = BufReader::new(&b"last"[..]);
+        assert_eq!(line(&mut tail, 16), "last");
+        assert!(matches!(
+            read_limited_line(&mut tail, 16).unwrap(),
+            LineRead::Eof
+        ));
+        // The limit excludes the terminator for CRLF lines too: exactly
+        // max content + "\r\n" passes, one more content byte does not.
+        let mut crlf = BufReader::new(&b"exactly8\r\nnowitsover\r\n"[..]);
+        assert_eq!(line(&mut crlf, 8), "exactly8");
+        assert!(matches!(
+            read_limited_line(&mut crlf, 8).unwrap(),
+            LineRead::TooLong { .. }
+        ));
     }
 }

@@ -1,22 +1,42 @@
 //! Socket-level integration and property tests for the serve layer:
 //! batched responses are byte-identical to sequential single-query
-//! responses, concurrent connections share the cache, and shutdown is
-//! clean.
+//! responses under the worker pool, concurrent connections share the
+//! cache consistently, mid-batch shutdown drains instead of dropping
+//! lines, short server batches surface as typed errors, and per-line
+//! limits are enforced.
 
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::thread::JoinHandle;
 
 use proptest::prelude::*;
-use tpe_engine::serve::{query_batch, serve, ServeOutcome};
+use tpe_engine::serve::{query_batch, serve_with, NoOps, ServeConfig, ServeOutcome};
 use tpe_engine::EngineCache;
 
-/// Binds an ephemeral server backed by the global cache; returns its
+/// A 4-worker pool even on the 1-core CI box: the pool there proves
+/// ordering (responses must reassemble in request order regardless of
+/// which worker finishes first), not speedup.
+fn pool_config() -> ServeConfig {
+    ServeConfig {
+        threads: 4,
+        ..ServeConfig::default()
+    }
+}
+
+/// Binds an ephemeral pooled server backed by `cache`; returns its
 /// address and the join handle resolving to the serve outcome.
-fn spawn_server() -> (String, JoinHandle<std::io::Result<ServeOutcome>>) {
+fn spawn_server_with(
+    cache: &'static EngineCache,
+    config: ServeConfig,
+) -> (String, JoinHandle<std::io::Result<ServeOutcome>>) {
     let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
     let addr = listener.local_addr().expect("addr").to_string();
-    let handle = std::thread::spawn(move || serve(listener, EngineCache::global()));
+    let handle = std::thread::spawn(move || serve_with(listener, cache, &NoOps, config));
     (addr, handle)
+}
+
+fn spawn_server() -> (String, JoinHandle<std::io::Result<ServeOutcome>>) {
+    spawn_server_with(EngineCache::global(), pool_config())
 }
 
 fn shutdown(addr: &str) {
@@ -72,13 +92,252 @@ fn batched_and_sequential_and_concurrent_replies_are_byte_identical() {
     let outcome = handle.join().unwrap().expect("serve loop");
     assert!(outcome.connections >= 10, "{outcome:?}");
     assert!(outcome.requests >= requests.len() as u64, "{outcome:?}");
+    assert_eq!(outcome.workers, 4, "{outcome:?}");
+}
+
+/// Satellite: N simultaneous client connections with mixed
+/// engine/layer/model/precision ops against one pooled server. Each
+/// client's responses must be byte-identical to its own sequential
+/// baseline, and the shared cache's counters must stay consistent
+/// (hits + misses == lookups) under the concurrent increments.
+#[test]
+fn concurrent_clients_match_their_sequential_baselines_and_stats_stay_consistent() {
+    // A dedicated instance so the consistency check sees exactly this
+    // test's traffic (leaked: the server thread wants 'static).
+    let cache: &'static EngineCache = &*Box::leak(Box::new(EngineCache::new()));
+    let (addr, handle) = spawn_server_with(cache, pool_config());
+
+    // Four clients, each with a distinct mixed batch across ops, engines
+    // and precisions (seeds differ per client so batches do not alias).
+    fn client_batch(c: usize) -> Vec<String> {
+        let engines = [
+            "OPT3[EN-T]/28nm@2.00GHz",
+            "OPT4E[EN-T]",
+            "OPT4C[EN-T]",
+            "MAC(Trapezoid)",
+        ];
+        let precisions = ["W8", "W4", "W16"];
+        (0..12)
+            .map(|i| {
+                let engine = engines[(c + i) % engines.len()];
+                match i % 4 {
+                    0 => format!(
+                        r#"{{"id":{i},"op":"engine","engine":"{engine}","precision":"{}"}}"#,
+                        precisions[(c + i) % precisions.len()]
+                    ),
+                    1 | 2 => format!(
+                        r#"{{"id":{i},"op":"layer","engine":"{engine}","m":{m},"n":64,"k":64,"seed":{s}}}"#,
+                        m = 16 + 8 * ((c + i) % 4),
+                        s = c
+                    ),
+                    _ => format!(
+                        r#"{{"id":{i},"op":"model","engine":"OPT4E[EN-T]","model":"ResNet18","seed":{c}}}"#
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    let concurrent: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let addr = addr.as_str();
+        let workers: Vec<_> = (0..4)
+            .map(|c| scope.spawn(move || query_batch(addr, &client_batch(c)).expect("client")))
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    for (c, replies) in concurrent.iter().enumerate() {
+        let baseline: Vec<String> = client_batch(c)
+            .iter()
+            .map(|r| {
+                query_batch(&addr, std::slice::from_ref(r))
+                    .expect("baseline")
+                    .pop()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(replies, &baseline, "client {c} diverged from its baseline");
+        assert!(
+            replies.iter().all(|r| r.contains("\"ok\":true")),
+            "client {c}: {replies:?}"
+        );
+    }
+
+    shutdown(&addr);
+    handle.join().unwrap().expect("serve loop");
+    // Quiescent now: every lookup must have been accounted exactly once.
+    let stats = cache.stats();
+    assert!(stats.lookups() > 0);
+    assert_eq!(
+        stats.lookups(),
+        stats.hits() + stats.misses(),
+        "cache accounting drifted under concurrency: {stats:?}"
+    );
+    assert_eq!(stats.price_lookups, stats.price_hits + stats.price_misses);
+    assert_eq!(stats.cycle_lookups, stats.cycle_hits + stats.cycle_misses);
+}
+
+/// Satellite: a shutdown in the middle of a batch answers the remaining
+/// lines with `server draining` errors (ids echoed) instead of leaving
+/// them unanswered, then the server comes down cleanly.
+#[test]
+fn mid_batch_shutdown_drains_the_remaining_lines() {
+    let cache: &'static EngineCache = &*Box::leak(Box::new(EngineCache::new()));
+    let (addr, handle) = spawn_server_with(cache, pool_config());
+    let batch: Vec<String> = vec![
+        r#"{"id":10,"op":"engine","engine":"OPT4E[EN-T]"}"#.into(),
+        r#"{"id":11,"op":"shutdown"}"#.into(),
+        r#"{"id":12,"op":"layer","engine":"OPT3[EN-T]","m":8,"n":8,"k":8}"#.into(),
+        "definitely not json".into(),
+        r#"{"id":14,"op":"roster"}"#.into(),
+    ];
+    let replies = query_batch(&addr, &batch).expect("batch with mid-batch shutdown");
+    assert_eq!(
+        replies.len(),
+        batch.len(),
+        "every line answered: {replies:?}"
+    );
+    assert!(replies[0].contains("\"ok\":true"), "{}", replies[0]);
+    assert!(replies[1].contains("\"op\":\"shutdown\""), "{}", replies[1]);
+    for (reply, id) in [(&replies[2], 12), (&replies[3], 0), (&replies[4], 14)] {
+        assert!(
+            reply.starts_with(&format!("{{\"id\":{id},\"ok\":false")),
+            "{reply}"
+        );
+        assert!(reply.contains("server draining"), "{reply}");
+    }
+    let outcome = handle.join().unwrap().expect("serve loop");
+    assert_eq!(outcome.requests, batch.len() as u64, "{outcome:?}");
+}
+
+/// A shutdown stops the listener the moment it is parsed: a client that
+/// sends shutdown but holds its connection open cannot postpone it, and
+/// new connections are refused while the holdout drains.
+#[test]
+fn shutdown_stops_the_listener_before_the_connection_closes() {
+    let cache: &'static EngineCache = &*Box::leak(Box::new(EngineCache::new()));
+    let (addr, handle) = spawn_server_with(cache, pool_config());
+
+    let mut holdout = std::net::TcpStream::connect(&addr).expect("connect");
+    holdout
+        .write_all(b"{\"id\":1,\"op\":\"shutdown\"}\n")
+        .expect("send shutdown");
+    let mut reply = String::new();
+    BufReader::new(holdout.try_clone().expect("clone"))
+        .read_line(&mut reply)
+        .expect("shutdown reply");
+    assert!(reply.contains("\"op\":\"shutdown\""), "{reply}");
+
+    // The holdout is still open, yet the listener must go down promptly.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        match std::net::TcpStream::connect(&addr) {
+            Err(_) => break,
+            Ok(_) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "listener still accepting while a shutdown holdout is open"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    }
+
+    drop(holdout);
+    let outcome = handle.join().unwrap().expect("serve loop");
+    assert!(outcome.requests >= 1, "{outcome:?}");
+}
+
+/// Satellite: when the server dies before answering every line,
+/// `query_batch` returns a typed error naming expected vs. received
+/// counts instead of silently handing back a short vector.
+#[test]
+fn short_server_batches_error_with_expected_vs_received_counts() {
+    // A fake listener that answers exactly one line, then closes.
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        // Read a line so the client is committed, answer once, drop.
+        let mut line = String::new();
+        BufReader::new(stream.try_clone().expect("clone"))
+            .read_line(&mut line)
+            .expect("read");
+        stream
+            .write_all(b"{\"id\":0,\"ok\":true,\"op\":\"roster\",\"engines\":[]}\n")
+            .expect("write");
+        // Dropping the stream closes the connection mid-batch.
+    });
+    let requests: Vec<String> = (0..3)
+        .map(|i| format!(r#"{{"id":{i},"op":"roster"}}"#))
+        .collect();
+    let err = query_batch(&addr, &requests).expect_err("short batch must error");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains("expected 3"), "{msg}");
+    assert!(msg.contains("received 1"), "{msg}");
+    fake.join().unwrap();
+}
+
+/// Over-long request lines are answered with an error (id recovered from
+/// the readable prefix) and the connection closes; the server survives.
+#[test]
+fn over_long_lines_are_rejected_and_the_server_survives() {
+    let cache: &'static EngineCache = &*Box::leak(Box::new(EngineCache::new()));
+    let config = ServeConfig {
+        threads: 2,
+        max_line_bytes: 256,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = spawn_server_with(cache, config);
+
+    let long = format!(
+        r#"{{"id":77,"op":"layer","engine":"OPT3[EN-T]","workload":"{}","m":8,"n":8,"k":8}}"#,
+        "x".repeat(400)
+    );
+    let replies = query_batch(&addr, &[long]).expect("one error line before close");
+    assert_eq!(replies.len(), 1);
+    assert!(
+        replies[0].starts_with("{\"id\":77,\"ok\":false"),
+        "id recovered from the prefix: {}",
+        replies[0]
+    );
+    assert!(
+        replies[0].contains("max line bytes (256)"),
+        "{}",
+        replies[0]
+    );
+
+    // A short line on a fresh connection still answers: the limit is
+    // per-connection, not fatal to the server.
+    let ok = query_batch(&addr, &[r#"{"id":1,"op":"roster"}"#.to_string()]).expect("short line");
+    assert!(ok[0].contains("\"ok\":true"), "{}", ok[0]);
+
+    // Invalid UTF-8 after a readable prefix: the error echoes the
+    // recovered id from the ASCII part.
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    raw.write_all(b"{\"id\":9,\"op\":\"engine\",\"engine\":\"\xff\xfe\"}\n")
+        .expect("write");
+    raw.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut reply = String::new();
+    BufReader::new(&raw).read_line(&mut reply).expect("reply");
+    assert!(
+        reply.starts_with("{\"id\":9,\"ok\":false"),
+        "id recovered from the readable prefix: {reply}"
+    );
+    assert!(reply.contains("not valid UTF-8"), "{reply}");
+
+    shutdown(&addr);
+    handle.join().unwrap().expect("serve loop");
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Property: for arbitrary layer-query batches, the batched replies
-    /// equal the per-connection sequential replies byte for byte.
+    /// Property: for arbitrary layer-query batches evaluated across the
+    /// worker pool, the batched replies equal the per-connection
+    /// sequential replies byte for byte (pipelining reassembles in
+    /// request order; per-request determinism does the rest).
     #[test]
     fn arbitrary_layer_batches_are_batch_order_invariant(
         shapes in prop::collection::vec(
