@@ -85,6 +85,18 @@ fn scenarios() -> Vec<Scenario> {
     vec![
         price_cold(Precision::W8),
         price_cached(Precision::W8),
+        (
+            // The tpe-obs overhead pin: identical to `price_cached` minus
+            // the per-call counter increment. The delta between the two
+            // medians is the instrumentation cost of the warm path.
+            "price_cached_uninstr",
+            Box::new(|| {
+                let price = Evaluator::new(warm)
+                    .price_uninstrumented(&serial_spec())
+                    .unwrap();
+                black_box(price.area_um2)
+            }),
+        ),
         price_cold(Precision::W4),
         price_cached(Precision::W4),
         price_cold(Precision::W16),

@@ -145,10 +145,22 @@ pub fn commands() -> Vec<Command> {
             |a| fallible(exp::query(a))
         ),
         cmd!(
+            "metrics",
+            "[--host H] --port N [--format json|prometheus]",
+            "Client: fetch an observability snapshot from a serve instance",
+            |a| fallible(exp::metrics(a))
+        ),
+        cmd!(
             "serve-smoke",
             "[--queries N] [--threads N] [--out F.json]",
-            "Self-driving load smoke: mixed batch incl. sweep/pareto, latency percentiles",
+            "Self-driving load smoke: mixed batch incl. sweep/pareto, client+server latency views",
             |a| fallible(exp::serve_smoke(a))
+        ),
+        cmd!(
+            "profile",
+            "[--quick] [--seed S] [--out F.json]",
+            "Cold/warm per-stage evaluation profile from the tpe-obs histograms",
+            |a| fallible(exp::profile(a))
         ),
         cmd!("all", "", "Every experiment in paper order", |_| {
             CliOutcome::Ok(exp::all())

@@ -6,6 +6,7 @@ mod dse;
 mod figures;
 mod models;
 mod notation_demo;
+mod profile;
 mod schemes;
 mod serve;
 mod tables;
@@ -16,8 +17,9 @@ pub use dse::dse;
 pub use figures::{fig14, fig3, fig9, sync_model};
 pub use models::models;
 pub use notation_demo::notation;
+pub use profile::profile;
 pub use schemes::{fig2_schemes, sweep_precision, sweep_width};
-pub use serve::{query, serve, serve_smoke, smoke_batch};
+pub use serve::{metrics, query, serve, serve_smoke, smoke_batch};
 pub use tables::{table1, table2, table3, table5, table7};
 pub use workload_figs::{fig11, fig12, fig13};
 

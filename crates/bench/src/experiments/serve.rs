@@ -1,5 +1,6 @@
-//! The `repro serve` / `repro query` / `repro serve-smoke` commands: the
-//! batched NDJSON query front end over the canonical evaluation stack.
+//! The `repro serve` / `repro query` / `repro metrics` /
+//! `repro serve-smoke` commands: the batched NDJSON query front end over
+//! the canonical evaluation stack.
 //!
 //! `serve` binds a TCP listener and answers engine/layer/model evaluation
 //! queries plus `tpe-dse`'s server-side `sweep`/`pareto` batch ops
@@ -7,14 +8,17 @@
 //! [`tpe_dse::serve_ops`]) until a `shutdown` request arrives; requests
 //! pipeline across a bounded worker pool (`--threads`) and all
 //! connections share the process-wide [`EngineCache`]. `query` is the
-//! matching client. `serve-smoke` is the self-driving load test: it spins
-//! a pooled server thread over a dedicated cache instance (so the
-//! measured hit rate is a property of the batch alone, give or take
-//! cold-key races between pool workers),
+//! matching client; `metrics` fetches one observability snapshot (JSON or
+//! Prometheus text) from a running server. `serve-smoke` is the
+//! self-driving load test: it spins a pooled server thread over a
+//! dedicated cache instance (so the measured hit rate is a property of
+//! the batch alone, give or take cold-key races between pool workers),
 //! fires a mixed 1000-query batch (sweep/pareto ops included), verifies
 //! the batched responses byte-identical to sequential single-query
-//! replies, and reports throughput, sequential-replay latency
-//! percentiles and the cache hit rate (optionally as JSON via `--out`).
+//! replies, cross-checks the server's own `tpe-obs` request accounting
+//! and eval-latency histogram against the client-side replay, and
+//! reports throughput, both latency views and the cache hit rate
+//! (optionally as JSON via `--out`).
 
 use std::fmt::Write as _;
 use std::io::{BufRead, Write as _};
@@ -23,13 +27,16 @@ use std::time::{Duration, Instant};
 
 /// Below this batch size the >90% hit-rate bar is not enforced: a short
 /// cold batch is dominated by first-touch misses, which says nothing
-/// about steady-state serving (the property the bar guards).
+/// about steady-state serving (the property the bar guards). The
+/// server-vs-client latency cross-check gates on the same floor: tiny
+/// batches are connect-overhead noise.
 const HIT_RATE_MIN_QUERIES: usize = 500;
 
 use tpe_dse::space::default_workloads;
 use tpe_dse::{DseOps, SweepWorkload};
-use tpe_engine::serve::{query_batch, serve_with, ServeConfig};
+use tpe_engine::serve::{parse_flat_object, query_batch, serve_with, JsonValue, ServeConfig};
 use tpe_engine::{roster, CacheStats, EngineCache};
+use tpe_obs::HistogramSnapshot;
 
 /// Minimal flag parser shared by the three commands.
 fn parse_flags(args: &[String], spec: &[(&str, bool)]) -> Result<Vec<Option<String>>, String> {
@@ -112,7 +119,7 @@ fn try_serve(args: &[String]) -> Result<String, String> {
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
     println!(
         "repro serve listening on {addr} ({} worker(s), max line {} bytes; NDJSON; \
-         ops: engine|layer|model|roster|stats|sweep|pareto|shutdown)",
+         ops: engine|layer|metrics|model|roster|stats|sweep|pareto|shutdown)",
         config.effective_threads(),
         config.max_line_bytes,
     );
@@ -207,6 +214,112 @@ fn try_query(args: &[String]) -> Result<String, String> {
     let responses =
         query_batch(&format!("{host}:{port}"), &requests).map_err(|e| format!("query: {e}"))?;
     Ok(responses.join("\n") + "\n")
+}
+
+/// Fetches one observability snapshot from a running server
+/// (`repro metrics [--host H] --port N [--format json|prometheus]`).
+/// The default prints the server's flat-JSON `metrics` reply verbatim;
+/// `--format prometheus` unwraps the `text` field into the plain
+/// Prometheus exposition, ready to pipe into a scrape file.
+pub fn metrics(args: &[String]) -> String {
+    match try_metrics(args) {
+        Ok(report) => report,
+        Err(msg) => format!(
+            "error: {msg}\nusage: repro metrics [--host H] --port N [--format json|prometheus]\n"
+        ),
+    }
+}
+
+fn try_metrics(args: &[String]) -> Result<String, String> {
+    let values = parse_flags(
+        args,
+        &[("--host", false), ("--port", true), ("--format", false)],
+    )?;
+    let host = values[0].clone().unwrap_or_else(|| "127.0.0.1".into());
+    let port: u16 = parse_num(values[1].as_deref().unwrap(), "--port")?;
+    let format = values[2].as_deref().unwrap_or("json");
+    let request = match format {
+        "json" => r#"{"id":0,"op":"metrics"}"#.to_string(),
+        "prometheus" => r#"{"id":0,"op":"metrics","format":"prometheus"}"#.to_string(),
+        other => {
+            return Err(format!(
+                "unknown format `{other}` (expected json|prometheus)"
+            ))
+        }
+    };
+    let reply = query_batch(&format!("{host}:{port}"), std::slice::from_ref(&request))
+        .map_err(|e| format!("metrics query: {e}"))?
+        .pop()
+        .ok_or("empty metrics reply")?;
+    if !reply.contains("\"ok\":true") {
+        return Err(format!("metrics request failed: {reply}"));
+    }
+    if format == "prometheus" {
+        // parse_flat_object undoes the wire's \u-escaping, so the `text`
+        // field comes back as the plain multi-line exposition.
+        let map = parse_flat_object(&reply).map_err(|e| format!("metrics reply: {e}"))?;
+        match map.get("text") {
+            Some(JsonValue::Str(text)) => Ok(text.clone()),
+            _ => Err(format!("metrics reply carries no text field: {reply}")),
+        }
+    } else {
+        Ok(reply + "\n")
+    }
+}
+
+/// One parsed `metrics`-op reply: the server's own request accounting,
+/// readable by name.
+struct WireMetrics(std::collections::BTreeMap<String, JsonValue>);
+
+impl WireMetrics {
+    /// Polls `addr` once. The poll itself goes through the pool, but the
+    /// snapshot is taken before the serving worker records it — so a
+    /// fetched snapshot never includes its own request.
+    fn fetch(addr: &str) -> Result<Self, String> {
+        let reply = query_batch(addr, &[r#"{"id":0,"op":"metrics"}"#.to_string()])
+            .map_err(|e| format!("metrics poll: {e}"))?
+            .pop()
+            .ok_or("empty metrics reply")?;
+        if !reply.contains("\"ok\":true") {
+            return Err(format!("metrics poll failed: {reply}"));
+        }
+        parse_flat_object(&reply)
+            .map(Self)
+            .map_err(|e| format!("metrics reply: {e}"))
+    }
+
+    /// A `ctr_<name>` counter value (0 when the metric is not yet
+    /// registered — nothing recorded into it either).
+    fn counter(&self, name: &str) -> u64 {
+        match self.0.get(&format!("ctr_{name}")) {
+            Some(JsonValue::Num(v)) => *v as u64,
+            _ => 0,
+        }
+    }
+
+    /// Rebuilds a `hist_<name>_*` family into a [`HistogramSnapshot`]
+    /// (the wire trims trailing zero buckets; `from_parts` re-pads).
+    fn histogram(&self, name: &str) -> Result<HistogramSnapshot, String> {
+        let num = |suffix: &str| -> Result<u64, String> {
+            match self.0.get(&format!("hist_{name}_{suffix}")) {
+                Some(JsonValue::Num(v)) => Ok(*v as u64),
+                _ => Err(format!("metrics reply lacks hist_{name}_{suffix}")),
+            }
+        };
+        let buckets = match self.0.get(&format!("hist_{name}_buckets")) {
+            Some(JsonValue::Str(csv)) if csv.is_empty() => Vec::new(),
+            Some(JsonValue::Str(csv)) => csv
+                .split(',')
+                .map(|c| c.parse::<u64>().map_err(|e| format!("hist_{name}: {e}")))
+                .collect::<Result<_, _>>()?,
+            _ => return Err(format!("metrics reply lacks hist_{name}_buckets")),
+        };
+        Ok(HistogramSnapshot::from_parts(
+            buckets,
+            num("sum")?,
+            num("max")?,
+        ))
+    }
 }
 
 /// The deterministic mixed query batch the smoke fires: engine pricing
@@ -320,6 +433,19 @@ impl LatencySummary {
             max_us: *samples.last().unwrap(),
         }
     }
+
+    /// Percentiles from a windowed server-side nanosecond histogram:
+    /// each quantile is the log2 bucket's upper bound (≤2× the true
+    /// order statistic); `max` is the histogram's all-time max, an upper
+    /// bound on the window's.
+    fn from_ns_window(w: &HistogramSnapshot) -> Self {
+        Self {
+            p50_us: w.quantile(0.50) as f64 / 1e3,
+            p90_us: w.quantile(0.90) as f64 / 1e3,
+            p99_us: w.quantile(0.99) as f64 / 1e3,
+            max_us: w.max as f64 / 1e3,
+        }
+    }
 }
 
 /// Everything the smoke's drive phase measures.
@@ -331,6 +457,17 @@ struct SmokeMeasurement {
     /// `sweep`/`pareto` requests the fired batch contained (0 for
     /// batches too short to reach a slice-op index).
     slice_ops: usize,
+    /// Server-side per-request eval latency over the drive window, from
+    /// the `serve_eval_ns` histogram via the `metrics` op.
+    server_latency: LatencySummary,
+    /// Point/slice op requests the server counted over the drive window
+    /// (must be exactly batch + replay = 2 × queries).
+    counted_ops: u64,
+    /// `serve_eval_ns` records over the window (the 2 × queries drive
+    /// plus the opening `metrics` poll itself).
+    eval_records: u64,
+    /// `serve_queue_wait_ns` records over the window (same expectation).
+    queue_records: u64,
 }
 
 /// The self-driving load smoke
@@ -431,6 +568,36 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
     .unwrap();
     writeln!(
         out,
+        "server-side eval latency (metrics op, log2-bucket resolution): \
+         p50 {:.0} µs, p90 {:.0} µs, p99 {:.0} µs, max {:.0} µs",
+        m.server_latency.p50_us,
+        m.server_latency.p90_us,
+        m.server_latency.p99_us,
+        m.server_latency.max_us,
+    )
+    .unwrap();
+    let expected_ops = 2 * queries as u64;
+    let accounting_ok = m.counted_ops == expected_ops
+        && m.eval_records == expected_ops + 1
+        && m.queue_records == expected_ops + 1;
+    writeln!(
+        out,
+        "server-side accounting: {} point/slice ops counted (expected {}), \
+         {} eval / {} queue-wait records (expected {} incl. the opening metrics poll) — {}",
+        m.counted_ops,
+        expected_ops,
+        m.eval_records,
+        m.queue_records,
+        expected_ops + 1,
+        if accounting_ok {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        },
+    )
+    .unwrap();
+    writeln!(
+        out,
         "batched vs sequential replies: {} / {} byte-identical",
         queries - m.divergences,
         queries
@@ -458,7 +625,10 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
              \"throughput_qps\": {:.1},\n  \"batch_ms\": {:.3},\n  \
              \"hit_rate\": {:.4},\n  \"hits\": {},\n  \"misses\": {},\n  \
              \"lookups_consistent\": {},\n  \"divergences\": {},\n  \
+             \"server_accounting_consistent\": {accounting_ok},\n  \
              \"latency_us\": {{\"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \
+             \"max\": {:.1}}},\n  \
+             \"latency_us_server\": {{\"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \
              \"max\": {:.1}}}\n}}\n",
             outcome.workers,
             qps,
@@ -472,6 +642,10 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
             m.latency.p90_us,
             m.latency.p99_us,
             m.latency.max_us,
+            m.server_latency.p50_us,
+            m.server_latency.p90_us,
+            m.server_latency.p99_us,
+            m.server_latency.max_us,
         );
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         writeln!(out, "latency-percentile summary written to {path}").unwrap();
@@ -497,6 +671,21 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
             m.delta.misses()
         ));
     }
+    if !accounting_ok {
+        return Err(format!(
+            "server-side metrics accounting diverged from the drive\n{out}"
+        ));
+    }
+    // Cross-check the two latency views: the server-side eval p50 omits
+    // connect/socket overhead, so it must sit at or below the client
+    // replay p50 — within the histogram's ≤2× bucket resolution. Gated
+    // like the hit-rate bar: tiny batches are all connect noise.
+    if queries >= HIT_RATE_MIN_QUERIES && m.server_latency.p50_us > m.latency.p50_us * 2.0 {
+        return Err(format!(
+            "server-side p50 {:.0} µs exceeds 2x the client replay p50 {:.0} µs\n{out}",
+            m.server_latency.p50_us, m.latency.p50_us
+        ));
+    }
     Ok(out)
 }
 
@@ -514,6 +703,10 @@ fn drive_smoke(
         .iter()
         .filter(|r| r.contains("\"op\":\"sweep\"") || r.contains("\"op\":\"pareto\""))
         .count();
+    // Opening metrics poll: the server snapshots *before* recording the
+    // poll itself, so this window base excludes it — the drive window
+    // then covers exactly (this poll) + batch + replay.
+    let obs_before = WireMetrics::fetch(addr)?;
     let before = cache.stats();
     let start = Instant::now();
     let batched = query_batch(addr, &batch).map_err(|e| format!("batch: {e}"))?;
@@ -546,12 +739,34 @@ fn drive_smoke(
             divergences += 1;
         }
     }
+
+    // Closing poll: workers record each request before replying, so with
+    // every replay response read, the after-snapshot must already cover
+    // the full 2 × queries drive.
+    let obs_after = WireMetrics::fetch(addr)?;
+    let counted_ops = ["engine", "layer", "model", "sweep", "pareto"]
+        .iter()
+        .map(|op| {
+            let name = format!("serve_op_{op}");
+            obs_after.counter(&name) - obs_before.counter(&name)
+        })
+        .sum();
+    let eval_window = obs_after
+        .histogram("serve_eval_ns")?
+        .since(&obs_before.histogram("serve_eval_ns")?);
+    let queue_window = obs_after
+        .histogram("serve_queue_wait_ns")?
+        .since(&obs_before.histogram("serve_queue_wait_ns")?);
     Ok(SmokeMeasurement {
         elapsed,
         delta,
         divergences,
         latency: LatencySummary::from_samples(samples),
         slice_ops,
+        server_latency: LatencySummary::from_ns_window(&eval_window),
+        counted_ops,
+        eval_records: eval_window.count(),
+        queue_records: queue_window.count(),
     })
 }
 
@@ -648,13 +863,24 @@ mod tests {
             report.contains("sequential-replay latency: p50"),
             "{report}"
         );
+        assert!(
+            report.contains("server-side eval latency (metrics op"),
+            "{report}"
+        );
+        assert!(
+            report.contains("2000 point/slice ops counted (expected 2000)"),
+            "{report}"
+        );
+        assert!(report.contains("— consistent"), "{report}");
         assert!(report.contains("4 pool worker(s)"), "{report}");
         let json = std::fs::read_to_string(&out_path).unwrap();
         for field in [
             "\"throughput_qps\"",
             "\"latency_us\"",
+            "\"latency_us_server\"",
             "\"p99\"",
             "\"lookups_consistent\": true",
+            "\"server_accounting_consistent\": true",
             "\"divergences\": 0",
         ] {
             assert!(json.contains(field), "{json}");
@@ -662,11 +888,30 @@ mod tests {
         let _ = std::fs::remove_file(&out_path);
     }
 
+    /// The wire-histogram helper rebuilds a snapshot a `metrics` reply
+    /// carries: trimmed bucket CSV re-padded, quantiles usable.
+    #[test]
+    fn wire_metrics_rebuilds_histograms_and_counters() {
+        // Two samples ~500 ns (bucket 9) and one 1500 ns (bucket 11).
+        let reply = r#"{"id":0,"ok":true,"op":"metrics","uptime_ms":5,"ctr_serve_op_layer":7,"hist_serve_eval_ns_count":3,"hist_serve_eval_ns_sum":2500,"hist_serve_eval_ns_max":1500,"hist_serve_eval_ns_p50":511,"hist_serve_eval_ns_p90":1500,"hist_serve_eval_ns_p99":1500,"hist_serve_eval_ns_buckets":"0,0,0,0,0,0,0,0,0,2,0,1"}"#;
+        let wire = WireMetrics(parse_flat_object(reply).unwrap());
+        assert_eq!(wire.counter("serve_op_layer"), 7);
+        assert_eq!(wire.counter("serve_op_sweep"), 0, "absent counters read 0");
+        let h = wire.histogram("serve_eval_ns").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum, 2500);
+        assert_eq!(h.quantile(0.5), 511, "log2 bucket upper bound");
+        assert_eq!(h.quantile(0.99), 1500, "capped by the tracked max");
+        assert!(wire.histogram("no_such_hist").is_err());
+    }
+
     #[test]
     fn bad_flags_render_usage() {
         assert!(serve_smoke(&args(&["--bogus", "1"])).contains("usage:"));
         assert!(serve_smoke(&args(&["--queries", "0"])).contains("usage:"));
         assert!(query(&args(&[])).contains("usage:"), "--port is required");
+        assert!(metrics(&args(&[])).contains("usage:"), "--port is required");
+        assert!(metrics(&args(&["--port", "1", "--format", "xml"])).contains("usage:"));
         assert!(serve(&args(&["--port", "notaport"])).contains("usage:"));
         assert!(serve(&args(&["--threads", "x"])).contains("usage:"));
         assert!(serve(&args(&["--max-line-bytes", "0"])).contains("usage:"));

@@ -36,8 +36,11 @@
 //! single cheap-to-send request cannot pin a pool worker on an unbounded
 //! evaluation.
 
+use std::sync::{Arc, OnceLock};
+
 use tpe_engine::serve::{json_escape, BatchOps, Fields, DEFAULT_SEED};
 use tpe_engine::EngineCache;
+use tpe_obs::{Counter, Histogram, Registry};
 
 use crate::emit::{point_csv_row, CSV_HEADER};
 use crate::eval::PointResult;
@@ -90,6 +93,26 @@ impl SliceOp {
     }
 }
 
+/// Process-wide metrics for the slice-shaped ops: the wall-clock of one
+/// slice evaluation (`dse_slice_eval_ns`, cold or warm — the serve
+/// layer's `metrics` op exposes the distribution) and the total design
+/// points evaluated over the wire (`dse_slice_points`).
+struct DseObs {
+    slice_eval_ns: Arc<Histogram>,
+    slice_points: Arc<Counter>,
+}
+
+fn dse_obs() -> &'static DseObs {
+    static OBS: OnceLock<DseObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = Registry::global();
+        DseObs {
+            slice_eval_ns: reg.histogram("dse_slice_eval_ns"),
+            slice_points: reg.counter("dse_slice_points"),
+        }
+    })
+}
+
 /// The default per-request slice-size cap: generous enough for the full
 /// default space (2016 points), small enough that one request cannot pin
 /// a pool worker on an unbounded evaluation. Requests may raise it
@@ -109,7 +132,11 @@ fn slice_op(fields: &Fields, cache: &EngineCache, op: SliceOp) -> Result<Vec<Str
     let include_points = fields.bool_or("points", op.points_by_default())?;
     let max_points = fields.uint_or("max_points", DEFAULT_MAX_POINTS as u64)? as usize;
 
-    let results = evaluate_slice(&filter, model.as_deref(), seed, Some(max_points), cache)?;
+    let obs = dse_obs();
+    let results = obs
+        .slice_eval_ns
+        .time(|| evaluate_slice(&filter, model.as_deref(), seed, Some(max_points), cache))?;
+    obs.slice_points.add(results.len() as u64);
     let front = pareto_front_per_workload(&results, &objectives);
     let feasible = results.iter().filter(|r| r.feasible()).count();
     let objective_names: Vec<&str> = objectives.iter().map(|o| o.name()).collect();

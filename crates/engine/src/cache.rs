@@ -29,7 +29,7 @@
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::{Mutex, OnceLock, RwLock};
 
 use tpe_arith::encode::EncodingKind;
 use tpe_arith::Precision;
@@ -323,6 +323,10 @@ pub struct EngineCache {
     cycle_misses: AtomicU64,
     price_lookups: AtomicU64,
     cycle_lookups: AtomicU64,
+    /// Counter levels at the last [`Self::window_delta`] call — the
+    /// observation window the serve `stats` op reports per-window rates
+    /// over.
+    last_window: Mutex<CacheStats>,
 }
 
 impl Default for EngineCache {
@@ -337,6 +341,7 @@ impl Default for EngineCache {
             cycle_misses: AtomicU64::new(0),
             price_lookups: AtomicU64::new(0),
             cycle_lookups: AtomicU64::new(0),
+            last_window: Mutex::new(CacheStats::default()),
         }
     }
 }
@@ -448,6 +453,19 @@ impl EngineCache {
             price_lookups: self.price_lookups.load(Ordering::Relaxed),
             cycle_lookups: self.cycle_lookups.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counter deltas since the previous `window_delta` call (the full
+    /// totals on the first), then resets the window — so a long-running
+    /// server polling this sees per-window rates rather than
+    /// ever-growing totals. The window is advanced under a mutex, so
+    /// concurrent pollers each get a disjoint slice of the counters.
+    pub fn window_delta(&self) -> CacheStats {
+        let mut last = self.last_window.lock().expect("cache window poisoned");
+        let now = self.stats();
+        let delta = now.since(&last);
+        *last = now;
+        delta
     }
 
     /// Number of distinct PE/corner pairs priced.
@@ -576,6 +594,21 @@ mod tests {
         assert_eq!((delta.price_hits, delta.price_misses), (1, 1));
         assert_eq!(delta.hits() + delta.misses(), 2);
         assert_eq!(delta.lookups(), 2, "deltas keep the lookup invariant");
+    }
+
+    #[test]
+    fn window_delta_advances_and_resets() {
+        let cache = EngineCache::new();
+        cache.pe_record(key(1000), || Some(record()));
+        cache.pe_record(key(1000), || unreachable!());
+        let w1 = cache.window_delta();
+        assert_eq!((w1.price_hits, w1.price_misses), (1, 1));
+        let w2 = cache.window_delta();
+        assert_eq!(w2, CacheStats::default(), "nothing between polls");
+        cache.pe_record(key(1000), || unreachable!());
+        let w3 = cache.window_delta();
+        assert_eq!((w3.price_hits, w3.price_misses), (1, 0));
+        assert_eq!(w3.lookups(), 1, "window keeps the lookup invariant");
     }
 
     /// The derived price layer keeps the accounting invariant: every

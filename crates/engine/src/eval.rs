@@ -11,8 +11,11 @@
 //! deterministic functions of (engine, workload, seed), so any two paths
 //! that ask the same question get byte-identical answers.
 
+use std::sync::{Arc, OnceLock};
+
 use tpe_core::arch::{ArchKind, ArrayModel};
 use tpe_cost::process::{scale_area_um2, scale_power_w, ProcessNode};
+use tpe_obs::{Counter, Histogram, Registry};
 use tpe_workloads::NetworkModel;
 
 #[cfg(doc)]
@@ -29,6 +32,43 @@ use crate::workload::SweepWorkload;
 /// on quantized-normal INT8 data (the serial peak-throughput divisor),
 /// plus the width-generic variant behind the precision axis.
 pub use tpe_core::arch::workload::{effective_numpps, effective_numpps_at};
+
+/// Handles to the evaluator's process-wide stage metrics, resolved once
+/// from [`Registry::global`] (see [`eval_obs`]). The cold stages —
+/// synthesis, price assembly, serial-cycle sampling, model scheduling —
+/// get span timers *inside* their miss closures, so warm (cached) paths
+/// pay nothing beyond one relaxed counter increment.
+pub(crate) struct EvalObs {
+    /// `eval_synthesis_ns`: PE synthesis + node scaling (cold only).
+    pub synthesis_ns: Arc<Histogram>,
+    /// `eval_price_assemble_ns`: full engine-price assembly (cold only).
+    pub price_assemble_ns: Arc<Histogram>,
+    /// `eval_serial_sample_ns`: one serial-cycle sampling run (cold only).
+    pub serial_sample_ns: Arc<Histogram>,
+    /// `eval_model_schedule_ns`: one whole-model schedule (includes its
+    /// per-layer sampling, cold or warm).
+    pub model_schedule_ns: Arc<Histogram>,
+    /// `eval_price_calls`: total [`Evaluator::price`] calls, hot or cold.
+    pub price_calls: Arc<Counter>,
+    /// `eval_metrics_calls`: total [`Evaluator::metrics`] calls.
+    pub metrics_calls: Arc<Counter>,
+}
+
+/// The process-wide evaluator metric handles (registered on first use).
+pub(crate) fn eval_obs() -> &'static EvalObs {
+    static OBS: OnceLock<EvalObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = Registry::global();
+        EvalObs {
+            synthesis_ns: reg.histogram("eval_synthesis_ns"),
+            price_assemble_ns: reg.histogram("eval_price_assemble_ns"),
+            serial_sample_ns: reg.histogram("eval_serial_sample_ns"),
+            model_schedule_ns: reg.histogram("eval_model_schedule_ns"),
+            price_calls: reg.counter("eval_price_calls"),
+            metrics_calls: reg.counter("eval_metrics_calls"),
+        }
+    })
+}
 
 /// The objective vector of one feasible (engine, workload) evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +129,7 @@ impl<'c> Evaluator<'c> {
     pub fn pe_record(&self, spec: &EngineSpec) -> Option<PeRecord> {
         let key = PeKey::of(spec);
         self.cache.pe_record(key, || {
+            let _span = eval_obs().synthesis_ns.span();
             let design = match spec.kind {
                 ArchKind::Dense(_) => spec.arch_model().pe_design_for(spec.precision),
                 ArchKind::Serial => spec
@@ -135,8 +176,18 @@ impl<'c> Evaluator<'c> {
     /// effective-NumPPs arithmetic runs once per engine per process, so a
     /// warm price query is a single sharded map read.
     pub fn price(&self, spec: &EngineSpec) -> Option<EnginePrice> {
+        eval_obs().price_calls.inc();
+        self.price_uninstrumented(spec)
+    }
+
+    /// [`Self::price`] without the call counter — the criterion baseline
+    /// that pins the instrumentation overhead of the warm path. Not part
+    /// of the public API surface.
+    #[doc(hidden)]
+    pub fn price_uninstrumented(&self, spec: &EngineSpec) -> Option<EnginePrice> {
         let key = crate::cache::PriceKey::of(spec);
         self.cache.engine_price(key, || {
+            let _span = eval_obs().price_assemble_ns.span();
             let record = self.pe_record(spec)?;
             Some(EnginePrice::from_record(
                 spec,
@@ -161,6 +212,7 @@ impl<'c> Evaluator<'c> {
         workload: &SweepWorkload,
         seed: u64,
     ) -> Option<Metrics> {
+        eval_obs().metrics_calls.inc();
         let price = self.price(spec)?;
 
         let freq = spec.freq_ghz;

@@ -42,7 +42,9 @@
 //! * [`schedule`] / [`report`] — layer tiling onto array geometries and
 //!   the per-layer/end-to-end report schema.
 //! * [`serve`] — the `repro serve` protocol: a std-only TCP/NDJSON batch
-//!   query server over the global cache.
+//!   query server over the global cache, instrumented end to end with
+//!   `tpe-obs` metrics ([`serve::ServeObs`]) and exposing them through
+//!   its `metrics` op (JSON snapshot or Prometheus text exposition).
 //!
 //! ## Quickstart
 //!

@@ -120,6 +120,7 @@ pub fn cached_serial_cycles(
     let caps = caps_for_layer(spec, layer, caps);
     let key = CycleKey::of(spec, layer, seed, caps);
     cache.serial_record(key, || {
+        let _span = crate::eval::eval_obs().serial_sample_ns.span();
         let cfg = serial_config(spec);
         let encoder = spec.encoding.encoder();
         let stats = sample_serial_cycles(
@@ -247,6 +248,7 @@ pub fn evaluate_model_with(
     seed: u64,
     caps: SerialSampleCaps,
 ) -> ModelReport {
+    let _span = crate::eval::eval_obs().model_schedule_ns.span();
     let layers: Vec<LayerReport> = net
         .layers
         .iter()

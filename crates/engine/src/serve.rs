@@ -15,7 +15,9 @@
 //! {"id":4,"op":"engine","engine":"OPT4E[EN-T]","precision":"W4"}
 //! {"id":5,"op":"roster"}
 //! {"id":6,"op":"stats"}
-//! {"id":7,"op":"shutdown"}
+//! {"id":7,"op":"metrics"}
+//! {"id":8,"op":"metrics","format":"prometheus"}
+//! {"id":9,"op":"shutdown"}
 //! ```
 //!
 //! The `engine`/`layer`/`model` ops accept an optional `"precision"`
@@ -55,6 +57,24 @@
 //! batch converges to all-hit steady state no matter how clients shard
 //! their queries.
 //!
+//! ## Observability
+//!
+//! Every run records into a [`ServeObs`] bundle of `tpe-obs` metrics
+//! (the process-wide registry by default; [`serve_with_obs`] takes an
+//! isolated one for exact-count tests): per-op request counters,
+//! queue-wait vs evaluation latency histograms, an in-flight gauge, and
+//! counters for drained / over-long / non-UTF-8 / unparseable lines.
+//! The `metrics` op snapshots the registry — with the serving cache's
+//! counters folded in — as a flat JSON object, or as Prometheus text
+//! exposition with `"format":"prometheus"`. Histograms travel as log2
+//! bucket-count CSVs, so clients can diff two snapshots and compute
+//! windowed percentiles server-side data alone. The `stats` op
+//! additionally reports `since_*` cache-counter deltas over its own
+//! polling window plus process uptime (minus an optional caller-supplied
+//! monotonic `origin`). Both ops are stateful views of a running server,
+//! so — unlike every evaluation op — their bytes are not replayable;
+//! they are deliberately excluded from the byte-identity properties.
+//!
 //! ## Limits and lifecycle
 //!
 //! Request lines longer than [`ServeConfig::max_line_bytes`] are answered
@@ -72,8 +92,10 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::time::Instant;
 
+use tpe_obs::{Counter, Gauge, Histogram, Registry};
 use tpe_workloads::{LayerShape, NetworkModel};
 
 use crate::cache::EngineCache;
@@ -541,11 +563,17 @@ fn respond(
         }
         "stats" => {
             let s = cache.stats();
+            let w = cache.window_delta();
+            let origin = fields.uint_or("origin", 0)?;
             one(format!(
                 "\"op\":\"stats\",\"price_hits\":{},\"price_misses\":{},\
                  \"cycle_hits\":{},\"cycle_misses\":{},\"hit_rate\":{:.4},\
                  \"price_lookups\":{},\"cycle_lookups\":{},\
-                 \"priced_entries\":{},\"cycle_entries\":{}",
+                 \"priced_entries\":{},\"cycle_entries\":{},\
+                 \"since_price_hits\":{},\"since_price_misses\":{},\
+                 \"since_cycle_hits\":{},\"since_cycle_misses\":{},\
+                 \"since_price_lookups\":{},\"since_cycle_lookups\":{},\
+                 \"since_hit_rate\":{:.4},\"uptime_ms\":{}",
                 s.price_hits,
                 s.price_misses,
                 s.cycle_hits,
@@ -554,19 +582,85 @@ fn respond(
                 s.price_lookups,
                 s.cycle_lookups,
                 cache.priced_len(),
-                cache.cycles_len()
+                cache.cycles_len(),
+                w.price_hits,
+                w.price_misses,
+                w.cycle_hits,
+                w.cycle_misses,
+                w.price_lookups,
+                w.cycle_lookups,
+                w.hit_rate(),
+                tpe_obs::uptime_ms().saturating_sub(origin)
             ))
+        }
+        "metrics" => {
+            let mut snap = Registry::global().snapshot();
+            let s = cache.stats();
+            snap.set_counter("cache_price_hits", s.price_hits);
+            snap.set_counter("cache_price_misses", s.price_misses);
+            snap.set_counter("cache_cycle_hits", s.cycle_hits);
+            snap.set_counter("cache_cycle_misses", s.cycle_misses);
+            snap.set_counter("cache_price_lookups", s.price_lookups);
+            snap.set_counter("cache_cycle_lookups", s.cycle_lookups);
+            snap.set_gauge("cache_priced_entries", cache.priced_len() as i64);
+            snap.set_gauge("cache_cycle_entries", cache.cycles_len() as i64);
+            match fields.opt_str("format")? {
+                Some("prometheus") => one(format!(
+                    "\"op\":\"metrics\",\"format\":\"prometheus\",\"text\":\"{}\"",
+                    json_escape(&snap.render_prometheus("tpe"))
+                )),
+                None | Some("json") => one(metrics_snapshot_body(&snap)),
+                Some(other) => Err(format!(
+                    "unknown metrics format `{other}` (expected json|prometheus)"
+                )),
+            }
         }
         "shutdown" => Ok((vec!["\"op\":\"shutdown\"".into()], true)),
         other => match ops.handle(other, fields, cache) {
             Some(Ok(bodies)) => Ok((bodies, false)),
             Some(Err(e)) => Err(e),
             None => Err(format!(
-                "unknown op `{other}` (expected engine|layer|model|roster|stats|shutdown{})",
+                "unknown op `{other}` (expected engine|layer|metrics|model|roster|stats|shutdown{})",
                 ops.op_names()
             )),
         },
     }
+}
+
+/// Renders a registry snapshot as the `metrics` op's flat JSON body:
+/// `ctr_<name>` / `gauge_<name>` scalars plus, per histogram,
+/// `hist_<name>_{count,sum,max,p50,p90,p99}` and the raw log2 bucket
+/// counts as a trailing-zero-trimmed CSV string (`hist_<name>_buckets`) —
+/// enough for a client to rebuild the [`tpe_obs::HistogramSnapshot`] and
+/// diff two polls into windowed percentiles.
+fn metrics_snapshot_body(snap: &tpe_obs::Snapshot) -> String {
+    let mut body = format!("\"op\":\"metrics\",\"uptime_ms\":{}", tpe_obs::uptime_ms());
+    for (name, v) in snap.counters() {
+        body.push_str(&format!(",\"ctr_{name}\":{v}"));
+    }
+    for (name, v) in snap.gauges() {
+        body.push_str(&format!(",\"gauge_{name}\":{v}"));
+    }
+    for (name, h) in snap.histograms() {
+        let trimmed = h.buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+        let csv = h.buckets[..trimmed]
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        body.push_str(&format!(
+            ",\"hist_{name}_count\":{},\"hist_{name}_sum\":{},\"hist_{name}_max\":{},\
+             \"hist_{name}_p50\":{},\"hist_{name}_p90\":{},\"hist_{name}_p99\":{},\
+             \"hist_{name}_buckets\":\"{csv}\"",
+            h.count(),
+            h.sum,
+            h.max,
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99)
+        ));
+    }
+    body
 }
 
 /// Resolves the request's engine: the `engine` label (which may itself
@@ -598,6 +692,101 @@ fn metrics_body(m: &crate::Metrics) -> String {
         m.utilization,
         m.power_w
     )
+}
+
+/// Ops with dedicated `serve_op_<name>` request counters, in name order.
+/// Anything else — unknown ops, a missing `op` field, unparseable lines —
+/// counts under `serve_op_other`.
+pub const COUNTED_OPS: [&str; 9] = [
+    "engine", "layer", "metrics", "model", "pareto", "roster", "shutdown", "stats", "sweep",
+];
+
+/// Shared handles to the serve layer's metrics, resolved once per run.
+///
+/// Workers record per-op counters and the queue-wait/eval histograms
+/// *before* sending each reply toward the socket — so a `metrics`
+/// response never includes its own request, and a client that has read
+/// a response knows the counters already cover it. Hot-path cost is a
+/// handful of relaxed atomic RMWs per request (plus one re-parse of the
+/// request line for op classification, trivial next to socket I/O).
+#[derive(Debug)]
+pub struct ServeObs {
+    /// `serve_op_<name>` request counters, indexed as [`COUNTED_OPS`].
+    pub op_requests: [Arc<Counter>; COUNTED_OPS.len()],
+    /// `serve_op_other`: pool-processed requests with an unknown or
+    /// missing op, or an unparseable line.
+    pub other_requests: Arc<Counter>,
+    /// `serve_queue_wait_ns`: submit → worker-pickup latency.
+    pub queue_wait_ns: Arc<Histogram>,
+    /// `serve_eval_ns`: per-request worker evaluation time.
+    pub eval_ns: Arc<Histogram>,
+    /// `serve_inflight`: requests submitted to the pool, not yet answered.
+    pub inflight: Arc<Gauge>,
+    /// `serve_connections`: connections accepted.
+    pub connections: Arc<Counter>,
+    /// `serve_drained_requests`: lines answered `server draining` after a
+    /// shutdown request in the same batch.
+    pub drained_requests: Arc<Counter>,
+    /// `serve_overlong_lines`: lines over [`ServeConfig::max_line_bytes`].
+    pub overlong_lines: Arc<Counter>,
+    /// `serve_utf8_errors`: request lines that were not valid UTF-8.
+    pub utf8_errors: Arc<Counter>,
+    /// `serve_parse_errors`: pool-processed lines that failed JSON
+    /// parsing (a subset of `serve_op_other`).
+    pub parse_errors: Arc<Counter>,
+}
+
+impl ServeObs {
+    /// Registers (or re-resolves) the serve metrics in `registry`.
+    pub fn in_registry(registry: &Registry) -> Self {
+        Self {
+            op_requests: std::array::from_fn(|i| {
+                registry.counter(&format!("serve_op_{}", COUNTED_OPS[i]))
+            }),
+            other_requests: registry.counter("serve_op_other"),
+            queue_wait_ns: registry.histogram("serve_queue_wait_ns"),
+            eval_ns: registry.histogram("serve_eval_ns"),
+            inflight: registry.gauge("serve_inflight"),
+            connections: registry.counter("serve_connections"),
+            drained_requests: registry.counter("serve_drained_requests"),
+            overlong_lines: registry.counter("serve_overlong_lines"),
+            utf8_errors: registry.counter("serve_utf8_errors"),
+            parse_errors: registry.counter("serve_parse_errors"),
+        }
+    }
+
+    /// The process-wide instance, over [`Registry::global`].
+    pub fn global() -> &'static ServeObs {
+        static OBS: OnceLock<ServeObs> = OnceLock::new();
+        OBS.get_or_init(|| ServeObs::in_registry(Registry::global()))
+    }
+
+    /// The request counter for one of the [`COUNTED_OPS`], if listed.
+    pub fn op_counter(&self, op: &str) -> Option<&Counter> {
+        COUNTED_OPS
+            .iter()
+            .position(|o| *o == op)
+            .map(|i| &*self.op_requests[i])
+    }
+
+    /// Classifies one request line into its per-op counter (parse errors
+    /// also tick `serve_parse_errors`).
+    fn record_op(&self, line: &str) {
+        let known = match parse_flat_object(line) {
+            Ok(map) => match map.get("op") {
+                Some(JsonValue::Str(op)) => COUNTED_OPS.iter().position(|o| o == op),
+                _ => None,
+            },
+            Err(_) => {
+                self.parse_errors.inc();
+                None
+            }
+        };
+        match known {
+            Some(i) => self.op_requests[i].inc(),
+            None => self.other_requests.inc(),
+        }
+    }
 }
 
 /// Operational limits and pool sizing for one [`serve_with`] run.
@@ -646,11 +835,13 @@ pub struct ServeOutcome {
 }
 
 /// One pipelined request: the raw line, its position in the connection's
-/// response order, and the channel its responses return on.
+/// response order, the channel its responses return on, and its
+/// submission instant (queue-wait = submit → worker pickup).
 struct Job {
     line: String,
     seq: u64,
     reply: mpsc::Sender<Reply>,
+    submitted: Instant,
 }
 
 /// (sequence number, response lines).
@@ -674,6 +865,20 @@ pub fn serve_with(
     ops: &dyn BatchOps,
     config: ServeConfig,
 ) -> std::io::Result<ServeOutcome> {
+    serve_with_obs(listener, cache, ops, config, ServeObs::global())
+}
+
+/// [`serve_with`], recording into an explicit [`ServeObs`] bundle instead
+/// of the process-wide one — exact-count metric tests hand an isolated
+/// [`Registry`]'s handles here so parallel test binaries cannot pollute
+/// each other's counters.
+pub fn serve_with_obs(
+    listener: TcpListener,
+    cache: &EngineCache,
+    ops: &dyn BatchOps,
+    config: ServeConfig,
+    obs: &ServeObs,
+) -> std::io::Result<ServeOutcome> {
     let local = listener.local_addr()?;
     let workers = config.effective_threads();
     let shutdown = AtomicBool::new(false);
@@ -689,13 +894,28 @@ pub fn serve_with(
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let job = job_rx.lock().expect("serve pool poisoned").recv();
-                let Ok(Job { line, seq, reply }) = job else {
+                let Ok(Job {
+                    line,
+                    seq,
+                    reply,
+                    submitted,
+                }) = job
+                else {
                     break;
                 };
                 // Shutdown is signaled by the connection reader at parse
                 // time (see `handle_connection`), so the worker only
                 // evaluates and answers.
+                obs.queue_wait_ns.record_duration(submitted.elapsed());
+                let eval_start = Instant::now();
                 let (lines, _) = handle_request(&line, cache, ops);
+                // All metrics for this request land before its reply can
+                // reach the socket: a client that has read response N
+                // knows the counters cover requests 1..=N (and a
+                // `metrics` snapshot taken mid-eval excludes itself).
+                obs.eval_ns.record_duration(eval_start.elapsed());
+                obs.record_op(&line);
+                obs.inflight.dec();
                 // The connection may already be gone; its writer dropping
                 // the receiver is the cancellation signal.
                 let _ = reply.send((seq, lines));
@@ -716,6 +936,7 @@ pub fn serve_with(
                 }
             };
             connections.fetch_add(1, Ordering::Relaxed);
+            obs.connections.inc();
             let (shutdown, requests, pool) = (&shutdown, &requests, job_tx.clone());
             scope.spawn(move || {
                 // Fired by the reader the moment it *parses* a shutdown
@@ -728,7 +949,7 @@ pub fn serve_with(
                     // Wake the accept loop so it observes the flag.
                     let _ = TcpStream::connect(local);
                 };
-                handle_connection(&stream, &pool, config, requests, &notify_shutdown);
+                handle_connection(&stream, &pool, config, requests, obs, &notify_shutdown);
             });
         }
         // Close the socket now: connections the kernel would otherwise
@@ -808,6 +1029,7 @@ fn handle_connection(
     pool: &mpsc::Sender<Job>,
     config: ServeConfig,
     requests: &AtomicU64,
+    obs: &ServeObs,
     notify_shutdown: &dyn Fn(),
 ) {
     let Ok(writer_stream) = stream.try_clone() else {
@@ -833,6 +1055,7 @@ fn handle_connection(
                     // best-effort id from the prefix) and close.
                     let id = recover_id(&String::from_utf8_lossy(&partial));
                     requests.fetch_add(1, Ordering::Relaxed);
+                    obs.overlong_lines.inc();
                     answer_inline((
                         seq,
                         vec![error_line(
@@ -850,6 +1073,7 @@ fn handle_connection(
                     // the readable ASCII prefix.
                     let id = recover_id(&String::from_utf8_lossy(&bytes));
                     requests.fetch_add(1, Ordering::Relaxed);
+                    obs.utf8_errors.inc();
                     answer_inline((seq, vec![error_line(id, "request line is not valid UTF-8")]));
                     break;
                 }
@@ -866,6 +1090,7 @@ fn handle_connection(
                             // batch.
                             break;
                         }
+                        obs.drained_requests.inc();
                         if !answer_inline((
                             seq,
                             vec![error_line(request_id(&line), "server draining")],
@@ -892,8 +1117,11 @@ fn handle_connection(
                             line,
                             seq,
                             reply: reply_tx.clone(),
+                            submitted: Instant::now(),
                         };
+                        obs.inflight.inc();
                         if pool.send(job).is_err() {
+                            obs.inflight.dec();
                             break;
                         }
                     }
@@ -1250,6 +1478,110 @@ mod tests {
         assert_eq!(stats.lookups(), stats.hits() + stats.misses());
     }
 
+    /// The stats op reports per-window `since_*` deltas over its own
+    /// polling cadence, plus uptime relative to a caller-supplied origin.
+    #[test]
+    fn stats_op_windows_cache_deltas_between_polls() {
+        let cache = EngineCache::new();
+        let num = |resp: &str, field: &str| -> u64 {
+            let needle = format!("\"{field}\":");
+            let tail = &resp[resp.find(&needle).expect(field) + needle.len()..];
+            tail[..tail
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(tail.len())]
+                .parse()
+                .expect(field)
+        };
+        handle_line(
+            r#"{"id":1,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz"}"#,
+            &cache,
+        );
+        let (first, _) = handle_line(r#"{"id":2,"op":"stats"}"#, &cache);
+        assert_eq!(num(&first, "since_price_misses"), 1, "{first}");
+        assert_eq!(
+            num(&first, "since_price_lookups"),
+            num(&first, "price_lookups"),
+            "first window covers everything: {first}"
+        );
+        // Nothing between polls → an all-zero window, totals unchanged.
+        let (second, _) = handle_line(r#"{"id":3,"op":"stats"}"#, &cache);
+        assert_eq!(num(&second, "since_price_lookups"), 0, "{second}");
+        assert_eq!(
+            num(&second, "price_lookups"),
+            num(&first, "price_lookups"),
+            "{second}"
+        );
+        // A warm repeat lands one hit in the next window only.
+        handle_line(
+            r#"{"id":4,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz"}"#,
+            &cache,
+        );
+        let (third, _) = handle_line(r#"{"id":5,"op":"stats"}"#, &cache);
+        assert_eq!(num(&third, "since_price_hits"), 1, "{third}");
+        assert_eq!(num(&third, "since_price_misses"), 0, "{third}");
+        // Uptime subtracts the caller's monotonic origin, saturating.
+        let up = num(&third, "uptime_ms");
+        let far_future = 1u64 << 52; // ~143k years in ms, within the 2^53 field cap
+        let (offset, _) = handle_line(
+            &format!(r#"{{"id":6,"op":"stats","origin":{far_future}}}"#),
+            &cache,
+        );
+        assert_eq!(num(&offset, "uptime_ms"), 0, "{offset}");
+        let (rel, _) = handle_line(r#"{"id":7,"op":"stats","origin":0}"#, &cache);
+        assert!(num(&rel, "uptime_ms") >= up, "{rel}");
+    }
+
+    /// The metrics op folds the serving cache's counters into the registry
+    /// snapshot, and histograms round-trip through the bucket CSV.
+    #[test]
+    fn metrics_op_snapshots_registry_and_cache() {
+        let cache = EngineCache::new();
+        handle_line(
+            r#"{"id":1,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz"}"#,
+            &cache,
+        );
+        let (resp, down) = handle_line(r#"{"id":2,"op":"metrics"}"#, &cache);
+        assert!(!down);
+        assert!(
+            resp.starts_with("{\"id\":2,\"ok\":true,\"op\":\"metrics\""),
+            "{resp}"
+        );
+        for field in [
+            "\"uptime_ms\":",
+            "\"ctr_cache_price_hits\":0",
+            "\"ctr_cache_price_misses\":1",
+            "\"ctr_cache_price_lookups\":1",
+            "\"gauge_cache_priced_entries\":1",
+            "\"gauge_cache_cycle_entries\":0",
+        ] {
+            assert!(resp.contains(field), "missing {field} in {resp}");
+        }
+        // The global eval instrumentation shows up as histograms with the
+        // full wire shape (count/sum/max/quantiles/buckets).
+        for field in [
+            "\"hist_eval_synthesis_ns_count\":",
+            "\"hist_eval_synthesis_ns_p50\":",
+            "\"hist_eval_synthesis_ns_buckets\":\"",
+        ] {
+            assert!(resp.contains(field), "missing {field} in {resp}");
+        }
+        // The prometheus variant renders text exposition, escaped.
+        let (prom, _) = handle_line(r#"{"id":3,"op":"metrics","format":"prometheus"}"#, &cache);
+        assert!(prom.contains("\"format\":\"prometheus\""), "{prom}");
+        assert!(
+            prom.contains("# TYPE tpe_cache_price_hits counter"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("\\u000a"),
+            "exposition newlines are escaped: {prom}"
+        );
+        // Unknown formats error without shutting down.
+        let (bad, down) = handle_line(r#"{"id":4,"op":"metrics","format":"xml"}"#, &cache);
+        assert!(!down);
+        assert!(bad.contains("unknown metrics format"), "{bad}");
+    }
+
     /// Unknown ops list any extension names, and extensions can answer
     /// with several enveloped lines per request.
     #[test]
@@ -1291,10 +1623,10 @@ mod tests {
         // Unknown ops name the extensions.
         let (unknown, _) = handle_request(r#"{"id":4,"op":"warp"}"#, &cache, &Echo3);
         assert!(unknown[0].contains("|echo3"), "{unknown:?}");
-        // Without extensions the historical message is unchanged.
+        // Without extensions the built-in op list is pinned.
         let (plain, _) = handle_request(r#"{"id":4,"op":"warp"}"#, &cache, &NoOps);
         assert!(
-            plain[0].contains("(expected engine|layer|model|roster|stats|shutdown)"),
+            plain[0].contains("(expected engine|layer|metrics|model|roster|stats|shutdown)"),
             "{plain:?}"
         );
     }

@@ -10,8 +10,11 @@ use std::net::TcpListener;
 use std::thread::JoinHandle;
 
 use proptest::prelude::*;
-use tpe_engine::serve::{query_batch, serve_with, NoOps, ServeConfig, ServeOutcome};
+use tpe_engine::serve::{
+    query_batch, serve_with, serve_with_obs, NoOps, ServeConfig, ServeObs, ServeOutcome,
+};
 use tpe_engine::EngineCache;
+use tpe_obs::Registry;
 
 /// A 4-worker pool even on the 1-core CI box: the pool there proves
 /// ordering (responses must reassemble in request order regardless of
@@ -95,6 +98,38 @@ fn batched_and_sequential_and_concurrent_replies_are_byte_identical() {
     assert_eq!(outcome.workers, 4, "{outcome:?}");
 }
 
+/// One client's distinct mixed batch across ops, engines and precisions
+/// (seeds differ per client so batches do not alias): per client of the
+/// four, 3 `engine`, 6 `layer`, and 3 `model` requests.
+fn client_batch(c: usize) -> Vec<String> {
+    let engines = [
+        "OPT3[EN-T]/28nm@2.00GHz",
+        "OPT4E[EN-T]",
+        "OPT4C[EN-T]",
+        "MAC(Trapezoid)",
+    ];
+    let precisions = ["W8", "W4", "W16"];
+    (0..12)
+        .map(|i| {
+            let engine = engines[(c + i) % engines.len()];
+            match i % 4 {
+                0 => format!(
+                    r#"{{"id":{i},"op":"engine","engine":"{engine}","precision":"{}"}}"#,
+                    precisions[(c + i) % precisions.len()]
+                ),
+                1 | 2 => format!(
+                    r#"{{"id":{i},"op":"layer","engine":"{engine}","m":{m},"n":64,"k":64,"seed":{s}}}"#,
+                    m = 16 + 8 * ((c + i) % 4),
+                    s = c
+                ),
+                _ => format!(
+                    r#"{{"id":{i},"op":"model","engine":"OPT4E[EN-T]","model":"ResNet18","seed":{c}}}"#
+                ),
+            }
+        })
+        .collect()
+}
+
 /// Satellite: N simultaneous client connections with mixed
 /// engine/layer/model/precision ops against one pooled server. Each
 /// client's responses must be byte-identical to its own sequential
@@ -106,37 +141,6 @@ fn concurrent_clients_match_their_sequential_baselines_and_stats_stay_consistent
     // test's traffic (leaked: the server thread wants 'static).
     let cache: &'static EngineCache = &*Box::leak(Box::new(EngineCache::new()));
     let (addr, handle) = spawn_server_with(cache, pool_config());
-
-    // Four clients, each with a distinct mixed batch across ops, engines
-    // and precisions (seeds differ per client so batches do not alias).
-    fn client_batch(c: usize) -> Vec<String> {
-        let engines = [
-            "OPT3[EN-T]/28nm@2.00GHz",
-            "OPT4E[EN-T]",
-            "OPT4C[EN-T]",
-            "MAC(Trapezoid)",
-        ];
-        let precisions = ["W8", "W4", "W16"];
-        (0..12)
-            .map(|i| {
-                let engine = engines[(c + i) % engines.len()];
-                match i % 4 {
-                    0 => format!(
-                        r#"{{"id":{i},"op":"engine","engine":"{engine}","precision":"{}"}}"#,
-                        precisions[(c + i) % precisions.len()]
-                    ),
-                    1 | 2 => format!(
-                        r#"{{"id":{i},"op":"layer","engine":"{engine}","m":{m},"n":64,"k":64,"seed":{s}}}"#,
-                        m = 16 + 8 * ((c + i) % 4),
-                        s = c
-                    ),
-                    _ => format!(
-                        r#"{{"id":{i},"op":"model","engine":"OPT4E[EN-T]","model":"ResNet18","seed":{c}}}"#
-                    ),
-                }
-            })
-            .collect()
-    }
 
     let concurrent: Vec<Vec<String>> = std::thread::scope(|scope| {
         let addr = addr.as_str();
@@ -175,6 +179,101 @@ fn concurrent_clients_match_their_sequential_baselines_and_stats_stay_consistent
     );
     assert_eq!(stats.price_lookups, stats.price_hits + stats.price_misses);
     assert_eq!(stats.cycle_lookups, stats.cycle_hits + stats.cycle_misses);
+}
+
+/// Pulls `"key":value` out of a one-line JSON reply as a u64.
+fn field_u64(reply: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\":");
+    let start = reply
+        .find(&tag)
+        .unwrap_or_else(|| panic!("{key} in {reply}"))
+        + tag.len();
+    reply[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} numeric in {reply}"))
+}
+
+/// Satellite: the observability layer's own accounting under a mixed
+/// 4-client load. Into an isolated registry (so parallel test binaries
+/// cannot pollute the counts): per-op request counters sum to the total
+/// pool-processed requests, the queue-wait and eval histograms saw
+/// exactly one record per request, the in-flight gauge returns to zero,
+/// and the serving cache's hits + misses == lookups invariant holds as
+/// reported over the wire by the `metrics` op.
+#[test]
+fn observability_counters_stay_consistent_under_concurrent_load() {
+    let cache: &'static EngineCache = &*Box::leak(Box::new(EngineCache::new()));
+    let registry: &'static Registry = &*Box::leak(Box::new(Registry::new()));
+    let obs: &'static ServeObs = &*Box::leak(Box::new(ServeObs::in_registry(registry)));
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let handle =
+        std::thread::spawn(move || serve_with_obs(listener, cache, &NoOps, pool_config(), obs));
+
+    // 4 clients × 12 mixed requests, concurrently.
+    std::thread::scope(|scope| {
+        let addr = addr.as_str();
+        for c in 0..4 {
+            scope.spawn(move || {
+                let replies = query_batch(addr, &client_batch(c)).expect("client");
+                assert!(replies.iter().all(|r| r.contains("\"ok\":true")));
+            });
+        }
+    });
+
+    // Workers record metrics *before* replying, so with all 48 client
+    // replies read, a metrics poll now must already cover them. Its
+    // cache counters come from the serving instance, so the invariant
+    // check over the wire is exact.
+    let metrics = query_batch(&addr, &[r#"{"id":1,"op":"metrics"}"#.to_string()])
+        .expect("metrics")
+        .pop()
+        .unwrap();
+    for kind in ["price", "cycle"] {
+        assert_eq!(
+            field_u64(&metrics, &format!("ctr_cache_{kind}_lookups")),
+            field_u64(&metrics, &format!("ctr_cache_{kind}_hits"))
+                + field_u64(&metrics, &format!("ctr_cache_{kind}_misses")),
+            "{kind} accounting drifted over the wire: {metrics}"
+        );
+    }
+    assert!(
+        field_u64(&metrics, "ctr_cache_price_lookups") > 0,
+        "{metrics}"
+    );
+
+    shutdown(&addr);
+    handle.join().unwrap().expect("serve loop");
+
+    // Quiescent: 48 client requests + 1 metrics + 1 shutdown went
+    // through the pool. Every one was classified into exactly one op
+    // counter and recorded in both latency histograms.
+    let total = 4 * 12 + 2;
+    let counted: u64 = obs.op_requests.iter().map(|c| c.get()).sum();
+    assert_eq!(counted + obs.other_requests.get(), total);
+    assert_eq!(obs.other_requests.get(), 0);
+    assert_eq!(obs.parse_errors.get(), 0);
+    for (op, want) in [
+        ("engine", 4 * 3),
+        ("layer", 4 * 6),
+        ("model", 4 * 3),
+        ("metrics", 1),
+        ("shutdown", 1),
+    ] {
+        assert_eq!(
+            obs.op_counter(op).expect("counted op").get(),
+            want,
+            "op {op}"
+        );
+    }
+    assert_eq!(obs.queue_wait_ns.snapshot().count(), total);
+    assert_eq!(obs.eval_ns.snapshot().count(), total);
+    assert_eq!(obs.inflight.get(), 0, "in-flight gauge must return to 0");
+    // 4 client connections + the metrics poll + the shutdown.
+    assert_eq!(obs.connections.get(), 6);
 }
 
 /// Satellite: a shutdown in the middle of a batch answers the remaining

@@ -31,6 +31,9 @@
 //!   Table VII roster, the process-wide concurrent cache, the single
 //!   evaluator every consumer shares, and the `repro serve` NDJSON batch
 //!   query protocol.
+//! * [`obs`] — std-only observability: atomic counters/gauges, log2
+//!   latency histograms, a process-wide metric registry and scoped span
+//!   timers, surfaced through the serve `metrics` op and `repro profile`.
 //! * [`pipeline`] — the model-level scheduling pipeline: whole networks
 //!   from the layer database run end-to-end (img2col tiling → per-layer
 //!   cycle/energy models → aggregated latency, TOPS/W and utilization) on
@@ -63,6 +66,7 @@ pub use tpe_core as core;
 pub use tpe_cost as cost;
 pub use tpe_dse as dse;
 pub use tpe_engine as engine;
+pub use tpe_obs as obs;
 pub use tpe_pipeline as pipeline;
 pub use tpe_sim as sim;
 pub use tpe_workloads as workloads;
