@@ -16,7 +16,9 @@ use tpe_arith::encode::EncodingKind;
 use tpe_arith::Precision;
 use tpe_core::arch::PeStyle;
 use tpe_engine::schedule::cached_serial_cycles;
-use tpe_engine::{EngineCache, EngineSpec, Evaluator, SampleProfile, SweepWorkload};
+use tpe_engine::{
+    CycleModel, EngineCache, EngineSpec, Evaluator, SampleProfile, SerialSampleCaps, SweepWorkload,
+};
 use tpe_sim::array::ClassicArch;
 use tpe_workloads::LayerShape;
 
@@ -121,6 +123,23 @@ fn scenarios() -> Vec<Scenario> {
             "serial_cycles_cached",
             Box::new(move || {
                 let rec = cached_serial_cycles(warm, &serial_spec(), &probe_layer(), 42, caps);
+                black_box(rec.cycles)
+            }),
+        ),
+        (
+            // The closed-form replacement for `serial_cycles_cold`: same
+            // cold cache, same probe layer, `--cycle-model analytic`. The
+            // ratio between the two cold medians is the headline speedup
+            // of this cycle model (CI pins it at ≥ 50×).
+            "serial_cycles_cold_analytic",
+            Box::new(move || {
+                let cache = EngineCache::new();
+                let analytic_caps = SerialSampleCaps {
+                    model: CycleModel::Analytic,
+                    ..caps
+                };
+                let rec =
+                    cached_serial_cycles(&cache, &serial_spec(), &probe_layer(), 42, analytic_caps);
                 black_box(rec.cycles)
             }),
         ),

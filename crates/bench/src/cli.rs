@@ -122,19 +122,19 @@ pub fn commands() -> Vec<Command> {
         }),
         cmd!(
             "dse",
-            "[--filter S[,precision=W4]] [--objectives a,b,..] [--model S|all] [--precision W4,W8,..] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
+            "[--filter S[,precision=W4]] [--objectives a,b,..] [--model S|all] [--precision W4,W8,..] [--cycle-model sampled|analytic] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
             "Design-space sweep + Pareto front (tpe-dse)",
             |a| fallible(exp::dse(a))
         ),
         cmd!(
             "models",
-            "[--model S] [--arch S] [--precision W4|W8|W16|W8xW4] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
+            "[--model S] [--arch S] [--precision W4|W8|W16|W8xW4] [--cycle-model sampled|analytic] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
             "Model-level grid: every network x the engine roster",
             |a| fallible(exp::models(a))
         ),
         cmd!(
             "serve",
-            "[--port N] [--threads N] [--max-line-bytes N]",
+            "[--port N] [--threads N] [--max-line-bytes N] [--cycle-model sampled|analytic]",
             "TCP/NDJSON batch query server (worker pool, sweep/pareto ops, global cache)",
             |a| fallible(exp::serve(a))
         ),
@@ -158,7 +158,7 @@ pub fn commands() -> Vec<Command> {
         ),
         cmd!(
             "profile",
-            "[--quick] [--seed S] [--out F.json]",
+            "[--quick] [--seed S] [--cycle-model sampled|analytic] [--out F.json]",
             "Cold/warm per-stage evaluation profile from the tpe-obs histograms",
             |a| fallible(exp::profile(a))
         ),

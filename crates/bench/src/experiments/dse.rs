@@ -22,7 +22,8 @@ use std::fmt::Write as _;
 
 use tpe_dse::emit::{to_csv, to_json};
 use tpe_dse::{
-    pareto_front_per_workload, sweep, sweep_with_cache, EngineCache, Objective, SweepConfig,
+    pareto_front_per_workload, sweep, sweep_with_cache, CycleModel, EngineCache, Objective,
+    SweepConfig,
 };
 
 /// Parsed CLI options for the sweep.
@@ -33,6 +34,7 @@ struct DseOptions {
     precisions: Option<Vec<tpe_dse::Precision>>,
     threads: usize,
     seed: u64,
+    cycle_model: CycleModel,
     out_csv: Option<String>,
     out_json: Option<String>,
 }
@@ -61,6 +63,7 @@ fn parse_options(args: &[String]) -> Result<DseOptions, String> {
         precisions: None,
         threads: 0,
         seed: 42,
+        cycle_model: CycleModel::Sampled,
         out_csv: None,
         out_json: None,
     };
@@ -86,6 +89,11 @@ fn parse_options(args: &[String]) -> Result<DseOptions, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--cycle-model" => {
+                let v = value("--cycle-model")?;
+                opts.cycle_model = CycleModel::parse(&v)
+                    .ok_or_else(|| format!("unknown cycle model `{v}` (sampled|analytic)"))?;
+            }
             "--out" => opts.out_csv = Some(value("--out")?),
             "--json" => opts.out_json = Some(value("--json")?),
             other => return Err(format!("unknown flag `{other}`")),
@@ -106,8 +114,8 @@ pub fn dse(args: &[String]) -> String {
         Err(msg) => format!(
             "error: {msg}\nusage: repro dse [--filter SUBSTR[,precision=W4]] [--objectives \
              area,delay,energy,power,throughput,utilization] [--model SUBSTR|all] \
-             [--precision W4,W8,W16,W8xW4] [--threads N] [--seed S] \
-             [--out FILE.csv] [--json FILE.json]\n"
+             [--precision W4,W8,W16,W8xW4] [--cycle-model sampled|analytic] [--threads N] \
+             [--seed S] [--out FILE.csv] [--json FILE.json]\n"
         ),
     }
 }
@@ -136,6 +144,7 @@ fn try_dse(args: &[String]) -> Result<String, String> {
         SweepConfig {
             threads: 1,
             seed: opts.seed,
+            cycle_model: opts.cycle_model,
         },
         &EngineCache::new(),
     );
@@ -144,6 +153,7 @@ fn try_dse(args: &[String]) -> Result<String, String> {
         SweepConfig {
             threads: opts.threads,
             seed: opts.seed,
+            cycle_model: opts.cycle_model,
         },
     );
     assert_eq!(
@@ -187,6 +197,14 @@ fn try_dse(args: &[String]) -> Result<String, String> {
     .unwrap();
     if !opts.filter.is_empty() {
         writeln!(out, "filter: `{}`", opts.filter).unwrap();
+    }
+    if opts.cycle_model != CycleModel::Sampled {
+        writeln!(
+            out,
+            "cycle model: {} (closed-form serial cycles; seed-independent)",
+            opts.cycle_model.name()
+        )
+        .unwrap();
     }
     if let Some(name) = &opts.model {
         writeln!(
@@ -348,9 +366,34 @@ mod tests {
         assert!(report.contains("@W16"), "{report}");
     }
 
+    /// `--cycle-model analytic` sweeps the closed-form path and reports
+    /// the mode; its objective values differ from the sampled run only in
+    /// cycle-derived columns (checked in the golden projection tests).
+    #[test]
+    fn analytic_cycle_model_flag_reports_the_mode() {
+        let report = dse(&args(&[
+            "--filter",
+            "OPT3[EN-T]/28nm@2.00,precision=w8",
+            "--cycle-model",
+            "analytic",
+            "--threads",
+            "2",
+        ]));
+        assert!(report.contains("cycle model: analytic"), "{report}");
+        assert!(report.contains("Pareto front"), "{report}");
+        let sampled = dse(&args(&[
+            "--filter",
+            "OPT3[EN-T]/28nm@2.00,precision=w8",
+            "--threads",
+            "2",
+        ]));
+        assert!(!sampled.contains("cycle model:"), "{sampled}");
+    }
+
     #[test]
     fn bad_flags_render_usage() {
         assert!(dse(&args(&["--bogus"])).contains("usage:"));
+        assert!(dse(&args(&["--cycle-model", "turbo"])).contains("usage:"));
         assert!(dse(&args(&["--objectives", "area"])).contains("usage:"));
         assert!(dse(&args(&["--filter", "no-such-point-anywhere"])).contains("no design points"));
         assert!(dse(&args(&["--model", "no-such-net"])).contains("usage:"));

@@ -14,6 +14,7 @@
 use std::fmt::Write as _;
 
 use tpe_dse::emit::{model_csv, model_json};
+use tpe_engine::{CycleModel, SerialSampleCaps};
 use tpe_pipeline::{run_grid, EngineSpec, GridConfig, ModelRun};
 use tpe_workloads::NetworkModel;
 
@@ -24,6 +25,7 @@ struct ModelOptions {
     precision: Option<tpe_dse::Precision>,
     threads: usize,
     seed: u64,
+    cycle_model: CycleModel,
     out_csv: Option<String>,
     out_json: Option<String>,
 }
@@ -35,6 +37,7 @@ fn parse_options(args: &[String]) -> Result<ModelOptions, String> {
         precision: None,
         threads: 0,
         seed: 42,
+        cycle_model: CycleModel::Sampled,
         out_csv: None,
         out_json: None,
     };
@@ -65,6 +68,11 @@ fn parse_options(args: &[String]) -> Result<ModelOptions, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--cycle-model" => {
+                let v = value("--cycle-model")?;
+                opts.cycle_model = CycleModel::parse(&v)
+                    .ok_or_else(|| format!("unknown cycle model `{v}` (sampled|analytic)"))?;
+            }
             "--out" => opts.out_csv = Some(value("--out")?),
             "--json" => opts.out_json = Some(value("--json")?),
             other => return Err(format!("unknown flag `{other}`")),
@@ -79,8 +87,8 @@ pub fn models(args: &[String]) -> String {
         Ok(report) => report,
         Err(msg) => format!(
             "error: {msg}\nusage: repro models [--model SUBSTR] [--arch SUBSTR] \
-             [--precision W4|W8|W16|W8xW4] [--threads N] [--seed S] \
-             [--out FILE.csv] [--json FILE.json]\n"
+             [--precision W4|W8|W16|W8xW4] [--cycle-model sampled|analytic] \
+             [--threads N] [--seed S] [--out FILE.csv] [--json FILE.json]\n"
         ),
     }
 }
@@ -117,13 +125,17 @@ fn try_models(args: &[String]) -> Result<String, String> {
         return Err(format!("no engine matches `{}`", opts.arch_filter));
     }
 
+    let caps = SerialSampleCaps {
+        model: opts.cycle_model,
+        ..GridConfig::default().caps
+    };
     let serial = run_grid(
         &nets,
         &engines,
         GridConfig {
             threads: 1,
             seed: opts.seed,
-            ..GridConfig::default()
+            caps,
         },
     );
     let parallel = run_grid(
@@ -132,7 +144,7 @@ fn try_models(args: &[String]) -> Result<String, String> {
         GridConfig {
             threads: opts.threads,
             seed: opts.seed,
-            ..GridConfig::default()
+            caps,
         },
     );
     let csv = model_csv(&parallel.runs);
@@ -159,6 +171,14 @@ fn try_models(args: &[String]) -> Result<String, String> {
         engines.len()
     )
     .unwrap();
+    if opts.cycle_model != CycleModel::Sampled {
+        writeln!(
+            out,
+            "cycle model: {} (closed-form serial cycles; seed-independent)",
+            opts.cycle_model.name()
+        )
+        .unwrap();
+    }
     if !opts.model_filter.is_empty() || !opts.arch_filter.is_empty() {
         writeln!(
             out,
@@ -297,9 +317,29 @@ mod tests {
         assert!(report.contains("fastest:"), "{report}");
     }
 
+    /// `--cycle-model analytic` runs the whole grid through the
+    /// closed-form serial-cycle path and reports the mode (default
+    /// sampled output stays byte-identical — no mode line at all).
+    #[test]
+    fn analytic_cycle_model_flag_reports_the_mode() {
+        let report = models(&args(&[
+            "--model",
+            "resnet18",
+            "--arch",
+            "OPT4E[EN-T]",
+            "--cycle-model",
+            "analytic",
+            "--threads",
+            "2",
+        ]));
+        assert!(report.contains("cycle model: analytic"), "{report}");
+        assert!(report.contains("fastest:"), "{report}");
+    }
+
     #[test]
     fn bad_flags_render_usage() {
         assert!(models(&args(&["--bogus"])).contains("usage:"));
+        assert!(models(&args(&["--cycle-model", "fast"])).contains("usage:"));
         assert!(models(&args(&["--model", "no-such-net"])).contains("no network"));
         assert!(models(&args(&["--arch", "no-such-engine"])).contains("no engine"));
         assert!(models(&args(&["--precision", "w99"])).contains("usage:"));

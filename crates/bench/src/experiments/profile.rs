@@ -17,21 +17,27 @@
 //! `--out F.json` archives the stage table as `BENCH_profile.json`
 //! (CI asserts `dominant_cold_stage` stays `serial_sample` — the paper's
 //! serial-cycle sampling is the workload-dependent cost center).
+//! `--cycle-model analytic` swaps the Monte-Carlo sampler for the
+//! closed-form convolution path; CI runs a second profile in that mode
+//! and asserts serial-cycle evaluation no longer dominates the cold
+//! path (the `eval_serial_analytic_ns` stage is orders of magnitude
+//! cheaper than the sampled one it replaces).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use tpe_dse::space::default_workloads;
-use tpe_engine::{roster, EngineCache, Evaluator, SweepWorkload, MODEL_SAMPLE_CAPS};
+use tpe_engine::{roster, CycleModel, EngineCache, Evaluator, SweepWorkload, MODEL_SAMPLE_CAPS};
 use tpe_obs::{Registry, Snapshot};
 use tpe_workloads::models;
 
 /// The evaluator stages profiled, as registered in `tpe-engine::eval`
 /// (name in the registry = `eval_<stage>_ns`).
-const STAGES: [&str; 4] = [
+const STAGES: [&str; 5] = [
     "synthesis",
     "price_assemble",
     "serial_sample",
+    "serial_analytic",
     "model_schedule",
 ];
 
@@ -68,8 +74,13 @@ fn stage_windows(delta: &Snapshot) -> Vec<StageWindow> {
 /// layer slice evaluated across the roster, and ResNet18 end to end on
 /// one serial and one dense engine. `quick` shrinks every axis so tests
 /// stay fast while still touching each stage.
-fn run_workload(cache: &EngineCache, seed: u64, quick: bool) -> (usize, usize, usize) {
-    let eval = Evaluator::new(cache);
+fn run_workload(
+    cache: &EngineCache,
+    seed: u64,
+    quick: bool,
+    cycle_model: CycleModel,
+) -> (usize, usize, usize) {
+    let eval = Evaluator::new(cache).with_cycle_model(cycle_model);
     let all = roster::paper_roster();
     // Quick keeps two dense + two serial engines so every stage still
     // sees calls (serial_sample only runs on serial-style engines).
@@ -133,13 +144,16 @@ fn time_ns_per_call(iters: u32, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Runs the cold/warm profile
-/// (`repro profile [--quick] [--seed S] [--out F.json]`).
+/// Runs the cold/warm profile (`repro profile [--quick] [--seed S]
+/// [--cycle-model sampled|analytic] [--out F.json]`).
 pub fn profile(args: &[String]) -> String {
     match try_profile(args) {
         Ok(report) => report,
         Err(msg) => {
-            format!("error: {msg}\nusage: repro profile [--quick] [--seed S] [--out F.json]\n")
+            format!(
+                "error: {msg}\nusage: repro profile [--quick] [--seed S] \
+                 [--cycle-model sampled|analytic] [--out F.json]\n"
+            )
         }
     }
 }
@@ -147,6 +161,7 @@ pub fn profile(args: &[String]) -> String {
 fn try_profile(args: &[String]) -> Result<String, String> {
     let mut quick = false;
     let mut seed: u64 = 42;
+    let mut cycle_model = CycleModel::Sampled;
     let mut out_json: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -155,6 +170,11 @@ fn try_profile(args: &[String]) -> Result<String, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--cycle-model" => {
+                let v = it.next().ok_or("--cycle-model needs a value")?;
+                cycle_model = CycleModel::parse(v)
+                    .ok_or_else(|| format!("unknown cycle model `{v}` (sampled|analytic)"))?;
             }
             "--out" => out_json = Some(it.next().ok_or("--out needs a value")?.clone()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -168,11 +188,11 @@ fn try_profile(args: &[String]) -> Result<String, String> {
 
     let snap0 = registry.snapshot();
     let t0 = Instant::now();
-    let (priced, layer_points, model_runs) = run_workload(&cache, seed, quick);
+    let (priced, layer_points, model_runs) = run_workload(&cache, seed, quick, cycle_model);
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
     let snap1 = registry.snapshot();
     let t1 = Instant::now();
-    run_workload(&cache, seed, quick);
+    run_workload(&cache, seed, quick, cycle_model);
     let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
     let snap2 = registry.snapshot();
 
@@ -185,6 +205,19 @@ fn try_profile(args: &[String]) -> Result<String, String> {
         .expect("stages");
     let dominant_share = if instrumented_ms > 0.0 {
         dominant.total_ms / instrumented_ms
+    } else {
+        0.0
+    };
+    // The serial-cycle cost center across both backends: the share CI
+    // gates on (sampled mode must stay dominated by it, analytic mode
+    // must not be).
+    let serial_ms: f64 = cold
+        .iter()
+        .filter(|s| s.name.starts_with("serial_"))
+        .map(|s| s.total_ms)
+        .sum();
+    let serial_cold_share = if instrumented_ms > 0.0 {
+        serial_ms / instrumented_ms
     } else {
         0.0
     };
@@ -206,7 +239,8 @@ fn try_profile(args: &[String]) -> Result<String, String> {
     writeln!(
         out,
         "repro profile — cold vs warm instrumented workload over a fresh cache \
-         (seed {seed}{})",
+         (seed {seed}, cycle model {}{})",
+        cycle_model.name(),
         if quick { ", --quick" } else { "" }
     )
     .unwrap();
@@ -241,6 +275,12 @@ fn try_profile(args: &[String]) -> Result<String, String> {
         instrumented_ms,
     )
     .unwrap();
+    writeln!(
+        out,
+        "serial-cycle share of the cold path: {:.1}% ({serial_ms:.2} ms)",
+        serial_cold_share * 100.0,
+    )
+    .unwrap();
     let warm_cold_path_calls: u64 = warm
         .iter()
         .filter(|s| s.name != "model_schedule")
@@ -273,12 +313,16 @@ fn try_profile(args: &[String]) -> Result<String, String> {
             })
             .collect();
         let json = format!(
-            "{{\n  \"seed\": {seed},\n  \"quick\": {quick},\n  \"cold_ms\": {cold_ms:.3},\n  \
+            "{{\n  \"seed\": {seed},\n  \"quick\": {quick},\n  \
+             \"cycle_model\": \"{}\",\n  \"cold_ms\": {cold_ms:.3},\n  \
              \"warm_ms\": {warm_ms:.3},\n  \"stages_cold\": {{\n{}\n  }},\n  \
              \"dominant_cold_stage\": \"{}\",\n  \"dominant_share\": {dominant_share:.4},\n  \
+             \"serial_cold_share\": {serial_cold_share:.4},\n  \
+             \"serial_cold_ms\": {serial_ms:.3},\n  \
              \"warm_price_ns_instrumented\": {warm_price_ns:.1},\n  \
              \"warm_price_ns_uninstrumented\": {warm_price_uninstr_ns:.1},\n  \
              \"warm_price_overhead_ns\": {overhead_ns:.1}\n}}\n",
+            cycle_model.name(),
             stages_json.join(",\n"),
             dominant.name,
         );
@@ -325,10 +369,35 @@ mod tests {
         let _ = std::fs::remove_file(&out_path);
     }
 
+    /// The analytic profile runs the same workload through the
+    /// closed-form path: the report and JSON carry the mode, and the
+    /// cold window records into `serial_analytic` instead of
+    /// `serial_sample` rows (dominance itself is a CI assertion on a
+    /// standalone run, as above).
+    #[test]
+    fn analytic_profile_records_the_analytic_stage() {
+        let out_path = std::env::temp_dir().join("tpe_profile_analytic_test.json");
+        let out = out_path.to_str().unwrap().to_string();
+        let report = profile(&args(&[
+            "--quick",
+            "--cycle-model",
+            "analytic",
+            "--out",
+            &out,
+        ]));
+        assert!(!report.starts_with("error:"), "{report}");
+        assert!(report.contains("cycle model analytic"), "{report}");
+        let json = std::fs::read_to_string(&out_path).unwrap();
+        assert!(json.contains("\"cycle_model\": \"analytic\""), "{json}");
+        assert!(json.contains("\"serial_analytic\""), "{json}");
+        let _ = std::fs::remove_file(&out_path);
+    }
+
     #[test]
     fn bad_flags_render_usage() {
         assert!(profile(&args(&["--bogus"])).contains("usage:"));
         assert!(profile(&args(&["--seed", "x"])).contains("usage:"));
         assert!(profile(&args(&["--seed"])).contains("usage:"));
+        assert!(profile(&args(&["--cycle-model", "warp"])).contains("usage:"));
     }
 }

@@ -35,7 +35,7 @@ const HIT_RATE_MIN_QUERIES: usize = 500;
 use tpe_dse::space::default_workloads;
 use tpe_dse::{DseOps, SweepWorkload};
 use tpe_engine::serve::{parse_flat_object, query_batch, serve_with, JsonValue, ServeConfig};
-use tpe_engine::{roster, CacheStats, EngineCache};
+use tpe_engine::{roster, CacheStats, CycleModel, EngineCache};
 use tpe_obs::HistogramSnapshot;
 
 /// Minimal flag parser shared by the three commands.
@@ -72,6 +72,7 @@ where
 fn serve_config(
     threads: Option<&str>,
     max_line_bytes: Option<&str>,
+    cycle_model: Option<&str>,
 ) -> Result<ServeConfig, String> {
     let mut config = ServeConfig::default();
     if let Some(v) = threads {
@@ -83,18 +84,23 @@ fn serve_config(
             return Err("--max-line-bytes must be positive".into());
         }
     }
+    if let Some(v) = cycle_model {
+        config.cycle_model = CycleModel::parse(v)
+            .ok_or_else(|| format!("unknown cycle model `{v}` (sampled|analytic)"))?;
+    }
     Ok(config)
 }
 
-/// Runs the blocking serve loop
-/// (`repro serve [--port N] [--threads N] [--max-line-bytes N]`; port 0
-/// binds an ephemeral port). Prints the bound address before serving, so
+/// Runs the blocking serve loop (`repro serve [--port N] [--threads N]
+/// [--max-line-bytes N] [--cycle-model sampled|analytic]`; port 0 binds
+/// an ephemeral port). Prints the bound address before serving, so
 /// callers can scrape it.
 pub fn serve(args: &[String]) -> String {
     match try_serve(args) {
         Ok(report) => report,
         Err(msg) => format!(
-            "error: {msg}\nusage: repro serve [--port N] [--threads N] [--max-line-bytes N]\n"
+            "error: {msg}\nusage: repro serve [--port N] [--threads N] [--max-line-bytes N] \
+             [--cycle-model sampled|analytic]\n"
         ),
     }
 }
@@ -106,6 +112,7 @@ fn try_serve(args: &[String]) -> Result<String, String> {
             ("--port", false),
             ("--threads", false),
             ("--max-line-bytes", false),
+            ("--cycle-model", false),
         ],
     )?;
     let port: u16 = values[0]
@@ -113,15 +120,21 @@ fn try_serve(args: &[String]) -> Result<String, String> {
         .map(|v| parse_num(v, "--port"))
         .transpose()?
         .unwrap_or(0);
-    let config = serve_config(values[1].as_deref(), values[2].as_deref())?;
+    let config = serve_config(
+        values[1].as_deref(),
+        values[2].as_deref(),
+        values[3].as_deref(),
+    )?;
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
     println!(
         "repro serve listening on {addr} ({} worker(s), max line {} bytes; NDJSON; \
-         ops: engine|layer|metrics|model|roster|stats|sweep|pareto|shutdown)",
+         ops: engine|layer|metrics|model|roster|stats|sweep|pareto|shutdown; \
+         default cycle model {})",
         config.effective_threads(),
         config.max_line_bytes,
+        config.cycle_model.name(),
     );
     std::io::stdout().flush().ok();
     let outcome =
@@ -494,7 +507,7 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
     if queries == 0 {
         return Err("--queries must be positive".into());
     }
-    let config = serve_config(values[1].as_deref(), None)?;
+    let config = serve_config(values[1].as_deref(), None, None)?;
     let out_json = values[2].clone();
 
     let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| e.to_string())?;

@@ -48,6 +48,7 @@ fn reference_csv() -> String {
         SweepConfig {
             threads: 1,
             seed: SEED,
+            ..SweepConfig::default()
         },
         &EngineCache::new(),
     );

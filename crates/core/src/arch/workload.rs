@@ -32,16 +32,72 @@ use tpe_workloads::LayerShape;
 /// matching the paper's `Tsync ≤ KT × KP` granularity.
 pub const KT_MIN_OPERANDS: usize = 32;
 
+/// Operand count per sync round above which [`analytic_serial_cycles`]
+/// hands the exact digit-sum convolution over to the CLT tail
+/// approximation. Batching guarantees ≥ [`KT_MIN_OPERANDS`] operands per
+/// round, so the exact path only ever convolves 32..=64 operands; beyond
+/// that the Berry–Esseen bound on the normalized digit-sum CDF error
+/// (≈ `0.47·ρ/(σ³√n)` < 0.4% at n = 64 for every supported encoder ×
+/// width) is far below the sampler's own Monte-Carlo noise.
+pub const CONV_CROSSOVER_OPERANDS: usize = 64;
+
+/// Which backend evaluates the statistical serial-cycle model.
+///
+/// Both produce [`SerialCycleStats`] for the same layer mapping; they
+/// differ only in how the per-round column maximum of digit sums is
+/// obtained. `Sampled` is the original Monte-Carlo path and serves as the
+/// test oracle; `Analytic` evaluates the same distribution in closed form
+/// (exact convolution, CLT above [`CONV_CROSSOVER_OPERANDS`]) and is both
+/// seed-independent and orders of magnitude faster on cold evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CycleModel {
+    /// Monte-Carlo digit sampling ([`sample_serial_cycles`]) — the oracle.
+    #[default]
+    Sampled,
+    /// Closed-form convolution/CLT evaluation ([`analytic_serial_cycles`]).
+    Analytic,
+}
+
+impl CycleModel {
+    /// Every mode, in display order.
+    pub const ALL: [CycleModel; 2] = [CycleModel::Sampled, CycleModel::Analytic];
+
+    /// Stable lower-case label (`"sampled"` / `"analytic"`), used by CLI
+    /// flags, serve requests, and cache-key displays.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CycleModel::Sampled => "sampled",
+            CycleModel::Analytic => "analytic",
+        }
+    }
+
+    /// Parses a case-insensitive mode label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "sampled" => Some(CycleModel::Sampled),
+            "analytic" => Some(CycleModel::Analytic),
+            _ => None,
+        }
+    }
+}
+
 /// Sampling caps for the statistical serial-layer model. Rounds are
 /// i.i.d., so capping keeps the estimate unbiased; totals are rescaled.
 /// The defaults suit single experiments; `tpe-dse` sweeps hundreds of
 /// points and passes tighter caps.
+///
+/// The caps also carry the [`CycleModel`]: the analytic backend ignores
+/// the numeric budgets (it evaluates the full distribution), but keeping
+/// the mode here lets every existing caps-threading path — profiles,
+/// grids, serve requests — select the backend without new plumbing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SerialSampleCaps {
     /// Cap on sampled sync rounds per layer.
     pub max_rounds: usize,
     /// Budget of sampled operands per layer.
     pub max_operands: usize,
+    /// Which backend evaluates the serial-cycle statistics.
+    pub model: CycleModel,
 }
 
 impl Default for SerialSampleCaps {
@@ -49,6 +105,7 @@ impl Default for SerialSampleCaps {
         Self {
             max_rounds: 128,
             max_operands: 1_500_000,
+            model: CycleModel::Sampled,
         }
     }
 }
@@ -283,6 +340,206 @@ pub fn sample_serial_cycles(
     }
 }
 
+/// Normalized per-operand digit-count pmf (`P(NumPPs = j)`, `j` in
+/// `0..=a_bits`), derived from the memoized weight histogram.
+fn digit_count_pmf(encoder: &dyn Encoder, a_bits: u32) -> Vec<f64> {
+    let (probs, total) = digit_count_weights(encoder, a_bits);
+    probs.iter().map(|w| w / total).collect()
+}
+
+/// Mean and variance of a small non-negative integer pmf indexed by value.
+fn pmf_moments(pmf: &[f64]) -> (f64, f64) {
+    let mean: f64 = pmf.iter().enumerate().map(|(v, p)| v as f64 * p).sum();
+    let var: f64 = pmf
+        .iter()
+        .enumerate()
+        .map(|(v, p)| (v as f64 - mean).powi(2) * p)
+        .sum();
+    (mean, var.max(0.0))
+}
+
+/// Exact pmf of the sum of `n` i.i.d. draws from `pmf`, by iterative
+/// convolution. Cost is `O(n² · d²)` for digit-slot support `d ≤ 17`,
+/// which at the crossover bound (`n ≤ 64`) stays ~10⁵ multiply-adds —
+/// cheaper than a single sampled round at typical caps.
+fn convolve_digit_sum(pmf: &[f64], n: usize) -> Vec<f64> {
+    let mut acc = pmf.to_vec();
+    for _ in 1..n {
+        let mut next = vec![0.0; acc.len() + pmf.len() - 1];
+        for (i, &a) in acc.iter().enumerate() {
+            // Skipping sub-1e-15 mass prunes the Gaussian tails the sum
+            // concentrates away from; the total mass lost stays below
+            // n·d·1e-15 ≈ 1e-11 — far under every pinned tolerance, and
+            // point masses (the exactness tests) are never truncated.
+            if a < 1e-15 {
+                continue;
+            }
+            for (j, &p) in pmf.iter().enumerate() {
+                next[i + j] += a * p;
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+/// `E[max of mp i.i.d. draws]` from an integer-valued pmf indexed by
+/// value, via the tail identity `E[max] = Σ_{t≥1} (1 − F(t−1)^mp)`.
+fn expected_max_of_iid(pmf: &[f64], mp: usize) -> f64 {
+    let mut cdf = 0.0;
+    let mut e = 0.0;
+    for &p in &pmf[..pmf.len().saturating_sub(1)] {
+        cdf += p;
+        e += 1.0 - cdf.clamp(0.0, 1.0).powi(mp as i32);
+    }
+    e
+}
+
+/// `E[max of mp i.i.d. standard normals]`, by trapezoidal integration of
+/// `∫ z · mp · φ(z) · Φ(z)^{mp−1} dz` over `z ∈ [−8, 8]`, accumulating
+/// `Φ` incrementally (std has no `erf`). Memoized per `mp`: the constant
+/// depends only on the column count, not on encoder, width, or layer.
+fn std_normal_max_mean(mp: usize) -> f64 {
+    use std::collections::HashMap;
+    use std::sync::{OnceLock, RwLock};
+    if mp <= 1 {
+        return 0.0;
+    }
+    static MEMO: OnceLock<RwLock<HashMap<usize, f64>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(&hit) = memo.read().expect("normal-max memo poisoned").get(&mp) {
+        return hit;
+    }
+
+    const Z: f64 = 8.0;
+    const STEPS: usize = 4_000;
+    let h = 2.0 * Z / STEPS as f64;
+    let phi = |z: f64| (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    let m = mp as f64;
+    let mut z = -Z;
+    let mut pdf = phi(z);
+    let mut cdf = 0.0; // Φ(−8) ≈ 6e−16: below the integration error
+    let mut integrand = 0.0; // z·m·φ(z)·Φ^{m−1}, zero at the left edge
+    let mut acc = 0.0;
+    for _ in 0..STEPS {
+        let z2 = z + h;
+        let pdf2 = phi(z2);
+        let cdf2 = (cdf + 0.5 * h * (pdf + pdf2)).min(1.0);
+        let integrand2 = z2 * m * pdf2 * cdf2.powi(mp as i32 - 1);
+        acc += 0.5 * h * (integrand + integrand2);
+        z = z2;
+        pdf = pdf2;
+        cdf = cdf2;
+        integrand = integrand2;
+    }
+    memo.write()
+        .expect("normal-max memo poisoned")
+        .insert(mp, acc);
+    acc
+}
+
+/// `(per-operand mean, E[round max])` for one sync round: the expected
+/// max over `mp` columns of the sum of `ops_per_round` i.i.d. digit
+/// counts. A pure function of its arguments — the layer only enters
+/// through `ops_per_round` — so it is memoized process-wide: a model
+/// grid revisits the same handful of `(encoder, width, ops, mp)` keys
+/// across every layer and engine, and the exact-convolution branch is
+/// the only part of the analytic path whose cost is worth skipping.
+fn expected_round_stats(
+    encoder: &dyn Encoder,
+    a_bits: u32,
+    ops_per_round: usize,
+    mp: usize,
+) -> (f64, f64) {
+    use std::collections::HashMap;
+    use std::sync::{OnceLock, RwLock};
+    type RoundMemo = RwLock<HashMap<(&'static str, u32, usize, usize), (f64, f64)>>;
+    static MEMO: OnceLock<RoundMemo> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| RwLock::new(HashMap::new()));
+    let key = (encoder.name(), a_bits, ops_per_round, mp);
+    if let Some(&hit) = memo.read().expect("round memo poisoned").get(&key) {
+        return hit;
+    }
+
+    let pmf = digit_count_pmf(encoder, a_bits);
+    let (mean, var) = pmf_moments(&pmf);
+    let n = ops_per_round as f64;
+    let round_max = if var <= 0.0 {
+        // Point mass: every column finishes in exactly n·mean.
+        n * mean
+    } else if ops_per_round <= CONV_CROSSOVER_OPERANDS {
+        let sum_pmf = convolve_digit_sum(&pmf, ops_per_round);
+        expected_max_of_iid(&sum_pmf, mp)
+    } else {
+        n * mean + (n * var).sqrt() * std_normal_max_mean(mp)
+    };
+    memo.write()
+        .expect("round memo poisoned")
+        .insert(key, (mean, round_max));
+    (mean, round_max)
+}
+
+/// Closed-form counterpart of [`sample_serial_cycles`]: the same layer
+/// mapping (rows per round, tiny-K batching, output passes), but the
+/// per-round sync time — the max over `cfg.mp` columns of the sum of
+/// `ops_per_round` i.i.d. digit counts — is evaluated from the digit-count
+/// distribution directly instead of being Monte-Carlo sampled.
+///
+/// For `ops_per_round ≤` [`CONV_CROSSOVER_OPERANDS`] the column digit-sum
+/// pmf is convolved exactly and `E[max]` read off the tail identity; above
+/// the crossover the sum is CLT-normal to well under the sampler's noise
+/// floor, so `E[max] ≈ n·μ + σ·√n · E[max of mp standard normals]`.
+/// Degenerate (deterministic) digit distributions short-circuit to the
+/// exact value on either path, making analytic == sampled bit-exact there.
+///
+/// The result is independent of seeds and sampling caps: all rounds are
+/// i.i.d., so expectation over one round scales to the full layer without
+/// subsampling. Busy time per column is `n·μ` per round — every column
+/// sums the same number of operand draws in expectation.
+pub fn analytic_serial_cycles(
+    cfg: &BitsliceConfig,
+    encoder: &dyn Encoder,
+    a_bits: u32,
+    layer: &LayerShape,
+) -> SerialCycleStats {
+    // Identical mapping arithmetic to the sampler (kept in lockstep by the
+    // oracle property tests).
+    let rows_total = layer.m.max(layer.n) * layer.repeats;
+    let streamed = layer.m.min(layer.n);
+    let passes = streamed.div_ceil(cfg.n_per_pass()).max(1) as f64;
+    let rows_per_round = KT_MIN_OPERANDS.div_ceil(layer.k).max(1);
+    let rounds = rows_total.div_ceil(cfg.mp * rows_per_round).max(1);
+    let ops_per_round = rows_per_round * layer.k;
+
+    let (mean, round_max) = expected_round_stats(encoder, a_bits, ops_per_round, cfg.mp);
+    let n = ops_per_round as f64;
+
+    let scale = rounds as f64 * passes;
+    let busy_per_column = n * mean * scale;
+    SerialCycleStats {
+        cycles: round_max * scale,
+        busy: vec![busy_per_column; cfg.mp],
+        rounds: rounds as f64 * passes,
+    }
+}
+
+/// Evaluates the serial-cycle statistics with the backend selected by
+/// `caps.model`: the Monte-Carlo oracle or the closed-form path. This is
+/// the single dispatch point the engine's cached evaluation goes through.
+pub fn serial_cycle_stats(
+    cfg: &BitsliceConfig,
+    encoder: &dyn Encoder,
+    a_bits: u32,
+    layer: &LayerShape,
+    seed: u64,
+    caps: SerialSampleCaps,
+) -> SerialCycleStats {
+    match caps.model {
+        CycleModel::Sampled => sample_serial_cycles(cfg, encoder, a_bits, layer, seed, caps),
+        CycleModel::Analytic => analytic_serial_cycles(cfg, encoder, a_bits, layer),
+    }
+}
+
 /// Runs a layer on a dense parallel-MAC systolic array (the Figure 11
 /// baseline), with `lane_scale` extra lanes for area equalization
 /// (`lane_scale = 1.0` means the plain 32×32 array).
@@ -397,7 +654,30 @@ pub fn evaluate_network(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpe_arith::encode::SignedDigit;
     use tpe_workloads::models;
+
+    /// Test encoder with a *deterministic* digit count: every operand
+    /// produces exactly `D` non-zero digits. Each `D` needs a distinct
+    /// static name because [`digit_count_weights`] memoizes on
+    /// `encoder.name()` process-wide.
+    struct ConstDigits<const D: usize>;
+
+    impl<const D: usize> Encoder for ConstDigits<D> {
+        fn name(&self) -> &'static str {
+            match D {
+                1 => "test-const-1",
+                8 => "test-const-8",
+                _ => "test-const-other",
+            }
+        }
+        fn radix(&self) -> u8 {
+            2
+        }
+        fn encode(&self, _value: i64, _width: u32) -> Vec<SignedDigit> {
+            (0..D as u8).map(|w| SignedDigit::new(1, w)).collect()
+        }
+    }
 
     fn opt4e() -> ArchModel {
         ArchModel::table7_ours()
@@ -464,6 +744,112 @@ mod tests {
             "speedup {:.2} too small",
             d.delay_us / s.delay_us
         );
+    }
+
+    /// Degenerate (deterministic) digit distributions make the analytic
+    /// path *exactly* equal to the sampled oracle — zero tolerance. Two
+    /// boundaries: single-digit operands (D = 1) and the max-width 8-digit
+    /// bit-serial worst case (D = 8). The shapes are chosen so the sampler
+    /// covers every round (`scale == 1`), where both paths reduce to the
+    /// same exact integer arithmetic in f64.
+    #[test]
+    fn degenerate_distributions_match_sampler_exactly() {
+        let cfg = opt4e().bitslice_config();
+        let shapes = [
+            LayerShape::new("sq", 64, 64, 64, 1),
+            LayerShape::new("tiny-k", 96, 32, 9, 2),
+            LayerShape::new("skinny", 1, 128, 768, 1),
+        ];
+        for layer in &shapes {
+            for (enc, a_bits) in [
+                (&ConstDigits::<1> as &dyn Encoder, 4u32),
+                (&ConstDigits::<8> as &dyn Encoder, 8u32),
+            ] {
+                let a = analytic_serial_cycles(&cfg, enc, a_bits, layer);
+                let s =
+                    sample_serial_cycles(&cfg, enc, a_bits, layer, 99, SerialSampleCaps::default());
+                assert_eq!(a.cycles, s.cycles, "{}: cycles differ", layer.name);
+                assert_eq!(a.rounds, s.rounds, "{}: rounds differ", layer.name);
+                assert_eq!(
+                    a.busy.iter().sum::<f64>(),
+                    s.busy.iter().sum::<f64>(),
+                    "{}: busy totals differ",
+                    layer.name
+                );
+            }
+        }
+    }
+
+    /// Convolution boundaries: one operand leaves the pmf unchanged, and
+    /// the tail-identity `E[max]` matches brute-force enumeration for one
+    /// and two columns (`mp = 1` is the plain mean).
+    #[test]
+    fn convolution_and_max_identities_at_the_boundaries() {
+        let pmf = digit_count_pmf(tpe_arith::encode::EncodingKind::EnT.encoder().as_ref(), 8);
+        assert_eq!(convolve_digit_sum(&pmf, 1), pmf);
+
+        let (mean, _) = pmf_moments(&pmf);
+        assert!((expected_max_of_iid(&pmf, 1) - mean).abs() < 1e-12);
+
+        // mp = 2 against O(d²) brute force over the joint distribution.
+        let brute: f64 = pmf
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &p)| {
+                pmf.iter()
+                    .enumerate()
+                    .map(move |(j, &q)| i.max(j) as f64 * p * q)
+            })
+            .sum();
+        assert!((expected_max_of_iid(&pmf, 2) - brute).abs() < 1e-12);
+    }
+
+    /// The CLT constant: `E[max of 2 standard normals] = 1/√π` exactly;
+    /// the integration must hit it to ~1e-6, and more columns push the
+    /// constant up.
+    #[test]
+    fn normal_max_constant_matches_closed_form() {
+        assert_eq!(std_normal_max_mean(1), 0.0);
+        let c2 = std_normal_max_mean(2);
+        assert!(
+            (c2 - 1.0 / std::f64::consts::PI.sqrt()).abs() < 1e-6,
+            "c2 = {c2}"
+        );
+        assert!(std_normal_max_mean(32) > std_normal_max_mean(8));
+    }
+
+    /// The analytic backend is seed- and caps-independent: the dispatcher
+    /// returns bit-identical stats for different seeds, equal to a direct
+    /// `analytic_serial_cycles` call, with utilization in (0, 1].
+    #[test]
+    fn analytic_dispatch_is_seed_independent() {
+        let arch = opt4e();
+        let cfg = arch.bitslice_config();
+        let enc = cfg.encoding.encoder();
+        let layer = LayerShape::new("probe", 64, 256, 128, 1);
+        let caps = SerialSampleCaps {
+            model: CycleModel::Analytic,
+            ..SerialSampleCaps::default()
+        };
+        let a = serial_cycle_stats(&cfg, enc.as_ref(), 8, &layer, 1, caps);
+        let b = serial_cycle_stats(&cfg, enc.as_ref(), 8, &layer, 2, caps);
+        assert_eq!(a, b, "analytic stats must not depend on the seed");
+        assert_eq!(a, analytic_serial_cycles(&cfg, enc.as_ref(), 8, &layer));
+        let u = a.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    /// Mode labels round-trip through `parse` case-insensitively and
+    /// unknown labels are rejected — the contract CLI flags and serve
+    /// requests rely on.
+    #[test]
+    fn cycle_model_labels_round_trip() {
+        for m in CycleModel::ALL {
+            assert_eq!(CycleModel::parse(m.name()), Some(m));
+            assert_eq!(CycleModel::parse(&m.name().to_uppercase()), Some(m));
+        }
+        assert_eq!(CycleModel::parse("monte-carlo"), None);
+        assert_eq!(CycleModel::default(), CycleModel::Sampled);
     }
 
     /// Network evaluation produces sane aggregates.

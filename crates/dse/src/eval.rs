@@ -7,7 +7,7 @@
 //! experiments and `repro serve`. This module only pairs the outcome with
 //! the point for Pareto extraction and emission.
 
-use tpe_engine::{EngineCache, Evaluator};
+use tpe_engine::{CycleModel, EngineCache, Evaluator};
 
 pub use tpe_engine::eval::{effective_numpps, Metrics};
 
@@ -42,9 +42,27 @@ impl PointResult {
 /// `seed ^ label_hash(point.label())`, so results do not depend on
 /// evaluation order.
 pub fn evaluate(point: &DesignPoint, cache: &EngineCache, seed: u64) -> PointResult {
+    evaluate_with_model(point, cache, seed, CycleModel::Sampled)
+}
+
+/// [`evaluate`] under an explicit serial-cycle backend — the hook the
+/// sweep executor and serve slice ops use to honor `--cycle-model` /
+/// `cycle_model` requests. The analytic backend ignores the seed for
+/// serial cycle statistics (they are closed-form), but the seed still
+/// flows so dense paths and labels stay byte-identical across modes.
+pub fn evaluate_with_model(
+    point: &DesignPoint,
+    cache: &EngineCache,
+    seed: u64,
+    cycle_model: CycleModel,
+) -> PointResult {
     PointResult {
         point: point.clone(),
-        metrics: Evaluator::new(cache).metrics(&point.engine, &point.workload, seed),
+        metrics: Evaluator::new(cache).with_cycle_model(cycle_model).metrics(
+            &point.engine,
+            &point.workload,
+            seed,
+        ),
     }
 }
 

@@ -41,7 +41,7 @@
 //! use tpe_dse::{sweep, DesignSpace, Objective, SweepConfig};
 //!
 //! let points = DesignSpace::quick().enumerate();
-//! let outcome = sweep(&points, SweepConfig { threads: 2, seed: 42 });
+//! let outcome = sweep(&points, SweepConfig { threads: 2, ..SweepConfig::default() });
 //! let front = tpe_dse::pareto_front(&outcome.results, &Objective::DEFAULT);
 //! assert!(!front.is_empty());
 //! let csv = tpe_dse::emit::to_csv(&outcome.results, &front);
@@ -55,9 +55,9 @@ pub mod serve_ops;
 pub mod space;
 pub mod sweep;
 
-pub use eval::{evaluate, Metrics, PointResult};
+pub use eval::{evaluate, evaluate_with_model, Metrics, PointResult};
 pub use pareto::{pareto_front, pareto_front_per_workload, Objective};
 pub use serve_ops::DseOps;
 pub use space::{slice_space, Corner, DesignPoint, DesignSpace, Precision, SweepWorkload};
 pub use sweep::{evaluate_slice, sweep, sweep_with_cache, SweepConfig, SweepOutcome};
-pub use tpe_engine::{CacheStats, EngineCache};
+pub use tpe_engine::{CacheStats, CycleModel, EngineCache};

@@ -39,7 +39,7 @@
 use std::sync::{Arc, OnceLock};
 
 use tpe_engine::serve::{json_escape, BatchOps, Fields, DEFAULT_SEED};
-use tpe_engine::EngineCache;
+use tpe_engine::{CycleModel, EngineCache};
 use tpe_obs::{Counter, Histogram, Registry};
 
 use crate::emit::{point_csv_row, CSV_HEADER};
@@ -131,11 +131,26 @@ fn slice_op(fields: &Fields, cache: &EngineCache, op: SliceOp) -> Result<Vec<Str
     };
     let include_points = fields.bool_or("points", op.points_by_default())?;
     let max_points = fields.uint_or("max_points", DEFAULT_MAX_POINTS as u64)? as usize;
+    // Absent means sampled — and `handle_request_with` injects the
+    // server's default here, so `--cycle-model analytic` servers answer
+    // analytic slices without clients re-spelling the field.
+    let cycle_model = match fields.opt_str("cycle_model")? {
+        None => CycleModel::Sampled,
+        Some(m) => CycleModel::parse(m)
+            .ok_or_else(|| format!("unknown cycle_model `{m}` (expected sampled|analytic)"))?,
+    };
 
     let obs = dse_obs();
-    let results = obs
-        .slice_eval_ns
-        .time(|| evaluate_slice(&filter, model.as_deref(), seed, Some(max_points), cache))?;
+    let results = obs.slice_eval_ns.time(|| {
+        evaluate_slice(
+            &filter,
+            model.as_deref(),
+            seed,
+            Some(max_points),
+            cache,
+            cycle_model,
+        )
+    })?;
     obs.slice_points.add(results.len() as u64);
     let front = pareto_front_per_workload(&results, &objectives);
     let feasible = results.iter().filter(|r| r.feasible()).count();
@@ -153,8 +168,14 @@ fn slice_op(fields: &Fields, cache: &EngineCache, op: SliceOp) -> Result<Vec<Str
     if let Some(m) = &model {
         model_field = format!("\"model\":\"{}\",", json_escape(m));
     }
+    // Echoed only when non-default so sampled summaries stay
+    // byte-identical to the pre-mode wire format.
+    let cycle_field = match cycle_model {
+        CycleModel::Sampled => "",
+        CycleModel::Analytic => "\"cycle_model\":\"analytic\",",
+    };
     let mut bodies = vec![format!(
-        "\"op\":\"{}\",\"filter\":\"{}\",{model_field}\"seed\":{seed},\
+        "\"op\":\"{}\",\"filter\":\"{}\",{model_field}{cycle_field}\"seed\":{seed},\
          \"objectives\":\"{}\",\"points\":{},\"feasible\":{feasible},\"front\":{},\
          \"csv_header\":\"{}\",\"points_follow\":{points_follow}",
         op.name(),
@@ -226,7 +247,15 @@ mod tests {
         let cache = EngineCache::new();
         let req = format!(r#"{{"id":1,"op":"sweep","filter":"{FILTER}","seed":42,"points":true}}"#);
         let (lines, _) = ask(&req, &cache);
-        let slice = evaluate_slice(FILTER, None, 42, None, &EngineCache::new()).unwrap();
+        let slice = evaluate_slice(
+            FILTER,
+            None,
+            42,
+            None,
+            &EngineCache::new(),
+            CycleModel::Sampled,
+        )
+        .unwrap();
         assert_eq!(lines.len(), 1 + slice.len());
         assert!(
             lines[0].contains(&format!("\"points_follow\":{}", slice.len())),
@@ -250,7 +279,15 @@ mod tests {
         let cache = EngineCache::new();
         let req = format!(r#"{{"id":2,"op":"pareto","filter":"{FILTER}","seed":42}}"#);
         let (lines, _) = ask(&req, &cache);
-        let slice = evaluate_slice(FILTER, None, 42, None, &EngineCache::new()).unwrap();
+        let slice = evaluate_slice(
+            FILTER,
+            None,
+            42,
+            None,
+            &EngineCache::new(),
+            CycleModel::Sampled,
+        )
+        .unwrap();
         let front = pareto_front_per_workload(&slice, &Objective::DEFAULT);
         assert_eq!(lines.len(), 1 + front.len());
         assert!(

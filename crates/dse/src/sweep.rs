@@ -18,9 +18,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use tpe_engine::{CacheStats, EngineCache};
+use tpe_engine::{CacheStats, CycleModel, EngineCache};
 
-use crate::eval::{evaluate, PointResult};
+use crate::eval::{evaluate_with_model, PointResult};
 use crate::space::DesignPoint;
 
 /// Sweep parameters.
@@ -30,6 +30,8 @@ pub struct SweepConfig {
     pub threads: usize,
     /// Global seed mixed into every point's workload sampling.
     pub seed: u64,
+    /// Serial-cycle backend every point evaluates under (`--cycle-model`).
+    pub cycle_model: CycleModel,
 }
 
 impl Default for SweepConfig {
@@ -37,6 +39,7 @@ impl Default for SweepConfig {
         Self {
             threads: 0,
             seed: 42,
+            cycle_model: CycleModel::Sampled,
         }
     }
 }
@@ -92,7 +95,12 @@ pub fn sweep_with_cache(
     let mut results: Vec<Option<PointResult>> = vec![None; points.len()];
     if threads == 1 {
         for (slot, point) in results.iter_mut().zip(points) {
-            *slot = Some(evaluate(point, cache, config.seed));
+            *slot = Some(evaluate_with_model(
+                point,
+                cache,
+                config.seed,
+                config.cycle_model,
+            ));
         }
     } else {
         let cursor = AtomicUsize::new(0);
@@ -106,7 +114,15 @@ pub fn sweep_with_cache(
                             if i >= points.len() {
                                 break;
                             }
-                            local.push((i, evaluate(&points[i], cache, config.seed)));
+                            local.push((
+                                i,
+                                evaluate_with_model(
+                                    &points[i],
+                                    cache,
+                                    config.seed,
+                                    config.cycle_model,
+                                ),
+                            ));
                         }
                         local
                     })
@@ -159,6 +175,7 @@ pub fn evaluate_slice(
     seed: u64,
     max_points: Option<usize>,
     cache: &EngineCache,
+    cycle_model: CycleModel,
 ) -> Result<Vec<PointResult>, String> {
     let space = crate::space::slice_space(model)?;
     let points = space.enumerate_filtered(filter);
@@ -174,7 +191,10 @@ pub fn evaluate_slice(
             ));
         }
     }
-    Ok(points.iter().map(|p| evaluate(p, cache, seed)).collect())
+    Ok(points
+        .iter()
+        .map(|p| evaluate_with_model(p, cache, seed, cycle_model))
+        .collect())
 }
 
 #[cfg(test)]
@@ -190,6 +210,7 @@ mod tests {
             SweepConfig {
                 threads: 3,
                 seed: 9,
+                ..SweepConfig::default()
             },
         );
         assert_eq!(outcome.results.len(), points.len());
@@ -207,6 +228,7 @@ mod tests {
             SweepConfig {
                 threads: 1,
                 seed: 4,
+                ..SweepConfig::default()
             },
         );
         let parallel = sweep(
@@ -214,6 +236,7 @@ mod tests {
             SweepConfig {
                 threads: 4,
                 seed: 4,
+                ..SweepConfig::default()
             },
         );
         assert_eq!(serial.results, parallel.results);
@@ -228,6 +251,7 @@ mod tests {
             SweepConfig {
                 threads: 2,
                 seed: 1,
+                ..SweepConfig::default()
             },
             &cache,
         );
@@ -244,8 +268,15 @@ mod tests {
     #[test]
     fn evaluate_slice_matches_the_sweep_executor() {
         let cache = EngineCache::new();
-        let slice =
-            evaluate_slice("OPT1(TPU)/28nm@1.50,precision=w8", None, 9, None, &cache).unwrap();
+        let slice = evaluate_slice(
+            "OPT1(TPU)/28nm@1.50,precision=w8",
+            None,
+            9,
+            None,
+            &cache,
+            CycleModel::Sampled,
+        )
+        .unwrap();
         let points =
             DesignSpace::paper_default().enumerate_filtered("OPT1(TPU)/28nm@1.50,precision=w8");
         assert_eq!(slice.len(), points.len());
@@ -254,15 +285,26 @@ mod tests {
             SweepConfig {
                 threads: 2,
                 seed: 9,
+                ..SweepConfig::default()
             },
             &EngineCache::new(),
         );
         assert_eq!(slice, swept.results);
         // CLI-shaped errors surface as messages, not panics.
-        assert!(evaluate_slice("no-such-point", None, 9, None, &cache)
-            .unwrap_err()
-            .contains("no design points"));
-        assert!(evaluate_slice("", Some("no-such-net"), 9, None, &cache).is_err());
+        assert!(
+            evaluate_slice("no-such-point", None, 9, None, &cache, CycleModel::Sampled)
+                .unwrap_err()
+                .contains("no design points")
+        );
+        assert!(evaluate_slice(
+            "",
+            Some("no-such-net"),
+            9,
+            None,
+            &cache,
+            CycleModel::Sampled
+        )
+        .is_err());
     }
 
     /// A global-cache sweep reports only its own counter deltas, and its
@@ -274,6 +316,7 @@ mod tests {
         let config = SweepConfig {
             threads: 2,
             seed: 31,
+            ..SweepConfig::default()
         };
         let isolated = sweep_with_cache(&points, config, &EngineCache::new());
         let global = sweep(&points, config);

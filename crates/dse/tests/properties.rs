@@ -131,6 +131,7 @@ fn global_front_is_subset_of_per_workload_union() {
         SweepConfig {
             threads: 2,
             seed: 11,
+            ..SweepConfig::default()
         },
     );
     let global = pareto_front(&outcome.results, &Objective::DEFAULT);
@@ -156,6 +157,7 @@ fn sweep_csv_is_byte_identical_across_runs_and_thread_counts() {
             SweepConfig {
                 threads,
                 seed: 1234,
+                ..SweepConfig::default()
             },
         );
         let front = pareto_front(&outcome.results, &Objective::DEFAULT);
@@ -185,6 +187,7 @@ fn sweep_seed_reaches_the_workload_model() {
         SweepConfig {
             threads: 2,
             seed: 1,
+            ..SweepConfig::default()
         },
     );
     let b = sweep(
@@ -192,6 +195,7 @@ fn sweep_seed_reaches_the_workload_model() {
         SweepConfig {
             threads: 2,
             seed: 2,
+            ..SweepConfig::default()
         },
     );
     assert_ne!(a.results, b.results);
@@ -208,6 +212,7 @@ fn cache_hit_rate_is_nonzero_and_bounded() {
         SweepConfig {
             threads: 4,
             seed: 7,
+            ..SweepConfig::default()
         },
         &cache,
     );
@@ -242,6 +247,7 @@ fn paper_default_space_is_large_and_mostly_feasible() {
         SweepConfig {
             threads: 4,
             seed: 3,
+            ..SweepConfig::default()
         },
     );
     assert!(outcome.feasible_count() > dense.len() / 2);

@@ -37,7 +37,7 @@ use tpe_core::arch::{ArchKind, PeStyle};
 use tpe_sim::array::ClassicArch;
 use tpe_workloads::LayerShape;
 
-use crate::caps::SerialSampleCaps;
+use crate::caps::{CycleModel, SerialSampleCaps};
 use crate::spec::{EnginePrice, EngineSpec};
 
 /// Number of independent lock shards per map. 16 keeps the footprint
@@ -193,13 +193,23 @@ pub struct CycleKey {
     pub max_rounds: usize,
     /// Sampled-operand budget.
     pub max_operands: usize,
+    /// Which cycle backend produced the record. Keeping the mode in the
+    /// key lets sampled and analytic results coexist in one cache without
+    /// cross-contamination.
+    pub model: CycleModel,
 }
 
 impl CycleKey {
     /// Builds the key for scheduling `layer` on `spec` with `seed`/`caps`.
     /// The digit width is the layer's precision override when present
     /// (mixed-precision schedules), the engine's precision otherwise.
+    ///
+    /// Analytic results are a pure function of (engine, layer): the seed
+    /// and the numeric sampling budgets are canonicalized to zero in the
+    /// key, so every seed/caps combination shares one analytic record —
+    /// which is also what makes analytic cold results seed-independent.
     pub fn of(spec: &EngineSpec, layer: &LayerShape, seed: u64, caps: SerialSampleCaps) -> Self {
+        let analytic = caps.model == CycleModel::Analytic;
         Self {
             style: spec.style,
             encoding: spec.encoding,
@@ -208,9 +218,10 @@ impl CycleKey {
             n: layer.n,
             k: layer.k,
             repeats: layer.repeats,
-            seed,
-            max_rounds: caps.max_rounds,
-            max_operands: caps.max_operands,
+            seed: if analytic { 0 } else { seed },
+            max_rounds: if analytic { 0 } else { caps.max_rounds },
+            max_operands: if analytic { 0 } else { caps.max_operands },
+            model: caps.model,
         }
     }
 }

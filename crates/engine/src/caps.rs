@@ -10,7 +10,7 @@
 //! table closes: callers name the budget they want and the values live
 //! here only.
 
-pub use tpe_core::arch::workload::SerialSampleCaps;
+pub use tpe_core::arch::workload::{CycleModel, SerialSampleCaps};
 
 /// A named sampling budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,18 +44,22 @@ impl SampleProfile {
             SampleProfile::Single => SerialSampleCaps {
                 max_rounds: 128,
                 max_operands: 1_500_000,
+                model: CycleModel::Sampled,
             },
             SampleProfile::Sweep => SerialSampleCaps {
                 max_rounds: 48,
                 max_operands: 400_000,
+                model: CycleModel::Sampled,
             },
             SampleProfile::Model => SerialSampleCaps {
                 max_rounds: 24,
                 max_operands: 30_000,
+                model: CycleModel::Sampled,
             },
             SampleProfile::Quick => SerialSampleCaps {
                 max_rounds: 6,
                 max_operands: 4_000,
+                model: CycleModel::Sampled,
             },
         }
     }
@@ -74,8 +78,8 @@ impl SampleProfile {
             return base;
         }
         SerialSampleCaps {
-            max_rounds: base.max_rounds,
             max_operands: (base.max_operands * 8 / precision.a_bits as usize).max(1_000),
+            ..base
         }
     }
 
@@ -104,14 +108,16 @@ mod tests {
             SampleProfile::Sweep.caps(),
             SerialSampleCaps {
                 max_rounds: 48,
-                max_operands: 400_000
+                max_operands: 400_000,
+                model: CycleModel::Sampled,
             }
         );
         assert_eq!(
             SampleProfile::Model.caps(),
             SerialSampleCaps {
                 max_rounds: 24,
-                max_operands: 30_000
+                max_operands: 30_000,
+                model: CycleModel::Sampled,
             }
         );
         for pair in SampleProfile::ALL.windows(2) {

@@ -21,7 +21,7 @@ use tpe_workloads::NetworkModel;
 #[cfg(doc)]
 use crate::cache::PriceKey;
 use crate::cache::{EngineCache, PeKey, PeRecord};
-use crate::caps::{SampleProfile, SerialSampleCaps};
+use crate::caps::{CycleModel, SampleProfile, SerialSampleCaps};
 use crate::fnv1a;
 use crate::report::ModelReport;
 use crate::schedule::{cached_serial_cycles, dense_model_cycles, serial_model_cycles};
@@ -45,6 +45,9 @@ pub(crate) struct EvalObs {
     pub price_assemble_ns: Arc<Histogram>,
     /// `eval_serial_sample_ns`: one serial-cycle sampling run (cold only).
     pub serial_sample_ns: Arc<Histogram>,
+    /// `eval_serial_analytic_ns`: one closed-form serial-cycle evaluation
+    /// (cold only, analytic mode).
+    pub serial_analytic_ns: Arc<Histogram>,
     /// `eval_model_schedule_ns`: one whole-model schedule (includes its
     /// per-layer sampling, cold or warm).
     pub model_schedule_ns: Arc<Histogram>,
@@ -63,6 +66,7 @@ pub(crate) fn eval_obs() -> &'static EvalObs {
             synthesis_ns: reg.histogram("eval_synthesis_ns"),
             price_assemble_ns: reg.histogram("eval_price_assemble_ns"),
             serial_sample_ns: reg.histogram("eval_serial_sample_ns"),
+            serial_analytic_ns: reg.histogram("eval_serial_analytic_ns"),
             model_schedule_ns: reg.histogram("eval_model_schedule_ns"),
             price_calls: reg.counter("eval_price_calls"),
             metrics_calls: reg.counter("eval_metrics_calls"),
@@ -98,19 +102,38 @@ pub struct Metrics {
 #[derive(Debug, Clone, Copy)]
 pub struct Evaluator<'c> {
     cache: &'c EngineCache,
+    cycle_model: CycleModel,
 }
 
 impl<'c> Evaluator<'c> {
-    /// An evaluator over an explicit cache instance.
+    /// An evaluator over an explicit cache instance (sampled cycle model).
     pub fn new(cache: &'c EngineCache) -> Self {
-        Self { cache }
+        Self {
+            cache,
+            cycle_model: CycleModel::Sampled,
+        }
     }
 
-    /// The evaluator over the process-wide global cache.
+    /// The evaluator over the process-wide global cache (sampled cycle
+    /// model).
     pub fn global() -> Evaluator<'static> {
-        Evaluator {
-            cache: EngineCache::global(),
+        Evaluator::new(EngineCache::global())
+    }
+
+    /// The same evaluator with the serial-cycle backend switched. The
+    /// evaluator's mode is authoritative: it is stamped onto the sampling
+    /// caps of every serial evaluation it issues, for [`Self::metrics`]
+    /// and [`Self::model_report`] alike.
+    pub fn with_cycle_model(self, model: CycleModel) -> Self {
+        Self {
+            cycle_model: model,
+            ..self
         }
+    }
+
+    /// The serial-cycle backend this evaluator selects.
+    pub fn cycle_model(&self) -> CycleModel {
+        self.cycle_model
     }
 
     /// The cache this evaluator memoizes into.
@@ -237,7 +260,10 @@ impl<'c> Evaluator<'c> {
                             spec,
                             layer,
                             point_seed,
-                            SampleProfile::Sweep.caps_for(spec.precision),
+                            SerialSampleCaps {
+                                model: self.cycle_model,
+                                ..SampleProfile::Sweep.caps_for(spec.precision)
+                            },
                         );
                         (rec.cycles, rec.utilization())
                     }
@@ -246,7 +272,10 @@ impl<'c> Evaluator<'c> {
                         spec,
                         net,
                         point_seed,
-                        SampleProfile::Model.caps_for(spec.precision),
+                        SerialSampleCaps {
+                            model: self.cycle_model,
+                            ..SampleProfile::Model.caps_for(spec.precision)
+                        },
                     ),
                 }
             }
@@ -290,6 +319,10 @@ impl<'c> Evaluator<'c> {
     ) -> Option<ModelReport> {
         let price = self.price(spec)?;
         let cell_seed = seed ^ fnv1a(&format!("{}/{}", spec.label(), net.name));
+        let caps = SerialSampleCaps {
+            model: self.cycle_model,
+            ..caps
+        };
         Some(crate::schedule::evaluate_model_with(
             self.cache, spec, &price, net, cell_seed, caps,
         ))

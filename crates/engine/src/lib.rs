@@ -72,7 +72,7 @@ pub mod spec;
 pub mod workload;
 
 pub use cache::{CacheStats, EngineCache};
-pub use caps::{SampleProfile, SerialSampleCaps};
+pub use caps::{CycleModel, SampleProfile, SerialSampleCaps};
 pub use eval::{Evaluator, Metrics};
 pub use report::{LayerReport, ModelReport};
 pub use schedule::{

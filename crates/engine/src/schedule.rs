@@ -24,14 +24,14 @@
 //!
 //! [`sample_serial_cycles`]: tpe_core::arch::workload::sample_serial_cycles
 
-use tpe_core::arch::workload::sample_serial_cycles;
+use tpe_core::arch::workload::{analytic_serial_cycles, sample_serial_cycles, SerialCycleStats};
 use tpe_core::arch::ArchKind;
 use tpe_sim::array::ClassicArch;
 use tpe_sim::BitsliceConfig;
 use tpe_workloads::{LayerShape, NetworkModel};
 
 use crate::cache::{CycleKey, EngineCache, SerialLayerRecord};
-use crate::caps::{SampleProfile, SerialSampleCaps};
+use crate::caps::{CycleModel, SampleProfile, SerialSampleCaps};
 use crate::fnv1a;
 use crate::report::{LayerReport, ModelReport};
 use crate::spec::{EnginePrice, EngineSpec};
@@ -95,21 +95,27 @@ fn caps_for_layer(
         return caps;
     }
     SerialSampleCaps {
-        max_rounds: caps.max_rounds,
         max_operands: (caps.max_operands * engine_a as usize / layer_a as usize).max(1_000),
+        ..caps
     }
 }
 
-/// The sampled serial-layer outcome for `spec`, through `cache`.
+/// The serial-layer outcome for `spec`, through `cache`.
 ///
 /// This is the single entry point to the statistical sync model: the dse
 /// evaluator, the model scheduler and the figure experiments all draw
-/// from here, so one (engine, layer, seed, caps) evaluation is sampled at
+/// from here, so one (engine, layer, seed, caps) evaluation runs at
 /// most once per process. Digit statistics are drawn at
 /// [`layer_a_bits`] — the precision axis's hook into the cycle model —
 /// and the operand budget is width-corrected per layer
 /// (`caps_for_layer`); the cache keys on the corrected caps, i.e. on
-/// what the sampler actually ran with.
+/// what the backend actually ran with.
+///
+/// `caps.model` selects the backend: the Monte-Carlo sampler (the
+/// original path and test oracle, timed under `eval_serial_sample_ns`) or
+/// the closed-form analytic evaluation (seed-independent, timed under
+/// `eval_serial_analytic_ns`). The mode is part of the [`CycleKey`], so
+/// both kinds of record coexist in one cache without cross-contamination.
 pub fn cached_serial_cycles(
     cache: &EngineCache,
     spec: &EngineSpec,
@@ -120,26 +126,34 @@ pub fn cached_serial_cycles(
     let caps = caps_for_layer(spec, layer, caps);
     let key = CycleKey::of(spec, layer, seed, caps);
     cache.serial_record(key, || {
-        let _span = crate::eval::eval_obs().serial_sample_ns.span();
         let cfg = serial_config(spec);
         let encoder = spec.encoding.encoder();
-        let stats = sample_serial_cycles(
-            &cfg,
-            encoder.as_ref(),
-            layer_a_bits(spec, layer),
-            layer,
-            seed,
-            caps,
-        );
-        SerialLayerRecord {
-            cycles: stats.cycles,
-            busy_sum: stats.busy.iter().sum(),
-            busy_min: stats.busy.iter().cloned().fold(f64::INFINITY, f64::min),
-            busy_max: stats.busy.iter().cloned().fold(0.0, f64::max),
-            rounds: stats.rounds,
-            columns: stats.busy.len() as u32,
-        }
+        let a_bits = layer_a_bits(spec, layer);
+        let stats = match caps.model {
+            CycleModel::Sampled => {
+                let _span = crate::eval::eval_obs().serial_sample_ns.span();
+                sample_serial_cycles(&cfg, encoder.as_ref(), a_bits, layer, seed, caps)
+            }
+            CycleModel::Analytic => {
+                let _span = crate::eval::eval_obs().serial_analytic_ns.span();
+                analytic_serial_cycles(&cfg, encoder.as_ref(), a_bits, layer)
+            }
+        };
+        record_of(&stats)
     })
+}
+
+/// Collapses per-column stats into the memoized record (bit-identically
+/// to the original `SerialCycleStats` expressions).
+fn record_of(stats: &SerialCycleStats) -> SerialLayerRecord {
+    SerialLayerRecord {
+        cycles: stats.cycles,
+        busy_sum: stats.busy.iter().sum(),
+        busy_min: stats.busy.iter().cloned().fold(f64::INFINITY, f64::min),
+        busy_max: stats.busy.iter().cloned().fold(0.0, f64::max),
+        rounds: stats.rounds,
+        columns: stats.busy.len() as u32,
+    }
 }
 
 /// Schedules one img2col-lowered layer onto `engine`, through `cache`.

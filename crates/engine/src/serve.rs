@@ -99,6 +99,7 @@ use tpe_obs::{Counter, Gauge, Histogram, Registry};
 use tpe_workloads::{LayerShape, NetworkModel};
 
 use crate::cache::EngineCache;
+use crate::caps::CycleModel;
 use crate::eval::Evaluator;
 use crate::roster;
 use crate::workload::SweepWorkload;
@@ -429,12 +430,36 @@ pub fn handle_line(line: &str, cache: &EngineCache) -> (String, bool) {
 /// Handles one request line against `cache` with `ops` extensions,
 /// returning the response lines (one for built-in ops, possibly several
 /// for batch ops; no trailing newlines) and whether the request asked for
-/// shutdown.
+/// shutdown. Requests default to the sampled cycle model; see
+/// [`handle_request_with`] for a server-level default.
 pub fn handle_request(line: &str, cache: &EngineCache, ops: &dyn BatchOps) -> (Vec<String>, bool) {
+    handle_request_with(line, cache, ops, CycleModel::Sampled)
+}
+
+/// [`handle_request`] with a server-level default [`CycleModel`]
+/// ([`ServeConfig::cycle_model`]): requests that do not spell a
+/// `cycle_model` field evaluate under `default_model`; an explicit field
+/// always wins. The default is injected as if the client had sent the
+/// field, so built-in ops and batch-op extensions see one consistent
+/// request.
+pub fn handle_request_with(
+    line: &str,
+    cache: &EngineCache,
+    ops: &dyn BatchOps,
+    default_model: CycleModel,
+) -> (Vec<String>, bool) {
     let fields = match parse_flat_object(line) {
         Ok(map) => Fields(map),
         Err(e) => return (vec![error_line(recover_id(line), &e)], false),
     };
+    let mut fields = fields;
+    if default_model != CycleModel::Sampled && !fields.0.contains_key("cycle_model") {
+        fields.0.insert(
+            "cycle_model".into(),
+            JsonValue::Str(default_model.name().into()),
+        );
+    }
+    let fields = fields;
     let id = fields.uint_or("id", 0).unwrap_or(0);
     match respond(&fields, cache, ops) {
         Ok((bodies, is_shutdown)) => (
@@ -454,7 +479,15 @@ fn respond(
     cache: &EngineCache,
     ops: &dyn BatchOps,
 ) -> Result<(Vec<String>, bool), String> {
-    let eval = Evaluator::new(cache);
+    let cycle_model = resolve_cycle_model(fields)?;
+    let eval = Evaluator::new(cache).with_cycle_model(cycle_model);
+    // Echoed in cycle-bearing bodies only when non-default, so every
+    // sampled-mode response stays byte-identical to the pre-mode wire
+    // format.
+    let cycle_tag = match cycle_model {
+        CycleModel::Sampled => String::new(),
+        CycleModel::Analytic => ",\"cycle_model\":\"analytic\"".into(),
+    };
     let op = fields.str("op")?;
     let one = |body: String| Ok((vec![body], false));
     match op {
@@ -498,14 +531,14 @@ fn respond(
             let workload = SweepWorkload::Layer(LayerShape::new(&name, m, n, k, repeats));
             let body = match eval.metrics(&spec, &workload, seed) {
                 Some(mt) => format!(
-                    "\"op\":\"layer\",\"engine\":\"{}\",\"workload\":\"{}\",\"seed\":{seed},\
+                    "\"op\":\"layer\",\"engine\":\"{}\",\"workload\":\"{}\",\"seed\":{seed}{cycle_tag},\
                      \"feasible\":true,{}",
                     json_escape(&spec.label()),
                     json_escape(&name),
                     metrics_body(&mt)
                 ),
                 None => format!(
-                    "\"op\":\"layer\",\"engine\":\"{}\",\"workload\":\"{}\",\"seed\":{seed},\
+                    "\"op\":\"layer\",\"engine\":\"{}\",\"workload\":\"{}\",\"seed\":{seed}{cycle_tag},\
                      \"feasible\":false",
                     json_escape(&spec.label()),
                     json_escape(&name)
@@ -523,7 +556,7 @@ fn respond(
                 .ok_or_else(|| format!("unknown model `{model_name}`"))?;
             let body = match eval.model_report(&spec, &net, seed, crate::MODEL_SAMPLE_CAPS) {
                 Some(r) => format!(
-                    "\"op\":\"model\",\"engine\":\"{}\",\"model\":\"{}\",\"seed\":{seed},\
+                    "\"op\":\"model\",\"engine\":\"{}\",\"model\":\"{}\",\"seed\":{seed}{cycle_tag},\
                      \"feasible\":true,\"layers\":{},\"macs\":{},\"cycles\":{:.0},\
                      \"delay_us\":{:.4},\"energy_uj\":{:.6},\"gops\":{:.3},\
                      \"peak_tops\":{:.4},\"utilization\":{:.5},\"power_w\":{:.5},\
@@ -543,7 +576,7 @@ fn respond(
                     r.area_um2
                 ),
                 None => format!(
-                    "\"op\":\"model\",\"engine\":\"{}\",\"model\":\"{}\",\"seed\":{seed},\
+                    "\"op\":\"model\",\"engine\":\"{}\",\"model\":\"{}\",\"seed\":{seed}{cycle_tag},\
                      \"feasible\":false",
                     json_escape(&spec.label()),
                     json_escape(&net.name)
@@ -679,6 +712,18 @@ fn resolve_engine(fields: &Fields) -> Result<crate::EngineSpec, String> {
     }
 }
 
+/// Resolves the request's serial-cycle backend from the optional
+/// `cycle_model` field (`"sampled"` / `"analytic"`, case-insensitive);
+/// absent means sampled — the historical wire behavior.
+fn resolve_cycle_model(fields: &Fields) -> Result<CycleModel, String> {
+    match fields.0.get("cycle_model") {
+        None => Ok(CycleModel::Sampled),
+        Some(JsonValue::Str(m)) => CycleModel::parse(m)
+            .ok_or_else(|| format!("unknown cycle_model `{m}` (expected sampled|analytic)")),
+        Some(_) => Err("field `cycle_model` must be a string".into()),
+    }
+}
+
 fn metrics_body(m: &crate::Metrics) -> String {
     format!(
         "\"area_um2\":{:.3},\"delay_us\":{:.4},\"energy_uj\":{:.6},\"fj_per_mac\":{:.4},\
@@ -800,6 +845,9 @@ pub struct ServeConfig {
     /// Maximum requests a single connection may have in flight (submitted
     /// to the pool but not yet written back); the reader blocks past this.
     pub max_inflight: usize,
+    /// Server-level default serial-cycle backend for requests that do not
+    /// carry a `cycle_model` field (an explicit field always wins).
+    pub cycle_model: CycleModel,
 }
 
 impl Default for ServeConfig {
@@ -808,6 +856,7 @@ impl Default for ServeConfig {
             threads: 0,
             max_line_bytes: 64 * 1024,
             max_inflight: 64,
+            cycle_model: CycleModel::Sampled,
         }
     }
 }
@@ -908,7 +957,7 @@ pub fn serve_with_obs(
                 // evaluates and answers.
                 obs.queue_wait_ns.record_duration(submitted.elapsed());
                 let eval_start = Instant::now();
-                let (lines, _) = handle_request(&line, cache, ops);
+                let (lines, _) = handle_request_with(&line, cache, ops, config.cycle_model);
                 // All metrics for this request land before its reply can
                 // reach the socket: a client that has read response N
                 // knows the counters cover requests 1..=N (and a

@@ -103,7 +103,10 @@ pub fn run_grid(
     config: GridConfig,
 ) -> GridOutcome {
     let start = Instant::now();
-    let evaluator = Evaluator::global();
+    // The evaluator is authoritative about the cycle model: it stamps its
+    // own mode onto the caps it evaluates with, so the grid must hand the
+    // config's choice over instead of relying on the caps field alone.
+    let evaluator = Evaluator::global().with_cycle_model(config.caps.model);
     let cells: Vec<(usize, usize)> = (0..models.len())
         .flat_map(|mi| (0..engines.len()).map(move |ei| (mi, ei)))
         .collect();

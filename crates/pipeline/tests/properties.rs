@@ -107,7 +107,14 @@ fn dse_model_points_are_thread_count_invariant() {
     let points = space.enumerate_filtered("OPT4E[EN-T]/28nm");
     assert!(!points.is_empty());
     let emit = |threads: usize, seed: u64| {
-        let outcome = sweep(&points, SweepConfig { threads, seed });
+        let outcome = sweep(
+            &points,
+            SweepConfig {
+                threads,
+                seed,
+                ..SweepConfig::default()
+            },
+        );
         let front = pareto_front(&outcome.results, &Objective::DEFAULT);
         tpe_dse::emit::to_csv(&outcome.results, &front)
     };

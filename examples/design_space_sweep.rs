@@ -35,6 +35,7 @@ fn main() {
         SweepConfig {
             threads: 1,
             seed: 42,
+            ..SweepConfig::default()
         },
     );
     let parallel = sweep(
@@ -42,6 +43,7 @@ fn main() {
         SweepConfig {
             threads: 0,
             seed: 42,
+            ..SweepConfig::default()
         },
     );
     assert_eq!(serial.results, parallel.results, "determinism violated");
