@@ -122,26 +122,26 @@ pub fn commands() -> Vec<Command> {
         }),
         cmd!(
             "dse",
-            "[--filter S[,precision=W4]] [--objectives a,b,..] [--model S|all] [--precision W4,W8,..] [--cycle-model sampled|analytic] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
+            "[--filter S[,precision=W4]] [--objectives a,b,..] [--model S|all] [--precision W4,W8,..] [--cycle-model sampled|analytic] [--threads N] [--seed S] [--out F.csv] [--json F.json] [--cache-load F.bin] [--cache-save F.bin]",
             "Design-space sweep + Pareto front (tpe-dse)",
             |a| fallible(exp::dse(a))
         ),
         cmd!(
             "models",
-            "[--model S] [--arch S] [--precision W4|W8|W16|W8xW4] [--cycle-model sampled|analytic] [--threads N] [--seed S] [--out F.csv] [--json F.json]",
+            "[--model S] [--arch S] [--precision W4|W8|W16|W8xW4] [--cycle-model sampled|analytic] [--threads N] [--seed S] [--out F.csv] [--json F.json] [--cache-load F.bin] [--cache-save F.bin]",
             "Model-level grid: every network x the engine roster",
             |a| fallible(exp::models(a))
         ),
         cmd!(
             "serve",
-            "[--port N] [--threads N] [--max-line-bytes N] [--cycle-model sampled|analytic]",
-            "TCP/NDJSON batch query server (worker pool, sweep/pareto ops, global cache)",
+            "[--port N] [--threads N] [--max-line-bytes N] [--cycle-model sampled|analytic] [--cache-snapshot F.bin] [--snapshot-every N]",
+            "TCP/NDJSON batch query server (worker pool, sweep/pareto/fleet ops, global cache)",
             |a| fallible(exp::serve(a))
         ),
         cmd!(
             "query",
-            "[--host H] --port N [--file F] [--precision P]",
-            "Client: send NDJSON requests (file or stdin) to a serve instance",
+            "[--host H] --port N [--file F] [--precision P] [--shards H:P,H:P,..]",
+            "Client: send NDJSON requests (file or stdin) to a serve instance or shard fleet",
             |a| fallible(exp::query(a))
         ),
         cmd!(
@@ -152,9 +152,15 @@ pub fn commands() -> Vec<Command> {
         ),
         cmd!(
             "serve-smoke",
-            "[--queries N] [--threads N] [--out F.json]",
+            "[--queries N] [--threads N] [--out F.json] [--min-qps N]",
             "Self-driving load smoke: mixed batch incl. sweep/pareto, client+server latency views",
             |a| fallible(exp::serve_smoke(a))
+        ),
+        cmd!(
+            "snapshot-smoke",
+            "[--filter S] [--snapshot F.bin] [--min-speedup X] [--out F.json]",
+            "Warm-start smoke: snapshot round trip, >=10x warm sweep, server restart replay",
+            |a| fallible(exp::snapshot_smoke(a))
         ),
         cmd!(
             "profile",

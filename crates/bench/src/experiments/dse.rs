@@ -37,6 +37,8 @@ struct DseOptions {
     cycle_model: CycleModel,
     out_csv: Option<String>,
     out_json: Option<String>,
+    cache_load: Option<String>,
+    cache_save: Option<String>,
 }
 
 /// Parses a comma-separated precision list ("w4,w8,w16").
@@ -66,6 +68,8 @@ fn parse_options(args: &[String]) -> Result<DseOptions, String> {
         cycle_model: CycleModel::Sampled,
         out_csv: None,
         out_json: None,
+        cache_load: None,
+        cache_save: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -96,10 +100,45 @@ fn parse_options(args: &[String]) -> Result<DseOptions, String> {
             }
             "--out" => opts.out_csv = Some(value("--out")?),
             "--json" => opts.out_json = Some(value("--json")?),
+            "--cache-load" => opts.cache_load = Some(value("--cache-load")?),
+            "--cache-save" => opts.cache_save = Some(value("--cache-save")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(opts)
+}
+
+/// Warm-starts the global cache from a snapshot file when `--cache-load`
+/// is given (missing file → note a cold run; corrupt file → hard error —
+/// a CI gate that silently ran cold would pass for the wrong reason).
+/// Returns the report note.
+pub(crate) fn cache_load_note(path: Option<&str>) -> Result<String, String> {
+    let Some(path) = path else {
+        return Ok(String::new());
+    };
+    let info = tpe_engine::snapshot::load(EngineCache::global(), std::path::Path::new(path))
+        .map_err(|e| format!("loading cache snapshot {path}: {e}"))?;
+    Ok(match info {
+        Some(info) => format!(
+            "cache snapshot loaded from {path} ({} entries, {} bytes)\n",
+            info.entries, info.bytes
+        ),
+        None => format!("cache snapshot {path} not found — running cold\n"),
+    })
+}
+
+/// Saves the global cache to a snapshot file when `--cache-save` is
+/// given. Returns the report note.
+pub(crate) fn cache_save_note(path: Option<&str>) -> Result<String, String> {
+    let Some(path) = path else {
+        return Ok(String::new());
+    };
+    let info = tpe_engine::snapshot::save(EngineCache::global(), std::path::Path::new(path))
+        .map_err(|e| format!("saving cache snapshot {path}: {e}"))?;
+    Ok(format!(
+        "cache snapshot saved to {path} ({} entries, {} bytes)\n",
+        info.entries, info.bytes
+    ))
 }
 
 /// Topology axis value of a point, for the report's coverage breakdown.
@@ -115,7 +154,8 @@ pub fn dse(args: &[String]) -> String {
             "error: {msg}\nusage: repro dse [--filter SUBSTR[,precision=W4]] [--objectives \
              area,delay,energy,power,throughput,utilization] [--model SUBSTR|all] \
              [--precision W4,W8,W16,W8xW4] [--cycle-model sampled|analytic] [--threads N] \
-             [--seed S] [--out FILE.csv] [--json FILE.json]\n"
+             [--seed S] [--out FILE.csv] [--json FILE.json] [--cache-load F.bin] \
+             [--cache-save F.bin]\n"
         ),
     }
 }
@@ -134,6 +174,11 @@ fn try_dse(args: &[String]) -> Result<String, String> {
     if points.is_empty() {
         return Err(format!("no design points match filter `{}`", opts.filter));
     }
+
+    // `--cache-load` warm-starts the global cache the parallel run uses;
+    // the serial reference below stays on an isolated cache, so the
+    // reported 1-thread timing remains an honest cold figure either way.
+    let load_note = cache_load_note(opts.cache_load.as_deref())?;
 
     // Serial reference on an isolated cache (honest cold timing), the
     // parallel run against the process-wide global cache every other
@@ -160,6 +205,8 @@ fn try_dse(args: &[String]) -> Result<String, String> {
         serial.results, parallel.results,
         "parallel sweep diverged from the serial reference"
     );
+
+    let save_note = cache_save_note(opts.cache_save.as_deref())?;
 
     let front = pareto_front_per_workload(&parallel.results, &opts.objectives);
     let csv = to_csv(&parallel.results, &front);
@@ -234,6 +281,8 @@ fn try_dse(args: &[String]) -> Result<String, String> {
         parallel.cache.cycle_misses,
     )
     .unwrap();
+    out.push_str(&load_note);
+    out.push_str(&save_note);
     let speedup = serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-9);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     writeln!(
@@ -388,6 +437,49 @@ mod tests {
             "2",
         ]));
         assert!(!sampled.contains("cycle model:"), "{sampled}");
+    }
+
+    /// `--cache-save` then `--cache-load` round-trips the warm state: the
+    /// second run reports the loaded snapshot, and a corrupt file is a
+    /// hard error (never a silent cold run).
+    #[test]
+    fn cache_save_load_round_trip() {
+        let path = std::env::temp_dir().join(format!("tpe-dse-snap-{}.bin", std::process::id()));
+        let p = path.to_str().unwrap();
+        let saved = dse(&args(&[
+            "--filter",
+            "OPT1(TPU)/28nm@1.50,precision=w8",
+            "--cache-save",
+            p,
+        ]));
+        assert!(
+            saved.contains(&format!("cache snapshot saved to {p}")),
+            "{saved}"
+        );
+        let loaded = dse(&args(&[
+            "--filter",
+            "OPT1(TPU)/28nm@1.50,precision=w8",
+            "--cache-load",
+            p,
+        ]));
+        assert!(
+            loaded.contains(&format!("cache snapshot loaded from {p}")),
+            "{loaded}"
+        );
+        std::fs::write(&path, b"not a snapshot").unwrap();
+        let corrupt = dse(&args(&["--filter", "(TPU)", "--cache-load", p]));
+        assert!(
+            corrupt.contains("error: loading cache snapshot"),
+            "{corrupt}"
+        );
+        let _ = std::fs::remove_file(&path);
+        let missing = dse(&args(&[
+            "--filter",
+            "OPT1(TPU)/28nm@1.50,precision=w8",
+            "--cache-load",
+            p,
+        ]));
+        assert!(missing.contains("not found — running cold"), "{missing}");
     }
 
     #[test]

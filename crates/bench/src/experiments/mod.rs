@@ -9,6 +9,7 @@ mod notation_demo;
 mod profile;
 mod schemes;
 mod serve;
+mod snapshot;
 mod tables;
 mod workload_figs;
 
@@ -20,6 +21,7 @@ pub use notation_demo::notation;
 pub use profile::profile;
 pub use schemes::{fig2_schemes, sweep_precision, sweep_width};
 pub use serve::{metrics, query, serve, serve_smoke, smoke_batch};
+pub use snapshot::snapshot_smoke;
 pub use tables::{table1, table2, table3, table5, table7};
 pub use workload_figs::{fig11, fig12, fig13};
 
@@ -51,6 +53,17 @@ pub fn all() -> String {
         ("dse", dse(&[])),
         ("models", models(&[])),
         ("serve-smoke", serve_smoke(&[])),
+        // Bounded serial-engine slice: the full-space ×10 gate is CI's
+        // release-mode run; `all` proves the persistence path end to end.
+        (
+            "snapshot-smoke",
+            snapshot_smoke(&[
+                "--filter".to_string(),
+                "OPT4E[EN-T]/28nm@2.00GHz,precision=w8".to_string(),
+                "--min-speedup".to_string(),
+                "2".to_string(),
+            ]),
+        ),
     ] {
         out.push_str(&format!("\n════════ {name} ════════\n"));
         out.push_str(&text);

@@ -28,6 +28,8 @@ struct ModelOptions {
     cycle_model: CycleModel,
     out_csv: Option<String>,
     out_json: Option<String>,
+    cache_load: Option<String>,
+    cache_save: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<ModelOptions, String> {
@@ -40,6 +42,8 @@ fn parse_options(args: &[String]) -> Result<ModelOptions, String> {
         cycle_model: CycleModel::Sampled,
         out_csv: None,
         out_json: None,
+        cache_load: None,
+        cache_save: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -75,6 +79,8 @@ fn parse_options(args: &[String]) -> Result<ModelOptions, String> {
             }
             "--out" => opts.out_csv = Some(value("--out")?),
             "--json" => opts.out_json = Some(value("--json")?),
+            "--cache-load" => opts.cache_load = Some(value("--cache-load")?),
+            "--cache-save" => opts.cache_save = Some(value("--cache-save")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -88,7 +94,8 @@ pub fn models(args: &[String]) -> String {
         Err(msg) => format!(
             "error: {msg}\nusage: repro models [--model SUBSTR] [--arch SUBSTR] \
              [--precision W4|W8|W16|W8xW4] [--cycle-model sampled|analytic] \
-             [--threads N] [--seed S] [--out FILE.csv] [--json FILE.json]\n"
+             [--threads N] [--seed S] [--out FILE.csv] [--json FILE.json] \
+             [--cache-load F.bin] [--cache-save F.bin]\n"
         ),
     }
 }
@@ -125,6 +132,10 @@ fn try_models(args: &[String]) -> Result<String, String> {
         return Err(format!("no engine matches `{}`", opts.arch_filter));
     }
 
+    // Both grid runs price engines through the process-wide cache, so a
+    // loaded snapshot warms the whole command.
+    let load_note = super::dse::cache_load_note(opts.cache_load.as_deref())?;
+
     let caps = SerialSampleCaps {
         model: opts.cycle_model,
         ..GridConfig::default().caps
@@ -153,6 +164,7 @@ fn try_models(args: &[String]) -> Result<String, String> {
         csv,
         "parallel model grid diverged from the serial reference"
     );
+    let save_note = super::dse::cache_save_note(opts.cache_save.as_deref())?;
 
     if let Some(path) = &opts.out_csv {
         std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
@@ -187,6 +199,8 @@ fn try_models(args: &[String]) -> Result<String, String> {
         )
         .unwrap();
     }
+    out.push_str(&load_note);
+    out.push_str(&save_note);
     writeln!(
         out,
         "grid wall-clock: {:.0} ms on 1 thread, {:.0} ms on {} threads \
@@ -334,6 +348,33 @@ mod tests {
         ]));
         assert!(report.contains("cycle model: analytic"), "{report}");
         assert!(report.contains("fastest:"), "{report}");
+    }
+
+    /// `--cache-save`/`--cache-load` thread the shared snapshot helpers
+    /// through the grid command.
+    #[test]
+    fn cache_flags_save_and_load() {
+        let path = std::env::temp_dir().join(format!("tpe-models-snap-{}.bin", std::process::id()));
+        let p = path.to_str().unwrap();
+        let grid = &[
+            "--model",
+            "resnet18",
+            "--arch",
+            "OPT1(TPU)",
+            "--threads",
+            "2",
+        ];
+        let saved = models(&args(&[grid as &[&str], &["--cache-save", p]].concat()));
+        assert!(
+            saved.contains(&format!("cache snapshot saved to {p}")),
+            "{saved}"
+        );
+        let loaded = models(&args(&[grid as &[&str], &["--cache-load", p]].concat()));
+        assert!(
+            loaded.contains(&format!("cache snapshot loaded from {p}")),
+            "{loaded}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

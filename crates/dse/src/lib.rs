@@ -30,10 +30,17 @@
 //! * [`emit`] — deterministic CSV / JSON emission, for both point sweeps
 //!   ([`emit::to_csv`]) and `tpe-pipeline` model grids
 //!   ([`emit::model_csv`]).
-//! * [`serve_ops`] — [`DseOps`]: the `sweep`/`pareto` batch ops `repro
-//!   serve` attaches, answering a filtered slice (via
+//! * [`serve_ops`] — [`DseOps`]: the `sweep`/`pareto`/`fleet` batch ops
+//!   `repro serve` attaches, answering a filtered slice (via
 //!   [`sweep::evaluate_slice`]) as a summary line plus per-point `repro
 //!   dse` CSV rows over the wire.
+//! * [`shard`] — deterministic label-hash partitioning of sweep slices
+//!   (`"shard":"k/n"` on the slice ops) and
+//!   [`shard::merge_shard_responses`], the client-side merge that
+//!   reassembles shard responses byte-identical to a single-node answer.
+//! * [`fleet`] — the `fleet` op's allocator: pick engine/replica counts
+//!   meeting a traffic mix's throughput and latency targets at minimum
+//!   area or power.
 //!
 //! ## Quickstart
 //!
@@ -50,14 +57,19 @@
 
 pub mod emit;
 pub mod eval;
+pub mod fleet;
 pub mod pareto;
 pub mod serve_ops;
+pub mod shard;
 pub mod space;
 pub mod sweep;
 
 pub use eval::{evaluate, evaluate_with_model, Metrics, PointResult};
 pub use pareto::{pareto_front, pareto_front_per_workload, Objective};
 pub use serve_ops::DseOps;
+pub use shard::{merge_shard_responses, ShardSpec};
 pub use space::{slice_space, Corner, DesignPoint, DesignSpace, Precision, SweepWorkload};
-pub use sweep::{evaluate_slice, sweep, sweep_with_cache, SweepConfig, SweepOutcome};
+pub use sweep::{
+    evaluate_slice, evaluate_slice_shard, sweep, sweep_with_cache, SweepConfig, SweepOutcome,
+};
 pub use tpe_engine::{CacheStats, CycleModel, EngineCache};

@@ -101,6 +101,24 @@ pub fn dominates(a: &Metrics, b: &Metrics, objectives: &[Objective]) -> bool {
     strictly_better
 }
 
+/// [`dominates`] over pre-computed score vectors (one [`Objective::score`]
+/// per objective, lower is better). This is the comparison a shard-merge
+/// client replays from wire-shipped scores, so it must stay bit-identical
+/// to the in-process path — both call sites compare the same `f64`s.
+pub fn dominates_scores(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (sa, sb) in a.iter().zip(b) {
+        if sa > sb {
+            return false;
+        }
+        if sa < sb {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
 /// Indices (into `results`) of the Pareto-optimal feasible points, sorted
 /// ascending. Infeasible points never enter the front.
 pub fn pareto_front(results: &[PointResult], objectives: &[Objective]) -> Vec<usize> {

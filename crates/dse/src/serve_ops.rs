@@ -45,9 +45,10 @@ use tpe_obs::{Counter, Histogram, Registry};
 use crate::emit::{point_csv_row, CSV_HEADER};
 use crate::eval::PointResult;
 use crate::pareto::{pareto_front_per_workload, Objective};
-use crate::sweep::evaluate_slice;
+use crate::shard::{encode_scores, group_key, scores_of, ShardSpec};
+use crate::sweep::evaluate_slice_shard;
 
-/// The `sweep`/`pareto` op set. Attach with
+/// The `sweep`/`pareto`/`fleet` op set. Attach with
 /// `tpe_engine::serve::serve_with(listener, cache, &DseOps, config)`.
 pub struct DseOps;
 
@@ -61,12 +62,13 @@ impl BatchOps for DseOps {
         match op {
             "sweep" => Some(slice_op(fields, cache, SliceOp::Sweep)),
             "pareto" => Some(slice_op(fields, cache, SliceOp::Pareto)),
+            "fleet" => Some(crate::fleet::fleet_op(fields, cache)),
             _ => None,
         }
     }
 
-    fn op_names(&self) -> &'static str {
-        "|sweep|pareto"
+    fn op_names(&self) -> String {
+        "|sweep|pareto|fleet".to_string()
     }
 }
 
@@ -119,8 +121,71 @@ fn dse_obs() -> &'static DseObs {
 /// explicitly via `"max_points"`.
 pub const DEFAULT_MAX_POINTS: usize = 2048;
 
-/// The shared request shape: evaluate a filtered slice, extract the
-/// front, answer a summary (+ optional per-point lines).
+/// Renders a slice-op summary body. Field order is part of the wire
+/// format: the shard-merge client ([`crate::shard::merge_shard_responses`])
+/// re-renders the merged summary through this same function, which is
+/// what makes merged output byte-identical to a single-node answer.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn render_summary(
+    op_name: &str,
+    filter: &str,
+    model: Option<&str>,
+    shard: Option<&str>,
+    cycle_model: CycleModel,
+    seed: u64,
+    objective_names: &str,
+    points: usize,
+    feasible: usize,
+    front: usize,
+    points_follow: usize,
+) -> String {
+    let mut model_field = String::new();
+    if let Some(m) = model {
+        model_field = format!("\"model\":\"{}\",", json_escape(m));
+    }
+    let mut shard_field = String::new();
+    if let Some(s) = shard {
+        shard_field = format!("\"shard\":\"{}\",", json_escape(s));
+    }
+    // Echoed only when non-default so sampled summaries stay
+    // byte-identical to the pre-mode wire format.
+    let cycle_field = match cycle_model {
+        CycleModel::Sampled => "",
+        CycleModel::Analytic => "\"cycle_model\":\"analytic\",",
+    };
+    format!(
+        "\"op\":\"{op_name}\",\"filter\":\"{}\",{model_field}{shard_field}{cycle_field}\
+         \"seed\":{seed},\"objectives\":\"{objective_names}\",\"points\":{points},\
+         \"feasible\":{feasible},\"front\":{front},\"csv_header\":\"{}\",\
+         \"points_follow\":{points_follow}",
+        json_escape(filter),
+        json_escape(CSV_HEADER),
+    )
+}
+
+/// Renders one per-point body (shared with the shard-merge client, same
+/// byte-identity contract as [`render_summary`]). `extras` is either
+/// empty or the pre-rendered `,"group":…,"scores":…,"csv_off":…` tail a
+/// shard response attaches to its local-front rows.
+pub(crate) fn render_point(
+    op_name: &str,
+    index: usize,
+    label: &str,
+    feasible: bool,
+    on_front: bool,
+    csv_row: &str,
+    extras: &str,
+) -> String {
+    format!(
+        "\"op\":\"{op_name}-point\",\"index\":{index},\"label\":\"{}\",\"feasible\":{feasible},\
+         \"pareto\":{on_front},\"csv\":\"{}\"{extras}",
+        json_escape(label),
+        json_escape(csv_row),
+    )
+}
+
+/// The shared request shape: evaluate a filtered slice (or one shard of
+/// it), extract the front, answer a summary (+ optional per-point lines).
 fn slice_op(fields: &Fields, cache: &EngineCache, op: SliceOp) -> Result<Vec<String>, String> {
     let filter = fields.opt_str("filter")?.unwrap_or("").to_string();
     let model = fields.opt_str("model")?.map(str::to_string);
@@ -131,6 +196,7 @@ fn slice_op(fields: &Fields, cache: &EngineCache, op: SliceOp) -> Result<Vec<Str
     };
     let include_points = fields.bool_or("points", op.points_by_default())?;
     let max_points = fields.uint_or("max_points", DEFAULT_MAX_POINTS as u64)? as usize;
+    let shard = fields.opt_str("shard")?.map(ShardSpec::parse).transpose()?;
     // Absent means sampled — and `handle_request_with` injects the
     // server's default here, so `--cycle-model analytic` servers answer
     // analytic slices without clients re-spelling the field.
@@ -141,62 +207,82 @@ fn slice_op(fields: &Fields, cache: &EngineCache, op: SliceOp) -> Result<Vec<Str
     };
 
     let obs = dse_obs();
-    let results = obs.slice_eval_ns.time(|| {
-        evaluate_slice(
+    let indexed = obs.slice_eval_ns.time(|| {
+        evaluate_slice_shard(
             &filter,
             model.as_deref(),
             seed,
             Some(max_points),
             cache,
             cycle_model,
+            shard.as_ref(),
         )
     })?;
-    obs.slice_points.add(results.len() as u64);
+    obs.slice_points.add(indexed.len() as u64);
+    let (global_idx, results): (Vec<usize>, Vec<PointResult>) = indexed.into_iter().unzip();
+    // Front positions are into the evaluated (shard-local) slice; with no
+    // shard they coincide with global indices.
     let front = pareto_front_per_workload(&results, &objectives);
     let feasible = results.iter().filter(|r| r.feasible()).count();
-    let objective_names: Vec<&str> = objectives.iter().map(|o| o.name()).collect();
+    let objective_names = objectives
+        .iter()
+        .map(|o| o.name())
+        .collect::<Vec<_>>()
+        .join(",");
 
     // The per-point payload: the front members for `pareto`, the whole
-    // slice for `sweep`.
-    let payload: Vec<(usize, &PointResult)> = match op {
-        SliceOp::Sweep => results.iter().enumerate().collect(),
-        SliceOp::Pareto => front.iter().map(|&i| (i, &results[i])).collect(),
+    // slice for `sweep` (positions into `results`).
+    let payload: Vec<usize> = match op {
+        SliceOp::Sweep => (0..results.len()).collect(),
+        SliceOp::Pareto => front.clone(),
     };
     let points_follow = if include_points { payload.len() } else { 0 };
 
-    let mut model_field = String::new();
-    if let Some(m) = &model {
-        model_field = format!("\"model\":\"{}\",", json_escape(m));
-    }
-    // Echoed only when non-default so sampled summaries stay
-    // byte-identical to the pre-mode wire format.
-    let cycle_field = match cycle_model {
-        CycleModel::Sampled => "",
-        CycleModel::Analytic => "\"cycle_model\":\"analytic\",",
-    };
-    let mut bodies = vec![format!(
-        "\"op\":\"{}\",\"filter\":\"{}\",{model_field}{cycle_field}\"seed\":{seed},\
-         \"objectives\":\"{}\",\"points\":{},\"feasible\":{feasible},\"front\":{},\
-         \"csv_header\":\"{}\",\"points_follow\":{points_follow}",
+    let shard_spelled = shard.as_ref().map(|s| s.spell());
+    let mut bodies = vec![render_summary(
         op.name(),
-        json_escape(&filter),
-        objective_names.join(","),
+        &filter,
+        model.as_deref(),
+        shard_spelled.as_deref(),
+        cycle_model,
+        seed,
+        &objective_names,
         results.len(),
+        feasible,
         front.len(),
-        json_escape(CSV_HEADER),
+        points_follow,
     )];
     if include_points {
         bodies.reserve(payload.len());
-        for (i, r) in payload {
-            let on_front = front.binary_search(&i).is_ok();
-            bodies.push(format!(
-                "\"op\":\"{}-point\",\"index\":{i},\"label\":\"{}\",\"feasible\":{},\
-                 \"pareto\":{},\"csv\":\"{}\"",
+        for pos in payload {
+            let r = &results[pos];
+            let on_front = front.binary_search(&pos).is_ok();
+            // A shard answers with the point's *global* slice index and,
+            // on its local-front rows, the merge fields: dominance group,
+            // exact score bits, and the row as it renders off-front — so
+            // a merge client can demote globally-dominated points without
+            // re-evaluating anything.
+            let extras = match (&shard, on_front) {
+                (Some(_), true) => {
+                    let scores = scores_of(r, &objectives)
+                        .expect("front members are feasible by construction");
+                    format!(
+                        ",\"group\":\"{}\",\"scores\":\"{}\",\"csv_off\":\"{}\"",
+                        json_escape(&group_key(r)),
+                        encode_scores(&scores),
+                        json_escape(&point_csv_row(r, false)),
+                    )
+                }
+                _ => String::new(),
+            };
+            bodies.push(render_point(
                 op.name(),
-                json_escape(&r.point.label()),
+                global_idx[pos],
+                &r.point.label(),
                 r.feasible(),
                 on_front,
-                json_escape(&point_csv_row(r, on_front)),
+                &point_csv_row(r, on_front),
+                &extras,
             ));
         }
     }
@@ -206,6 +292,7 @@ fn slice_op(fields: &Fields, cache: &EngineCache, op: SliceOp) -> Result<Vec<Str
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::evaluate_slice;
     use tpe_engine::serve::handle_request;
 
     const FILTER: &str = "OPT1(TPU)/28nm@1.50,precision=w8";

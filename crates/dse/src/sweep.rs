@@ -177,23 +177,58 @@ pub fn evaluate_slice(
     cache: &EngineCache,
     cycle_model: CycleModel,
 ) -> Result<Vec<PointResult>, String> {
+    let indexed = evaluate_slice_shard(filter, model, seed, max_points, cache, cycle_model, None)?;
+    Ok(indexed.into_iter().map(|(_, r)| r).collect())
+}
+
+/// [`evaluate_slice`] restricted to one shard of a label-hash partition,
+/// keeping each evaluated point's **global** slice index — the server
+/// half of `repro query --shards`.
+///
+/// The partition is deterministic in the point labels alone
+/// ([`crate::shard::ShardSpec::contains`]), so `n` servers given the same
+/// filter and `shard:k/n` stamps evaluate disjoint subsets whose union is
+/// exactly the unsharded slice, and the global indices let a merge client
+/// reassemble single-node point order without re-enumerating.
+///
+/// `max_points` bounds the points *this* shard evaluates (each server pays
+/// only for its own share); the filter-matches-nothing error still refers
+/// to the pre-shard slice, while a shard that happens to select zero of a
+/// non-empty slice legitimately returns no rows.
+pub fn evaluate_slice_shard(
+    filter: &str,
+    model: Option<&str>,
+    seed: u64,
+    max_points: Option<usize>,
+    cache: &EngineCache,
+    cycle_model: CycleModel,
+    shard: Option<&crate::shard::ShardSpec>,
+) -> Result<Vec<(usize, PointResult)>, String> {
     let space = crate::space::slice_space(model)?;
     let points = space.enumerate_filtered(filter);
     if points.is_empty() {
         return Err(format!("no design points match filter `{filter}`"));
     }
+    let selected: Vec<(usize, &DesignPoint)> = match shard {
+        None => points.iter().enumerate().collect(),
+        Some(spec) => points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| spec.contains(&p.label()))
+            .collect(),
+    };
     if let Some(cap) = max_points {
-        if points.len() > cap {
+        if selected.len() > cap {
             return Err(format!(
                 "slice matches {} points, over the cap of {cap} — narrow the filter \
                  or raise `max_points`",
-                points.len()
+                selected.len()
             ));
         }
     }
-    Ok(points
-        .iter()
-        .map(|p| evaluate_with_model(p, cache, seed, cycle_model))
+    Ok(selected
+        .into_iter()
+        .map(|(i, p)| (i, evaluate_with_model(p, cache, seed, cycle_model)))
         .collect())
 }
 

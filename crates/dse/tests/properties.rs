@@ -7,9 +7,10 @@ use proptest::prelude::*;
 use tpe_dse::emit::to_csv;
 use tpe_dse::eval::{Metrics, PointResult};
 use tpe_dse::pareto::dominates;
+use tpe_dse::shard::{group_key, merge_front, scores_of, FrontCandidate};
 use tpe_dse::{
-    pareto_front, sweep, sweep_with_cache, DesignPoint, DesignSpace, EngineCache, Objective,
-    SweepConfig,
+    pareto_front, pareto_front_per_workload, sweep, sweep_with_cache, DesignPoint, DesignSpace,
+    EngineCache, Objective, SweepConfig,
 };
 
 use tpe_arith::encode::EncodingKind;
@@ -19,9 +20,15 @@ use tpe_workloads::LayerShape;
 
 /// Builds a synthetic feasible result from a raw objective triple.
 fn synthetic(area: f64, delay: f64, energy: f64) -> PointResult {
+    synthetic_in_group("synthetic", area, delay, energy)
+}
+
+/// [`synthetic`] under an explicit workload name, so tests can span
+/// several dominance groups (dominance is per workload × precision).
+fn synthetic_in_group(name: &str, area: f64, delay: f64, energy: f64) -> PointResult {
     let point = DesignPoint::new(
         EngineSpec::serial(PeStyle::Opt3, EncodingKind::EnT, 2.0),
-        LayerShape::new("synthetic", 4, 4, 4, 1),
+        LayerShape::new(name, 4, 4, 4, 1),
     );
     PointResult {
         point,
@@ -118,6 +125,48 @@ proptest! {
         let front = pareto_front(&results, &OBJECTIVES);
         prop_assert!(front.len() <= results.len());
         prop_assert!(front.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// The shard-merge theorem: for ANY partition of the result set into
+    /// any number of shards, the front of the union of shard-local fronts
+    /// equals the whole-set front — front-then-merge == merge-then-front.
+    /// This is what lets `repro query --shards` reassemble Pareto answers
+    /// without re-evaluating anything.
+    #[test]
+    fn merged_local_fronts_equal_the_global_front(
+        points in prop::collection::vec(
+            ((1u32..60, 1u32..60, 1u32..60), 0u8..3), 1..40),
+        assignment_seed in prop::collection::vec(0usize..8, 1..40),
+        n in 1usize..6,
+    ) {
+        let results: Vec<PointResult> = points
+            .iter()
+            .map(|&((a, d, e), g)| {
+                synthetic_in_group(&format!("g{g}"), f64::from(a), f64::from(d), f64::from(e))
+            })
+            .collect();
+        // Partition by an arbitrary (not hash-based) assignment: the
+        // theorem must hold for every partition, of which the label-hash
+        // one is a special case.
+        let shard_of = |i: usize| assignment_seed[i % assignment_seed.len()] % n;
+        let mut candidates: Vec<FrontCandidate> = Vec::new();
+        for k in 0..n {
+            let member_indices: Vec<usize> =
+                (0..results.len()).filter(|&i| shard_of(i) == k).collect();
+            let local: Vec<PointResult> =
+                member_indices.iter().map(|&i| results[i].clone()).collect();
+            for pos in pareto_front_per_workload(&local, &OBJECTIVES) {
+                let global = member_indices[pos];
+                candidates.push(FrontCandidate {
+                    index: global,
+                    group: group_key(&results[global]),
+                    scores: scores_of(&results[global], &OBJECTIVES).unwrap(),
+                });
+            }
+        }
+        let merged = merge_front(&candidates);
+        let whole = pareto_front_per_workload(&results, &OBJECTIVES);
+        prop_assert_eq!(merged, whole);
     }
 }
 
@@ -231,6 +280,36 @@ fn cache_hit_rate_is_nonzero_and_bounded() {
     assert_eq!(stats.cycle_hits, 0);
 }
 
+/// Sharded serve responses merge byte-identical to the single-node
+/// answer, for several shard counts and any response-group order (the
+/// merge keys on the `shard:k/n` echo, not on position).
+#[test]
+fn sharded_serve_responses_merge_byte_identical() {
+    use tpe_engine::serve::handle_request;
+    const FILTER: &str = "OPT1(TPU)/28nm@1.50,precision=w8";
+    let cache = EngineCache::new();
+    for op in ["sweep", "pareto"] {
+        let single_req =
+            format!(r#"{{"id":7,"op":"{op}","filter":"{FILTER}","seed":42,"points":true}}"#);
+        let (single, _) = handle_request(&single_req, &cache, &tpe_dse::DseOps);
+        for n in 1..=4usize {
+            let mut groups: Vec<Vec<String>> = (0..n)
+                .map(|k| {
+                    let req = format!(
+                        r#"{{"id":7,"op":"{op}","filter":"{FILTER}","seed":42,"points":true,"shard":"{k}/{n}"}}"#
+                    );
+                    handle_request(&req, &cache, &tpe_dse::DseOps).0
+                })
+                .collect();
+            // Any shard→process assignment: rotate the group order.
+            groups.rotate_left(n / 2);
+            let merged = tpe_dse::merge_shard_responses(&groups)
+                .unwrap_or_else(|e| panic!("merge failed for {op} n={n}: {e}"));
+            assert_eq!(merged, single, "{op} with {n} shards diverged");
+        }
+    }
+}
+
 /// The paper-default space satisfies the sweep-scale acceptance bar.
 #[test]
 fn paper_default_space_is_large_and_mostly_feasible() {
@@ -251,4 +330,44 @@ fn paper_default_space_is_large_and_mostly_feasible() {
         },
     );
     assert!(outcome.feasible_count() > dense.len() / 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Warm state survives the disk round trip intact: a sweep re-run
+    /// from a saved-then-loaded snapshot misses the cache zero times and
+    /// emits byte-identical CSV to the in-process warm sweep, for any
+    /// seed and thread count.
+    #[test]
+    fn snapshot_round_trip_preserves_sweep_bytes(
+        seed in 0u64..u64::MAX,
+        threads in 1usize..4,
+    ) {
+        let points = DesignSpace::quick().enumerate();
+        let config = SweepConfig { threads, seed, ..SweepConfig::default() };
+        let csv_of = |outcome: &tpe_dse::SweepOutcome| {
+            let front = pareto_front(&outcome.results, &Objective::DEFAULT);
+            to_csv(&outcome.results, &front)
+        };
+        let cold_cache = EngineCache::new();
+        let cold = sweep_with_cache(&points, config, &cold_cache);
+
+        let path = std::env::temp_dir().join(format!(
+            "tpe-prop-snap-{}-{seed:x}.bin",
+            std::process::id()
+        ));
+        tpe_engine::snapshot::save(&cold_cache, &path).unwrap();
+        let warm_cache = EngineCache::new();
+        let info = tpe_engine::snapshot::load(&warm_cache, &path).unwrap().unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(info.entries > 0);
+
+        let warm = sweep_with_cache(&points, config, &warm_cache);
+        prop_assert_eq!(
+            warm.cache.misses(), 0,
+            "snapshot-warmed sweep must be all hits: {:?}", warm.cache
+        );
+        prop_assert_eq!(csv_of(&cold), csv_of(&warm));
+    }
 }

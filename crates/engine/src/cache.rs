@@ -319,6 +319,32 @@ impl CacheStats {
     }
 }
 
+/// A plain-data export of every memoized entry across the three maps —
+/// the unit of cache persistence ([`crate::snapshot`]) and of bulk
+/// warm-start import. Entry order is unspecified (shard hashing is not
+/// stable across processes); the snapshot codec canonicalizes it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheContents {
+    /// PE synthesis outcomes (`None` = cannot close timing).
+    pub records: Vec<(PeKey, Option<PeRecord>)>,
+    /// Assembled engine prices (`None` = infeasible corner).
+    pub prices: Vec<(PriceKey, Option<EnginePrice>)>,
+    /// Serial-cycle evaluations.
+    pub cycles: Vec<(CycleKey, SerialLayerRecord)>,
+}
+
+impl CacheContents {
+    /// Total entries across the three maps.
+    pub fn len(&self) -> usize {
+        self.records.len() + self.prices.len() + self.cycles.len()
+    }
+
+    /// Whether all three maps are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Sharded concurrent memoization of pricing and cycle outcomes.
 ///
 /// `None` pricing values record corners where the design cannot close
@@ -479,9 +505,68 @@ impl EngineCache {
         delta
     }
 
+    /// Copies every memoized entry out of the three maps. Only memoized
+    /// *values* are exported — hit/miss counters describe this process's
+    /// history, not the cache contents, so they stay behind.
+    pub fn export(&self) -> CacheContents {
+        let mut out = CacheContents::default();
+        for shard in &self.records {
+            let map = shard.read().expect("cache poisoned");
+            out.records.extend(map.iter().map(|(k, v)| (*k, *v)));
+        }
+        for shard in &self.prices {
+            let map = shard.read().expect("cache poisoned");
+            out.prices.extend(map.iter().map(|(k, v)| (*k, *v)));
+        }
+        for shard in &self.cycles {
+            let map = shard.read().expect("cache poisoned");
+            out.cycles.extend(map.iter().map(|(k, v)| (*k, *v)));
+        }
+        out
+    }
+
+    /// Bulk-inserts exported entries (a warm-start import). First insert
+    /// wins, exactly like the per-lookup race discipline — a concurrently
+    /// computed value is identical by determinism, so imports can never
+    /// change results. Counters are untouched: imported entries surface
+    /// as *hits* on their first lookup, which is what makes a
+    /// warm-from-snapshot replay read ≈100% hit rate.
+    pub fn import(&self, contents: CacheContents) {
+        for (key, rec) in contents.records {
+            self.records[shard_of(&key)]
+                .write()
+                .expect("cache poisoned")
+                .entry(key)
+                .or_insert(rec);
+        }
+        for (key, price) in contents.prices {
+            self.prices[shard_of(&key)]
+                .write()
+                .expect("cache poisoned")
+                .entry(key)
+                .or_insert(price);
+        }
+        for (key, rec) in contents.cycles {
+            self.cycles[shard_of(&key)]
+                .write()
+                .expect("cache poisoned")
+                .entry(key)
+                .or_insert(rec);
+        }
+    }
+
     /// Number of distinct PE/corner pairs priced.
     pub fn priced_len(&self) -> usize {
         self.records
+            .iter()
+            .map(|s| s.read().expect("cache poisoned").len())
+            .sum()
+    }
+
+    /// Number of distinct assembled engine prices memoized (the derived
+    /// map over the synthesis records).
+    pub fn prices_len(&self) -> usize {
+        self.prices
             .iter()
             .map(|s| s.read().expect("cache poisoned").len())
             .sum()
@@ -495,9 +580,14 @@ impl EngineCache {
             .sum()
     }
 
+    /// Total entries across all three maps (what a snapshot would carry).
+    pub fn entry_count(&self) -> usize {
+        self.priced_len() + self.prices_len() + self.cycles_len()
+    }
+
     /// Whether nothing has been memoized yet.
     pub fn is_empty(&self) -> bool {
-        self.priced_len() == 0 && self.cycles_len() == 0
+        self.entry_count() == 0
     }
 }
 

@@ -36,6 +36,9 @@
 //! * [`cache`] — [`EngineCache`]: the process-wide concurrent memo cache,
 //!   sharded `RwLock` maps keyed on [`cache::PeKey`] (synthesis) and
 //!   [`cache::CycleKey`] (sampled workload cycles).
+//! * [`snapshot`] — versioned binary persistence of the cache's three
+//!   maps (atomic save, checksummed strict-reject load), so warm state
+//!   survives restarts and seeds fresh replicas.
 //! * [`eval`] — [`Evaluator`]: one (engine, workload, seed) →
 //!   [`eval::Metrics`] / [`report::ModelReport`], bit-identical no matter
 //!   which consumer asks.
@@ -68,10 +71,11 @@ pub mod report;
 pub mod roster;
 pub mod schedule;
 pub mod serve;
+pub mod snapshot;
 pub mod spec;
 pub mod workload;
 
-pub use cache::{CacheStats, EngineCache};
+pub use cache::{CacheContents, CacheStats, EngineCache};
 pub use caps::{CycleModel, SampleProfile, SerialSampleCaps};
 pub use eval::{Evaluator, Metrics};
 pub use report::{LayerReport, ModelReport};
@@ -79,6 +83,7 @@ pub use schedule::{
     dense_model_cycles, dense_tiles, evaluate_model, schedule_layer, serial_model_cycles,
     LayerSchedule, MODEL_SAMPLE_CAPS,
 };
+pub use snapshot::{SnapshotInfo, SNAPSHOT_VERSION};
 pub use spec::{classic_name, Corner, EnginePrice, EngineSpec};
 pub use tpe_arith::Precision;
 pub use workload::SweepWorkload;

@@ -398,9 +398,10 @@ pub trait BatchOps: Sync {
     ) -> Option<Result<Vec<String>, String>>;
 
     /// `|`-prefixed op names appended to the unknown-op error message
-    /// (e.g. `"|sweep|pareto"`).
-    fn op_names(&self) -> &'static str {
-        ""
+    /// (e.g. `"|sweep|pareto"`). Returns `String` so wrappers like
+    /// [`SnapshotOps`] can compose their inner extension's names.
+    fn op_names(&self) -> String {
+        String::new()
     }
 }
 
@@ -415,6 +416,52 @@ impl BatchOps for NoOps {
         _cache: &EngineCache,
     ) -> Option<Result<Vec<String>, String>> {
         None
+    }
+}
+
+/// Wraps an extension set with a `snapshot` op that persists the serve
+/// cache to a fixed server-chosen path (the `repro serve
+/// --cache-snapshot` wiring): `{"id":1,"op":"snapshot"}` answers
+/// `"op":"snapshot","path":…,"entries":N,"bytes":M` after an atomic
+/// [`crate::snapshot::save`]. The path is server configuration, not a
+/// request field — a client must never choose where the server writes.
+pub struct SnapshotOps<'a> {
+    inner: &'a dyn BatchOps,
+    path: std::path::PathBuf,
+}
+
+impl<'a> SnapshotOps<'a> {
+    /// Wraps `inner`, saving on `snapshot` requests to `path`.
+    pub fn new(inner: &'a dyn BatchOps, path: impl Into<std::path::PathBuf>) -> Self {
+        Self {
+            inner,
+            path: path.into(),
+        }
+    }
+}
+
+impl BatchOps for SnapshotOps<'_> {
+    fn handle(
+        &self,
+        op: &str,
+        fields: &Fields,
+        cache: &EngineCache,
+    ) -> Option<Result<Vec<String>, String>> {
+        if op != "snapshot" {
+            return self.inner.handle(op, fields, cache);
+        }
+        Some(crate::snapshot::save(cache, &self.path).map(|info| {
+            vec![format!(
+                "\"op\":\"snapshot\",\"path\":\"{}\",\"entries\":{},\"bytes\":{}",
+                json_escape(&self.path.display().to_string()),
+                info.entries,
+                info.bytes
+            )]
+        }))
+    }
+
+    fn op_names(&self) -> String {
+        format!("{}|snapshot", self.inner.op_names())
     }
 }
 
@@ -448,9 +495,40 @@ pub fn handle_request_with(
     ops: &dyn BatchOps,
     default_model: CycleModel,
 ) -> (Vec<String>, bool) {
+    let (lines, is_shutdown, _) = handle_request_classified(line, cache, ops, default_model);
+    (lines, is_shutdown)
+}
+
+/// How a request line classifies for per-op accounting — a byproduct of
+/// the handler's single parse, so the serve hot path never re-parses a
+/// line just to tick counters (feed it to [`ServeObs::record_class`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// A known op: index into [`COUNTED_OPS`].
+    Counted(usize),
+    /// Parsed fine, but the op is unknown, extension-defined, or missing.
+    Other,
+    /// The line failed JSON parsing.
+    Malformed,
+}
+
+/// [`handle_request_with`], additionally returning the line's
+/// [`RequestClass`] from the same parse that evaluated it.
+pub fn handle_request_classified(
+    line: &str,
+    cache: &EngineCache,
+    ops: &dyn BatchOps,
+    default_model: CycleModel,
+) -> (Vec<String>, bool, RequestClass) {
     let fields = match parse_flat_object(line) {
         Ok(map) => Fields(map),
-        Err(e) => return (vec![error_line(recover_id(line), &e)], false),
+        Err(e) => {
+            return (
+                vec![error_line(recover_id(line), &e)],
+                false,
+                RequestClass::Malformed,
+            )
+        }
     };
     let mut fields = fields;
     if default_model != CycleModel::Sampled && !fields.0.contains_key("cycle_model") {
@@ -460,6 +538,13 @@ pub fn handle_request_with(
         );
     }
     let fields = fields;
+    let class = match fields.0.get("op") {
+        Some(JsonValue::Str(op)) => COUNTED_OPS
+            .iter()
+            .position(|o| o == op)
+            .map_or(RequestClass::Other, RequestClass::Counted),
+        _ => RequestClass::Other,
+    };
     let id = fields.uint_or("id", 0).unwrap_or(0);
     match respond(&fields, cache, ops) {
         Ok((bodies, is_shutdown)) => (
@@ -468,8 +553,9 @@ pub fn handle_request_with(
                 .map(|body| format!("{{\"id\":{id},\"ok\":true,{body}}}"))
                 .collect(),
             is_shutdown,
+            class,
         ),
-        Err(e) => (vec![error_line(id, &e)], false),
+        Err(e) => (vec![error_line(id, &e)], false, class),
     }
 }
 
@@ -742,8 +828,9 @@ fn metrics_body(m: &crate::Metrics) -> String {
 /// Ops with dedicated `serve_op_<name>` request counters, in name order.
 /// Anything else — unknown ops, a missing `op` field, unparseable lines —
 /// counts under `serve_op_other`.
-pub const COUNTED_OPS: [&str; 9] = [
-    "engine", "layer", "metrics", "model", "pareto", "roster", "shutdown", "stats", "sweep",
+pub const COUNTED_OPS: [&str; 11] = [
+    "engine", "fleet", "layer", "metrics", "model", "pareto", "roster", "shutdown", "snapshot",
+    "stats", "sweep",
 ];
 
 /// Shared handles to the serve layer's metrics, resolved once per run.
@@ -752,8 +839,8 @@ pub const COUNTED_OPS: [&str; 9] = [
 /// *before* sending each reply toward the socket — so a `metrics`
 /// response never includes its own request, and a client that has read
 /// a response knows the counters already cover it. Hot-path cost is a
-/// handful of relaxed atomic RMWs per request (plus one re-parse of the
-/// request line for op classification, trivial next to socket I/O).
+/// handful of relaxed atomic RMWs per request: op classification rides
+/// on the handler's own parse ([`RequestClass`]), never a second one.
 #[derive(Debug)]
 pub struct ServeObs {
     /// `serve_op_<name>` request counters, indexed as [`COUNTED_OPS`].
@@ -814,22 +901,17 @@ impl ServeObs {
             .map(|i| &*self.op_requests[i])
     }
 
-    /// Classifies one request line into its per-op counter (parse errors
-    /// also tick `serve_parse_errors`).
-    fn record_op(&self, line: &str) {
-        let known = match parse_flat_object(line) {
-            Ok(map) => match map.get("op") {
-                Some(JsonValue::Str(op)) => COUNTED_OPS.iter().position(|o| o == op),
-                _ => None,
-            },
-            Err(_) => {
+    /// Ticks the per-op counters for one classified request (the class is
+    /// a byproduct of the handler's parse — see [`RequestClass`]; parse
+    /// failures also tick `serve_parse_errors`).
+    pub fn record_class(&self, class: RequestClass) {
+        match class {
+            RequestClass::Counted(i) => self.op_requests[i].inc(),
+            RequestClass::Other => self.other_requests.inc(),
+            RequestClass::Malformed => {
                 self.parse_errors.inc();
-                None
+                self.other_requests.inc();
             }
-        };
-        match known {
-            Some(i) => self.op_requests[i].inc(),
-            None => self.other_requests.inc(),
         }
     }
 }
@@ -928,7 +1010,25 @@ pub fn serve_with_obs(
     config: ServeConfig,
     obs: &ServeObs,
 ) -> std::io::Result<ServeOutcome> {
+    serve_with_hook(listener, cache, ops, config, obs, None)
+}
+
+/// [`serve_with_obs`] with an optional `after_request` hook, called by
+/// the answering worker after each reply is sent toward the socket with
+/// the total requests handled so far (1-based, monotonic across the run).
+/// This is how `--snapshot-every N` piggybacks periodic cache saves on
+/// the serve loop without a timer thread; the hook runs on a pool worker,
+/// so it must be cheap or rare.
+pub fn serve_with_hook(
+    listener: TcpListener,
+    cache: &EngineCache,
+    ops: &dyn BatchOps,
+    config: ServeConfig,
+    obs: &ServeObs,
+    after_request: Option<&(dyn Fn(u64) + Sync)>,
+) -> std::io::Result<ServeOutcome> {
     let local = listener.local_addr()?;
+    let handled = AtomicU64::new(0);
     let workers = config.effective_threads();
     let shutdown = AtomicBool::new(false);
     let connections = AtomicU64::new(0);
@@ -957,17 +1057,21 @@ pub fn serve_with_obs(
                 // evaluates and answers.
                 obs.queue_wait_ns.record_duration(submitted.elapsed());
                 let eval_start = Instant::now();
-                let (lines, _) = handle_request_with(&line, cache, ops, config.cycle_model);
+                let (lines, _, class) =
+                    handle_request_classified(&line, cache, ops, config.cycle_model);
                 // All metrics for this request land before its reply can
                 // reach the socket: a client that has read response N
                 // knows the counters cover requests 1..=N (and a
                 // `metrics` snapshot taken mid-eval excludes itself).
                 obs.eval_ns.record_duration(eval_start.elapsed());
-                obs.record_op(&line);
+                obs.record_class(class);
                 obs.inflight.dec();
                 // The connection may already be gone; its writer dropping
                 // the receiver is the cancellation signal.
                 let _ = reply.send((seq, lines));
+                if let Some(hook) = after_request {
+                    hook(handled.fetch_add(1, Ordering::Relaxed) + 1);
+                }
             });
         }
         for stream in listener.incoming() {
@@ -1650,8 +1754,8 @@ mod tests {
                         .collect())
                 })
             }
-            fn op_names(&self) -> &'static str {
-                "|echo3"
+            fn op_names(&self) -> String {
+                "|echo3".to_string()
             }
         }
         let cache = EngineCache::new();
@@ -1678,6 +1782,69 @@ mod tests {
             plain[0].contains("(expected engine|layer|metrics|model|roster|stats|shutdown)"),
             "{plain:?}"
         );
+    }
+
+    /// `SnapshotOps` answers `snapshot` by saving the serve cache and
+    /// composes with the wrapped extension set's ops and names.
+    #[test]
+    fn snapshot_ops_save_and_compose() {
+        let path = std::env::temp_dir().join(format!("tpe-serve-snap-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cache = EngineCache::new();
+        let ops = SnapshotOps::new(&NoOps, &path);
+        handle_request(
+            r#"{"id":1,"op":"engine","engine":"OPT4E[EN-T]/28nm@2.00GHz"}"#,
+            &cache,
+            &ops,
+        );
+        let (lines, down) = handle_request(r#"{"id":2,"op":"snapshot"}"#, &cache, &ops);
+        assert!(!down);
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].starts_with("{\"id\":2,\"ok\":true,\"op\":\"snapshot\""),
+            "{}",
+            lines[0]
+        );
+        // The file is a loadable snapshot with the same entry count the
+        // op reported (pricing one engine memoizes synthesis + price).
+        let fresh = EngineCache::new();
+        let info = crate::snapshot::load(&fresh, &path).unwrap().unwrap();
+        assert!(info.entries > 0);
+        assert!(
+            lines[0].contains(&format!("\"entries\":{}", info.entries)),
+            "{}",
+            lines[0]
+        );
+        // Unknown ops list the composed name set.
+        let (unknown, _) = handle_request(r#"{"id":3,"op":"warp"}"#, &cache, &ops);
+        assert!(unknown[0].contains("|snapshot"), "{unknown:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Request classification comes out of the handler's own parse and
+    /// drives the same counters `record_op` used to re-parse for.
+    #[test]
+    fn request_classification_matches_counted_ops() {
+        let cache = EngineCache::new();
+        let class =
+            |line: &str| handle_request_classified(line, &cache, &NoOps, CycleModel::Sampled).2;
+        let stats_idx = COUNTED_OPS.iter().position(|o| *o == "stats").unwrap();
+        assert_eq!(
+            class(r#"{"id":1,"op":"stats"}"#),
+            RequestClass::Counted(stats_idx)
+        );
+        assert_eq!(class(r#"{"id":1,"op":"nope"}"#), RequestClass::Other);
+        assert_eq!(class(r#"{"id":1}"#), RequestClass::Other);
+        assert_eq!(class("not json"), RequestClass::Malformed);
+        // record_class ticks exactly the counters record_op used to.
+        let registry = Registry::new();
+        let obs = ServeObs::in_registry(&registry);
+        obs.record_class(RequestClass::Counted(stats_idx));
+        obs.record_class(RequestClass::Other);
+        obs.record_class(RequestClass::Malformed);
+        assert_eq!(obs.op_requests[stats_idx].get(), 1);
+        assert_eq!(obs.other_requests.get(), 2, "malformed counts as other");
+        assert_eq!(obs.parse_errors.get(), 1);
     }
 
     #[test]

@@ -1,0 +1,781 @@
+//! Durable warm state: a versioned, std-only binary snapshot of the
+//! [`EngineCache`]'s three maps.
+//!
+//! A long-running `repro serve` process (or a `repro dse` sweep) pays the
+//! cold synthesis/sampling cost exactly once — and then loses it with the
+//! process. Snapshots make that warm state survive restarts and seed
+//! fresh replicas: [`save`] writes every memoized entry to disk
+//! atomically (temp + rename), [`load`] imports it back, and a replayed
+//! workload reads ≈100% hit rate from the first query.
+//!
+//! ## Format
+//!
+//! ```text
+//! magic   "TPECACHE"                      8 bytes
+//! version u32 LE                          strict-rejected on mismatch
+//! layout  u64 LE fnv1a(LAYOUT_DESCRIPTOR) strict-rejected on mismatch
+//! counts  3 × u64 LE                      records / prices / cycles
+//! entries fixed-layout, sorted            see below
+//! check   u64 LE fnv1a(payload)           over version..entries
+//! ```
+//!
+//! Entries are fixed-layout little-endian: enums as one-byte codes from
+//! the explicit tables below (exhaustive matches, so adding a variant
+//! fails to compile until the codec — and `LAYOUT_DESCRIPTOR` — is
+//! updated), `Option` as a presence byte, `f64` via `to_bits`, `usize`
+//! widened to `u64`. Within each map the encoded entries are sorted by
+//! their byte representation: shard hashing ([`std::hash::DefaultHasher`])
+//! is not stable across processes, so canonical ordering is what makes a
+//! snapshot of the same cache contents **byte-identical** wherever it is
+//! written.
+//!
+//! ## Versioning policy
+//!
+//! Any change to an entry layout, an enum table, or the header bumps
+//! [`SNAPSHOT_VERSION`] (and the descriptor hash catches what a forgotten
+//! bump would miss). There is no migration path by design: a snapshot is
+//! a cache, not a database — a rejected file costs one cold sweep, while
+//! a misdecoded file would silently poison every result derived from it.
+//! Rejections are counted on `ctr_snapshot_rejected` and surface as
+//! empty-with-warning at every call site, never as a panic.
+
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+use tpe_arith::encode::EncodingKind;
+use tpe_arith::Precision;
+use tpe_core::arch::PeStyle;
+use tpe_sim::array::ClassicArch;
+
+use crate::cache::{
+    CacheContents, CycleKey, EngineCache, PeKey, PeRecord, PriceKey, SerialLayerRecord,
+};
+use crate::caps::CycleModel;
+use crate::spec::EnginePrice;
+
+/// Format version; bumped on any layout change (see the module docs for
+/// the no-migration policy).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Leading magic bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"TPECACHE";
+
+/// Human-readable spelling of the entire entry layout *and* the enum
+/// code tables; its fnv1a hash rides in the header so a snapshot written
+/// under any other layout is rejected even if the version was not bumped.
+const LAYOUT_DESCRIPTOR: &str = "v1;\
+     pe=style:u8,dense:opt(u8),in_pe_enc:opt(u8),prec:u32x3,freq_mhz:u32,node_dnm:u32;\
+     pe_rec=opt(area:f64,active_uw:f64,idle_uw:f64,lanes:u32);\
+     price=style:u8,dense:opt(u8),enc:u8,prec:u32x3,freq_mhz:u32,node_dnm:u32;\
+     price_rec=opt(area:f64,e_active:f64,e_idle:f64,instances:f64,lanes_total:f64,peak_tops:f64);\
+     cycle=style:u8,enc:u8,a_bits:u32,m:u64,n:u64,k:u64,repeats:u64,seed:u64,\
+     max_rounds:u64,max_operands:u64,model:u8;\
+     cycle_rec=cycles:f64,busy_sum:f64,busy_min:f64,busy_max:f64,rounds:f64,columns:u32;\
+     styles=mac,opt1,opt2,opt3,opt4c,opt4e;archs=tpu,ascend,trapezoid,flexflow;\
+     encs=mbe,ent,csd,bsc,bsm;models=sampled,analytic";
+
+/// What a completed save/load reports (the `snapshot` serve op and the
+/// CLI echo these; `BENCH_snapshot.json` archives them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Entries across the three maps.
+    pub entries: usize,
+    /// Encoded size in bytes.
+    pub bytes: usize,
+}
+
+// ---------------------------------------------------------------------
+// Enum code tables. Exhaustive in both directions: a new variant fails
+// to compile here, forcing a deliberate LAYOUT_DESCRIPTOR + version
+// decision instead of a silent wire change.
+
+fn style_code(s: PeStyle) -> u8 {
+    match s {
+        PeStyle::TraditionalMac => 0,
+        PeStyle::Opt1 => 1,
+        PeStyle::Opt2 => 2,
+        PeStyle::Opt3 => 3,
+        PeStyle::Opt4C => 4,
+        PeStyle::Opt4E => 5,
+    }
+}
+
+fn style_from(code: u8) -> Result<PeStyle, String> {
+    Ok(match code {
+        0 => PeStyle::TraditionalMac,
+        1 => PeStyle::Opt1,
+        2 => PeStyle::Opt2,
+        3 => PeStyle::Opt3,
+        4 => PeStyle::Opt4C,
+        5 => PeStyle::Opt4E,
+        other => return Err(format!("bad PeStyle code {other}")),
+    })
+}
+
+fn arch_code(a: ClassicArch) -> u8 {
+    match a {
+        ClassicArch::Tpu => 0,
+        ClassicArch::Ascend => 1,
+        ClassicArch::Trapezoid => 2,
+        ClassicArch::FlexFlow => 3,
+    }
+}
+
+fn arch_from(code: u8) -> Result<ClassicArch, String> {
+    Ok(match code {
+        0 => ClassicArch::Tpu,
+        1 => ClassicArch::Ascend,
+        2 => ClassicArch::Trapezoid,
+        3 => ClassicArch::FlexFlow,
+        other => return Err(format!("bad ClassicArch code {other}")),
+    })
+}
+
+fn encoding_code(e: EncodingKind) -> u8 {
+    match e {
+        EncodingKind::Mbe => 0,
+        EncodingKind::EnT => 1,
+        EncodingKind::Csd => 2,
+        EncodingKind::BitSerialComplement => 3,
+        EncodingKind::BitSerialSignMagnitude => 4,
+    }
+}
+
+fn encoding_from(code: u8) -> Result<EncodingKind, String> {
+    Ok(match code {
+        0 => EncodingKind::Mbe,
+        1 => EncodingKind::EnT,
+        2 => EncodingKind::Csd,
+        3 => EncodingKind::BitSerialComplement,
+        4 => EncodingKind::BitSerialSignMagnitude,
+        other => return Err(format!("bad EncodingKind code {other}")),
+    })
+}
+
+fn model_code(m: CycleModel) -> u8 {
+    match m {
+        CycleModel::Sampled => 0,
+        CycleModel::Analytic => 1,
+    }
+}
+
+fn model_from(code: u8) -> Result<CycleModel, String> {
+    Ok(match code {
+        0 => CycleModel::Sampled,
+        1 => CycleModel::Analytic,
+        other => return Err(format!("bad CycleModel code {other}")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Little-endian writer/reader over flat byte buffers.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_opt(out: &mut Vec<u8>, present: bool) {
+    out.push(u8::from(present));
+}
+
+/// Sequential reader with truncation-safe takes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("truncated snapshot (wanted {n} bytes at {})", self.pos))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| "usize overflow in snapshot".to_string())
+    }
+
+    fn opt(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("bad presence byte {other}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-entry codecs.
+
+fn put_precision(out: &mut Vec<u8>, p: Precision) {
+    put_u32(out, p.a_bits);
+    put_u32(out, p.b_bits);
+    put_u32(out, p.acc_bits);
+}
+
+fn read_precision(r: &mut Reader) -> Result<Precision, String> {
+    Ok(Precision {
+        a_bits: r.u32()?,
+        b_bits: r.u32()?,
+        acc_bits: r.u32()?,
+    })
+}
+
+fn put_dense(out: &mut Vec<u8>, dense: Option<ClassicArch>) {
+    put_opt(out, dense.is_some());
+    if let Some(a) = dense {
+        out.push(arch_code(a));
+    }
+}
+
+fn read_dense(r: &mut Reader) -> Result<Option<ClassicArch>, String> {
+    if r.opt()? {
+        Ok(Some(arch_from(r.u8()?)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn encode_record_entry(out: &mut Vec<u8>, key: &PeKey, rec: &Option<PeRecord>) {
+    out.push(style_code(key.style));
+    put_dense(out, key.dense);
+    put_opt(out, key.in_pe_encoding.is_some());
+    if let Some(e) = key.in_pe_encoding {
+        out.push(encoding_code(e));
+    }
+    put_precision(out, key.precision);
+    put_u32(out, key.freq_mhz);
+    put_u32(out, key.node_dnm);
+    put_opt(out, rec.is_some());
+    if let Some(rec) = rec {
+        put_f64(out, rec.area_um2);
+        put_f64(out, rec.active_power_uw);
+        put_f64(out, rec.idle_power_uw);
+        put_u32(out, rec.lanes);
+    }
+}
+
+fn decode_record_entry(r: &mut Reader) -> Result<(PeKey, Option<PeRecord>), String> {
+    let style = style_from(r.u8()?)?;
+    let dense = read_dense(r)?;
+    let in_pe_encoding = if r.opt()? {
+        Some(encoding_from(r.u8()?)?)
+    } else {
+        None
+    };
+    let key = PeKey {
+        style,
+        dense,
+        in_pe_encoding,
+        precision: read_precision(r)?,
+        freq_mhz: r.u32()?,
+        node_dnm: r.u32()?,
+    };
+    let rec = if r.opt()? {
+        Some(PeRecord {
+            area_um2: r.f64()?,
+            active_power_uw: r.f64()?,
+            idle_power_uw: r.f64()?,
+            lanes: r.u32()?,
+        })
+    } else {
+        None
+    };
+    Ok((key, rec))
+}
+
+fn encode_price_entry(out: &mut Vec<u8>, key: &PriceKey, price: &Option<EnginePrice>) {
+    out.push(style_code(key.style));
+    put_dense(out, key.dense);
+    out.push(encoding_code(key.encoding));
+    put_precision(out, key.precision);
+    put_u32(out, key.freq_mhz);
+    put_u32(out, key.node_dnm);
+    put_opt(out, price.is_some());
+    if let Some(p) = price {
+        put_f64(out, p.area_um2);
+        put_f64(out, p.e_active_fj);
+        put_f64(out, p.e_idle_fj);
+        put_f64(out, p.instances);
+        put_f64(out, p.lanes_total);
+        put_f64(out, p.peak_tops);
+    }
+}
+
+fn decode_price_entry(r: &mut Reader) -> Result<(PriceKey, Option<EnginePrice>), String> {
+    let key = PriceKey {
+        style: style_from(r.u8()?)?,
+        dense: read_dense(r)?,
+        encoding: encoding_from(r.u8()?)?,
+        precision: read_precision(r)?,
+        freq_mhz: r.u32()?,
+        node_dnm: r.u32()?,
+    };
+    let price = if r.opt()? {
+        Some(EnginePrice {
+            area_um2: r.f64()?,
+            e_active_fj: r.f64()?,
+            e_idle_fj: r.f64()?,
+            instances: r.f64()?,
+            lanes_total: r.f64()?,
+            peak_tops: r.f64()?,
+        })
+    } else {
+        None
+    };
+    Ok((key, price))
+}
+
+fn encode_cycle_entry(out: &mut Vec<u8>, key: &CycleKey, rec: &SerialLayerRecord) {
+    out.push(style_code(key.style));
+    out.push(encoding_code(key.encoding));
+    put_u32(out, key.a_bits);
+    put_u64(out, key.m as u64);
+    put_u64(out, key.n as u64);
+    put_u64(out, key.k as u64);
+    put_u64(out, key.repeats as u64);
+    put_u64(out, key.seed);
+    put_u64(out, key.max_rounds as u64);
+    put_u64(out, key.max_operands as u64);
+    out.push(model_code(key.model));
+    put_f64(out, rec.cycles);
+    put_f64(out, rec.busy_sum);
+    put_f64(out, rec.busy_min);
+    put_f64(out, rec.busy_max);
+    put_f64(out, rec.rounds);
+    put_u32(out, rec.columns);
+}
+
+fn decode_cycle_entry(r: &mut Reader) -> Result<(CycleKey, SerialLayerRecord), String> {
+    let key = CycleKey {
+        style: style_from(r.u8()?)?,
+        encoding: encoding_from(r.u8()?)?,
+        a_bits: r.u32()?,
+        m: r.usize()?,
+        n: r.usize()?,
+        k: r.usize()?,
+        repeats: r.usize()?,
+        seed: r.u64()?,
+        max_rounds: r.usize()?,
+        max_operands: r.usize()?,
+        model: model_from(r.u8()?)?,
+    };
+    let rec = SerialLayerRecord {
+        cycles: r.f64()?,
+        busy_sum: r.f64()?,
+        busy_min: r.f64()?,
+        busy_max: r.f64()?,
+        rounds: r.f64()?,
+        columns: r.u32()?,
+    };
+    Ok((key, rec))
+}
+
+/// fnv1a over raw bytes (same constants as [`crate::fnv1a`], which is
+/// defined over `&str`).
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Encodes exported cache contents into the versioned snapshot format.
+/// Entries are sorted by encoded bytes per map, so the same contents
+/// produce the same bytes in any process (shard/HashMap order is not
+/// stable).
+pub fn encode(contents: &CacheContents) -> Vec<u8> {
+    let sorted_map = |mut entries: Vec<Vec<u8>>| -> Vec<u8> {
+        entries.sort_unstable();
+        entries.concat()
+    };
+    let records = sorted_map(
+        contents
+            .records
+            .iter()
+            .map(|(k, v)| {
+                let mut e = Vec::with_capacity(64);
+                encode_record_entry(&mut e, k, v);
+                e
+            })
+            .collect(),
+    );
+    let prices = sorted_map(
+        contents
+            .prices
+            .iter()
+            .map(|(k, v)| {
+                let mut e = Vec::with_capacity(80);
+                encode_price_entry(&mut e, k, v);
+                e
+            })
+            .collect(),
+    );
+    let cycles = sorted_map(
+        contents
+            .cycles
+            .iter()
+            .map(|(k, v)| {
+                let mut e = Vec::with_capacity(120);
+                encode_cycle_entry(&mut e, k, v);
+                e
+            })
+            .collect(),
+    );
+
+    let mut out = Vec::with_capacity(48 + records.len() + prices.len() + cycles.len() + 8);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    put_u32(&mut out, SNAPSHOT_VERSION);
+    put_u64(&mut out, fnv1a_bytes(LAYOUT_DESCRIPTOR.as_bytes()));
+    put_u64(&mut out, contents.records.len() as u64);
+    put_u64(&mut out, contents.prices.len() as u64);
+    put_u64(&mut out, contents.cycles.len() as u64);
+    out.extend_from_slice(&records);
+    out.extend_from_slice(&prices);
+    out.extend_from_slice(&cycles);
+    let checksum = fnv1a_bytes(&out[SNAPSHOT_MAGIC.len()..]);
+    put_u64(&mut out, checksum);
+    out
+}
+
+/// Decodes a snapshot, strict-rejecting anything that is not byte-exact:
+/// wrong magic, version or layout hash, bad checksum, truncation, unknown
+/// enum codes, or trailing garbage. A rejected snapshot costs a cold
+/// sweep; a tolerated one could poison every derived result.
+pub fn decode(bytes: &[u8]) -> Result<CacheContents, String> {
+    let mut r = Reader::new(bytes);
+    if r.take(SNAPSHOT_MAGIC.len())? != SNAPSHOT_MAGIC {
+        return Err("not a TPECACHE snapshot (bad magic)".to_string());
+    }
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 8 {
+        return Err("truncated snapshot (no checksum)".to_string());
+    }
+    let payload_end = bytes.len() - 8;
+    let stored = u64::from_le_bytes(bytes[payload_end..].try_into().unwrap());
+    let actual = fnv1a_bytes(&bytes[SNAPSHOT_MAGIC.len()..payload_end]);
+    if stored != actual {
+        return Err(format!(
+            "snapshot checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+        ));
+    }
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(format!(
+            "snapshot version {version} != supported {SNAPSHOT_VERSION} (no migration: \
+             re-warm and re-save)"
+        ));
+    }
+    let layout = r.u64()?;
+    let expected = fnv1a_bytes(LAYOUT_DESCRIPTOR.as_bytes());
+    if layout != expected {
+        return Err(format!(
+            "snapshot layout hash {layout:#018x} != expected {expected:#018x} \
+             (written by an incompatible build)"
+        ));
+    }
+    let n_records = r.usize()?;
+    let n_prices = r.usize()?;
+    let n_cycles = r.usize()?;
+    let mut contents = CacheContents::default();
+    // Counts are checksum-protected, but cap reservations to what the
+    // payload could possibly hold so a corrupt-but-colliding count can't
+    // balloon allocation.
+    let cap = payload_end.saturating_sub(r.pos);
+    contents.records.reserve(n_records.min(cap / 30));
+    contents.prices.reserve(n_prices.min(cap / 30));
+    contents.cycles.reserve(n_cycles.min(cap / 30));
+    for _ in 0..n_records {
+        contents.records.push(decode_record_entry(&mut r)?);
+    }
+    for _ in 0..n_prices {
+        contents.prices.push(decode_price_entry(&mut r)?);
+    }
+    for _ in 0..n_cycles {
+        contents.cycles.push(decode_cycle_entry(&mut r)?);
+    }
+    if r.pos != payload_end {
+        return Err(format!(
+            "snapshot has {} trailing bytes after the last entry",
+            payload_end - r.pos
+        ));
+    }
+    Ok(contents)
+}
+
+/// Persistence metrics, registered once on the global registry: save and
+/// load wall-clock spans, the entry count of the last snapshot touched
+/// (`gauge_snapshot_entries` in the metrics op), and strict-reject count
+/// (`ctr_snapshot_rejected`).
+struct SnapObs {
+    save_ns: Arc<tpe_obs::Histogram>,
+    load_ns: Arc<tpe_obs::Histogram>,
+    entries: Arc<tpe_obs::Gauge>,
+    rejected: Arc<tpe_obs::Counter>,
+}
+
+fn snap_obs() -> &'static SnapObs {
+    static OBS: OnceLock<SnapObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = tpe_obs::Registry::global();
+        SnapObs {
+            save_ns: reg.histogram("snapshot_save_ns"),
+            load_ns: reg.histogram("snapshot_load_ns"),
+            entries: reg.gauge("snapshot_entries"),
+            rejected: reg.counter("snapshot_rejected"),
+        }
+    })
+}
+
+/// Exports `cache` and writes the snapshot to `path` atomically: the
+/// bytes land in `<path>.tmp` first and are renamed into place, so a
+/// concurrent reader (or a crash mid-write) sees either the old complete
+/// snapshot or the new one, never a torn file.
+pub fn save(cache: &EngineCache, path: &Path) -> Result<SnapshotInfo, String> {
+    let obs = snap_obs();
+    let _span = obs.save_ns.span();
+    let contents = cache.export();
+    let entries = contents.len();
+    let bytes = encode(&contents);
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    std::fs::write(&tmp, &bytes).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("rename {} -> {}: {e}", tmp.display(), path.display())
+    })?;
+    obs.entries.set(entries as i64);
+    Ok(SnapshotInfo {
+        entries,
+        bytes: bytes.len(),
+    })
+}
+
+/// Loads a snapshot from `path` into `cache` (first insert wins; see
+/// [`EngineCache::import`]). A missing file is `Ok(None)` — a fresh
+/// fleet member, not an error. Any other failure (unreadable, corrupt,
+/// truncated, wrong version/layout) is a strict reject: counted on
+/// `ctr_snapshot_rejected` and returned as `Err` so callers warn and
+/// continue cold — results are never poisoned, and nothing panics.
+pub fn load(cache: &EngineCache, path: &Path) -> Result<Option<SnapshotInfo>, String> {
+    let obs = snap_obs();
+    let _span = obs.load_ns.span();
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            obs.rejected.inc();
+            return Err(format!("read {}: {e}", path.display()));
+        }
+    };
+    let contents = decode(&bytes).map_err(|e| {
+        obs.rejected.inc();
+        format!("{}: {e}", path.display())
+    })?;
+    let info = SnapshotInfo {
+        entries: contents.len(),
+        bytes: bytes.len(),
+    };
+    obs.entries.set(info.entries as i64);
+    cache.import(contents);
+    Ok(Some(info))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::caps::SampleProfile;
+    use crate::eval::Evaluator;
+    use crate::spec::EngineSpec;
+    use crate::workload::SweepWorkload;
+    use tpe_workloads::LayerShape;
+
+    /// Warm a cache through the real evaluator: feasible + infeasible
+    /// prices, plus sampled serial-cycle records.
+    fn warmed() -> EngineCache {
+        let cache = EngineCache::new();
+        let layer = SweepWorkload::Layer(LayerShape::new("snap", 32, 64, 128, 1));
+        for spec in [
+            EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0),
+            EngineSpec::serial(PeStyle::Opt3, EncodingKind::Csd, 1.5),
+            EngineSpec::dense(PeStyle::Opt1, ClassicArch::Tpu, 1.5),
+            EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 2.0), // walls
+        ] {
+            let _ = Evaluator::new(&cache).metrics(&spec, &layer, 7);
+        }
+        assert!(!cache.is_empty());
+        cache
+    }
+
+    fn sorted_contents(cache: &EngineCache) -> Vec<u8> {
+        encode(&cache.export())
+    }
+
+    #[test]
+    fn snapshot_round_trips_including_infeasible_entries() {
+        let cache = warmed();
+        let contents = cache.export();
+        assert!(
+            contents.prices.iter().any(|(_, p)| p.is_none()),
+            "the walled MAC corner must export as a cached infeasibility"
+        );
+        let decoded = decode(&encode(&contents)).unwrap();
+        assert_eq!(decoded.len(), contents.len());
+        // Import into a fresh cache: identical contents, byte-identical
+        // re-encoding, and lookups hit without recomputing.
+        let fresh = EngineCache::new();
+        fresh.import(decoded);
+        assert_eq!(sorted_contents(&fresh), sorted_contents(&cache));
+        assert_eq!(fresh.entry_count(), cache.entry_count());
+        assert_eq!(fresh.stats(), crate::cache::CacheStats::default());
+    }
+
+    #[test]
+    fn encoding_is_deterministic_across_insert_orders() {
+        let cache = warmed();
+        let mut contents = cache.export();
+        let bytes = encode(&contents);
+        contents.records.reverse();
+        contents.prices.reverse();
+        contents.cycles.reverse();
+        assert_eq!(encode(&contents), bytes, "entry order must not matter");
+    }
+
+    #[test]
+    fn corrupt_truncated_and_future_snapshots_are_rejected() {
+        let bytes = encode(&warmed().export());
+        // Single-byte corruption anywhere in the payload.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xff;
+        assert!(decode(&corrupt).unwrap_err().contains("checksum"));
+        // Truncation at every interesting boundary.
+        for cut in [0, 4, SNAPSHOT_MAGIC.len(), bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must reject");
+        }
+        // Version bump (checksum re-stamped so the version check itself
+        // is what rejects).
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        let end = future.len() - 8;
+        let sum = fnv1a_bytes(&future[SNAPSHOT_MAGIC.len()..end]);
+        future[end..].copy_from_slice(&sum.to_le_bytes());
+        assert!(decode(&future).unwrap_err().contains("version"));
+        // Layout-hash drift, same re-stamping.
+        let mut drifted = bytes.clone();
+        drifted[12] ^= 0x01;
+        let sum = fnv1a_bytes(&drifted[SNAPSHOT_MAGIC.len()..end]);
+        drifted[end..].copy_from_slice(&sum.to_le_bytes());
+        assert!(decode(&drifted).unwrap_err().contains("layout"));
+        // Wrong magic.
+        let mut alien = bytes;
+        alien[0] = b'X';
+        assert!(decode(&alien).unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_disk() {
+        let cache = warmed();
+        let dir = std::env::temp_dir().join(format!("tpe-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.tpecache");
+
+        let info = save(&cache, &path).unwrap();
+        assert_eq!(info.entries, cache.entry_count());
+        assert!(info.bytes > 0);
+        assert!(!path.with_extension("tpecache.tmp").exists());
+
+        let fresh = EngineCache::new();
+        let loaded = load(&fresh, &path).unwrap().expect("file exists");
+        assert_eq!(loaded, info);
+        assert_eq!(sorted_contents(&fresh), sorted_contents(&cache));
+
+        // A warm lookup after import is a hit, not a recompute.
+        let spec = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0);
+        let layer = SweepWorkload::Layer(LayerShape::new("snap", 32, 64, 128, 1));
+        let a = Evaluator::new(&cache).metrics(&spec, &layer, 7);
+        let b = Evaluator::new(&fresh).metrics(&spec, &layer, 7);
+        assert_eq!(a, b, "imported state must answer identically");
+        let stats = fresh.stats();
+        assert_eq!(stats.misses(), 0, "replay must be all hits: {stats:?}");
+        assert!(stats.hits() > 0);
+
+        // Missing file: fresh fleet member, not an error.
+        assert_eq!(load(&fresh, &dir.join("absent")).unwrap(), None);
+
+        // Corrupt file on disk: strict reject, cache untouched.
+        let mut bad = std::fs::read(&path).unwrap();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        std::fs::write(&path, &bad).unwrap();
+        let before = EngineCache::new();
+        assert!(load(&before, &path).is_err());
+        assert!(before.is_empty(), "rejected snapshot must not leak entries");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampled_and_analytic_cycle_records_both_round_trip() {
+        let cache = EngineCache::new();
+        let spec = EngineSpec::serial(PeStyle::Opt4C, EncodingKind::EnT, 2.0);
+        let layer = LayerShape::new("l", 16, 16, 64, 2);
+        for profile in [SampleProfile::Quick.caps(), {
+            let mut caps = SampleProfile::Quick.caps();
+            caps.model = CycleModel::Analytic;
+            caps
+        }] {
+            let key = CycleKey::of(&spec, &layer, 11, profile);
+            cache.serial_record(key, || SerialLayerRecord {
+                cycles: 42.0,
+                busy_sum: 40.0,
+                busy_min: 0.5,
+                busy_max: 1.0,
+                rounds: 2.0,
+                columns: 32,
+            });
+        }
+        let decoded = decode(&encode(&cache.export())).unwrap();
+        assert_eq!(decoded.cycles.len(), 2);
+        let models: Vec<CycleModel> = decoded.cycles.iter().map(|(k, _)| k.model).collect();
+        assert!(models.contains(&CycleModel::Sampled));
+        assert!(models.contains(&CycleModel::Analytic));
+    }
+}

@@ -21,11 +21,12 @@
 //!   lock is never on a hot path.
 //! * **Log2 buckets.** A histogram has 64 buckets: bucket 0 holds the
 //!   value 0 and bucket *i* holds values in `[2^(i-1), 2^i)` (the last
-//!   bucket is open-ended). Quantiles report the covering bucket's upper
-//!   bound — an overestimate of at most 2× — and are capped by the
-//!   exactly-tracked max. Bucket counts subtract field-wise
-//!   ([`HistogramSnapshot::since`]), so windowed percentiles over a
-//!   long-running server need only two snapshots.
+//!   bucket is open-ended). Quantiles interpolate linearly *within* the
+//!   covering bucket (by the rank's position among the bucket's samples)
+//!   and are capped by the exactly-tracked max, so the overshoot is far
+//!   below the full bucket width for mid-bucket ranks. Bucket counts
+//!   subtract field-wise ([`HistogramSnapshot::since`]), so windowed
+//!   percentiles over a long-running server need only two snapshots.
 //! * **Snapshots diff.** [`Registry::snapshot`] captures every metric
 //!   into plain maps; [`Snapshot::since`] subtracts an earlier snapshot
 //!   to isolate one batch/window. External counters (e.g. the engine
@@ -243,10 +244,14 @@ impl HistogramSnapshot {
         }
     }
 
-    /// The `q`-quantile (`0.0..=1.0`): the upper bound of the bucket
-    /// containing the nearest-rank sample, capped by the tracked max —
-    /// an overestimate of at most 2× the true order statistic. 0 when
-    /// empty.
+    /// The `q`-quantile (`0.0..=1.0`): the nearest-rank sample's bucket,
+    /// linearly interpolated between the bucket's bounds by the rank's
+    /// position among that bucket's samples, capped by the tracked max.
+    /// A rank that is the bucket's last sample reports the bucket upper
+    /// bound (so a one-sample bucket behaves exactly as before); interior
+    /// ranks land proportionally inside the bucket, bounding quantile
+    /// overshoot well under the 2× a bare upper-bound report allows. 0
+    /// when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -255,9 +260,17 @@ impl HistogramSnapshot {
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
         let mut cum = 0u64;
         for (i, c) in self.buckets.iter().enumerate() {
+            let before = cum;
             cum += c;
             if cum >= rank {
-                return bucket_upper(i).min(self.max);
+                if rank == cum {
+                    return bucket_upper(i).min(self.max);
+                }
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let width = (bucket_upper(i) - lower) as f64;
+                let pos = (rank - before) as f64 / *c as f64;
+                let est = lower as f64 + pos * width;
+                return (est.round() as u64).min(self.max);
             }
         }
         self.max
@@ -610,7 +623,10 @@ mod tests {
         let window = h.snapshot().since(&early);
         assert_eq!(window.count(), 10);
         assert_eq!(window.sum, 1000);
-        assert_eq!(window.quantile(0.5), bucket_upper(bucket_index(100)));
+        // Rank 5 of the 10 samples in bucket [64, 127]: interpolation
+        // reports 64 + (5/10)·63 ≈ 96, not the bare upper bound 127.
+        assert_eq!(window.quantile(0.5), 96);
+        assert!(window.quantile(0.5) < bucket_upper(bucket_index(100)));
         // Round-trip through trimmed wire form.
         let mut trimmed = window.buckets.clone();
         while trimmed.last() == Some(&0) {
@@ -618,6 +634,41 @@ mod tests {
         }
         let rebuilt = HistogramSnapshot::from_parts(trimmed, window.sum, window.max);
         assert_eq!(rebuilt, window);
+    }
+
+    /// Within-bucket linear interpolation: interior ranks land
+    /// proportionally inside the covering bucket, the bucket's last rank
+    /// still reports the (max-capped) upper bound, and a single huge
+    /// sample cannot drag mid quantiles to the open bucket's bound.
+    #[test]
+    fn quantiles_interpolate_within_the_covering_bucket() {
+        let h = Histogram::new();
+        for _ in 0..4 {
+            h.record(1023); // bucket [512, 1023], four samples
+        }
+        let s = h.snapshot();
+        // Ranks 1..4 of 4 at q = .25/.5/.75/1: 512 + k/4 · 511.
+        assert_eq!(s.quantile(0.25), 640);
+        assert_eq!(s.quantile(0.5), 768);
+        assert_eq!(s.quantile(0.75), 895);
+        assert_eq!(s.quantile(1.0), 1023, "last rank is the upper bound");
+
+        // A p99 rank interior to a sparse tail bucket interpolates
+        // instead of reporting the full 2^k bound (the serve-smoke
+        // server-p99 pathology this change removes).
+        let tail = Histogram::new();
+        for _ in 0..95 {
+            tail.record(800_000);
+        }
+        for _ in 0..4 {
+            tail.record(1_200_000);
+        }
+        tail.record(2_000_000);
+        let t = tail.snapshot();
+        // Rank 99 is the 4th of 5 samples in [2^20, 2^21): 1048576 +
+        // (4/5)·1048575 = 1887436, not the bucket bound 2097151.
+        assert_eq!(t.quantile(0.99), 1_887_436);
+        assert_eq!(t.quantile(1.0), 2_000_000, "exact max");
     }
 
     #[test]
