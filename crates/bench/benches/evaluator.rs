@@ -20,7 +20,7 @@ use tpe_engine::{
     CycleModel, EngineCache, EngineSpec, Evaluator, SampleProfile, SerialSampleCaps, SweepWorkload,
 };
 use tpe_sim::array::ClassicArch;
-use tpe_workloads::LayerShape;
+use tpe_workloads::{models, LayerShape, NetworkModel};
 
 fn serial_spec() -> EngineSpec {
     EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0)
@@ -42,6 +42,8 @@ type Scenario = (&'static str, Box<dyn FnMut() -> f64>);
 /// emitter.
 fn scenarios() -> Vec<Scenario> {
     let caps = SampleProfile::Sweep.caps();
+    let model_caps = SampleProfile::Quick.caps();
+    let net: &'static NetworkModel = &*Box::leak(Box::new(models::resnet18()));
     let warm = EngineCache::new();
     // Warm the shared cache once so the `_cached` scenarios measure pure
     // lookup + assembly (per precision: W4/W8/W16 are distinct keys).
@@ -50,6 +52,7 @@ fn scenarios() -> Vec<Scenario> {
     }
     Evaluator::new(&warm).price(&dense_spec());
     cached_serial_cycles(&warm, &serial_spec(), &probe_layer(), 42, caps);
+    Evaluator::new(&warm).model_report(&serial_spec(), net, 42, model_caps);
     let warm: &'static EngineCache = &*Box::leak(Box::new(warm));
 
     let price_cold = |p: Precision| -> Scenario {
@@ -124,6 +127,31 @@ fn scenarios() -> Vec<Scenario> {
             Box::new(move || {
                 let rec = cached_serial_cycles(warm, &serial_spec(), &probe_layer(), 42, caps);
                 black_box(rec.cycles)
+            }),
+        ),
+        (
+            // A whole ResNet-18 report from an empty cache: synthesis +
+            // the dedup'd per-layer walk. The model-map counterpart below
+            // must beat this by ≥ 10× (CI-pinned).
+            "model_report_cold",
+            Box::new(move || {
+                let cache = EngineCache::new();
+                let r = Evaluator::new(&cache)
+                    .model_report(&serial_spec(), net, 42, model_caps)
+                    .unwrap();
+                black_box(r.delay_us)
+            }),
+        ),
+        (
+            // Same request against the pre-warmed cache: one model-map
+            // lookup handing out Arc-backed rows — no per-layer rewalk,
+            // no row re-clones.
+            "model_report_warm",
+            Box::new(move || {
+                let r = Evaluator::new(warm)
+                    .model_report(&serial_spec(), net, 42, model_caps)
+                    .unwrap();
+                black_box(r.delay_us)
             }),
         ),
         (

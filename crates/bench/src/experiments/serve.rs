@@ -781,10 +781,16 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
         qps,
     )
     .unwrap();
+    let model_hit_rate = if m.delta.model_lookups > 0 {
+        m.delta.model_hits as f64 / m.delta.model_lookups as f64
+    } else {
+        0.0
+    };
     writeln!(
         out,
         "serve cache over the batch: {} hits / {} misses ({:.1}% hit rate; \
-         pricing {}h/{}m, workload cycles {}h/{}m; lookups consistent: {})",
+         pricing {}h/{}m, workload cycles {}h/{}m, model reports {}h/{}m; \
+         lookups consistent: {})",
         m.delta.hits(),
         m.delta.misses(),
         hit_rate * 100.0,
@@ -792,6 +798,8 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
         m.delta.price_misses,
         m.delta.cycle_hits,
         m.delta.cycle_misses,
+        m.delta.model_hits,
+        m.delta.model_misses,
         m.delta.lookups() == m.delta.hits() + m.delta.misses(),
     )
     .unwrap();
@@ -859,6 +867,8 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
             "{{\n  \"queries\": {queries},\n  \"workers\": {},\n  \
              \"throughput_qps\": {:.1},\n  \"batch_ms\": {:.3},\n  \
              \"hit_rate\": {:.4},\n  \"hits\": {},\n  \"misses\": {},\n  \
+             \"model_hit_rate\": {model_hit_rate:.4},\n  \
+             \"model_hits\": {},\n  \"model_misses\": {},\n  \
              \"lookups_consistent\": {},\n  \"divergences\": {},\n  \
              \"server_accounting_consistent\": {accounting_ok},\n  \
              \"latency_us\": {{\"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \
@@ -871,6 +881,8 @@ fn try_serve_smoke(args: &[String]) -> Result<String, String> {
             hit_rate,
             m.delta.hits(),
             m.delta.misses(),
+            m.delta.model_hits,
+            m.delta.model_misses,
             m.delta.lookups() == m.delta.hits() + m.delta.misses(),
             m.divergences,
             m.latency.p50_us,
@@ -1123,6 +1135,7 @@ mod tests {
             "\"latency_us\"",
             "\"latency_us_server\"",
             "\"p99\"",
+            "\"model_hit_rate\"",
             "\"lookups_consistent\": true",
             "\"server_accounting_consistent\": true",
             "\"divergences\": 0",

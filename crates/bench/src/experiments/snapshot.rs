@@ -17,11 +17,13 @@
 //! 3. **In-memory warm reference** — re-sweep on the still-warm original
 //!    cache, so the report separates "what the disk round trip costs"
 //!    from "what memoization alone buys".
-//! 4. **Server restart** — serve the slice from one process-lifetime
-//!    cache, save via the `snapshot` op, "restart" (a second serve loop
-//!    on a fresh cache warm-started from the file), and replay the same
-//!    request: the replay must answer byte-identically with a 100% cache
-//!    hit rate — the durability story end to end.
+//! 4. **Server restart** — serve the slice plus a whole-model query from
+//!    one process-lifetime cache, save via the `snapshot` op, "restart"
+//!    (a second serve loop on a fresh cache warm-started from the file),
+//!    and replay the same requests: the replay must answer
+//!    byte-identically with a 100% cache hit rate — the model op served
+//!    straight from the persisted model map — the durability story end
+//!    to end.
 //!
 //! `--out` writes the measurements as `BENCH_snapshot.json` for CI
 //! artifact upload.
@@ -119,14 +121,19 @@ fn try_snapshot_smoke(args: &[String]) -> Result<String, String> {
     let speedup = cold_ms / warm_disk_ms.max(1e-9);
     let ratio_disk_vs_mem = warm_disk_ms / warm_mem_ms.max(1e-9);
 
-    // Phase 4: server restart. Run A sweeps cold and saves through the
-    // `snapshot` op; run B warm-starts from that file and must replay the
-    // same request byte-identically without a single cache miss.
+    // Phase 4: server restart. Run A sweeps cold, runs a whole-model
+    // query (populating the cache's model map), and saves through the
+    // `snapshot` op; run B warm-starts from that file and must replay
+    // both requests byte-identically without a single cache miss — the
+    // model op answered straight from the persisted model map.
     let restart_path = snap_path.with_extension("restart.bin");
     let sweep_req = format!(
         r#"{{"id":1,"op":"sweep","filter":"{}","seed":42}}"#,
         json_escape(&filter)
     );
+    let model_req =
+        r#"{"id":2,"op":"model","engine":"OPT4E[EN-T]/28nm@2.00GHz","model":"resnet18","seed":42}"#
+            .to_string();
     let serve_config = ServeConfig {
         threads: 1,
         ..ServeConfig::default()
@@ -160,8 +167,9 @@ fn try_snapshot_smoke(args: &[String]) -> Result<String, String> {
         Some(restart_path.clone()),
         vec![
             sweep_req.clone(),
-            r#"{"id":2,"op":"snapshot"}"#.to_string(),
-            r#"{"id":3,"op":"shutdown"}"#.to_string(),
+            model_req.clone(),
+            r#"{"id":3,"op":"snapshot"}"#.to_string(),
+            r#"{"id":4,"op":"shutdown"}"#.to_string(),
         ],
     )?;
     let cache_b: &'static EngineCache = Box::leak(Box::new(EngineCache::new()));
@@ -172,11 +180,22 @@ fn try_snapshot_smoke(args: &[String]) -> Result<String, String> {
     let replies_b = run_server(
         cache_b,
         None,
-        vec![sweep_req, r#"{"id":2,"op":"shutdown"}"#.to_string()],
+        vec![
+            sweep_req,
+            model_req,
+            r#"{"id":3,"op":"shutdown"}"#.to_string(),
+        ],
     )?;
     let replay_delta = cache_b.stats().since(&before_b);
     let replay_hit_rate = replay_delta.hit_rate();
-    let replay_identical = replies_a.first() == replies_b.first();
+    let model_replay_hit_rate = if replay_delta.model_lookups > 0 {
+        replay_delta.model_hits as f64 / replay_delta.model_lookups as f64
+    } else {
+        0.0
+    };
+    let replay_identical = replies_a.first() == replies_b.first()
+        && replies_a.get(1) == replies_b.get(1)
+        && replies_b.len() >= 2;
     let _ = std::fs::remove_file(&restart_path);
     if default_snap {
         let _ = std::fs::remove_file(&snap_path);
@@ -217,11 +236,14 @@ fn try_snapshot_smoke(args: &[String]) -> Result<String, String> {
     .unwrap();
     writeln!(
         out,
-        "server restart replay: {} hits / {} misses ({:.1}% hit rate), \
-         response byte-identical: {replay_identical}",
+        "server restart replay: {} hits / {} misses ({:.1}% hit rate; \
+         model map {}/{} = {:.1}%), response byte-identical: {replay_identical}",
         replay_delta.hits(),
         replay_delta.misses(),
         replay_hit_rate * 100.0,
+        replay_delta.model_hits,
+        replay_delta.model_lookups,
+        model_replay_hit_rate * 100.0,
     )
     .unwrap();
 
@@ -232,7 +254,8 @@ fn try_snapshot_smoke(args: &[String]) -> Result<String, String> {
              \"cold_ms\": {cold_ms:.3},\n  \"warm_mem_ms\": {warm_mem_ms:.3},\n  \
              \"warm_disk_ms\": {warm_disk_ms:.3},\n  \"speedup_vs_cold\": {speedup:.2},\n  \
              \"ratio_disk_vs_mem\": {ratio_disk_vs_mem:.3},\n  \
-             \"replay_hit_rate\": {replay_hit_rate:.4}\n}}\n",
+             \"replay_hit_rate\": {replay_hit_rate:.4},\n  \
+             \"model_replay_hit_rate\": {model_replay_hit_rate:.4}\n}}\n",
             points.len(),
             info.bytes,
             info.entries,
@@ -267,6 +290,13 @@ fn try_snapshot_smoke(args: &[String]) -> Result<String, String> {
         return Err(format!(
             "restart replay missed the cache {} time(s) — warm start is not complete\n{out}",
             replay_delta.misses()
+        ));
+    }
+    if replay_delta.model_lookups == 0 || replay_delta.model_misses != 0 {
+        return Err(format!(
+            "restart replay must answer the model op from the persisted model map \
+             ({} lookups, {} misses)\n{out}",
+            replay_delta.model_lookups, replay_delta.model_misses
         ));
     }
     Ok(out)
@@ -306,7 +336,8 @@ mod tests {
             report.contains("CSV byte-identical to cold: true"),
             "{report}"
         );
-        assert!(report.contains("(100.0% hit rate)"), "{report}");
+        assert!(report.contains("(100.0% hit rate;"), "{report}");
+        assert!(report.contains("= 100.0%)"), "{report}");
         assert!(report.contains("response byte-identical: true"), "{report}");
         let json = std::fs::read_to_string(&out_path).unwrap();
         for field in [
@@ -317,6 +348,7 @@ mod tests {
             "\"warm_disk_ms\"",
             "\"speedup_vs_cold\"",
             "\"replay_hit_rate\": 1.0000",
+            "\"model_replay_hit_rate\": 1.0000",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

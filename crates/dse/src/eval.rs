@@ -50,6 +50,11 @@ pub fn evaluate(point: &DesignPoint, cache: &EngineCache, seed: u64) -> PointRes
 /// `cycle_model` requests. The analytic backend ignores the seed for
 /// serial cycle statistics (they are closed-form), but the seed still
 /// flows so dense paths and labels stay byte-identical across modes.
+///
+/// Whole-network points ([`SweepWorkload::Model`](tpe_engine::SweepWorkload))
+/// resolve through the engine cache's model map: a repeated point is one
+/// model-record hit, not an O(layers) rewalk (see
+/// `tpe_engine::cache::ModelKey`).
 pub fn evaluate_with_model(
     point: &DesignPoint,
     cache: &EngineCache,
@@ -144,5 +149,28 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.price_misses, 1);
         assert_eq!(stats.price_hits, points.len() as u64 - 1);
+    }
+
+    /// A repeated whole-network dse point is one model-map hit — no
+    /// per-layer cycle-map traffic on the warm pass — and bit-identical
+    /// to the cold answer, under both cycle backends.
+    #[test]
+    fn repeated_model_points_warm_hit_the_model_map() {
+        let space = DesignSpace::with_models("resnet18").unwrap();
+        let point = &space.enumerate_filtered("OPT4E[EN-T]/28nm@2.00")[0];
+        for model in [CycleModel::Sampled, CycleModel::Analytic] {
+            let cache = EngineCache::new();
+            let cold = evaluate_with_model(point, &cache, 42, model);
+            let before = cache.stats();
+            let warm = evaluate_with_model(point, &cache, 42, model);
+            assert_eq!(cold, warm, "{model:?}: warm answer drifted");
+            let delta = cache.stats().since(&before);
+            assert_eq!(
+                (delta.model_hits, delta.model_misses),
+                (1, 0),
+                "{model:?}: warm point must be one model-map hit"
+            );
+            assert_eq!(delta.cycle_lookups, 0, "{model:?}: no per-layer rewalk");
+        }
     }
 }

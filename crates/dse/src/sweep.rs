@@ -10,10 +10,13 @@
 //! own label — so the output is **byte-identical across runs and thread
 //! counts**, which the determinism tests pin.
 //!
-//! Synthesis and serial sampling memoize into a [`EngineCache`]:
-//! [`sweep`] shares the process-wide global instance (so later grids,
-//! experiments and serve queries reuse this sweep's work), while
-//! [`sweep_with_cache`] takes an explicit instance for isolation.
+//! Synthesis, serial sampling and whole-model reports memoize into a
+//! [`EngineCache`]: [`sweep`] shares the process-wide global instance
+//! (so later grids, experiments and serve queries reuse this sweep's
+//! work), while [`sweep_with_cache`] takes an explicit instance for
+//! isolation. Whole-network points land in the cache's model map, so a
+//! re-sweep (or a later `repro models` grid over the same cells) answers
+//! each repeated point with one lookup instead of an O(layers) rewalk.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};

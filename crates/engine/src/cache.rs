@@ -11,7 +11,13 @@
 //!    derived layer over the synthesis map;
 //! 3. **serial workload cycles** (the sampled sync model), keyed on the
 //!    cycle-relevant subset plus the exact seed and sampling caps
-//!    ([`CycleKey`]).
+//!    ([`CycleKey`]);
+//! 4. **whole-model reports** (the aggregated per-layer walk), keyed on
+//!    the engine's price/cycle-relevant subset plus the model's identity
+//!    and content hash, the cell seed and the sampling caps
+//!    ([`ModelKey`]) — so a repeated `model` serve op, grid cell or dse
+//!    model point collapses to one lookup instead of an O(layers)
+//!    rewalk.
 //!
 //! All maps are sharded: each shard is an independent
 //! [`RwLock`]`<HashMap>` selected by key hash, so concurrent sweep workers
@@ -29,15 +35,16 @@
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use tpe_arith::encode::EncodingKind;
 use tpe_arith::Precision;
 use tpe_core::arch::{ArchKind, PeStyle};
 use tpe_sim::array::ClassicArch;
-use tpe_workloads::LayerShape;
+use tpe_workloads::{LayerShape, NetworkModel};
 
 use crate::caps::{CycleModel, SerialSampleCaps};
+use crate::report::{LayerReport, ModelReport};
 use crate::spec::{EnginePrice, EngineSpec};
 
 /// Number of independent lock shards per map. 16 keeps the footprint
@@ -254,6 +261,178 @@ impl SerialLayerRecord {
     }
 }
 
+/// FNV-1a content hash over a model's layer list: layer count, then per
+/// layer its name (NUL-terminated so boundaries are unambiguous), GEMM
+/// dims, repeat count and optional precision override. Two models with
+/// the same name but different layer content must never share a
+/// [`ModelKey`].
+fn model_content_hash(net: &NetworkModel) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let step = |h: u64, b: u8| (h ^ u64::from(b)).wrapping_mul(PRIME);
+    let word = |mut h: u64, v: u64| {
+        for b in v.to_le_bytes() {
+            h = step(h, b);
+        }
+        h
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h = word(h, net.layers.len() as u64);
+    for layer in &net.layers {
+        for b in layer.name.bytes() {
+            h = step(h, b);
+        }
+        h = step(h, 0);
+        h = word(h, layer.m as u64);
+        h = word(h, layer.n as u64);
+        h = word(h, layer.k as u64);
+        h = word(h, layer.repeats as u64);
+        match layer.precision {
+            None => h = step(h, 0),
+            Some(p) => {
+                h = step(h, 1);
+                h = word(h, u64::from(p.a_bits));
+                h = word(h, u64::from(p.b_bits));
+                h = word(h, u64::from(p.acc_bits));
+            }
+        }
+    }
+    h
+}
+
+/// The identity of one whole-model evaluation — everything the model
+/// walk ([`crate::schedule::evaluate_model_with`]) sees: the engine's
+/// price/cycle-relevant subset (the [`PriceKey`] fields), the model's
+/// name and layer-content hash, the exact cell seed and sampling caps,
+/// and the cycle backend.
+///
+/// Mirroring [`CycleKey`], analytic evaluations canonicalize the seed
+/// and the numeric sampling budgets to zero: the closed-form walk is a
+/// pure function of (engine, model), so every seed/caps combination
+/// shares one analytic record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// PE microarchitecture.
+    pub style: PeStyle,
+    /// Dense topology, if any.
+    pub dense: Option<ClassicArch>,
+    /// Raw multiplicand encoding.
+    pub encoding: EncodingKind,
+    /// Engine operand/accumulator precision (per-layer overrides are
+    /// content-hashed with the layers).
+    pub precision: Precision,
+    /// Clock constraint in MHz.
+    pub freq_mhz: u32,
+    /// Process feature size in tenths of a nm.
+    pub node_dnm: u32,
+    /// Network name (the identity half of the model axis).
+    pub model: String,
+    /// `model_content_hash` over the layer list (the content half).
+    pub layers_hash: u64,
+    /// The exact cell seed the per-layer seeds are derived from
+    /// (0 when analytic).
+    pub seed: u64,
+    /// Sampled-round cap (0 when analytic).
+    pub max_rounds: usize,
+    /// Sampled-operand budget (0 when analytic).
+    pub max_operands: usize,
+    /// Which cycle backend produced the record.
+    pub cycle_model: CycleModel,
+}
+
+impl ModelKey {
+    /// Builds the key for evaluating `net` on `spec` with the given cell
+    /// `seed` and sampling `caps`.
+    pub fn of(spec: &EngineSpec, net: &NetworkModel, seed: u64, caps: SerialSampleCaps) -> Self {
+        let analytic = caps.model == CycleModel::Analytic;
+        Self {
+            style: spec.style,
+            dense: match spec.kind {
+                ArchKind::Dense(a) => Some(a),
+                ArchKind::Serial => None,
+            },
+            encoding: spec.encoding,
+            precision: spec.precision,
+            freq_mhz: (spec.freq_ghz * 1e3).round() as u32,
+            node_dnm: (spec.node.nm * 10.0).round() as u32,
+            model: net.name.clone(),
+            layers_hash: model_content_hash(net),
+            seed: if analytic { 0 } else { seed },
+            max_rounds: if analytic { 0 } else { caps.max_rounds },
+            max_operands: if analytic { 0 } else { caps.max_operands },
+            cycle_model: caps.model,
+        }
+    }
+}
+
+/// The memoized outcome of one whole-model walk: the shared per-layer
+/// rows plus every end-to-end aggregate, so a warm hit rebuilds a
+/// bit-identical [`ModelReport`] (or the dse model-point aggregates)
+/// with nothing but `Arc` refcount bumps — no per-layer rewalk, no
+/// allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRecord {
+    /// Network name (shared with every report built from this record).
+    pub model: Arc<str>,
+    /// Per-layer breakdown, in execution order (shared slice).
+    pub layers: Arc<[LayerReport]>,
+    /// Total useful MACs.
+    pub total_macs: u64,
+    /// Total array cycles (sum over layers, in layer order).
+    pub cycles: f64,
+    /// End-to-end latency (µs).
+    pub delay_us: f64,
+    /// Total energy (µJ).
+    pub energy_uj: f64,
+    /// Delay-weighted average utilization.
+    pub utilization: f64,
+    /// Total array area (µm²), from the engine price.
+    pub area_um2: f64,
+    /// Peak throughput (TOPS), from the engine price.
+    pub peak_tops: f64,
+    /// Pooled per-column busy cycles across layers (in layer order) —
+    /// what the dse model-point aggregation
+    /// ([`crate::schedule::serial_model_cycles`]) divides by
+    /// `cycles × MP`. Zero for dense engines, which never pool busy
+    /// cycles.
+    pub busy_sum: f64,
+}
+
+impl ModelRecord {
+    /// Captures a freshly assembled report (plus the serial busy pool).
+    pub fn of(report: &ModelReport, busy_sum: f64) -> Self {
+        Self {
+            model: report.model.clone(),
+            layers: report.layers.clone(),
+            total_macs: report.total_macs,
+            cycles: report.cycles,
+            delay_us: report.delay_us,
+            energy_uj: report.energy_uj,
+            utilization: report.utilization,
+            area_um2: report.area_um2,
+            peak_tops: report.peak_tops,
+            busy_sum,
+        }
+    }
+
+    /// Rebuilds the full report for `engine` — bit-identical to the walk
+    /// that produced this record, allocation-free (`EngineSpec` holds no
+    /// heap data; everything else is a refcount bump or a plain copy).
+    pub fn to_report(&self, engine: &EngineSpec) -> ModelReport {
+        ModelReport {
+            model: self.model.clone(),
+            engine: engine.clone(),
+            layers: self.layers.clone(),
+            total_macs: self.total_macs,
+            cycles: self.cycles,
+            delay_us: self.delay_us,
+            energy_uj: self.energy_uj,
+            utilization: self.utilization,
+            area_um2: self.area_um2,
+            peak_tops: self.peak_tops,
+        }
+    }
+}
+
 /// Cache hit/miss counters at one observation point, per map.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -274,25 +453,32 @@ pub struct CacheStats {
     /// Accounted cycle lookups; at quiescence
     /// `cycle_lookups == cycle_hits + cycle_misses`.
     pub cycle_lookups: u64,
+    /// Whole-model lookups served from memory.
+    pub model_hits: u64,
+    /// Whole-model lookups that ran the full per-layer walk.
+    pub model_misses: u64,
+    /// Accounted whole-model lookups; at quiescence
+    /// `model_lookups == model_hits + model_misses`.
+    pub model_lookups: u64,
 }
 
 impl CacheStats {
     /// Total lookups served from memory.
     pub fn hits(&self) -> u64 {
-        self.price_hits + self.cycle_hits
+        self.price_hits + self.cycle_hits + self.model_hits
     }
 
     /// Total lookups that computed.
     pub fn misses(&self) -> u64 {
-        self.price_misses + self.cycle_misses
+        self.price_misses + self.cycle_misses + self.model_misses
     }
 
-    /// Total accounted lookups across both maps. At quiescence this equals
+    /// Total accounted lookups across all maps. At quiescence this equals
     /// [`Self::hits`]` + `[`Self::misses`] — each lookup increments its
     /// map's lookup counter and then exactly one of that map's hit/miss
     /// counters.
     pub fn lookups(&self) -> u64 {
-        self.price_lookups + self.cycle_lookups
+        self.price_lookups + self.cycle_lookups + self.model_lookups
     }
 
     /// Fraction of lookups served from memory (0 when never queried).
@@ -315,11 +501,14 @@ impl CacheStats {
             cycle_misses: self.cycle_misses.saturating_sub(earlier.cycle_misses),
             price_lookups: self.price_lookups.saturating_sub(earlier.price_lookups),
             cycle_lookups: self.cycle_lookups.saturating_sub(earlier.cycle_lookups),
+            model_hits: self.model_hits.saturating_sub(earlier.model_hits),
+            model_misses: self.model_misses.saturating_sub(earlier.model_misses),
+            model_lookups: self.model_lookups.saturating_sub(earlier.model_lookups),
         }
     }
 }
 
-/// A plain-data export of every memoized entry across the three maps —
+/// A plain-data export of every memoized entry across the four maps —
 /// the unit of cache persistence ([`crate::snapshot`]) and of bulk
 /// warm-start import. Entry order is unspecified (shard hashing is not
 /// stable across processes); the snapshot codec canonicalizes it.
@@ -331,15 +520,17 @@ pub struct CacheContents {
     pub prices: Vec<(PriceKey, Option<EnginePrice>)>,
     /// Serial-cycle evaluations.
     pub cycles: Vec<(CycleKey, SerialLayerRecord)>,
+    /// Whole-model walks.
+    pub models: Vec<(ModelKey, ModelRecord)>,
 }
 
 impl CacheContents {
-    /// Total entries across the three maps.
+    /// Total entries across the four maps.
     pub fn len(&self) -> usize {
-        self.records.len() + self.prices.len() + self.cycles.len()
+        self.records.len() + self.prices.len() + self.cycles.len() + self.models.len()
     }
 
-    /// Whether all three maps are empty.
+    /// Whether all four maps are empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -354,12 +545,16 @@ pub struct EngineCache {
     records: [RwLock<HashMap<PeKey, Option<PeRecord>>>; SHARDS],
     prices: [RwLock<HashMap<PriceKey, Option<EnginePrice>>>; SHARDS],
     cycles: [RwLock<HashMap<CycleKey, SerialLayerRecord>>; SHARDS],
+    models: [RwLock<HashMap<ModelKey, ModelRecord>>; SHARDS],
     price_hits: AtomicU64,
     price_misses: AtomicU64,
     cycle_hits: AtomicU64,
     cycle_misses: AtomicU64,
     price_lookups: AtomicU64,
     cycle_lookups: AtomicU64,
+    model_hits: AtomicU64,
+    model_misses: AtomicU64,
+    model_lookups: AtomicU64,
     /// Counter levels at the last [`Self::window_delta`] call — the
     /// observation window the serve `stats` op reports per-window rates
     /// over.
@@ -372,12 +567,16 @@ impl Default for EngineCache {
             records: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             prices: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             cycles: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            models: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             price_hits: AtomicU64::new(0),
             price_misses: AtomicU64::new(0),
             cycle_hits: AtomicU64::new(0),
             cycle_misses: AtomicU64::new(0),
             price_lookups: AtomicU64::new(0),
             cycle_lookups: AtomicU64::new(0),
+            model_hits: AtomicU64::new(0),
+            model_misses: AtomicU64::new(0),
+            model_lookups: AtomicU64::new(0),
             last_window: Mutex::new(CacheStats::default()),
         }
     }
@@ -480,6 +679,36 @@ impl EngineCache {
             .or_insert(rec)
     }
 
+    /// Returns the whole-model record for `key`, running `assemble` (the
+    /// full per-layer walk) on a miss. Same race discipline as
+    /// [`Self::pe_record`]; the returned record is a cheap clone (`Arc`
+    /// bumps and plain copies).
+    ///
+    /// Accounting note: a miss's `assemble` closure consults the price
+    /// and cycle maps internally — those lookups keep counting in their
+    /// own families, so on a model-map *hit* the per-layer cycle counters
+    /// no longer move at all (the whole point of the map).
+    pub fn model_record(
+        &self,
+        key: ModelKey,
+        assemble: impl FnOnce() -> ModelRecord,
+    ) -> ModelRecord {
+        let shard = &self.models[shard_of(&key)];
+        self.model_lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = shard.read().expect("cache poisoned").get(&key) {
+            self.model_hits.fetch_add(1, Ordering::Relaxed);
+            return rec.clone();
+        }
+        self.model_misses.fetch_add(1, Ordering::Relaxed);
+        let rec = assemble();
+        shard
+            .write()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert(rec)
+            .clone()
+    }
+
     /// Counters at this instant.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -489,6 +718,9 @@ impl EngineCache {
             cycle_misses: self.cycle_misses.load(Ordering::Relaxed),
             price_lookups: self.price_lookups.load(Ordering::Relaxed),
             cycle_lookups: self.cycle_lookups.load(Ordering::Relaxed),
+            model_hits: self.model_hits.load(Ordering::Relaxed),
+            model_misses: self.model_misses.load(Ordering::Relaxed),
+            model_lookups: self.model_lookups.load(Ordering::Relaxed),
         }
     }
 
@@ -505,7 +737,7 @@ impl EngineCache {
         delta
     }
 
-    /// Copies every memoized entry out of the three maps. Only memoized
+    /// Copies every memoized entry out of the four maps. Only memoized
     /// *values* are exported — hit/miss counters describe this process's
     /// history, not the cache contents, so they stay behind.
     pub fn export(&self) -> CacheContents {
@@ -521,6 +753,11 @@ impl EngineCache {
         for shard in &self.cycles {
             let map = shard.read().expect("cache poisoned");
             out.cycles.extend(map.iter().map(|(k, v)| (*k, *v)));
+        }
+        for shard in &self.models {
+            let map = shard.read().expect("cache poisoned");
+            out.models
+                .extend(map.iter().map(|(k, v)| (k.clone(), v.clone())));
         }
         out
     }
@@ -553,6 +790,13 @@ impl EngineCache {
                 .entry(key)
                 .or_insert(rec);
         }
+        for (key, rec) in contents.models {
+            self.models[shard_of(&key)]
+                .write()
+                .expect("cache poisoned")
+                .entry(key)
+                .or_insert(rec);
+        }
     }
 
     /// Number of distinct PE/corner pairs priced.
@@ -580,9 +824,17 @@ impl EngineCache {
             .sum()
     }
 
-    /// Total entries across all three maps (what a snapshot would carry).
+    /// Number of distinct whole-model reports memoized.
+    pub fn models_len(&self) -> usize {
+        self.models
+            .iter()
+            .map(|s| s.read().expect("cache poisoned").len())
+            .sum()
+    }
+
+    /// Total entries across all four maps (what a snapshot would carry).
     pub fn entry_count(&self) -> usize {
-        self.priced_len() + self.prices_len() + self.cycles_len()
+        self.priced_len() + self.prices_len() + self.cycles_len() + self.models_len()
     }
 
     /// Whether nothing has been memoized yet.
@@ -754,6 +1006,95 @@ mod tests {
         assert_eq!(stats.lookups(), stats.hits() + stats.misses());
         assert_eq!(stats.price_lookups, stats.price_hits + stats.price_misses);
         assert_eq!(stats.cycle_lookups, stats.cycle_hits + stats.cycle_misses);
+    }
+
+    fn model_fixture() -> ModelRecord {
+        ModelRecord {
+            model: "toy".into(),
+            layers: vec![LayerReport {
+                name: "fc1".into(),
+                macs: 64,
+                tiles: 1.0,
+                cycles: 10.0,
+                delay_us: 0.005,
+                utilization: 0.5,
+                energy_uj: 0.25,
+            }]
+            .into(),
+            total_macs: 64,
+            cycles: 10.0,
+            delay_us: 0.005,
+            energy_uj: 0.25,
+            utilization: 0.5,
+            area_um2: 1.0e6,
+            peak_tops: 2.0,
+            busy_sum: 9.0,
+        }
+    }
+
+    #[test]
+    fn model_records_memoize_and_keep_the_lookup_invariant() {
+        let cache = EngineCache::new();
+        let spec = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0);
+        let net = tpe_workloads::models::resnet18();
+        let caps = crate::caps::SampleProfile::Model.caps();
+        let k = ModelKey::of(&spec, &net, 42, caps);
+        let rec = model_fixture();
+        let before = cache.stats();
+        assert_eq!(cache.model_record(k.clone(), || rec.clone()), rec);
+        assert_eq!(cache.model_record(k.clone(), || panic!("must hit")), rec);
+        let stats = cache.stats();
+        assert_eq!((stats.model_hits, stats.model_misses), (1, 1));
+        assert_eq!(stats.model_lookups, stats.model_hits + stats.model_misses);
+        assert_eq!(stats.lookups(), stats.hits() + stats.misses());
+        assert_eq!(cache.models_len(), 1);
+        assert_eq!(cache.entry_count(), 1, "entry_count covers the model map");
+        let delta = stats.since(&before);
+        assert_eq!((delta.model_hits, delta.model_misses), (1, 1));
+        assert_eq!(delta.lookups(), 2, "deltas carry the model family");
+    }
+
+    /// The key must separate identity from content: a layer edit under the
+    /// same network name misses, while analytic caps canonicalize the seed
+    /// and budgets so every analytic query shares one entry.
+    #[test]
+    fn model_keys_hash_content_and_canonicalize_analytic_seeds() {
+        let spec = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0);
+        let net = tpe_workloads::models::resnet18();
+        let caps = crate::caps::SampleProfile::Model.caps();
+        let k = ModelKey::of(&spec, &net, 42, caps);
+        let mut edited = net.clone();
+        edited.layers[0].k += 1;
+        assert_ne!(k, ModelKey::of(&spec, &edited, 42, caps));
+        let mut requantized = net.clone();
+        requantized.layers[0].precision = Some(Precision::W4);
+        assert_ne!(k, ModelKey::of(&spec, &requantized, 42, caps));
+        assert_ne!(k, ModelKey::of(&spec, &net, 43, caps), "sampled seeds key");
+        let analytic = SerialSampleCaps {
+            model: CycleModel::Analytic,
+            ..caps
+        };
+        assert_eq!(
+            ModelKey::of(&spec, &net, 1, analytic),
+            ModelKey::of(&spec, &net, 2, analytic),
+            "analytic mode is seed-free"
+        );
+    }
+
+    #[test]
+    fn model_records_survive_export_import() {
+        let cache = EngineCache::new();
+        let spec = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0);
+        let net = tpe_workloads::models::resnet18();
+        let k = ModelKey::of(&spec, &net, 42, crate::caps::SampleProfile::Model.caps());
+        let rec = model_fixture();
+        cache.model_record(k.clone(), || rec.clone());
+        let contents = cache.export();
+        assert_eq!(contents.models.len(), 1);
+        let fresh = EngineCache::new();
+        fresh.import(contents);
+        assert_eq!(fresh.models_len(), 1);
+        assert_eq!(fresh.model_record(k, || panic!("import must hit")), rec);
     }
 
     /// The canonical map must mirror the hardware: encodings keyed together

@@ -20,11 +20,11 @@ use tpe_workloads::NetworkModel;
 
 #[cfg(doc)]
 use crate::cache::PriceKey;
-use crate::cache::{EngineCache, PeKey, PeRecord};
+use crate::cache::{EngineCache, ModelKey, ModelRecord, PeKey, PeRecord};
 use crate::caps::{CycleModel, SampleProfile, SerialSampleCaps};
 use crate::fnv1a;
 use crate::report::ModelReport;
-use crate::schedule::{cached_serial_cycles, dense_model_cycles, serial_model_cycles};
+use crate::schedule::cached_serial_cycles;
 use crate::spec::{EnginePrice, EngineSpec};
 use crate::workload::SweepWorkload;
 
@@ -51,6 +51,10 @@ pub(crate) struct EvalObs {
     /// `eval_model_schedule_ns`: one whole-model schedule (includes its
     /// per-layer sampling, cold or warm).
     pub model_schedule_ns: Arc<Histogram>,
+    /// `eval_model_assemble_ns`: one whole-model record assembly — the
+    /// dedup'd walk behind the model cache's miss path (cold only; a
+    /// model-map hit never runs it).
+    pub model_assemble_ns: Arc<Histogram>,
     /// `eval_price_calls`: total [`Evaluator::price`] calls, hot or cold.
     pub price_calls: Arc<Counter>,
     /// `eval_metrics_calls`: total [`Evaluator::metrics`] calls.
@@ -68,6 +72,7 @@ pub(crate) fn eval_obs() -> &'static EvalObs {
             serial_sample_ns: reg.histogram("eval_serial_sample_ns"),
             serial_analytic_ns: reg.histogram("eval_serial_analytic_ns"),
             model_schedule_ns: reg.histogram("eval_model_schedule_ns"),
+            model_assemble_ns: reg.histogram("eval_model_assemble_ns"),
             price_calls: reg.counter("eval_price_calls"),
             metrics_calls: reg.counter("eval_metrics_calls"),
         }
@@ -246,7 +251,20 @@ impl<'c> Evaluator<'c> {
                         arch.at_paper_config().estimate_cycles(w.m, w.n, w.k) as f64
                             * w.repeats as f64
                     }
-                    SweepWorkload::Model(net) => dense_model_cycles(arch, net),
+                    SweepWorkload::Model(net) => {
+                        let point_seed =
+                            seed ^ fnv1a(&format!("{}/{}", spec.label(), workload.name()));
+                        let caps = SerialSampleCaps {
+                            model: self.cycle_model,
+                            ..SampleProfile::Model.caps_for(spec.precision)
+                        };
+                        // One model-map lookup; the record's cycle sum is
+                        // bit-identical to the old `dense_model_cycles`
+                        // accumulation (same closed-form terms, same
+                        // order).
+                        self.model_record(spec, &price, net, point_seed, caps)
+                            .cycles
+                    }
                 };
                 // Dense arrays clock every PE every cycle, useful or not.
                 (cycles, 1.0)
@@ -267,16 +285,24 @@ impl<'c> Evaluator<'c> {
                         );
                         (rec.cycles, rec.utilization())
                     }
-                    SweepWorkload::Model(net) => serial_model_cycles(
-                        self.cache,
-                        spec,
-                        net,
-                        point_seed,
-                        SerialSampleCaps {
+                    SweepWorkload::Model(net) => {
+                        let caps = SerialSampleCaps {
                             model: self.cycle_model,
                             ..SampleProfile::Model.caps_for(spec.precision)
-                        },
-                    ),
+                        };
+                        // One model-map lookup; the pooled busy fraction
+                        // reproduces `serial_model_cycles`' aggregate
+                        // bit for bit (same f64 addition sequence, same
+                        // 0-cycle guard).
+                        let rec = self.model_record(spec, &price, net, point_seed, caps);
+                        let mp = crate::schedule::serial_config(spec).mp;
+                        let busy_frac = if rec.cycles > 0.0 {
+                            rec.busy_sum / (rec.cycles * mp as f64)
+                        } else {
+                            0.0
+                        };
+                        (rec.cycles, busy_frac)
+                    }
                 }
             }
         };
@@ -310,6 +336,11 @@ impl<'c> Evaluator<'c> {
     /// Evaluates one whole model on one engine with the grid seeding
     /// convention (`seed ^ fnv1a("{engine}/{model}")`, per-layer seeds
     /// mixed inside). `None` when the engine fails timing.
+    ///
+    /// Served from the model map: a repeated report for the same
+    /// (engine, model content, seed, caps, cycle model) is one cache
+    /// lookup plus `Arc` refcount bumps — the per-layer path is not
+    /// touched at all.
     pub fn model_report(
         &self,
         spec: &EngineSpec,
@@ -323,9 +354,29 @@ impl<'c> Evaluator<'c> {
             model: self.cycle_model,
             ..caps
         };
-        Some(crate::schedule::evaluate_model_with(
-            self.cache, spec, &price, net, cell_seed, caps,
-        ))
+        Some(
+            self.model_record(spec, &price, net, cell_seed, caps)
+                .to_report(spec),
+        )
+    }
+
+    /// The cached whole-model record for `(spec, net, seed, caps)`: one
+    /// model-map lookup; a miss runs the dedup'd walk
+    /// ([`crate::schedule::assemble_model_record`]) under the
+    /// `eval_model_assemble_ns` span.
+    fn model_record(
+        &self,
+        spec: &EngineSpec,
+        price: &EnginePrice,
+        net: &NetworkModel,
+        seed: u64,
+        caps: SerialSampleCaps,
+    ) -> ModelRecord {
+        let key = ModelKey::of(spec, net, seed, caps);
+        self.cache.model_record(key, || {
+            let _span = eval_obs().model_assemble_ns.span();
+            crate::schedule::assemble_model_record(self.cache, spec, price, net, seed, caps)
+        })
     }
 }
 
@@ -615,6 +666,53 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(delta.misses(), 0, "warm rerun must be all hits: {delta:?}");
         assert!(delta.hits() > 0);
+    }
+
+    /// A warm model report is exactly one model-map hit: the per-layer
+    /// cycle counters must not move at all (the rewalk is gone, not just
+    /// cheap).
+    #[test]
+    fn warm_model_report_is_a_single_model_map_hit() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let spec = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0);
+        let net = models::resnet18();
+        let caps = SampleProfile::Quick.caps();
+        eval.model_report(&spec, &net, 77, caps).unwrap();
+        let before = cache.stats();
+        let report = eval.model_report(&spec, &net, 77, caps).unwrap();
+        let delta = cache.stats().since(&before);
+        assert_eq!((delta.model_hits, delta.model_misses), (1, 0));
+        assert_eq!(delta.cycle_lookups, 0, "layer path untouched on a hit");
+        assert_eq!(delta.price_hits, 1, "the price probe still counts");
+        assert_eq!(report.layer_count(), net.layers.len());
+    }
+
+    /// Repeated `SweepWorkload::Model` metrics collapse to one model-map
+    /// lookup — dense and serial engines alike — and reproduce the first
+    /// answer bit for bit.
+    #[test]
+    fn model_workload_metrics_hit_the_model_map() {
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let w = SweepWorkload::Model(models::mobilenet_v3());
+        for spec in [
+            EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0),
+            EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0),
+        ] {
+            let m1 = eval.metrics(&spec, &w, 3).unwrap();
+            let before = cache.stats();
+            let m2 = eval.metrics(&spec, &w, 3).unwrap();
+            assert_eq!(m1, m2);
+            let delta = cache.stats().since(&before);
+            assert_eq!(
+                (delta.model_hits, delta.model_misses),
+                (1, 0),
+                "{}",
+                spec.label()
+            );
+            assert_eq!(delta.cycle_lookups, 0, "{}", spec.label());
+        }
     }
 
     /// The model-report path agrees with the free-function composition the

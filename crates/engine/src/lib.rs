@@ -34,9 +34,10 @@
 //! * [`caps`] — the [`caps::SampleProfile`] table unifying every
 //!   serial-sampling budget the workspace uses.
 //! * [`cache`] — [`EngineCache`]: the process-wide concurrent memo cache,
-//!   sharded `RwLock` maps keyed on [`cache::PeKey`] (synthesis) and
-//!   [`cache::CycleKey`] (sampled workload cycles).
-//! * [`snapshot`] — versioned binary persistence of the cache's three
+//!   sharded `RwLock` maps keyed on [`cache::PeKey`] (synthesis),
+//!   [`cache::CycleKey`] (sampled workload cycles) and [`ModelKey`]
+//!   (whole-model reports, so repeated `model` queries are one lookup).
+//! * [`snapshot`] — versioned binary persistence of the cache's four
 //!   maps (atomic save, checksummed strict-reject load), so warm state
 //!   survives restarts and seeds fresh replicas.
 //! * [`eval`] — [`Evaluator`]: one (engine, workload, seed) →
@@ -75,7 +76,7 @@ pub mod snapshot;
 pub mod spec;
 pub mod workload;
 
-pub use cache::{CacheContents, CacheStats, EngineCache};
+pub use cache::{CacheContents, CacheStats, EngineCache, ModelKey, ModelRecord};
 pub use caps::{CycleModel, SampleProfile, SerialSampleCaps};
 pub use eval::{Evaluator, Metrics};
 pub use report::{LayerReport, ModelReport};

@@ -9,13 +9,19 @@
 //! `tpe-pipeline`'s suite), so layer and model views can never drift
 //! apart.
 
+use std::sync::Arc;
+
 use crate::spec::{EnginePrice, EngineSpec};
 
 /// One layer's scheduled outcome on one engine.
+///
+/// The label is `Arc`-backed so a report rebuilt from a cached
+/// [`ModelRecord`](crate::cache::ModelRecord) shares the rows instead of
+/// re-cloning every name.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerReport {
     /// Layer label (the figure x-axis names).
-    pub name: String,
+    pub name: Arc<str>,
     /// Useful multiply–accumulates.
     pub macs: u64,
     /// Scheduling granularity: dense img2col tiles or serial sync rounds.
@@ -34,11 +40,12 @@ pub struct LayerReport {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelReport {
     /// Network name (Figure 12/13 labels).
-    pub model: String,
+    pub model: Arc<str>,
     /// The engine evaluated.
     pub engine: EngineSpec,
-    /// Per-layer breakdown, in execution order.
-    pub layers: Vec<LayerReport>,
+    /// Per-layer breakdown, in execution order (shared slice: warm cache
+    /// hits hand out refcount bumps, not row clones).
+    pub layers: Arc<[LayerReport]>,
     /// Total useful MACs.
     pub total_macs: u64,
     /// Total array cycles (sum over layers).
@@ -56,18 +63,21 @@ pub struct ModelReport {
 }
 
 impl ModelReport {
-    /// Builds the end-to-end aggregate from per-layer rows.
+    /// Builds the end-to-end aggregate from per-layer rows. `engine` is
+    /// borrowed (its clone is allocation-free — every field is scalar or
+    /// `&'static`); the model label accepts anything `Arc<str>`-able so
+    /// callers with a shared name pass it without re-allocating.
     pub fn aggregate(
-        model: String,
-        engine: EngineSpec,
+        model: impl Into<Arc<str>>,
+        engine: &EngineSpec,
         price: &EnginePrice,
         layers: Vec<LayerReport>,
     ) -> Self {
         let delay_us: f64 = layers.iter().map(|l| l.delay_us).sum();
         let util_weighted: f64 = layers.iter().map(|l| l.utilization * l.delay_us).sum();
         Self {
-            model,
-            engine,
+            model: model.into(),
+            engine: engine.clone(),
             total_macs: layers.iter().map(|l| l.macs).sum(),
             cycles: layers.iter().map(|l| l.cycles).sum(),
             delay_us,
@@ -79,7 +89,7 @@ impl ModelReport {
             },
             area_um2: price.area_um2,
             peak_tops: price.peak_tops,
-            layers,
+            layers: layers.into(),
         }
     }
 
@@ -152,8 +162,8 @@ mod tests {
     fn aggregate_sums_and_weights() {
         let engine = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0);
         let r = ModelReport::aggregate(
-            "toy".into(),
-            engine,
+            "toy",
+            &engine,
             &price(),
             vec![
                 layer("a", 1000, 100.0, 1.0, 3.0),

@@ -24,15 +24,16 @@
 //!
 //! [`sample_serial_cycles`]: tpe_core::arch::workload::sample_serial_cycles
 
+use std::collections::HashMap;
+
 use tpe_core::arch::workload::{analytic_serial_cycles, sample_serial_cycles, SerialCycleStats};
 use tpe_core::arch::ArchKind;
 use tpe_sim::array::ClassicArch;
 use tpe_sim::BitsliceConfig;
 use tpe_workloads::{LayerShape, NetworkModel};
 
-use crate::cache::{CycleKey, EngineCache, SerialLayerRecord};
+use crate::cache::{CycleKey, EngineCache, ModelRecord, SerialLayerRecord};
 use crate::caps::{CycleModel, SampleProfile, SerialSampleCaps};
-use crate::fnv1a;
 use crate::report::{LayerReport, ModelReport};
 use crate::spec::{EnginePrice, EngineSpec};
 
@@ -146,11 +147,21 @@ pub fn cached_serial_cycles(
 /// Collapses per-column stats into the memoized record (bit-identically
 /// to the original `SerialCycleStats` expressions).
 fn record_of(stats: &SerialCycleStats) -> SerialLayerRecord {
+    // One pass over the busy vector. Bit-identical to the three separate
+    // passes it replaces: each accumulator applies the same operation to
+    // the same elements in the same order (`Sum for f64` is a fold from
+    // 0.0 over `+`).
+    let (busy_sum, busy_min, busy_max) = stats
+        .busy
+        .iter()
+        .fold((0.0_f64, f64::INFINITY, 0.0_f64), |(sum, lo, hi), &b| {
+            (sum + b, lo.min(b), hi.max(b))
+        });
     SerialLayerRecord {
         cycles: stats.cycles,
-        busy_sum: stats.busy.iter().sum(),
-        busy_min: stats.busy.iter().cloned().fold(f64::INFINITY, f64::min),
-        busy_max: stats.busy.iter().cloned().fold(0.0, f64::max),
+        busy_sum,
+        busy_min,
+        busy_max,
         rounds: stats.rounds,
         columns: stats.busy.len() as u32,
     }
@@ -209,8 +220,37 @@ pub fn serial_config(engine: &EngineSpec) -> BitsliceConfig {
 
 /// Stable per-layer seed: mixes the caller's seed with the layer's index
 /// and name so results are independent of evaluation order.
+///
+/// Streams FNV-1a over the exact bytes `format!("{index}/{name}")` would
+/// produce — decimal digits of the index, `/`, the name — without the
+/// heap allocation. This sits on the innermost model-walk path (once per
+/// layer per walk), and the golden CSVs pin the derived sampled seeds, so
+/// byte-for-byte equivalence with the `format!` form is load-bearing
+/// (tested below).
 fn layer_seed(seed: u64, index: usize, layer: &LayerShape) -> u64 {
-    seed ^ fnv1a(&format!("{index}/{}", layer.name))
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u8| h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    // Decimal digits of `index`, most significant first (20 covers
+    // u64::MAX; usize is never wider here).
+    let mut digits = [0u8; 20];
+    let mut rest = index;
+    let mut len = 0;
+    loop {
+        digits[len] = b'0' + (rest % 10) as u8;
+        len += 1;
+        rest /= 10;
+        if rest == 0 {
+            break;
+        }
+    }
+    for &d in digits[..len].iter().rev() {
+        step(d);
+    }
+    step(b'/');
+    for b in layer.name.bytes() {
+        step(b);
+    }
+    seed ^ h
 }
 
 /// Total cycles of a whole model on a dense topology (closed-form; no
@@ -251,9 +291,46 @@ pub fn serial_model_cycles(
     (cycles, busy_frac)
 }
 
+/// Costs one scheduled layer into its report row. Shared between the
+/// naive per-layer walk ([`evaluate_model_with`]) and the dedup'd model
+/// assembly (`assemble_model_record`) so the two paths stay
+/// bit-identical by construction.
+fn layer_row(
+    engine: &EngineSpec,
+    price: &EnginePrice,
+    layer: &LayerShape,
+    s: LayerSchedule,
+) -> LayerReport {
+    let delay_us = s.cycles / (engine.freq_ghz * 1e3);
+    let macs = layer.macs();
+    let pe_cycles = s.cycles * price.instances;
+    let energy_uj = (pe_cycles * s.busy_frac * price.e_active_fj
+        + pe_cycles * (1.0 - s.busy_frac) * price.e_idle_fj)
+        * 1e-9;
+    let utilization = match engine.kind {
+        ArchKind::Dense(_) => (macs as f64 / (s.cycles * price.lanes_total)).min(1.0),
+        ArchKind::Serial => s.busy_frac,
+    };
+    LayerReport {
+        name: layer.name.as_str().into(),
+        macs,
+        tiles: s.tiles,
+        cycles: s.cycles,
+        delay_us,
+        utilization,
+        energy_uj,
+    }
+}
+
 /// Evaluates one whole model on one priced engine, through `cache`: every
 /// layer scheduled, costed and aggregated into an end-to-end
 /// [`ModelReport`].
+///
+/// This is the naive per-layer oracle — one schedule per layer, no shape
+/// dedup. The cached model path (`assemble_model_record` behind
+/// [`EngineCache::model_record`]) must stay bit-identical to it; the
+/// equality is pinned by unit tests and a proptest across cycle models
+/// and precisions.
 pub fn evaluate_model_with(
     cache: &EngineCache,
     engine: &EngineSpec,
@@ -269,28 +346,106 @@ pub fn evaluate_model_with(
         .enumerate()
         .map(|(i, layer)| {
             let s = schedule_layer_with(cache, engine, layer, layer_seed(seed, i, layer), caps);
-            let delay_us = s.cycles / (engine.freq_ghz * 1e3);
-            let macs = layer.macs();
-            let pe_cycles = s.cycles * price.instances;
-            let energy_uj = (pe_cycles * s.busy_frac * price.e_active_fj
-                + pe_cycles * (1.0 - s.busy_frac) * price.e_idle_fj)
-                * 1e-9;
-            let utilization = match engine.kind {
-                ArchKind::Dense(_) => (macs as f64 / (s.cycles * price.lanes_total)).min(1.0),
-                ArchKind::Serial => s.busy_frac,
-            };
-            LayerReport {
-                name: layer.name.clone(),
-                macs,
-                tiles: s.tiles,
-                cycles: s.cycles,
-                delay_us,
-                utilization,
-                energy_uj,
-            }
+            layer_row(engine, price, layer, s)
         })
         .collect();
-    ModelReport::aggregate(net.name.clone(), engine.clone(), price, layers)
+    ModelReport::aggregate(net.name.as_str(), engine, price, layers)
+}
+
+/// The model cache's miss path: one whole-model walk, restructured for
+/// speed but bit-identical to [`evaluate_model_with`]:
+///
+/// * **Hoisting** — the dense simulator (`at_paper_config`), the serial
+///   [`BitsliceConfig`] and the encoder are built once per walk instead
+///   of once per layer.
+/// * **Shape dedup** — layers are grouped by their full cycle identity
+///   (the [`CycleKey`] for serial engines — shape, effective `a_bits`,
+///   corrected caps *and* per-layer seed — or `(m, n, k, repeats)` for
+///   dense ones) and each group is scheduled once; rows are then
+///   materialized per occurrence in original layer order. Analytic mode
+///   canonicalizes seeds to zero, so repeated shapes collapse across the
+///   whole network; sampled mode dedups only layers whose derived seeds
+///   coincide, exactly as the naive loop would have sampled them.
+/// * **Pooled busy cycles** — `busy_sum` accumulates per occurrence in
+///   layer order, so the dse model-point busy fraction
+///   (`busy_sum / (cycles × MP)`, see [`serial_model_cycles`]) is the
+///   same f64 addition sequence as the naive loop.
+pub(crate) fn assemble_model_record(
+    cache: &EngineCache,
+    spec: &EngineSpec,
+    price: &EnginePrice,
+    net: &NetworkModel,
+    seed: u64,
+    caps: SerialSampleCaps,
+) -> ModelRecord {
+    let mut rows = Vec::with_capacity(net.layers.len());
+    let mut busy_sum = 0.0;
+    match spec.kind {
+        ArchKind::Dense(arch) => {
+            let sim = arch.at_paper_config();
+            let mut cycles_of: HashMap<(usize, usize, usize, usize), f64> = HashMap::new();
+            for layer in &net.layers {
+                let cycles = *cycles_of
+                    .entry((layer.m, layer.n, layer.k, layer.repeats))
+                    .or_insert_with(|| {
+                        sim.estimate_cycles(layer.m, layer.n, layer.k) as f64 * layer.repeats as f64
+                    });
+                let s = LayerSchedule {
+                    cycles,
+                    busy_frac: 1.0,
+                    tiles: dense_tiles(arch, layer) as f64,
+                };
+                rows.push(layer_row(spec, price, layer, s));
+            }
+        }
+        ArchKind::Serial => {
+            let cfg = serial_config(spec);
+            let encoder = spec.encoding.encoder();
+            let mut seen: HashMap<CycleKey, SerialLayerRecord> = HashMap::new();
+            for (i, layer) in net.layers.iter().enumerate() {
+                let lcaps = caps_for_layer(spec, layer, caps);
+                let lseed = layer_seed(seed, i, layer);
+                let key = CycleKey::of(spec, layer, lseed, lcaps);
+                let rec = match seen.get(&key) {
+                    Some(rec) => *rec,
+                    None => {
+                        let rec = cache.serial_record(key, || {
+                            let a_bits = layer_a_bits(spec, layer);
+                            let stats = match lcaps.model {
+                                CycleModel::Sampled => {
+                                    let _span = crate::eval::eval_obs().serial_sample_ns.span();
+                                    sample_serial_cycles(
+                                        &cfg,
+                                        encoder.as_ref(),
+                                        a_bits,
+                                        layer,
+                                        lseed,
+                                        lcaps,
+                                    )
+                                }
+                                CycleModel::Analytic => {
+                                    let _span = crate::eval::eval_obs().serial_analytic_ns.span();
+                                    analytic_serial_cycles(&cfg, encoder.as_ref(), a_bits, layer)
+                                }
+                            };
+                            record_of(&stats)
+                        });
+                        seen.insert(key, rec);
+                        rec
+                    }
+                };
+                busy_sum += rec.busy_sum;
+                let s = LayerSchedule {
+                    cycles: rec.cycles,
+                    busy_frac: rec.utilization(),
+                    tiles: rec.rounds,
+                };
+                rows.push(layer_row(spec, price, layer, s));
+            }
+        }
+    }
+    let report = ModelReport::aggregate(net.name.as_str(), spec, price, rows);
+    ModelRecord::of(&report, busy_sum)
 }
 
 /// [`evaluate_model_with`] against the process-wide global cache.
@@ -307,6 +462,7 @@ pub fn evaluate_model(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fnv1a;
     use tpe_arith::encode::EncodingKind;
     use tpe_core::arch::PeStyle;
     use tpe_workloads::img2col::ConvShape;
@@ -456,6 +612,169 @@ mod tests {
             caps_for_layer(&engine16, &w4, base).max_operands,
             base.max_operands * 4
         );
+    }
+
+    /// The streaming seed must reproduce the `format!` bytes exactly: the
+    /// derived sampled seeds feed pinned golden CSVs.
+    #[test]
+    fn layer_seed_streams_the_exact_format_bytes() {
+        for (i, name) in [
+            (0usize, "conv1"),
+            (7, "l2.0-3x3s2"),
+            (19, ""),
+            (9_876_543_210, "weird/τ—name"),
+            (usize::MAX, "max"),
+        ] {
+            let layer = LayerShape::new(name, 1, 1, 1, 1);
+            assert_eq!(
+                layer_seed(42, i, &layer),
+                42 ^ fnv1a(&format!("{i}/{}", layer.name)),
+                "index {i} name {name:?}"
+            );
+        }
+    }
+
+    /// The dedup'd assembly behind the model cache must be bit-identical
+    /// to the naive per-layer oracle — dense and serial, repeated shapes,
+    /// mixed-precision overrides — and the busy pool must reproduce
+    /// [`serial_model_cycles`]' aggregate exactly.
+    #[test]
+    fn assembled_record_matches_the_naive_walk() {
+        // Repeat shapes on purpose: layers 0/2 share (shape, a_bits) and
+        // dedup in analytic mode; the W4 override forces its own group.
+        let net = NetworkModel {
+            name: "dup-heavy".into(),
+            layers: vec![
+                LayerShape::new("a0", 64, 784, 576, 1),
+                LayerShape::new("b", 32, 196, 288, 2),
+                LayerShape::new("a1", 64, 784, 576, 1),
+                LayerShape::new("a4", 64, 784, 576, 1).with_precision(tpe_arith::Precision::W4),
+            ],
+        };
+        let engines = [
+            opt4e(),
+            EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0),
+        ];
+        for engine in &engines {
+            let price = engine.price().expect("paper clocks close timing");
+            for model in [CycleModel::Sampled, CycleModel::Analytic] {
+                let caps = SerialSampleCaps {
+                    model,
+                    ..SampleProfile::Quick.caps()
+                };
+                let cache = EngineCache::new();
+                let naive = evaluate_model_with(&cache, engine, &price, &net, 9, caps);
+                let rec = assemble_model_record(&cache, engine, &price, &net, 9, caps);
+                assert_eq!(rec.to_report(engine), naive, "{engine:?} {model:?}");
+                if matches!(engine.kind, ArchKind::Serial) {
+                    let mp = serial_config(engine).mp;
+                    let (cycles, busy_frac) = serial_model_cycles(&cache, engine, &net, 9, caps);
+                    assert_eq!(rec.cycles.to_bits(), cycles.to_bits());
+                    assert_eq!(
+                        (rec.busy_sum / (rec.cycles * mp as f64)).to_bits(),
+                        busy_frac.to_bits(),
+                        "pooled busy cycles must reproduce the dse aggregate"
+                    );
+                }
+            }
+        }
+    }
+
+    /// In analytic mode the walk schedules each distinct (shape, a_bits)
+    /// once: the duplicate layers above must not add cycle-cache entries.
+    #[test]
+    fn analytic_assembly_dedups_repeated_shapes() {
+        let net = NetworkModel {
+            name: "dups".into(),
+            layers: (0..6)
+                .map(|i| LayerShape::new(format!("l{i}"), 64, 784, 576, 1))
+                .collect(),
+        };
+        let caps = SerialSampleCaps {
+            model: CycleModel::Analytic,
+            ..SampleProfile::Quick.caps()
+        };
+        let engine = opt4e();
+        let price = engine.price().unwrap();
+        let cache = EngineCache::new();
+        assemble_model_record(&cache, &engine, &price, &net, 3, caps);
+        let stats = cache.stats();
+        assert_eq!(cache.cycles_len(), 1, "six identical layers, one entry");
+        assert_eq!(
+            (stats.cycle_lookups, stats.cycle_misses),
+            (1, 1),
+            "the local group map must absorb the other five lookups"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
+
+        /// Property form of the equivalence: random small networks (with
+        /// deliberate shape repetition and random per-layer precision
+        /// overrides), both cycle models, every precision preset — the
+        /// dedup'd assembly reproduces the naive walk bit for bit.
+        #[test]
+        fn assembly_equivalence_holds_for_random_networks(
+            shapes in proptest::collection::vec(
+                (1usize..32, 1usize..48, 1usize..64, 1usize..3, 0u8..4),
+                1..5,
+            ),
+            dup in proptest::bool::ANY,
+            seed in 0u64..500,
+        ) {
+            use tpe_arith::Precision;
+            let mut layers: Vec<LayerShape> = shapes
+                .iter()
+                .enumerate()
+                .map(|(i, &(m, n, k, r, p))| {
+                    let l = LayerShape::new(format!("l{i}"), m, n, k, r);
+                    match p {
+                        1 => l.with_precision(Precision::W4),
+                        2 => l.with_precision(Precision::W8),
+                        3 => l.with_precision(Precision::W16),
+                        _ => l,
+                    }
+                })
+                .collect();
+            if dup {
+                // Re-append the first layer under a new name: same shape
+                // and override, different per-layer seed.
+                let mut copy = layers[0].clone();
+                copy.name = "dup".into();
+                layers.push(copy);
+            }
+            let net = NetworkModel { name: "prop".into(), layers };
+            for engine in [
+                opt4e(),
+                EngineSpec::serial(PeStyle::Opt3, EncodingKind::Csd, 2.0),
+                EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0),
+            ] {
+                let price = engine.price().expect("paper clocks close timing");
+                for model in [CycleModel::Sampled, CycleModel::Analytic] {
+                    for precision in [Precision::W4, Precision::W8, Precision::W16] {
+                        let engine = engine.clone().with_precision(precision);
+                        let caps = SerialSampleCaps {
+                            model,
+                            ..SampleProfile::Quick.caps_for(precision)
+                        };
+                        let cache = EngineCache::new();
+                        let naive =
+                            evaluate_model_with(&cache, &engine, &price, &net, seed, caps);
+                        let rec =
+                            assemble_model_record(&cache, &engine, &price, &net, seed, caps);
+                        proptest::prop_assert_eq!(
+                            rec.to_report(&engine),
+                            naive,
+                            "{:?} {:?} {:?}",
+                            engine.style,
+                            model,
+                            precision
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// The memoized record reproduces the raw sampler bit-for-bit, and a

@@ -686,28 +686,38 @@ fn respond(
             let origin = fields.uint_or("origin", 0)?;
             one(format!(
                 "\"op\":\"stats\",\"price_hits\":{},\"price_misses\":{},\
-                 \"cycle_hits\":{},\"cycle_misses\":{},\"hit_rate\":{:.4},\
-                 \"price_lookups\":{},\"cycle_lookups\":{},\
-                 \"priced_entries\":{},\"cycle_entries\":{},\
+                 \"cycle_hits\":{},\"cycle_misses\":{},\
+                 \"model_hits\":{},\"model_misses\":{},\"hit_rate\":{:.4},\
+                 \"price_lookups\":{},\"cycle_lookups\":{},\"model_lookups\":{},\
+                 \"priced_entries\":{},\"cycle_entries\":{},\"model_entries\":{},\
                  \"since_price_hits\":{},\"since_price_misses\":{},\
                  \"since_cycle_hits\":{},\"since_cycle_misses\":{},\
+                 \"since_model_hits\":{},\"since_model_misses\":{},\
                  \"since_price_lookups\":{},\"since_cycle_lookups\":{},\
+                 \"since_model_lookups\":{},\
                  \"since_hit_rate\":{:.4},\"uptime_ms\":{}",
                 s.price_hits,
                 s.price_misses,
                 s.cycle_hits,
                 s.cycle_misses,
+                s.model_hits,
+                s.model_misses,
                 s.hit_rate(),
                 s.price_lookups,
                 s.cycle_lookups,
+                s.model_lookups,
                 cache.priced_len(),
                 cache.cycles_len(),
+                cache.models_len(),
                 w.price_hits,
                 w.price_misses,
                 w.cycle_hits,
                 w.cycle_misses,
+                w.model_hits,
+                w.model_misses,
                 w.price_lookups,
                 w.cycle_lookups,
+                w.model_lookups,
                 w.hit_rate(),
                 tpe_obs::uptime_ms().saturating_sub(origin)
             ))
@@ -719,10 +729,14 @@ fn respond(
             snap.set_counter("cache_price_misses", s.price_misses);
             snap.set_counter("cache_cycle_hits", s.cycle_hits);
             snap.set_counter("cache_cycle_misses", s.cycle_misses);
+            snap.set_counter("cache_model_hits", s.model_hits);
+            snap.set_counter("cache_model_misses", s.model_misses);
             snap.set_counter("cache_price_lookups", s.price_lookups);
             snap.set_counter("cache_cycle_lookups", s.cycle_lookups);
+            snap.set_counter("cache_model_lookups", s.model_lookups);
             snap.set_gauge("cache_priced_entries", cache.priced_len() as i64);
             snap.set_gauge("cache_cycle_entries", cache.cycles_len() as i64);
+            snap.set_gauge("cache_model_entries", cache.models_len() as i64);
             match fields.opt_str("format")? {
                 Some("prometheus") => one(format!(
                     "\"op\":\"metrics\",\"format\":\"prometheus\",\"text\":\"{}\"",
@@ -1622,13 +1636,51 @@ mod tests {
         for field in [
             "\"price_lookups\":",
             "\"cycle_lookups\":",
+            "\"model_lookups\":",
             "\"priced_entries\":",
             "\"cycle_entries\":",
+            "\"model_entries\":",
         ] {
             assert!(resp.contains(field), "{resp}");
         }
         let stats = cache.stats();
         assert_eq!(stats.lookups(), stats.hits() + stats.misses());
+    }
+
+    /// Model ops keep the model map's accounting invariant visible over
+    /// the wire: after a cold + warm `model` request against an isolated
+    /// cache, `model_hits + model_misses == model_lookups` in the stats
+    /// response, and the warm repeat answered byte-identically from one
+    /// model-map hit.
+    #[test]
+    fn model_op_accounting_balances_over_the_wire() {
+        let cache = EngineCache::new();
+        let num = |resp: &str, field: &str| -> u64 {
+            let needle = format!("\"{field}\":");
+            let tail = &resp[resp.find(&needle).expect(field) + needle.len()..];
+            tail[..tail
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(tail.len())]
+                .parse()
+                .expect(field)
+        };
+        let req = r#"{"id":1,"op":"model","engine":"OPT4E[EN-T]/28nm@2.00GHz","model":"resnet18"}"#;
+        let (cold, _) = handle_line(req, &cache);
+        let (warm, _) = handle_line(req, &cache);
+        assert_eq!(
+            cold.replace("\"id\":1", ""),
+            warm.replace("\"id\":1", ""),
+            "warm model op must answer byte-identically"
+        );
+        let (stats, _) = handle_line(r#"{"id":2,"op":"stats"}"#, &cache);
+        let (hits, misses, lookups) = (
+            num(&stats, "model_hits"),
+            num(&stats, "model_misses"),
+            num(&stats, "model_lookups"),
+        );
+        assert_eq!(hits + misses, lookups, "{stats}");
+        assert_eq!((hits, misses), (1, 1), "{stats}");
+        assert_eq!(num(&stats, "model_entries"), 1, "{stats}");
     }
 
     /// The stats op reports per-window `since_*` deltas over its own
@@ -1704,8 +1756,10 @@ mod tests {
             "\"ctr_cache_price_hits\":0",
             "\"ctr_cache_price_misses\":1",
             "\"ctr_cache_price_lookups\":1",
+            "\"ctr_cache_model_lookups\":0",
             "\"gauge_cache_priced_entries\":1",
             "\"gauge_cache_cycle_entries\":0",
+            "\"gauge_cache_model_entries\":0",
         ] {
             assert!(resp.contains(field), "missing {field} in {resp}");
         }

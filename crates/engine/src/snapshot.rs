@@ -1,5 +1,5 @@
 //! Durable warm state: a versioned, std-only binary snapshot of the
-//! [`EngineCache`]'s three maps.
+//! [`EngineCache`]'s four maps.
 //!
 //! A long-running `repro serve` process (or a `repro dse` sweep) pays the
 //! cold synthesis/sampling cost exactly once — and then loses it with the
@@ -14,7 +14,7 @@
 //! magic   "TPECACHE"                      8 bytes
 //! version u32 LE                          strict-rejected on mismatch
 //! layout  u64 LE fnv1a(LAYOUT_DESCRIPTOR) strict-rejected on mismatch
-//! counts  3 × u64 LE                      records / prices / cycles
+//! counts  4 × u64 LE                      records / prices / cycles / models
 //! entries fixed-layout, sorted            see below
 //! check   u64 LE fnv1a(payload)           over version..entries
 //! ```
@@ -23,7 +23,10 @@
 //! the explicit tables below (exhaustive matches, so adding a variant
 //! fails to compile until the codec — and `LAYOUT_DESCRIPTOR` — is
 //! updated), `Option` as a presence byte, `f64` via `to_bits`, `usize`
-//! widened to `u64`. Within each map the encoded entries are sorted by
+//! widened to `u64`. Model entries carry variable-length parts — strings
+//! are a `u64` byte length + UTF-8 bytes, layer lists a `u64` count +
+//! rows — everything still strictly length-checked against the payload.
+//! Within each map the encoded entries are sorted by
 //! their byte representation: shard hashing ([`std::hash::DefaultHasher`])
 //! is not stable across processes, so canonical ordering is what makes a
 //! snapshot of the same cache contents **byte-identical** wherever it is
@@ -48,14 +51,17 @@ use tpe_core::arch::PeStyle;
 use tpe_sim::array::ClassicArch;
 
 use crate::cache::{
-    CacheContents, CycleKey, EngineCache, PeKey, PeRecord, PriceKey, SerialLayerRecord,
+    CacheContents, CycleKey, EngineCache, ModelKey, ModelRecord, PeKey, PeRecord, PriceKey,
+    SerialLayerRecord,
 };
 use crate::caps::CycleModel;
+use crate::report::LayerReport;
 use crate::spec::EnginePrice;
 
 /// Format version; bumped on any layout change (see the module docs for
-/// the no-migration policy).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// the no-migration policy). v2 added the whole-model report map (a
+/// fourth count + entry section); v1 snapshots are strict-rejected.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Leading magic bytes of every snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"TPECACHE";
@@ -63,7 +69,7 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"TPECACHE";
 /// Human-readable spelling of the entire entry layout *and* the enum
 /// code tables; its fnv1a hash rides in the header so a snapshot written
 /// under any other layout is rejected even if the version was not bumped.
-const LAYOUT_DESCRIPTOR: &str = "v1;\
+const LAYOUT_DESCRIPTOR: &str = "v2;\
      pe=style:u8,dense:opt(u8),in_pe_enc:opt(u8),prec:u32x3,freq_mhz:u32,node_dnm:u32;\
      pe_rec=opt(area:f64,active_uw:f64,idle_uw:f64,lanes:u32);\
      price=style:u8,dense:opt(u8),enc:u8,prec:u32x3,freq_mhz:u32,node_dnm:u32;\
@@ -71,6 +77,12 @@ const LAYOUT_DESCRIPTOR: &str = "v1;\
      cycle=style:u8,enc:u8,a_bits:u32,m:u64,n:u64,k:u64,repeats:u64,seed:u64,\
      max_rounds:u64,max_operands:u64,model:u8;\
      cycle_rec=cycles:f64,busy_sum:f64,busy_min:f64,busy_max:f64,rounds:f64,columns:u32;\
+     model_key=style:u8,dense:opt(u8),enc:u8,prec:u32x3,freq_mhz:u32,node_dnm:u32,\
+     model:str,layers_hash:u64,seed:u64,max_rounds:u64,max_operands:u64,cycle_model:u8;\
+     model_rec=model:str,layers:vec(name:str,macs:u64,tiles:f64,cycles:f64,delay_us:f64,\
+     util:f64,energy_uj:f64),total_macs:u64,cycles:f64,delay_us:f64,energy_uj:f64,util:f64,\
+     area:f64,peak_tops:f64,busy_sum:f64;\
+     str=len:u64,utf8;\
      styles=mac,opt1,opt2,opt3,opt4c,opt4e;archs=tpu,ascend,trapezoid,flexflow;\
      encs=mbe,ent,csd,bsc,bsm;models=sampled,analytic";
 
@@ -78,7 +90,7 @@ const LAYOUT_DESCRIPTOR: &str = "v1;\
 /// CLI echo these; `BENCH_snapshot.json` archives them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnapshotInfo {
-    /// Entries across the three maps.
+    /// Entries across the four maps.
     pub entries: usize,
     /// Encoded size in bytes.
     pub bytes: usize,
@@ -186,6 +198,11 @@ fn put_opt(out: &mut Vec<u8>, present: bool) {
     out.push(u8::from(present));
 }
 
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
 /// Sequential reader with truncation-safe takes.
 struct Reader<'a> {
     bytes: &'a [u8],
@@ -234,6 +251,20 @@ impl<'a> Reader<'a> {
             1 => Ok(true),
             other => Err(format!("bad presence byte {other}")),
         }
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| "invalid UTF-8 in snapshot string".to_string())
+    }
+
+    /// Bytes left before the end of the buffer (reservation guard for
+    /// variable-length sections).
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
     }
 }
 
@@ -404,6 +435,88 @@ fn decode_cycle_entry(r: &mut Reader) -> Result<(CycleKey, SerialLayerRecord), S
     Ok((key, rec))
 }
 
+fn encode_model_entry(out: &mut Vec<u8>, key: &ModelKey, rec: &ModelRecord) {
+    out.push(style_code(key.style));
+    put_dense(out, key.dense);
+    out.push(encoding_code(key.encoding));
+    put_precision(out, key.precision);
+    put_u32(out, key.freq_mhz);
+    put_u32(out, key.node_dnm);
+    put_str(out, &key.model);
+    put_u64(out, key.layers_hash);
+    put_u64(out, key.seed);
+    put_u64(out, key.max_rounds as u64);
+    put_u64(out, key.max_operands as u64);
+    out.push(model_code(key.cycle_model));
+    put_str(out, &rec.model);
+    put_u64(out, rec.layers.len() as u64);
+    for l in rec.layers.iter() {
+        put_str(out, &l.name);
+        put_u64(out, l.macs);
+        put_f64(out, l.tiles);
+        put_f64(out, l.cycles);
+        put_f64(out, l.delay_us);
+        put_f64(out, l.utilization);
+        put_f64(out, l.energy_uj);
+    }
+    put_u64(out, rec.total_macs);
+    put_f64(out, rec.cycles);
+    put_f64(out, rec.delay_us);
+    put_f64(out, rec.energy_uj);
+    put_f64(out, rec.utilization);
+    put_f64(out, rec.area_um2);
+    put_f64(out, rec.peak_tops);
+    put_f64(out, rec.busy_sum);
+}
+
+fn decode_model_entry(r: &mut Reader) -> Result<(ModelKey, ModelRecord), String> {
+    let key = ModelKey {
+        style: style_from(r.u8()?)?,
+        dense: read_dense(r)?,
+        encoding: encoding_from(r.u8()?)?,
+        precision: read_precision(r)?,
+        freq_mhz: r.u32()?,
+        node_dnm: r.u32()?,
+        model: r.str()?,
+        layers_hash: r.u64()?,
+        seed: r.u64()?,
+        max_rounds: r.usize()?,
+        max_operands: r.usize()?,
+        cycle_model: model_from(r.u8()?)?,
+    };
+    let model: std::sync::Arc<str> = r.str()?.into();
+    let n_layers = r.usize()?;
+    // A layer row is ≥ 64 encoded bytes; cap the reservation to what the
+    // remaining payload could actually hold (the count itself is
+    // checksum-protected, but a colliding corruption must not balloon
+    // allocation — truncation then rejects inside the loop).
+    let mut layers = Vec::with_capacity(n_layers.min(r.remaining() / 64));
+    for _ in 0..n_layers {
+        layers.push(LayerReport {
+            name: r.str()?.into(),
+            macs: r.u64()?,
+            tiles: r.f64()?,
+            cycles: r.f64()?,
+            delay_us: r.f64()?,
+            utilization: r.f64()?,
+            energy_uj: r.f64()?,
+        });
+    }
+    let rec = ModelRecord {
+        model,
+        layers: layers.into(),
+        total_macs: r.u64()?,
+        cycles: r.f64()?,
+        delay_us: r.f64()?,
+        energy_uj: r.f64()?,
+        utilization: r.f64()?,
+        area_um2: r.f64()?,
+        peak_tops: r.f64()?,
+        busy_sum: r.f64()?,
+    };
+    Ok((key, rec))
+}
+
 /// fnv1a over raw bytes (same constants as [`crate::fnv1a`], which is
 /// defined over `&str`).
 fn fnv1a_bytes(bytes: &[u8]) -> u64 {
@@ -457,17 +570,31 @@ pub fn encode(contents: &CacheContents) -> Vec<u8> {
             })
             .collect(),
     );
+    let models = sorted_map(
+        contents
+            .models
+            .iter()
+            .map(|(k, v)| {
+                let mut e = Vec::with_capacity(256 + 64 * v.layers.len());
+                encode_model_entry(&mut e, k, v);
+                e
+            })
+            .collect(),
+    );
 
-    let mut out = Vec::with_capacity(48 + records.len() + prices.len() + cycles.len() + 8);
+    let mut out =
+        Vec::with_capacity(56 + records.len() + prices.len() + cycles.len() + models.len() + 8);
     out.extend_from_slice(SNAPSHOT_MAGIC);
     put_u32(&mut out, SNAPSHOT_VERSION);
     put_u64(&mut out, fnv1a_bytes(LAYOUT_DESCRIPTOR.as_bytes()));
     put_u64(&mut out, contents.records.len() as u64);
     put_u64(&mut out, contents.prices.len() as u64);
     put_u64(&mut out, contents.cycles.len() as u64);
+    put_u64(&mut out, contents.models.len() as u64);
     out.extend_from_slice(&records);
     out.extend_from_slice(&prices);
     out.extend_from_slice(&cycles);
+    out.extend_from_slice(&models);
     let checksum = fnv1a_bytes(&out[SNAPSHOT_MAGIC.len()..]);
     put_u64(&mut out, checksum);
     out
@@ -511,6 +638,7 @@ pub fn decode(bytes: &[u8]) -> Result<CacheContents, String> {
     let n_records = r.usize()?;
     let n_prices = r.usize()?;
     let n_cycles = r.usize()?;
+    let n_models = r.usize()?;
     let mut contents = CacheContents::default();
     // Counts are checksum-protected, but cap reservations to what the
     // payload could possibly hold so a corrupt-but-colliding count can't
@@ -519,6 +647,7 @@ pub fn decode(bytes: &[u8]) -> Result<CacheContents, String> {
     contents.records.reserve(n_records.min(cap / 30));
     contents.prices.reserve(n_prices.min(cap / 30));
     contents.cycles.reserve(n_cycles.min(cap / 30));
+    contents.models.reserve(n_models.min(cap / 64));
     for _ in 0..n_records {
         contents.records.push(decode_record_entry(&mut r)?);
     }
@@ -527,6 +656,9 @@ pub fn decode(bytes: &[u8]) -> Result<CacheContents, String> {
     }
     for _ in 0..n_cycles {
         contents.cycles.push(decode_cycle_entry(&mut r)?);
+    }
+    for _ in 0..n_models {
+        contents.models.push(decode_model_entry(&mut r)?);
     }
     if r.pos != payload_end {
         return Err(format!(
@@ -625,10 +757,10 @@ mod tests {
     use crate::eval::Evaluator;
     use crate::spec::EngineSpec;
     use crate::workload::SweepWorkload;
-    use tpe_workloads::LayerShape;
+    use tpe_workloads::{models, LayerShape};
 
     /// Warm a cache through the real evaluator: feasible + infeasible
-    /// prices, plus sampled serial-cycle records.
+    /// prices, sampled serial-cycle records, and a whole-model record.
     fn warmed() -> EngineCache {
         let cache = EngineCache::new();
         let layer = SweepWorkload::Layer(LayerShape::new("snap", 32, 64, 128, 1));
@@ -640,7 +772,12 @@ mod tests {
         ] {
             let _ = Evaluator::new(&cache).metrics(&spec, &layer, 7);
         }
+        let spec = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0);
+        Evaluator::new(&cache)
+            .model_report(&spec, &models::resnet18(), 7, SampleProfile::Quick.caps())
+            .expect("feasible");
         assert!(!cache.is_empty());
+        assert!(cache.models_len() > 0);
         cache
     }
 
@@ -777,5 +914,64 @@ mod tests {
         let models: Vec<CycleModel> = decoded.cycles.iter().map(|(k, _)| k.model).collect();
         assert!(models.contains(&CycleModel::Sampled));
         assert!(models.contains(&CycleModel::Analytic));
+    }
+
+    #[test]
+    fn model_records_round_trip_and_replay_answers_from_the_model_map() {
+        let cache = EngineCache::new();
+        let spec = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0);
+        let net = models::resnet18();
+        let caps = SampleProfile::Quick.caps();
+        let report = Evaluator::new(&cache)
+            .model_report(&spec, &net, 7, caps)
+            .expect("feasible");
+
+        let decoded = decode(&encode(&cache.export())).unwrap();
+        assert_eq!(decoded.models.len(), 1, "one whole-model record");
+
+        let fresh = EngineCache::new();
+        fresh.import(decoded);
+        let before = fresh.stats();
+        let replay = Evaluator::new(&fresh)
+            .model_report(&spec, &net, 7, caps)
+            .expect("feasible");
+        assert_eq!(replay, report, "imported model map must answer identically");
+        let delta = fresh.stats().since(&before);
+        assert_eq!(
+            (delta.model_hits, delta.model_misses),
+            (1, 0),
+            "replay must be a pure model-map hit"
+        );
+        assert_eq!(delta.cycle_lookups, 0, "no per-layer rewalk on replay");
+    }
+
+    #[test]
+    fn model_section_corruption_and_old_versions_are_rejected() {
+        let bytes = encode(&warmed().export());
+        let end = bytes.len() - 8;
+
+        // Flip a byte inside the model section (it is the last section
+        // before the checksum): checksum rejects.
+        let mut corrupt = bytes.clone();
+        corrupt[end - 16] ^= 0xff;
+        assert!(decode(&corrupt).unwrap_err().contains("checksum"));
+
+        // Shrink the model section (drop bytes just before the trailer)
+        // and re-stamp the checksum so the structural validation is what
+        // rejects the short model entry.
+        let mut short: Vec<u8> = bytes[..end - 16].to_vec();
+        short.extend_from_slice(&[0u8; 8]); // placeholder trailer
+        let sum_end = short.len() - 8;
+        let sum = fnv1a_bytes(&short[SNAPSHOT_MAGIC.len()..sum_end]);
+        short[sum_end..].copy_from_slice(&sum.to_le_bytes());
+        assert!(decode(&short).is_err(), "truncated model entry must reject");
+
+        // The pre-model-map v1 layout is strict-rejected by version, not
+        // silently half-imported.
+        let mut v1 = bytes.clone();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let sum = fnv1a_bytes(&v1[SNAPSHOT_MAGIC.len()..end]);
+        v1[end..].copy_from_slice(&sum.to_le_bytes());
+        assert!(decode(&v1).unwrap_err().contains("version"));
     }
 }

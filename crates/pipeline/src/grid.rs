@@ -9,7 +9,8 @@
 //! [`tpe_engine::Evaluator`] against the process-wide cache, so engines
 //! are priced once per process and repeated (engine, model, seed) cells —
 //! across grid runs, dse sweeps and serve queries — are served from
-//! memory.
+//! memory: one whole-model record lookup per warm cell
+//! ([`tpe_engine::ModelKey`]), not an O(layers) rewalk.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -222,10 +223,11 @@ mod tests {
     }
 
     /// Repeated identical grids are served from the global cache: the
-    /// second run is byte-identical and only adds hits for this config's
-    /// keys. (Sibling tests share the process-global counters and may add
-    /// their own misses concurrently, so no zero-miss assertion — the
-    /// isolated-cache equivalent is pinned in `tpe-engine`'s suite.)
+    /// second run is byte-identical and every feasible cell answers from
+    /// the whole-model map — one record hit per cell, no per-layer
+    /// rewalk. (Sibling tests share the process-global counters and may
+    /// add their own misses concurrently, so no zero-miss assertion —
+    /// the isolated-cache equivalent is pinned in `tpe-engine`'s suite.)
     #[test]
     fn repeated_grids_hit_the_global_cache() {
         let (ms, es) = small_grid();
@@ -236,5 +238,9 @@ mod tests {
         let delta = tpe_engine::EngineCache::global().stats().since(&before);
         assert_eq!(first.runs, second.runs);
         assert!(delta.hits() > 0, "warm rerun must hit: {delta:?}");
+        assert!(
+            delta.model_hits >= second.feasible_count() as u64,
+            "each feasible cell must be a model-map hit: {delta:?}"
+        );
     }
 }
