@@ -171,6 +171,31 @@ fn scenarios() -> Vec<Scenario> {
                 black_box(rec.cycles)
             }),
         ),
+        (
+            // The pure traffic model: per-layer operand/weight/output
+            // bytes from the tiling geometry, no cache involved — the
+            // marginal cost the roofline adds to every layer row.
+            "traffic_cold",
+            Box::new(|| {
+                let t = tpe_engine::layer_traffic(&serial_spec(), &probe_layer());
+                black_box(t.total_bytes())
+            }),
+        ),
+        (
+            // `model_report_cold` under a DRAM-starved corner: the same
+            // synthesis + layer walk plus a roofline application per
+            // layer. Its overhead over the unbounded cold median is the
+            // full memory-hierarchy tax on whole-model evaluation.
+            "model_report_membound",
+            Box::new(move || {
+                let cache = EngineCache::new();
+                let spec = serial_spec().with_memory(tpe_engine::MemorySpec::edge());
+                let r = Evaluator::new(&cache)
+                    .model_report(&spec, net, 42, model_caps)
+                    .unwrap();
+                black_box(r.delay_us)
+            }),
+        ),
     ]
 }
 

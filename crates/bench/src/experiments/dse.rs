@@ -17,6 +17,13 @@
 //! Pareto front is extracted over *end-to-end model* objectives instead
 //! of single layers. The default space also carries ResNet-18 end-to-end
 //! as its seventh workload.
+//!
+//! `--memory` grows the memory axis beyond the default `Unbounded`
+//! corner: a comma list of roster corner names (`edge,hbm`) or `all` for
+//! every named corner. Each point then carries the roofline-bounded
+//! delay, its `bytes_moved`/`intensity_ops_per_byte` traffic numbers and
+//! a `bound` column, and `--filter memory=<name>` slices the axis
+//! exactly.
 
 use std::fmt::Write as _;
 
@@ -32,6 +39,7 @@ struct DseOptions {
     objectives: Vec<Objective>,
     model: Option<String>,
     precisions: Option<Vec<tpe_dse::Precision>>,
+    memories: Option<Vec<tpe_engine::MemorySpec>>,
     threads: usize,
     seed: u64,
     cycle_model: CycleModel,
@@ -57,12 +65,33 @@ fn parse_precisions(list: &str) -> Result<Vec<tpe_dse::Precision>, String> {
     Ok(precisions)
 }
 
+/// Parses a comma-separated memory-corner list ("edge,hbm"), or "all"
+/// for every named roster corner (including `unbounded`).
+fn parse_memories(list: &str) -> Result<Vec<tpe_engine::MemorySpec>, String> {
+    if list.trim().eq_ignore_ascii_case("all") {
+        return Ok(tpe_engine::roster::memory_corners());
+    }
+    let memories: Vec<tpe_engine::MemorySpec> = list
+        .split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| {
+            tpe_engine::roster::find_memory(part.trim())
+                .ok_or_else(|| format!("unknown memory corner `{part}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if memories.is_empty() {
+        return Err("--memory needs at least one value".into());
+    }
+    Ok(memories)
+}
+
 fn parse_options(args: &[String]) -> Result<DseOptions, String> {
     let mut opts = DseOptions {
         filter: String::new(),
         objectives: Objective::DEFAULT.to_vec(),
         model: None,
         precisions: None,
+        memories: None,
         threads: 0,
         seed: 42,
         cycle_model: CycleModel::Sampled,
@@ -83,6 +112,7 @@ fn parse_options(args: &[String]) -> Result<DseOptions, String> {
             "--objectives" => opts.objectives = Objective::parse_list(&value("--objectives")?)?,
             "--model" => opts.model = Some(value("--model")?),
             "--precision" => opts.precisions = Some(parse_precisions(&value("--precision")?)?),
+            "--memory" => opts.memories = Some(parse_memories(&value("--memory")?)?),
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse()
@@ -151,9 +181,10 @@ pub fn dse(args: &[String]) -> String {
     match try_dse(args) {
         Ok(report) => report,
         Err(msg) => format!(
-            "error: {msg}\nusage: repro dse [--filter SUBSTR[,precision=W4]] [--objectives \
-             area,delay,energy,power,throughput,utilization] [--model SUBSTR|all] \
-             [--precision W4,W8,W16,W8xW4] [--cycle-model sampled|analytic] [--threads N] \
+            "error: {msg}\nusage: repro dse [--filter SUBSTR[,precision=W4][,memory=edge]] \
+             [--objectives area,delay,energy,power,throughput,utilization] [--model SUBSTR|all] \
+             [--precision W4,W8,W16,W8xW4] [--memory edge,mobile,hbm|all] \
+             [--cycle-model sampled|analytic] [--threads N] \
              [--seed S] [--out FILE.csv] [--json FILE.json] [--cache-load F.bin] \
              [--cache-save F.bin]\n"
         ),
@@ -169,6 +200,9 @@ fn try_dse(args: &[String]) -> Result<String, String> {
     let mut space = tpe_dse::slice_space(opts.model.as_deref())?;
     if let Some(precisions) = &opts.precisions {
         space.precisions = precisions.clone();
+    }
+    if let Some(memories) = &opts.memories {
+        space.memories = memories.clone();
     }
     let points = space.enumerate_filtered(&opts.filter);
     if points.is_empty() {
@@ -232,12 +266,13 @@ fn try_dse(args: &[String]) -> Result<String, String> {
     writeln!(
         out,
         "Design-space exploration — {} points (legality-pruned cross product spanning {} styles, \
-         {} topologies, {} encodings, {} precisions, {} corners, {} workloads)",
+         {} topologies, {} encodings, {} precisions, {} memories, {} corners, {} workloads)",
         points.len(),
         distinct(&|p| p.style().name().to_string()),
         distinct(&topology_key),
         distinct(&|p| p.encoding().to_string()),
         distinct(&|p| p.precision().label()),
+        distinct(&|p| p.memory().name.to_string()),
         distinct(&|p| p.corner().label()),
         distinct(&|p| p.workload.name().to_string())
     )
@@ -415,6 +450,43 @@ mod tests {
         assert!(report.contains("@W16"), "{report}");
     }
 
+    /// `--memory` grows the memory axis and `memory=` filter terms slice
+    /// it: a corner-pinned sweep labels its points `@edge` and reports a
+    /// single memory value, while the default axis stays `unbounded`.
+    #[test]
+    fn memory_flag_and_filter_grow_and_slice_the_axis() {
+        let report = dse(&args(&[
+            "--memory",
+            "edge",
+            "--filter",
+            "OPT1(TPU)/28nm@1.50,precision=w8",
+            "--threads",
+            "2",
+        ]));
+        assert!(report.contains("1 memories"), "{report}");
+        assert!(report.contains("@edge"), "{report}");
+        let sliced = dse(&args(&[
+            "--memory",
+            "all",
+            "--filter",
+            "OPT1(TPU)/28nm@1.50,precision=w8,memory=hbm",
+            "--threads",
+            "2",
+        ]));
+        assert!(sliced.contains("1 memories"), "{sliced}");
+        assert!(sliced.contains("@hbm"), "{sliced}");
+        let default = dse(&args(&[
+            "--filter",
+            "OPT1(TPU)/28nm@1.50,precision=w8",
+            "--threads",
+            "2",
+        ]));
+        assert!(default.contains("1 memories"), "{default}");
+        for corner in ["@edge", "@mobile", "@hbm"] {
+            assert!(!default.contains(corner), "{default}");
+        }
+    }
+
     /// `--cycle-model analytic` sweeps the closed-form path and reports
     /// the mode; its objective values differ from the sampled run only in
     /// cycle-derived columns (checked in the golden projection tests).
@@ -491,5 +563,7 @@ mod tests {
         assert!(dse(&args(&["--model", "no-such-net"])).contains("usage:"));
         assert!(dse(&args(&["--precision", "w99"])).contains("usage:"));
         assert!(dse(&args(&["--precision", ""])).contains("usage:"));
+        assert!(dse(&args(&["--memory", "l9"])).contains("usage:"));
+        assert!(dse(&args(&["--memory", ""])).contains("usage:"));
     }
 }

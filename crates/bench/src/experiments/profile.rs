@@ -2,7 +2,7 @@
 //! a fresh [`EngineCache`], reporting where evaluation time actually goes
 //! from the `tpe-obs` per-stage histograms the evaluator records into
 //! (`eval_synthesis_ns`, `eval_price_assemble_ns`, `eval_serial_sample_ns`,
-//! `eval_model_assemble_ns`, `eval_model_schedule_ns`).
+//! `eval_model_assemble_ns`, `eval_model_schedule_ns`, `eval_traffic_ns`).
 //!
 //! The cold phase prices the full Table VII roster, evaluates the default
 //! sweep layer slice across it, and runs ResNet18 end to end on a serial
@@ -35,14 +35,17 @@ use tpe_workloads::models;
 /// (name in the registry = `eval_<stage>_ns`). `model_assemble` is the
 /// dedup'd whole-model walk behind the model map's miss path;
 /// `model_schedule` is the naive per-layer oracle, which production
-/// evaluation no longer takes (its row pins that at zero calls).
-const STAGES: [&str; 6] = [
+/// evaluation no longer takes (its row pins that at zero calls);
+/// `traffic` is the roofline's per-layer byte accounting (recorded on
+/// model-record assembly and on every bare-layer metrics call).
+const STAGES: [&str; 7] = [
     "synthesis",
     "price_assemble",
     "serial_sample",
     "serial_analytic",
     "model_assemble",
     "model_schedule",
+    "traffic",
 ];
 
 /// One stage's windowed numbers, pulled from a snapshot delta.
@@ -285,10 +288,16 @@ fn try_profile(args: &[String]) -> Result<String, String> {
         serial_cold_share * 100.0,
     )
     .unwrap();
-    // Every stage span now lives inside a cache-miss closure (the model
-    // map covers whole-model assembly too), so the warm rerun records
-    // nothing at all.
-    let warm_cold_path_calls: u64 = warm.iter().map(|s| s.calls).sum();
+    // Every cold-only stage span lives inside a cache-miss closure (the
+    // model map covers whole-model assembly too), so the warm rerun
+    // records nothing for them. `traffic` is the exception: bare-layer
+    // metrics recompute their allocation-free byte accounting per call,
+    // so it records warm too and stays out of this zero check.
+    let warm_cold_path_calls: u64 = warm
+        .iter()
+        .filter(|s| s.name != "traffic")
+        .map(|s| s.calls)
+        .sum();
     writeln!(
         out,
         "warm window cold-path records (all stages incl. model_assemble): {} \

@@ -88,6 +88,10 @@ const PARETO: usize = 15;
 const AREA_UM2: usize = 16;
 const PEAK_TOPS: usize = 21;
 const PRECISION: usize = 24;
+const MEMORY: usize = 25;
+const BYTES_MOVED: usize = 26;
+const INTENSITY: usize = 27;
+const BOUND: usize = 28;
 const TOPOLOGY: usize = 2;
 
 /// The projection test: sweeps the same W8 slice under both modes and
@@ -115,8 +119,18 @@ fn cross_mode_projection_pins_which_columns_may_differ() {
         for c in 0..=FEASIBLE {
             assert_eq!(s[c], a[c], "row {i}: identity column {c} diverged");
         }
-        // Synthesis-derived columns: must never differ.
-        for c in [AREA_UM2, PEAK_TOPS, PRECISION] {
+        // Synthesis-derived columns: must never differ. Neither may the
+        // memory-hierarchy group: traffic is pure tiling geometry (no
+        // cycles involved), and the `Unbounded` default binds nothing.
+        for c in [
+            AREA_UM2,
+            PEAK_TOPS,
+            PRECISION,
+            MEMORY,
+            BYTES_MOVED,
+            INTENSITY,
+            BOUND,
+        ] {
             assert_eq!(s[c], a[c], "row {i}: synthesis column {c} diverged");
         }
         // Dense rows never touch the serial cycle model: everything but

@@ -97,9 +97,10 @@ fn pareto_op_front_rows_are_the_reference_front() {
         .lines()
         .skip(1)
         .filter(|row| {
-            // The `pareto` column sits right before the 9 metric cells.
+            // The `pareto` column sits right before the 9 metric cells
+            // and the 4-cell memory group.
             let cells: Vec<&str> = row.split(',').collect();
-            cells[cells.len() - 10] == "1"
+            cells[cells.len() - 14] == "1"
         })
         .collect();
     assert_eq!(

@@ -14,13 +14,19 @@ use tpe_engine::EngineSpec;
 
 /// CSV header matching the per-point row layout. `workload_kind` is
 /// `layer` or `model`; the `m,n,k,repeats` shape columns are empty for
-/// whole-model rows (their shape is the `layers`/`macs` aggregate). The
-/// `precision` axis column sits last so every W8 row is the historical
-/// row plus a `,W8` suffix (the golden-compatibility invariant).
+/// whole-model rows (their shape is the `layers`/`macs` aggregate). New
+/// axis columns append strictly on the right so historical rows are a
+/// prefix of today's: `precision` (every W8 row is the historical row
+/// plus `,W8`), then the memory-hierarchy group `memory,bytes_moved,\
+/// intensity_ops_per_byte,bound` (an `Unbounded` row is the precision-era
+/// row plus `,unbounded,<bytes>,<intensity>,compute` — the
+/// golden-compatibility invariant strips appended columns, never
+/// reorders).
 pub const CSV_HEADER: &str =
     "label,style,topology,encoding,node,freq_ghz,workload,workload_kind,layers,macs,\
      m,n,k,repeats,feasible,pareto,\
-     area_um2,delay_us,energy_uj,fj_per_mac,gops,peak_tops,utilization,power_w,precision";
+     area_um2,delay_us,energy_uj,fj_per_mac,gops,peak_tops,utilization,power_w,precision,\
+     memory,bytes_moved,intensity_ops_per_byte,bound";
 
 /// Display name of a point's topology axis ("TPU", ..., or "Serial").
 pub fn topology_name(kind: ArchKind) -> &'static str {
@@ -78,9 +84,11 @@ pub fn point_csv_row(result: &PointResult, on_front: bool) -> String {
         u8::from(on_front),
     );
     let precision = e.precision.label();
+    let memory = e.memory.name;
     match &result.metrics {
         Some(m) => format!(
-            "{head},{:.3},{:.4},{:.6},{:.4},{:.3},{:.4},{:.5},{:.5},{precision}",
+            "{head},{:.3},{:.4},{:.6},{:.4},{:.3},{:.4},{:.5},{:.5},{precision},\
+             {memory},{:.0},{:.4},{}",
             m.area_um2,
             m.delay_us,
             m.energy_uj,
@@ -88,9 +96,12 @@ pub fn point_csv_row(result: &PointResult, on_front: bool) -> String {
             m.throughput_gops,
             m.peak_tops,
             m.utilization,
-            m.power_w
+            m.power_w,
+            m.bytes_moved,
+            m.intensity_ops_per_byte,
+            m.bound.label(),
         ),
-        None => format!("{head},,,,,,,,,{precision}"),
+        None => format!("{head},,,,,,,,,{precision},{memory},,,"),
     }
 }
 
@@ -137,7 +148,7 @@ pub fn to_json(results: &[PointResult], front: &[usize], objectives: &[Objective
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"style\": \"{}\", \"topology\": \"{}\", \
              \"encoding\": \"{}\", \"precision\": \"{}\", \"node\": \"{}\", \
-             \"freq_ghz\": {:.2}, \
+             \"freq_ghz\": {:.2}, \"memory\": \"{}\", \
              \"workload\": \"{}\", \"workload_kind\": \"{}\", \"layers\": {}, \
              \"macs\": {}, \"feasible\": {}, \"pareto\": {}",
             json_escape(&p.label()),
@@ -147,6 +158,7 @@ pub fn to_json(results: &[PointResult], front: &[usize], objectives: &[Objective
             p.engine.precision.label(),
             p.engine.node_name,
             p.engine.freq_ghz,
+            p.engine.memory.name,
             json_escape(w.name()),
             workload_kind(w),
             w.layer_count(),
@@ -158,7 +170,8 @@ pub fn to_json(results: &[PointResult], front: &[usize], objectives: &[Objective
             out.push_str(&format!(
                 ", \"area_um2\": {:.3}, \"delay_us\": {:.4}, \"energy_uj\": {:.6}, \
                  \"fj_per_mac\": {:.4}, \"gops\": {:.3}, \"peak_tops\": {:.4}, \
-                 \"utilization\": {:.5}, \"power_w\": {:.5}",
+                 \"utilization\": {:.5}, \"power_w\": {:.5}, \"bytes_moved\": {:.0}, \
+                 \"intensity_ops_per_byte\": {:.4}, \"bound\": \"{}\"",
                 m.area_um2,
                 m.delay_us,
                 m.energy_uj,
@@ -166,7 +179,10 @@ pub fn to_json(results: &[PointResult], front: &[usize], objectives: &[Objective
                 m.throughput_gops,
                 m.peak_tops,
                 m.utilization,
-                m.power_w
+                m.power_w,
+                m.bytes_moved,
+                m.intensity_ops_per_byte,
+                m.bound.label(),
             ));
         }
         out.push_str(if i + 1 == results.len() {
@@ -180,11 +196,13 @@ pub fn to_json(results: &[PointResult], front: &[usize], objectives: &[Objective
 }
 
 /// CSV header matching [`model_csv`]'s per-(model, engine) row layout.
-/// As in [`CSV_HEADER`], the `precision` column sits last so W8 rows are
-/// the historical bytes plus `,W8`.
+/// As in [`CSV_HEADER`], new columns append strictly on the right:
+/// `precision` (W8 rows are the historical bytes plus `,W8`), then
+/// `memory,bytes_moved,intensity_ops_per_byte,bound`.
 pub const MODEL_CSV_HEADER: &str =
     "model,engine,style,topology,encoding,node,freq_ghz,feasible,layers,macs,\
-     cycles,delay_us,energy_uj,gops,peak_tops,utilization,power_w,tops_per_w,area_um2,precision";
+     cycles,delay_us,energy_uj,gops,peak_tops,utilization,power_w,tops_per_w,area_um2,precision,\
+     memory,bytes_moved,intensity_ops_per_byte,bound";
 
 /// Renders a `tpe-pipeline` model grid as CSV (same fixed-precision,
 /// locale-independent discipline as [`to_csv`], so deterministic grids
@@ -207,9 +225,11 @@ pub fn model_csv(runs: &[tpe_pipeline::ModelRun]) -> String {
             u8::from(run.feasible()),
         ));
         let precision = e.precision.label();
+        let memory = e.memory.name;
         match &run.report {
             Some(r) => out.push_str(&format!(
-                ",{},{},{:.0},{:.4},{:.6},{:.3},{:.4},{:.5},{:.5},{:.4},{:.3},{precision}\n",
+                ",{},{},{:.0},{:.4},{:.6},{:.3},{:.4},{:.5},{:.5},{:.4},{:.3},{precision},\
+                 {memory},{:.0},{:.4},{}\n",
                 r.layer_count(),
                 r.total_macs,
                 r.cycles,
@@ -221,8 +241,11 @@ pub fn model_csv(runs: &[tpe_pipeline::ModelRun]) -> String {
                 r.power_w(),
                 r.tops_per_w(),
                 r.area_um2,
+                r.bytes_moved,
+                r.intensity_ops_per_byte,
+                r.bound.label(),
             )),
-            None => out.push_str(&format!(",,,,,,,,,,,,{precision}\n")),
+            None => out.push_str(&format!(",,,,,,,,,,,,{precision},{memory},,,\n")),
         }
     }
     out
@@ -238,7 +261,7 @@ pub fn model_json(runs: &[tpe_pipeline::ModelRun]) -> String {
         out.push_str(&format!(
             "    {{\"model\": \"{}\", \"engine\": \"{}\", \"style\": \"{}\", \
              \"topology\": \"{}\", \"encoding\": \"{}\", \"precision\": \"{}\", \
-             \"node\": \"{}\", \"freq_ghz\": {:.2}, \"feasible\": {}",
+             \"node\": \"{}\", \"freq_ghz\": {:.2}, \"memory\": \"{}\", \"feasible\": {}",
             json_escape(&run.model),
             json_escape(&e.label()),
             e.style.name(),
@@ -247,6 +270,7 @@ pub fn model_json(runs: &[tpe_pipeline::ModelRun]) -> String {
             e.precision.label(),
             e.node_name,
             e.freq_ghz,
+            e.memory.name,
             run.feasible(),
         ));
         if let Some(r) = &run.report {
@@ -254,7 +278,8 @@ pub fn model_json(runs: &[tpe_pipeline::ModelRun]) -> String {
                 ", \"layers\": {}, \"macs\": {}, \"cycles\": {:.0}, \
                  \"delay_us\": {:.4}, \"energy_uj\": {:.6}, \"gops\": {:.3}, \
                  \"peak_tops\": {:.4}, \"utilization\": {:.5}, \"power_w\": {:.5}, \
-                 \"tops_per_w\": {:.4}, \"area_um2\": {:.3}, \"per_layer\": [",
+                 \"tops_per_w\": {:.4}, \"area_um2\": {:.3}, \"bytes_moved\": {:.0}, \
+                 \"intensity_ops_per_byte\": {:.4}, \"bound\": \"{}\", \"per_layer\": [",
                 r.layer_count(),
                 r.total_macs,
                 r.cycles,
@@ -266,11 +291,15 @@ pub fn model_json(runs: &[tpe_pipeline::ModelRun]) -> String {
                 r.power_w(),
                 r.tops_per_w(),
                 r.area_um2,
+                r.bytes_moved,
+                r.intensity_ops_per_byte,
+                r.bound.label(),
             ));
             for (j, l) in r.layers.iter().enumerate() {
                 out.push_str(&format!(
                     "{}{{\"name\": \"{}\", \"macs\": {}, \"cycles\": {:.0}, \
-                     \"delay_us\": {:.4}, \"utilization\": {:.5}, \"energy_uj\": {:.6}}}",
+                     \"delay_us\": {:.4}, \"utilization\": {:.5}, \"energy_uj\": {:.6}, \
+                     \"bytes_moved\": {:.0}, \"bound\": \"{}\"}}",
                     if j > 0 { ", " } else { "" },
                     json_escape(&l.name),
                     l.macs,
@@ -278,6 +307,8 @@ pub fn model_json(runs: &[tpe_pipeline::ModelRun]) -> String {
                     l.delay_us,
                     l.utilization,
                     l.energy_uj,
+                    l.bytes_moved,
+                    l.bound.label(),
                 ));
             }
             out.push(']');
@@ -360,7 +391,7 @@ mod tests {
             assert_eq!(line.split(',').count(), columns, "bad row: {line}");
         }
         assert!(
-            lines[2].ends_with(",,,,,,,,,,,W8"),
+            lines[2].ends_with(",,,,,,,,,,,W8,unbounded,,,"),
             "infeasible row: {}",
             lines[2]
         );
@@ -398,13 +429,22 @@ mod tests {
         assert!(results.iter().all(|r| !r.feasible()));
         let csv = to_csv(&results, &[]);
         for line in csv.lines().skip(1) {
-            let precision = line.rsplit(',').next().unwrap();
+            let tail: Vec<&str> = line.rsplit(',').take(4).collect();
+            let [bound, intensity, bytes, memory] = tail[..] else {
+                panic!("short row: {line}");
+            };
+            assert_eq!(memory, "unbounded", "memory column: {line}");
+            assert!(
+                bytes.is_empty() && intensity.is_empty() && bound.is_empty(),
+                "roofline cells stay empty when infeasible: {line}"
+            );
+            let precision = line.rsplit(',').nth(4).unwrap();
             assert!(
                 tpe_engine::Precision::parse(precision).is_some(),
                 "precision column: {line}"
             );
             assert!(
-                line.ends_with(&format!(",,,,,,,,,{precision}")),
+                line.ends_with(&format!(",,,,,,,,,{precision},unbounded,,,")),
                 "infeasible row: {line}"
             );
         }

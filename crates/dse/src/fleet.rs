@@ -21,6 +21,14 @@
 //! lexically-smallest engine label, so the answer is deterministic.
 //! Streams with no engine meeting the bound answer `"feasible":false`
 //! rather than failing the whole request.
+//!
+//! An optional `"memory":"<corner>"` field pins every candidate engine to
+//! that [`tpe_engine::MemorySpec`] corner (any `@corner` suffix already in
+//! an `engines` label still wins). The allocation then sizes replicas on
+//! the **roofline-bounded** model delay — a DRAM-starved corner buys more
+//! replicas of the same silicon, not an optimistic compute-only count —
+//! and each stream line reports which wall its chosen engine hit via
+//! `"bound":"compute"|"sram"|"dram"`.
 
 use tpe_arith::Precision;
 use tpe_engine::serve::{json_escape, Fields, JsonValue, DEFAULT_SEED};
@@ -152,6 +160,13 @@ pub(crate) fn fleet_op(fields: &Fields, cache: &EngineCache) -> Result<Vec<Strin
         Some(m) => CycleModel::parse(m)
             .ok_or_else(|| format!("unknown cycle_model `{m}` (expected sampled|analytic)"))?,
     };
+    let memory = match fields.opt_str("memory")? {
+        None => None,
+        Some(name) => Some(
+            tpe_engine::roster::find_memory(name)
+                .ok_or_else(|| format!("unknown memory corner `{name}`"))?,
+        ),
+    };
 
     /// A feasible (engine, replicas) pick for one stream.
     struct Pick {
@@ -159,6 +174,7 @@ pub(crate) fn fleet_op(fields: &Fields, cache: &EngineCache) -> Result<Vec<Strin
         replicas: u64,
         delay_us: f64,
         cost: f64,
+        bound: tpe_engine::Bound,
     }
     let mut lines = Vec::with_capacity(1 + streams.len());
     let mut feasible_streams = 0usize;
@@ -168,7 +184,14 @@ pub(crate) fn fleet_op(fields: &Fields, cache: &EngineCache) -> Result<Vec<Strin
     for s in &streams {
         let mut best: Option<Pick> = None;
         for engine in &engines {
-            let spec = engine.clone().with_precision(s.precision);
+            let mut spec = engine.clone().with_precision(s.precision);
+            // A corner spelled in the engine label itself stays; the
+            // request-level field fills in the rest of the roster.
+            if let Some(mem) = memory {
+                if spec.memory.is_unbounded() {
+                    spec = spec.with_memory(mem);
+                }
+            }
             let point = DesignPoint::new(spec, SweepWorkload::Model(s.net.clone()));
             let r = evaluate_with_model(&point, cache, seed, cycle_model);
             let Some(m) = &r.metrics else { continue };
@@ -187,6 +210,7 @@ pub(crate) fn fleet_op(fields: &Fields, cache: &EngineCache) -> Result<Vec<Strin
                 replicas,
                 delay_us: m.delay_us,
                 cost: replicas as f64 * per_replica,
+                bound: m.bound,
             };
             let better = match &best {
                 None => true,
@@ -217,11 +241,12 @@ pub(crate) fn fleet_op(fields: &Fields, cache: &EngineCache) -> Result<Vec<Strin
                 total_cost += p.cost;
                 stream_lines.push(format!(
                     "{head},\"feasible\":true,\"engine\":\"{}\",\"replicas\":{},\
-                     \"delay_us\":{},\"cost\":{}",
+                     \"delay_us\":{},\"cost\":{},\"bound\":\"{}\"",
                     json_escape(&p.label),
                     p.replicas,
                     p.delay_us,
                     p.cost,
+                    p.bound.label(),
                 ));
             }
             None => stream_lines.push(format!("{head},\"feasible\":false")),
@@ -291,6 +316,58 @@ mod tests {
         let low = replicas_at(10);
         let high = replicas_at(100_000);
         assert!(high > low, "10 qps -> {low}, 100k qps -> {high}");
+    }
+
+    /// A DRAM-starved corner must be allocated honestly: the stream
+    /// reports a `dram` bound, its delay stretches past the compute-only
+    /// answer, and the stretched delay buys strictly more replicas of the
+    /// same silicon.
+    #[test]
+    fn fleet_sizes_dram_bound_mixes_on_the_roofline_delay() {
+        let cache = EngineCache::new();
+        let parsed = |line: &str, key: &str| -> f64 {
+            let tail = line.split(&format!("\"{key}\":")).nth(1).unwrap();
+            tail.split([',', '}']).next().unwrap().parse().unwrap()
+        };
+        let ask_mix = |memory: &str| {
+            let req = format!(
+                r#"{{"id":1,"op":"fleet","mix":"resnet18:w8:200000","engines":"OPT3[EN-T]/28nm@2.00GHz"{memory}}}"#
+            );
+            ask(&req, &cache)
+        };
+        let free = ask_mix("");
+        let starved = ask_mix(r#","memory":"edge""#);
+        assert!(free[1].contains("\"bound\":\"compute\""), "{}", free[1]);
+        assert!(starved[1].contains("\"bound\":\"dram\""), "{}", starved[1]);
+        assert!(
+            starved[1].contains("\"engine\":\"OPT3[EN-T]/28nm@2.00GHz@edge\""),
+            "{}",
+            starved[1]
+        );
+        assert!(
+            parsed(&starved[1], "delay_us") > parsed(&free[1], "delay_us"),
+            "roofline delay must exceed compute-only delay"
+        );
+        assert!(
+            parsed(&starved[1], "replicas") > parsed(&free[1], "replicas"),
+            "a memory-bound stream needs more replicas: {} vs {}",
+            starved[1],
+            free[1]
+        );
+        // A corner spelled in the engine label wins over the request
+        // field, and an unknown corner is a request error.
+        let req = r#"{"id":1,"op":"fleet","mix":"resnet18:w8:100","engines":"OPT3[EN-T]/28nm@2.00GHz@hbm","memory":"edge"}"#;
+        let lines = ask(req, &cache);
+        assert!(
+            lines[1].contains("\"engine\":\"OPT3[EN-T]/28nm@2.00GHz@hbm\""),
+            "{}",
+            lines[1]
+        );
+        let bad = ask(
+            r#"{"id":1,"op":"fleet","mix":"resnet18:w8:100","memory":"no-such"}"#,
+            &cache,
+        );
+        assert!(bad[0].contains("unknown memory corner"), "{}", bad[0]);
     }
 
     #[test]

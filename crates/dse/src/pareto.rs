@@ -202,6 +202,9 @@ mod tests {
                 peak_tops: 1.0,
                 utilization: 0.9,
                 power_w: energy / delay,
+                bytes_moved: 192.0,
+                intensity_ops_per_byte: 2.0 * 64.0 / 192.0,
+                bound: tpe_engine::Bound::Compute,
             }),
         }
     }

@@ -13,7 +13,7 @@
 
 use tpe_arith::encode::EncodingKind;
 use tpe_core::arch::{ArchKind, ArchModel, PeStyle};
-use tpe_engine::{roster, EngineSpec};
+use tpe_engine::{roster, EngineSpec, MemorySpec};
 use tpe_sim::array::ClassicArch;
 use tpe_workloads::{models, LayerShape};
 
@@ -66,6 +66,12 @@ impl DesignPoint {
         self.engine.precision
     }
 
+    /// Memory corner (SRAM capacity and bandwidths; `Unbounded` by
+    /// default).
+    pub fn memory(&self) -> MemorySpec {
+        self.engine.memory
+    }
+
     /// Synthesis corner.
     pub fn corner(&self) -> Corner {
         self.engine.corner()
@@ -93,7 +99,8 @@ impl DesignPoint {
     }
 }
 
-/// The six axes; [`DesignSpace::enumerate`] takes the legal cross product.
+/// The seven axes; [`DesignSpace::enumerate`] takes the legal cross
+/// product.
 #[derive(Debug, Clone)]
 pub struct DesignSpace {
     /// PE styles to sweep.
@@ -107,6 +114,10 @@ pub struct DesignSpace {
     pub precisions: Vec<Precision>,
     /// Synthesis corners.
     pub corners: Vec<Corner>,
+    /// Memory corners. Defaults to the single `Unbounded` corner, which
+    /// reproduces the historical (memory-free) numbers exactly; add
+    /// [`roster::memory_corners`] entries to sweep the roofline axis.
+    pub memories: Vec<MemorySpec>,
     /// Workloads: single layers and/or whole networks.
     pub workloads: Vec<SweepWorkload>,
 }
@@ -132,6 +143,7 @@ impl DesignSpace {
             encodings: EncodingKind::ALL.to_vec(),
             precisions: Self::default_precisions(),
             corners: roster::sweep_corners(),
+            memories: vec![MemorySpec::unbounded()],
             workloads: default_workloads(),
         }
     }
@@ -170,6 +182,7 @@ impl DesignSpace {
             encodings: vec![EncodingKind::EnT, EncodingKind::Mbe],
             precisions: vec![Precision::W8, Precision::W4],
             corners: vec![Corner::smic28(1.0), Corner::smic28(1.5)],
+            memories: vec![MemorySpec::unbounded()],
             workloads: vec![
                 SweepWorkload::Layer(LayerShape::new("conv-64x3136x576", 64, 3136, 576, 1)),
                 SweepWorkload::Layer(LayerShape::new("attn-qk-1024x64", 1024, 1024, 64, 1)),
@@ -209,8 +222,10 @@ impl DesignSpace {
     /// (case-insensitive). The filter is a comma-separated list of terms
     /// that must all match: a `precision=<label>` term matches the
     /// precision axis exactly (so `precision=w8` selects the default
-    /// points, whose labels carry no suffix), any other term matches the
-    /// point label as a substring. An empty filter keeps everything.
+    /// points, whose labels carry no suffix), a `memory=<name>` term
+    /// matches the memory-corner axis exactly (`memory=unbounded` selects
+    /// the default points), any other term matches the point label as a
+    /// substring. An empty filter keeps everything.
     pub fn enumerate_filtered(&self, filter: &str) -> Vec<DesignPoint> {
         let terms: Vec<&str> = filter.split(',').filter(|t| !t.is_empty()).collect();
         self.enumerate_matching(&terms)
@@ -221,10 +236,11 @@ impl DesignSpace {
     /// over the default space (the serve `sweep`/`pareto` hot path) then
     /// costs label matching only, not 2000 whole-model clones.
     fn enumerate_matching(&self, terms: &[&str]) -> Vec<DesignPoint> {
-        /// A pre-lowered filter term: the precision axis exact-match form,
-        /// or a lowercased label substring.
+        /// A pre-lowered filter term: a precision or memory axis
+        /// exact-match form, or a lowercased label substring.
         enum Term {
             Precision(Option<Precision>),
+            Memory(Option<MemorySpec>),
             Label(String),
         }
         let mut terms: Vec<Term> = terms
@@ -233,10 +249,13 @@ impl DesignSpace {
                 Some((key, value)) if key.eq_ignore_ascii_case("precision") => {
                     Term::Precision(Precision::parse(value))
                 }
+                Some((key, value)) if key.eq_ignore_ascii_case("memory") => {
+                    Term::Memory(roster::find_memory(value))
+                }
                 _ => Term::Label(term.to_ascii_lowercase()),
             })
             .collect();
-        // Exact-match precision terms are a field compare; evaluate them
+        // Exact-match axis terms are a field compare; evaluate them
         // before any label term so rejected candidates never pay for
         // label construction (term conjunction is order-independent).
         terms.sort_by_key(|t| matches!(t, Term::Label(_)));
@@ -261,40 +280,44 @@ impl DesignSpace {
             for &(kind, encoding) in &variants {
                 for &precision in &self.precisions {
                     for &corner in &self.corners {
-                        let engine = EngineSpec {
-                            style,
-                            kind,
-                            encoding,
-                            precision,
-                            freq_ghz: corner.freq_ghz,
-                            node: corner.node,
-                            node_name: corner.node_name,
-                        };
-                        let engine_label = needs_label
-                            .then(|| format!("{}/", engine.label()).to_ascii_lowercase());
-                        for workload in &self.workloads {
-                            // One lazily-built lowercased label per
-                            // candidate, shared by every label term —
-                            // never built when a precision term rejects
-                            // the candidate first.
-                            let mut label: Option<String> = None;
-                            let matches = terms.iter().all(|term| match term {
-                                Term::Precision(p) => *p == Some(precision),
-                                Term::Label(needle) => label
-                                    .get_or_insert_with(|| {
-                                        let mut label = engine_label
-                                            .clone()
-                                            .expect("label terms imply a prefix");
-                                        label.push_str(&workload.name().to_ascii_lowercase());
-                                        label
-                                    })
-                                    .contains(needle),
-                            });
-                            if matches {
-                                points.push(DesignPoint {
-                                    engine: engine.clone(),
-                                    workload: workload.clone(),
+                        for &memory in &self.memories {
+                            let engine = EngineSpec {
+                                style,
+                                kind,
+                                encoding,
+                                precision,
+                                freq_ghz: corner.freq_ghz,
+                                node: corner.node,
+                                node_name: corner.node_name,
+                                memory,
+                            };
+                            let engine_label = needs_label
+                                .then(|| format!("{}/", engine.label()).to_ascii_lowercase());
+                            for workload in &self.workloads {
+                                // One lazily-built lowercased label per
+                                // candidate, shared by every label term —
+                                // never built when an axis term rejects
+                                // the candidate first.
+                                let mut label: Option<String> = None;
+                                let matches = terms.iter().all(|term| match term {
+                                    Term::Precision(p) => *p == Some(precision),
+                                    Term::Memory(m) => *m == Some(memory),
+                                    Term::Label(needle) => label
+                                        .get_or_insert_with(|| {
+                                            let mut label = engine_label
+                                                .clone()
+                                                .expect("label terms imply a prefix");
+                                            label.push_str(&workload.name().to_ascii_lowercase());
+                                            label
+                                        })
+                                        .contains(needle),
                                 });
+                                if matches {
+                                    points.push(DesignPoint {
+                                        engine: engine.clone(),
+                                        workload: workload.clone(),
+                                    });
+                                }
                             }
                         }
                     }
@@ -413,6 +436,42 @@ mod tests {
         assert!(space.enumerate_filtered("precision=w99").is_empty());
     }
 
+    /// The memory axis sweeps like any other: the default space carries
+    /// only the `Unbounded` corner, a grown space multiplies the point
+    /// count, and `memory=<name>` terms slice it exactly.
+    #[test]
+    fn memory_axis_defaults_to_unbounded_and_filters_exactly() {
+        let quick = DesignSpace::quick();
+        let baseline = quick.enumerate();
+        assert!(baseline.iter().all(|p| p.memory().is_unbounded()));
+
+        let grown = DesignSpace {
+            memories: roster::memory_corners(),
+            ..DesignSpace::quick()
+        };
+        let corners = grown.memories.len();
+        let all = grown.enumerate();
+        assert_eq!(all.len(), baseline.len() * corners);
+
+        let edge = grown.enumerate_filtered("memory=edge");
+        assert_eq!(edge.len(), baseline.len());
+        assert!(edge.iter().all(|p| p.memory().name == "edge"));
+        // The default corner is addressable by name too, and its labels
+        // carry no memory suffix — byte-identical to the baseline's.
+        let unbounded = grown.enumerate_filtered("memory=unbounded");
+        let labels: Vec<String> = unbounded.iter().map(DesignPoint::label).collect();
+        let baseline_labels: Vec<String> = baseline.iter().map(DesignPoint::label).collect();
+        assert_eq!(labels, baseline_labels);
+        // Terms compose with the other axes, and unknown corners match
+        // nothing.
+        let mix = grown.enumerate_filtered("memory=hbm,precision=w4,opt3");
+        assert!(!mix.is_empty());
+        assert!(mix
+            .iter()
+            .all(|p| p.memory().name == "hbm" && p.precision() == Precision::W4));
+        assert!(grown.enumerate_filtered("memory=no-such-corner").is_empty());
+    }
+
     #[test]
     fn every_enumerated_point_is_legal() {
         for p in DesignSpace::paper_default().enumerate() {
@@ -503,7 +562,11 @@ mod tests {
     /// label lookup — what makes any sweep point servable by name.
     #[test]
     fn every_point_engine_is_findable_by_label() {
-        for p in DesignSpace::quick().enumerate() {
+        let space = DesignSpace {
+            memories: roster::memory_corners(),
+            ..DesignSpace::quick()
+        };
+        for p in space.enumerate() {
             let found = roster::find(&p.engine.label()).unwrap();
             assert_eq!(found, p.engine, "{}", p.engine.label());
         }

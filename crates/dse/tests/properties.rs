@@ -41,6 +41,9 @@ fn synthetic_in_group(name: &str, area: f64, delay: f64, energy: f64) -> PointRe
             peak_tops: 1.0,
             utilization: 0.5,
             power_w: energy / delay,
+            bytes_moved: 192.0,
+            intensity_ops_per_byte: 2.0 * 64.0 / 192.0,
+            bound: tpe_engine::Bound::Compute,
         }),
     }
 }

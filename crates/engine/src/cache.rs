@@ -45,7 +45,7 @@ use tpe_workloads::{LayerShape, NetworkModel};
 
 use crate::caps::{CycleModel, SerialSampleCaps};
 use crate::report::{LayerReport, ModelReport};
-use crate::spec::{EnginePrice, EngineSpec};
+use crate::spec::{Bound, EnginePrice, EngineSpec};
 
 /// Number of independent lock shards per map. 16 keeps the footprint
 /// trivial while making same-shard contention unlikely at realistic
@@ -132,6 +132,15 @@ pub struct PriceKey {
     pub freq_mhz: u32,
     /// Process feature size in tenths of a nm.
     pub node_dnm: u32,
+    /// On-chip SRAM capacity in KiB (0 = unbounded). The price itself is
+    /// memory-independent today, but the key carries the full engine
+    /// identity so a future memory-priced corner can never alias a
+    /// compute-only entry.
+    pub sram_kib: u32,
+    /// SRAM bandwidth in bytes/cycle (0 = unbounded).
+    pub sram_bw: u32,
+    /// DRAM bandwidth in bytes/cycle (0 = unbounded).
+    pub dram_bw: u32,
 }
 
 impl PriceKey {
@@ -147,6 +156,9 @@ impl PriceKey {
             precision: spec.precision,
             freq_mhz: (spec.freq_ghz * 1e3).round() as u32,
             node_dnm: (spec.node.nm * 10.0).round() as u32,
+            sram_kib: spec.memory.sram_kib,
+            sram_bw: spec.memory.sram_bw,
+            dram_bw: spec.memory.dram_bw,
         }
     }
 }
@@ -337,6 +349,13 @@ pub struct ModelKey {
     pub max_operands: usize,
     /// Which cycle backend produced the record.
     pub cycle_model: CycleModel,
+    /// On-chip SRAM capacity in KiB (0 = unbounded): the roofline changes
+    /// per-layer delays, so memory corners must never share a record.
+    pub sram_kib: u32,
+    /// SRAM bandwidth in bytes/cycle (0 = unbounded).
+    pub sram_bw: u32,
+    /// DRAM bandwidth in bytes/cycle (0 = unbounded).
+    pub dram_bw: u32,
 }
 
 impl ModelKey {
@@ -360,6 +379,9 @@ impl ModelKey {
             max_rounds: if analytic { 0 } else { caps.max_rounds },
             max_operands: if analytic { 0 } else { caps.max_operands },
             cycle_model: caps.model,
+            sram_kib: spec.memory.sram_kib,
+            sram_bw: spec.memory.sram_bw,
+            dram_bw: spec.memory.dram_bw,
         }
     }
 }
@@ -389,6 +411,12 @@ pub struct ModelRecord {
     pub area_um2: f64,
     /// Peak throughput (TOPS), from the engine price.
     pub peak_tops: f64,
+    /// Total bytes moved (sum over layers).
+    pub bytes_moved: f64,
+    /// Whole-model arithmetic intensity (ops per byte moved).
+    pub intensity_ops_per_byte: f64,
+    /// The dominant roofline bound over the model.
+    pub bound: Bound,
     /// Pooled per-column busy cycles across layers (in layer order) —
     /// what the dse model-point aggregation
     /// ([`crate::schedule::serial_model_cycles`]) divides by
@@ -410,6 +438,9 @@ impl ModelRecord {
             utilization: report.utilization,
             area_um2: report.area_um2,
             peak_tops: report.peak_tops,
+            bytes_moved: report.bytes_moved,
+            intensity_ops_per_byte: report.intensity_ops_per_byte,
+            bound: report.bound,
             busy_sum,
         }
     }
@@ -429,6 +460,9 @@ impl ModelRecord {
             utilization: self.utilization,
             area_um2: self.area_um2,
             peak_tops: self.peak_tops,
+            bytes_moved: self.bytes_moved,
+            intensity_ops_per_byte: self.intensity_ops_per_byte,
+            bound: self.bound,
         }
     }
 }
@@ -978,6 +1012,9 @@ mod tests {
             precision: Precision::W8,
             freq_mhz: f,
             node_dnm: 280,
+            sram_kib: 0,
+            sram_bw: 0,
+            dram_bw: 0,
         };
         let assemble = |cache: &EngineCache, f| {
             cache.pe_record(key(f), || Some(record()));
@@ -1019,6 +1056,9 @@ mod tests {
                 delay_us: 0.005,
                 utilization: 0.5,
                 energy_uj: 0.25,
+                bytes_moved: 192.0,
+                intensity_ops_per_byte: 2.0 * 64.0 / 192.0,
+                bound: Bound::Compute,
             }]
             .into(),
             total_macs: 64,
@@ -1028,6 +1068,9 @@ mod tests {
             utilization: 0.5,
             area_um2: 1.0e6,
             peak_tops: 2.0,
+            bytes_moved: 192.0,
+            intensity_ops_per_byte: 2.0 * 64.0 / 192.0,
+            bound: Bound::Compute,
             busy_sum: 9.0,
         }
     }
@@ -1078,6 +1121,30 @@ mod tests {
             ModelKey::of(&spec, &net, 1, analytic),
             ModelKey::of(&spec, &net, 2, analytic),
             "analytic mode is seed-free"
+        );
+    }
+
+    /// Memory corners are part of the price and model identities: the
+    /// roofline changes per-layer delays, so an `edge` evaluation must
+    /// never alias the unbounded one (PeKey and CycleKey stay
+    /// memory-free — synthesis and sampling never see the corner).
+    #[test]
+    fn memory_corner_is_part_of_price_and_model_keys() {
+        let spec = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0);
+        let edge = spec.clone().with_memory(crate::spec::MemorySpec::edge());
+        assert_ne!(PriceKey::of(&spec), PriceKey::of(&edge));
+        let net = tpe_workloads::models::resnet18();
+        let caps = crate::caps::SampleProfile::Model.caps();
+        assert_ne!(
+            ModelKey::of(&spec, &net, 42, caps),
+            ModelKey::of(&edge, &net, 42, caps)
+        );
+        let layer = LayerShape::new("t", 8, 8, 64, 1);
+        assert_eq!(PeKey::of(&spec), PeKey::of(&edge));
+        assert_eq!(
+            CycleKey::of(&spec, &layer, 7, caps),
+            CycleKey::of(&edge, &layer, 7, caps),
+            "the cycle model is memory-independent"
         );
     }
 

@@ -24,8 +24,8 @@ use crate::cache::{EngineCache, ModelKey, ModelRecord, PeKey, PeRecord};
 use crate::caps::{CycleModel, SampleProfile, SerialSampleCaps};
 use crate::fnv1a;
 use crate::report::ModelReport;
-use crate::schedule::cached_serial_cycles;
-use crate::spec::{EnginePrice, EngineSpec};
+use crate::schedule::{cached_serial_cycles, layer_traffic};
+use crate::spec::{Bound, EnginePrice, EngineSpec};
 use crate::workload::SweepWorkload;
 
 /// Re-exported from `tpe-core`: expected digits per operand of an encoder
@@ -55,10 +55,33 @@ pub(crate) struct EvalObs {
     /// dedup'd walk behind the model cache's miss path (cold only; a
     /// model-map hit never runs it).
     pub model_assemble_ns: Arc<Histogram>,
+    /// `eval_traffic_ns`: one per-layer memory-traffic computation (the
+    /// roofline's byte accounting). A model-map hit never recomputes
+    /// traffic; bare-layer metrics recompute it on every call — it is
+    /// allocation-free and orders of magnitude below one cycle sample.
+    pub traffic_ns: Arc<Histogram>,
     /// `eval_price_calls`: total [`Evaluator::price`] calls, hot or cold.
     pub price_calls: Arc<Counter>,
     /// `eval_metrics_calls`: total [`Evaluator::metrics`] calls.
     pub metrics_calls: Arc<Counter>,
+    /// `ctr_layers_compute_bound`: layer rows whose roofline bound was
+    /// compute (the only bound the `Unbounded` corner ever produces).
+    pub layers_compute_bound: Arc<Counter>,
+    /// `ctr_layers_sram_bound`: layer rows bound on SRAM bandwidth.
+    pub layers_sram_bound: Arc<Counter>,
+    /// `ctr_layers_dram_bound`: layer rows bound on DRAM bandwidth.
+    pub layers_dram_bound: Arc<Counter>,
+}
+
+impl EvalObs {
+    /// The per-bound layer counter (`ctr_layers_{compute,sram,dram}_bound`).
+    pub fn bound_counter(&self, bound: Bound) -> &Counter {
+        match bound {
+            Bound::Compute => &self.layers_compute_bound,
+            Bound::Sram => &self.layers_sram_bound,
+            Bound::Dram => &self.layers_dram_bound,
+        }
+    }
 }
 
 /// The process-wide evaluator metric handles (registered on first use).
@@ -73,8 +96,12 @@ pub(crate) fn eval_obs() -> &'static EvalObs {
             serial_analytic_ns: reg.histogram("eval_serial_analytic_ns"),
             model_schedule_ns: reg.histogram("eval_model_schedule_ns"),
             model_assemble_ns: reg.histogram("eval_model_assemble_ns"),
+            traffic_ns: reg.histogram("eval_traffic_ns"),
             price_calls: reg.counter("eval_price_calls"),
             metrics_calls: reg.counter("eval_metrics_calls"),
+            layers_compute_bound: reg.counter("layers_compute_bound"),
+            layers_sram_bound: reg.counter("layers_sram_bound"),
+            layers_dram_bound: reg.counter("layers_dram_bound"),
         }
     })
 }
@@ -94,10 +121,18 @@ pub struct Metrics {
     pub throughput_gops: f64,
     /// Peak throughput (TOPS).
     pub peak_tops: f64,
-    /// Average compute-lane utilization (busy fraction, 0–1).
+    /// Average compute-lane utilization (busy fraction, 0–1;
+    /// roofline-aware — stall cycles dilute it on finite corners).
     pub utilization: f64,
     /// Average power over the workload (W).
     pub power_w: f64,
+    /// Total bytes moved across the memory boundary (workload sum).
+    pub bytes_moved: f64,
+    /// Arithmetic intensity: ops per byte moved (2 ops per MAC).
+    pub intensity_ops_per_byte: f64,
+    /// The binding roofline resource over the workload (always
+    /// [`Bound::Compute`] on the `Unbounded` corner).
+    pub bound: Bound,
 }
 
 /// The canonical evaluation stack, bound to a cache instance.
@@ -244,13 +279,14 @@ impl<'c> Evaluator<'c> {
         let price = self.price(spec)?;
 
         let freq = spec.freq_ghz;
-        let (cycles, busy_frac) = match spec.kind {
+        let (cycles, busy_frac, model_rec) = match spec.kind {
             ArchKind::Dense(arch) => {
-                let cycles = match workload {
-                    SweepWorkload::Layer(w) => {
+                let (cycles, rec) = match workload {
+                    SweepWorkload::Layer(w) => (
                         arch.at_paper_config().estimate_cycles(w.m, w.n, w.k) as f64
-                            * w.repeats as f64
-                    }
+                            * w.repeats as f64,
+                        None,
+                    ),
                     SweepWorkload::Model(net) => {
                         let point_seed =
                             seed ^ fnv1a(&format!("{}/{}", spec.label(), workload.name()));
@@ -262,12 +298,12 @@ impl<'c> Evaluator<'c> {
                         // bit-identical to the old `dense_model_cycles`
                         // accumulation (same closed-form terms, same
                         // order).
-                        self.model_record(spec, &price, net, point_seed, caps)
-                            .cycles
+                        let rec = self.model_record(spec, &price, net, point_seed, caps);
+                        (rec.cycles, Some(rec))
                     }
                 };
                 // Dense arrays clock every PE every cycle, useful or not.
-                (cycles, 1.0)
+                (cycles, 1.0, rec)
             }
             ArchKind::Serial => {
                 let point_seed = seed ^ fnv1a(&format!("{}/{}", spec.label(), workload.name()));
@@ -283,7 +319,7 @@ impl<'c> Evaluator<'c> {
                                 ..SampleProfile::Sweep.caps_for(spec.precision)
                             },
                         );
-                        (rec.cycles, rec.utilization())
+                        (rec.cycles, rec.utilization(), None)
                     }
                     SweepWorkload::Model(net) => {
                         let caps = SerialSampleCaps {
@@ -301,24 +337,76 @@ impl<'c> Evaluator<'c> {
                         } else {
                             0.0
                         };
-                        (rec.cycles, busy_frac)
+                        (rec.cycles, busy_frac, Some(rec))
                     }
                 }
             }
         };
 
-        let delay_us = cycles / (freq * 1e3);
         let macs = workload.macs() as f64;
 
-        // Energy: fJ per PE instance-cycle at the record's activity levels.
-        let pe_cycles = cycles * price.instances;
-        let energy_uj = (pe_cycles * busy_frac * price.e_active_fj
-            + pe_cycles * (1.0 - busy_frac) * price.e_idle_fj)
-            * 1e-9;
+        // The memory side: model records carry their roofline aggregates
+        // (every layer row already bounded); a bare layer computes its
+        // traffic here. `cycles` for a model workload is already the sum
+        // of effective (bounded) layer cycles.
+        let (eff_cycles, bytes_moved, intensity_ops_per_byte, bound) = match (&model_rec, workload)
+        {
+            (Some(rec), _) => (
+                cycles,
+                rec.bytes_moved,
+                rec.intensity_ops_per_byte,
+                rec.bound,
+            ),
+            (None, SweepWorkload::Layer(layer)) => {
+                let traffic = {
+                    let _span = eval_obs().traffic_ns.span();
+                    layer_traffic(spec, layer)
+                };
+                let (eff, bound) = traffic.roofline(&spec.memory, cycles);
+                eval_obs().bound_counter(bound).inc();
+                (
+                    eff,
+                    traffic.total_bytes(),
+                    traffic.intensity(workload.macs()),
+                    bound,
+                )
+            }
+            (None, SweepWorkload::Model(_)) => unreachable!("model workloads carry a record"),
+        };
 
-        let utilization = match spec.kind {
-            ArchKind::Dense(_) => (macs / (cycles * price.lanes_total)).min(1.0),
-            ArchKind::Serial => busy_frac,
+        let (delay_us, energy_uj, utilization) = if spec.memory.is_unbounded() {
+            // The pre-memory arithmetic, expression for expression — the
+            // sweep goldens pin these bit patterns.
+            let delay_us = cycles / (freq * 1e3);
+            // Energy: fJ per PE instance-cycle at the record's activity
+            // levels.
+            let pe_cycles = cycles * price.instances;
+            let energy_uj = (pe_cycles * busy_frac * price.e_active_fj
+                + pe_cycles * (1.0 - busy_frac) * price.e_idle_fj)
+                * 1e-9;
+            let utilization = match spec.kind {
+                ArchKind::Dense(_) => (macs / (cycles * price.lanes_total)).min(1.0),
+                ArchKind::Serial => busy_frac,
+            };
+            (delay_us, energy_uj, utilization)
+        } else if let Some(rec) = &model_rec {
+            // Bounded model workload: the per-layer rooflines already
+            // shaped the record's aggregates — use them directly.
+            (rec.delay_us, rec.energy_uj, rec.utilization)
+        } else {
+            // Bounded single layer: the array occupies `eff_cycles`
+            // wall-clock cycles, `cycles` of them computing; stalls burn
+            // idle power and dilute utilization.
+            let delay_us = eff_cycles / (freq * 1e3);
+            let active = cycles * busy_frac;
+            let energy_uj = (active * price.e_active_fj + (eff_cycles - active) * price.e_idle_fj)
+                * price.instances
+                * 1e-9;
+            let utilization = match spec.kind {
+                ArchKind::Dense(_) => (macs / (eff_cycles * price.lanes_total)).min(1.0),
+                ArchKind::Serial => busy_frac * (cycles / eff_cycles),
+            };
+            (delay_us, energy_uj, utilization)
         };
 
         Some(Metrics {
@@ -330,6 +418,9 @@ impl<'c> Evaluator<'c> {
             peak_tops: price.peak_tops,
             utilization,
             power_w: energy_uj / delay_us,
+            bytes_moved,
+            intensity_ops_per_byte,
+            bound,
         })
     }
 
@@ -712,6 +803,72 @@ mod tests {
                 spec.label()
             );
             assert_eq!(delta.cycle_lookups, 0, "{}", spec.label());
+        }
+    }
+
+    /// The memory axis end to end: unbounded metrics report compute-bound
+    /// with positive traffic; a starved corner flips the bound, stretches
+    /// delay, and keys its own cache entries.
+    #[test]
+    fn finite_memory_corners_flip_the_metrics_bound() {
+        use crate::spec::MemorySpec;
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let base = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0);
+        let w = layer_workload();
+        let free = eval.metrics(&base, &w, 42).unwrap();
+        assert_eq!(free.bound, Bound::Compute);
+        assert!(free.bytes_moved > 0.0);
+        assert!(free.intensity_ops_per_byte > 0.0);
+
+        let starved = base.clone().with_memory(MemorySpec {
+            sram_kib: 64,
+            sram_bw: 1,
+            dram_bw: 1,
+            name: "starved",
+        });
+        let bound = eval.metrics(&starved, &w, 42).unwrap();
+        assert_ne!(bound.bound, Bound::Compute);
+        assert!(
+            bound.delay_us > free.delay_us,
+            "roofline must stretch the delay: {} vs {}",
+            bound.delay_us,
+            free.delay_us
+        );
+        assert!(bound.utilization < free.utilization);
+        assert_eq!(bound.bytes_moved, free.bytes_moved);
+        assert_eq!(
+            bound.area_um2.to_bits(),
+            free.area_um2.to_bits(),
+            "pricing is memory-independent"
+        );
+
+        // Model workloads flip too, via the per-layer rooflines.
+        let net = SweepWorkload::Model(models::resnet18());
+        let m_free = eval.metrics(&base, &net, 42).unwrap();
+        let m_bound = eval.metrics(&starved, &net, 42).unwrap();
+        assert_eq!(m_free.bound, Bound::Compute);
+        assert_ne!(m_bound.bound, Bound::Compute);
+        assert!(m_bound.delay_us > m_free.delay_us);
+    }
+
+    /// An `edge`-corner model report stays internally consistent: layer
+    /// bound classes are delay-weighted into the model bound, and bytes
+    /// aggregate as sums.
+    #[test]
+    fn bounded_model_report_aggregates_layer_rooflines() {
+        use crate::spec::MemorySpec;
+        let cache = EngineCache::new();
+        let eval = Evaluator::new(&cache);
+        let spec = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0)
+            .with_memory(MemorySpec::edge());
+        let net = models::resnet18();
+        let caps = SampleProfile::Quick.caps();
+        let r = eval.model_report(&spec, &net, 7, caps).unwrap();
+        let bytes: f64 = r.layers.iter().map(|l| l.bytes_moved).sum();
+        assert_eq!(r.bytes_moved.to_bits(), bytes.to_bits());
+        for l in r.layers.iter() {
+            assert!(l.bytes_moved > 0.0, "{}", l.name);
         }
     }
 

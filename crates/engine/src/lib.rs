@@ -26,9 +26,10 @@
 //! ```
 //!
 //! * [`spec`] — [`EngineSpec`]: the architecture half of a design point
-//!   (PE style × array × encoding × operand [`Precision`] × corner), its
-//!   stable label grammar (`@W4`-style precision suffixes), and
-//!   [`EnginePrice`], the array-level cost assembly.
+//!   (PE style × array × encoding × operand [`Precision`] × corner ×
+//!   [`MemorySpec`] memory corner), its stable label grammar (`@W4` /
+//!   `@edge`-style suffixes), and [`EnginePrice`], the array-level cost
+//!   assembly.
 //! * [`roster`] — the named Table VII registry (12 engines), the default
 //!   sweep corners, and label → spec lookup for serve queries.
 //! * [`caps`] — the [`caps::SampleProfile`] table unifying every
@@ -84,8 +85,9 @@ pub use schedule::{
     dense_model_cycles, dense_tiles, evaluate_model, schedule_layer, serial_model_cycles,
     LayerSchedule, MODEL_SAMPLE_CAPS,
 };
+pub use schedule::{layer_traffic, LayerTraffic};
 pub use snapshot::{SnapshotInfo, SNAPSHOT_VERSION};
-pub use spec::{classic_name, Corner, EnginePrice, EngineSpec};
+pub use spec::{classic_name, Bound, Corner, EnginePrice, EngineSpec, MemorySpec};
 pub use tpe_arith::Precision;
 pub use workload::SweepWorkload;
 

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use crate::spec::{EnginePrice, EngineSpec};
+use crate::spec::{Bound, EnginePrice, EngineSpec};
 
 /// One layer's scheduled outcome on one engine.
 ///
@@ -34,6 +34,13 @@ pub struct LayerReport {
     pub utilization: f64,
     /// Energy (µJ).
     pub energy_uj: f64,
+    /// Bytes moved across the memory boundary (see
+    /// [`LayerTraffic`](crate::schedule::LayerTraffic)).
+    pub bytes_moved: f64,
+    /// Arithmetic intensity: ops per byte moved (2 ops per MAC).
+    pub intensity_ops_per_byte: f64,
+    /// The binding roofline resource for this layer.
+    pub bound: Bound,
 }
 
 /// End-to-end evaluation of one model on one engine.
@@ -60,6 +67,13 @@ pub struct ModelReport {
     pub area_um2: f64,
     /// Peak throughput (TOPS), from the engine price.
     pub peak_tops: f64,
+    /// Total bytes moved (sum over layers).
+    pub bytes_moved: f64,
+    /// Whole-model arithmetic intensity: `2·total_macs / bytes_moved`.
+    pub intensity_ops_per_byte: f64,
+    /// The dominant roofline bound: the bound class holding the largest
+    /// share of end-to-end delay (ties prefer compute, then SRAM).
+    pub bound: Bound,
 }
 
 impl ModelReport {
@@ -75,10 +89,12 @@ impl ModelReport {
     ) -> Self {
         let delay_us: f64 = layers.iter().map(|l| l.delay_us).sum();
         let util_weighted: f64 = layers.iter().map(|l| l.utilization * l.delay_us).sum();
+        let total_macs: u64 = layers.iter().map(|l| l.macs).sum();
+        let bytes_moved: f64 = layers.iter().map(|l| l.bytes_moved).sum();
         Self {
             model: model.into(),
             engine: engine.clone(),
-            total_macs: layers.iter().map(|l| l.macs).sum(),
+            total_macs,
             cycles: layers.iter().map(|l| l.cycles).sum(),
             delay_us,
             energy_uj: layers.iter().map(|l| l.energy_uj).sum(),
@@ -89,6 +105,13 @@ impl ModelReport {
             },
             area_um2: price.area_um2,
             peak_tops: price.peak_tops,
+            bytes_moved,
+            intensity_ops_per_byte: if bytes_moved > 0.0 {
+                2.0 * total_macs as f64 / bytes_moved
+            } else {
+                0.0
+            },
+            bound: dominant_bound(&layers),
             layers: layers.into(),
         }
     }
@@ -129,6 +152,30 @@ impl ModelReport {
     }
 }
 
+/// The bound class holding the largest share of end-to-end delay. Ties
+/// resolve in `Compute > Sram > Dram` order, so an all-compute model (the
+/// `Unbounded` corner, always) reads as compute-bound even when empty.
+fn dominant_bound(layers: &[LayerReport]) -> Bound {
+    let mut share = [0.0_f64; 3];
+    for l in layers {
+        let slot = match l.bound {
+            Bound::Compute => 0,
+            Bound::Sram => 1,
+            Bound::Dram => 2,
+        };
+        share[slot] += l.delay_us;
+    }
+    let mut best = Bound::Compute;
+    let mut best_share = share[0];
+    for (slot, bound) in [(1, Bound::Sram), (2, Bound::Dram)] {
+        if share[slot] > best_share {
+            best = bound;
+            best_share = share[slot];
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +191,9 @@ mod tests {
             delay_us: cycles / 1e3,
             utilization: util,
             energy_uj: energy,
+            bytes_moved: macs as f64,
+            intensity_ops_per_byte: 2.0,
+            bound: Bound::Compute,
         }
     }
 
@@ -179,5 +229,33 @@ mod tests {
         assert!((r.power_w() - 4.0 / 0.4).abs() < 1e-12);
         assert!(r.tops_per_w() > 0.0);
         assert_eq!(r.layer_count(), 2);
+        assert_eq!(r.bytes_moved, 1500.0, "bytes sum over layers");
+        assert!((r.intensity_ops_per_byte - 2.0).abs() < 1e-12);
+        assert_eq!(r.bound, Bound::Compute);
+    }
+
+    #[test]
+    fn dominant_bound_is_delay_weighted_with_compute_preference() {
+        let engine = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0);
+        let mut rows = vec![
+            layer("a", 10, 100.0, 1.0, 1.0),
+            layer("b", 10, 300.0, 1.0, 1.0),
+            layer("c", 10, 100.0, 1.0, 1.0),
+        ];
+        rows[1].bound = Bound::Dram;
+        let r = ModelReport::aggregate("toy", &engine, &price(), rows.clone());
+        assert_eq!(r.bound, Bound::Dram, "300 of 500 delay units are DRAM");
+        rows[1].bound = Bound::Compute;
+        rows[2].bound = Bound::Sram;
+        let r = ModelReport::aggregate("toy", &engine, &price(), rows.clone());
+        assert_eq!(r.bound, Bound::Compute);
+        // Exact tie: compute wins over sram.
+        rows[1].delay_us = 0.0;
+        let r = ModelReport::aggregate("toy", &engine, &price(), rows);
+        assert_eq!(r.bound, Bound::Compute);
+        // Degenerate empty model.
+        let empty = ModelReport::aggregate("empty", &engine, &price(), vec![]);
+        assert_eq!(empty.bound, Bound::Compute);
+        assert_eq!(empty.intensity_ops_per_byte, 0.0);
     }
 }

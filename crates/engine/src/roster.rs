@@ -13,7 +13,7 @@ use tpe_arith::Precision;
 use tpe_core::arch::PeStyle;
 use tpe_sim::array::ClassicArch;
 
-use crate::spec::{classic_name, Corner, EngineSpec};
+use crate::spec::{classic_name, Corner, EngineSpec, MemorySpec};
 
 /// The `repro models` roster: the four classic dense baselines at
 /// their Table VII clocks, their OPT1/OPT2 retrofits, and the three
@@ -49,6 +49,25 @@ pub fn sweep_corners() -> Vec<Corner> {
     ]
 }
 
+/// The named memory-hierarchy corners: the `@<name>` label suffixes,
+/// `memory=<name>` filter values and serve `memory` field values. The
+/// unbounded default leads so index 0 is the identity projection.
+pub fn memory_corners() -> Vec<MemorySpec> {
+    vec![
+        MemorySpec::unbounded(),
+        MemorySpec::edge(),
+        MemorySpec::mobile(),
+        MemorySpec::hbm(),
+    ]
+}
+
+/// Resolves a memory-corner name (case-insensitive) to its spec.
+pub fn find_memory(name: &str) -> Option<MemorySpec> {
+    memory_corners()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
 /// Full labels of every roster engine, in roster order.
 pub fn names() -> Vec<String> {
     paper_roster().iter().map(EngineSpec::label).collect()
@@ -64,7 +83,12 @@ pub fn names() -> Vec<String> {
 /// * any of the above with a trailing precision suffix
 ///   ("OPT3\[EN-T\]/28nm\@2.00GHz\@W4", "OPT4E\[EN-T\]\@W16") — the
 ///   `@W…` grammar [`EngineSpec::label`] emits for non-default
-///   precisions, resolved via [`Precision::parse`].
+///   precisions, resolved via [`Precision::parse`];
+/// * any of the above with a trailing memory-corner suffix
+///   ("OPT4E\[EN-T\]/28nm\@2.00GHz\@edge",
+///   "OPT3\[EN-T\]\@W4\@mobile") — the `@<name>` grammar
+///   [`EngineSpec::label`] emits for finite [`MemorySpec`] corners,
+///   resolved via [`find_memory`].
 pub fn find(name: &str) -> Option<EngineSpec> {
     let roster = paper_roster();
     if let Some(hit) = roster.iter().find(|e| e.label().eq_ignore_ascii_case(name)) {
@@ -76,12 +100,16 @@ pub fn find(name: &str) -> Option<EngineSpec> {
     {
         return Some(hit.clone());
     }
-    // Precision suffix: peel it off the right and resolve the rest. The
-    // corner's own "@2.00GHz" tail never parses as a precision, so plain
-    // labels fall through untouched.
+    // Precision / memory suffixes: peel them off the right and resolve
+    // the rest (corner names and precision labels are disjoint, so each
+    // tail parses by exactly one of the two). The corner's own "@2.00GHz"
+    // tail never parses as either, so plain labels fall through untouched.
     if let Some((head, tail)) = name.rsplit_once('@') {
         if let Some(precision) = Precision::parse(tail) {
             return find(head).map(|spec| spec.with_precision(precision));
+        }
+        if let Some(memory) = find_memory(tail) {
+            return find(head).map(|spec| spec.with_memory(memory));
         }
     }
     let (arch_part, corner_part) = name.split_once('/')?;
@@ -219,9 +247,42 @@ mod tests {
             "OPT3[CSD]",              // off-roster arch without a corner
             "OPT3[EN-T]/28nm@2.00GHz@W99", // invalid precision suffix
             "@W4",                    // precision without an engine
+            "OPT4E[EN-T]/28nm@2.00GHz@hbm3", // unknown memory corner
+            "@edge",                  // memory corner without an engine
         ] {
             assert!(find(bad).is_none(), "{bad:?} must not resolve");
         }
+    }
+
+    /// The label round-trip property extended along the memory axis:
+    /// every roster engine × memory corner × precision resolves back to
+    /// itself, and only finite corners leave a suffix.
+    #[test]
+    fn every_memory_corner_label_round_trips() {
+        for engine in paper_roster() {
+            for memory in memory_corners() {
+                for precision in [Precision::W8, Precision::W4] {
+                    let spec = engine.clone().with_precision(precision).with_memory(memory);
+                    let found = find(&spec.label())
+                        .unwrap_or_else(|| panic!("{} must resolve", spec.label()));
+                    assert_eq!(found, spec, "{}", spec.label());
+                    assert_eq!(
+                        spec.label().ends_with(memory.name),
+                        !memory.is_unbounded(),
+                        "{}",
+                        spec.label()
+                    );
+                }
+            }
+        }
+        // Corner names never collide with precision labels: both parsers
+        // stay disjoint over the whole registry.
+        for m in memory_corners() {
+            assert!(Precision::parse(m.name).is_none(), "{}", m.name);
+        }
+        // An explicit @unbounded suffix resolves to the suffix-free default.
+        let e = find("OPT4E[EN-T]/28nm@2.00GHz@unbounded").unwrap();
+        assert_eq!(e.label(), "OPT4E[EN-T]/28nm@2.00GHz");
     }
 
     #[test]

@@ -35,7 +35,7 @@ use tpe_workloads::{LayerShape, NetworkModel};
 use crate::cache::{CycleKey, EngineCache, ModelRecord, SerialLayerRecord};
 use crate::caps::{CycleModel, SampleProfile, SerialSampleCaps};
 use crate::report::{LayerReport, ModelReport};
-use crate::spec::{EnginePrice, EngineSpec};
+use crate::spec::{Bound, EnginePrice, EngineSpec, MemorySpec};
 
 /// Sampling caps for whole-model serial evaluation
 /// ([`SampleProfile::Model`]; see the profile table for the rationale).
@@ -58,6 +58,113 @@ pub fn dense_tiles(arch: ClassicArch, layer: &LayerShape) -> u64 {
         ClassicArch::FlexFlow => (m.div_ceil(32) * n.div_ceil(32)) as u64,
     };
     per_repeat * layer.repeats as u64
+}
+
+/// The output-tile width an array sweeps the N dimension with — how many
+/// weight-tile column passes the streamed activations pay for in the
+/// traffic model (32-wide planes everywhere except the 10-wide cube).
+fn traffic_tile_n(engine: &EngineSpec) -> usize {
+    match engine.kind {
+        ArchKind::Dense(ClassicArch::Ascend) => 10,
+        _ => 32,
+    }
+}
+
+/// Per-layer memory traffic of one img2col-lowered GEMM under the tile
+/// reuse discipline of the dense schedules (and the serial arrays' row
+/// mapping, which streams the same operands):
+///
+/// * **weights** are resident per tile pass — each of the `k×n` weight
+///   elements is fetched once per repeat;
+/// * **activations** are streamed — the `m×k` operand panel is re-read
+///   once per output-tile column pass (`⌈n / tile_n⌉` passes);
+/// * **outputs** are written once.
+///
+/// Byte widths scale with the layer's effective precision
+/// ([`layer_a_bits`]), which is how the precision axis expresses the
+/// T-MAC observation that narrower operands shrink bytes moved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerTraffic {
+    /// Weight bytes fetched (resident per tile pass: fetched once).
+    pub weight_bytes: f64,
+    /// Activation bytes streamed (once per output-tile column pass).
+    pub act_bytes: f64,
+    /// Output bytes written back.
+    pub out_bytes: f64,
+    /// Working-set footprint: every distinct operand/output byte once.
+    pub footprint_bytes: f64,
+}
+
+impl LayerTraffic {
+    /// Total bytes crossing the on-chip memory boundary.
+    pub fn total_bytes(&self) -> f64 {
+        self.weight_bytes + self.act_bytes + self.out_bytes
+    }
+
+    /// Bytes crossing the DRAM boundary: the working-set footprint when
+    /// it fits in SRAM (each distinct byte fetched once, reuse on-chip),
+    /// the full streamed traffic when it spills.
+    pub fn dram_bytes(&self, mem: &MemorySpec) -> f64 {
+        match mem.sram_bytes() {
+            Some(cap) if self.footprint_bytes > cap => self.total_bytes(),
+            _ => self.footprint_bytes,
+        }
+    }
+
+    /// Arithmetic intensity: ops per byte moved (2 ops per MAC).
+    pub fn intensity(&self, macs: u64) -> f64 {
+        let bytes = self.total_bytes();
+        if bytes > 0.0 {
+            2.0 * macs as f64 / bytes
+        } else {
+            0.0
+        }
+    }
+
+    /// Roofline-bounded effective cycles and the binding resource:
+    /// `max(compute, sram traffic / sram bw, dram traffic / dram bw)`.
+    /// The `Unbounded` corner returns `compute_cycles` untouched — the
+    /// golden-projection identity every pre-refactor snapshot rests on.
+    pub fn roofline(&self, mem: &MemorySpec, compute_cycles: f64) -> (f64, Bound) {
+        if mem.is_unbounded() {
+            return (compute_cycles, Bound::Compute);
+        }
+        let sram_cycles = if mem.sram_bw > 0 {
+            self.total_bytes() / f64::from(mem.sram_bw)
+        } else {
+            0.0
+        };
+        let dram_cycles = if mem.dram_bw > 0 {
+            self.dram_bytes(mem) / f64::from(mem.dram_bw)
+        } else {
+            0.0
+        };
+        let cycles = compute_cycles.max(sram_cycles).max(dram_cycles);
+        let bound = if cycles <= compute_cycles {
+            Bound::Compute
+        } else if dram_cycles >= sram_cycles {
+            Bound::Dram
+        } else {
+            Bound::Sram
+        };
+        (cycles, bound)
+    }
+}
+
+/// Computes the memory traffic of one layer on one engine (see
+/// [`LayerTraffic`] for the reuse model). Pure arithmetic over the GEMM
+/// dims — no cache interaction, no sampling.
+pub fn layer_traffic(engine: &EngineSpec, layer: &LayerShape) -> LayerTraffic {
+    let bpe = f64::from(layer_a_bits(engine, layer)) / 8.0;
+    let repeats = layer.repeats as f64;
+    let (weights, acts, outs) = layer.operand_elems();
+    let passes = layer.n.div_ceil(traffic_tile_n(engine)) as f64;
+    LayerTraffic {
+        weight_bytes: weights as f64 * bpe * repeats,
+        act_bytes: acts as f64 * bpe * passes * repeats,
+        out_bytes: outs as f64 * bpe * repeats,
+        footprint_bytes: (weights + acts + outs) as f64 * bpe * repeats,
+    }
 }
 
 /// One layer scheduled onto one engine: cycles, busy fraction, tiles.
@@ -301,24 +408,55 @@ fn layer_row(
     layer: &LayerShape,
     s: LayerSchedule,
 ) -> LayerReport {
-    let delay_us = s.cycles / (engine.freq_ghz * 1e3);
     let macs = layer.macs();
-    let pe_cycles = s.cycles * price.instances;
-    let energy_uj = (pe_cycles * s.busy_frac * price.e_active_fj
-        + pe_cycles * (1.0 - s.busy_frac) * price.e_idle_fj)
-        * 1e-9;
-    let utilization = match engine.kind {
-        ArchKind::Dense(_) => (macs as f64 / (s.cycles * price.lanes_total)).min(1.0),
-        ArchKind::Serial => s.busy_frac,
+    let traffic = {
+        let _span = crate::eval::eval_obs().traffic_ns.span();
+        layer_traffic(engine, layer)
+    };
+    let bytes_moved = traffic.total_bytes();
+    let intensity_ops_per_byte = traffic.intensity(macs);
+    let (eff_cycles, bound) = traffic.roofline(&engine.memory, s.cycles);
+    crate::eval::eval_obs().bound_counter(bound).inc();
+    let (cycles, delay_us, utilization, energy_uj) = if engine.memory.is_unbounded() {
+        // The pre-memory arithmetic, expression for expression: the golden
+        // CSVs pin these f64 bit patterns, so the unbounded corner must
+        // not re-associate a single operation.
+        let delay_us = s.cycles / (engine.freq_ghz * 1e3);
+        let pe_cycles = s.cycles * price.instances;
+        let energy_uj = (pe_cycles * s.busy_frac * price.e_active_fj
+            + pe_cycles * (1.0 - s.busy_frac) * price.e_idle_fj)
+            * 1e-9;
+        let utilization = match engine.kind {
+            ArchKind::Dense(_) => (macs as f64 / (s.cycles * price.lanes_total)).min(1.0),
+            ArchKind::Serial => s.busy_frac,
+        };
+        (s.cycles, delay_us, utilization, energy_uj)
+    } else {
+        // Roofline-bounded: the array occupies `eff_cycles` wall-clock
+        // cycles but only `s.cycles` of them compute — stall cycles burn
+        // idle power, and utilization dilutes by the stall fraction.
+        let delay_us = eff_cycles / (engine.freq_ghz * 1e3);
+        let active = s.cycles * s.busy_frac;
+        let energy_uj = (active * price.e_active_fj + (eff_cycles - active) * price.e_idle_fj)
+            * price.instances
+            * 1e-9;
+        let utilization = match engine.kind {
+            ArchKind::Dense(_) => (macs as f64 / (eff_cycles * price.lanes_total)).min(1.0),
+            ArchKind::Serial => s.busy_frac * (s.cycles / eff_cycles),
+        };
+        (eff_cycles, delay_us, utilization, energy_uj)
     };
     LayerReport {
         name: layer.name.as_str().into(),
         macs,
         tiles: s.tiles,
-        cycles: s.cycles,
+        cycles,
         delay_us,
         utilization,
         energy_uj,
+        bytes_moved,
+        intensity_ops_per_byte,
+        bound,
     }
 }
 
@@ -774,6 +912,152 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// The traffic model's reuse accounting: weights fetched once,
+    /// activations once per output-tile column pass, outputs once — and
+    /// the cube's 10-wide tiles pay more activation passes than the
+    /// 32-wide planes.
+    #[test]
+    fn layer_traffic_counts_tile_reuse() {
+        let layer = LayerShape::new("t", 64, 96, 128, 1);
+        let tpu = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0);
+        let t = layer_traffic(&tpu, &layer);
+        assert_eq!(t.weight_bytes, (128 * 96) as f64, "W8: 1 byte/elem");
+        assert_eq!(t.act_bytes, (64 * 128 * 3) as f64, "⌈96/32⌉ = 3 passes");
+        assert_eq!(t.out_bytes, (64 * 96) as f64);
+        assert_eq!(
+            t.footprint_bytes,
+            (128 * 96 + 64 * 128 + 64 * 96) as f64,
+            "footprint counts every distinct byte once"
+        );
+        let cube = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Ascend, 1.0);
+        let c = layer_traffic(&cube, &layer);
+        assert_eq!(c.act_bytes, (64 * 128 * 10) as f64, "⌈96/10⌉ = 10 passes");
+        assert!(t.intensity(layer.macs()) > 0.0);
+        // Serial engines stream the same GEMM operands as the 32-wide
+        // planes.
+        assert_eq!(layer_traffic(&opt4e(), &layer), t);
+    }
+
+    /// With `Unbounded` memory the roofline is the identity — compute
+    /// cycles pass through bit-for-bit and every layer is compute-bound.
+    #[test]
+    fn unbounded_roofline_is_the_identity() {
+        let layer = LayerShape::new("t", 64, 784, 576, 1);
+        let engine = opt4e();
+        let t = layer_traffic(&engine, &layer);
+        let compute = 12_345.678_f64;
+        let (eff, bound) = t.roofline(&MemorySpec::unbounded(), compute);
+        assert_eq!(eff.to_bits(), compute.to_bits());
+        assert_eq!(bound, Bound::Compute);
+    }
+
+    /// A starved corner flips a fat layer off the compute roof: effective
+    /// delay exceeds compute-only delay and the bound reports the binding
+    /// resource. SRAM-resident working sets bind on SRAM bandwidth;
+    /// spilled ones on DRAM.
+    #[test]
+    fn finite_corners_bind_layers_on_bandwidth() {
+        let layer = LayerShape::new("fat", 256, 1024, 1024, 1);
+        let base = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0);
+        let t = layer_traffic(&base, &layer);
+        let compute = 1_000.0; // far under the traffic's bandwidth demand
+
+        // Huge SRAM, starved DRAM: footprint fits, so DRAM sees only the
+        // footprint — but 1 B/cycle still dominates.
+        let starved_dram = MemorySpec {
+            sram_kib: 1 << 20,
+            sram_bw: 1 << 20,
+            dram_bw: 1,
+            name: "starved-dram",
+        };
+        let (eff, bound) = t.roofline(&starved_dram, compute);
+        assert_eq!(bound, Bound::Dram);
+        assert!(eff > compute);
+        assert_eq!(eff, t.footprint_bytes, "resident set crosses DRAM once");
+
+        // Tiny SRAM: the working set spills and full streamed traffic
+        // crosses DRAM.
+        let spilled = MemorySpec {
+            sram_kib: 1,
+            ..starved_dram
+        };
+        let (eff_spill, _) = t.roofline(&spilled, compute);
+        assert_eq!(eff_spill, t.total_bytes());
+        assert!(eff_spill > eff);
+
+        // Starved SRAM port, generous DRAM: SRAM is the roof.
+        let starved_sram = MemorySpec {
+            sram_kib: 1 << 20,
+            sram_bw: 1,
+            dram_bw: 1 << 20,
+            name: "starved-sram",
+        };
+        let (eff_s, bound_s) = t.roofline(&starved_sram, compute);
+        assert_eq!(bound_s, Bound::Sram);
+        assert_eq!(eff_s, t.total_bytes());
+    }
+
+    /// A bounded layer row reports a longer delay, diluted utilization
+    /// and the extra idle-energy of its stall cycles — while the
+    /// unbounded row on the same engine is untouched.
+    #[test]
+    fn bounded_layer_rows_stretch_delay_and_dilute_utilization() {
+        let layer = LayerShape::new("fat", 256, 1024, 1024, 1);
+        let base = EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0);
+        let price = base.price().unwrap();
+        let cache = EngineCache::new();
+        let s = schedule_layer_with(&cache, &base, &layer, 0, MODEL_SAMPLE_CAPS);
+        let free = layer_row(&base, &price, &layer, s);
+        assert_eq!(free.bound, Bound::Compute);
+        assert!(free.bytes_moved > 0.0);
+        assert!(free.intensity_ops_per_byte > 0.0);
+
+        let edge = base.clone().with_memory(MemorySpec::edge());
+        let bounded = layer_row(&edge, &price, &layer, s);
+        assert!(
+            bounded.delay_us > free.delay_us,
+            "edge corner must stretch the fat layer: {} vs {}",
+            bounded.delay_us,
+            free.delay_us
+        );
+        assert_ne!(bounded.bound, Bound::Compute);
+        assert!(bounded.utilization < free.utilization);
+        assert!(
+            bounded.energy_uj > free.energy_uj,
+            "stall cycles burn idle power"
+        );
+        assert_eq!(bounded.bytes_moved, free.bytes_moved, "traffic is traffic");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
+
+        /// Narrower operands never move more bytes: per layer,
+        /// `bytes_moved` is monotonically non-increasing W16 → W8 → W4.
+        #[test]
+        fn bytes_moved_shrinks_with_precision(
+            m in 1usize..128,
+            n in 1usize..256,
+            k in 1usize..256,
+            r in 1usize..3,
+            serial in proptest::bool::ANY,
+        ) {
+            use tpe_arith::Precision;
+            let layer = LayerShape::new("p", m, n, k, r);
+            let base = if serial {
+                opt4e()
+            } else {
+                EngineSpec::dense(PeStyle::TraditionalMac, ClassicArch::Tpu, 1.0)
+            };
+            let bytes = |p: Precision| {
+                layer_traffic(&base.clone().with_precision(p), &layer).total_bytes()
+            };
+            let (w16, w8, w4) = (bytes(Precision::W16), bytes(Precision::W8), bytes(Precision::W4));
+            proptest::prop_assert!(w16 >= w8 && w8 >= w4, "{w16} {w8} {w4}");
+            proptest::prop_assert!(w4 > 0.0);
         }
     }
 

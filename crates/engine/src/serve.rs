@@ -27,6 +27,15 @@
 //! Omitting it keeps the paper's W8 — byte-identical to the
 //! pre-precision protocol.
 //!
+//! The same ops accept an optional `"memory"` field naming a
+//! [`crate::MemorySpec`] corner (`"edge"` / `"mobile"` / `"hbm"`, or
+//! `"unbounded"` explicitly): scheduling then bounds each layer by the
+//! corner's roofline, response labels carry the `@corner` suffix, and
+//! `layer`/`model` bodies append a `bytes_moved` /
+//! `intensity_ops_per_byte` / `bound` group. Omitting it (or naming
+//! `unbounded`) keeps the memory-free model — byte-identical to the
+//! pre-memory protocol.
+//!
 //! Deployments can extend the op set through [`BatchOps`]: the `repro`
 //! binary attaches `tpe-dse`'s `sweep`/`pareto` ops, which answer one
 //! request with a summary line plus optional per-design-point lines
@@ -621,7 +630,7 @@ fn respond(
                      \"feasible\":true,{}",
                     json_escape(&spec.label()),
                     json_escape(&name),
-                    metrics_body(&mt)
+                    metrics_body(&mt, !spec.memory.is_unbounded())
                 ),
                 None => format!(
                     "\"op\":\"layer\",\"engine\":\"{}\",\"workload\":\"{}\",\"seed\":{seed}{cycle_tag},\
@@ -641,26 +650,42 @@ fn respond(
                 .find(|n| n.name.eq_ignore_ascii_case(model_name))
                 .ok_or_else(|| format!("unknown model `{model_name}`"))?;
             let body = match eval.model_report(&spec, &net, seed, crate::MODEL_SAMPLE_CAPS) {
-                Some(r) => format!(
-                    "\"op\":\"model\",\"engine\":\"{}\",\"model\":\"{}\",\"seed\":{seed}{cycle_tag},\
-                     \"feasible\":true,\"layers\":{},\"macs\":{},\"cycles\":{:.0},\
-                     \"delay_us\":{:.4},\"energy_uj\":{:.6},\"gops\":{:.3},\
-                     \"peak_tops\":{:.4},\"utilization\":{:.5},\"power_w\":{:.5},\
-                     \"tops_per_w\":{:.4},\"area_um2\":{:.3}",
-                    json_escape(&spec.label()),
-                    json_escape(&net.name),
-                    r.layer_count(),
-                    r.total_macs,
-                    r.cycles,
-                    r.delay_us,
-                    r.energy_uj,
-                    r.throughput_gops(),
-                    r.peak_tops,
-                    r.utilization,
-                    r.power_w(),
-                    r.tops_per_w(),
-                    r.area_um2
-                ),
+                Some(r) => {
+                    let mut body = format!(
+                        "\"op\":\"model\",\"engine\":\"{}\",\"model\":\"{}\",\"seed\":{seed}{cycle_tag},\
+                         \"feasible\":true,\"layers\":{},\"macs\":{},\"cycles\":{:.0},\
+                         \"delay_us\":{:.4},\"energy_uj\":{:.6},\"gops\":{:.3},\
+                         \"peak_tops\":{:.4},\"utilization\":{:.5},\"power_w\":{:.5},\
+                         \"tops_per_w\":{:.4},\"area_um2\":{:.3}",
+                        json_escape(&spec.label()),
+                        json_escape(&net.name),
+                        r.layer_count(),
+                        r.total_macs,
+                        r.cycles,
+                        r.delay_us,
+                        r.energy_uj,
+                        r.throughput_gops(),
+                        r.peak_tops,
+                        r.utilization,
+                        r.power_w(),
+                        r.tops_per_w(),
+                        r.area_um2
+                    );
+                    // As in `metrics_body`: the roofline group appends
+                    // only under a finite memory corner, keeping
+                    // default-corner responses byte-identical to the
+                    // pre-memory wire format.
+                    if !spec.memory.is_unbounded() {
+                        body.push_str(&format!(
+                            ",\"bytes_moved\":{:.0},\"intensity_ops_per_byte\":{:.4},\
+                             \"bound\":\"{}\"",
+                            r.bytes_moved,
+                            r.intensity_ops_per_byte,
+                            r.bound.label()
+                        ));
+                    }
+                    body
+                }
                 None => format!(
                     "\"op\":\"model\",\"engine\":\"{}\",\"model\":\"{}\",\"seed\":{seed}{cycle_tag},\
                      \"feasible\":false",
@@ -797,18 +822,26 @@ fn metrics_snapshot_body(snap: &tpe_obs::Snapshot) -> String {
 }
 
 /// Resolves the request's engine: the `engine` label (which may itself
-/// carry a `@W4`-style suffix), overridden by the optional `precision`
-/// field when present — so clients can sweep the precision axis without
-/// re-spelling labels.
+/// carry `@W4`-style precision and `@edge`-style memory suffixes),
+/// overridden by the optional `precision` and `memory` fields when
+/// present — so clients can sweep either axis without re-spelling labels.
 fn resolve_engine(fields: &Fields) -> Result<crate::EngineSpec, String> {
     let name = fields.str("engine")?;
-    let spec = roster::find(name).ok_or_else(|| format!("unknown engine `{name}`"))?;
+    let mut spec = roster::find(name).ok_or_else(|| format!("unknown engine `{name}`"))?;
     match fields.0.get("precision") {
+        None => {}
+        Some(JsonValue::Str(p)) => match tpe_arith::Precision::parse(p) {
+            Some(precision) => spec = spec.with_precision(precision),
+            None => return Err(format!("unknown precision `{p}`")),
+        },
+        Some(_) => return Err("field `precision` must be a string".into()),
+    }
+    match fields.0.get("memory") {
         None => Ok(spec),
-        Some(JsonValue::Str(p)) => tpe_arith::Precision::parse(p)
-            .map(|precision| spec.with_precision(precision))
-            .ok_or_else(|| format!("unknown precision `{p}`")),
-        Some(_) => Err("field `precision` must be a string".into()),
+        Some(JsonValue::Str(m)) => roster::find_memory(m)
+            .map(|memory| spec.with_memory(memory))
+            .ok_or_else(|| format!("unknown memory corner `{m}`")),
+        Some(_) => Err("field `memory` must be a string".into()),
     }
 }
 
@@ -824,8 +857,8 @@ fn resolve_cycle_model(fields: &Fields) -> Result<CycleModel, String> {
     }
 }
 
-fn metrics_body(m: &crate::Metrics) -> String {
-    format!(
+fn metrics_body(m: &crate::Metrics, roofline: bool) -> String {
+    let mut body = format!(
         "\"area_um2\":{:.3},\"delay_us\":{:.4},\"energy_uj\":{:.6},\"fj_per_mac\":{:.4},\
          \"gops\":{:.3},\"peak_tops\":{:.4},\"utilization\":{:.5},\"power_w\":{:.5}",
         m.area_um2,
@@ -836,7 +869,19 @@ fn metrics_body(m: &crate::Metrics) -> String {
         m.peak_tops,
         m.utilization,
         m.power_w
-    )
+    );
+    // The roofline group appends only under a finite memory corner (the
+    // label already spells which one), so default-corner responses stay
+    // byte-identical to the pre-memory wire format.
+    if roofline {
+        body.push_str(&format!(
+            ",\"bytes_moved\":{:.0},\"intensity_ops_per_byte\":{:.4},\"bound\":\"{}\"",
+            m.bytes_moved,
+            m.intensity_ops_per_byte,
+            m.bound.label()
+        ));
+    }
+    body
 }
 
 /// Ops with dedicated `serve_op_<name>` request counters, in name order.
@@ -1577,6 +1622,69 @@ mod tests {
         );
         assert!(!down);
         assert!(bad.contains("unknown precision"), "{bad}");
+    }
+
+    /// The optional memory field pins a roofline corner: the echoed label
+    /// carries the `@corner` suffix, bounded bodies append the roofline
+    /// group, and the explicit `unbounded` corner is byte-identical to
+    /// omitting the field (the pre-memory wire format).
+    #[test]
+    fn memory_field_bounds_responses_and_tags_the_label() {
+        let cache = EngineCache::new();
+        let layer = |mem: &str| {
+            let req = format!(
+                r#"{{"id":2,"op":"layer","engine":"OPT3[EN-T]/28nm@2.00GHz","m":256,"n":1024,"k":1024,"seed":7{mem}}}"#
+            );
+            handle_line(&req, &cache).0
+        };
+        let free = layer("");
+        assert_eq!(
+            free,
+            layer(r#","memory":"unbounded""#),
+            "explicit unbounded must be the default"
+        );
+        assert!(
+            !free.contains("\"bytes_moved\""),
+            "default responses carry no roofline group: {free}"
+        );
+        let edge = layer(r#","memory":"edge""#);
+        assert!(edge.contains("@edge\""), "{edge}");
+        for key in [
+            "\"bytes_moved\":",
+            "\"intensity_ops_per_byte\":",
+            "\"bound\":\"",
+        ] {
+            assert!(edge.contains(key), "{edge}");
+        }
+        let delay = |r: &str| {
+            let tail = &r[r.find("\"delay_us\":").unwrap() + 11..];
+            tail[..tail.find(',').unwrap()].parse::<f64>().unwrap()
+        };
+        assert!(
+            delay(&edge) > delay(&free),
+            "a finite corner must stretch delay: {edge} vs {free}"
+        );
+        // Model queries under a finite corner append the same group.
+        let model = |mem: &str| {
+            let req = format!(
+                r#"{{"id":3,"op":"model","engine":"OPT4E[EN-T]/28nm@2.00GHz","model":"ResNet18","seed":7{mem}}}"#
+            );
+            handle_line(&req, &cache).0
+        };
+        let free_model = model("");
+        assert!(!free_model.contains("\"bound\""), "{free_model}");
+        let edge_model = model(r#","memory":"edge""#);
+        assert!(
+            edge_model.contains("\"bound\":\"") && edge_model.contains("@edge\""),
+            "{edge_model}"
+        );
+        // Bad corner names error without shutting down.
+        let (bad, down) = handle_line(
+            r#"{"id":4,"op":"engine","engine":"OPT3[EN-T]","memory":"l9"}"#,
+            &cache,
+        );
+        assert!(!down);
+        assert!(bad.contains("unknown memory corner"), "{bad}");
     }
 
     #[test]

@@ -56,12 +56,15 @@ use crate::cache::{
 };
 use crate::caps::CycleModel;
 use crate::report::LayerReport;
-use crate::spec::EnginePrice;
+use crate::spec::{Bound, EnginePrice};
 
 /// Format version; bumped on any layout change (see the module docs for
 /// the no-migration policy). v2 added the whole-model report map (a
-/// fourth count + entry section); v1 snapshots are strict-rejected.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// fourth count + entry section); v3 added the memory corner to the
+/// price/model keys and the roofline fields (bytes, intensity, bound) to
+/// layer rows and model aggregates. v1 and v2 snapshots are
+/// strict-rejected.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Leading magic bytes of every snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"TPECACHE";
@@ -69,22 +72,25 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"TPECACHE";
 /// Human-readable spelling of the entire entry layout *and* the enum
 /// code tables; its fnv1a hash rides in the header so a snapshot written
 /// under any other layout is rejected even if the version was not bumped.
-const LAYOUT_DESCRIPTOR: &str = "v2;\
+const LAYOUT_DESCRIPTOR: &str = "v3;\
      pe=style:u8,dense:opt(u8),in_pe_enc:opt(u8),prec:u32x3,freq_mhz:u32,node_dnm:u32;\
      pe_rec=opt(area:f64,active_uw:f64,idle_uw:f64,lanes:u32);\
-     price=style:u8,dense:opt(u8),enc:u8,prec:u32x3,freq_mhz:u32,node_dnm:u32;\
+     price=style:u8,dense:opt(u8),enc:u8,prec:u32x3,freq_mhz:u32,node_dnm:u32,\
+     sram_kib:u32,sram_bw:u32,dram_bw:u32;\
      price_rec=opt(area:f64,e_active:f64,e_idle:f64,instances:f64,lanes_total:f64,peak_tops:f64);\
      cycle=style:u8,enc:u8,a_bits:u32,m:u64,n:u64,k:u64,repeats:u64,seed:u64,\
      max_rounds:u64,max_operands:u64,model:u8;\
      cycle_rec=cycles:f64,busy_sum:f64,busy_min:f64,busy_max:f64,rounds:f64,columns:u32;\
      model_key=style:u8,dense:opt(u8),enc:u8,prec:u32x3,freq_mhz:u32,node_dnm:u32,\
-     model:str,layers_hash:u64,seed:u64,max_rounds:u64,max_operands:u64,cycle_model:u8;\
+     model:str,layers_hash:u64,seed:u64,max_rounds:u64,max_operands:u64,cycle_model:u8,\
+     sram_kib:u32,sram_bw:u32,dram_bw:u32;\
      model_rec=model:str,layers:vec(name:str,macs:u64,tiles:f64,cycles:f64,delay_us:f64,\
-     util:f64,energy_uj:f64),total_macs:u64,cycles:f64,delay_us:f64,energy_uj:f64,util:f64,\
-     area:f64,peak_tops:f64,busy_sum:f64;\
+     util:f64,energy_uj:f64,bytes:f64,intensity:f64,bound:u8),\
+     total_macs:u64,cycles:f64,delay_us:f64,energy_uj:f64,util:f64,\
+     area:f64,peak_tops:f64,bytes:f64,intensity:f64,bound:u8,busy_sum:f64;\
      str=len:u64,utf8;\
      styles=mac,opt1,opt2,opt3,opt4c,opt4e;archs=tpu,ascend,trapezoid,flexflow;\
-     encs=mbe,ent,csd,bsc,bsm;models=sampled,analytic";
+     encs=mbe,ent,csd,bsc,bsm;models=sampled,analytic;bounds=compute,sram,dram";
 
 /// What a completed save/load reports (the `snapshot` serve op and the
 /// CLI echo these; `BENCH_snapshot.json` archives them).
@@ -176,6 +182,23 @@ fn model_from(code: u8) -> Result<CycleModel, String> {
         0 => CycleModel::Sampled,
         1 => CycleModel::Analytic,
         other => return Err(format!("bad CycleModel code {other}")),
+    })
+}
+
+fn bound_code(b: Bound) -> u8 {
+    match b {
+        Bound::Compute => 0,
+        Bound::Sram => 1,
+        Bound::Dram => 2,
+    }
+}
+
+fn bound_from(code: u8) -> Result<Bound, String> {
+    Ok(match code {
+        0 => Bound::Compute,
+        1 => Bound::Sram,
+        2 => Bound::Dram,
+        other => return Err(format!("bad Bound code {other}")),
     })
 }
 
@@ -355,6 +378,9 @@ fn encode_price_entry(out: &mut Vec<u8>, key: &PriceKey, price: &Option<EnginePr
     put_precision(out, key.precision);
     put_u32(out, key.freq_mhz);
     put_u32(out, key.node_dnm);
+    put_u32(out, key.sram_kib);
+    put_u32(out, key.sram_bw);
+    put_u32(out, key.dram_bw);
     put_opt(out, price.is_some());
     if let Some(p) = price {
         put_f64(out, p.area_um2);
@@ -374,6 +400,9 @@ fn decode_price_entry(r: &mut Reader) -> Result<(PriceKey, Option<EnginePrice>),
         precision: read_precision(r)?,
         freq_mhz: r.u32()?,
         node_dnm: r.u32()?,
+        sram_kib: r.u32()?,
+        sram_bw: r.u32()?,
+        dram_bw: r.u32()?,
     };
     let price = if r.opt()? {
         Some(EnginePrice {
@@ -448,6 +477,9 @@ fn encode_model_entry(out: &mut Vec<u8>, key: &ModelKey, rec: &ModelRecord) {
     put_u64(out, key.max_rounds as u64);
     put_u64(out, key.max_operands as u64);
     out.push(model_code(key.cycle_model));
+    put_u32(out, key.sram_kib);
+    put_u32(out, key.sram_bw);
+    put_u32(out, key.dram_bw);
     put_str(out, &rec.model);
     put_u64(out, rec.layers.len() as u64);
     for l in rec.layers.iter() {
@@ -458,6 +490,9 @@ fn encode_model_entry(out: &mut Vec<u8>, key: &ModelKey, rec: &ModelRecord) {
         put_f64(out, l.delay_us);
         put_f64(out, l.utilization);
         put_f64(out, l.energy_uj);
+        put_f64(out, l.bytes_moved);
+        put_f64(out, l.intensity_ops_per_byte);
+        out.push(bound_code(l.bound));
     }
     put_u64(out, rec.total_macs);
     put_f64(out, rec.cycles);
@@ -466,6 +501,9 @@ fn encode_model_entry(out: &mut Vec<u8>, key: &ModelKey, rec: &ModelRecord) {
     put_f64(out, rec.utilization);
     put_f64(out, rec.area_um2);
     put_f64(out, rec.peak_tops);
+    put_f64(out, rec.bytes_moved);
+    put_f64(out, rec.intensity_ops_per_byte);
+    out.push(bound_code(rec.bound));
     put_f64(out, rec.busy_sum);
 }
 
@@ -483,6 +521,9 @@ fn decode_model_entry(r: &mut Reader) -> Result<(ModelKey, ModelRecord), String>
         max_rounds: r.usize()?,
         max_operands: r.usize()?,
         cycle_model: model_from(r.u8()?)?,
+        sram_kib: r.u32()?,
+        sram_bw: r.u32()?,
+        dram_bw: r.u32()?,
     };
     let model: std::sync::Arc<str> = r.str()?.into();
     let n_layers = r.usize()?;
@@ -500,6 +541,9 @@ fn decode_model_entry(r: &mut Reader) -> Result<(ModelKey, ModelRecord), String>
             delay_us: r.f64()?,
             utilization: r.f64()?,
             energy_uj: r.f64()?,
+            bytes_moved: r.f64()?,
+            intensity_ops_per_byte: r.f64()?,
+            bound: bound_from(r.u8()?)?,
         });
     }
     let rec = ModelRecord {
@@ -512,6 +556,9 @@ fn decode_model_entry(r: &mut Reader) -> Result<(ModelKey, ModelRecord), String>
         utilization: r.f64()?,
         area_um2: r.f64()?,
         peak_tops: r.f64()?,
+        bytes_moved: r.f64()?,
+        intensity_ops_per_byte: r.f64()?,
+        bound: bound_from(r.u8()?)?,
         busy_sum: r.f64()?,
     };
     Ok((key, rec))
@@ -966,12 +1013,19 @@ mod tests {
         short[sum_end..].copy_from_slice(&sum.to_le_bytes());
         assert!(decode(&short).is_err(), "truncated model entry must reject");
 
-        // The pre-model-map v1 layout is strict-rejected by version, not
-        // silently half-imported.
-        let mut v1 = bytes.clone();
-        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
-        let sum = fnv1a_bytes(&v1[SNAPSHOT_MAGIC.len()..end]);
-        v1[end..].copy_from_slice(&sum.to_le_bytes());
-        assert!(decode(&v1).unwrap_err().contains("version"));
+        // Older layouts are strict-rejected by version, not silently
+        // half-imported: the pre-model-map v1 and the pre-memory v2
+        // (whose price/model keys have no corner and whose rows carry no
+        // roofline fields) alike.
+        for old in [1u32, 2] {
+            let mut stale = bytes.clone();
+            stale[8..12].copy_from_slice(&old.to_le_bytes());
+            let sum = fnv1a_bytes(&stale[SNAPSHOT_MAGIC.len()..end]);
+            stale[end..].copy_from_slice(&sum.to_le_bytes());
+            assert!(
+                decode(&stale).unwrap_err().contains("version"),
+                "v{old} must be rejected by the version check"
+            );
+        }
     }
 }

@@ -18,6 +18,138 @@ use tpe_sim::array::ClassicArch;
 
 use crate::cache::PeRecord;
 
+/// SRAM port width in bytes per bank per cycle.
+///
+/// The on-chip bandwidth corners below are all `banks ×
+/// SRAM_PORT_BYTES`: the bank geometry is the diagonally skewed layout of
+/// `tpe_sim::memory::SkewedBankLayout` (§IV-C), where each of the array's
+/// columns owns a private bank port per cycle. A 32-bank layout at this
+/// port width therefore sustains 128 B/cycle — the arithmetic the
+/// `memory_corners_tie_to_bank_geometry` test pins.
+pub const SRAM_PORT_BYTES: u32 = 4;
+
+/// An on-chip memory-hierarchy corner: SRAM capacity plus the SRAM and
+/// DRAM bandwidths the roofline bounds effective delay against.
+///
+/// The default [`MemorySpec::unbounded`] corner models the pre-memory
+/// evaluator exactly: no bandwidth ceiling, no capacity pressure, every
+/// layer compute-bound — all historical numbers, labels and seeds are
+/// reproduced bit-for-bit. Finite corners are named (see
+/// [`crate::roster::memory_corners`]) and appear as a `@<name>` label
+/// suffix after any precision suffix, parsed back by
+/// [`crate::roster::find`].
+///
+/// All fields are integers so the corner can ride inside `Copy + Eq +
+/// Hash` cache keys ([`crate::cache::PriceKey`],
+/// [`crate::cache::ModelKey`]) without float-identity hazards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemorySpec {
+    /// On-chip SRAM capacity in KiB; 0 means unbounded (everything fits).
+    pub sram_kib: u32,
+    /// SRAM bandwidth in bytes per cycle (`banks × SRAM_PORT_BYTES` for
+    /// the banked corners); 0 means unbounded.
+    pub sram_bw: u32,
+    /// DRAM bandwidth in bytes per cycle; 0 means unbounded.
+    pub dram_bw: u32,
+    /// Corner name (`"unbounded"`, `"edge"`, …) — the label suffix and
+    /// filter/CSV key.
+    pub name: &'static str,
+}
+
+impl Default for MemorySpec {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl MemorySpec {
+    /// The default corner: no memory-hierarchy limits. Reproduces the
+    /// pre-memory evaluator byte-identically.
+    pub fn unbounded() -> Self {
+        Self {
+            sram_kib: 0,
+            sram_bw: 0,
+            dram_bw: 0,
+            name: "unbounded",
+        }
+    }
+
+    /// A banked-SRAM corner: `banks` skewed banks at [`SRAM_PORT_BYTES`]
+    /// each (the §IV-C geometry), over a `dram_bw` bytes/cycle external
+    /// interface.
+    pub fn banked(name: &'static str, banks: u32, sram_kib: u32, dram_bw: u32) -> Self {
+        Self {
+            sram_kib,
+            sram_bw: banks * SRAM_PORT_BYTES,
+            dram_bw,
+            name,
+        }
+    }
+
+    /// An edge-class corner: 16 banks (64 B/cycle), 256 KiB SRAM, 8
+    /// B/cycle DRAM.
+    pub fn edge() -> Self {
+        Self::banked("edge", 16, 256, 8)
+    }
+
+    /// A mobile-class corner: 32 banks (128 B/cycle), 2 MiB SRAM, 16
+    /// B/cycle DRAM.
+    pub fn mobile() -> Self {
+        Self::banked("mobile", 32, 2048, 16)
+    }
+
+    /// A datacenter-class corner: 64 banks (256 B/cycle), 24 MiB SRAM,
+    /// 64 B/cycle DRAM.
+    pub fn hbm() -> Self {
+        Self::banked("hbm", 64, 24576, 64)
+    }
+
+    /// Whether this is the unlimited default (the identity projection).
+    pub fn is_unbounded(&self) -> bool {
+        self.sram_bw == 0 && self.dram_bw == 0 && self.sram_kib == 0
+    }
+
+    /// SRAM capacity in bytes; `None` when unbounded.
+    pub fn sram_bytes(&self) -> Option<f64> {
+        (self.sram_kib > 0).then(|| f64::from(self.sram_kib) * 1024.0)
+    }
+}
+
+/// Which roofline ceiling bounds a layer's effective delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Bound {
+    /// Compute cycles dominate (always the case under
+    /// [`MemorySpec::unbounded`]).
+    #[default]
+    Compute,
+    /// On-chip SRAM bandwidth dominates.
+    Sram,
+    /// External DRAM bandwidth dominates.
+    Dram,
+}
+
+impl Bound {
+    /// Stable lowercase label (`compute` / `sram` / `dram`) — the CSV,
+    /// JSON and serve wire value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bound::Compute => "compute",
+            Bound::Sram => "sram",
+            Bound::Dram => "dram",
+        }
+    }
+
+    /// Parses a [`Bound::label`] back (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "compute" => Some(Bound::Compute),
+            "sram" => Some(Bound::Sram),
+            "dram" => Some(Bound::Dram),
+            _ => None,
+        }
+    }
+}
+
 /// A synthesis corner: clock constraint + process node.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Corner {
@@ -75,6 +207,10 @@ pub struct EngineSpec {
     pub node: ProcessNode,
     /// Display name of the node.
     pub node_name: &'static str,
+    /// Memory-hierarchy corner the roofline bounds delay against
+    /// ([`MemorySpec::unbounded`] is the paper's configuration and the
+    /// default; labels carry a `@edge`-style suffix for anything else).
+    pub memory: MemorySpec,
 }
 
 impl EngineSpec {
@@ -88,6 +224,7 @@ impl EngineSpec {
             freq_ghz,
             node: ProcessNode::SMIC28,
             node_name: "28nm",
+            memory: MemorySpec::unbounded(),
         }
     }
 
@@ -101,12 +238,18 @@ impl EngineSpec {
             freq_ghz,
             node: ProcessNode::SMIC28,
             node_name: "28nm",
+            memory: MemorySpec::unbounded(),
         }
     }
 
     /// The same engine synthesized for a different operand precision.
     pub fn with_precision(self, precision: Precision) -> Self {
         Self { precision, ..self }
+    }
+
+    /// The same engine under a different memory-hierarchy corner.
+    pub fn with_memory(self, memory: MemorySpec) -> Self {
+        Self { memory, ..self }
     }
 
     /// The Table VII roster (see [`crate::roster`] for the named registry).
@@ -143,21 +286,26 @@ impl EngineSpec {
 
     /// Full engine label, stable across runs — the seed/filter/CSV key
     /// ("OPT4E\[EN-T\]/28nm\@2.00GHz"). Non-default precisions append a
-    /// `@W4`-style suffix ("OPT3\[EN-T\]/28nm\@2.00GHz\@W4") parsed back by
-    /// [`crate::roster::find`]; the default W8 stays suffix-free so every
-    /// historical label (and seed derived from it) is unchanged.
+    /// `@W4`-style suffix ("OPT3\[EN-T\]/28nm\@2.00GHz\@W4") and finite
+    /// memory corners a `@edge`-style one after it, both parsed back by
+    /// [`crate::roster::find`]; the default W8/unbounded stays suffix-free
+    /// so every historical label (and seed derived from it) is unchanged.
     pub fn label(&self) -> String {
-        let base = format!(
+        let mut label = format!(
             "{}/{}@{:.2}GHz",
             self.arch_label(),
             self.node_name,
             self.freq_ghz
         );
-        if self.precision.is_default() {
-            base
-        } else {
-            format!("{base}@{}", self.precision.label())
+        if !self.precision.is_default() {
+            label.push('@');
+            label.push_str(&self.precision.label());
         }
+        if !self.memory.is_unbounded() {
+            label.push('@');
+            label.push_str(self.memory.name);
+        }
+        label
     }
 
     /// PE instances at the paper's array sizes (10×10×10 Cube, else 32×32).
@@ -316,5 +464,38 @@ mod tests {
         let moved = spec.at_corner(Corner::n16(1.5));
         assert_eq!(moved.label(), "OPT4E[EN-T]/16nm@1.50GHz");
         assert_eq!(moved.arch_label(), spec.arch_label());
+    }
+
+    /// The default memory corner is the identity projection: suffix-free
+    /// labels, compute-bound roofline, every historical seed unchanged.
+    #[test]
+    fn unbounded_memory_keeps_labels_suffix_free() {
+        let spec = EngineSpec::serial(PeStyle::Opt4E, EncodingKind::EnT, 2.0);
+        assert!(spec.memory.is_unbounded());
+        assert_eq!(spec.label(), "OPT4E[EN-T]/28nm@2.00GHz");
+        let bounded = spec.clone().with_memory(MemorySpec::edge());
+        assert_eq!(bounded.label(), "OPT4E[EN-T]/28nm@2.00GHz@edge");
+        let both = bounded.with_precision(tpe_arith::Precision::W4);
+        assert_eq!(both.label(), "OPT4E[EN-T]/28nm@2.00GHz@W4@edge");
+    }
+
+    /// §IV-C promotion: every finite SRAM bandwidth corner is `banks ×
+    /// SRAM_PORT_BYTES` over the skewed bank layout of
+    /// `tpe_sim::memory::SkewedBankLayout` — the bank count recovered from
+    /// the corner drives a conflict-free aligned access pattern.
+    #[test]
+    fn memory_corners_tie_to_bank_geometry() {
+        for (mem, banks) in [
+            (MemorySpec::edge(), 16u32),
+            (MemorySpec::mobile(), 32),
+            (MemorySpec::hbm(), 64),
+        ] {
+            assert_eq!(mem.sram_bw, banks * SRAM_PORT_BYTES, "{}", mem.name);
+            let layout =
+                tpe_sim::memory::SkewedBankLayout::new((mem.sram_bw / SRAM_PORT_BYTES) as usize);
+            assert_eq!(layout.banks() as u32, banks, "{}", mem.name);
+            let accesses: Vec<(usize, usize)> = (0..layout.banks()).map(|c| (c, 7)).collect();
+            assert_eq!(layout.conflicts(&accesses), 0, "{}", mem.name);
+        }
     }
 }

@@ -222,6 +222,52 @@ mod tests {
         assert!(!outcome.runs[0].feasible());
     }
 
+    /// The memory-hierarchy acceptance bar: pinning the paper roster to a
+    /// finite memory corner flips at least one (engine × model) cell to a
+    /// non-compute bound, and every flipped cell's end-to-end delay
+    /// strictly exceeds its compute-only (unbounded) delay. The unbounded
+    /// grid itself stays all-compute — the default numbers carry no
+    /// roofline tax.
+    #[test]
+    fn finite_memory_corner_flips_grid_cells_off_the_compute_bound() {
+        use tpe_engine::Bound;
+        let models = vec![models::resnet18()];
+        let free_engines = EngineSpec::paper_roster();
+        let edge_engines: Vec<EngineSpec> = free_engines
+            .iter()
+            .map(|e| e.clone().with_memory(tpe_engine::MemorySpec::edge()))
+            .collect();
+        let config = GridConfig::quick_test(2, 42);
+        let free = run_grid(&models, &free_engines, config);
+        let edge = run_grid(&models, &edge_engines, config);
+
+        assert!(free
+            .runs
+            .iter()
+            .filter_map(|r| r.report.as_ref())
+            .all(|r| r.bound == Bound::Compute));
+
+        let mut flipped = 0usize;
+        for (f, e) in free.runs.iter().zip(&edge.runs) {
+            assert_eq!(f.feasible(), e.feasible(), "memory never affects timing");
+            let (Some(fr), Some(er)) = (&f.report, &e.report) else {
+                continue;
+            };
+            assert_eq!(fr.bytes_moved, er.bytes_moved, "traffic is corner-free");
+            if er.bound != Bound::Compute {
+                flipped += 1;
+                assert!(
+                    er.delay_us > fr.delay_us,
+                    "{}: memory-bound delay {} must exceed compute-only {}",
+                    e.engine.label(),
+                    er.delay_us,
+                    fr.delay_us
+                );
+            }
+        }
+        assert!(flipped > 0, "no roster cell hit a memory wall at `edge`");
+    }
+
     /// Repeated identical grids are served from the global cache: the
     /// second run is byte-identical and every feasible cell answers from
     /// the whole-model map — one record hit per cell, no per-layer

@@ -31,12 +31,24 @@ fn engines_under_test() -> Vec<EngineSpec> {
     ]
 }
 
+/// [`engines_under_test`] plus each engine pinned to the `edge` memory
+/// corner — the aggregate identities must hold with rooflines applied too.
+fn engines_under_test_with_memory_corners() -> Vec<EngineSpec> {
+    let free = engines_under_test();
+    let edge: Vec<EngineSpec> = free
+        .iter()
+        .map(|e| e.clone().with_memory(tpe_engine::MemorySpec::edge()))
+        .collect();
+    free.into_iter().chain(edge).collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Per-model aggregate cycles / delay / energy / MACs equal the sum of
-    /// the per-layer results, and utilization is their delay-weighted
-    /// mean, on every engine family.
+    /// Per-model aggregate cycles / delay / energy / MACs / bytes moved
+    /// equal the sum of the per-layer results, and utilization is their
+    /// delay-weighted mean, on every engine family — with and without a
+    /// finite memory corner bounding the layers.
     #[test]
     fn aggregates_equal_sum_of_per_layer_results(
         shapes in prop::collection::vec(
@@ -46,7 +58,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let net = synthetic_net(&shapes);
-        for engine in engines_under_test() {
+        for engine in engines_under_test_with_memory_corners() {
             let price = engine.price().expect("paper clocks close timing");
             let report =
                 tpe_pipeline::evaluate_model(&engine, &price, &net, seed, MODEL_SAMPLE_CAPS);
@@ -56,11 +68,17 @@ proptest! {
             let delay: f64 = report.layers.iter().map(|l| l.delay_us).sum();
             let energy: f64 = report.layers.iter().map(|l| l.energy_uj).sum();
             let macs: u64 = report.layers.iter().map(|l| l.macs).sum();
+            let bytes: f64 = report.layers.iter().map(|l| l.bytes_moved).sum();
             prop_assert_eq!(report.cycles.to_bits(), cycles.to_bits());
             prop_assert_eq!(report.delay_us.to_bits(), delay.to_bits());
             prop_assert_eq!(report.energy_uj.to_bits(), energy.to_bits());
+            prop_assert_eq!(report.bytes_moved.to_bits(), bytes.to_bits());
             prop_assert_eq!(report.total_macs, macs);
             prop_assert_eq!(report.total_macs, net.total_macs());
+            prop_assert_eq!(
+                report.intensity_ops_per_byte.to_bits(),
+                (2.0 * macs as f64 / bytes).to_bits()
+            );
 
             let weighted: f64 = report
                 .layers

@@ -7,6 +7,12 @@
 //! in K1 are stored in the same bank, and the index difference between two
 //! adjacent banks will be dk" — a diagonal skew that gives each column a
 //! private bank at every aligned step.
+//!
+//! This same bank geometry sets the on-chip bandwidth of `tpe-engine`'s
+//! named memory corners: a `MemorySpec` built by `MemorySpec::banked`
+//! sustains `banks × SRAM_PORT_BYTES` bytes per cycle precisely because
+//! each skewed bank serves one port-width access per cycle conflict-free
+//! (pinned by `memory_corners_tie_to_bank_geometry` over there).
 
 /// A diagonally skewed bank mapping over `banks` SRAM banks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -64,6 +64,18 @@ impl LayerShape {
     pub fn macs(&self) -> u64 {
         (self.m * self.n * self.k * self.repeats) as u64
     }
+
+    /// Distinct element counts of one GEMM instance —
+    /// `(weights, activations, outputs)` = `(k·n, m·k, m·n)`. This is the
+    /// byte-count basis of the memory-traffic model (multiply by repeats
+    /// and the per-element byte width for a full layer).
+    pub fn operand_elems(&self) -> (u64, u64, u64) {
+        (
+            (self.k * self.n) as u64,
+            (self.m * self.k) as u64,
+            (self.m * self.n) as u64,
+        )
+    }
 }
 
 /// A network: an ordered list of GEMM layers.
